@@ -1,0 +1,531 @@
+//! Baseline assignment algorithms from the paper's evaluation
+//! (Section IV-A, "Compared Algorithms").
+//!
+//! * [`ub_assign`] — **Upper Bound**: checks constraints against the
+//!   worker's *real* trajectory, builds a bipartite graph weighted by the
+//!   reciprocal of the real detour, and solves one KM matching. Its
+//!   rejection rate is 0 by construction.
+//! * [`lb_assign`] — **Lower Bound**: ignores mobility entirely; the
+//!   bipartite graph is built from the workers' current locations alone
+//!   (inverse-distance weights, deadline reachability as the only
+//!   filter), so the workers' actual movement produces heavy rejections.
+//! * [`km_assign`] — plain **KM**: the third stage of Algorithm 4 applied
+//!   to everything (predicted-proximity bipartite graph, one matching).
+//! * [`ggpso_assign`] — the genetic baseline of \[11\]: a population of
+//!   assignment chromosomes improved by iterative crossover, mutation and
+//!   selection.
+
+use crate::feasibility::theorem2_bound;
+use crate::hungarian::{max_weight_matching, WeightedEdge};
+use crate::view::{ExcludedPairs, WorkerView};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use tamp_core::assignment::{Assignment, AssignmentPair};
+use tamp_core::geometry::{detour_via, min_dist_to_path};
+use tamp_core::time::travel_minutes;
+use tamp_core::{Minutes, SpatialTask};
+
+const WEIGHT_EPS: f64 = 0.05;
+
+#[inline]
+fn inv_weight(d: f64) -> f64 {
+    1.0 / (d + WEIGHT_EPS)
+}
+
+fn matching_to_plan(
+    tasks: &[SpatialTask],
+    workers: &[WorkerView],
+    edges: &[WeightedEdge],
+) -> Assignment {
+    let matched = max_weight_matching(tasks.len(), workers.len(), edges);
+    let mut plan = Assignment::new();
+    for (ti, wi) in matched {
+        let w = edges
+            .iter()
+            .find(|e| e.left == ti && e.right == wi)
+            .map_or(0.0, |e| e.weight);
+        plan.try_push(AssignmentPair {
+            task: tasks[ti].id,
+            worker: workers[wi].id,
+            score: w,
+        });
+    }
+    plan
+}
+
+/// The real detour and feasibility of serving `task` given the worker's
+/// ground-truth future. Returns the minimum real detour over all
+/// deviation legs that meet both the detour bound and the deadline, or
+/// `None` when no leg qualifies.
+pub fn oracle_detour(worker: &WorkerView, task: &SpatialTask, now: Minutes) -> Option<f64> {
+    let path = &worker.real_future;
+    if path.is_empty() {
+        return None;
+    }
+    let mut best: Option<f64> = None;
+    let consider = |best: &mut Option<f64>, detour: f64, depart_at: Minutes, from_dist: f64| {
+        if detour > worker.detour_limit_km {
+            return;
+        }
+        let depart = depart_at.as_f64().max(now.as_f64());
+        let arrival = depart + travel_minutes(from_dist, worker.speed_km_per_min);
+        if arrival < task.deadline.as_f64() {
+            *best = Some(best.map_or(detour, |b: f64| b.min(detour)));
+        }
+    };
+    if path.len() == 1 {
+        let p = path[0];
+        let d = p.loc.dist(task.location);
+        consider(&mut best, 2.0 * d, p.time, d);
+        return best;
+    }
+    for leg in path.windows(2) {
+        let (a, b) = (leg[0], leg[1]);
+        let detour = detour_via(a.loc, task.location, b.loc);
+        let from_dist = a.loc.dist(task.location);
+        consider(&mut best, detour, a.time, from_dist);
+    }
+    best
+}
+
+/// Upper-bound oracle assignment (real trajectories, zero rejections).
+pub fn ub_assign(tasks: &[SpatialTask], workers: &[WorkerView], now: Minutes) -> Assignment {
+    ub_assign_excluding(tasks, workers, now, &ExcludedPairs::new())
+}
+
+/// [`ub_assign`] honouring an exclusion set.
+pub fn ub_assign_excluding(
+    tasks: &[SpatialTask],
+    workers: &[WorkerView],
+    now: Minutes,
+    excluded: &ExcludedPairs,
+) -> Assignment {
+    let mut edges = Vec::new();
+    for (ti, task) in tasks.iter().enumerate() {
+        for (wi, worker) in workers.iter().enumerate() {
+            if excluded.contains(&(task.id, worker.id)) {
+                continue;
+            }
+            if let Some(detour) = oracle_detour(worker, task, now) {
+                edges.push(WeightedEdge::new(ti, wi, inv_weight(detour)));
+            }
+        }
+    }
+    matching_to_plan(tasks, workers, &edges)
+}
+
+/// Lower-bound assignment: bipartite graph from current locations only
+/// (Section IV-A). The only filter is deadline reachability from the
+/// current position — the algorithm has no mobility model with which to
+/// anticipate detours, which is exactly why it is the lower bound.
+pub fn lb_assign(tasks: &[SpatialTask], workers: &[WorkerView], now: Minutes) -> Assignment {
+    lb_assign_excluding(tasks, workers, now, &ExcludedPairs::new())
+}
+
+/// [`lb_assign`] honouring an exclusion set.
+pub fn lb_assign_excluding(
+    tasks: &[SpatialTask],
+    workers: &[WorkerView],
+    now: Minutes,
+    excluded: &ExcludedPairs,
+) -> Assignment {
+    let mut edges = Vec::new();
+    for (ti, task) in tasks.iter().enumerate() {
+        for (wi, worker) in workers.iter().enumerate() {
+            if excluded.contains(&(task.id, worker.id)) {
+                continue;
+            }
+            let dist = worker.current.dist(task.location);
+            let within_deadline = now.as_f64()
+                + travel_minutes(dist, worker.speed_km_per_min)
+                < task.deadline.as_f64();
+            if within_deadline {
+                edges.push(WeightedEdge::new(ti, wi, inv_weight(dist)));
+            }
+        }
+    }
+    matching_to_plan(tasks, workers, &edges)
+}
+
+/// Plain KM baseline: the third stage of Algorithm 4 as a standalone
+/// algorithm (predicted proximity under the Theorem 2 bound, one
+/// matching).
+pub fn km_assign(tasks: &[SpatialTask], workers: &[WorkerView], now: Minutes) -> Assignment {
+    km_assign_excluding(tasks, workers, now, &ExcludedPairs::new())
+}
+
+/// [`km_assign`] honouring an exclusion set.
+pub fn km_assign_excluding(
+    tasks: &[SpatialTask],
+    workers: &[WorkerView],
+    now: Minutes,
+    excluded: &ExcludedPairs,
+) -> Assignment {
+    let mut edges = Vec::new();
+    for (ti, task) in tasks.iter().enumerate() {
+        for (wi, worker) in workers.iter().enumerate() {
+            if excluded.contains(&(task.id, worker.id)) {
+                continue;
+            }
+            if let Some(dmin) = min_dist_to_path(&worker.predicted, task.location) {
+                if dmin <= theorem2_bound(worker, task, now) {
+                    edges.push(WeightedEdge::new(ti, wi, inv_weight(dmin)));
+                }
+            }
+        }
+    }
+    matching_to_plan(tasks, workers, &edges)
+}
+
+/// [`km_assign_excluding`] with spatial prefiltering: identical output,
+/// but candidate workers per task come from a [`crate::spatial::BucketIndex`]
+/// over current + predicted positions instead of full enumeration —
+/// O(T·W) probes become O(T·local density). Worthwhile from a few hundred
+/// workers upward (see `bench_ppi`).
+pub fn km_assign_indexed(
+    tasks: &[SpatialTask],
+    workers: &[WorkerView],
+    now: Minutes,
+    excluded: &ExcludedPairs,
+) -> Assignment {
+    use crate::spatial::BucketIndex;
+    if tasks.is_empty() || workers.is_empty() {
+        return Assignment::new();
+    }
+    // The Theorem 2 bound never exceeds d/2, so a radius of max(d)/2 is a
+    // conservative prefilter for every pair.
+    let radius = workers
+        .iter()
+        .map(|w| w.detour_limit_km / 2.0)
+        .fold(0.0, f64::max);
+    let index = BucketIndex::build(workers, radius.max(0.5));
+    let mut edges = Vec::new();
+    for (ti, task) in tasks.iter().enumerate() {
+        for wi in index.candidates_within(task.location, radius) {
+            let worker = &workers[wi];
+            if excluded.contains(&(task.id, worker.id)) {
+                continue;
+            }
+            if let Some(dmin) = min_dist_to_path(&worker.predicted, task.location) {
+                if dmin <= theorem2_bound(worker, task, now) {
+                    edges.push(WeightedEdge::new(ti, wi, inv_weight(dmin)));
+                }
+            }
+        }
+    }
+    matching_to_plan(tasks, workers, &edges)
+}
+
+/// Hyper-parameters of the genetic baseline.
+#[derive(Debug, Clone, Copy)]
+pub struct GgpsoParams {
+    /// Population size.
+    pub population: usize,
+    /// Number of generations.
+    pub generations: usize,
+    /// Per-gene mutation probability.
+    pub mutation_rate: f64,
+}
+
+impl Default for GgpsoParams {
+    fn default() -> Self {
+        Self {
+            population: 32,
+            generations: 60,
+            mutation_rate: 0.08,
+        }
+    }
+}
+
+/// The GGPSO-style genetic baseline \[11\]: iterative crossover, mutation
+/// and selection over task→worker assignment chromosomes.
+///
+/// Fitness rewards each validly assigned pair with `1 + 1/(1 + dist)`
+/// (completion first, proximity second); chromosomes are repaired so no
+/// worker is duplicated.
+pub fn ggpso_assign(
+    tasks: &[SpatialTask],
+    workers: &[WorkerView],
+    now: Minutes,
+    params: &GgpsoParams,
+    rng: &mut impl Rng,
+) -> Assignment {
+    ggpso_assign_excluding(tasks, workers, now, params, &ExcludedPairs::new(), rng)
+}
+
+/// [`ggpso_assign`] honouring an exclusion set.
+pub fn ggpso_assign_excluding(
+    tasks: &[SpatialTask],
+    workers: &[WorkerView],
+    now: Minutes,
+    params: &GgpsoParams,
+    excluded: &ExcludedPairs,
+    rng: &mut impl Rng,
+) -> Assignment {
+    if tasks.is_empty() || workers.is_empty() {
+        return Assignment::new();
+    }
+    // Candidate workers (and their predicted distance) per task under the
+    // same feasibility bound as the KM baseline.
+    let mut candidates: Vec<Vec<(usize, f64)>> = vec![Vec::new(); tasks.len()];
+    for (ti, task) in tasks.iter().enumerate() {
+        for (wi, worker) in workers.iter().enumerate() {
+            if excluded.contains(&(task.id, worker.id)) {
+                continue;
+            }
+            if let Some(dmin) = min_dist_to_path(&worker.predicted, task.location) {
+                if dmin <= theorem2_bound(worker, task, now) {
+                    candidates[ti].push((wi, dmin));
+                }
+            }
+        }
+    }
+
+    type Chromosome = Vec<Option<usize>>;
+
+    let repair = |chrom: &mut Chromosome| {
+        let mut used = vec![false; workers.len()];
+        for gene in chrom.iter_mut() {
+            if let Some(w) = *gene {
+                if used[w] {
+                    *gene = None;
+                } else {
+                    used[w] = true;
+                }
+            }
+        }
+    };
+
+    let fitness = |chrom: &Chromosome| -> f64 {
+        let mut f = 0.0;
+        for (ti, gene) in chrom.iter().enumerate() {
+            if let Some(w) = *gene {
+                if let Some(&(_, d)) = candidates[ti].iter().find(|(c, _)| *c == w) {
+                    f += 1.0 + 3.0 / (1.0 + 3.0 * d);
+                }
+            }
+        }
+        f
+    };
+
+    let random_chrom = |rng: &mut dyn rand::RngCore| -> Chromosome {
+        let mut chrom: Chromosome = candidates
+            .iter()
+            .map(|c| {
+                if c.is_empty() || rand::Rng::gen_bool(rng, 0.3) {
+                    None
+                } else {
+                    Some(c.choose(rng).expect("non-empty").0)
+                }
+            })
+            .collect();
+        repair(&mut chrom);
+        chrom
+    };
+
+    let mut population: Vec<(Chromosome, f64)> = (0..params.population.max(2))
+        .map(|_| {
+            let c = random_chrom(rng);
+            let f = fitness(&c);
+            (c, f)
+        })
+        .collect();
+
+    let tournament = |pop: &[(Chromosome, f64)], rng: &mut dyn rand::RngCore| -> Chromosome {
+        let mut best: Option<&(Chromosome, f64)> = None;
+        for _ in 0..3 {
+            let cand = pop.choose(rng).expect("non-empty population");
+            if best.is_none_or(|b| cand.1 > b.1) {
+                best = Some(cand);
+            }
+        }
+        best.expect("tournament winner").0.clone()
+    };
+
+    for _ in 0..params.generations {
+        let mut next = Vec::with_capacity(population.len());
+        // Elitism: carry the best chromosome forward unchanged.
+        let elite = population
+            .iter()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite fitness"))
+            .expect("non-empty population")
+            .clone();
+        next.push(elite);
+        while next.len() < population.len() {
+            let pa = tournament(&population, rng);
+            let pb = tournament(&population, rng);
+            // Uniform crossover.
+            let mut child: Chromosome = pa
+                .iter()
+                .zip(&pb)
+                .map(|(a, b)| if rng.gen_bool(0.5) { *a } else { *b })
+                .collect();
+            // Mutation: re-sample the gene from the task's candidates.
+            for (ti, gene) in child.iter_mut().enumerate() {
+                if rng.gen_bool(params.mutation_rate) {
+                    *gene = if candidates[ti].is_empty() || rng.gen_bool(0.2) {
+                        None
+                    } else {
+                        Some(candidates[ti].choose(rng).expect("non-empty").0)
+                    };
+                }
+            }
+            repair(&mut child);
+            let f = fitness(&child);
+            next.push((child, f));
+        }
+        population = next;
+    }
+
+    let (best, _) = population
+        .into_iter()
+        .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite fitness"))
+        .expect("non-empty population");
+    let mut plan = Assignment::new();
+    for (ti, gene) in best.iter().enumerate() {
+        if let Some(wi) = *gene {
+            let d = candidates[ti]
+                .iter()
+                .find(|(c, _)| *c == wi)
+                .map_or(f64::INFINITY, |&(_, d)| d);
+            if d.is_finite() {
+                plan.try_push(AssignmentPair {
+                    task: tasks[ti].id,
+                    worker: workers[wi].id,
+                    score: inv_weight(d),
+                });
+            }
+        }
+    }
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tamp_core::routine::TimedPoint;
+    use tamp_core::{Point, TaskId, WorkerId};
+
+    fn worker(id: u64, real: &[(f64, f64)], pred: &[(f64, f64)]) -> WorkerView {
+        WorkerView {
+            id: WorkerId(id),
+            current: Point::new(real[0].0, real[0].1),
+            predicted: pred.iter().map(|&(x, y)| Point::new(x, y)).collect(),
+            real_future: real
+                .iter()
+                .enumerate()
+                .map(|(i, &(x, y))| {
+                    TimedPoint::new(Point::new(x, y), Minutes::new(i as f64 * 10.0))
+                })
+                .collect(),
+            mr: 0.5,
+            detour_limit_km: 6.0,
+            speed_km_per_min: 0.3,
+        }
+    }
+
+    fn task(id: u64, x: f64, y: f64, deadline: f64) -> SpatialTask {
+        SpatialTask::new(TaskId(id), Point::new(x, y), Minutes::ZERO, Minutes::new(deadline))
+    }
+
+    #[test]
+    fn oracle_detour_respects_detour_limit() {
+        let w = worker(1, &[(0.0, 0.0), (4.0, 0.0)], &[]);
+        // On the path: near-zero detour.
+        let near = task(1, 2.0, 0.1, 240.0);
+        let d = oracle_detour(&w, &near, Minutes::ZERO).unwrap();
+        assert!(d < 0.3);
+        // Far off the path: beyond the 6 km detour limit.
+        let far = task(2, 2.0, 8.0, 240.0);
+        assert!(oracle_detour(&w, &far, Minutes::ZERO).is_none());
+    }
+
+    #[test]
+    fn oracle_detour_respects_deadline() {
+        let w = worker(1, &[(0.0, 0.0), (4.0, 0.0)], &[]);
+        // Reachable spatially but the deadline passed long ago.
+        let t = task(1, 2.0, 0.1, 1.0);
+        assert!(oracle_detour(&w, &t, Minutes::ZERO).is_none());
+    }
+
+    #[test]
+    fn oracle_single_point_roundtrip() {
+        let w = worker(1, &[(0.0, 0.0)], &[]);
+        let t = task(1, 2.0, 0.0, 240.0);
+        let d = oracle_detour(&w, &t, Minutes::ZERO).unwrap();
+        assert!((d - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ub_assigns_on_real_trajectories() {
+        let w1 = worker(1, &[(0.0, 0.0), (4.0, 0.0)], &[]);
+        let w2 = worker(2, &[(0.0, 5.0), (4.0, 5.0)], &[]);
+        let t1 = task(1, 2.0, 0.0, 240.0);
+        let t2 = task(2, 2.0, 5.0, 240.0);
+        let plan = ub_assign(&[t1, t2], &[w1, w2], Minutes::ZERO);
+        assert_eq!(plan.worker_for(TaskId(1)), Some(WorkerId(1)));
+        assert_eq!(plan.worker_for(TaskId(2)), Some(WorkerId(2)));
+    }
+
+    #[test]
+    fn lb_uses_current_location_only() {
+        // LB filters only by deadline reachability from the current
+        // location: a task 8 km away at 0.3 km/min needs ~27 min.
+        let w = worker(1, &[(0.0, 0.0), (9.0, 0.0)], &[]);
+        let unreachable = task(1, 8.0, 0.0, 20.0);
+        let plan = lb_assign(&[unreachable], std::slice::from_ref(&w), Minutes::ZERO);
+        assert!(plan.is_empty(), "deadline-unreachable task must not be assigned");
+        // A reachable task is assigned regardless of the real path.
+        let t2 = task(2, 8.0, 0.0, 240.0);
+        let plan = lb_assign(&[t2], std::slice::from_ref(&w), Minutes::ZERO);
+        assert_eq!(plan.len(), 1);
+        // With two tasks and one worker, LB prefers the nearer task.
+        let near = task(3, 1.0, 0.0, 240.0);
+        let far = task(4, 6.0, 0.0, 240.0);
+        let plan = lb_assign(&[far, near], &[w], Minutes::ZERO);
+        assert_eq!(plan.worker_for(TaskId(3)), Some(WorkerId(1)));
+    }
+
+    #[test]
+    fn km_uses_predicted_path() {
+        let w = worker(1, &[(0.0, 0.0)], &[(3.0, 0.0), (4.0, 0.0)]);
+        let t = task(1, 3.2, 0.0, 240.0);
+        let plan = km_assign(&[t], &[w], Minutes::ZERO);
+        assert_eq!(plan.len(), 1);
+    }
+
+    #[test]
+    fn ggpso_finds_obvious_assignment() {
+        let mut rng = tamp_core::rng::rng_for(11, tamp_core::rng::streams::GENETIC);
+        let w1 = worker(1, &[(0.0, 0.0)], &[(1.0, 0.0)]);
+        let w2 = worker(2, &[(0.0, 0.0)], &[(5.0, 5.0)]);
+        let t1 = task(1, 1.1, 0.0, 240.0);
+        let t2 = task(2, 5.1, 5.0, 240.0);
+        let plan = ggpso_assign(
+            &[t1, t2],
+            &[w1, w2],
+            Minutes::ZERO,
+            &GgpsoParams::default(),
+            &mut rng,
+        );
+        assert!(plan.is_valid());
+        assert_eq!(plan.worker_for(TaskId(1)), Some(WorkerId(1)));
+        assert_eq!(plan.worker_for(TaskId(2)), Some(WorkerId(2)));
+    }
+
+    #[test]
+    fn ggpso_never_duplicates_workers() {
+        let mut rng = tamp_core::rng::rng_for(12, tamp_core::rng::streams::GENETIC);
+        let w = worker(1, &[(0.0, 0.0)], &[(1.0, 0.0)]);
+        let tasks: Vec<SpatialTask> = (0..5).map(|i| task(i, 1.0 + i as f64 * 0.01, 0.0, 240.0)).collect();
+        let plan = ggpso_assign(
+            &tasks,
+            &[w],
+            Minutes::ZERO,
+            &GgpsoParams::default(),
+            &mut rng,
+        );
+        assert!(plan.len() <= 1);
+        assert!(plan.is_valid());
+    }
+}

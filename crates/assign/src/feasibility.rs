@@ -1,0 +1,160 @@
+//! Feasibility predicates from Lemmas 1–2 and Theorem 2.
+//!
+//! For a worker `w` at a predicted point `l̂` and a task `τ`, the pair is
+//! *probabilistically feasible* when
+//!
+//! ```text
+//! dis(l̂, τ.l) + a ≤ min(d/2, dᵗ)        with dᵗ = sp·(τ.t − t_c)
+//! ```
+//!
+//! Under that premise Theorem 2 says the worker completes the task with
+//! probability `MR(r, r̂)` without violating either the detour bound `d`
+//! (Lemma 1) or the deadline (Lemma 2).
+
+use crate::view::WorkerView;
+use tamp_core::{Minutes, SpatialTask};
+
+/// Parameters of the feasibility test.
+#[derive(Debug, Clone, Copy)]
+pub struct FeasibilityParams {
+    /// The matching-rate radius `a` in kilometres (Definition 7).
+    pub a_km: f64,
+    /// Current time `t_c`.
+    pub now: Minutes,
+}
+
+/// The bound `min(d/2, dᵗ)` of Theorem 2 for a worker/task pair.
+pub fn theorem2_bound(worker: &WorkerView, task: &SpatialTask, now: Minutes) -> f64 {
+    let d_t = task.reach_radius(now, worker.speed_km_per_min);
+    (worker.detour_limit_km / 2.0).min(d_t)
+}
+
+/// The distance set `B` of Algorithm 4 (lines 4–7): the distances
+/// `dis(l̂ᵢ, τ.l)` over predicted points that satisfy the Theorem 2
+/// premise `dis(l̂ᵢ, τ.l) + a ≤ min(d/2, dᵗ)`.
+pub fn feasible_distances(
+    worker: &WorkerView,
+    task: &SpatialTask,
+    params: &FeasibilityParams,
+) -> Vec<f64> {
+    let bound = theorem2_bound(worker, task, params.now);
+    if bound <= params.a_km {
+        return Vec::new();
+    }
+    worker
+        .predicted
+        .iter()
+        .map(|p| p.dist(task.location))
+        .filter(|&d| d + params.a_km <= bound)
+        .collect()
+}
+
+/// Smallest element of a distance set, `minB` of Algorithm 4.
+pub fn min_b(b: &[f64]) -> Option<f64> {
+    b.iter().copied().min_by(|x, y| x.partial_cmp(y).expect("finite"))
+}
+
+/// The score `|B| · MR` that orders Algorithm 4's stages: the expected
+/// number of predicted points from which the worker can serve the task.
+pub fn expected_support(b_len: usize, mr: f64) -> f64 {
+    b_len as f64 * mr
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tamp_core::{Point, TaskId, WorkerId};
+
+    fn worker_at(points: &[(f64, f64)], d: f64, speed: f64) -> WorkerView {
+        WorkerView {
+            id: WorkerId(1),
+            current: Point::new(0.0, 0.0),
+            predicted: points.iter().map(|&(x, y)| Point::new(x, y)).collect(),
+            real_future: Vec::new(),
+            mr: 0.5,
+            detour_limit_km: d,
+            speed_km_per_min: speed,
+        }
+    }
+
+    fn task_at(x: f64, y: f64, deadline_min: f64) -> SpatialTask {
+        SpatialTask::new(
+            TaskId(1),
+            Point::new(x, y),
+            Minutes::ZERO,
+            Minutes::new(deadline_min),
+        )
+    }
+
+    #[test]
+    fn bound_takes_minimum_of_detour_and_deadline() {
+        let w = worker_at(&[(0.0, 0.0)], 8.0, 0.3);
+        // Far deadline: bound = d/2 = 4.
+        let t = task_at(1.0, 0.0, 1000.0);
+        assert_eq!(theorem2_bound(&w, &t, Minutes::ZERO), 4.0);
+        // Tight deadline: dᵗ = 0.3·10 = 3 < 4.
+        let t = task_at(1.0, 0.0, 10.0);
+        assert!((theorem2_bound(&w, &t, Minutes::ZERO) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn feasible_distances_filters_by_bound() {
+        let w = worker_at(&[(1.0, 0.0), (3.0, 0.0), (10.0, 0.0)], 8.0, 1.0);
+        let t = task_at(0.0, 0.0, 1000.0);
+        // bound = 4, a = 0.5 → keep distances ≤ 3.5 → points at 1 and 3.
+        let b = feasible_distances(
+            &w,
+            &t,
+            &FeasibilityParams {
+                a_km: 0.5,
+                now: Minutes::ZERO,
+            },
+        );
+        assert_eq!(b.len(), 2);
+        assert_eq!(min_b(&b), Some(1.0));
+    }
+
+    #[test]
+    fn expired_task_has_no_feasible_points() {
+        let w = worker_at(&[(0.1, 0.0)], 8.0, 0.3);
+        let t = task_at(0.0, 0.0, 5.0);
+        let b = feasible_distances(
+            &w,
+            &t,
+            &FeasibilityParams {
+                a_km: 0.5,
+                now: Minutes::new(10.0),
+            },
+        );
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn bound_not_exceeding_a_yields_empty() {
+        let w = worker_at(&[(0.0, 0.0)], 1.0, 1.0);
+        let t = task_at(0.0, 0.0, 1000.0);
+        // bound = 0.5, a = 0.5 → premise needs dis + 0.5 ≤ 0.5, only dis ≤ 0
+        // — rejected outright by the early return.
+        let b = feasible_distances(
+            &w,
+            &t,
+            &FeasibilityParams {
+                a_km: 0.5,
+                now: Minutes::ZERO,
+            },
+        );
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn expected_support_scales() {
+        assert_eq!(expected_support(5, 0.4), 2.0);
+        assert_eq!(expected_support(0, 0.9), 0.0);
+    }
+
+    #[test]
+    fn min_b_of_empty_is_none() {
+        assert_eq!(min_b(&[]), None);
+        assert_eq!(min_b(&[2.0, 1.0, 3.0]), Some(1.0));
+    }
+}

@@ -1,0 +1,401 @@
+//! Maximum-weight bipartite matching — the "KM algorithm" of the paper
+//! (Kuhn \[35\], Munkres \[36\]).
+//!
+//! Implemented as the O(n³) shortest-augmenting-path Hungarian method on
+//! the min-cost formulation with dual potentials. The public entry point
+//! [`max_weight_matching`] accepts a sparse edge list over a rectangular
+//! bipartite graph and returns a matching that
+//!
+//! 1. has maximum cardinality over the *allowed* edges, and
+//! 2. among those, maximum total weight,
+//!
+//! which is exactly the behaviour the paper's assignment stages need
+//! (assign as many tasks as possible, preferring small detours via
+//! `1/minB`-style weights).
+
+/// A weighted edge `left → right` of the bipartite graph. Higher weight is
+/// preferred.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WeightedEdge {
+    /// Index on the left side (tasks, in the paper's usage).
+    pub left: usize,
+    /// Index on the right side (workers).
+    pub right: usize,
+    /// Preference weight; must be finite.
+    pub weight: f64,
+}
+
+impl WeightedEdge {
+    /// Convenience constructor.
+    pub fn new(left: usize, right: usize, weight: f64) -> Self {
+        Self {
+            left,
+            right,
+            weight,
+        }
+    }
+}
+
+/// Sentinel cost for a forbidden pairing. Any finite edge weight used by
+/// callers must be ≪ than this; `debug_assert`ed in the solver.
+const FORBIDDEN: f64 = 1.0e9;
+
+/// Solves the min-cost perfect assignment on an `n × m` cost matrix with
+/// `n ≤ m` using the potentials/shortest-augmenting-path Hungarian method.
+/// Returns `row_of_col[j]` (`usize::MAX` for unmatched columns).
+fn solve_min_cost(n: usize, m: usize, cost: &[f64]) -> Vec<usize> {
+    debug_assert!(n <= m);
+    // 1-indexed arrays, following the classic formulation.
+    let inf = f64::INFINITY;
+    let mut u = vec![0.0; n + 1];
+    let mut v = vec![0.0; m + 1];
+    let mut p = vec![0usize; m + 1]; // row matched to column j
+    let mut way = vec![0usize; m + 1];
+
+    for i in 1..=n {
+        p[0] = i;
+        let mut j0 = 0usize;
+        let mut minv = vec![inf; m + 1];
+        let mut used = vec![false; m + 1];
+        loop {
+            used[j0] = true;
+            let i0 = p[j0];
+            let mut delta = inf;
+            let mut j1 = 0usize;
+            for j in 1..=m {
+                if !used[j] {
+                    let cur = cost[(i0 - 1) * m + (j - 1)] - u[i0] - v[j];
+                    if cur < minv[j] {
+                        minv[j] = cur;
+                        way[j] = j0;
+                    }
+                    if minv[j] < delta {
+                        delta = minv[j];
+                        j1 = j;
+                    }
+                }
+            }
+            for j in 0..=m {
+                if used[j] {
+                    u[p[j]] += delta;
+                    v[j] -= delta;
+                } else {
+                    minv[j] -= delta;
+                }
+            }
+            j0 = j1;
+            if p[j0] == 0 {
+                break;
+            }
+        }
+        loop {
+            let j1 = way[j0];
+            p[j0] = p[j1];
+            j0 = j1;
+            if j0 == 0 {
+                break;
+            }
+        }
+    }
+
+    let mut row_of_col = vec![usize::MAX; m];
+    for j in 1..=m {
+        if p[j] != 0 {
+            row_of_col[j - 1] = p[j] - 1;
+        }
+    }
+    row_of_col
+}
+
+/// Maximum-cardinality, maximum-weight matching over a sparse edge list.
+///
+/// `n_left` and `n_right` bound the vertex indices; absent edges are
+/// forbidden. Returns `(left, right)` pairs of the matching (unordered).
+///
+/// # Examples
+///
+/// ```
+/// use tamp_assign::hungarian::{max_weight_matching, WeightedEdge};
+///
+/// // Two tasks, two workers; the anti-diagonal pairing is heavier.
+/// let edges = [
+///     WeightedEdge::new(0, 0, 1.0),
+///     WeightedEdge::new(0, 1, 5.0),
+///     WeightedEdge::new(1, 0, 5.0),
+///     WeightedEdge::new(1, 1, 1.0),
+/// ];
+/// let mut m = max_weight_matching(2, 2, &edges);
+/// m.sort();
+/// assert_eq!(m, vec![(0, 1), (1, 0)]);
+/// ```
+///
+/// # Panics
+///
+/// Panics if an edge index is out of range or a weight is not finite.
+pub fn max_weight_matching(
+    n_left: usize,
+    n_right: usize,
+    edges: &[WeightedEdge],
+) -> Vec<(usize, usize)> {
+    if n_left == 0 || n_right == 0 || edges.is_empty() {
+        return Vec::new();
+    }
+    for e in edges {
+        assert!(e.left < n_left, "edge.left out of range");
+        assert!(e.right < n_right, "edge.right out of range");
+        assert!(e.weight.is_finite(), "edge weight must be finite");
+        debug_assert!(
+            e.weight.abs() < FORBIDDEN / 1e3,
+            "edge weight too large vs FORBIDDEN sentinel"
+        );
+    }
+
+    // Only vertices that actually carry edges need to participate — this
+    // keeps the dense matrix small when the graph is sparse.
+    let mut left_ids: Vec<usize> = edges.iter().map(|e| e.left).collect();
+    left_ids.sort_unstable();
+    left_ids.dedup();
+    let mut right_ids: Vec<usize> = edges.iter().map(|e| e.right).collect();
+    right_ids.sort_unstable();
+    right_ids.dedup();
+
+    let ln = left_ids.len();
+    let rn = right_ids.len();
+    let left_pos = |v: usize| left_ids.binary_search(&v).expect("left id present");
+    let right_pos = |v: usize| right_ids.binary_search(&v).expect("right id present");
+
+    // Orient so rows ≤ cols.
+    let transpose = ln > rn;
+    let (n, m) = if transpose { (rn, ln) } else { (ln, rn) };
+
+    // Min-cost formulation: cost = −weight, forbidden pairs cost FORBIDDEN.
+    // Because FORBIDDEN dwarfs any weight, the solver first minimises the
+    // number of forbidden pairs used (maximising real cardinality), then
+    // maximises total weight.
+    let mut cost = vec![FORBIDDEN; n * m];
+    for e in edges {
+        let (r, c) = if transpose {
+            (right_pos(e.right), left_pos(e.left))
+        } else {
+            (left_pos(e.left), right_pos(e.right))
+        };
+        let cell = &mut cost[r * m + c];
+        // Parallel edges: keep the best (max weight = min cost).
+        *cell = cell.min(-e.weight);
+    }
+
+    let row_of_col = solve_min_cost(n, m, &cost);
+    let mut result = Vec::new();
+    for (c, &r) in row_of_col.iter().enumerate() {
+        if r == usize::MAX {
+            continue;
+        }
+        if cost[r * m + c] >= FORBIDDEN / 2.0 {
+            continue; // matched through a forbidden cell — drop it
+        }
+        let (l, rr) = if transpose {
+            (left_ids[c], right_ids[r])
+        } else {
+            (left_ids[r], right_ids[c])
+        };
+        result.push((l, rr));
+    }
+    result
+}
+
+/// Total weight of a matching under an edge list (useful for tests and
+/// diagnostics). Pairs without a corresponding edge contribute the best
+/// available parallel edge; panics if a pair has no edge at all.
+pub fn matching_weight(edges: &[WeightedEdge], matching: &[(usize, usize)]) -> f64 {
+    matching
+        .iter()
+        .map(|&(l, r)| {
+            edges
+                .iter()
+                .filter(|e| e.left == l && e.right == r)
+                .map(|e| e.weight)
+                .fold(f64::NEG_INFINITY, f64::max)
+        })
+        .inspect(|w| assert!(w.is_finite(), "matched pair without an edge"))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_valid(matching: &[(usize, usize)]) {
+        let mut lefts = std::collections::HashSet::new();
+        let mut rights = std::collections::HashSet::new();
+        for &(l, r) in matching {
+            assert!(lefts.insert(l), "left {l} matched twice");
+            assert!(rights.insert(r), "right {r} matched twice");
+        }
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(max_weight_matching(0, 5, &[]).is_empty());
+        assert!(max_weight_matching(5, 0, &[]).is_empty());
+        assert!(max_weight_matching(3, 3, &[]).is_empty());
+    }
+
+    #[test]
+    fn single_edge() {
+        let m = max_weight_matching(2, 2, &[WeightedEdge::new(1, 0, 3.0)]);
+        assert_eq!(m, vec![(1, 0)]);
+    }
+
+    #[test]
+    fn picks_heavier_perfect_matching() {
+        // 2×2 complete: diag = 1+1, anti-diag = 5+5.
+        let edges = [
+            WeightedEdge::new(0, 0, 1.0),
+            WeightedEdge::new(1, 1, 1.0),
+            WeightedEdge::new(0, 1, 5.0),
+            WeightedEdge::new(1, 0, 5.0),
+        ];
+        let m = max_weight_matching(2, 2, &edges);
+        assert_valid(&m);
+        assert_eq!(m.len(), 2);
+        assert_eq!(matching_weight(&edges, &m), 10.0);
+    }
+
+    #[test]
+    fn prefers_cardinality_over_weight() {
+        // A greedy weight-first match (0–0 at 100) blocks the second pair;
+        // the solver must pick the two-pair matching even though its total
+        // weight per-edge is smaller... but here total 100 < 2? No:
+        // cardinality dominates because unmatched = forbidden cost. The
+        // only way to match both lefts is (0,1) and (1,0).
+        let edges = [
+            WeightedEdge::new(0, 0, 100.0),
+            WeightedEdge::new(0, 1, 1.0),
+            WeightedEdge::new(1, 0, 1.0),
+        ];
+        let m = max_weight_matching(2, 2, &edges);
+        assert_valid(&m);
+        assert_eq!(m.len(), 2, "both lefts must be matched: {m:?}");
+        assert_eq!(matching_weight(&edges, &m), 2.0);
+    }
+
+    #[test]
+    fn rectangular_more_workers() {
+        let edges = [
+            WeightedEdge::new(0, 0, 1.0),
+            WeightedEdge::new(0, 1, 2.0),
+            WeightedEdge::new(0, 2, 3.0),
+        ];
+        let m = max_weight_matching(1, 3, &edges);
+        assert_eq!(m, vec![(0, 2)]);
+    }
+
+    #[test]
+    fn rectangular_more_tasks() {
+        let edges = [
+            WeightedEdge::new(0, 0, 1.0),
+            WeightedEdge::new(1, 0, 2.0),
+            WeightedEdge::new(2, 0, 3.0),
+        ];
+        let m = max_weight_matching(3, 1, &edges);
+        assert_eq!(m, vec![(2, 0)]);
+    }
+
+    #[test]
+    fn forbidden_edges_never_matched() {
+        // Only (0,0) and (1,1) exist; the solver cannot invent (0,1).
+        let edges = [
+            WeightedEdge::new(0, 0, 1.0),
+            WeightedEdge::new(1, 1, 1.0),
+        ];
+        let m = max_weight_matching(2, 2, &edges);
+        assert_valid(&m);
+        let set: std::collections::HashSet<_> = m.into_iter().collect();
+        assert!(set.contains(&(0, 0)));
+        assert!(set.contains(&(1, 1)));
+        assert!(!set.contains(&(0, 1)));
+        assert!(!set.contains(&(1, 0)));
+    }
+
+    #[test]
+    fn parallel_edges_keep_best() {
+        let edges = [
+            WeightedEdge::new(0, 0, 1.0),
+            WeightedEdge::new(0, 0, 7.0),
+        ];
+        let m = max_weight_matching(1, 1, &edges);
+        assert_eq!(m, vec![(0, 0)]);
+        assert_eq!(matching_weight(&edges, &m), 7.0);
+    }
+
+    #[test]
+    fn sparse_indices_far_apart() {
+        // Vertex ids near the bounds; the dense matrix must stay small.
+        let edges = [
+            WeightedEdge::new(999, 0, 2.0),
+            WeightedEdge::new(0, 999, 3.0),
+        ];
+        let m = max_weight_matching(1000, 1000, &edges);
+        assert_valid(&m);
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn matches_brute_force_on_small_instances() {
+        use rand::Rng;
+        let mut rng = tamp_core::rng::rng_for(99, 0);
+        for trial in 0..200 {
+            let n = rng.gen_range(1..=4usize);
+            let m = rng.gen_range(1..=4usize);
+            let mut edges = Vec::new();
+            for l in 0..n {
+                for r in 0..m {
+                    if rng.gen_bool(0.7) {
+                        edges.push(WeightedEdge::new(l, r, rng.gen_range(0.1..10.0)));
+                    }
+                }
+            }
+            let got = max_weight_matching(n, m, &edges);
+            let got_card = got.len();
+            let got_w = if got.is_empty() {
+                0.0
+            } else {
+                matching_weight(&edges, &got)
+            };
+
+            // Brute force: enumerate all matchings by recursion.
+            fn best(
+                edges: &[WeightedEdge],
+                idx: usize,
+                used_l: &mut Vec<bool>,
+                used_r: &mut Vec<bool>,
+            ) -> (usize, f64) {
+                if idx == edges.len() {
+                    return (0, 0.0);
+                }
+                // Skip edge idx.
+                let mut acc = best(edges, idx + 1, used_l, used_r);
+                let e = edges[idx];
+                if !used_l[e.left] && !used_r[e.right] {
+                    used_l[e.left] = true;
+                    used_r[e.right] = true;
+                    let (c, w) = best(edges, idx + 1, used_l, used_r);
+                    used_l[e.left] = false;
+                    used_r[e.right] = false;
+                    let cand = (c + 1, w + e.weight);
+                    // Cardinality first, then weight.
+                    if cand.0 > acc.0 || (cand.0 == acc.0 && cand.1 > acc.1) {
+                        acc = cand;
+                    }
+                }
+                acc
+            }
+            let (bc, bw) = best(&edges, 0, &mut vec![false; n], &mut vec![false; m]);
+            assert_eq!(got_card, bc, "trial {trial}: cardinality mismatch");
+            assert!(
+                (got_w - bw).abs() < 1e-6,
+                "trial {trial}: weight {got_w} vs brute {bw}"
+            );
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! # tamp-assign
+//!
+//! Task-assignment algorithms for TAMP (Section III-D of the paper).
+//!
+//! * [`hungarian`] — the KM algorithm \[35, 36\]: maximum-weight bipartite
+//!   matching via the O(n³) potentials method, with support for forbidden
+//!   edges and rectangular instances. Every assignment algorithm in the
+//!   paper bottoms out in this solver.
+//! * [`mod@matching_rate`] — the matching-rate metric `MR(r, r̂)`
+//!   (Definition 7), the bridge between prediction quality and completion
+//!   probability (Theorem 2).
+//! * [`feasibility`] — the geometric feasibility predicates of
+//!   Lemmas 1–2 / Theorem 2: `dis(l̂, τ.l) + a ≤ min(d/2, dᵗ)`.
+//! * [`ppi`] — the three-stage Prediction-Performance-Involved assignment
+//!   algorithm (Algorithm 4).
+//! * [`baselines`] — UB (real-trajectory oracle), LB (current-location
+//!   only), KM (predicted trajectory, single matching), and GGPSO (the
+//!   genetic baseline of \[11\]).
+//! * [`spatial`] — a uniform-grid bucket index that prefilters candidate
+//!   pairs at large scale without changing any algorithm's output.
+//!
+//! All algorithms consume [`WorkerView`]s — the per-worker information the
+//! platform holds at assignment time (current location, predicted routine,
+//! matching rate) plus, for the oracle, the hidden real routine.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baselines;
+pub mod feasibility;
+pub mod hungarian;
+pub mod matching_rate;
+pub mod ppi;
+pub mod spatial;
+pub mod view;
+
+pub use feasibility::FeasibilityParams;
+pub use hungarian::{max_weight_matching, WeightedEdge};
+pub use matching_rate::matching_rate;
+pub use ppi::{ppi_assign, PpiParams};
+pub use view::WorkerView;

@@ -1,0 +1,90 @@
+//! The matching-rate metric (Definition 7).
+//!
+//! `MR(r, r̂) = (1/|r|) Σ match(lᵢ, l̂ᵢ)` with `match = 1` iff
+//! `dis(lᵢ, l̂ᵢ) ≤ a`. Theorem 2 upgrades this from a prediction metric to
+//! the probability that a worker completes a feasible task without
+//! violating the detour and deadline constraints, which is what the PPI
+//! algorithm consumes.
+
+use tamp_core::Point;
+
+/// Computes `MR(r, r̂)` for aligned location sequences.
+///
+/// The sequences are compared position-wise; if their lengths differ, the
+/// comparison runs over the common prefix (the paper evaluates aligned
+/// fixed-length windows, so lengths normally agree). Returns 0 for empty
+/// input.
+///
+/// # Examples
+///
+/// ```
+/// use tamp_core::Point;
+/// use tamp_assign::matching_rate::matching_rate;
+///
+/// let real = [Point::new(0.0, 0.0), Point::new(1.0, 0.0)];
+/// let pred = [Point::new(0.1, 0.0), Point::new(3.0, 0.0)];
+/// // First point within 0.2 km, second not → MR = 0.5.
+/// assert_eq!(matching_rate(&real, &pred, 0.2), 0.5);
+/// ```
+pub fn matching_rate(real: &[Point], predicted: &[Point], a_km: f64) -> f64 {
+    let n = real.len().min(predicted.len());
+    if n == 0 {
+        return 0.0;
+    }
+    let matched = real
+        .iter()
+        .zip(predicted)
+        .take(n)
+        .filter(|(l, lh)| l.dist(**lh) <= a_km)
+        .count();
+    matched as f64 / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pts(coords: &[(f64, f64)]) -> Vec<Point> {
+        coords.iter().map(|&(x, y)| Point::new(x, y)).collect()
+    }
+
+    #[test]
+    fn perfect_prediction_scores_one() {
+        let r = pts(&[(0.0, 0.0), (1.0, 1.0), (2.0, 2.0)]);
+        assert_eq!(matching_rate(&r, &r, 0.0), 1.0);
+    }
+
+    #[test]
+    fn totally_wrong_scores_zero() {
+        let r = pts(&[(0.0, 0.0), (1.0, 0.0)]);
+        let p = pts(&[(10.0, 10.0), (20.0, 20.0)]);
+        assert_eq!(matching_rate(&r, &p, 0.5), 0.0);
+    }
+
+    #[test]
+    fn partial_match() {
+        let r = pts(&[(0.0, 0.0), (1.0, 0.0), (2.0, 0.0), (3.0, 0.0)]);
+        let p = pts(&[(0.1, 0.0), (5.0, 0.0), (2.05, 0.0), (9.0, 9.0)]);
+        assert_eq!(matching_rate(&r, &p, 0.2), 0.5);
+    }
+
+    #[test]
+    fn boundary_is_inclusive() {
+        let r = pts(&[(0.0, 0.0)]);
+        let p = pts(&[(0.3, 0.0)]);
+        assert_eq!(matching_rate(&r, &p, 0.3), 1.0);
+        assert_eq!(matching_rate(&r, &p, 0.29), 0.0);
+    }
+
+    #[test]
+    fn length_mismatch_uses_common_prefix() {
+        let r = pts(&[(0.0, 0.0), (1.0, 0.0), (2.0, 0.0)]);
+        let p = pts(&[(0.0, 0.0)]);
+        assert_eq!(matching_rate(&r, &p, 0.1), 1.0);
+    }
+
+    #[test]
+    fn empty_is_zero() {
+        assert_eq!(matching_rate(&[], &[], 1.0), 0.0);
+    }
+}

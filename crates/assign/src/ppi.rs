@@ -1,0 +1,314 @@
+//! The Prediction-Performance-Involved task assignment algorithm
+//! (Algorithm 4).
+//!
+//! PPI decomposes a batch's assignment into three stages ordered by the
+//! confidence that the worker will actually complete the task:
+//!
+//! 1. **High confidence** — pairs with `|B|·MR ≥ 1`, i.e. the expected
+//!    number of predicted trajectory points from which the worker can
+//!    serve the task is at least one. Matched first by the KM algorithm
+//!    with weight `1/minB`.
+//! 2. **Ranked residual** — remaining pairs in descending `|B|·MR` order,
+//!    matched in mini-batches of `ε` pairs, each closed with a KM call.
+//! 3. **Best effort** — still-unassigned tasks and workers paired purely
+//!    on predicted proximity under the detour/deadline bound.
+//!
+//! The staging deliberately trades global matching optimality for a lower
+//! rejection rate: pairs the model is confident about are locked in before
+//! speculative ones can displace them (see the paper's Discussion of
+//! Algorithm 4).
+
+use crate::feasibility::{expected_support, feasible_distances, min_b, theorem2_bound, FeasibilityParams};
+use crate::hungarian::{max_weight_matching, WeightedEdge};
+use crate::view::{ExcludedPairs, WorkerView};
+use tamp_core::assignment::{Assignment, AssignmentPair};
+use tamp_core::geometry::min_dist_to_path;
+use tamp_core::{Minutes, SpatialTask};
+
+/// Softening constant for `1/minB` weights so a zero distance doesn't
+/// produce an infinite weight.
+const WEIGHT_EPS: f64 = 0.05;
+
+/// Parameters of [`ppi_assign`].
+#[derive(Debug, Clone, Copy)]
+pub struct PpiParams {
+    /// Matching-rate radius `a` (km) used in the Theorem 2 premise.
+    pub a_km: f64,
+    /// Stage-2 mini-batch size `ε ∈ ℕ₊`.
+    pub epsilon: usize,
+    /// Current time `t_c`.
+    pub now: Minutes,
+}
+
+impl Default for PpiParams {
+    fn default() -> Self {
+        Self {
+            a_km: 0.4,
+            epsilon: 8,
+            now: Minutes::ZERO,
+        }
+    }
+}
+
+/// Inverse-distance preference weight.
+#[inline]
+fn inv_weight(dist: f64) -> f64 {
+    1.0 / (dist + WEIGHT_EPS)
+}
+
+/// Runs Algorithm 4 on one batch with no excluded pairs.
+pub fn ppi_assign(tasks: &[SpatialTask], workers: &[WorkerView], params: &PpiParams) -> Assignment {
+    ppi_assign_excluding(tasks, workers, params, &ExcludedPairs::new())
+}
+
+/// Runs Algorithm 4 on one batch.
+///
+/// `tasks` and `workers` index the bipartite graph positionally; the
+/// returned [`Assignment`] references their ids. Pairs in `excluded`
+/// (previously rejected by the worker) are never proposed.
+pub fn ppi_assign_excluding(
+    tasks: &[SpatialTask],
+    workers: &[WorkerView],
+    params: &PpiParams,
+    excluded: &ExcludedPairs,
+) -> Assignment {
+    let mut plan = Assignment::new();
+    if tasks.is_empty() || workers.is_empty() {
+        return plan;
+    }
+    assert!(params.epsilon > 0, "ε must be positive");
+    let fparams = FeasibilityParams {
+        a_km: params.a_km,
+        now: params.now,
+    };
+
+    // ---- Stage 1: score every pair (Algorithm 4, lines 1–11) ----
+    let mut confident = Vec::new();
+    let mut deferred: Vec<(f64, f64, usize, usize)> = Vec::new(); // (support, minB, task, worker)
+    for (ti, task) in tasks.iter().enumerate() {
+        for (wi, worker) in workers.iter().enumerate() {
+            if excluded.contains(&(task.id, worker.id)) {
+                continue;
+            }
+            let b = feasible_distances(worker, task, &fparams);
+            if b.is_empty() {
+                continue;
+            }
+            let support = expected_support(b.len(), worker.mr);
+            let mb = min_b(&b).expect("non-empty B");
+            if support >= 1.0 {
+                confident.push(WeightedEdge::new(ti, wi, inv_weight(mb)));
+            } else {
+                deferred.push((support, mb, ti, wi));
+            }
+        }
+    }
+    let matched = max_weight_matching(tasks.len(), workers.len(), &confident);
+    push_pairs(&mut plan, tasks, workers, &matched, &confident);
+
+    // ---- Stage 2: ranked residual in ε mini-batches (lines 13–27) ----
+    deferred.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite support"));
+    let mut pending: Vec<WeightedEdge> = Vec::new();
+    let mut assigned_tasks = plan.assigned_tasks();
+    let mut assigned_workers = plan.assigned_workers();
+    let flush = |pending: &mut Vec<WeightedEdge>,
+                     plan: &mut Assignment,
+                     assigned_tasks: &mut std::collections::HashSet<tamp_core::TaskId>,
+                     assigned_workers: &mut std::collections::HashSet<tamp_core::WorkerId>| {
+        if pending.is_empty() {
+            return;
+        }
+        let m = max_weight_matching(tasks.len(), workers.len(), pending);
+        for &(ti, wi) in &m {
+            let pair = AssignmentPair {
+                task: tasks[ti].id,
+                worker: workers[wi].id,
+                score: edge_weight(pending, ti, wi),
+            };
+            if plan.try_push(pair) {
+                assigned_tasks.insert(pair.task);
+                assigned_workers.insert(pair.worker);
+            }
+        }
+        pending.clear();
+    };
+    for &(_support, mb, ti, wi) in &deferred {
+        if assigned_tasks.contains(&tasks[ti].id) || assigned_workers.contains(&workers[wi].id) {
+            continue; // element removed from 𝓑 by an earlier KM round
+        }
+        pending.push(WeightedEdge::new(ti, wi, inv_weight(mb)));
+        if pending.len() == params.epsilon {
+            flush(
+                &mut pending,
+                &mut plan,
+                &mut assigned_tasks,
+                &mut assigned_workers,
+            );
+        }
+    }
+    flush(
+        &mut pending,
+        &mut plan,
+        &mut assigned_tasks,
+        &mut assigned_workers,
+    );
+
+    // ---- Stage 3: best-effort on predicted proximity (lines 28–34) ----
+    let mut stage3 = Vec::new();
+    for (ti, task) in tasks.iter().enumerate() {
+        if assigned_tasks.contains(&task.id) {
+            continue;
+        }
+        for (wi, worker) in workers.iter().enumerate() {
+            if assigned_workers.contains(&worker.id) || excluded.contains(&(task.id, worker.id)) {
+                continue;
+            }
+            if let Some(dmin) = min_dist_to_path(&worker.predicted, task.location) {
+                if dmin <= theorem2_bound(worker, task, params.now) {
+                    stage3.push(WeightedEdge::new(ti, wi, inv_weight(dmin)));
+                }
+            }
+        }
+    }
+    let matched = max_weight_matching(tasks.len(), workers.len(), &stage3);
+    push_pairs(&mut plan, tasks, workers, &matched, &stage3);
+
+    plan
+}
+
+fn edge_weight(edges: &[WeightedEdge], l: usize, r: usize) -> f64 {
+    edges
+        .iter()
+        .find(|e| e.left == l && e.right == r)
+        .map_or(0.0, |e| e.weight)
+}
+
+fn push_pairs(
+    plan: &mut Assignment,
+    tasks: &[SpatialTask],
+    workers: &[WorkerView],
+    matched: &[(usize, usize)],
+    edges: &[WeightedEdge],
+) {
+    for &(ti, wi) in matched {
+        let pair = AssignmentPair {
+            task: tasks[ti].id,
+            worker: workers[wi].id,
+            score: edge_weight(edges, ti, wi),
+        };
+        plan.try_push(pair);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tamp_core::{Point, TaskId, WorkerId};
+
+    fn worker(id: u64, pred: &[(f64, f64)], mr: f64) -> WorkerView {
+        WorkerView {
+            id: WorkerId(id),
+            current: Point::new(pred[0].0, pred[0].1),
+            predicted: pred.iter().map(|&(x, y)| Point::new(x, y)).collect(),
+            real_future: Vec::new(),
+            mr,
+            detour_limit_km: 6.0,
+            speed_km_per_min: 0.3,
+        }
+    }
+
+    fn task(id: u64, x: f64, y: f64) -> SpatialTask {
+        SpatialTask::new(
+            TaskId(id),
+            Point::new(x, y),
+            Minutes::ZERO,
+            Minutes::new(240.0),
+        )
+    }
+
+    fn params() -> PpiParams {
+        PpiParams {
+            a_km: 0.4,
+            epsilon: 2,
+            now: Minutes::ZERO,
+        }
+    }
+
+    #[test]
+    fn empty_inputs_give_empty_plan() {
+        assert!(ppi_assign(&[], &[], &params()).is_empty());
+        assert!(ppi_assign(&[task(1, 0.0, 0.0)], &[], &params()).is_empty());
+    }
+
+    #[test]
+    fn plan_is_valid_and_confident_worker_keeps_near_task() {
+        // Worker 1 passes directly by task 1 many times (high support);
+        // worker 2 is a weak candidate for both tasks.
+        let w1 = worker(1, &[(1.0, 1.0), (1.1, 1.0), (1.2, 1.0), (1.3, 1.0)], 0.9);
+        let w2 = worker(2, &[(5.0, 5.0)], 0.2);
+        let t1 = task(1, 1.1, 1.05);
+        let t2 = task(2, 5.5, 5.0);
+        let plan = ppi_assign(&[t1, t2], &[w1, w2], &params());
+        assert!(plan.is_valid());
+        assert_eq!(plan.worker_for(TaskId(1)), Some(WorkerId(1)));
+        assert_eq!(plan.worker_for(TaskId(2)), Some(WorkerId(2)));
+    }
+
+    #[test]
+    fn stage3_catches_pairs_without_mr_support() {
+        // MR = 0 keeps every pair out of stages 1–2; stage 3 must still
+        // assign by predicted proximity.
+        let w = worker(1, &[(2.0, 2.0)], 0.0);
+        let t = task(1, 2.2, 2.0);
+        let plan = ppi_assign(&[t], &[w], &params());
+        assert_eq!(plan.len(), 1);
+    }
+
+    #[test]
+    fn infeasible_pairs_stay_unassigned() {
+        // Task far outside the worker's detour bound.
+        let w = worker(1, &[(0.0, 0.0)], 0.9);
+        let t = task(1, 15.0, 9.0);
+        let plan = ppi_assign(&[t], &[w], &params());
+        assert!(plan.is_empty());
+    }
+
+    #[test]
+    fn one_worker_cannot_take_two_tasks() {
+        let w = worker(1, &[(1.0, 1.0), (1.1, 1.0)], 0.9);
+        let t1 = task(1, 1.0, 1.0);
+        let t2 = task(2, 1.1, 1.0);
+        let plan = ppi_assign(&[t1, t2], &[w], &params());
+        assert_eq!(plan.len(), 1);
+        assert!(plan.is_valid());
+    }
+
+    #[test]
+    fn prioritises_high_confidence_pair_for_contested_worker() {
+        // Both tasks want worker 1 (the only nearby one). Task 1 enjoys
+        // stage-1 confidence (many close predicted points); task 2 only
+        // qualifies via stage 3. Worker 1 must go to task 1, and worker 2
+        // (far but within bounds for task 2? no) — task 2 stays unassigned.
+        let w1 = worker(1, &[(1.0, 1.0), (1.05, 1.0), (1.1, 1.0)], 0.8);
+        let t1 = task(1, 1.05, 1.0);
+        let t2 = task(2, 2.5, 1.0); // within stage-3 bound of w1 only
+        let plan = ppi_assign(&[t1, t2], &[w1], &params());
+        assert_eq!(plan.worker_for(TaskId(1)), Some(WorkerId(1)));
+        assert_eq!(plan.worker_for(TaskId(2)), None);
+    }
+
+    #[test]
+    fn epsilon_one_still_assigns_everything_feasible() {
+        let mut p = params();
+        p.epsilon = 1;
+        // Three medium-confidence pairs (support < 1).
+        let workers: Vec<WorkerView> = (0..3)
+            .map(|i| worker(i, &[(i as f64 * 2.0, 0.0), (i as f64 * 2.0 + 0.1, 0.0)], 0.3))
+            .collect();
+        let tasks: Vec<SpatialTask> =
+            (0..3).map(|i| task(i, i as f64 * 2.0 + 0.2, 0.0)).collect();
+        let plan = ppi_assign(&tasks, &workers, &p);
+        assert_eq!(plan.len(), 3);
+        assert!(plan.is_valid());
+    }
+}

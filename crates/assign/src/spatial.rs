@@ -1,0 +1,190 @@
+//! Spatial prefiltering for large batches.
+//!
+//! Every assignment algorithm enumerates task × worker pairs; at paper
+//! scale (442 workers, thousands of live tasks) that is millions of
+//! feasibility probes per 2-minute batch. [`BucketIndex`] hashes each
+//! worker's current location and predicted points into a uniform grid so
+//! a task only probes workers with *some* point within a conservative
+//! radius — the exact feasibility predicates still run afterwards, so
+//! results are identical to full enumeration (property-tested).
+
+use crate::view::WorkerView;
+use std::collections::HashSet;
+use tamp_core::Point;
+
+/// A uniform-grid index over worker positions (current + predicted).
+#[derive(Debug, Clone)]
+pub struct BucketIndex {
+    cell_km: f64,
+    cols: usize,
+    rows: usize,
+    origin: Point,
+    /// Worker indices per bucket (deduplicated).
+    buckets: Vec<Vec<u32>>,
+}
+
+impl BucketIndex {
+    /// Builds the index over `workers`, covering the bounding box of all
+    /// their points. `cell_km` trades memory for probe precision; the
+    /// batch engine uses the worker detour scale (≈ d/2).
+    pub fn build(workers: &[WorkerView], cell_km: f64) -> Self {
+        assert!(cell_km > 0.0, "cell size must be positive");
+        let mut min = Point::new(f64::INFINITY, f64::INFINITY);
+        let mut max = Point::new(f64::NEG_INFINITY, f64::NEG_INFINITY);
+        let mut any = false;
+        for w in workers {
+            for p in std::iter::once(&w.current).chain(&w.predicted) {
+                min.x = min.x.min(p.x);
+                min.y = min.y.min(p.y);
+                max.x = max.x.max(p.x);
+                max.y = max.y.max(p.y);
+                any = true;
+            }
+        }
+        if !any {
+            return Self {
+                cell_km,
+                cols: 1,
+                rows: 1,
+                origin: Point::new(0.0, 0.0),
+                buckets: vec![Vec::new()],
+            };
+        }
+        let cols = (((max.x - min.x) / cell_km).floor() as usize + 1).max(1);
+        let rows = (((max.y - min.y) / cell_km).floor() as usize + 1).max(1);
+        let mut buckets = vec![Vec::new(); cols * rows];
+        for (wi, w) in workers.iter().enumerate() {
+            let mut seen = HashSet::new();
+            for p in std::iter::once(&w.current).chain(&w.predicted) {
+                let ix = (((p.x - min.x) / cell_km) as usize).min(cols - 1);
+                let iy = (((p.y - min.y) / cell_km) as usize).min(rows - 1);
+                if seen.insert((ix, iy)) {
+                    buckets[iy * cols + ix].push(wi as u32);
+                }
+            }
+        }
+        Self {
+            cell_km,
+            cols,
+            rows,
+            origin: min,
+            buckets,
+        }
+    }
+
+    /// Worker indices with at least one indexed point within `radius_km`
+    /// of `p` — conservatively (by bucket overlap), i.e. a superset of
+    /// the exact answer and never a false negative. Sorted, deduplicated.
+    pub fn candidates_within(&self, p: Point, radius_km: f64) -> Vec<usize> {
+        if radius_km < 0.0 {
+            return Vec::new();
+        }
+        let lo_x = ((p.x - radius_km - self.origin.x) / self.cell_km).floor();
+        let hi_x = ((p.x + radius_km - self.origin.x) / self.cell_km).floor();
+        let lo_y = ((p.y - radius_km - self.origin.y) / self.cell_km).floor();
+        let hi_y = ((p.y + radius_km - self.origin.y) / self.cell_km).floor();
+        let lo_x = lo_x.max(0.0) as usize;
+        let lo_y = lo_y.max(0.0) as usize;
+        let hi_x = (hi_x.max(0.0) as usize).min(self.cols - 1);
+        let hi_y = (hi_y.max(0.0) as usize).min(self.rows - 1);
+        let mut out = Vec::new();
+        for iy in lo_y..=hi_y {
+            for ix in lo_x..=hi_x {
+                out.extend(self.buckets[iy * self.cols + ix].iter().map(|&w| w as usize));
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Number of buckets (diagnostics).
+    pub fn n_buckets(&self) -> usize {
+        self.buckets.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tamp_core::{WorkerId};
+
+    fn worker_at(id: u64, pts: &[(f64, f64)]) -> WorkerView {
+        WorkerView {
+            id: WorkerId(id),
+            current: Point::new(pts[0].0, pts[0].1),
+            predicted: pts[1..].iter().map(|&(x, y)| Point::new(x, y)).collect(),
+            real_future: Vec::new(),
+            mr: 0.5,
+            detour_limit_km: 6.0,
+            speed_km_per_min: 0.3,
+        }
+    }
+
+    #[test]
+    fn finds_nearby_workers() {
+        let workers = vec![
+            worker_at(0, &[(1.0, 1.0)]),
+            worker_at(1, &[(10.0, 5.0)]),
+            worker_at(2, &[(1.5, 1.2)]),
+        ];
+        let idx = BucketIndex::build(&workers, 1.0);
+        let c = idx.candidates_within(Point::new(1.2, 1.0), 1.0);
+        assert!(c.contains(&0) && c.contains(&2));
+        assert!(!c.contains(&1));
+    }
+
+    #[test]
+    fn predicted_points_are_indexed_too() {
+        // Worker 0 is currently far away but predicted to pass near the
+        // query point.
+        let workers = vec![worker_at(0, &[(18.0, 9.0), (2.0, 2.0)])];
+        let idx = BucketIndex::build(&workers, 1.0);
+        let c = idx.candidates_within(Point::new(2.1, 2.1), 1.0);
+        assert_eq!(c, vec![0]);
+    }
+
+    /// Conservativeness: every worker with a point truly within the
+    /// radius is returned (false positives allowed, negatives not).
+    #[test]
+    fn never_misses_a_true_candidate() {
+        use rand::Rng;
+        let mut rng = tamp_core::rng::rng_for(31, 0);
+        for _ in 0..50 {
+            let workers: Vec<WorkerView> = (0..20)
+                .map(|i| {
+                    let pts: Vec<(f64, f64)> = (0..4)
+                        .map(|_| (rng.gen_range(0.0..20.0), rng.gen_range(0.0..10.0)))
+                        .collect();
+                    worker_at(i, &pts)
+                })
+                .collect();
+            let idx = BucketIndex::build(&workers, rng.gen_range(0.5..3.0));
+            let q = Point::new(rng.gen_range(0.0..20.0), rng.gen_range(0.0..10.0));
+            let r = rng.gen_range(0.1..5.0);
+            let got = idx.candidates_within(q, r);
+            for (wi, w) in workers.iter().enumerate() {
+                let truly_near = std::iter::once(&w.current)
+                    .chain(&w.predicted)
+                    .any(|p| p.dist(q) <= r);
+                if truly_near {
+                    assert!(got.contains(&wi), "missed worker {wi}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let idx = BucketIndex::build(&[], 1.0);
+        assert!(idx.candidates_within(Point::new(0.0, 0.0), 5.0).is_empty());
+        assert_eq!(idx.n_buckets(), 1);
+    }
+
+    #[test]
+    fn negative_radius_is_empty() {
+        let workers = vec![worker_at(0, &[(1.0, 1.0)])];
+        let idx = BucketIndex::build(&workers, 1.0);
+        assert!(idx.candidates_within(Point::new(1.0, 1.0), -1.0).is_empty());
+    }
+}

@@ -1,0 +1,42 @@
+//! The per-worker information visible to assignment algorithms.
+
+use std::collections::HashSet;
+use tamp_core::routine::TimedPoint;
+use tamp_core::{Point, TaskId, WorkerId};
+
+/// Pairs the platform must not propose again (e.g. the worker already
+/// rejected this task in an earlier batch). All assignment algorithms
+/// honour this set.
+pub type ExcludedPairs = HashSet<(TaskId, WorkerId)>;
+
+/// What the platform knows about one online worker at assignment time.
+///
+/// `predicted` is the model's forecast of the worker's next locations, one
+/// per paper time unit (10 min). `real_future` is the ground truth; it is
+/// consulted *only* by the UB oracle baseline and by the acceptance
+/// simulation in `tamp-platform` — the online algorithms never read it.
+#[derive(Debug, Clone)]
+pub struct WorkerView {
+    /// Worker identity.
+    pub id: WorkerId,
+    /// Current (reported) location.
+    pub current: Point,
+    /// Predicted future locations `ŵ.r`, one per time unit.
+    pub predicted: Vec<Point>,
+    /// Ground-truth future samples (oracle / acceptance only).
+    pub real_future: Vec<TimedPoint>,
+    /// The worker's matching rate `MR(r, r̂)` from validation
+    /// (Definition 7).
+    pub mr: f64,
+    /// Maximum acceptable detour `w.d` in kilometres.
+    pub detour_limit_km: f64,
+    /// Travel speed in km per minute (`sp` of Lemma 2).
+    pub speed_km_per_min: f64,
+}
+
+impl WorkerView {
+    /// The real future as bare points (acceptance-path helper).
+    pub fn real_path(&self) -> Vec<Point> {
+        self.real_future.iter().map(|p| p.loc).collect()
+    }
+}

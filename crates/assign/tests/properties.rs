@@ -1,0 +1,196 @@
+//! Property-based tests for the matching and assignment layer.
+
+use proptest::prelude::*;
+use tamp_core::routine::TimedPoint;
+use tamp_core::{Minutes, Point, SpatialTask, TaskId, WorkerId};
+use tamp_assign::baselines::{km_assign, lb_assign, ub_assign};
+use tamp_assign::hungarian::{matching_weight, max_weight_matching, WeightedEdge};
+use tamp_assign::matching_rate::matching_rate;
+use tamp_assign::ppi::{ppi_assign, PpiParams};
+use tamp_assign::view::WorkerView;
+
+fn edges_strategy() -> impl Strategy<Value = (usize, usize, Vec<WeightedEdge>)> {
+    (1usize..6, 1usize..6).prop_flat_map(|(n, m)| {
+        let edge = (0..n, 0..m, 0.1..10.0f64)
+            .prop_map(|(l, r, w)| WeightedEdge::new(l, r, w));
+        prop::collection::vec(edge, 0..12).prop_map(move |es| (n, m, es))
+    })
+}
+
+fn worker_strategy() -> impl Strategy<Value = WorkerView> {
+    (
+        0u64..100,
+        prop::collection::vec((0.0..20.0f64, 0.0..10.0f64), 1..8),
+        prop::collection::vec((0.0..20.0f64, 0.0..10.0f64), 1..8),
+        0.0..1.0f64,
+        1.0..10.0f64,
+    )
+        .prop_map(|(id, pred, real, mr, d)| WorkerView {
+            id: WorkerId(id),
+            current: Point::new(real[0].0, real[0].1),
+            predicted: pred.iter().map(|&(x, y)| Point::new(x, y)).collect(),
+            real_future: real
+                .iter()
+                .enumerate()
+                .map(|(i, &(x, y))| TimedPoint::new(Point::new(x, y), Minutes::new(i as f64 * 10.0)))
+                .collect(),
+            mr,
+            detour_limit_km: d,
+            speed_km_per_min: 0.3,
+        })
+}
+
+fn tasks_strategy() -> impl Strategy<Value = Vec<SpatialTask>> {
+    prop::collection::vec((0.0..20.0f64, 0.0..10.0f64, 10.0..300.0f64), 0..8).prop_map(|ts| {
+        ts.iter()
+            .enumerate()
+            .map(|(i, &(x, y, dl))| {
+                SpatialTask::new(TaskId(i as u64), Point::new(x, y), Minutes::ZERO, Minutes::new(dl))
+            })
+            .collect()
+    })
+}
+
+/// De-duplicates worker ids (the generator can repeat them).
+fn dedup_workers(mut ws: Vec<WorkerView>) -> Vec<WorkerView> {
+    ws.sort_by_key(|w| w.id);
+    ws.dedup_by_key(|w| w.id);
+    ws
+}
+
+proptest! {
+    #[test]
+    fn matching_is_valid_and_beats_greedy((n, m, edges) in edges_strategy()) {
+        let matched = max_weight_matching(n, m, &edges);
+        // Validity: no vertex twice.
+        let mut ls = std::collections::HashSet::new();
+        let mut rs = std::collections::HashSet::new();
+        for &(l, r) in &matched {
+            prop_assert!(ls.insert(l));
+            prop_assert!(rs.insert(r));
+        }
+        // Every matched pair corresponds to a real edge.
+        for &(l, r) in &matched {
+            prop_assert!(edges.iter().any(|e| e.left == l && e.right == r));
+        }
+        // Greedy by weight can never beat the solver on cardinality, nor
+        // (at equal cardinality) on weight.
+        let mut sorted = edges.clone();
+        sorted.sort_by(|a, b| b.weight.partial_cmp(&a.weight).unwrap());
+        let mut gl = std::collections::HashSet::new();
+        let mut gr = std::collections::HashSet::new();
+        let mut greedy = Vec::new();
+        for e in &sorted {
+            if !gl.contains(&e.left) && !gr.contains(&e.right) {
+                gl.insert(e.left);
+                gr.insert(e.right);
+                greedy.push((e.left, e.right));
+            }
+        }
+        prop_assert!(matched.len() >= greedy.len());
+        if matched.len() == greedy.len() && !matched.is_empty() {
+            let mw = matching_weight(&edges, &matched);
+            let gw = matching_weight(&edges, &greedy);
+            prop_assert!(mw >= gw - 1e-9, "solver weight {mw} < greedy {gw}");
+        }
+    }
+
+    #[test]
+    fn matching_rate_in_unit_interval(
+        real in prop::collection::vec((0.0..20.0f64, 0.0..10.0f64), 0..20),
+        pred in prop::collection::vec((0.0..20.0f64, 0.0..10.0f64), 0..20),
+        a in 0.0..5.0f64,
+    ) {
+        let r: Vec<Point> = real.iter().map(|&(x, y)| Point::new(x, y)).collect();
+        let p: Vec<Point> = pred.iter().map(|&(x, y)| Point::new(x, y)).collect();
+        let mr = matching_rate(&r, &p, a);
+        prop_assert!((0.0..=1.0).contains(&mr));
+        // Identity: MR(r, r) = 1 whenever r is non-empty.
+        if !r.is_empty() {
+            prop_assert_eq!(matching_rate(&r, &r, 0.0), 1.0);
+        }
+    }
+
+    #[test]
+    fn matching_rate_monotone_in_radius(
+        real in prop::collection::vec((0.0..20.0f64, 0.0..10.0f64), 1..15),
+        pred in prop::collection::vec((0.0..20.0f64, 0.0..10.0f64), 1..15),
+        a1 in 0.0..3.0f64,
+        extra in 0.0..3.0f64,
+    ) {
+        let r: Vec<Point> = real.iter().map(|&(x, y)| Point::new(x, y)).collect();
+        let p: Vec<Point> = pred.iter().map(|&(x, y)| Point::new(x, y)).collect();
+        prop_assert!(matching_rate(&r, &p, a1 + extra) >= matching_rate(&r, &p, a1));
+    }
+
+    #[test]
+    fn all_assigners_emit_valid_plans(
+        tasks in tasks_strategy(),
+        workers in prop::collection::vec(worker_strategy(), 0..6),
+    ) {
+        let workers = dedup_workers(workers);
+        let now = Minutes::ZERO;
+        let params = PpiParams { a_km: 0.4, epsilon: 3, now };
+        for plan in [
+            ppi_assign(&tasks, &workers, &params),
+            km_assign(&tasks, &workers, now),
+            lb_assign(&tasks, &workers, now),
+            ub_assign(&tasks, &workers, now),
+        ] {
+            prop_assert!(plan.is_valid());
+            prop_assert!(plan.len() <= tasks.len().min(workers.len()));
+            // Plans only reference known ids.
+            for pair in plan.pairs() {
+                prop_assert!(tasks.iter().any(|t| t.id == pair.task));
+                prop_assert!(workers.iter().any(|w| w.id == pair.worker));
+            }
+        }
+    }
+
+    #[test]
+    fn ppi_never_assigns_beyond_stage3_bound(
+        tasks in tasks_strategy(),
+        workers in prop::collection::vec(worker_strategy(), 0..5),
+    ) {
+        // Every PPI pair must satisfy the stage-3 feasibility bound, since
+        // stages 1–2 are strictly tighter.
+        let workers = dedup_workers(workers);
+        let now = Minutes::ZERO;
+        let plan = ppi_assign(&tasks, &workers, &PpiParams { a_km: 0.4, epsilon: 4, now });
+        for pair in plan.pairs() {
+            let t = tasks.iter().find(|t| t.id == pair.task).unwrap();
+            let w = workers.iter().find(|w| w.id == pair.worker).unwrap();
+            let dmin = w
+                .predicted
+                .iter()
+                .map(|p| p.dist(t.location))
+                .fold(f64::INFINITY, f64::min);
+            let bound = (w.detour_limit_km / 2.0).min(t.reach_radius(now, w.speed_km_per_min));
+            prop_assert!(dmin <= bound + 1e-9, "pair beyond bound: dmin={dmin} bound={bound}");
+        }
+    }
+}
+
+proptest! {
+    /// The spatially-indexed KM variant returns exactly the plan of full
+    /// enumeration (the prefilter is conservative, the exact checks are
+    /// shared).
+    #[test]
+    fn indexed_km_matches_full_enumeration(
+        tasks in tasks_strategy(),
+        workers in prop::collection::vec(worker_strategy(), 0..6),
+    ) {
+        use tamp_assign::baselines::{km_assign_excluding, km_assign_indexed};
+        use tamp_assign::view::ExcludedPairs;
+        let workers = dedup_workers(workers);
+        let now = Minutes::ZERO;
+        let none = ExcludedPairs::new();
+        let full = km_assign_excluding(&tasks, &workers, now, &none);
+        let indexed = km_assign_indexed(&tasks, &workers, now, &none);
+        let mut a: Vec<_> = full.pairs().iter().map(|p| (p.task, p.worker)).collect();
+        let mut b: Vec<_> = indexed.pairs().iter().map(|p| (p.task, p.worker)).collect();
+        a.sort();
+        b.sort();
+        prop_assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,41 @@
+//! Micro-bench: GTMC's best-response refinement vs plain k-medoids — the
+//! cost the game-theoretic clustering adds per tree level.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tamp_core::rng::rng_for;
+use tamp_meta::game::best_response;
+use tamp_meta::kmedoids::kmedoids;
+use tamp_meta::similarity::SimMatrix;
+
+fn noisy_blocks(n: usize, block: usize) -> SimMatrix {
+    SimMatrix::from_fn(n, |i, j| {
+        let base = if i / block == j / block { 0.7 } else { 0.1 };
+        // Deterministic jitter so the instance isn't degenerate.
+        base + 0.1 * (((i * 31 + j * 17) % 10) as f64 / 10.0 - 0.5)
+    })
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("clustering");
+    group.sample_size(20).measurement_time(std::time::Duration::from_secs(2));
+    for &n in &[16usize, 64, 128] {
+        let sim = noisy_blocks(n, n / 4);
+        let members: Vec<usize> = (0..n).collect();
+        group.bench_with_input(BenchmarkId::new("kmedoids", n), &n, |b, _| {
+            let mut rng = rng_for(1, 0);
+            b.iter(|| black_box(kmedoids(&sim, &members, 4, 30, &mut rng)))
+        });
+        group.bench_with_input(BenchmarkId::new("kmedoids_plus_game", n), &n, |b, _| {
+            let mut rng = rng_for(1, 0);
+            b.iter(|| {
+                let init = kmedoids(&sim, &members, 4, 30, &mut rng);
+                black_box(best_response(&sim, init, 0.2, 30))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

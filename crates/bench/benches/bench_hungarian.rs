@@ -1,0 +1,53 @@
+//! Micro-bench: the KM (Hungarian) solver vs greedy matching across
+//! bipartite-graph sizes — the inner loop of every assignment algorithm.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::Rng;
+use std::hint::black_box;
+use tamp_assign::hungarian::{max_weight_matching, WeightedEdge};
+use tamp_core::rng::rng_for;
+
+fn dense_edges(n: usize, m: usize, seed: u64) -> Vec<WeightedEdge> {
+    let mut rng = rng_for(seed, 0);
+    let mut edges = Vec::with_capacity(n * m);
+    for l in 0..n {
+        for r in 0..m {
+            edges.push(WeightedEdge::new(l, r, rng.gen_range(0.1..10.0)));
+        }
+    }
+    edges
+}
+
+fn greedy(n: usize, m: usize, edges: &[WeightedEdge]) -> usize {
+    let mut sorted: Vec<&WeightedEdge> = edges.iter().collect();
+    sorted.sort_by(|a, b| b.weight.partial_cmp(&a.weight).unwrap());
+    let mut ul = vec![false; n];
+    let mut ur = vec![false; m];
+    let mut count = 0;
+    for e in sorted {
+        if !ul[e.left] && !ur[e.right] {
+            ul[e.left] = true;
+            ur[e.right] = true;
+            count += 1;
+        }
+    }
+    count
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hungarian");
+    group.sample_size(20).measurement_time(std::time::Duration::from_secs(2));
+    for &n in &[8usize, 32, 64, 128] {
+        let edges = dense_edges(n, n, n as u64);
+        group.bench_with_input(BenchmarkId::new("km", n), &n, |b, &n| {
+            b.iter(|| black_box(max_weight_matching(n, n, black_box(&edges))))
+        });
+        group.bench_with_input(BenchmarkId::new("greedy", n), &n, |b, &n| {
+            b.iter(|| black_box(greedy(n, n, black_box(&edges))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Micro-bench: the task-assignment-oriented loss (Eq. 6–7, density
+//! queries per point) vs plain MSE — the training-time overhead the
+//! paper attributes to PPI/KM vs their `-loss` variants.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::Rng;
+use std::hint::black_box;
+use tamp_core::rng::rng_for;
+use tamp_core::{Grid, Point};
+use tamp_nn::loss::Pt2;
+use tamp_nn::{Loss, MseLoss, TaskDensityMap, TaskOrientedLoss, WeightParams};
+
+fn bench(c: &mut Criterion) {
+    let grid = Grid::PAPER;
+    let mut rng = rng_for(1, 0);
+    let tasks: Vec<Point> = (0..20_000)
+        .map(|_| Point::new(rng.gen_range(0.0..20.0), rng.gen_range(0.0..10.0)))
+        .collect();
+    let weighted = TaskOrientedLoss::new(
+        TaskDensityMap::build(grid, &tasks),
+        WeightParams::default(),
+    );
+    let pred: Pt2 = [0.31, 0.52];
+    let target: Pt2 = [0.30, 0.50];
+
+    let mut group = c.benchmark_group("loss");
+    group.sample_size(50).measurement_time(std::time::Duration::from_secs(2));
+    group.bench_function("mse_step", |b| {
+        b.iter(|| black_box(MseLoss.step(black_box(pred), black_box(target), 3)))
+    });
+    group.bench_function("task_oriented_step", |b| {
+        b.iter(|| black_box(weighted.step(black_box(pred), black_box(target), 3)))
+    });
+    group.bench_function("density_query", |b| {
+        b.iter(|| black_box(weighted.weight_at(black_box(Point::new(6.0, 5.0)))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Micro-bench: forward / backward cost of the LSTM encoder–decoder per
+//! sequence length — the inner loop of every adapt and meta step.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tamp_core::rng::rng_for;
+use tamp_nn::loss::Pt2;
+use tamp_nn::{MseLoss, Seq2Seq, Seq2SeqConfig, TrainBatch};
+
+fn batch(seq_in: usize, seq_out: usize, n: usize) -> TrainBatch {
+    let pairs = (0..n)
+        .map(|s| {
+            let input: Vec<Pt2> = (0..seq_in)
+                .map(|i| [0.1 + 0.01 * (s + i) as f64, 0.5])
+                .collect();
+            let target: Vec<Pt2> = (0..seq_out)
+                .map(|i| [0.1 + 0.01 * (s + seq_in + i) as f64, 0.5])
+                .collect();
+            (input, target)
+        })
+        .collect();
+    TrainBatch::new(pairs)
+}
+
+fn bench(c: &mut Criterion) {
+    let mut rng = rng_for(1, 0);
+    let model = Seq2Seq::new(Seq2SeqConfig::lstm(16), &mut rng);
+    let mut group = c.benchmark_group("lstm");
+    group.sample_size(30).measurement_time(std::time::Duration::from_secs(2));
+    for &(si, so) in &[(1usize, 1usize), (5, 1), (5, 3), (10, 3)] {
+        let b8 = batch(si, so, 8);
+        group.bench_with_input(
+            BenchmarkId::new("loss_and_grad", format!("in{si}_out{so}")),
+            &b8,
+            |b, batch| b.iter(|| black_box(model.loss_and_grad(black_box(batch), &MseLoss))),
+        );
+        let input: Vec<Pt2> = (0..si).map(|i| [0.1 * i as f64, 0.5]).collect();
+        group.bench_with_input(
+            BenchmarkId::new("predict", format!("in{si}_out{so}")),
+            &input,
+            |b, input| b.iter(|| black_box(model.predict(black_box(input), so))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! Micro-bench: PPI (multi-stage, repeated KM calls) vs a single KM
+//! matching per batch — the ε-sensitivity the paper's Discussion of
+//! Algorithm 4 describes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::Rng;
+use std::hint::black_box;
+use tamp_assign::baselines::{km_assign, km_assign_indexed};
+use tamp_assign::view::ExcludedPairs;
+use tamp_assign::ppi::{ppi_assign, PpiParams};
+use tamp_assign::view::WorkerView;
+use tamp_core::rng::rng_for;
+use tamp_core::{Minutes, Point, SpatialTask, TaskId, WorkerId};
+
+fn setup(n_tasks: usize, n_workers: usize, seed: u64) -> (Vec<SpatialTask>, Vec<WorkerView>) {
+    let mut rng = rng_for(seed, 0);
+    let tasks = (0..n_tasks)
+        .map(|i| {
+            SpatialTask::new(
+                TaskId(i as u64),
+                Point::new(rng.gen_range(0.0..20.0), rng.gen_range(0.0..10.0)),
+                Minutes::ZERO,
+                Minutes::new(rng.gen_range(30.0..60.0)),
+            )
+        })
+        .collect();
+    let workers = (0..n_workers)
+        .map(|i| {
+            let base = Point::new(rng.gen_range(0.0..20.0), rng.gen_range(0.0..10.0));
+            WorkerView {
+                id: WorkerId(i as u64),
+                current: base,
+                predicted: (0..6)
+                    .map(|k| base.offset(0.5 * k as f64, rng.gen_range(-0.4..0.4)))
+                    .collect(),
+                real_future: Vec::new(),
+                mr: rng.gen_range(0.1..0.9),
+                detour_limit_km: 6.0,
+                speed_km_per_min: 0.3,
+            }
+        })
+        .collect();
+    (tasks, workers)
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ppi");
+    group.sample_size(20).measurement_time(std::time::Duration::from_secs(2));
+    for &n in &[16usize, 48, 96, 256] {
+        let (tasks, workers) = setup(n, n, n as u64);
+        for &eps in &[2usize, 8, 32] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("ppi_eps{eps}"), n),
+                &n,
+                |b, _| {
+                    let params = PpiParams {
+                        a_km: 0.4,
+                        epsilon: eps,
+                        now: Minutes::ZERO,
+                    };
+                    b.iter(|| black_box(ppi_assign(black_box(&tasks), black_box(&workers), &params)))
+                },
+            );
+        }
+        group.bench_with_input(BenchmarkId::new("km_single", n), &n, |b, _| {
+            b.iter(|| black_box(km_assign(black_box(&tasks), black_box(&workers), Minutes::ZERO)))
+        });
+        group.bench_with_input(BenchmarkId::new("km_indexed", n), &n, |b, _| {
+            let none = ExcludedPairs::new();
+            b.iter(|| {
+                black_box(km_assign_indexed(
+                    black_box(&tasks),
+                    black_box(&workers),
+                    Minutes::ZERO,
+                    &none,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

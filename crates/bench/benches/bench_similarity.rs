@@ -1,0 +1,70 @@
+//! Micro-bench: per-pair cost of the three clustering factors — the
+//! dominant cost of building GTMC's similarity matrices.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::Rng;
+use std::hint::black_box;
+use tamp_core::rng::rng_for;
+use tamp_core::{Point, Poi, PoiCategory};
+use tamp_meta::similarity::{sim_distribution, sim_learning_path, sim_spatial};
+use tamp_meta::sinkhorn::{sinkhorn_distance, SinkhornConfig};
+use tamp_meta::wasserstein::{strided_subsample, w1_distance_capped};
+
+fn cloud(n: usize, seed: u64) -> Vec<Point> {
+    let mut rng = rng_for(seed, 0);
+    (0..n)
+        .map(|_| Point::new(rng.gen_range(0.0..20.0), rng.gen_range(0.0..10.0)))
+        .collect()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("similarity");
+    group.sample_size(20).measurement_time(std::time::Duration::from_secs(2));
+
+    let a = cloud(256, 1);
+    let b = cloud(256, 2);
+    for &cap in &[16usize, 32, 48, 64] {
+        group.bench_with_input(BenchmarkId::new("sim_d_w1_exact", cap), &cap, |bch, &cap| {
+            bch.iter(|| black_box(w1_distance_capped(black_box(&a), black_box(&b), cap)))
+        });
+        // Sinkhorn on the same subsample sizes: the O(n²·iters) scalable
+        // alternative; the crossover vs the exact O(n³) solver shows when
+        // it pays off.
+        let sa = strided_subsample(&a, cap);
+        let sb = strided_subsample(&b, cap);
+        group.bench_with_input(BenchmarkId::new("sim_d_sinkhorn", cap), &cap, |bch, _| {
+            let cfg = SinkhornConfig::default();
+            bch.iter(|| black_box(sinkhorn_distance(black_box(&sa), black_box(&sb), &cfg)))
+        });
+    }
+    group.bench_function("sim_d", |bch| {
+        bch.iter(|| black_box(sim_distribution(black_box(&a), black_box(&b))))
+    });
+
+    let pois_a: Vec<Poi> = cloud(8, 3)
+        .into_iter()
+        .map(|p| Poi::new(p, PoiCategory::Food))
+        .collect();
+    let pois_b: Vec<Poi> = cloud(8, 4)
+        .into_iter()
+        .map(|p| Poi::new(p, PoiCategory::Office))
+        .collect();
+    group.bench_function("sim_s", |bch| {
+        bch.iter(|| black_box(sim_spatial(black_box(&pois_a), black_box(&pois_b), 1.5)))
+    });
+
+    let mut rng = rng_for(5, 0);
+    let path_a: Vec<Vec<f64>> = (0..3)
+        .map(|_| (0..2500).map(|_| rng.gen_range(-1.0..1.0)).collect())
+        .collect();
+    let path_b: Vec<Vec<f64>> = (0..3)
+        .map(|_| (0..2500).map(|_| rng.gen_range(-1.0..1.0)).collect())
+        .collect();
+    group.bench_function("sim_l", |bch| {
+        bch.iter(|| black_box(sim_learning_path(black_box(&path_a), black_box(&path_b))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

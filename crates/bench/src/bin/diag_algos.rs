@@ -1,0 +1,26 @@
+//! Diagnostic: the Table V ordering at reduced scale.
+//!
+//! Trains all four prediction algorithms on a 40-worker workload and
+//! prints RMSE/MAE/MR/TT — a two-minute check that the paper's ordering
+//! (GTTAML best, MAML worst) holds before running the full tables.
+use tamp_bench::{default_training, seed_from_env};
+use tamp_platform::training::{train_predictors, PredictionAlgo, TrainingConfig};
+use tamp_sim::{Scale, WorkloadConfig, WorkloadKind};
+
+fn main() {
+    let seed = seed_from_env();
+    let mut scale = Scale::small();
+    scale.n_workers = 40;
+    let w = WorkloadConfig::new(WorkloadKind::PortoDidi, scale, seed).build();
+    for (algo, name) in [
+        (PredictionAlgo::Maml, "MAML"),
+        (PredictionAlgo::Ctml, "CTML"),
+        (PredictionAlgo::GttamlGt, "GTTAML-GT"),
+        (PredictionAlgo::Gttaml, "GTTAML"),
+    ] {
+        let cfg = TrainingConfig { algo, ..default_training(seed) };
+        let p = train_predictors(&w, &cfg);
+        println!("{name:<10} rmse {:.3} mae {:.3} mr {:.3} tt {:.1}s clusters {}",
+            p.overall.rmse_cells, p.overall.mae_cells, p.overall.mr, p.train_seconds, p.n_clusters);
+    }
+}

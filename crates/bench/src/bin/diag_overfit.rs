@@ -1,0 +1,39 @@
+//! Diagnostic: the per-worker achievable prediction bound.
+//!
+//! Overfits one model per worker with 400 Adam steps on the full support
+//! set — an upper bound on what any meta-initialisation + adaptation can
+//! reach. Useful when tuning the simulator: if even the overfit bound is
+//! poor, the mobility data is inherently unpredictable (roamers), not the
+//! training pipeline.
+use tamp_bench::seed_from_env;
+use tamp_platform::training::{build_learning_tasks, TrainingConfig};
+use tamp_sim::{Scale, WorkloadConfig, WorkloadKind};
+use tamp_meta::eval::evaluate_model;
+use tamp_nn::{MseLoss, Adam, Optimizer, Seq2Seq, Seq2SeqConfig};
+use tamp_core::rng::rng_for;
+
+fn main() {
+    let seed = seed_from_env();
+    let w = WorkloadConfig::new(WorkloadKind::PortoDidi, Scale::tiny(), seed).build();
+    let cfg = TrainingConfig { seed, ..TrainingConfig::default() };
+    let tasks = build_learning_tasks(&w, &cfg);
+    for (i, task) in tasks.iter().enumerate().take(4) {
+        if !task.is_trainable() { continue; }
+        let mut rng = rng_for(seed, 99);
+        let mut model = Seq2Seq::new(Seq2SeqConfig::lstm(16), &mut rng);
+        let mut params = model.params();
+        // persistence baseline: zero the head (delta = 0)
+        let base = evaluate_model(&model, &task.query, &w.grid, 0.4);
+        let mut opt = Adam::new(0.01, params.len());
+        for step in 0..400 {
+            model.set_params(&params);
+            let (_, g) = model.loss_and_grad(&task.support, &MseLoss);
+            opt.step(&mut params, &g);
+            let _ = step;
+        }
+        model.set_params(&params);
+        let trained = evaluate_model(&model, &task.query, &w.grid, 0.4);
+        println!("worker {i} ({:?}): init rmse {:.2} mr {:.2} -> overfit rmse {:.2} mr {:.2} ({} support pairs)",
+            w.workers[i].persona.kind, base.rmse_cells, base.mr, trained.rmse_cells, trained.mr, task.support.len());
+    }
+}

@@ -1,0 +1,54 @@
+//! Ablation: recurrent cell family (LSTM vs GRU).
+//!
+//! The paper instantiates its encoder–decoder with LSTMs [28] while
+//! citing the GRU encoder–decoder paper [27]. Both cells are available in
+//! `tamp-nn`; this ablation trains GTTAML with each on the same workload
+//! and reports prediction quality and training time (GRUs have 3/4 the
+//! parameters per unit of hidden width).
+
+use tamp_bench::{default_training, out_dir, seed_from_env};
+use tamp_nn::seq2seq::CellKind;
+use tamp_platform::experiments::report::{f1, f4, print_markdown_table, save_json};
+use tamp_platform::training::{train_predictors, TrainingConfig};
+use tamp_sim::{Scale, WorkloadConfig, WorkloadKind};
+
+fn main() {
+    let seed = seed_from_env();
+    let mut scale = Scale::small();
+    scale.n_workers = 24;
+    let workload = WorkloadConfig::new(WorkloadKind::PortoDidi, scale, seed).build();
+    println!(
+        "# Ablation: recurrent cell family ({} workers, seed {seed})",
+        workload.workers.len()
+    );
+    let mut rows = Vec::new();
+    for (cell, name) in [(CellKind::Lstm, "LSTM"), (CellKind::Gru, "GRU")] {
+        let cfg = TrainingConfig {
+            cell,
+            ..default_training(seed)
+        };
+        let p = train_predictors(&workload, &cfg);
+        rows.push(serde_json::json!({
+            "cell": name,
+            "rmse": p.overall.rmse_cells,
+            "mae": p.overall.mae_cells,
+            "mr": p.overall.mr,
+            "tt_seconds": p.train_seconds,
+        }));
+    }
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r["cell"].as_str().unwrap().to_string(),
+                f4(r["rmse"].as_f64().unwrap()),
+                f4(r["mae"].as_f64().unwrap()),
+                f4(r["mr"].as_f64().unwrap()),
+                f1(r["tt_seconds"].as_f64().unwrap()),
+            ]
+        })
+        .collect();
+    print_markdown_table(&["cell", "RMSE", "MAE", "MR", "TT (s)"], &table);
+    save_json(&out_dir().join("ablation_cell.json"), "ablation_cell_family", &rows)
+        .expect("write rows");
+}

@@ -1,0 +1,94 @@
+//! Ablation: first-order vs second-order MAML.
+//!
+//! Quantifies DESIGN.md's FOMAML substitution: trains one shared
+//! initialisation with each meta-gradient variant on the same workload
+//! and seed, then reports validation RMSE/MAE/MR and training time. The
+//! paper's method is agnostic to this choice; the expectation is that the
+//! two land in the same quality regime with second-order paying ~3× the
+//! gradient evaluations.
+
+use std::time::Instant;
+use tamp_bench::{default_training, out_dir, seed_from_env};
+use tamp_platform::experiments::report::{f1, f4, print_markdown_table, save_json};
+use tamp_platform::training::{build_learning_tasks, TrainingConfig};
+use tamp_sim::{Scale, WorkloadConfig, WorkloadKind};
+use tamp_core::rng::{rng_for, streams};
+use tamp_meta::eval::{evaluate_model, PredictionMetrics};
+use tamp_meta::maml::adapt;
+use tamp_meta::meta_training::meta_train;
+use tamp_meta::second_order::meta_train_second_order;
+use tamp_meta::LearningTask;
+use tamp_nn::{MseLoss, Seq2Seq, Seq2SeqConfig};
+
+fn main() {
+    let seed = seed_from_env();
+    let mut scale = Scale::small();
+    scale.n_workers = 24; // second-order costs 3× per step; keep it snappy
+    let workload = WorkloadConfig::new(WorkloadKind::PortoDidi, scale, seed).build();
+    let cfg: TrainingConfig = default_training(seed);
+    let tasks = build_learning_tasks(&workload, &cfg);
+
+    let mut rng = rng_for(seed, streams::WEIGHTS);
+    let template = Seq2Seq::new(Seq2SeqConfig::lstm(cfg.hidden), &mut rng);
+
+    let evaluate = |theta: &[f64], rng: &mut rand::rngs::StdRng| -> PredictionMetrics {
+        let per: Vec<PredictionMetrics> = tasks
+            .iter()
+            .map(|t: &LearningTask| {
+                let model = adapt(
+                    theta,
+                    t,
+                    &template,
+                    &MseLoss,
+                    cfg.adapt_steps,
+                    cfg.meta.beta,
+                    cfg.meta.adapt_batch,
+                    rng,
+                );
+                evaluate_model(&model, &t.query, &workload.grid, cfg.a_km)
+            })
+            .collect();
+        PredictionMetrics::merge(&per)
+    };
+
+    println!(
+        "# Ablation: meta-gradient order ({} workers, seed {seed})",
+        workload.workers.len()
+    );
+    let refs: Vec<&LearningTask> = tasks.iter().collect();
+    let mut rows = Vec::new();
+    for (name, second_order) in [("first-order (FOMAML)", false), ("second-order", true)] {
+        let mut theta = template.params();
+        let mut meta_rng = rng_for(seed, streams::META);
+        let start = Instant::now();
+        if second_order {
+            meta_train_second_order(&mut theta, &refs, &template, &MseLoss, &cfg.meta, &mut meta_rng);
+        } else {
+            meta_train(&mut theta, &refs, &template, &MseLoss, &cfg.meta, &mut meta_rng);
+        }
+        let tt = start.elapsed().as_secs_f64();
+        let m = evaluate(&theta, &mut meta_rng);
+        rows.push(serde_json::json!({
+            "variant": name,
+            "rmse": m.rmse_cells,
+            "mae": m.mae_cells,
+            "mr": m.mr,
+            "tt_seconds": tt,
+        }));
+    }
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r["variant"].as_str().unwrap().to_string(),
+                f4(r["rmse"].as_f64().unwrap()),
+                f4(r["mae"].as_f64().unwrap()),
+                f4(r["mr"].as_f64().unwrap()),
+                f1(r["tt_seconds"].as_f64().unwrap()),
+            ]
+        })
+        .collect();
+    print_markdown_table(&["variant", "RMSE", "MAE", "MR", "TT (s)"], &table);
+    save_json(&out_dir().join("ablation_meta.json"), "ablation_meta_order", &rows)
+        .expect("write rows");
+}

@@ -1,0 +1,78 @@
+//! Extension ablation: intraday online adaptation.
+//!
+//! The paper trains mobility models offline and freezes them for the
+//! day. `tamp` additionally supports continual fine-tuning on the
+//! movements the platform observes during the day
+//! (`EngineConfig::online_adapt`). This ablation measures whether
+//! tracking intraday drift pays off for PPI.
+
+use tamp_bench::{default_engine, default_training, out_dir, seed_from_env};
+use tamp_platform::engine::OnlineAdaptConfig;
+use tamp_platform::experiments::report::{f4, print_markdown_table, save_json};
+use tamp_platform::training::{train_predictors, LossKind, TrainingConfig};
+use tamp_platform::{run_assignment, AssignmentAlgo, EngineConfig};
+use tamp_sim::{Scale, WorkloadConfig, WorkloadKind};
+
+fn main() {
+    let seed = seed_from_env();
+    let workload = WorkloadConfig::new(WorkloadKind::PortoDidi, Scale::small(), seed).build();
+    let predictors = train_predictors(
+        &workload,
+        &TrainingConfig {
+            loss: LossKind::TaskOriented,
+            ..default_training(seed)
+        },
+    );
+    println!(
+        "# Ablation: online intraday adaptation ({} workers, {} tasks, seed {seed})",
+        workload.workers.len(),
+        workload.tasks.len()
+    );
+
+    let mut rows = Vec::new();
+    let mut run = |label: &str, online: Option<OnlineAdaptConfig>| {
+        let engine = EngineConfig {
+            online_adapt: online,
+            ..default_engine(seed)
+        };
+        let m = run_assignment(&workload, Some(&predictors), AssignmentAlgo::Ppi, &engine);
+        rows.push(serde_json::json!({
+            "variant": label,
+            "completion": m.completion_ratio(),
+            "rejection": m.rejection_ratio(),
+            "cost_km": m.avg_worker_cost_km(),
+            "runtime_s": m.algo_seconds,
+        }));
+    };
+    run("frozen (paper)", None);
+    run(
+        "online every 120 min",
+        Some(OnlineAdaptConfig {
+            every_min: 120.0,
+            ..OnlineAdaptConfig::default()
+        }),
+    );
+    run("online every 60 min", Some(OnlineAdaptConfig::default()));
+    run(
+        "online every 30 min",
+        Some(OnlineAdaptConfig {
+            every_min: 30.0,
+            ..OnlineAdaptConfig::default()
+        }),
+    );
+
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r["variant"].as_str().unwrap().to_string(),
+                f4(r["completion"].as_f64().unwrap()),
+                f4(r["rejection"].as_f64().unwrap()),
+                f4(r["cost_km"].as_f64().unwrap()),
+            ]
+        })
+        .collect();
+    print_markdown_table(&["variant", "completion", "rejection", "cost (km)"], &table);
+    save_json(&out_dir().join("ablation_online.json"), "ablation_online_adaptation", &rows)
+        .expect("write rows");
+}

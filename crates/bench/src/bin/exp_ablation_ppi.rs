@@ -1,0 +1,76 @@
+//! Ablation: PPI design choices.
+//!
+//! Two knobs on one workload/predictor pair:
+//!
+//! * **ε sensitivity** — the stage-2 mini-batch size trades matching
+//!   quality against KM-call count (the paper's Discussion of
+//!   Algorithm 4).
+//! * **Flat-MR** — replaces every worker's validation matching rate with
+//!   its population mean, disabling the "prediction-performance-involved"
+//!   part of PPI while keeping everything else. The gap to real PPI is
+//!   the measurable value of Theorem 2's probability machinery.
+
+use tamp_bench::{default_engine, default_training, out_dir, seed_from_env};
+use tamp_platform::experiments::report::{f4, print_markdown_table, save_json};
+use tamp_platform::training::{train_predictors, LossKind, TrainingConfig};
+use tamp_platform::{run_assignment, AssignmentAlgo, EngineConfig};
+use tamp_sim::{Scale, WorkloadConfig, WorkloadKind};
+
+fn main() {
+    let seed = seed_from_env();
+    let workload = WorkloadConfig::new(WorkloadKind::PortoDidi, Scale::small(), seed).build();
+    let training = TrainingConfig {
+        loss: LossKind::TaskOriented,
+        ..default_training(seed)
+    };
+    let predictors = train_predictors(&workload, &training);
+
+    // Flat-MR variant: same models, population-mean matching rate.
+    let mut flat = predictors.clone();
+    let mean_mr = flat.mrs.iter().sum::<f64>() / flat.mrs.len().max(1) as f64;
+    flat.mrs.iter_mut().for_each(|m| *m = mean_mr);
+
+    println!(
+        "# Ablation: PPI ε and MR involvement ({} workers, {} tasks, seed {seed})",
+        workload.workers.len(),
+        workload.tasks.len()
+    );
+    let mut rows = Vec::new();
+    let mut run = |label: &str, eps: usize, preds: &tamp_platform::TrainedPredictors| {
+        let engine = EngineConfig {
+            epsilon: eps,
+            ..default_engine(seed)
+        };
+        let m = run_assignment(&workload, Some(preds), AssignmentAlgo::Ppi, &engine);
+        rows.push(serde_json::json!({
+            "variant": label,
+            "epsilon": eps,
+            "completion": m.completion_ratio(),
+            "rejection": m.rejection_ratio(),
+            "cost_km": m.avg_worker_cost_km(),
+            "runtime_s": m.algo_seconds,
+        }));
+    };
+    for eps in [1usize, 4, 8, 32] {
+        run(&format!("PPI ε={eps}"), eps, &predictors);
+    }
+    run("PPI flat-MR", 8, &flat);
+
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r["variant"].as_str().unwrap().to_string(),
+                f4(r["completion"].as_f64().unwrap()),
+                f4(r["rejection"].as_f64().unwrap()),
+                f4(r["cost_km"].as_f64().unwrap()),
+                format!("{:.3}", r["runtime_s"].as_f64().unwrap()),
+            ]
+        })
+        .collect();
+    print_markdown_table(
+        &["variant", "completion", "rejection", "cost (km)", "runtime (s)"],
+        &table,
+    );
+    save_json(&out_dir().join("ablation_ppi.json"), "ablation_ppi", &rows).expect("write rows");
+}

@@ -1,0 +1,67 @@
+//! Scaling validation (Appendix B's complexity analyses, empirically).
+//!
+//! Measures the assignment algorithms' per-day runtime as the instance
+//! grows toward paper scale, and the offline stage's training time as
+//! the worker count grows — the empirical counterpart of the paper's
+//! complexity statements for Algorithms 1–4.
+
+use std::time::Instant;
+use tamp_bench::{default_engine, default_training, out_dir, seed_from_env};
+use tamp_platform::experiments::report::{print_markdown_table, save_json};
+use tamp_platform::training::{train_predictors, LossKind, TrainingConfig};
+use tamp_platform::{run_assignment, AssignmentAlgo, EngineConfig};
+use tamp_sim::{Scale, WorkloadConfig, WorkloadKind};
+
+fn main() {
+    let seed = seed_from_env();
+    println!("# Scaling: runtime vs instance size (seed {seed})");
+    let mut rows = Vec::new();
+    for &(n_workers, n_tasks) in &[(15usize, 1200usize), (30, 2400), (60, 4800), (120, 9600)] {
+        let scale = Scale {
+            n_workers,
+            n_tasks,
+            ..Scale::small()
+        };
+        let workload = WorkloadConfig::new(WorkloadKind::PortoDidi, scale, seed).build();
+        let tcfg = TrainingConfig {
+            loss: LossKind::Mse,
+            ..default_training(seed)
+        };
+        let t0 = Instant::now();
+        let predictors = train_predictors(&workload, &tcfg);
+        let train_s = t0.elapsed().as_secs_f64();
+
+        let engine: EngineConfig = default_engine(seed);
+        let ppi = run_assignment(&workload, Some(&predictors), AssignmentAlgo::Ppi, &engine);
+        let km = run_assignment(&workload, Some(&predictors), AssignmentAlgo::Km, &engine);
+        let ub = run_assignment(&workload, None, AssignmentAlgo::Ub, &engine);
+        rows.push(serde_json::json!({
+            "n_workers": n_workers,
+            "n_tasks": n_tasks,
+            "train_s": train_s,
+            "ppi_s": ppi.algo_seconds,
+            "km_s": km.algo_seconds,
+            "ub_s": ub.algo_seconds,
+            "ppi_completion": ppi.completion_ratio(),
+        }));
+    }
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r["n_workers"].to_string(),
+                r["n_tasks"].to_string(),
+                format!("{:.1}", r["train_s"].as_f64().unwrap()),
+                format!("{:.3}", r["ppi_s"].as_f64().unwrap()),
+                format!("{:.3}", r["km_s"].as_f64().unwrap()),
+                format!("{:.3}", r["ub_s"].as_f64().unwrap()),
+                format!("{:.3}", r["ppi_completion"].as_f64().unwrap()),
+            ]
+        })
+        .collect();
+    print_markdown_table(
+        &["workers", "tasks", "train (s)", "PPI (s)", "KM (s)", "UB (s)", "PPI completion"],
+        &table,
+    );
+    save_json(&out_dir().join("scaling.json"), "scaling_runtime", &rows).expect("write rows");
+}

@@ -1,0 +1,17 @@
+//! Regenerates **Table IV** of the paper: the clustering-algorithm ×
+//! clustering-factor ablation (RMSE / MAE / MR / TT) on workload 1.
+
+use tamp_bench::{default_training, out_dir, print_ablation, scale_from_env, seed_from_env};
+use tamp_platform::experiments::{clustering_ablation, save_json};
+use tamp_sim::{WorkloadConfig, WorkloadKind};
+
+fn main() {
+    let scale = scale_from_env();
+    let seed = seed_from_env();
+    println!("# Table IV: clustering ablation (workload 1, {} workers, seed {seed})", scale.n_workers);
+    let workload = WorkloadConfig::new(WorkloadKind::PortoDidi, scale, seed).build();
+    let rows = clustering_ablation(&workload, &default_training(seed));
+    print_ablation(&rows);
+    save_json(&out_dir().join("table4.json"), "table4_clustering_ablation_workload1", &rows)
+        .expect("write rows");
+}

@@ -1,0 +1,17 @@
+//! Regenerates **Table VI** of the paper: the clustering-algorithm ×
+//! clustering-factor ablation (RMSE / MAE / MR / TT) on workload 2.
+
+use tamp_bench::{default_training, out_dir, print_ablation, scale_from_env, seed_from_env};
+use tamp_platform::experiments::{clustering_ablation, save_json};
+use tamp_sim::{WorkloadConfig, WorkloadKind};
+
+fn main() {
+    let scale = scale_from_env();
+    let seed = seed_from_env();
+    println!("# Table VI: clustering ablation (workload 2, {} workers, seed {seed})", scale.n_workers);
+    let workload = WorkloadConfig::new(WorkloadKind::GowallaFoursquare, scale, seed).build();
+    let rows = clustering_ablation(&workload, &default_training(seed));
+    print_ablation(&rows);
+    save_json(&out_dir().join("table6.json"), "table6_clustering_ablation_workload2", &rows)
+        .expect("write rows");
+}

@@ -1,0 +1,21 @@
+//! Regenerates **Table VII** of the paper: the effect of seq_in and
+//! seq_out on MAML / CTML / GTTAML-GT / GTTAML (workload 2).
+
+use tamp_bench::{default_training, out_dir, print_seq, scale_from_env, seed_from_env};
+use tamp_platform::experiments::{save_json, seq_sweep};
+use tamp_sim::{WorkloadConfig, WorkloadKind};
+
+fn main() {
+    let scale = scale_from_env();
+    let seed = seed_from_env();
+    println!("# Table VII: seq_in/seq_out sweep (workload 2, {} workers, seed {seed})", scale.n_workers);
+    let rows = seq_sweep(
+        || WorkloadConfig::new(WorkloadKind::GowallaFoursquare, scale, seed),
+        &default_training(seed),
+        &[1, 5, 10],
+        &[1, 2, 3],
+    );
+    print_seq(&rows);
+    save_json(&out_dir().join("table7.json"), "table7_seq_sweep_workload2", &rows)
+        .expect("write rows");
+}

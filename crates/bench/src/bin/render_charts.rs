@@ -1,0 +1,86 @@
+//! Renders the figure experiments' JSON rows into SVG charts.
+//!
+//! Reads every `fig*.json` in the results directory (`TAMP_OUT`, default
+//! `results/`) and writes one SVG per metric — the four panels of the
+//! paper's Figs. 6–11 — next to it.
+//!
+//! ```sh
+//! cargo run --release -p tamp-bench --bin render_charts
+//! ```
+
+use std::collections::BTreeMap;
+use tamp_bench::out_dir;
+use tamp_bench::svg::{line_chart, Series};
+
+const METRICS: [(&str, &str); 4] = [
+    ("completion", "task completion ratio"),
+    ("rejection", "rejection ratio"),
+    ("cost_km", "worker cost (km)"),
+    ("runtime_s", "algorithm runtime (s)"),
+];
+
+fn main() -> std::io::Result<()> {
+    let dir = out_dir();
+    let mut rendered = 0;
+    let entries = match std::fs::read_dir(&dir) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!(
+                "cannot read {} ({e}); run the exp_fig* binaries first",
+                dir.display()
+            );
+            return Ok(());
+        }
+    };
+    for entry in entries {
+        let path = entry?.path();
+        let name = path
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or_default()
+            .to_string();
+        if !name.starts_with("fig") || path.extension().and_then(|e| e.to_str()) != Some("json") {
+            continue;
+        }
+        let text = std::fs::read_to_string(&path)?;
+        let v: serde_json::Value = serde_json::from_str(&text).map_err(std::io::Error::other)?;
+        let rows = match v["rows"].as_array() {
+            Some(r) if !r.is_empty() => r.clone(),
+            _ => continue,
+        };
+        let param = rows[0]["param"].as_str().unwrap_or("x").to_string();
+
+        for (key, label) in METRICS {
+            // Group rows into one series per algorithm, preserving first-seen order.
+            let mut series: BTreeMap<String, Vec<(f64, f64)>> = BTreeMap::new();
+            for r in &rows {
+                let algo = r["algorithm"].as_str().unwrap_or("?").to_string();
+                let x = r["x"].as_f64().unwrap_or(0.0);
+                let y = r[key].as_f64().unwrap_or(0.0);
+                series.entry(algo).or_default().push((x, y));
+            }
+            let mut out: Vec<Series> = series
+                .into_iter()
+                .map(|(name, mut points)| {
+                    points.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
+                    Series { name, points }
+                })
+                .collect();
+            // Keep the paper's legend order where possible.
+            let order = ["UB", "LB", "PPI", "PPI-loss", "KM", "KM-loss", "GGPSO"];
+            out.sort_by_key(|s| {
+                order
+                    .iter()
+                    .position(|&o| o == s.name)
+                    .unwrap_or(usize::MAX)
+            });
+            let svg = line_chart(&format!("{name}: {label}"), &param, label, &out);
+            let out_path = dir.join(format!("{name}_{key}.svg"));
+            std::fs::write(&out_path, svg)?;
+            rendered += 1;
+        }
+        println!("rendered {name} → 4 SVG panels");
+    }
+    println!("{rendered} charts written to {}", dir.display());
+    Ok(())
+}

@@ -1,0 +1,186 @@
+//! # tamp-bench
+//!
+//! The benchmark harness: one binary per paper table/figure (see
+//! DESIGN.md's per-experiment index) plus criterion micro-benches for the
+//! workspace's hot paths.
+//!
+//! Every experiment binary reads three environment variables:
+//!
+//! * `TAMP_SCALE` — `tiny` | `small` (default) | `paper`. `paper`
+//!   matches Table II/III sizing (442 workers, 3000 tasks) and takes
+//!   hours; `small` reproduces every trend in minutes.
+//! * `TAMP_SEED` — master seed (default 42).
+//! * `TAMP_OUT` — output directory for JSON rows (default `results/`).
+//!
+//! Run e.g. `cargo run -p tamp-bench --release --bin exp_table4`.
+
+#![forbid(unsafe_code)]
+
+pub mod svg;
+
+use std::path::PathBuf;
+use tamp_meta::meta_training::MetaConfig;
+use tamp_platform::experiments::{AblationRow, AssignmentRow, SeqRow};
+use tamp_platform::{EngineConfig, TrainingConfig};
+use tamp_platform::experiments::report::{f1, f4, print_markdown_table};
+use tamp_sim::Scale;
+
+/// Reads the experiment scale from `TAMP_SCALE`.
+pub fn scale_from_env() -> Scale {
+    match std::env::var("TAMP_SCALE").as_deref() {
+        Ok("tiny") => Scale::tiny(),
+        Ok("paper") => Scale::paper_workload1(),
+        _ => Scale::small(),
+    }
+}
+
+/// Reads the master seed from `TAMP_SEED` (default 42).
+pub fn seed_from_env() -> u64 {
+    std::env::var("TAMP_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42)
+}
+
+/// Output directory for JSON rows.
+pub fn out_dir() -> PathBuf {
+    PathBuf::from(std::env::var("TAMP_OUT").unwrap_or_else(|_| "results".into()))
+}
+
+/// The default offline-stage configuration used by the experiments.
+///
+/// Laptop-scale: hidden 16, 10 meta iterations. The paper column of
+/// Table III (bold values) sets `seq_in = 5`, `seq_out = 1`, γ = 0.2.
+pub fn default_training(seed: u64) -> TrainingConfig {
+    TrainingConfig {
+        seq_in: 5,
+        seq_out: 1,
+        hidden: 16,
+        meta: MetaConfig {
+            iterations: 40,
+            ..MetaConfig::default()
+        },
+        adapt_steps: 8,
+        seed,
+        ..TrainingConfig::default()
+    }
+}
+
+/// The default online-stage configuration (2-minute batches, a = 0.4 km,
+/// ε = 8, 6-unit rollout, matching `seq_in`).
+pub fn default_engine(seed: u64) -> EngineConfig {
+    EngineConfig {
+        seq_in: 5,
+        seed,
+        ..EngineConfig::default()
+    }
+}
+
+/// Task-count sweep points proportional to the scale's default (the
+/// paper's 1K–5K on 3K default becomes 1/3×..5/3× of `scale.n_tasks`).
+pub fn task_sweep_points(scale: &Scale) -> Vec<usize> {
+    (1..=5).map(|i| (scale.n_tasks * i) / 3).collect()
+}
+
+/// Prints Table IV/VI-style rows.
+pub fn print_ablation(rows: &[AblationRow]) {
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.cluster_algorithm.clone(),
+                r.factors.join("+"),
+                f4(r.rmse),
+                f4(r.mae),
+                f4(r.mr),
+                f1(r.tt_seconds),
+                r.n_clusters.to_string(),
+            ]
+        })
+        .collect();
+    print_markdown_table(
+        &["cluster algo", "factors", "RMSE", "MAE", "MR", "TT (s)", "#clusters"],
+        &table,
+    );
+}
+
+/// Prints Table V/VII-style rows.
+pub fn print_seq(rows: &[SeqRow]) {
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.swept.clone(),
+                r.value.to_string(),
+                r.algorithm.clone(),
+                f4(r.rmse),
+                f4(r.mae),
+                f4(r.mr),
+                f1(r.tt_seconds),
+            ]
+        })
+        .collect();
+    print_markdown_table(
+        &["swept", "value", "algorithm", "RMSE", "MAE", "MR", "TT (s)"],
+        &table,
+    );
+}
+
+/// Prints Fig. 6–11-style rows.
+pub fn print_assignment(rows: &[AssignmentRow]) {
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.param.clone(),
+                format!("{}", r.x),
+                r.algorithm.clone(),
+                f4(r.completion),
+                f4(r.rejection),
+                f4(r.cost_km),
+                format!("{:.3}", r.runtime_s),
+            ]
+        })
+        .collect();
+    print_markdown_table(
+        &[
+            "param",
+            "x",
+            "algorithm",
+            "completion",
+            "rejection",
+            "cost (km)",
+            "runtime (s)",
+        ],
+        &table,
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn task_sweep_points_scale_proportionally() {
+        let pts = task_sweep_points(&Scale {
+            n_workers: 442,
+            train_days: 9,
+            units_per_day: 48,
+            n_tasks: 3000,
+            n_historical_tasks: 50_000,
+        });
+        assert_eq!(pts, vec![1000, 2000, 3000, 4000, 5000]);
+    }
+
+    #[test]
+    fn env_defaults() {
+        // Without env vars set, defaults hold.
+        std::env::remove_var("TAMP_SEED");
+        assert_eq!(seed_from_env(), 42);
+        let t = default_training(1);
+        assert_eq!(t.seq_in, 5);
+        assert_eq!(t.seq_out, 1);
+        let e = default_engine(1);
+        assert_eq!(e.seq_in, 5);
+    }
+}

@@ -1,0 +1,264 @@
+//! Minimal SVG line charts for the figure experiments.
+//!
+//! The workspace has no plotting dependency, so this module hand-writes
+//! the small subset of SVG needed to turn `results/figN.json` into the
+//! paper's four-panel figures (completion / rejection / cost / runtime
+//! vs the swept parameter). See the `render_charts` binary.
+
+use std::fmt::Write as _;
+
+/// One line of a chart.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label.
+    pub name: String,
+    /// `(x, y)` points, assumed sorted by `x`.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// Ten-class colour palette (Okabe–Ito-ish, readable on white).
+const PALETTE: [&str; 8] = [
+    "#0072B2", "#D55E00", "#009E73", "#CC79A7", "#E69F00", "#56B4E9", "#000000", "#999999",
+];
+
+const W: f64 = 560.0;
+const H: f64 = 360.0;
+const ML: f64 = 64.0; // margins
+const MR: f64 = 150.0;
+const MT: f64 = 40.0;
+const MB: f64 = 48.0;
+
+fn nice_ticks(lo: f64, hi: f64, n: usize) -> Vec<f64> {
+    if hi <= lo || !hi.is_finite() || !lo.is_finite() {
+        return vec![lo];
+    }
+    let span = hi - lo;
+    let raw = span / n as f64;
+    let mag = 10f64.powf(raw.log10().floor());
+    let step = [1.0, 2.0, 2.5, 5.0, 10.0]
+        .iter()
+        .map(|m| m * mag)
+        .find(|s| span / s <= n as f64)
+        .unwrap_or(mag * 10.0);
+    let start = (lo / step).ceil() * step;
+    let mut ticks = Vec::new();
+    let mut t = start;
+    while t <= hi + 1e-9 {
+        ticks.push(t);
+        t += step;
+    }
+    ticks
+}
+
+fn fmt_tick(v: f64) -> String {
+    if v.abs() >= 1000.0 {
+        format!("{:.0}", v)
+    } else if (v - v.round()).abs() < 1e-9 {
+        format!("{}", v.round() as i64)
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+/// Renders a single line chart as an SVG document.
+pub fn line_chart(title: &str, x_label: &str, y_label: &str, series: &[Series]) -> String {
+    let xs: Vec<f64> = series.iter().flat_map(|s| s.points.iter().map(|p| p.0)).collect();
+    let ys: Vec<f64> = series.iter().flat_map(|s| s.points.iter().map(|p| p.1)).collect();
+    let (x_lo, x_hi) = bounds(&xs);
+    let (mut y_lo, mut y_hi) = bounds(&ys);
+    if (y_hi - y_lo).abs() < 1e-12 {
+        y_lo -= 0.5;
+        y_hi += 0.5;
+    } else {
+        let pad = 0.06 * (y_hi - y_lo);
+        y_lo -= pad;
+        y_hi += pad;
+    }
+    let plot_w = W - ML - MR;
+    let plot_h = H - MT - MB;
+    let px = |x: f64| ML + (x - x_lo) / (x_hi - x_lo).max(1e-12) * plot_w;
+    let py = |y: f64| MT + plot_h - (y - y_lo) / (y_hi - y_lo).max(1e-12) * plot_h;
+
+    let mut svg = String::new();
+    let _ = write!(
+        svg,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{W}" height="{H}" viewBox="0 0 {W} {H}" font-family="sans-serif">"#
+    );
+    let _ = write!(svg, r#"<rect width="{W}" height="{H}" fill="white"/>"#);
+    let _ = write!(
+        svg,
+        r#"<text x="{}" y="22" font-size="15" text-anchor="middle" font-weight="bold">{}</text>"#,
+        ML + plot_w / 2.0,
+        escape(title)
+    );
+
+    // Axes and grid.
+    for t in nice_ticks(y_lo, y_hi, 5) {
+        let y = py(t);
+        let _ = write!(
+            svg,
+            r##"<line x1="{ML}" y1="{y:.1}" x2="{:.1}" y2="{y:.1}" stroke="#e0e0e0"/>"##,
+            ML + plot_w
+        );
+        let _ = write!(
+            svg,
+            r#"<text x="{:.1}" y="{:.1}" font-size="11" text-anchor="end">{}</text>"#,
+            ML - 6.0,
+            y + 4.0,
+            fmt_tick(t)
+        );
+    }
+    for t in nice_ticks(x_lo, x_hi, 6) {
+        let x = px(t);
+        let _ = write!(
+            svg,
+            r##"<line x1="{x:.1}" y1="{MT}" x2="{x:.1}" y2="{:.1}" stroke="#f0f0f0"/>"##,
+            MT + plot_h
+        );
+        let _ = write!(
+            svg,
+            r#"<text x="{x:.1}" y="{:.1}" font-size="11" text-anchor="middle">{}</text>"#,
+            MT + plot_h + 16.0,
+            fmt_tick(t)
+        );
+    }
+    let _ = write!(
+        svg,
+        r##"<rect x="{ML}" y="{MT}" width="{plot_w:.1}" height="{plot_h:.1}" fill="none" stroke="#606060"/>"##
+    );
+    // Axis labels.
+    let _ = write!(
+        svg,
+        r#"<text x="{:.1}" y="{:.1}" font-size="12" text-anchor="middle">{}</text>"#,
+        ML + plot_w / 2.0,
+        H - 10.0,
+        escape(x_label)
+    );
+    let _ = write!(
+        svg,
+        r#"<text x="16" y="{:.1}" font-size="12" text-anchor="middle" transform="rotate(-90 16 {:.1})">{}</text>"#,
+        MT + plot_h / 2.0,
+        MT + plot_h / 2.0,
+        escape(y_label)
+    );
+
+    // Series.
+    for (i, s) in series.iter().enumerate() {
+        let color = PALETTE[i % PALETTE.len()];
+        let pts: Vec<String> = s
+            .points
+            .iter()
+            .map(|&(x, y)| format!("{:.1},{:.1}", px(x), py(y)))
+            .collect();
+        let _ = write!(
+            svg,
+            r#"<polyline points="{}" fill="none" stroke="{color}" stroke-width="2"/>"#,
+            pts.join(" ")
+        );
+        for &(x, y) in &s.points {
+            let _ = write!(
+                svg,
+                r#"<circle cx="{:.1}" cy="{:.1}" r="3" fill="{color}"/>"#,
+                px(x),
+                py(y)
+            );
+        }
+        // Legend entry.
+        let ly = MT + 14.0 + i as f64 * 18.0;
+        let lx = ML + plot_w + 10.0;
+        let _ = write!(
+            svg,
+            r#"<line x1="{lx:.1}" y1="{ly:.1}" x2="{:.1}" y2="{ly:.1}" stroke="{color}" stroke-width="2"/>"#,
+            lx + 18.0
+        );
+        let _ = write!(
+            svg,
+            r#"<text x="{:.1}" y="{:.1}" font-size="11">{}</text>"#,
+            lx + 24.0,
+            ly + 4.0,
+            escape(&s.name)
+        );
+    }
+    svg.push_str("</svg>");
+    svg
+}
+
+fn bounds(v: &[f64]) -> (f64, f64) {
+    let lo = v.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = v.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    if lo.is_finite() && hi.is_finite() {
+        (lo, hi)
+    } else {
+        (0.0, 1.0)
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<Series> {
+        vec![
+            Series {
+                name: "PPI".into(),
+                points: vec![(2.0, 0.4), (4.0, 0.5), (6.0, 0.55)],
+            },
+            Series {
+                name: "KM".into(),
+                points: vec![(2.0, 0.38), (4.0, 0.47), (6.0, 0.52)],
+            },
+        ]
+    }
+
+    #[test]
+    fn chart_contains_all_structural_elements() {
+        let svg = line_chart("Completion vs d", "detour (km)", "completion", &sample());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        assert_eq!(svg.matches("<polyline").count(), 2);
+        assert_eq!(svg.matches("<circle").count(), 6);
+        assert!(svg.contains("Completion vs d"));
+        assert!(svg.contains("PPI"));
+        assert!(svg.contains("KM"));
+        assert!(svg.contains("detour (km)"));
+    }
+
+    #[test]
+    fn escapes_markup_in_labels() {
+        let svg = line_chart("a<b & c>d", "x", "y", &sample());
+        assert!(svg.contains("a&lt;b &amp; c&gt;d"));
+        assert!(!svg.contains("a<b"));
+    }
+
+    #[test]
+    fn degenerate_series_do_not_panic() {
+        let flat = vec![Series {
+            name: "flat".into(),
+            points: vec![(1.0, 0.5), (2.0, 0.5)],
+        }];
+        let svg = line_chart("flat", "x", "y", &flat);
+        assert!(svg.contains("<polyline"));
+        let single = vec![Series {
+            name: "one".into(),
+            points: vec![(1.0, 1.0)],
+        }];
+        let svg = line_chart("one", "x", "y", &single);
+        assert!(svg.contains("<circle"));
+        let empty: Vec<Series> = vec![];
+        let svg = line_chart("none", "x", "y", &empty);
+        assert!(svg.starts_with("<svg"));
+    }
+
+    #[test]
+    fn nice_ticks_cover_the_range() {
+        let t = nice_ticks(0.0, 1.0, 5);
+        assert!(t.first().copied().unwrap() >= 0.0);
+        assert!(t.last().copied().unwrap() <= 1.0 + 1e-9);
+        assert!(t.len() >= 3);
+        assert_eq!(nice_ticks(2.0, 2.0, 5), vec![2.0]);
+    }
+}

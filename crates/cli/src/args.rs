@@ -1,0 +1,125 @@
+//! Minimal `--key value` argument parsing.
+//!
+//! The workspace's approved dependency list has no CLI parser, and the
+//! surface is small enough that a hand-rolled map keeps the binary
+//! dependency-free.
+
+use std::collections::HashMap;
+
+/// Parsed command line: a subcommand plus `--key value` options.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    /// First positional argument.
+    pub command: Option<String>,
+    options: HashMap<String, String>,
+}
+
+impl Args {
+    /// Parses an iterator of arguments (excluding the program name).
+    ///
+    /// Grammar: `[command] (--key value | --flag)*`. A `--key` followed by
+    /// another `--key` (or nothing) is treated as a boolean flag with
+    /// value `"true"`.
+    pub fn parse(args: impl IntoIterator<Item = String>) -> Result<Self, String> {
+        let mut out = Args::default();
+        let mut iter = args.into_iter().peekable();
+        if let Some(first) = iter.peek() {
+            if !first.starts_with("--") {
+                out.command = iter.next();
+            }
+        }
+        while let Some(arg) = iter.next() {
+            let key = arg
+                .strip_prefix("--")
+                .ok_or_else(|| format!("unexpected positional argument: {arg}"))?;
+            if key.is_empty() {
+                return Err("empty option name".into());
+            }
+            let value = match iter.peek() {
+                Some(next) if !next.starts_with("--") => iter.next().expect("peeked"),
+                _ => "true".to_string(),
+            };
+            if out.options.insert(key.to_string(), value).is_some() {
+                return Err(format!("duplicate option: --{key}"));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Raw string option.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(String::as_str)
+    }
+
+    /// Option with a default.
+    pub fn get_or<'a>(&'a self, key: &str, default: &'a str) -> &'a str {
+        self.get(key).unwrap_or(default)
+    }
+
+    /// Parsed numeric option.
+    pub fn get_parsed<T: std::str::FromStr>(&self, key: &str) -> Result<Option<T>, String> {
+        match self.get(key) {
+            None => Ok(None),
+            Some(v) => v
+                .parse()
+                .map(Some)
+                .map_err(|_| format!("--{key}: cannot parse {v:?}")),
+        }
+    }
+
+    /// Boolean flag (present without value or with `true`).
+    pub fn flag(&self, key: &str) -> bool {
+        matches!(self.get(key), Some("true") | Some("1") | Some("yes"))
+    }
+
+    /// Names of all provided options (for unknown-option checks).
+    pub fn option_names(&self) -> impl Iterator<Item = &str> {
+        self.options.keys().map(String::as_str)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &[&str]) -> Args {
+        Args::parse(s.iter().map(|x| x.to_string())).unwrap()
+    }
+
+    #[test]
+    fn command_and_options() {
+        let a = parse(&["simulate", "--seed", "7", "--algo", "ppi"]);
+        assert_eq!(a.command.as_deref(), Some("simulate"));
+        assert_eq!(a.get("seed"), Some("7"));
+        assert_eq!(a.get_or("missing", "x"), "x");
+        assert_eq!(a.get_parsed::<u64>("seed").unwrap(), Some(7));
+    }
+
+    #[test]
+    fn bare_flags() {
+        let a = parse(&["generate", "--verbose", "--out", "w.json"]);
+        assert!(a.flag("verbose"));
+        assert_eq!(a.get("out"), Some("w.json"));
+        assert!(!a.flag("out"));
+    }
+
+    #[test]
+    fn no_command() {
+        let a = parse(&["--help"]);
+        assert_eq!(a.command, None);
+        assert!(a.flag("help"));
+    }
+
+    #[test]
+    fn rejects_duplicates_and_positionals() {
+        assert!(Args::parse(["--a".into(), "1".into(), "--a".into(), "2".into()]).is_err());
+        assert!(Args::parse(["cmd".into(), "stray".into()]).is_err());
+    }
+
+    #[test]
+    fn parse_error_message_names_key() {
+        let a = parse(&["x", "--n", "abc"]);
+        let err = a.get_parsed::<u32>("n").unwrap_err();
+        assert!(err.contains("--n"), "{err}");
+    }
+}

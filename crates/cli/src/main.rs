@@ -1,0 +1,223 @@
+//! `tamp-cli` — run the TAMP simulator from the command line.
+//!
+//! ```text
+//! tamp-cli generate  --kind porto|gowalla --scale tiny|small|paper --seed N --out workload.json
+//! tamp-cli simulate  [--workload file.json | --kind ... --scale ... --seed N]
+//!                    --algo ppi|km|ggpso|ub|lb [--loss task|mse] [--detour KM]
+//!                    [--tasks N] [--json]
+//! tamp-cli predict   [--workload file.json | --kind ... --scale ... --seed N]
+//!                    --algo gttaml|gttaml-gt|ctml|maml [--loss task|mse] [--json]
+//! ```
+//!
+//! `simulate` runs the full offline + online pipeline and prints the
+//! paper's four assignment metrics; `predict` stops after the offline
+//! stage and prints RMSE/MAE/MR/TT.
+
+mod args;
+
+use args::Args;
+use std::path::Path;
+use std::process::ExitCode;
+use tamp_platform::{
+    run_assignment, train_predictors, AssignmentAlgo, EngineConfig, LossKind, PredictionAlgo,
+    TrainingConfig,
+};
+use tamp_sim::{Scale, Workload, WorkloadConfig, WorkloadKind};
+
+const HELP: &str = "\
+tamp-cli — mobility prediction-aware spatial crowdsourcing simulator
+
+USAGE:
+  tamp-cli generate --out FILE [--kind porto|gowalla] [--scale tiny|small|paper]
+                    [--seed N] [--detour KM] [--tasks N]
+  tamp-cli simulate [--workload FILE | generation options] --algo ppi|km|ggpso|ub|lb
+                    [--loss task|mse] [--json]
+  tamp-cli predict  [--workload FILE | generation options]
+                    [--algo gttaml|gttaml-gt|ctml|maml] [--loss task|mse] [--json]
+  tamp-cli help
+";
+
+fn main() -> ExitCode {
+    let args = match Args::parse(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n{HELP}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // Surface obvious typos: every command shares one option vocabulary.
+    const KNOWN: [&str; 10] = [
+        "out", "workload", "kind", "scale", "seed", "algo", "loss", "detour", "tasks", "json",
+    ];
+    for name in args.option_names() {
+        if !KNOWN.contains(&name) {
+            eprintln!("warning: unknown option --{name} (ignored)");
+        }
+    }
+    let result = match args.command.as_deref() {
+        Some("generate") => cmd_generate(&args),
+        Some("simulate") => cmd_simulate(&args),
+        Some("predict") => cmd_predict(&args),
+        Some("help") | None => {
+            println!("{HELP}");
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command: {other}\n{HELP}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn parse_scale(s: &str) -> Result<Scale, String> {
+    match s {
+        "tiny" => Ok(Scale::tiny()),
+        "small" => Ok(Scale::small()),
+        "paper" => Ok(Scale::paper_workload1()),
+        other => Err(format!("unknown scale: {other}")),
+    }
+}
+
+fn parse_kind(s: &str) -> Result<WorkloadKind, String> {
+    match s {
+        "porto" | "workload1" => Ok(WorkloadKind::PortoDidi),
+        "gowalla" | "workload2" => Ok(WorkloadKind::GowallaFoursquare),
+        other => Err(format!("unknown workload kind: {other}")),
+    }
+}
+
+fn parse_loss(s: &str) -> Result<LossKind, String> {
+    match s {
+        "task" | "task-oriented" => Ok(LossKind::TaskOriented),
+        "mse" => Ok(LossKind::Mse),
+        other => Err(format!("unknown loss: {other}")),
+    }
+}
+
+fn build_or_load(args: &Args) -> Result<Workload, String> {
+    if let Some(path) = args.get("workload") {
+        return Workload::load_json(Path::new(path)).map_err(|e| format!("load {path}: {e}"));
+    }
+    let kind = parse_kind(args.get_or("kind", "porto"))?;
+    let scale = parse_scale(args.get_or("scale", "small"))?;
+    let seed = args.get_parsed::<u64>("seed")?.unwrap_or(42);
+    let mut cfg = WorkloadConfig::new(kind, scale, seed);
+    if let Some(d) = args.get_parsed::<f64>("detour")? {
+        cfg.detour_limit_km = d;
+    }
+    if let Some(n) = args.get_parsed::<usize>("tasks")? {
+        cfg.scale.n_tasks = n;
+    }
+    Ok(cfg.build())
+}
+
+fn cmd_generate(args: &Args) -> Result<(), String> {
+    let out = args.get("out").ok_or("generate needs --out FILE")?;
+    let workload = build_or_load(args)?;
+    workload
+        .save_json(Path::new(out))
+        .map_err(|e| format!("write {out}: {e}"))?;
+    println!(
+        "wrote {out}: {} workers, {} tasks, horizon {:.0} min",
+        workload.workers.len(),
+        workload.tasks.len(),
+        workload.horizon.as_f64()
+    );
+    Ok(())
+}
+
+fn training_config(args: &Args) -> Result<TrainingConfig, String> {
+    let seed = args.get_parsed::<u64>("seed")?.unwrap_or(42);
+    let mut cfg = TrainingConfig {
+        seed,
+        ..TrainingConfig::default()
+    };
+    cfg.loss = parse_loss(args.get_or("loss", "task"))?;
+    Ok(cfg)
+}
+
+fn cmd_simulate(args: &Args) -> Result<(), String> {
+    let workload = build_or_load(args)?;
+    let algo = match args.get_or("algo", "ppi") {
+        "ppi" => AssignmentAlgo::Ppi,
+        "km" => AssignmentAlgo::Km,
+        "ggpso" => AssignmentAlgo::Ggpso,
+        "ub" => AssignmentAlgo::Ub,
+        "lb" => AssignmentAlgo::Lb,
+        other => return Err(format!("unknown assignment algorithm: {other}")),
+    };
+    let needs_predictors = !matches!(algo, AssignmentAlgo::Ub | AssignmentAlgo::Lb);
+    let predictors = if needs_predictors {
+        let tcfg = training_config(args)?;
+        eprintln!("training predictors ({:?}, {:?} loss)...", tcfg.algo, tcfg.loss);
+        Some(train_predictors(&workload, &tcfg))
+    } else {
+        None
+    };
+    let engine = EngineConfig {
+        seed: args.get_parsed::<u64>("seed")?.unwrap_or(42),
+        ..EngineConfig::default()
+    };
+    let m = run_assignment(&workload, predictors.as_ref(), algo, &engine);
+    if args.flag("json") {
+        println!(
+            "{}",
+            serde_json::json!({
+                "algorithm": format!("{algo:?}"),
+                "tasks_total": m.tasks_total,
+                "completed": m.completed,
+                "rejected": m.rejected,
+                "completion_ratio": m.completion_ratio(),
+                "rejection_ratio": m.rejection_ratio(),
+                "avg_worker_cost_km": m.avg_worker_cost_km(),
+                "algo_seconds": m.algo_seconds,
+            })
+        );
+    } else {
+        println!("algorithm        : {algo:?}");
+        println!("tasks            : {}", m.tasks_total);
+        println!("completed        : {} ({:.3})", m.completed, m.completion_ratio());
+        println!("rejected         : {} ({:.3})", m.rejected, m.rejection_ratio());
+        println!("avg worker cost  : {:.2} km", m.avg_worker_cost_km());
+        println!("algorithm runtime: {:.3} s", m.algo_seconds);
+    }
+    Ok(())
+}
+
+fn cmd_predict(args: &Args) -> Result<(), String> {
+    let workload = build_or_load(args)?;
+    let mut tcfg = training_config(args)?;
+    tcfg.algo = match args.get_or("algo", "gttaml") {
+        "gttaml" => PredictionAlgo::Gttaml,
+        "gttaml-gt" => PredictionAlgo::GttamlGt,
+        "ctml" => PredictionAlgo::Ctml,
+        "maml" => PredictionAlgo::Maml,
+        other => return Err(format!("unknown prediction algorithm: {other}")),
+    };
+    let p = train_predictors(&workload, &tcfg);
+    if args.flag("json") {
+        println!(
+            "{}",
+            serde_json::json!({
+                "algorithm": format!("{:?}", tcfg.algo),
+                "rmse_cells": p.overall.rmse_cells,
+                "mae_cells": p.overall.mae_cells,
+                "matching_rate": p.overall.mr,
+                "train_seconds": p.train_seconds,
+                "clusters": p.n_clusters,
+            })
+        );
+    } else {
+        println!("algorithm     : {:?}", tcfg.algo);
+        println!("RMSE          : {:.4} cells", p.overall.rmse_cells);
+        println!("MAE           : {:.4} cells", p.overall.mae_cells);
+        println!("matching rate : {:.4}", p.overall.mr);
+        println!("training time : {:.1} s", p.train_seconds);
+        println!("leaf clusters : {}", p.n_clusters);
+    }
+    Ok(())
+}

@@ -1,0 +1,181 @@
+//! Assignment plans (Definition 4).
+//!
+//! An assignment `M` pairs tasks with workers such that every task and
+//! every worker appears at most once. After workers report back, the
+//! accepted sub-plan `M'` carries the real detour cost `d_c` per pair.
+//! The TAMP objectives (Definition 5) are all functions of `M` and `M'`:
+//! maximise `|M'|`, minimise `(|M| − |M'|)/|M|`, minimise mean `d_c`.
+
+use crate::task::TaskId;
+use crate::worker::WorkerId;
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// One proposed pair `(τ, w)` of an assignment plan.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AssignmentPair {
+    /// The assigned task.
+    pub task: TaskId,
+    /// The worker it was assigned to.
+    pub worker: WorkerId,
+    /// The score the matcher used for this edge (higher = preferred);
+    /// informational only.
+    pub score: f64,
+}
+
+/// An assignment plan `M`: a set of `(τ, w)` pairs in which each task and
+/// each worker appears at most once.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Assignment {
+    pairs: Vec<AssignmentPair>,
+}
+
+impl Assignment {
+    /// An empty plan.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a plan from pairs, panicking if any task or worker repeats
+    /// (an invalid plan per Definition 4).
+    pub fn from_pairs(pairs: Vec<AssignmentPair>) -> Self {
+        let plan = Self { pairs };
+        assert!(plan.is_valid(), "assignment reuses a task or worker");
+        plan
+    }
+
+    /// Adds a pair; returns `false` (and does not add) if the task or
+    /// worker is already assigned.
+    pub fn try_push(&mut self, pair: AssignmentPair) -> bool {
+        if self
+            .pairs
+            .iter()
+            .any(|p| p.task == pair.task || p.worker == pair.worker)
+        {
+            return false;
+        }
+        self.pairs.push(pair);
+        true
+    }
+
+    /// Merges another plan into this one, skipping conflicting pairs.
+    /// Returns how many pairs were actually merged.
+    pub fn merge(&mut self, other: Assignment) -> usize {
+        let mut merged = 0;
+        for p in other.pairs {
+            if self.try_push(p) {
+                merged += 1;
+            }
+        }
+        merged
+    }
+
+    /// The pairs of the plan.
+    #[inline]
+    pub fn pairs(&self) -> &[AssignmentPair] {
+        &self.pairs
+    }
+
+    /// `|M|`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Whether the plan is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Validity check of Definition 4: every task and every worker occurs
+    /// at most once.
+    pub fn is_valid(&self) -> bool {
+        let mut tasks = HashSet::with_capacity(self.pairs.len());
+        let mut workers = HashSet::with_capacity(self.pairs.len());
+        self.pairs
+            .iter()
+            .all(|p| tasks.insert(p.task) && workers.insert(p.worker))
+    }
+
+    /// Set of assigned task ids.
+    pub fn assigned_tasks(&self) -> HashSet<TaskId> {
+        self.pairs.iter().map(|p| p.task).collect()
+    }
+
+    /// Set of assigned worker ids.
+    pub fn assigned_workers(&self) -> HashSet<WorkerId> {
+        self.pairs.iter().map(|p| p.worker).collect()
+    }
+
+    /// The worker assigned to `task`, if any.
+    pub fn worker_for(&self, task: TaskId) -> Option<WorkerId> {
+        self.pairs
+            .iter()
+            .find(|p| p.task == task)
+            .map(|p| p.worker)
+    }
+}
+
+/// The outcome of one `(τ, w)` pair after the worker reported back.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum PairOutcome {
+    /// Worker accepted and completed the task at the given real detour
+    /// cost `d_c` in kilometres.
+    Accepted {
+        /// Real detour the worker travelled.
+        detour_km: f64,
+    },
+    /// Worker rejected the assignment (detour or deadline violated by the
+    /// real itinerary).
+    Rejected,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pair(t: u64, w: u64) -> AssignmentPair {
+        AssignmentPair {
+            task: TaskId(t),
+            worker: WorkerId(w),
+            score: 1.0,
+        }
+    }
+
+    #[test]
+    fn push_rejects_duplicates() {
+        let mut m = Assignment::new();
+        assert!(m.try_push(pair(1, 1)));
+        assert!(!m.try_push(pair(1, 2)), "task reused");
+        assert!(!m.try_push(pair(2, 1)), "worker reused");
+        assert!(m.try_push(pair(2, 2)));
+        assert_eq!(m.len(), 2);
+        assert!(m.is_valid());
+    }
+
+    #[test]
+    fn merge_skips_conflicts() {
+        let mut a = Assignment::from_pairs(vec![pair(1, 1)]);
+        let b = Assignment::from_pairs(vec![pair(1, 2), pair(3, 3)]);
+        let merged = a.merge(b);
+        assert_eq!(merged, 1);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.worker_for(TaskId(3)), Some(WorkerId(3)));
+        assert_eq!(a.worker_for(TaskId(1)), Some(WorkerId(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "reuses")]
+    fn from_pairs_panics_on_invalid() {
+        Assignment::from_pairs(vec![pair(1, 1), pair(2, 1)]);
+    }
+
+    #[test]
+    fn id_sets() {
+        let m = Assignment::from_pairs(vec![pair(1, 10), pair(2, 20)]);
+        assert!(m.assigned_tasks().contains(&TaskId(2)));
+        assert!(m.assigned_workers().contains(&WorkerId(10)));
+        assert_eq!(m.worker_for(TaskId(9)), None);
+    }
+}

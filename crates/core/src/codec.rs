@@ -1,0 +1,114 @@
+//! Compact binary codec for routines.
+//!
+//! The platform ships worker trajectories between the simulator, the
+//! training pipeline and the experiment drivers. JSON is convenient but
+//! ~10× larger than necessary for dense float triples, so routines get a
+//! simple length-prefixed little-endian layout built on [`bytes`]:
+//!
+//! ```text
+//! u32 count | count × (f64 x | f64 y | f64 t_minutes)
+//! ```
+
+use crate::error::{Result, TampError};
+use crate::geometry::Point;
+use crate::routine::{Routine, TimedPoint};
+use crate::time::Minutes;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Encodes a routine into its binary form.
+pub fn encode_routine(r: &Routine) -> Bytes {
+    let mut buf = BytesMut::with_capacity(4 + r.len() * 24);
+    buf.put_u32_le(r.len() as u32);
+    for p in r.points() {
+        buf.put_f64_le(p.loc.x);
+        buf.put_f64_le(p.loc.y);
+        buf.put_f64_le(p.time.as_f64());
+    }
+    buf.freeze()
+}
+
+/// Decodes a routine previously produced by [`encode_routine`].
+pub fn decode_routine(mut buf: impl Buf) -> Result<Routine> {
+    if buf.remaining() < 4 {
+        return Err(TampError::Codec("missing length prefix".into()));
+    }
+    let count = buf.get_u32_le() as usize;
+    let need = count * 24;
+    if buf.remaining() < need {
+        return Err(TampError::Codec(format!(
+            "expected {need} payload bytes, found {}",
+            buf.remaining()
+        )));
+    }
+    let mut points = Vec::with_capacity(count);
+    for _ in 0..count {
+        let x = buf.get_f64_le();
+        let y = buf.get_f64_le();
+        let t = buf.get_f64_le();
+        if !(x.is_finite() && y.is_finite() && t.is_finite()) {
+            return Err(TampError::Codec("non-finite sample".into()));
+        }
+        points.push(TimedPoint::new(Point::new(x, y), Minutes::new(t)));
+    }
+    Ok(Routine::from_points(points))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn routine() -> Routine {
+        Routine::from_sampled(
+            (0..10).map(|i| Point::new(i as f64 * 0.3, (i % 3) as f64)),
+            Minutes::ZERO,
+            Minutes::new(10.0),
+        )
+    }
+
+    #[test]
+    fn round_trip() {
+        let r = routine();
+        let bytes = encode_routine(&r);
+        assert_eq!(bytes.len(), 4 + 10 * 24);
+        let back = decode_routine(bytes).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn empty_round_trip() {
+        let r = Routine::new();
+        let back = decode_routine(encode_routine(&r)).unwrap();
+        assert!(back.is_empty());
+    }
+
+    #[test]
+    fn truncated_payload_errors() {
+        let bytes = encode_routine(&routine());
+        let truncated = bytes.slice(..bytes.len() - 8);
+        assert!(matches!(
+            decode_routine(truncated),
+            Err(TampError::Codec(_))
+        ));
+    }
+
+    #[test]
+    fn missing_prefix_errors() {
+        assert!(matches!(
+            decode_routine(Bytes::from_static(&[1, 2])),
+            Err(TampError::Codec(_))
+        ));
+    }
+
+    #[test]
+    fn non_finite_rejected() {
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(1);
+        buf.put_f64_le(f64::NAN);
+        buf.put_f64_le(0.0);
+        buf.put_f64_le(0.0);
+        assert!(matches!(
+            decode_routine(buf.freeze()),
+            Err(TampError::Codec(_))
+        ));
+    }
+}

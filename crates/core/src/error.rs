@@ -1,0 +1,67 @@
+//! Error types shared across the workspace.
+
+use std::fmt;
+
+/// Convenience alias used throughout the workspace.
+pub type Result<T> = std::result::Result<T, TampError>;
+
+/// Errors produced by TAMP components.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TampError {
+    /// A routine was too short for the requested operation (e.g. sampling
+    /// `(seq_in, seq_out)` pairs from a two-point history).
+    RoutineTooShort {
+        /// Samples available.
+        have: usize,
+        /// Samples required.
+        need: usize,
+    },
+    /// A decode of the binary routine codec failed.
+    Codec(String),
+    /// A caller supplied an invalid configuration value.
+    InvalidConfig(String),
+    /// A model shape mismatch (wrong input/output dimensions).
+    ShapeMismatch {
+        /// What the operation expected.
+        expected: String,
+        /// What it received.
+        got: String,
+    },
+    /// An algorithm received an empty input it cannot handle.
+    EmptyInput(&'static str),
+}
+
+impl fmt::Display for TampError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TampError::RoutineTooShort { have, need } => {
+                write!(f, "routine too short: have {have} samples, need {need}")
+            }
+            TampError::Codec(msg) => write!(f, "codec error: {msg}"),
+            TampError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            TampError::ShapeMismatch { expected, got } => {
+                write!(f, "shape mismatch: expected {expected}, got {got}")
+            }
+            TampError::EmptyInput(what) => write!(f, "empty input: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for TampError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = TampError::RoutineTooShort { have: 2, need: 6 };
+        assert!(e.to_string().contains("have 2"));
+        let e = TampError::ShapeMismatch {
+            expected: "4x4".into(),
+            got: "4x3".into(),
+        };
+        assert!(e.to_string().contains("expected 4x4"));
+        assert!(TampError::EmptyInput("tasks").to_string().contains("tasks"));
+    }
+}

@@ -1,0 +1,201 @@
+//! Planar geometry: points, distances and detours.
+//!
+//! The TAMP paper works in a city-scale plane; we use kilometres on both
+//! axes. The central geometric quantity is the **detour** a worker incurs
+//! when diverting from a leg of their routine to a task location:
+//! `dis(l₁, τ) + dis(τ, l₂) − dis(l₁, l₂)` (Lemma 1 and Section II,
+//! Definition 4).
+
+use serde::{Deserialize, Serialize};
+
+/// A location in the plane, in kilometres.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Point {
+    /// Easting in kilometres.
+    pub x: f64,
+    /// Northing in kilometres.
+    pub y: f64,
+}
+
+impl Point {
+    /// Creates a point from kilometre coordinates.
+    #[inline]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Self { x, y }
+    }
+
+    /// Euclidean distance to `other`, in kilometres.
+    #[inline]
+    pub fn dist(&self, other: Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        (dx * dx + dy * dy).sqrt()
+    }
+
+    /// Squared Euclidean distance (avoids the square root when only
+    /// comparisons are needed).
+    #[inline]
+    pub fn dist_sq(&self, other: Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+
+    /// Linear interpolation from `self` towards `other`.
+    ///
+    /// `t = 0` yields `self`, `t = 1` yields `other`; values outside
+    /// `\[0, 1\]` extrapolate along the same line.
+    #[inline]
+    pub fn lerp(&self, other: Point, t: f64) -> Point {
+        Point::new(
+            self.x + (other.x - self.x) * t,
+            self.y + (other.y - self.y) * t,
+        )
+    }
+
+    /// Component-wise addition.
+    #[inline]
+    pub fn offset(&self, dx: f64, dy: f64) -> Point {
+        Point::new(self.x + dx, self.y + dy)
+    }
+
+    /// Returns `true` when both coordinates are finite.
+    #[inline]
+    pub fn is_finite(&self) -> bool {
+        self.x.is_finite() && self.y.is_finite()
+    }
+}
+
+/// The extra distance incurred by travelling `from → via → to` instead of
+/// `from → to` directly.
+///
+/// This is the per-leg detour of Lemma 1. It is non-negative by the
+/// triangle inequality and zero when `via` lies on the segment.
+#[inline]
+pub fn detour_via(from: Point, via: Point, to: Point) -> f64 {
+    (from.dist(via) + via.dist(to) - from.dist(to)).max(0.0)
+}
+
+/// The minimal detour over every leg `(pᵢ, pᵢ₊₁)` of a polyline `path`
+/// when inserting a stop at `via`.
+///
+/// Returns `None` for paths with fewer than two points (a single point has
+/// no leg to divert from; callers treat this as "detour = out-and-back",
+/// see [`min_detour_on_path_or_roundtrip`]).
+pub fn min_detour_on_path(path: &[Point], via: Point) -> Option<f64> {
+    if path.len() < 2 {
+        return None;
+    }
+    let mut best = f64::INFINITY;
+    for leg in path.windows(2) {
+        let d = detour_via(leg[0], via, leg[1]);
+        if d < best {
+            best = d;
+        }
+    }
+    Some(best)
+}
+
+/// Like [`min_detour_on_path`], but a path with a single point falls back
+/// to the out-and-back detour `2 · dis(p, via)` (the worker must return to
+/// where they were going to be).
+pub fn min_detour_on_path_or_roundtrip(path: &[Point], via: Point) -> Option<f64> {
+    match path.len() {
+        0 => None,
+        1 => Some(2.0 * path[0].dist(via)),
+        _ => min_detour_on_path(path, via),
+    }
+}
+
+/// Distance from `via` to the nearest vertex of `path`, or `None` for an
+/// empty path. Used by the third stage of the PPI algorithm (Algorithm 4,
+/// lines 28–32) where only the predicted trajectory is consulted.
+pub fn min_dist_to_path(path: &[Point], via: Point) -> Option<f64> {
+    path.iter()
+        .map(|p| p.dist(via))
+        .min_by(|a, b| a.partial_cmp(b).expect("distances are finite"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dist_is_euclidean() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert_eq!(a.dist(b), 5.0);
+        assert_eq!(a.dist_sq(b), 25.0);
+    }
+
+    #[test]
+    fn dist_is_symmetric() {
+        let a = Point::new(1.5, -2.0);
+        let b = Point::new(-4.0, 7.25);
+        assert_eq!(a.dist(b), b.dist(a));
+    }
+
+    #[test]
+    fn lerp_endpoints_and_midpoint() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(2.0, 6.0);
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+        let mid = a.lerp(b, 0.5);
+        assert_eq!(mid, Point::new(1.0, 3.0));
+    }
+
+    #[test]
+    fn detour_on_segment_is_zero() {
+        let from = Point::new(0.0, 0.0);
+        let to = Point::new(10.0, 0.0);
+        let on = Point::new(4.0, 0.0);
+        assert!(detour_via(from, on, to).abs() < 1e-12);
+    }
+
+    #[test]
+    fn detour_off_segment_is_positive() {
+        let from = Point::new(0.0, 0.0);
+        let to = Point::new(10.0, 0.0);
+        let off = Point::new(5.0, 5.0);
+        let d = detour_via(from, off, to);
+        assert!(d > 0.0);
+        // 2 * sqrt(25+25) - 10
+        assert!((d - (2.0 * 50.0_f64.sqrt() - 10.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_detour_picks_best_leg() {
+        let path = [
+            Point::new(0.0, 0.0),
+            Point::new(10.0, 0.0),
+            Point::new(10.0, 10.0),
+        ];
+        // A task right next to the second leg.
+        let via = Point::new(10.5, 5.0);
+        let d = min_detour_on_path(&path, via).unwrap();
+        // The best leg is (10,0)→(10,10); the detour is small.
+        assert!(d < 0.2, "detour {d} should be small");
+    }
+
+    #[test]
+    fn min_detour_requires_two_points() {
+        assert!(min_detour_on_path(&[Point::new(0.0, 0.0)], Point::new(1.0, 1.0)).is_none());
+        assert!(min_detour_on_path(&[], Point::new(1.0, 1.0)).is_none());
+    }
+
+    #[test]
+    fn roundtrip_fallback_for_single_point() {
+        let d =
+            min_detour_on_path_or_roundtrip(&[Point::new(0.0, 0.0)], Point::new(3.0, 4.0)).unwrap();
+        assert_eq!(d, 10.0);
+    }
+
+    #[test]
+    fn min_dist_to_path_finds_nearest_vertex() {
+        let path = [Point::new(0.0, 0.0), Point::new(10.0, 0.0)];
+        let d = min_dist_to_path(&path, Point::new(9.0, 1.0)).unwrap();
+        assert!((d - 2.0_f64.sqrt()).abs() < 1e-12);
+        assert!(min_dist_to_path(&[], Point::new(0.0, 0.0)).is_none());
+    }
+}

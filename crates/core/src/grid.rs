@@ -1,0 +1,179 @@
+//! City grid discretisation.
+//!
+//! The paper divides the study area into `100 × 50` cells and maps raw
+//! coordinates to grid indexes, then reports prediction errors in
+//! grid-cell units (its RMSE/MAE tables are in cells). [`Grid`] carries
+//! the region extent and cell size and converts between kilometres,
+//! fractional cell coordinates and integer cell indexes.
+
+use crate::geometry::Point;
+use serde::{Deserialize, Serialize};
+
+/// A rectangular grid over the city, anchored at the origin.
+///
+/// # Examples
+///
+/// ```
+/// use tamp_core::{Grid, Point};
+///
+/// let g = Grid::PAPER; // 100×50 cells of 0.2 km
+/// assert_eq!(g.cell_index(Point::new(1.0, 0.5)), (5, 2));
+/// assert_eq!(g.km_to_cells(1.0), 5.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Grid {
+    /// Number of cells along x.
+    pub cols: usize,
+    /// Number of cells along y.
+    pub rows: usize,
+    /// Side length of a square cell, in kilometres.
+    pub cell_km: f64,
+}
+
+impl Grid {
+    /// The paper's 100×50 grid; with 0.2 km cells the region is a
+    /// 20 km × 10 km city, which matches Porto's metro scale.
+    pub const PAPER: Grid = Grid {
+        cols: 100,
+        rows: 50,
+        cell_km: 0.2,
+    };
+
+    /// Creates a grid; panics if any dimension is degenerate.
+    pub fn new(cols: usize, rows: usize, cell_km: f64) -> Self {
+        assert!(cols > 0 && rows > 0, "grid must have cells");
+        assert!(cell_km > 0.0, "cell size must be positive");
+        Self { cols, rows, cell_km }
+    }
+
+    /// Region width in kilometres.
+    #[inline]
+    pub fn width_km(&self) -> f64 {
+        self.cols as f64 * self.cell_km
+    }
+
+    /// Region height in kilometres.
+    #[inline]
+    pub fn height_km(&self) -> f64 {
+        self.rows as f64 * self.cell_km
+    }
+
+    /// Converts a kilometre point to fractional cell coordinates (not
+    /// clamped).
+    #[inline]
+    pub fn to_cells(&self, p: Point) -> (f64, f64) {
+        (p.x / self.cell_km, p.y / self.cell_km)
+    }
+
+    /// Converts fractional cell coordinates back to kilometres.
+    #[inline]
+    pub fn to_km(&self, cx: f64, cy: f64) -> Point {
+        Point::new(cx * self.cell_km, cy * self.cell_km)
+    }
+
+    /// Integer cell index of a point, clamped to the grid.
+    pub fn cell_index(&self, p: Point) -> (usize, usize) {
+        let (cx, cy) = self.to_cells(p);
+        let ix = (cx.floor().max(0.0) as usize).min(self.cols - 1);
+        let iy = (cy.floor().max(0.0) as usize).min(self.rows - 1);
+        (ix, iy)
+    }
+
+    /// Centre of the cell with index `(ix, iy)`.
+    pub fn cell_center(&self, ix: usize, iy: usize) -> Point {
+        Point::new(
+            (ix as f64 + 0.5) * self.cell_km,
+            (iy as f64 + 0.5) * self.cell_km,
+        )
+    }
+
+    /// Clamps a kilometre point into the region.
+    pub fn clamp(&self, p: Point) -> Point {
+        Point::new(
+            p.x.clamp(0.0, self.width_km()),
+            p.y.clamp(0.0, self.height_km()),
+        )
+    }
+
+    /// Whether a point lies inside the region (inclusive).
+    pub fn contains(&self, p: Point) -> bool {
+        p.x >= 0.0 && p.x <= self.width_km() && p.y >= 0.0 && p.y <= self.height_km()
+    }
+
+    /// Normalises a point to `\[0, 1\]²` for model input.
+    #[inline]
+    pub fn normalize(&self, p: Point) -> (f64, f64) {
+        (p.x / self.width_km(), p.y / self.height_km())
+    }
+
+    /// Inverse of [`Grid::normalize`].
+    #[inline]
+    pub fn denormalize(&self, nx: f64, ny: f64) -> Point {
+        Point::new(nx * self.width_km(), ny * self.height_km())
+    }
+
+    /// A distance in kilometres expressed in cell units (the unit of the
+    /// paper's RMSE/MAE tables).
+    #[inline]
+    pub fn km_to_cells(&self, km: f64) -> f64 {
+        km / self.cell_km
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_grid_extent() {
+        let g = Grid::PAPER;
+        assert_eq!(g.width_km(), 20.0);
+        assert_eq!(g.height_km(), 10.0);
+    }
+
+    #[test]
+    fn cell_round_trip() {
+        let g = Grid::PAPER;
+        let p = Point::new(3.7, 8.1);
+        let (cx, cy) = g.to_cells(p);
+        let back = g.to_km(cx, cy);
+        assert!(p.dist(back) < 1e-12);
+    }
+
+    #[test]
+    fn cell_index_clamps() {
+        let g = Grid::PAPER;
+        assert_eq!(g.cell_index(Point::new(-5.0, -5.0)), (0, 0));
+        assert_eq!(g.cell_index(Point::new(999.0, 999.0)), (99, 49));
+        assert_eq!(g.cell_index(Point::new(0.3, 0.5)), (1, 2));
+    }
+
+    #[test]
+    fn normalize_round_trip() {
+        let g = Grid::PAPER;
+        let p = Point::new(12.0, 4.0);
+        let (nx, ny) = g.normalize(p);
+        assert!((0.0..=1.0).contains(&nx) && (0.0..=1.0).contains(&ny));
+        assert!(g.denormalize(nx, ny).dist(p) < 1e-12);
+    }
+
+    #[test]
+    fn km_to_cells_conversion() {
+        let g = Grid::PAPER;
+        assert_eq!(g.km_to_cells(1.0), 5.0);
+    }
+
+    #[test]
+    fn clamp_and_contains() {
+        let g = Grid::PAPER;
+        assert!(g.contains(Point::new(10.0, 5.0)));
+        assert!(!g.contains(Point::new(-0.1, 5.0)));
+        assert_eq!(g.clamp(Point::new(25.0, -2.0)), Point::new(20.0, 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "cell size")]
+    fn zero_cell_panics() {
+        Grid::new(10, 10, 0.0);
+    }
+}

@@ -1,0 +1,57 @@
+//! # tamp-core
+//!
+//! Domain model for **Task Assignment in Mobility Prediction-aware Spatial
+//! Crowdsourcing (TAMP)**, the problem studied by Li et al. (ICDE 2025).
+//!
+//! This crate defines the vocabulary shared by every other crate in the
+//! workspace:
+//!
+//! * [`geometry`] — points in the plane (kilometres), Euclidean distance,
+//!   and the *detour* computations that drive both the worker acceptance
+//!   model and the assignment algorithms.
+//! * [`time`] — timestamps in minutes, the paper's 10-minute *time unit*
+//!   and 2-minute *batch window*.
+//! * [`task`] — spatial tasks `τ = (l, t)` (Definition 1).
+//! * [`worker`] — crowd workers `w = (r, l, d)` (Definition 2) and their
+//!   timed routines.
+//! * [`routine`] — timed trajectories with interpolation, windowing and
+//!   sub-trajectory sampling (the basis of Definition 3's training pairs).
+//! * [`grid`] — the paper's 100×50 discretisation of the city used to
+//!   normalise model inputs and to report errors in grid-cell units.
+//! * [`poi`] — points of interest `v = ⟨x, y, a⟩` used as the spatial
+//!   feature of learning tasks (Section III-B).
+//! * [`assignment`] — assignment plans `M` and accepted sub-plans `M'`
+//!   (Definition 4) plus validity checks.
+//! * [`codec`] — a compact binary encoding for routines (used to ship
+//!   trajectories between the platform and experiment drivers).
+//! * [`rng`] — deterministic seeding helpers so every experiment is
+//!   reproducible from a single `u64` seed.
+//!
+//! All distances are in kilometres and all times in minutes unless a type
+//! says otherwise. Conversions to the paper's grid-cell units go through
+//! [`grid::Grid`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod assignment;
+pub mod codec;
+pub mod error;
+pub mod geometry;
+pub mod grid;
+pub mod poi;
+pub mod rng;
+pub mod routine;
+pub mod task;
+pub mod time;
+pub mod worker;
+
+pub use assignment::{Assignment, AssignmentPair};
+pub use error::{Result, TampError};
+pub use geometry::Point;
+pub use grid::Grid;
+pub use poi::{Poi, PoiCategory};
+pub use routine::{Routine, TimedPoint};
+pub use task::{SpatialTask, TaskId};
+pub use time::{Minutes, BATCH_WINDOW_MINUTES, TIME_UNIT_MINUTES};
+pub use worker::{Worker, WorkerId};

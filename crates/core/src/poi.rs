@@ -1,0 +1,87 @@
+//! Points of interest.
+//!
+//! Section III-B models the *spatial feature* of a learning task as the
+//! POI sequence `V = {v₁, …, vₙ}` with `vᵢ = ⟨xᵢ, yᵢ, aᵢ⟩` (latitude,
+//! longitude, category). The kernel similarity `Sim_s` (Eq. 1) compares
+//! two workers' POI sequences.
+
+use crate::geometry::Point;
+use serde::{Deserialize, Serialize};
+
+/// Category of a point of interest.
+///
+/// A small closed set is enough for the synthetic city; the similarity
+/// kernel only needs equality tests and a stable index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PoiCategory {
+    /// Homes and apartment blocks.
+    Residential,
+    /// Offices and co-working.
+    Office,
+    /// Shops and malls.
+    Retail,
+    /// Restaurants, cafés, bars.
+    Food,
+    /// Parks, gyms, venues.
+    Leisure,
+    /// Stations, stops, depots.
+    Transport,
+}
+
+impl PoiCategory {
+    /// Every category, in stable order.
+    pub const ALL: [PoiCategory; 6] = [
+        PoiCategory::Residential,
+        PoiCategory::Office,
+        PoiCategory::Retail,
+        PoiCategory::Food,
+        PoiCategory::Leisure,
+        PoiCategory::Transport,
+    ];
+
+    /// Stable index of this category within [`PoiCategory::ALL`].
+    pub fn index(self) -> usize {
+        Self::ALL
+            .iter()
+            .position(|c| *c == self)
+            .expect("category is in ALL")
+    }
+}
+
+/// A point of interest `v = ⟨x, y, a⟩`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Poi {
+    /// Location in kilometres.
+    pub loc: Point,
+    /// Category `a`.
+    pub category: PoiCategory,
+}
+
+impl Poi {
+    /// Convenience constructor.
+    pub const fn new(loc: Point, category: PoiCategory) -> Self {
+        Self { loc, category }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn category_indexes_are_stable_and_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for c in PoiCategory::ALL {
+            assert!(seen.insert(c.index()));
+            assert_eq!(PoiCategory::ALL[c.index()], c);
+        }
+        assert_eq!(seen.len(), 6);
+    }
+
+    #[test]
+    fn poi_holds_location() {
+        let p = Poi::new(Point::new(1.0, 2.0), PoiCategory::Food);
+        assert_eq!(p.loc.y, 2.0);
+        assert_eq!(p.category, PoiCategory::Food);
+    }
+}

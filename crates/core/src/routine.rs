@@ -1,0 +1,282 @@
+//! Timed routines (trajectories).
+//!
+//! A routine `r = {(l₁,t₁), (l₂,t₂), …}` is a time-ordered series of
+//! locations (Definition 2). Routines serve three roles in TAMP:
+//!
+//! 1. **History** — the training data of a worker's mobility model
+//!    (Definition 3 samples `(seq_in, seq_out)` sub-trajectory pairs).
+//! 2. **Prediction** — a predicted routine `r̂` drives assignment.
+//! 3. **Ground truth** — the real routine decides acceptance and the real
+//!    detour cost `d_c`.
+
+use crate::geometry::Point;
+use crate::time::Minutes;
+use serde::{Deserialize, Serialize};
+
+/// One sample of a routine: a location with its timestamp.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TimedPoint {
+    /// Location at `time`.
+    pub loc: Point,
+    /// Timestamp of the sample.
+    pub time: Minutes,
+}
+
+impl TimedPoint {
+    /// Convenience constructor.
+    #[inline]
+    pub const fn new(loc: Point, time: Minutes) -> Self {
+        Self { loc, time }
+    }
+}
+
+/// A time-ordered sequence of [`TimedPoint`]s.
+///
+/// Invariant: timestamps are non-decreasing. Constructors either sort or
+/// debug-assert this.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Routine {
+    points: Vec<TimedPoint>,
+}
+
+impl Routine {
+    /// An empty routine.
+    pub fn new() -> Self {
+        Self { points: Vec::new() }
+    }
+
+    /// Builds a routine from points, sorting them by timestamp.
+    pub fn from_points(mut points: Vec<TimedPoint>) -> Self {
+        points.sort_by(|a, b| {
+            a.time
+                .as_f64()
+                .partial_cmp(&b.time.as_f64())
+                .expect("timestamps are finite")
+        });
+        Self { points }
+    }
+
+    /// Builds a routine from locations sampled at a fixed cadence starting
+    /// at `start`.
+    pub fn from_sampled(locs: impl IntoIterator<Item = Point>, start: Minutes, step: Minutes) -> Self {
+        let points = locs
+            .into_iter()
+            .enumerate()
+            .map(|(i, loc)| TimedPoint::new(loc, Minutes::new(start.as_f64() + i as f64 * step.as_f64())))
+            .collect();
+        Self { points }
+    }
+
+    /// Appends a point; debug-asserts time ordering.
+    pub fn push(&mut self, p: TimedPoint) {
+        if let Some(last) = self.points.last() {
+            debug_assert!(
+                p.time.as_f64() >= last.time.as_f64(),
+                "routine points must be time-ordered"
+            );
+        }
+        self.points.push(p);
+    }
+
+    /// All samples, in time order.
+    #[inline]
+    pub fn points(&self) -> &[TimedPoint] {
+        &self.points
+    }
+
+    /// Number of samples.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the routine has no samples.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Just the locations, dropping timestamps.
+    pub fn locations(&self) -> Vec<Point> {
+        self.points.iter().map(|p| p.loc).collect()
+    }
+
+    /// First sample time, if any.
+    pub fn start_time(&self) -> Option<Minutes> {
+        self.points.first().map(|p| p.time)
+    }
+
+    /// Last sample time, if any.
+    pub fn end_time(&self) -> Option<Minutes> {
+        self.points.last().map(|p| p.time)
+    }
+
+    /// Position at time `t`, linearly interpolated between samples and
+    /// clamped to the endpoints. `None` for an empty routine.
+    pub fn position_at(&self, t: Minutes) -> Option<Point> {
+        let pts = &self.points;
+        let first = pts.first()?;
+        if t.as_f64() <= first.time.as_f64() {
+            return Some(first.loc);
+        }
+        let last = pts.last().expect("non-empty");
+        if t.as_f64() >= last.time.as_f64() {
+            return Some(last.loc);
+        }
+        // Binary search for the surrounding pair.
+        let idx = pts.partition_point(|p| p.time.as_f64() <= t.as_f64());
+        let a = pts[idx - 1];
+        let b = pts[idx];
+        let span = b.time.as_f64() - a.time.as_f64();
+        if span <= 0.0 {
+            return Some(b.loc);
+        }
+        let frac = (t.as_f64() - a.time.as_f64()) / span;
+        Some(a.loc.lerp(b.loc, frac))
+    }
+
+    /// Samples with `time ∈ [start, end)`.
+    pub fn window(&self, start: Minutes, end: Minutes) -> &[TimedPoint] {
+        let lo = self
+            .points
+            .partition_point(|p| p.time.as_f64() < start.as_f64());
+        let hi = self
+            .points
+            .partition_point(|p| p.time.as_f64() < end.as_f64());
+        &self.points[lo..hi]
+    }
+
+    /// Total path length in kilometres.
+    pub fn path_length(&self) -> f64 {
+        self.points
+            .windows(2)
+            .map(|w| w[0].loc.dist(w[1].loc))
+            .sum()
+    }
+
+    /// Enumerates every `(input, output)` training pair of Definition 3:
+    /// consecutive sub-trajectories of lengths `seq_in` and `seq_out`.
+    ///
+    /// Returns location-only windows; the caller normalises them for the
+    /// model. Empty when the routine is shorter than `seq_in + seq_out`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use tamp_core::{Minutes, Point, Routine};
+    ///
+    /// let r = Routine::from_sampled(
+    ///     (0..4).map(|i| Point::new(i as f64, 0.0)),
+    ///     Minutes::ZERO,
+    ///     Minutes::new(10.0),
+    /// );
+    /// let pairs = r.training_pairs(2, 1);
+    /// assert_eq!(pairs.len(), 2);
+    /// assert_eq!(pairs[0].1, vec![Point::new(2.0, 0.0)]);
+    /// ```
+    pub fn training_pairs(&self, seq_in: usize, seq_out: usize) -> Vec<(Vec<Point>, Vec<Point>)> {
+        assert!(seq_in > 0 && seq_out > 0, "sequence lengths must be positive");
+        let n = self.points.len();
+        let need = seq_in + seq_out;
+        if n < need {
+            return Vec::new();
+        }
+        let mut out = Vec::with_capacity(n - need + 1);
+        for start in 0..=(n - need) {
+            let input = self.points[start..start + seq_in]
+                .iter()
+                .map(|p| p.loc)
+                .collect();
+            let target = self.points[start + seq_in..start + need]
+                .iter()
+                .map(|p| p.loc)
+                .collect();
+            out.push((input, target));
+        }
+        out
+    }
+
+    /// Splits the routine at time `t`: samples strictly before `t`, and
+    /// samples at-or-after `t`.
+    pub fn split_at(&self, t: Minutes) -> (Routine, Routine) {
+        let idx = self
+            .points
+            .partition_point(|p| p.time.as_f64() < t.as_f64());
+        (
+            Routine {
+                points: self.points[..idx].to_vec(),
+            },
+            Routine {
+                points: self.points[idx..].to_vec(),
+            },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn straight() -> Routine {
+        // Moves east 1 km per 10 min from the origin.
+        Routine::from_sampled(
+            (0..5).map(|i| Point::new(i as f64, 0.0)),
+            Minutes::ZERO,
+            Minutes::new(10.0),
+        )
+    }
+
+    #[test]
+    fn from_points_sorts() {
+        let r = Routine::from_points(vec![
+            TimedPoint::new(Point::new(1.0, 0.0), Minutes::new(10.0)),
+            TimedPoint::new(Point::new(0.0, 0.0), Minutes::new(0.0)),
+        ]);
+        assert_eq!(r.points()[0].time.as_f64(), 0.0);
+    }
+
+    #[test]
+    fn position_interpolates_and_clamps() {
+        let r = straight();
+        assert_eq!(r.position_at(Minutes::new(-5.0)).unwrap(), Point::new(0.0, 0.0));
+        assert_eq!(r.position_at(Minutes::new(100.0)).unwrap(), Point::new(4.0, 0.0));
+        let mid = r.position_at(Minutes::new(15.0)).unwrap();
+        assert!((mid.x - 1.5).abs() < 1e-12);
+        assert!(Routine::new().position_at(Minutes::ZERO).is_none());
+    }
+
+    #[test]
+    fn window_is_half_open() {
+        let r = straight();
+        let w = r.window(Minutes::new(10.0), Minutes::new(30.0));
+        assert_eq!(w.len(), 2);
+        assert_eq!(w[0].loc.x, 1.0);
+        assert_eq!(w[1].loc.x, 2.0);
+    }
+
+    #[test]
+    fn path_length_sums_legs() {
+        let r = straight();
+        assert!((r.path_length() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn training_pairs_cover_all_offsets() {
+        let r = straight(); // 5 points
+        let pairs = r.training_pairs(2, 1);
+        assert_eq!(pairs.len(), 3);
+        assert_eq!(pairs[0].0, vec![Point::new(0.0, 0.0), Point::new(1.0, 0.0)]);
+        assert_eq!(pairs[0].1, vec![Point::new(2.0, 0.0)]);
+        assert_eq!(pairs[2].1, vec![Point::new(4.0, 0.0)]);
+        assert!(r.training_pairs(5, 1).is_empty());
+    }
+
+    #[test]
+    fn split_at_partitions() {
+        let r = straight();
+        let (before, after) = r.split_at(Minutes::new(20.0));
+        assert_eq!(before.len(), 2);
+        assert_eq!(after.len(), 3);
+        assert_eq!(after.points()[0].time.as_f64(), 20.0);
+    }
+}

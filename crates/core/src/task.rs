@@ -1,0 +1,113 @@
+//! Spatial tasks (Definition 1).
+//!
+//! A spatial task `τ = (l, t)` asks some worker to physically reach the
+//! target location `τ.l` before the deadline `τ.t`. Tasks arrive at the
+//! platform dynamically; we additionally track the release (arrival) time
+//! so the batch engine can window them, exactly as the paper's batch-based
+//! assignment does.
+
+use crate::geometry::Point;
+use crate::time::Minutes;
+use serde::{Deserialize, Serialize};
+
+/// Opaque identifier of a spatial task.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
+)]
+pub struct TaskId(pub u64);
+
+impl std::fmt::Display for TaskId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "τ{}", self.0)
+    }
+}
+
+/// A spatial task `τ = (l, t)` (Definition 1) with its arrival time.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SpatialTask {
+    /// Unique task identifier.
+    pub id: TaskId,
+    /// Target location `τ.l` the assigned worker must reach.
+    pub location: Point,
+    /// Time at which the requester published the task.
+    pub release: Minutes,
+    /// Deadline `τ.t`: the task is completed only if a worker reaches
+    /// `location` strictly before this instant.
+    pub deadline: Minutes,
+}
+
+impl SpatialTask {
+    /// Creates a task; panics in debug builds if the deadline precedes the
+    /// release time.
+    pub fn new(id: TaskId, location: Point, release: Minutes, deadline: Minutes) -> Self {
+        debug_assert!(
+            deadline.as_f64() >= release.as_f64(),
+            "task deadline before release"
+        );
+        Self {
+            id,
+            location,
+            release,
+            deadline,
+        }
+    }
+
+    /// Remaining validity at time `now`, in minutes (negative once expired).
+    #[inline]
+    pub fn remaining(&self, now: Minutes) -> f64 {
+        self.deadline.as_f64() - now.as_f64()
+    }
+
+    /// Whether the task is still assignable at `now` (released and not
+    /// expired).
+    #[inline]
+    pub fn is_live(&self, now: Minutes) -> bool {
+        now.as_f64() >= self.release.as_f64() && now.as_f64() < self.deadline.as_f64()
+    }
+
+    /// The paper's `dᵗ = sp · (τ.t − t_c)` reachability radius (Lemma 2):
+    /// how far a worker moving at `speed_km_per_min` can travel before the
+    /// deadline, measured from time `now`.
+    #[inline]
+    pub fn reach_radius(&self, now: Minutes, speed_km_per_min: f64) -> f64 {
+        (self.remaining(now) * speed_km_per_min).max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn task() -> SpatialTask {
+        SpatialTask::new(
+            TaskId(7),
+            Point::new(1.0, 2.0),
+            Minutes::new(0.0),
+            Minutes::new(30.0),
+        )
+    }
+
+    #[test]
+    fn liveness_window() {
+        let t = task();
+        assert!(!t.is_live(Minutes::new(-1.0)));
+        assert!(t.is_live(Minutes::new(0.0)));
+        assert!(t.is_live(Minutes::new(29.9)));
+        assert!(!t.is_live(Minutes::new(30.0)));
+    }
+
+    #[test]
+    fn remaining_and_reach() {
+        let t = task();
+        assert_eq!(t.remaining(Minutes::new(10.0)), 20.0);
+        // 0.3 km/min for 20 minutes → 6 km.
+        assert!((t.reach_radius(Minutes::new(10.0), 0.3) - 6.0).abs() < 1e-12);
+        // After expiry the radius clamps to zero.
+        assert_eq!(t.reach_radius(Minutes::new(40.0), 0.3), 0.0);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(TaskId(3).to_string(), "τ3");
+    }
+}

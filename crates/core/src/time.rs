@@ -1,0 +1,119 @@
+//! Time handling.
+//!
+//! The paper measures task validity in *time units* of 10 minutes
+//! (Section IV-A, Table III: "each time unit representing 10 minutes")
+//! and batches assignments in 2-minute windows. Internally everything is
+//! a [`Minutes`] value — an `f64` number of minutes since the start of the
+//! simulated day — so arithmetic stays trivial and precise enough for
+//! city-scale simulation.
+
+use serde::{Deserialize, Serialize};
+
+/// One paper "time unit" in minutes (Table III).
+pub const TIME_UNIT_MINUTES: f64 = 10.0;
+
+/// The batch window used for batch-based task assignment, in minutes
+/// (Section IV-A: "The time window for dividing task assignment batches is
+/// set to 2 minutes").
+pub const BATCH_WINDOW_MINUTES: f64 = 2.0;
+
+/// A timestamp or duration in minutes.
+///
+/// Newtype over `f64` so that signatures distinguish kilometres from
+/// minutes. Ordinary arithmetic is exposed through inherent methods rather
+/// than operator overloads to keep call sites explicit about units.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct Minutes(pub f64);
+
+impl Minutes {
+    /// Zero minutes.
+    pub const ZERO: Minutes = Minutes(0.0);
+
+    /// Constructs from a raw minute count.
+    #[inline]
+    pub const fn new(m: f64) -> Self {
+        Minutes(m)
+    }
+
+    /// Constructs from a number of paper time units (1 unit = 10 min).
+    #[inline]
+    pub fn from_time_units(units: f64) -> Self {
+        Minutes(units * TIME_UNIT_MINUTES)
+    }
+
+    /// This timestamp expressed in paper time units.
+    #[inline]
+    pub fn as_time_units(self) -> f64 {
+        self.0 / TIME_UNIT_MINUTES
+    }
+
+    /// Raw minutes.
+    #[inline]
+    pub const fn as_f64(self) -> f64 {
+        self.0
+    }
+
+    /// `self + rhs`.
+    #[inline]
+    pub fn plus(self, rhs: Minutes) -> Minutes {
+        Minutes(self.0 + rhs.0)
+    }
+
+    /// `self − rhs` (may be negative).
+    #[inline]
+    pub fn minus(self, rhs: Minutes) -> Minutes {
+        Minutes(self.0 - rhs.0)
+    }
+
+    /// Whether this timestamp lies in the half-open interval `[start, end)`.
+    #[inline]
+    pub fn in_window(self, start: Minutes, end: Minutes) -> bool {
+        self.0 >= start.0 && self.0 < end.0
+    }
+}
+
+/// Travel time in minutes to cover `dist_km` at `speed_km_per_min`.
+///
+/// Returns `f64::INFINITY` for non-positive speeds so that deadline checks
+/// simply fail rather than panic.
+#[inline]
+pub fn travel_minutes(dist_km: f64, speed_km_per_min: f64) -> f64 {
+    if speed_km_per_min <= 0.0 {
+        f64::INFINITY
+    } else {
+        dist_km / speed_km_per_min
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_unit_round_trip() {
+        let t = Minutes::from_time_units(3.0);
+        assert_eq!(t.as_f64(), 30.0);
+        assert_eq!(t.as_time_units(), 3.0);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Minutes::new(12.0);
+        let b = Minutes::new(5.0);
+        assert_eq!(a.plus(b).as_f64(), 17.0);
+        assert_eq!(a.minus(b).as_f64(), 7.0);
+    }
+
+    #[test]
+    fn window_is_half_open() {
+        let t = Minutes::new(10.0);
+        assert!(t.in_window(Minutes::new(10.0), Minutes::new(12.0)));
+        assert!(!t.in_window(Minutes::new(8.0), Minutes::new(10.0)));
+    }
+
+    #[test]
+    fn travel_time_handles_zero_speed() {
+        assert!(travel_minutes(5.0, 0.0).is_infinite());
+        assert_eq!(travel_minutes(6.0, 0.3), 20.0);
+    }
+}

@@ -1,0 +1,132 @@
+//! Crowd workers (Definition 2).
+//!
+//! A worker `w = (r, l, d)` carries a historical routine `w.r`, a current
+//! location `w.l` and a maximum acceptable detour `w.d`. Workers move at a
+//! (configurable) speed and accept an assigned task only if completing it
+//! detours them by at most `w.d` from their *actual* itinerary — the
+//! acceptance model simulated by `tamp-platform`.
+
+use crate::geometry::Point;
+use crate::routine::Routine;
+use crate::time::Minutes;
+use serde::{Deserialize, Serialize};
+
+/// Opaque identifier of a crowd worker.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
+)]
+pub struct WorkerId(pub u64);
+
+impl std::fmt::Display for WorkerId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "w{}", self.0)
+    }
+}
+
+/// A crowd worker `w = (r, l, d)` (Definition 2).
+///
+/// The platform never sees `real_routine` ahead of time — it only learns
+/// the worker's current location when they are online. The field exists so
+/// the simulator can evaluate acceptance and the `UB` oracle baseline.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Worker {
+    /// Unique worker identifier.
+    pub id: WorkerId,
+    /// Historical routine `w.r` available for offline training.
+    pub history: Routine,
+    /// The worker's *actual* future routine for the evaluation horizon;
+    /// hidden from assignment algorithms (except the UB oracle).
+    pub real_routine: Routine,
+    /// Maximum detour `w.d` (kilometres) the worker accepts.
+    pub detour_limit_km: f64,
+    /// Travel speed in km per minute.
+    pub speed_km_per_min: f64,
+    /// Whether the worker joined recently (cold-start; drives the paper's
+    /// new-worker adaptation path).
+    pub is_new: bool,
+}
+
+impl Worker {
+    /// Creates a worker with the given history and ground-truth future.
+    pub fn new(
+        id: WorkerId,
+        history: Routine,
+        real_routine: Routine,
+        detour_limit_km: f64,
+        speed_km_per_min: f64,
+    ) -> Self {
+        Self {
+            id,
+            history,
+            real_routine,
+            detour_limit_km,
+            speed_km_per_min,
+            is_new: false,
+        }
+    }
+
+    /// Marks the worker as newly arrived (little history).
+    pub fn mark_new(mut self) -> Self {
+        self.is_new = true;
+        self
+    }
+
+    /// Current location at time `t` according to the real routine, falling
+    /// back to the last historical point when the future is unknown.
+    pub fn location_at(&self, t: Minutes) -> Option<Point> {
+        self.real_routine
+            .position_at(t)
+            .or_else(|| self.history.points().last().map(|p| p.loc))
+    }
+
+    /// Speed expressed per paper time unit (10 minutes), the `sp` of
+    /// Lemma 2.
+    #[inline]
+    pub fn speed_km_per_time_unit(&self) -> f64 {
+        self.speed_km_per_min * crate::time::TIME_UNIT_MINUTES
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::routine::TimedPoint;
+
+    fn worker() -> Worker {
+        let hist = Routine::from_points(vec![TimedPoint::new(
+            Point::new(0.0, 0.0),
+            Minutes::new(-10.0),
+        )]);
+        let real = Routine::from_sampled(
+            [Point::new(0.0, 0.0), Point::new(3.0, 0.0)],
+            Minutes::ZERO,
+            Minutes::new(10.0),
+        );
+        Worker::new(WorkerId(1), hist, real, 4.0, 0.3)
+    }
+
+    #[test]
+    fn location_prefers_real_routine() {
+        let w = worker();
+        let mid = w.location_at(Minutes::new(5.0)).unwrap();
+        assert!((mid.x - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn location_falls_back_to_history() {
+        let mut w = worker();
+        w.real_routine = Routine::new();
+        assert_eq!(w.location_at(Minutes::ZERO).unwrap(), Point::new(0.0, 0.0));
+    }
+
+    #[test]
+    fn speed_conversion() {
+        let w = worker();
+        assert!((w.speed_km_per_time_unit() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mark_new_sets_flag() {
+        assert!(worker().mark_new().is_new);
+    }
+}

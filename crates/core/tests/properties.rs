@@ -1,0 +1,91 @@
+//! Property-based tests for the core geometric and codec invariants.
+
+use proptest::prelude::*;
+use tamp_core::codec::{decode_routine, encode_routine};
+use tamp_core::geometry::{detour_via, min_detour_on_path, Point};
+use tamp_core::routine::Routine;
+use tamp_core::time::Minutes;
+use tamp_core::Grid;
+
+fn pt() -> impl Strategy<Value = Point> {
+    (-50.0..50.0f64, -50.0..50.0f64).prop_map(|(x, y)| Point::new(x, y))
+}
+
+proptest! {
+    #[test]
+    fn distance_is_a_metric(a in pt(), b in pt(), c in pt()) {
+        // Non-negativity and symmetry.
+        prop_assert!(a.dist(b) >= 0.0);
+        prop_assert!((a.dist(b) - b.dist(a)).abs() < 1e-9);
+        // Triangle inequality (with fp slack).
+        prop_assert!(a.dist(c) <= a.dist(b) + b.dist(c) + 1e-9);
+    }
+
+    #[test]
+    fn detour_is_non_negative(a in pt(), v in pt(), b in pt()) {
+        prop_assert!(detour_via(a, v, b) >= 0.0);
+    }
+
+    #[test]
+    fn detour_zero_iff_on_segment(a in pt(), b in pt(), t in 0.0..1.0f64) {
+        let on = a.lerp(b, t);
+        prop_assert!(detour_via(a, on, b) < 1e-9);
+    }
+
+    #[test]
+    fn min_detour_never_exceeds_single_leg(points in prop::collection::vec(pt(), 2..10), via in pt()) {
+        let best = min_detour_on_path(&points, via).unwrap();
+        for leg in points.windows(2) {
+            prop_assert!(best <= detour_via(leg[0], via, leg[1]) + 1e-12);
+        }
+    }
+
+    #[test]
+    fn routine_codec_round_trips(locs in prop::collection::vec(pt(), 0..40), start in -100.0..100.0f64, step in 0.1..30.0f64) {
+        let r = Routine::from_sampled(locs, Minutes::new(start), Minutes::new(step));
+        let back = decode_routine(encode_routine(&r)).unwrap();
+        prop_assert_eq!(back, r);
+    }
+
+    #[test]
+    fn position_at_is_on_convex_hull_bbox(locs in prop::collection::vec(pt(), 1..20), t in -10.0..200.0f64) {
+        let r = Routine::from_sampled(locs.clone(), Minutes::ZERO, Minutes::new(10.0));
+        let p = r.position_at(Minutes::new(t)).unwrap();
+        let (min_x, max_x) = locs.iter().fold((f64::MAX, f64::MIN), |(lo, hi), q| (lo.min(q.x), hi.max(q.x)));
+        let (min_y, max_y) = locs.iter().fold((f64::MAX, f64::MIN), |(lo, hi), q| (lo.min(q.y), hi.max(q.y)));
+        prop_assert!(p.x >= min_x - 1e-9 && p.x <= max_x + 1e-9);
+        prop_assert!(p.y >= min_y - 1e-9 && p.y <= max_y + 1e-9);
+    }
+
+    #[test]
+    fn training_pairs_count(n in 1usize..30, seq_in in 1usize..5, seq_out in 1usize..4) {
+        let r = Routine::from_sampled(
+            (0..n).map(|i| Point::new(i as f64, 0.0)),
+            Minutes::ZERO,
+            Minutes::new(10.0),
+        );
+        let pairs = r.training_pairs(seq_in, seq_out);
+        let expected = n.saturating_sub(seq_in + seq_out - 1);
+        prop_assert_eq!(pairs.len(), expected);
+        for (i, o) in &pairs {
+            prop_assert_eq!(i.len(), seq_in);
+            prop_assert_eq!(o.len(), seq_out);
+        }
+    }
+
+    #[test]
+    fn grid_normalize_round_trip(x in 0.0..20.0f64, y in 0.0..10.0f64) {
+        let g = Grid::PAPER;
+        let p = Point::new(x, y);
+        let (nx, ny) = g.normalize(p);
+        prop_assert!((0.0..=1.0).contains(&nx) && (0.0..=1.0).contains(&ny));
+        prop_assert!(g.denormalize(nx, ny).dist(p) < 1e-9);
+    }
+
+    #[test]
+    fn grid_cell_index_in_range(x in -5.0..30.0f64, y in -5.0..20.0f64) {
+        let g = Grid::PAPER;
+        let (ix, iy) = g.cell_index(Point::new(x, y));
+        prop_assert!(ix < g.cols && iy < g.rows);
+    }
+}

@@ -1,0 +1,174 @@
+//! Cold-start initialisation for newly arrived workers.
+//!
+//! Section III-B: "we proceed with a depth-first postorder traversal of
+//! the learning task tree, wherein we calculate the average similarity
+//! between [the new task] and the learning tasks encompassed within each
+//! node. Then, we initialize the mobility prediction model ... with the
+//! parameters from the most similar node and conduct model training based
+//! on this initialization."
+//!
+//! New workers carry little history, so the similarity used here is the
+//! distribution similarity `Sim_d` (computable from raw samples alone —
+//! no gradient path, no POI record needed), combined with `Sim_s` when
+//! the newcomer has POI data.
+
+use crate::learning_task::LearningTask;
+use crate::maml::adapt;
+use crate::similarity::{sim_distribution, sim_spatial, DEFAULT_BANDWIDTH_KM};
+use crate::tree::{LearningTaskTree, NodeId};
+use rand::Rng;
+use tamp_nn::{Loss, Seq2Seq};
+
+/// Average similarity between a new task and a node's member tasks.
+fn node_similarity(node_tasks: &[&LearningTask], new_task: &LearningTask) -> f64 {
+    if node_tasks.is_empty() {
+        return 0.0;
+    }
+    let total: f64 = node_tasks
+        .iter()
+        .map(|t| {
+            let d = sim_distribution(&t.sample_points, &new_task.sample_points);
+            if t.poi_seq.is_empty() || new_task.poi_seq.is_empty() {
+                d
+            } else {
+                0.5 * d + 0.5 * sim_spatial(&t.poi_seq, &new_task.poi_seq, DEFAULT_BANDWIDTH_KM)
+            }
+        })
+        .sum();
+    total / node_tasks.len() as f64
+}
+
+/// Post-order traversal choosing the node whose members are on average
+/// most similar to the new task. Ties favour the first (deepest) match,
+/// so specialised leaves win over the generic root.
+pub fn best_init_node(
+    tree: &LearningTaskTree,
+    tasks: &[LearningTask],
+    new_task: &LearningTask,
+) -> NodeId {
+    let mut best = tree.root();
+    let mut best_sim = f64::NEG_INFINITY;
+    for id in tree.post_order() {
+        let members: Vec<&LearningTask> = tree
+            .node(id)
+            .members
+            .iter()
+            .filter_map(|&m| tasks.get(m))
+            .collect();
+        let s = node_similarity(&members, new_task);
+        if s > best_sim {
+            best_sim = s;
+            best = id;
+        }
+    }
+    best
+}
+
+/// Full cold-start path: pick the most similar node, initialise from its
+/// `θ`, adapt on whatever support the newcomer has. Returns the adapted
+/// model and the chosen node.
+#[allow(clippy::too_many_arguments)]
+pub fn adapt_new_worker(
+    tree: &LearningTaskTree,
+    tasks: &[LearningTask],
+    new_task: &LearningTask,
+    template: &Seq2Seq,
+    loss: &dyn Loss,
+    steps: usize,
+    beta: f64,
+    batch: usize,
+    rng: &mut impl Rng,
+) -> (Seq2Seq, NodeId) {
+    let node = best_init_node(tree, tasks, new_task);
+    let theta = &tree.node(node).theta;
+    let model = adapt(theta, new_task, template, loss, steps, beta, batch, rng);
+    (model, node)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tamp_core::rng::rng_for;
+    use tamp_core::{Grid, Minutes, Point, Routine, WorkerId};
+    use tamp_nn::{MseLoss, Seq2SeqConfig};
+
+    fn corner_task(id: u64, cx: f64, cy: f64, days: usize) -> LearningTask {
+        let routines: Vec<Routine> = (0..days)
+            .map(|d| {
+                Routine::from_sampled(
+                    (0..12).map(|i| Point::new(cx + (i % 4) as f64 * 0.2, cy + (i % 2) as f64 * 0.2)),
+                    Minutes::new(d as f64 * 1440.0),
+                    Minutes::new(10.0),
+                )
+            })
+            .collect();
+        let mut rng = rng_for(id, 7);
+        LearningTask::from_history(
+            WorkerId(id),
+            &routines,
+            vec![],
+            &Grid::PAPER,
+            2,
+            1,
+            0.7,
+            false,
+            &mut rng,
+        )
+    }
+
+    /// Tree: root {0,1,2,3}; leaf A {0,1} southwest, leaf B {2,3}
+    /// northeast with distinct thetas.
+    fn setup() -> (LearningTaskTree, Vec<LearningTask>) {
+        let tasks = vec![
+            corner_task(0, 2.0, 2.0, 2),
+            corner_task(1, 2.5, 2.5, 2),
+            corner_task(2, 16.0, 8.0, 2),
+            corner_task(3, 16.5, 7.5, 2),
+        ];
+        let mut tree = LearningTaskTree::with_root(vec![0, 1, 2, 3], vec![0.0; 8]);
+        let a = tree.add_child(0, vec![0, 1]);
+        let b = tree.add_child(0, vec![2, 3]);
+        tree.node_mut(a).theta = vec![1.0; 8];
+        tree.node_mut(b).theta = vec![2.0; 8];
+        (tree, tasks)
+    }
+
+    #[test]
+    fn newcomer_lands_on_matching_leaf() {
+        let (tree, tasks) = setup();
+        let sw_newcomer = corner_task(10, 2.2, 2.1, 1);
+        let ne_newcomer = corner_task(11, 16.2, 7.8, 1);
+        let a = best_init_node(&tree, &tasks, &sw_newcomer);
+        let b = best_init_node(&tree, &tasks, &ne_newcomer);
+        assert_eq!(tree.node(a).theta, vec![1.0; 8], "southwest leaf");
+        assert_eq!(tree.node(b).theta, vec![2.0; 8], "northeast leaf");
+    }
+
+    #[test]
+    fn adapt_new_worker_returns_trained_model() {
+        let tasks = vec![
+            corner_task(0, 2.0, 2.0, 2),
+            corner_task(1, 2.5, 2.5, 2),
+        ];
+        let mut rng = rng_for(9, 7);
+        let template = Seq2Seq::new(Seq2SeqConfig::lstm(6), &mut rng);
+        let tree = LearningTaskTree::with_root(vec![0, 1], template.params());
+        let newcomer = corner_task(12, 2.1, 2.2, 1);
+        let (model, node) = adapt_new_worker(
+            &tree, &tasks, &newcomer, &template, &MseLoss, 3, 0.1, 8, &mut rng,
+        );
+        assert_eq!(node, tree.root());
+        assert_ne!(model.params(), template.params(), "adaptation happened");
+    }
+
+    #[test]
+    fn empty_members_nodes_never_win() {
+        let tasks = vec![corner_task(0, 2.0, 2.0, 2)];
+        let mut tree = LearningTaskTree::with_root(vec![0], vec![0.5; 4]);
+        let empty = tree.add_child(0, vec![]);
+        let _ = empty;
+        let newcomer = corner_task(13, 2.2, 2.0, 1);
+        let best = best_init_node(&tree, &tasks, &newcomer);
+        assert_eq!(best, tree.root());
+    }
+}

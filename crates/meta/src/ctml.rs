@@ -1,0 +1,374 @@
+//! The CTML baseline \[41\].
+//!
+//! "A clustered task-aware meta-learning algorithm, which clusters
+//! learning tasks by soft K-means according to features of input data and
+//! learning paths represented by parameter update trajectories"
+//! (Section IV-A). We build per-task feature vectors from (a) summary
+//! statistics of the input data distribution and (b) the parameter-update
+//! trajectory (per-step update norms and the within-path direction
+//! drift), run soft k-means to convergence, hard-assign by maximum
+//! responsibility, and meta-train one initialisation per cluster.
+
+use crate::learning_task::LearningTask;
+use crate::meta_training::{meta_train, MetaConfig};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use tamp_nn::matrix::vecops::cosine;
+use tamp_nn::{Loss, Seq2Seq};
+
+/// CTML hyper-parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct CtmlConfig {
+    /// Number of soft clusters.
+    pub k: usize,
+    /// Soft k-means EM iterations.
+    pub em_iters: usize,
+    /// Responsibility temperature (smaller = harder assignments).
+    pub temperature: f64,
+    /// Gradient-path length used for the learning-path features.
+    pub path_steps: usize,
+    /// Inner rate for the path probe.
+    pub path_beta: f64,
+    /// Meta-training configuration per cluster.
+    pub meta: MetaConfig,
+}
+
+impl Default for CtmlConfig {
+    fn default() -> Self {
+        Self {
+            k: 4,
+            em_iters: 25,
+            temperature: 0.5,
+            path_steps: 3,
+            path_beta: 0.1,
+            meta: MetaConfig::default(),
+        }
+    }
+}
+
+/// A trained CTML model: clusters, their centroids in feature space, and
+/// one meta-trained initialisation per cluster.
+#[derive(Debug, Clone)]
+pub struct CtmlModel {
+    /// Hard cluster membership (task indices).
+    pub clusters: Vec<Vec<usize>>,
+    /// Feature-space centroids, parallel to `clusters`.
+    pub centroids: Vec<Vec<f64>>,
+    /// Meta-trained `θ` per cluster, parallel to `clusters`.
+    pub thetas: Vec<Vec<f64>>,
+    /// The per-task features used at training time (kept so new tasks can
+    /// be normalised identically).
+    feature_dim: usize,
+}
+
+impl CtmlModel {
+    /// The cluster a feature vector belongs to (nearest centroid).
+    pub fn assign(&self, features: &[f64]) -> usize {
+        assert_eq!(features.len(), self.feature_dim, "feature dim mismatch");
+        self.centroids
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| {
+                sq_dist(a, features)
+                    .partial_cmp(&sq_dist(b, features))
+                    .expect("finite")
+            })
+            .map(|(i, _)| i)
+            .expect("at least one cluster")
+    }
+
+    /// The initialisation for a task with the given features.
+    pub fn theta_for(&self, features: &[f64]) -> &[f64] {
+        &self.thetas[self.assign(features)]
+    }
+}
+
+fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Builds the CTML feature vector of one task given its gradient path.
+///
+/// Features: `[mean_x, mean_y, std_x, std_y, mean_step]` of the raw
+/// samples, then per-step gradient norms (the parameter-update
+/// trajectory's magnitudes) and the cosine drift between the first and
+/// last updates.
+pub fn task_features(task: &LearningTask, path: &[Vec<f64>]) -> Vec<f64> {
+    let pts = &task.sample_points;
+    let n = pts.len().max(1) as f64;
+    let mean_x = pts.iter().map(|p| p.x).sum::<f64>() / n;
+    let mean_y = pts.iter().map(|p| p.y).sum::<f64>() / n;
+    let var_x = pts.iter().map(|p| (p.x - mean_x).powi(2)).sum::<f64>() / n;
+    let var_y = pts.iter().map(|p| (p.y - mean_y).powi(2)).sum::<f64>() / n;
+    let mean_step = if pts.len() > 1 {
+        pts.windows(2).map(|w| w[0].dist(w[1])).sum::<f64>() / (pts.len() - 1) as f64
+    } else {
+        0.0
+    };
+    let mut f = vec![mean_x, mean_y, var_x.sqrt(), var_y.sqrt(), mean_step];
+    for g in path {
+        f.push(g.iter().map(|v| v * v).sum::<f64>().sqrt());
+    }
+    if path.len() >= 2 {
+        f.push(cosine(&path[0], path.last().expect("non-empty")));
+    } else {
+        f.push(0.0);
+    }
+    f
+}
+
+/// Z-score normalises a feature matrix column-wise (in place).
+fn normalise_columns(features: &mut [Vec<f64>]) {
+    if features.is_empty() {
+        return;
+    }
+    let dim = features[0].len();
+    let n = features.len() as f64;
+    for c in 0..dim {
+        let mean = features.iter().map(|f| f[c]).sum::<f64>() / n;
+        let var = features.iter().map(|f| (f[c] - mean).powi(2)).sum::<f64>() / n;
+        let sd = var.sqrt().max(1e-9);
+        for f in features.iter_mut() {
+            f[c] = (f[c] - mean) / sd;
+        }
+    }
+}
+
+/// Soft k-means over normalised features. Returns `(centroids, hard
+/// assignment per row)`.
+fn soft_kmeans(
+    features: &[Vec<f64>],
+    k: usize,
+    iters: usize,
+    temperature: f64,
+    rng: &mut impl Rng,
+) -> (Vec<Vec<f64>>, Vec<usize>) {
+    assert!(k > 0 && !features.is_empty());
+    let dim = features[0].len();
+    let k = k.min(features.len());
+    // Init centroids on random distinct rows.
+    let mut idx: Vec<usize> = (0..features.len()).collect();
+    idx.shuffle(rng);
+    let mut centroids: Vec<Vec<f64>> = idx[..k].iter().map(|&i| features[i].clone()).collect();
+
+    let mut resp = vec![vec![0.0; k]; features.len()];
+    for _ in 0..iters {
+        // E-step: responsibilities ∝ exp(−‖x − μ‖²/T).
+        for (i, f) in features.iter().enumerate() {
+            let mut maxneg = f64::NEG_INFINITY;
+            let negs: Vec<f64> = centroids
+                .iter()
+                .map(|c| {
+                    let v = -sq_dist(c, f) / temperature.max(1e-9);
+                    maxneg = maxneg.max(v);
+                    v
+                })
+                .collect();
+            let mut z = 0.0;
+            for (r, v) in resp[i].iter_mut().zip(&negs) {
+                *r = (v - maxneg).exp();
+                z += *r;
+            }
+            for r in resp[i].iter_mut() {
+                *r /= z;
+            }
+        }
+        // M-step: weighted means.
+        for (c, centroid) in centroids.iter_mut().enumerate() {
+            let mut acc = vec![0.0; dim];
+            let mut w = 0.0;
+            for (i, f) in features.iter().enumerate() {
+                let r = resp[i][c];
+                w += r;
+                for (a, v) in acc.iter_mut().zip(f) {
+                    *a += r * v;
+                }
+            }
+            if w > 1e-12 {
+                for a in acc.iter_mut() {
+                    *a /= w;
+                }
+                *centroid = acc;
+            }
+        }
+    }
+    let hard: Vec<usize> = resp
+        .iter()
+        .map(|r| {
+            r.iter()
+                .enumerate()
+                .max_by(|(_, a), (_, b)| a.partial_cmp(b).expect("finite"))
+                .map(|(i, _)| i)
+                .expect("k ≥ 1")
+        })
+        .collect();
+    (centroids, hard)
+}
+
+/// Trains CTML: features → soft k-means → per-cluster MAML.
+///
+/// `paths` are the gradient paths from [`crate::maml::gradient_paths`]
+/// (reused for both the features here and `Sim_l` elsewhere).
+pub fn ctml_train(
+    tasks: &[LearningTask],
+    paths: &[Vec<Vec<f64>>],
+    template: &Seq2Seq,
+    loss: &dyn Loss,
+    cfg: &CtmlConfig,
+    rng: &mut impl Rng,
+) -> CtmlModel {
+    assert_eq!(tasks.len(), paths.len(), "one path per task");
+    assert!(!tasks.is_empty(), "CTML needs tasks");
+    let mut features: Vec<Vec<f64>> = tasks
+        .iter()
+        .zip(paths)
+        .map(|(t, p)| task_features(t, p))
+        .collect();
+    normalise_columns(&mut features);
+
+    let (centroids, hard) = soft_kmeans(&features, cfg.k, cfg.em_iters, cfg.temperature, rng);
+    let k = centroids.len();
+    let mut clusters = vec![Vec::new(); k];
+    for (i, &c) in hard.iter().enumerate() {
+        clusters[c].push(i);
+    }
+
+    let mut thetas = Vec::with_capacity(k);
+    for cluster in &clusters {
+        let mut theta = template.params();
+        if !cluster.is_empty() {
+            let refs: Vec<&LearningTask> = cluster.iter().map(|&i| &tasks[i]).collect();
+            meta_train(&mut theta, &refs, template, loss, &cfg.meta, rng);
+        }
+        thetas.push(theta);
+    }
+
+    CtmlModel {
+        clusters,
+        centroids,
+        thetas,
+        feature_dim: features.first().map_or(0, |f| f.len()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::maml::gradient_paths;
+    use tamp_core::rng::rng_for;
+    use tamp_core::{Grid, Minutes, Point, Routine, WorkerId};
+    use tamp_nn::{MseLoss, Seq2SeqConfig};
+
+    fn task_in_corner(id: u64, cx: f64, cy: f64) -> LearningTask {
+        let days: Vec<Routine> = (0..2)
+            .map(|d| {
+                Routine::from_sampled(
+                    (0..14).map(|i| {
+                        Point::new(cx + (i % 4) as f64 * 0.3, cy + (i % 3) as f64 * 0.3)
+                    }),
+                    Minutes::new(d as f64 * 1440.0),
+                    Minutes::new(10.0),
+                )
+            })
+            .collect();
+        let mut rng = rng_for(id, 6);
+        LearningTask::from_history(
+            WorkerId(id),
+            &days,
+            vec![],
+            &Grid::PAPER,
+            2,
+            1,
+            0.7,
+            false,
+            &mut rng,
+        )
+    }
+
+    fn corner_tasks() -> Vec<LearningTask> {
+        vec![
+            task_in_corner(0, 2.0, 2.0),
+            task_in_corner(1, 2.5, 2.2),
+            task_in_corner(2, 16.0, 8.0),
+            task_in_corner(3, 16.5, 7.8),
+        ]
+    }
+
+    #[test]
+    fn clusters_cover_all_tasks() {
+        let tasks = corner_tasks();
+        let mut rng = rng_for(1, 6);
+        let template = Seq2Seq::new(Seq2SeqConfig::lstm(6), &mut rng);
+        let paths = gradient_paths(&tasks, &template, &MseLoss, 3, 0.1, 8, &mut rng);
+        let cfg = CtmlConfig {
+            k: 2,
+            meta: MetaConfig {
+                iterations: 4,
+                ..MetaConfig::default()
+            },
+            ..CtmlConfig::default()
+        };
+        let model = ctml_train(&tasks, &paths, &template, &MseLoss, &cfg, &mut rng);
+        let mut all: Vec<usize> = model.clusters.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, vec![0, 1, 2, 3]);
+        assert_eq!(model.thetas.len(), model.clusters.len());
+    }
+
+    #[test]
+    fn separates_spatially_distinct_groups() {
+        let tasks = corner_tasks();
+        let mut rng = rng_for(2, 6);
+        let template = Seq2Seq::new(Seq2SeqConfig::lstm(6), &mut rng);
+        let paths = gradient_paths(&tasks, &template, &MseLoss, 3, 0.1, 8, &mut rng);
+        let cfg = CtmlConfig {
+            k: 2,
+            meta: MetaConfig {
+                iterations: 2,
+                ..MetaConfig::default()
+            },
+            ..CtmlConfig::default()
+        };
+        let model = ctml_train(&tasks, &paths, &template, &MseLoss, &cfg, &mut rng);
+        // 0,1 together; 2,3 together.
+        for c in &model.clusters {
+            if c.is_empty() {
+                continue;
+            }
+            let low = c.iter().filter(|&&i| i < 2).count();
+            assert!(low == 0 || low == c.len(), "mixed cluster {c:?}");
+        }
+    }
+
+    #[test]
+    fn assign_routes_to_nearest_centroid() {
+        let tasks = corner_tasks();
+        let mut rng = rng_for(3, 6);
+        let template = Seq2Seq::new(Seq2SeqConfig::lstm(6), &mut rng);
+        let paths = gradient_paths(&tasks, &template, &MseLoss, 3, 0.1, 8, &mut rng);
+        let cfg = CtmlConfig {
+            k: 2,
+            meta: MetaConfig {
+                iterations: 2,
+                ..MetaConfig::default()
+            },
+            ..CtmlConfig::default()
+        };
+        let model = ctml_train(&tasks, &paths, &template, &MseLoss, &cfg, &mut rng);
+        // A centroid must be its own nearest centroid.
+        for (i, c) in model.centroids.iter().enumerate() {
+            assert_eq!(model.assign(c), i);
+            assert_eq!(model.theta_for(c), &model.thetas[i][..]);
+        }
+    }
+
+    #[test]
+    fn feature_vector_shape() {
+        let tasks = corner_tasks();
+        let path = vec![vec![0.1, 0.2], vec![0.3, 0.4], vec![0.5, 0.6]];
+        let f = task_features(&tasks[0], &path);
+        // 5 data features + 3 norms + 1 drift.
+        assert_eq!(f.len(), 9);
+        assert!(f.iter().all(|v| v.is_finite()));
+    }
+}

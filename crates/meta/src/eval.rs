@@ -1,0 +1,165 @@
+//! Prediction-quality metrics (Section IV-A).
+//!
+//! The paper reports RMSE and MAE in grid-cell units plus the matching
+//! rate (Definition 7). Predictions are produced *autoregressively* (the
+//! deployment regime), not teacher-forced, so the metrics reflect what
+//! the assignment stage will actually consume.
+
+use tamp_assign::matching_rate::matching_rate;
+use tamp_core::{Grid, Point};
+use tamp_nn::{Seq2Seq, TrainBatch};
+use serde::{Deserialize, Serialize};
+
+/// Prediction quality of one model on held-out pairs.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct PredictionMetrics {
+    /// Root mean squared point error, in grid cells.
+    pub rmse_cells: f64,
+    /// Mean absolute point error, in grid cells.
+    pub mae_cells: f64,
+    /// Matching rate (Definition 7) at the configured radius.
+    pub mr: f64,
+    /// Number of evaluated output points.
+    pub n_points: usize,
+}
+
+impl PredictionMetrics {
+    /// Pointwise accumulate-and-finalise over many workers: weighted by
+    /// point counts.
+    pub fn merge(metrics: &[PredictionMetrics]) -> PredictionMetrics {
+        let total: usize = metrics.iter().map(|m| m.n_points).sum();
+        if total == 0 {
+            return PredictionMetrics::default();
+        }
+        let mut sq = 0.0;
+        let mut abs = 0.0;
+        let mut mr = 0.0;
+        for m in metrics {
+            let w = m.n_points as f64;
+            sq += m.rmse_cells * m.rmse_cells * w;
+            abs += m.mae_cells * w;
+            mr += m.mr * w;
+        }
+        let n = total as f64;
+        PredictionMetrics {
+            rmse_cells: (sq / n).sqrt(),
+            mae_cells: abs / n,
+            mr: mr / n,
+            n_points: total,
+        }
+    }
+}
+
+/// Evaluates a model on held-out `(input, target)` pairs.
+///
+/// `a_km` is the matching-rate radius. Pairs are in the model's
+/// normalised coordinates; errors are converted to kilometre space and
+/// reported in grid cells.
+pub fn evaluate_model(
+    model: &Seq2Seq,
+    pairs: &TrainBatch,
+    grid: &Grid,
+    a_km: f64,
+) -> PredictionMetrics {
+    let mut sq_sum = 0.0;
+    let mut abs_sum = 0.0;
+    let mut real_pts: Vec<Point> = Vec::new();
+    let mut pred_pts: Vec<Point> = Vec::new();
+    let mut n = 0usize;
+
+    for (input, target) in &pairs.pairs {
+        if input.is_empty() || target.is_empty() {
+            continue;
+        }
+        let preds = model.predict(input, target.len());
+        for (p, t) in preds.iter().zip(target) {
+            let p_km = grid.denormalize(p[0], p[1]);
+            let t_km = grid.denormalize(t[0], t[1]);
+            let err_cells = grid.km_to_cells(p_km.dist(t_km));
+            sq_sum += err_cells * err_cells;
+            abs_sum += err_cells;
+            real_pts.push(t_km);
+            pred_pts.push(p_km);
+            n += 1;
+        }
+    }
+    if n == 0 {
+        return PredictionMetrics::default();
+    }
+    PredictionMetrics {
+        rmse_cells: (sq_sum / n as f64).sqrt(),
+        mae_cells: abs_sum / n as f64,
+        mr: matching_rate(&real_pts, &pred_pts, a_km),
+        n_points: n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tamp_core::rng::rng_for;
+    use tamp_nn::Seq2SeqConfig;
+
+    fn model() -> Seq2Seq {
+        let mut rng = rng_for(1, 9);
+        Seq2Seq::new(Seq2SeqConfig::lstm(6), &mut rng)
+    }
+
+    #[test]
+    fn empty_batch_gives_zero_metrics() {
+        let m = evaluate_model(&model(), &TrainBatch::default(), &Grid::PAPER, 0.4);
+        assert_eq!(m.n_points, 0);
+        assert_eq!(m.rmse_cells, 0.0);
+    }
+
+    #[test]
+    fn metrics_are_finite_and_consistent() {
+        let batch = TrainBatch::new(vec![
+            (vec![[0.1, 0.2], [0.15, 0.25]], vec![[0.2, 0.3], [0.25, 0.35]]),
+            (vec![[0.5, 0.5]], vec![[0.55, 0.5]]),
+        ]);
+        let m = evaluate_model(&model(), &batch, &Grid::PAPER, 0.4);
+        assert_eq!(m.n_points, 3);
+        assert!(m.rmse_cells.is_finite() && m.rmse_cells >= m.mae_cells * 0.99);
+        assert!((0.0..=1.0).contains(&m.mr));
+    }
+
+    #[test]
+    fn merge_weights_by_points() {
+        let a = PredictionMetrics {
+            rmse_cells: 1.0,
+            mae_cells: 1.0,
+            mr: 1.0,
+            n_points: 1,
+        };
+        let b = PredictionMetrics {
+            rmse_cells: 3.0,
+            mae_cells: 3.0,
+            mr: 0.0,
+            n_points: 3,
+        };
+        let m = PredictionMetrics::merge(&[a, b]);
+        assert_eq!(m.n_points, 4);
+        assert!((m.mae_cells - 2.5).abs() < 1e-12);
+        assert!((m.mr - 0.25).abs() < 1e-12);
+        // RMSE² = (1 + 27)/4 = 7.
+        assert!((m.rmse_cells - 7.0f64.sqrt()).abs() < 1e-12);
+        assert_eq!(PredictionMetrics::merge(&[]).n_points, 0);
+    }
+
+    #[test]
+    fn perfect_predictor_scores_zero_error() {
+        // Build a "model" evaluation where predictions equal targets by
+        // checking the arithmetic path with a hand-rolled batch: use the
+        // identity case via merge of a zero metric.
+        let z = PredictionMetrics {
+            rmse_cells: 0.0,
+            mae_cells: 0.0,
+            mr: 1.0,
+            n_points: 10,
+        };
+        let m = PredictionMetrics::merge(&[z]);
+        assert_eq!(m.rmse_cells, 0.0);
+        assert_eq!(m.mr, 1.0);
+    }
+}

@@ -1,0 +1,189 @@
+//! Best-response dynamics for the clustering game.
+//!
+//! Clustering is modelled as an n-player strategy game
+//! `𝒫 = (N, {STᵢ}, {Uᵢ})` where each player (learning task) chooses which
+//! cluster to join and earns the marginal quality it contributes (Eq. 5).
+//! Theorem 1 shows `𝒫` is an exact potential game with potential
+//! `Σ_G Q(G)`, so best-response dynamics converge to a Nash equilibrium.
+//! [`best_response`] runs those dynamics from a k-medoids initialisation.
+//! Per Algorithm 1, the strategy set of every player is the set of
+//! clusters created by that initialisation: clusters can empty out (and
+//! are then removed, line 12), but players never open new ones — `γ`
+//! enters only through `Q` of clusters that shrink to a single member.
+
+use crate::quality::{join_utility, member_utility, potential};
+use crate::similarity::SimMatrix;
+
+/// Outcome of the best-response dynamics.
+#[derive(Debug, Clone)]
+pub struct GameOutcome {
+    /// Final clusters (non-empty, disjoint, covering all players).
+    pub clusters: Vec<Vec<usize>>,
+    /// Number of full passes executed.
+    pub passes: usize,
+    /// Whether a Nash equilibrium was certified (no player moved in the
+    /// final pass) as opposed to hitting the pass limit.
+    pub converged: bool,
+}
+
+/// Runs best-response dynamics until no player can improve (Nash
+/// equilibrium) or `max_passes` full passes elapse.
+///
+/// Strategies of player `i`: remain in the current cluster or join any
+/// other cluster of the initialisation. Ties favour staying (strict
+/// improvement is required to move), which guarantees termination by the
+/// potential argument. Clusters emptied by departures are removed at the
+/// end (Algorithm 1, line 12) but remain joinable during the dynamics.
+pub fn best_response(
+    sim: &SimMatrix,
+    initial: Vec<Vec<usize>>,
+    gamma: f64,
+    max_passes: usize,
+) -> GameOutcome {
+    let mut clusters: Vec<Vec<usize>> = initial;
+    let players: Vec<usize> = clusters.iter().flatten().copied().collect();
+    let mut passes = 0;
+    let mut converged = false;
+
+    while passes < max_passes {
+        passes += 1;
+        let mut moved = false;
+        for &i in &players {
+            let cur = clusters
+                .iter()
+                .position(|c| c.contains(&i))
+                .expect("player is somewhere");
+            let stay = member_utility(sim, &clusters[cur], i, gamma);
+
+            let mut best_u = stay;
+            let mut best_c = cur;
+            for (ci, c) in clusters.iter().enumerate() {
+                if ci == cur {
+                    continue;
+                }
+                let u = join_utility(sim, c, i, gamma);
+                if u > best_u + 1e-12 {
+                    best_u = u;
+                    best_c = ci;
+                }
+            }
+
+            if best_c != cur {
+                clusters[cur].retain(|&m| m != i);
+                clusters[best_c].push(i);
+                moved = true;
+            }
+        }
+        if !moved {
+            converged = true;
+            break;
+        }
+    }
+
+    clusters.retain(|c| !c.is_empty());
+    GameOutcome {
+        clusters,
+        passes,
+        converged,
+    }
+}
+
+/// Convenience: the potential of an outcome.
+pub fn outcome_potential(sim: &SimMatrix, outcome: &GameOutcome, gamma: f64) -> f64 {
+    potential(sim, &outcome.clusters, gamma)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn block_matrix(n: usize, block: usize) -> SimMatrix {
+        SimMatrix::from_fn(n, |i, j| if i / block == j / block { 0.9 } else { 0.05 })
+    }
+
+    #[test]
+    fn fixes_a_bad_initialisation() {
+        // Blocks {0..3} and {4..7}, but the initial clustering splits them
+        // badly. Best response must untangle it.
+        let sim = block_matrix(8, 4);
+        let initial = vec![vec![0, 4, 1, 5], vec![2, 6, 3, 7]];
+        let out = best_response(&sim, initial, 0.2, 100);
+        assert!(out.converged);
+        for c in &out.clusters {
+            let lows = c.iter().filter(|&&m| m < 4).count();
+            assert!(lows == 0 || lows == c.len(), "mixed cluster: {c:?}");
+        }
+    }
+
+    #[test]
+    fn potential_never_decreases_across_dynamics() {
+        // Track the potential pass by pass by re-running with increasing
+        // pass limits.
+        let sim = block_matrix(9, 3);
+        let initial = vec![vec![0, 3, 6, 1], vec![4, 7, 2], vec![5, 8]];
+        let mut last = potential(&sim, &initial, 0.2);
+        for passes in 1..=6 {
+            let out = best_response(&sim, initial.clone(), 0.2, passes);
+            let p = outcome_potential(&sim, &out, 0.2);
+            assert!(
+                p >= last - 1e-9,
+                "potential decreased: {last} → {p} at pass {passes}"
+            );
+            last = last.max(p);
+        }
+    }
+
+    #[test]
+    fn equilibrium_has_no_improving_move() {
+        let sim = block_matrix(8, 4);
+        let out = best_response(&sim, vec![vec![0, 1, 4, 5], vec![2, 3, 6, 7]], 0.2, 100);
+        assert!(out.converged);
+        // Verify Nash: no player can strictly improve.
+        for (ci, c) in out.clusters.iter().enumerate() {
+            for &i in c {
+                let stay = member_utility(&sim, c, i, 0.2);
+                for (cj, other) in out.clusters.iter().enumerate() {
+                    if ci != cj {
+                        let u = join_utility(&sim, other, i, 0.2);
+                        assert!(u <= stay + 1e-9, "improving move exists");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dissimilar_players_spread_toward_singletons() {
+        // All similarities ~0: a singleton earns Q = γ, so players drain
+        // out of the big cluster into the available empty-ish clusters
+        // until each initial cluster holds as few players as possible.
+        let sim = SimMatrix::from_fn(4, |_, _| 0.0);
+        let out = best_response(
+            &sim,
+            vec![vec![0, 1, 2, 3], vec![], vec![], vec![]],
+            0.5,
+            100,
+        );
+        assert!(out.converged);
+        assert_eq!(out.clusters.len(), 4, "{:?}", out.clusters);
+        assert!(out.clusters.iter().all(|c| c.len() == 1));
+    }
+
+    #[test]
+    fn preserves_player_set() {
+        let sim = block_matrix(10, 5);
+        let initial = vec![vec![0, 1, 2, 9], vec![3, 4, 5], vec![6, 7, 8]];
+        let out = best_response(&sim, initial, 0.2, 100);
+        let mut all: Vec<usize> = out.clusters.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let sim = SimMatrix::from_fn(0, |_, _| 0.0);
+        let out = best_response(&sim, vec![], 0.2, 10);
+        assert!(out.clusters.is_empty());
+        assert!(out.converged);
+    }
+}

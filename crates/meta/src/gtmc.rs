@@ -1,0 +1,251 @@
+//! Game-Theory-based Multi-level Learning Task Clustering (Algorithm 1).
+//!
+//! GTMC builds the learning-task tree level by level: the root holds all
+//! tasks; each queued node is clustered under the current similarity
+//! factor (k-medoids initialisation, then best-response dynamics to a
+//! Nash equilibrium), its sub-clusters become children, and children
+//! whose quality under the current factor stays below the threshold
+//! `Θ_j` are queued for the next factor. Setting
+//! [`GtmcConfig::use_game`] to `false` reproduces the paper's GTTAML-GT
+//! ablation (clustering without the game refinement).
+
+use crate::game::best_response;
+use crate::kmedoids::kmedoids;
+use crate::quality::cluster_quality;
+use crate::similarity::SimMatrix;
+use crate::tree::LearningTaskTree;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use tamp_core::rng::rng_for;
+
+/// Configuration of Algorithm 1.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GtmcConfig {
+    /// Sub-clusters per split (`k` of the k-medoids initialisation).
+    pub k: usize,
+    /// Singleton quality `γ ∈ (0, 1)` (Eq. 4).
+    pub gamma: f64,
+    /// Per-level thresholds `Θ_j`: a sub-cluster with quality below
+    /// `Θ_j` is clustered further with the next factor. Must have one
+    /// entry per factor.
+    pub thresholds: Vec<f64>,
+    /// `true` → run best-response dynamics after k-medoids (GTMC);
+    /// `false` → keep the raw k-medoids clusters (GTTAML-GT ablation).
+    pub use_game: bool,
+    /// Cap on best-response passes.
+    pub max_game_passes: usize,
+    /// Cap on k-medoids iterations.
+    pub kmedoids_iters: usize,
+    /// Nodes with fewer members than this are not split further — tiny
+    /// clusters starve Meta-Training of cross-worker transfer.
+    pub min_split: usize,
+    /// Seed for the clustering RNG.
+    pub seed: u64,
+}
+
+impl Default for GtmcConfig {
+    fn default() -> Self {
+        Self {
+            k: 4,
+            gamma: 0.2,
+            thresholds: vec![0.75, 0.75, 0.75],
+            use_game: true,
+            max_game_passes: 30,
+            kmedoids_iters: 30,
+            min_split: 6,
+            seed: 0,
+        }
+    }
+}
+
+/// Builds the learning-task tree over `n_tasks` tasks using the ordered
+/// similarity matrices `sims` (one per factor, the paper's order being
+/// `Sim_d, Sim_s, Sim_l`). The root's `θ` is `init_theta`; children
+/// inherit it.
+pub fn build_tree(n_tasks: usize, sims: &[SimMatrix], cfg: &GtmcConfig, init_theta: Vec<f64>) -> LearningTaskTree {
+    assert!(!sims.is_empty(), "need at least one similarity factor");
+    assert_eq!(
+        sims.len(),
+        cfg.thresholds.len(),
+        "one threshold per factor"
+    );
+    for s in sims {
+        assert_eq!(s.len(), n_tasks, "similarity matrix size mismatch");
+    }
+
+    let mut tree = LearningTaskTree::with_root((0..n_tasks).collect(), init_theta);
+    if n_tasks == 0 {
+        return tree;
+    }
+
+    // Queue of (node, factor index j), as in Algorithm 1.
+    let mut queue: VecDeque<(usize, usize)> = VecDeque::new();
+    queue.push_back((tree.root(), 0));
+    let mut rng_stream = 0u64;
+
+    while let Some((node_id, j)) = queue.pop_front() {
+        let members = tree.node(node_id).members.clone();
+        if members.len() < cfg.min_split.max(2) {
+            continue;
+        }
+        let sim = &sims[j];
+        let mut rng = rng_for(cfg.seed, tamp_core::rng::streams::CLUSTER + rng_stream);
+        rng_stream += 1;
+
+        // Lines 5–11: k-medoids initialisation, then best response to a
+        // Nash equilibrium. The strategy set is the k initial clusters
+        // plus k unoccupied ones, so the equilibrium can dissolve a
+        // mixed cluster or open a new one without unbounded
+        // fragmentation (cluster count stays ≤ 2k per split).
+        let mut initial = kmedoids(sim, &members, cfg.k, cfg.kmedoids_iters, &mut rng);
+        let clusters = if cfg.use_game {
+            initial.extend(std::iter::repeat_with(Vec::new).take(cfg.k));
+            best_response(sim, initial, cfg.gamma, cfg.max_game_passes).clusters
+        } else {
+            initial
+        };
+
+        // Lines 13–18: materialise children; queue low-quality ones for
+        // the next factor.
+        if clusters.len() > 1 {
+            for cluster in clusters {
+                let q = cluster_quality(sim, &cluster, cfg.gamma);
+                let child = tree.add_child(node_id, cluster);
+                if j + 1 < sims.len() && q < cfg.thresholds[j] {
+                    queue.push_back((child, j + 1));
+                }
+            }
+        }
+    }
+    tree
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Three clear blocks of four under factor 0; factor 1 splits the
+    /// middle block further into pairs.
+    fn factors() -> Vec<SimMatrix> {
+        let f0 = SimMatrix::from_fn(12, |i, j| if i / 4 == j / 4 { 0.6 } else { 0.02 });
+        let f1 = SimMatrix::from_fn(12, |i, j| {
+            if i / 4 == j / 4 && i / 2 == j / 2 {
+                0.95
+            } else if i / 4 == j / 4 {
+                0.2
+            } else {
+                0.02
+            }
+        });
+        vec![f0, f1]
+    }
+
+    fn cfg() -> GtmcConfig {
+        GtmcConfig {
+            k: 3,
+            gamma: 0.2,
+            thresholds: vec![0.75, 0.75],
+            min_split: 2,
+            seed: 7,
+            ..GtmcConfig::default()
+        }
+    }
+
+    #[test]
+    fn builds_multi_level_tree_recovering_blocks() {
+        let tree = build_tree(12, &factors(), &cfg(), vec![0.0; 3]);
+        assert!(tree.len() > 1, "tree must split");
+        assert!(tree.check_partition());
+        // Level-1 children must not mix factor-0 blocks.
+        for &c in &tree.node(tree.root()).children {
+            let m = &tree.node(c).members;
+            let blocks: std::collections::HashSet<usize> = m.iter().map(|x| x / 4).collect();
+            assert_eq!(blocks.len(), 1, "level-1 cluster mixes blocks: {m:?}");
+        }
+        // Quality 0.6 < Θ=0.75 under factor 0, so some cluster descends
+        // to the factor-1 level.
+        let reached_level2 = (0..tree.len()).any(|i| tree.node(i).level == 2);
+        assert!(reached_level2, "expected descent into the second factor");
+        // Leaves never mix factor-1 pairs with strangers at high quality:
+        // every multi-member leaf is factor-consistent (all members share
+        // a factor-0 block).
+        for &l in &tree.leaves() {
+            let m = &tree.node(l).members;
+            let blocks: std::collections::HashSet<usize> = m.iter().map(|x| x / 4).collect();
+            assert!(blocks.len() <= 1, "leaf mixes blocks: {m:?}");
+        }
+    }
+
+    #[test]
+    fn every_task_reaches_exactly_one_leaf() {
+        let tree = build_tree(12, &factors(), &cfg(), vec![0.0; 3]);
+        let mut seen = vec![0usize; 12];
+        for l in tree.leaves() {
+            for &m in &tree.node(l).members {
+                seen[m] += 1;
+            }
+        }
+        assert!(seen.iter().all(|&c| c == 1), "leaf coverage: {seen:?}");
+    }
+
+    #[test]
+    fn children_inherit_root_theta() {
+        let theta = vec![1.0, -2.0, 3.0];
+        let tree = build_tree(12, &factors(), &cfg(), theta.clone());
+        for i in 0..tree.len() {
+            assert_eq!(tree.node(i).theta, theta);
+        }
+    }
+
+    #[test]
+    fn single_task_tree_is_root_only() {
+        let sims = vec![SimMatrix::from_fn(1, |_, _| 1.0)];
+        let c = GtmcConfig {
+            thresholds: vec![0.75],
+            ..cfg()
+        };
+        let tree = build_tree(1, &sims, &c, vec![0.0]);
+        assert_eq!(tree.len(), 1);
+    }
+
+    #[test]
+    fn empty_task_set_is_root_only() {
+        let sims = vec![SimMatrix::from_fn(0, |_, _| 1.0)];
+        let c = GtmcConfig {
+            thresholds: vec![0.75],
+            ..cfg()
+        };
+        let tree = build_tree(0, &sims, &c, vec![0.0]);
+        assert_eq!(tree.len(), 1);
+        assert!(tree.node(0).members.is_empty());
+    }
+
+    #[test]
+    fn high_quality_clusters_do_not_descend() {
+        // One tight block: factor-0 quality 0.9 ≥ Θ, so even though a
+        // second factor exists, no level-2 nodes appear.
+        let sims = vec![
+            SimMatrix::from_fn(6, |i, j| if i / 3 == j / 3 { 0.9 } else { 0.05 }),
+            SimMatrix::from_fn(6, |_, _| 0.5),
+        ];
+        let c = GtmcConfig {
+            thresholds: vec![0.75, 0.75],
+            seed: 3,
+            ..cfg()
+        };
+        let tree = build_tree(6, &sims, &c, vec![0.0]);
+        assert!(tree.len() > 1);
+        for i in 0..tree.len() {
+            assert!(tree.node(i).level <= 1, "unexpected level-2 node");
+        }
+    }
+
+    #[test]
+    fn gttaml_gt_variant_skips_game() {
+        let mut c = cfg();
+        c.use_game = false;
+        let tree = build_tree(12, &factors(), &c, vec![0.0]);
+        assert!(tree.check_partition());
+        assert!(tree.len() > 1);
+    }
+}

@@ -1,0 +1,168 @@
+//! k-medoids clustering \[26\] over a similarity matrix.
+//!
+//! Algorithm 1 initialises the strategy-game clusters by running
+//! k-medoids with `1/F_j` as the distance between learning tasks; we use
+//! the equivalent bounded distance `1 − sim`. The same routine (without
+//! the game refinement) is the clustering backbone of the GTTAML-GT
+//! ablation.
+
+use crate::similarity::SimMatrix;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Clusters `members` into at most `k` groups by k-medoids (Park & Jun's
+/// simple-and-fast variant: assign to nearest medoid, recompute medoid as
+/// the member minimising total in-cluster distance, repeat).
+///
+/// Returns non-empty clusters; fewer than `k` may come back when members
+/// coincide. Deterministic given `rng`.
+pub fn kmedoids(
+    sim: &SimMatrix,
+    members: &[usize],
+    k: usize,
+    max_iters: usize,
+    rng: &mut impl Rng,
+) -> Vec<Vec<usize>> {
+    assert!(k > 0, "k must be positive");
+    if members.len() <= k {
+        return members.iter().map(|&m| vec![m]).collect();
+    }
+
+    // Initial medoids: random distinct members.
+    let mut medoids: Vec<usize> = {
+        let mut pool = members.to_vec();
+        pool.shuffle(rng);
+        pool.truncate(k);
+        pool
+    };
+
+    let mut assignment = vec![0usize; members.len()];
+    for _ in 0..max_iters {
+        // Assign each member to its nearest medoid.
+        let mut changed = false;
+        for (mi, &m) in members.iter().enumerate() {
+            let best = (0..medoids.len())
+                .min_by(|&a, &b| {
+                    sim.dist(m, medoids[a])
+                        .partial_cmp(&sim.dist(m, medoids[b]))
+                        .expect("finite distance")
+                })
+                .expect("at least one medoid");
+            if assignment[mi] != best {
+                assignment[mi] = best;
+                changed = true;
+            }
+        }
+
+        // Recompute medoids.
+        let mut new_medoids = medoids.clone();
+        for (c, nm) in new_medoids.iter_mut().enumerate() {
+            let cluster: Vec<usize> = members
+                .iter()
+                .enumerate()
+                .filter(|(mi, _)| assignment[*mi] == c)
+                .map(|(_, &m)| m)
+                .collect();
+            if cluster.is_empty() {
+                continue;
+            }
+            let best = cluster
+                .iter()
+                .copied()
+                .min_by(|&a, &b| {
+                    let ca: f64 = cluster.iter().map(|&x| sim.dist(a, x)).sum();
+                    let cb: f64 = cluster.iter().map(|&x| sim.dist(b, x)).sum();
+                    ca.partial_cmp(&cb).expect("finite")
+                })
+                .expect("non-empty cluster");
+            *nm = best;
+        }
+        let medoids_changed = new_medoids != medoids;
+        medoids = new_medoids;
+        if !changed && !medoids_changed {
+            break;
+        }
+    }
+
+    // Materialise clusters, dropping empties.
+    let mut clusters = vec![Vec::new(); medoids.len()];
+    for (mi, &m) in members.iter().enumerate() {
+        clusters[assignment[mi]].push(m);
+    }
+    clusters.retain(|c| !c.is_empty());
+    clusters
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tamp_core::rng::rng_for;
+
+    /// Two obvious blocks: members 0–3 mutually similar, 4–7 mutually
+    /// similar, low cross similarity.
+    fn block_matrix() -> SimMatrix {
+        SimMatrix::from_fn(8, |i, j| {
+            if (i < 4) == (j < 4) {
+                0.9
+            } else {
+                0.05
+            }
+        })
+    }
+
+    #[test]
+    fn recovers_blocks() {
+        let sim = block_matrix();
+        let members: Vec<usize> = (0..8).collect();
+        let mut rng = rng_for(1, tamp_core::rng::streams::CLUSTER);
+        let clusters = kmedoids(&sim, &members, 2, 50, &mut rng);
+        assert_eq!(clusters.len(), 2);
+        for c in &clusters {
+            let lows = c.iter().filter(|&&m| m < 4).count();
+            assert!(
+                lows == 0 || lows == c.len(),
+                "cluster mixes blocks: {c:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn covers_all_members_exactly_once() {
+        let sim = block_matrix();
+        let members: Vec<usize> = (0..8).collect();
+        let mut rng = rng_for(2, tamp_core::rng::streams::CLUSTER);
+        let clusters = kmedoids(&sim, &members, 3, 50, &mut rng);
+        let mut all: Vec<usize> = clusters.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, members);
+    }
+
+    #[test]
+    fn few_members_become_singletons() {
+        let sim = block_matrix();
+        let mut rng = rng_for(3, tamp_core::rng::streams::CLUSTER);
+        let clusters = kmedoids(&sim, &[2, 5], 4, 50, &mut rng);
+        assert_eq!(clusters.len(), 2);
+        assert!(clusters.iter().all(|c| c.len() == 1));
+    }
+
+    #[test]
+    fn deterministic_given_rng_seed() {
+        let sim = block_matrix();
+        let members: Vec<usize> = (0..8).collect();
+        let mut r1 = rng_for(4, 0);
+        let mut r2 = rng_for(4, 0);
+        assert_eq!(
+            kmedoids(&sim, &members, 2, 50, &mut r1),
+            kmedoids(&sim, &members, 2, 50, &mut r2)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_k_panics() {
+        let sim = block_matrix();
+        let mut rng = rng_for(5, 0);
+        kmedoids(&sim, &[0, 1], 0, 10, &mut rng);
+    }
+}

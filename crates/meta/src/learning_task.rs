@@ -1,0 +1,227 @@
+//! Learning tasks `Γ` (Section III-B).
+//!
+//! A learning task wraps one worker's mobility-prediction problem: the
+//! support/query split of their historical `(seq_in, seq_out)` pairs
+//! (Definition 3), the POI sequence backing the spatial feature, and the
+//! raw location samples backing the distribution feature.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use tamp_core::{Grid, Poi, Point, Routine, WorkerId};
+use tamp_nn::loss::Pt2;
+use tamp_nn::TrainBatch;
+
+/// One worker's learning task `Γᵢ`.
+#[derive(Debug, Clone)]
+pub struct LearningTask {
+    /// The worker this task belongs to.
+    pub worker_id: WorkerId,
+    /// Support set (adaptation data), normalised coordinates.
+    pub support: TrainBatch,
+    /// Query set (meta-objective data), normalised coordinates.
+    pub query: TrainBatch,
+    /// POI sequence `Vᵢ` (spatial feature, Eq. 1).
+    pub poi_seq: Vec<Poi>,
+    /// Raw kilometre-space samples of the worker's trajectory
+    /// (distribution feature, Eq. 3).
+    pub sample_points: Vec<Point>,
+    /// Whether the worker is a cold-start newcomer.
+    pub is_new: bool,
+}
+
+impl LearningTask {
+    /// Builds a learning task from per-day history routines.
+    ///
+    /// Training pairs are sampled within each day (never across the
+    /// midnight gap), normalised by `grid`, shuffled, and split
+    /// `support_frac` / `1 − support_frac`. A worker whose history is too
+    /// short for even one pair yields empty batches; callers filter those.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_history(
+        worker_id: WorkerId,
+        history_days: &[Routine],
+        poi_seq: Vec<Poi>,
+        grid: &Grid,
+        seq_in: usize,
+        seq_out: usize,
+        support_frac: f64,
+        is_new: bool,
+        rng: &mut impl Rng,
+    ) -> Self {
+        assert!((0.0..=1.0).contains(&support_frac), "bad support fraction");
+        let mut pairs: Vec<(Vec<Pt2>, Vec<Pt2>)> = Vec::new();
+        let mut sample_points = Vec::new();
+        for day in history_days {
+            sample_points.extend(day.points().iter().map(|p| p.loc));
+            for (input, target) in day.training_pairs(seq_in, seq_out) {
+                let ni = input.iter().map(|p| norm(grid, *p)).collect();
+                let no = target.iter().map(|p| norm(grid, *p)).collect();
+                pairs.push((ni, no));
+            }
+        }
+        pairs.shuffle(rng);
+        let n_support = ((pairs.len() as f64) * support_frac).round() as usize;
+        let n_support = n_support.min(pairs.len());
+        let query_pairs = pairs.split_off(n_support);
+        Self {
+            worker_id,
+            support: TrainBatch::new(pairs),
+            query: TrainBatch::new(query_pairs),
+            poi_seq,
+            sample_points,
+            is_new,
+        }
+    }
+
+    /// Whether the task has both support and query data.
+    pub fn is_trainable(&self) -> bool {
+        !self.support.is_empty() && !self.query.is_empty()
+    }
+
+    /// Takes at most `n` support pairs (for adapt-step batching).
+    pub fn support_batch(&self, n: usize, rng: &mut impl Rng) -> TrainBatch {
+        sample_batch(&self.support, n, rng)
+    }
+
+    /// Takes at most `n` query pairs.
+    pub fn query_batch(&self, n: usize, rng: &mut impl Rng) -> TrainBatch {
+        sample_batch(&self.query, n, rng)
+    }
+}
+
+fn sample_batch(batch: &TrainBatch, n: usize, rng: &mut impl Rng) -> TrainBatch {
+    if batch.len() <= n {
+        return batch.clone();
+    }
+    let picks = rand::seq::index::sample(rng, batch.len(), n);
+    TrainBatch::new(picks.iter().map(|i| batch.pairs[i].clone()).collect())
+}
+
+#[inline]
+fn norm(grid: &Grid, p: Point) -> Pt2 {
+    let (x, y) = grid.normalize(p);
+    [x, y]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tamp_core::rng::rng_for;
+    use tamp_core::{Minutes, TimedPoint};
+
+    fn day(n: usize, offset: f64) -> Routine {
+        Routine::from_points(
+            (0..n)
+                .map(|i| {
+                    TimedPoint::new(
+                        Point::new(i as f64 * 0.5 + offset, 5.0),
+                        Minutes::new(i as f64 * 10.0),
+                    )
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn pairs_do_not_cross_days() {
+        let days = vec![day(10, 0.0), day(10, 10.0)];
+        let mut rng = rng_for(1, 0);
+        let task = LearningTask::from_history(
+            WorkerId(1),
+            &days,
+            vec![],
+            &Grid::PAPER,
+            3,
+            1,
+            0.7,
+            false,
+            &mut rng,
+        );
+        // Per day: 10 − 4 + 1 = 7 pairs → 14 total.
+        assert_eq!(task.support.len() + task.query.len(), 14);
+        assert!(task.is_trainable());
+        assert_eq!(task.sample_points.len(), 20);
+    }
+
+    #[test]
+    fn split_fractions_respected() {
+        let days = vec![day(14, 0.0)];
+        let mut rng = rng_for(2, 0);
+        let task = LearningTask::from_history(
+            WorkerId(1),
+            &days,
+            vec![],
+            &Grid::PAPER,
+            2,
+            1,
+            0.5,
+            false,
+            &mut rng,
+        );
+        // 12 pairs → 6 support / 6 query.
+        assert_eq!(task.support.len(), 6);
+        assert_eq!(task.query.len(), 6);
+    }
+
+    #[test]
+    fn short_history_yields_untrainable_task() {
+        let days = vec![day(2, 0.0)];
+        let mut rng = rng_for(3, 0);
+        let task = LearningTask::from_history(
+            WorkerId(1),
+            &days,
+            vec![],
+            &Grid::PAPER,
+            5,
+            2,
+            0.7,
+            true,
+            &mut rng,
+        );
+        assert!(!task.is_trainable());
+        assert!(task.is_new);
+    }
+
+    #[test]
+    fn coordinates_are_normalised() {
+        let days = vec![day(8, 0.0)];
+        let mut rng = rng_for(4, 0);
+        let task = LearningTask::from_history(
+            WorkerId(1),
+            &days,
+            vec![],
+            &Grid::PAPER,
+            2,
+            1,
+            1.0,
+            false,
+            &mut rng,
+        );
+        for (i, o) in &task.support.pairs {
+            for p in i.iter().chain(o) {
+                assert!((0.0..=1.0).contains(&p[0]) && (0.0..=1.0).contains(&p[1]));
+            }
+        }
+    }
+
+    #[test]
+    fn support_batch_caps_size() {
+        let days = vec![day(20, 0.0)];
+        let mut rng = rng_for(5, 0);
+        let task = LearningTask::from_history(
+            WorkerId(1),
+            &days,
+            vec![],
+            &Grid::PAPER,
+            2,
+            1,
+            1.0,
+            false,
+            &mut rng,
+        );
+        let b = task.support_batch(4, &mut rng);
+        assert_eq!(b.len(), 4);
+        let all = task.support_batch(10_000, &mut rng);
+        assert_eq!(all.len(), task.support.len());
+    }
+}

@@ -1,0 +1,65 @@
+//! # tamp-meta
+//!
+//! The paper's primary contribution: **game-theory-based task-adaptive
+//! meta-learning** for worker-specific mobility prediction (Section
+//! III-B), plus the baselines it is evaluated against.
+//!
+//! * [`learning_task`] — a learning task `Γᵢ` (one worker's prediction
+//!   problem) with support/query splits, POI sequence and raw sample
+//!   distribution.
+//! * [`wasserstein`] — exact W1 distance between empirical 2-D
+//!   distributions (computed as a min-cost assignment on subsamples).
+//! * [`similarity`] — the three clustering factors: spatial kernel
+//!   similarity `Sim_s` (Eq. 1), gradient-path similarity `Sim_l`
+//!   (Eq. 2) and distribution similarity `Sim_d` (Eq. 3), each
+//!   materialised as a symmetric [`similarity::SimMatrix`].
+//! * [`quality`] — cluster quality `Q(G)` (Eq. 4) and the player
+//!   utility `u(Γᵢ, G)` (Eq. 5).
+//! * [`kmedoids`] — the k-medoids initialisation \[26\] used by GTMC, and a
+//!   plain variant for the GTTAML-GT ablation.
+//! * [`game`] — best-response dynamics finding a Nash equilibrium of the
+//!   exact potential game (Theorem 1).
+//! * [`tree`] — the learning-task tree (Definition 6).
+//! * [`gtmc`] — Algorithm 1: Game-Theory-based Multi-level Clustering.
+//! * [`meta_training`] — Algorithm 3: MAML-style meta-training within a
+//!   cluster (first-order MAML; see DESIGN.md for the substitution note).
+//! * [`second_order`] — full second-order MAML with finite-difference
+//!   Hessian-vector products (the ablation target for the first-order
+//!   substitution).
+//! * [`sinkhorn`] — entropy-regularised optimal transport, a scalable
+//!   alternative backend for `Sim_d` on large task sets.
+//! * [`taml`] — Algorithm 2: recursive Task-Adaptive Meta-Learning over
+//!   the tree.
+//! * [`maml`] — the plain MAML baseline \[15\] and per-worker adaptation.
+//! * [`ctml`] — the CTML baseline \[41\]: soft k-means over input-data
+//!   features ⊕ parameter-update learning paths, then per-cluster MAML.
+//! * [`cold_start`] — new-worker initialisation by most-similar tree
+//!   node (the paper's cold-start path).
+//! * [`eval`] — RMSE / MAE (grid cells) and matching rate of an adapted
+//!   model on held-out data.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cold_start;
+pub mod ctml;
+pub mod eval;
+pub mod game;
+pub mod gtmc;
+pub mod kmedoids;
+pub mod learning_task;
+pub mod maml;
+pub mod meta_training;
+pub mod quality;
+pub mod second_order;
+pub mod similarity;
+pub mod sinkhorn;
+pub mod taml;
+pub mod tree;
+pub mod wasserstein;
+
+pub use gtmc::{build_tree, GtmcConfig};
+pub use learning_task::LearningTask;
+pub use meta_training::MetaConfig;
+pub use similarity::{FactorKind, SimMatrix};
+pub use tree::LearningTaskTree;

@@ -1,0 +1,245 @@
+//! The plain MAML baseline \[15\], per-worker adaptation, and the k-step
+//! gradient paths that feed `Sim_l`.
+//!
+//! MAML "does not cluster tasks but performs meta-training on all
+//! learning tasks" (Section IV-A) — i.e. Algorithm 3 applied once to the
+//! whole task set with a single shared initialisation.
+
+use crate::learning_task::LearningTask;
+use crate::meta_training::{meta_train, MetaConfig};
+use rand::Rng;
+use tamp_nn::{clip_grad_norm, Adam, Loss, Optimizer, Seq2Seq};
+
+/// Trains one shared initialisation over all learning tasks (the MAML
+/// baseline). Returns `(θ, average query loss)`.
+pub fn maml_train(
+    tasks: &[LearningTask],
+    template: &Seq2Seq,
+    loss: &dyn Loss,
+    cfg: &MetaConfig,
+    rng: &mut impl Rng,
+) -> (Vec<f64>, f64) {
+    let refs: Vec<&LearningTask> = tasks.iter().collect();
+    let mut theta = template.params();
+    let avg = meta_train(&mut theta, &refs, template, loss, cfg, rng);
+    (theta, avg)
+}
+
+/// Adapts an initialisation to one worker: `steps` SGD steps at rate
+/// `beta` on the task's support set. Returns the adapted model.
+#[allow(clippy::too_many_arguments)]
+pub fn adapt(
+    theta: &[f64],
+    task: &LearningTask,
+    template: &Seq2Seq,
+    loss: &dyn Loss,
+    steps: usize,
+    beta: f64,
+    batch: usize,
+    rng: &mut impl Rng,
+) -> Seq2Seq {
+    let mut model = template.clone();
+    let mut t = theta.to_vec();
+    if task.support.is_empty() {
+        model.set_params(&t);
+        return model;
+    }
+    for _ in 0..steps {
+        model.set_params(&t);
+        let sb = task.support_batch(batch, rng);
+        let (_, mut g) = model.loss_and_grad(&sb, loss);
+        clip_grad_norm(&mut g, 1.0);
+        for (p, gv) in t.iter_mut().zip(&g) {
+            *p -= beta * gv;
+        }
+    }
+    model.set_params(&t);
+    model
+}
+
+/// Adapts an initialisation to one worker with Adam instead of raw SGD —
+/// the production fine-tuning used after meta-training ("conduct model
+/// training based on this initialization", Section III-B). Adam's
+/// per-parameter scaling converges far faster than SGD on the small
+/// per-worker support sets.
+#[allow(clippy::too_many_arguments)]
+pub fn adapt_adam(
+    theta: &[f64],
+    task: &LearningTask,
+    template: &Seq2Seq,
+    loss: &dyn Loss,
+    steps: usize,
+    lr: f64,
+    batch: usize,
+    rng: &mut impl Rng,
+) -> Seq2Seq {
+    let mut model = template.clone();
+    let mut t = theta.to_vec();
+    if task.support.is_empty() {
+        model.set_params(&t);
+        return model;
+    }
+    let mut opt = Adam::new(lr, t.len());
+    for _ in 0..steps {
+        model.set_params(&t);
+        let sb = task.support_batch(batch, rng);
+        let (_, mut g) = model.loss_and_grad(&sb, loss);
+        clip_grad_norm(&mut g, 1.0);
+        opt.step(&mut t, &g);
+    }
+    model.set_params(&t);
+    model
+}
+
+/// Records each task's k-step gradient path `𝔾ᵢ = {z₁, …, z_k}` from a
+/// common initialisation (the representation behind `Sim_l`, Eq. 2).
+///
+/// Tasks without support data get an empty path (their `Sim_l` to anyone
+/// is 0, which keeps them neutral in clustering).
+pub fn gradient_paths(
+    tasks: &[LearningTask],
+    template: &Seq2Seq,
+    loss: &dyn Loss,
+    k: usize,
+    beta: f64,
+    batch: usize,
+    rng: &mut impl Rng,
+) -> Vec<Vec<Vec<f64>>> {
+    let init = template.params();
+    let mut model = template.clone();
+    tasks
+        .iter()
+        .map(|task| {
+            if task.support.is_empty() {
+                return Vec::new();
+            }
+            let mut theta = init.clone();
+            let mut path = Vec::with_capacity(k);
+            for _ in 0..k {
+                model.set_params(&theta);
+                let sb = task.support_batch(batch, rng);
+                let (_, mut g) = model.loss_and_grad(&sb, loss);
+                clip_grad_norm(&mut g, 1.0);
+                for (p, gv) in theta.iter_mut().zip(&g) {
+                    *p -= beta * gv;
+                }
+                path.push(g);
+            }
+            path
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tamp_core::rng::rng_for;
+    use tamp_core::{Grid, Minutes, Point, Routine, WorkerId};
+    use tamp_nn::{MseLoss, Seq2SeqConfig};
+
+    fn task_moving(id: u64, dx: f64, dy: f64) -> LearningTask {
+        let days: Vec<Routine> = (0..2)
+            .map(|d| {
+                Routine::from_sampled(
+                    (0..16).map(|i| {
+                        Point::new(
+                            (1.0 + i as f64 * dx).rem_euclid(19.0),
+                            (1.0 + i as f64 * dy).rem_euclid(9.0),
+                        )
+                    }),
+                    Minutes::new(d as f64 * 1440.0),
+                    Minutes::new(10.0),
+                )
+            })
+            .collect();
+        let mut rng = rng_for(id, 1);
+        LearningTask::from_history(
+            WorkerId(id),
+            &days,
+            vec![],
+            &Grid::PAPER,
+            2,
+            1,
+            0.7,
+            false,
+            &mut rng,
+        )
+    }
+
+    #[test]
+    fn maml_returns_matching_shapes() {
+        let mut rng = rng_for(1, 2);
+        let template = Seq2Seq::new(Seq2SeqConfig::lstm(6), &mut rng);
+        let tasks = vec![task_moving(1, 0.4, 0.0), task_moving(2, 0.0, 0.3)];
+        let (theta, avg) = maml_train(&tasks, &template, &MseLoss, &MetaConfig::default(), &mut rng);
+        assert_eq!(theta.len(), template.n_params());
+        assert!(avg.is_finite());
+    }
+
+    #[test]
+    fn adapt_changes_parameters_toward_task() {
+        let mut rng = rng_for(2, 2);
+        let template = Seq2Seq::new(Seq2SeqConfig::lstm(6), &mut rng);
+        let task = task_moving(3, 0.5, 0.0);
+        let theta = template.params();
+        let adapted = adapt(&theta, &task, &template, &MseLoss, 5, 0.1, 8, &mut rng);
+        assert_ne!(adapted.params(), theta);
+        // Adapted model must beat the raw init on the task's query set.
+        let mut raw = template.clone();
+        raw.set_params(&theta);
+        let raw_loss = raw.loss_only(&task.query, &MseLoss);
+        let adapted_loss = adapted.loss_only(&task.query, &MseLoss);
+        assert!(adapted_loss < raw_loss, "{adapted_loss} !< {raw_loss}");
+    }
+
+    #[test]
+    fn adapt_on_empty_support_is_identity() {
+        let mut rng = rng_for(3, 2);
+        let template = Seq2Seq::new(Seq2SeqConfig::lstm(6), &mut rng);
+        let empty = LearningTask {
+            worker_id: WorkerId(5),
+            support: Default::default(),
+            query: Default::default(),
+            poi_seq: vec![],
+            sample_points: vec![],
+            is_new: true,
+        };
+        let theta = template.params();
+        let adapted = adapt(&theta, &empty, &template, &MseLoss, 5, 0.1, 8, &mut rng);
+        assert_eq!(adapted.params(), theta);
+    }
+
+    #[test]
+    fn gradient_paths_have_k_steps_of_param_size() {
+        let mut rng = rng_for(4, 2);
+        let template = Seq2Seq::new(Seq2SeqConfig::lstm(6), &mut rng);
+        let tasks = vec![task_moving(1, 0.4, 0.0), task_moving(2, 0.0, 0.3)];
+        let paths = gradient_paths(&tasks, &template, &MseLoss, 4, 0.1, 8, &mut rng);
+        assert_eq!(paths.len(), 2);
+        for p in &paths {
+            assert_eq!(p.len(), 4);
+            for g in p {
+                assert_eq!(g.len(), template.n_params());
+            }
+        }
+    }
+
+    #[test]
+    fn similar_tasks_have_more_similar_paths() {
+        let mut rng = rng_for(5, 2);
+        let template = Seq2Seq::new(Seq2SeqConfig::lstm(6), &mut rng);
+        // Two eastbound movers vs one northbound mover.
+        let tasks = vec![
+            task_moving(1, 0.5, 0.0),
+            task_moving(2, 0.45, 0.0),
+            task_moving(3, 0.0, 0.5),
+        ];
+        let paths = gradient_paths(&tasks, &template, &MseLoss, 3, 0.1, 16, &mut rng);
+        let s_same = crate::similarity::sim_learning_path(&paths[0], &paths[1]);
+        let s_diff = crate::similarity::sim_learning_path(&paths[0], &paths[2]);
+        assert!(
+            s_same > s_diff,
+            "east/east {s_same} should beat east/north {s_diff}"
+        );
+    }
+}

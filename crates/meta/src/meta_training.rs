@@ -1,0 +1,298 @@
+//! Meta-Training within one learning-task cluster (Algorithm 3).
+//!
+//! First-order MAML: each sampled task adapts `k` SGD steps at rate `β`
+//! on its support set, then contributes the gradient of its query loss
+//! *at the adapted parameters* to the meta update at rate `α`. The
+//! first-order approximation drops the second-derivative term of full
+//! MAML — the standard FOMAML simplification, which tracks full MAML
+//! closely in practice (see DESIGN.md's substitution table).
+//!
+//! Everything the rest of the pipeline consumes — adapt losses, query
+//! losses, and the k-step gradient paths feeding `Sim_l` — is produced
+//! exactly as Algorithm 3 specifies.
+
+use crate::learning_task::LearningTask;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use tamp_nn::{clip_grad_norm, Loss, Seq2Seq};
+
+/// Hyper-parameters of Algorithm 3 (and of the TAML recursion that calls
+/// it).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct MetaConfig {
+    /// Meta learning rate `α`.
+    pub alpha: f64,
+    /// Adapt (inner) learning rate `β`.
+    pub beta: f64,
+    /// Inner adaptation steps `k`.
+    pub adapt_steps: usize,
+    /// Tasks sampled per meta iteration `m`.
+    pub batch_tasks: usize,
+    /// Meta iterations `l`.
+    pub iterations: usize,
+    /// Support pairs per adapt step.
+    pub adapt_batch: usize,
+    /// Query pairs per meta gradient.
+    pub query_batch: usize,
+    /// Global-norm gradient clip applied to every inner and meta
+    /// gradient (LSTMs spike; clipping keeps small clusters stable).
+    pub clip_norm: f64,
+}
+
+impl Default for MetaConfig {
+    fn default() -> Self {
+        Self {
+            alpha: 0.08,
+            beta: 0.12,
+            adapt_steps: 3,
+            batch_tasks: 4,
+            iterations: 40,
+            adapt_batch: 12,
+            query_batch: 12,
+            clip_norm: 1.0,
+        }
+    }
+}
+
+/// Runs Algorithm 3 on a cluster: updates `theta` in place and returns the
+/// average query loss `L^avg` over all iterations.
+///
+/// `template` supplies the architecture (its weights are overwritten).
+/// Tasks that are not trainable are skipped; if none are trainable the
+/// function is a no-op returning 0.
+pub fn meta_train(
+    theta: &mut [f64],
+    tasks: &[&LearningTask],
+    template: &Seq2Seq,
+    loss: &dyn Loss,
+    cfg: &MetaConfig,
+    rng: &mut impl Rng,
+) -> f64 {
+    let trainable: Vec<&LearningTask> = tasks
+        .iter()
+        .copied()
+        .filter(|t| t.is_trainable())
+        .collect();
+    if trainable.is_empty() {
+        return 0.0;
+    }
+    assert_eq!(
+        theta.len(),
+        template.n_params(),
+        "theta shape must match the template"
+    );
+
+    let mut model = template.clone();
+    let mut total_query = 0.0;
+    let mut query_count = 0usize;
+
+    for _ in 0..cfg.iterations {
+        // Sample a batch of m tasks (with replacement when the cluster is
+        // smaller than m, matching "sample a batch" semantics).
+        let m = cfg.batch_tasks.max(1);
+        let batch: Vec<&LearningTask> = (0..m)
+            .map(|_| trainable[rng.gen_range(0..trainable.len())])
+            .collect();
+
+        let mut meta_grad = vec![0.0; theta.len()];
+        for task in batch {
+            // Adapt k steps from θ on the support set.
+            let mut theta_i = theta.to_vec();
+            for _ in 0..cfg.adapt_steps {
+                model.set_params(&theta_i);
+                let sb = task.support_batch(cfg.adapt_batch, rng);
+                let (_, mut grad) = model.loss_and_grad(&sb, loss);
+                clip_grad_norm(&mut grad, cfg.clip_norm);
+                for (p, g) in theta_i.iter_mut().zip(&grad) {
+                    *p -= cfg.beta * g;
+                }
+            }
+            // Query loss and its (first-order) meta gradient at θᵢ.
+            model.set_params(&theta_i);
+            let qb = task.query_batch(cfg.query_batch, rng);
+            let (ql, qgrad) = model.loss_and_grad(&qb, loss);
+            total_query += ql;
+            query_count += 1;
+            for (mg, g) in meta_grad.iter_mut().zip(&qgrad) {
+                *mg += g;
+            }
+        }
+        // Meta update: θ ← θ − α · (1/m) Σ ∇L^q.
+        let inv = 1.0 / m as f64;
+        for g in meta_grad.iter_mut() {
+            *g *= inv;
+        }
+        clip_grad_norm(&mut meta_grad, cfg.clip_norm);
+        for (p, g) in theta.iter_mut().zip(&meta_grad) {
+            *p -= cfg.alpha * g;
+        }
+    }
+
+    if query_count == 0 {
+        0.0
+    } else {
+        total_query / query_count as f64
+    }
+}
+
+/// Average query loss of `theta` over a task set *without* adaptation
+/// (used for diagnostics and as the recursion value in TAML).
+pub fn query_loss(
+    theta: &[f64],
+    tasks: &[&LearningTask],
+    template: &Seq2Seq,
+    loss: &dyn Loss,
+) -> f64 {
+    let mut model = template.clone();
+    model.set_params(theta);
+    let mut total = 0.0;
+    let mut n = 0usize;
+    for t in tasks {
+        if t.query.is_empty() {
+            continue;
+        }
+        total += model.loss_only(&t.query, loss);
+        n += 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        total / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tamp_core::rng::rng_for;
+    use tamp_core::{Grid, Minutes, Point, Routine, WorkerId};
+    use tamp_nn::{MseLoss, Seq2SeqConfig};
+
+    /// A worker moving east at constant speed — perfectly learnable.
+    fn line_task(id: u64, speed: f64) -> LearningTask {
+        let days: Vec<Routine> = (0..3)
+            .map(|d| {
+                Routine::from_sampled(
+                    (0..20).map(|i| Point::new((i as f64 * speed) % 18.0 + 1.0, 5.0)),
+                    Minutes::new(d as f64 * 1440.0),
+                    Minutes::new(10.0),
+                )
+            })
+            .collect();
+        let mut rng = rng_for(id, 0);
+        LearningTask::from_history(
+            WorkerId(id),
+            &days,
+            vec![],
+            &Grid::PAPER,
+            3,
+            1,
+            0.7,
+            false,
+            &mut rng,
+        )
+    }
+
+    #[test]
+    fn meta_training_reduces_query_loss() {
+        let mut rng = rng_for(1, tamp_core::rng::streams::META);
+        let template = Seq2Seq::new(Seq2SeqConfig::lstm(8), &mut rng);
+        let tasks = [line_task(1, 0.4), line_task(2, 0.6)];
+        let refs: Vec<&LearningTask> = tasks.iter().collect();
+
+        let mut theta = template.params();
+        let before = query_loss(&theta, &refs, &template, &MseLoss);
+        let cfg = MetaConfig {
+            iterations: 30,
+            ..MetaConfig::default()
+        };
+        meta_train(&mut theta, &refs, &template, &MseLoss, &cfg, &mut rng);
+        let after = query_loss(&theta, &refs, &template, &MseLoss);
+        assert!(
+            after < before,
+            "meta-training should reduce loss: {before} → {after}"
+        );
+    }
+
+    #[test]
+    fn returns_average_query_loss() {
+        let mut rng = rng_for(2, tamp_core::rng::streams::META);
+        let template = Seq2Seq::new(Seq2SeqConfig::lstm(6), &mut rng);
+        let tasks = [line_task(3, 0.5)];
+        let refs: Vec<&LearningTask> = tasks.iter().collect();
+        let mut theta = template.params();
+        let avg = meta_train(
+            &mut theta,
+            &refs,
+            &template,
+            &MseLoss,
+            &MetaConfig::default(),
+            &mut rng,
+        );
+        assert!(avg.is_finite() && avg >= 0.0);
+    }
+
+    #[test]
+    fn untrainable_tasks_are_noop() {
+        let mut rng = rng_for(3, tamp_core::rng::streams::META);
+        let template = Seq2Seq::new(Seq2SeqConfig::lstm(6), &mut rng);
+        let empty = LearningTask {
+            worker_id: WorkerId(9),
+            support: Default::default(),
+            query: Default::default(),
+            poi_seq: vec![],
+            sample_points: vec![],
+            is_new: true,
+        };
+        let mut theta = template.params();
+        let before = theta.clone();
+        let l = meta_train(
+            &mut theta,
+            &[&empty],
+            &template,
+            &MseLoss,
+            &MetaConfig::default(),
+            &mut rng,
+        );
+        assert_eq!(l, 0.0);
+        assert_eq!(theta, before);
+    }
+
+    #[test]
+    fn adaptation_specialises_meta_init_faster_than_random() {
+        // The classic MAML sanity check: after meta-training across tasks
+        // with shared structure, k adapt steps on a new task should beat
+        // k adapt steps from the raw random init.
+        let mut rng = rng_for(4, tamp_core::rng::streams::META);
+        let template = Seq2Seq::new(Seq2SeqConfig::lstm(8), &mut rng);
+        let train_tasks = [line_task(10, 0.3), line_task(11, 0.5), line_task(12, 0.7)];
+        let refs: Vec<&LearningTask> = train_tasks.iter().collect();
+        let mut theta = template.params();
+        let cfg = MetaConfig {
+            iterations: 40,
+            ..MetaConfig::default()
+        };
+        meta_train(&mut theta, &refs, &template, &MseLoss, &cfg, &mut rng);
+
+        let new_task = line_task(13, 0.45);
+        let adapt = |init: &[f64], rng: &mut rand::rngs::StdRng| -> f64 {
+            let mut t = init.to_vec();
+            let mut model = template.clone();
+            for _ in 0..3 {
+                model.set_params(&t);
+                let sb = new_task.support_batch(8, rng);
+                let (_, g) = model.loss_and_grad(&sb, &MseLoss);
+                for (p, gv) in t.iter_mut().zip(&g) {
+                    *p -= 0.1 * gv;
+                }
+            }
+            query_loss(&t, &[&new_task], &template, &MseLoss)
+        };
+        let meta_loss = adapt(&theta, &mut rng);
+        let raw_loss = adapt(&template.params(), &mut rng);
+        assert!(
+            meta_loss < raw_loss,
+            "meta init should adapt better: {meta_loss} vs {raw_loss}"
+        );
+    }
+}

@@ -1,0 +1,127 @@
+//! Cluster quality `Q(G)` (Eq. 4) and player utility (Eq. 5).
+//!
+//! `Q(G)` is the mean pairwise similarity inside the cluster, `γ` for a
+//! singleton and 0 for an empty cluster. A player's utility for joining
+//! cluster `G` is the marginal quality `u(Γᵢ, G) = Q(G) − Q(G∖{Γᵢ})`,
+//! which makes the clustering game an exact potential game with potential
+//! `Σ_G Q(G)` (Theorem 1).
+
+use crate::similarity::SimMatrix;
+
+/// Quality `Q(G)` of a cluster given the factor's similarity matrix.
+pub fn cluster_quality(sim: &SimMatrix, members: &[usize], gamma: f64) -> f64 {
+    match members.len() {
+        0 => 0.0,
+        1 => gamma,
+        n => {
+            let mut sum = 0.0;
+            for (idx, &i) in members.iter().enumerate() {
+                for &j in &members[idx + 1..] {
+                    sum += sim.get(i, j);
+                }
+            }
+            // Eq. 4 sums ordered pairs and divides by |G|(|G|−1); summing
+            // unordered pairs and dividing by n(n−1)/2 is identical.
+            sum / (n * (n - 1) / 2) as f64
+        }
+    }
+}
+
+/// Utility `u(Γᵢ, G)` of Eq. 5 for a member `i ∈ G`:
+/// `Q(G) − Q(G ∖ {i})`.
+pub fn member_utility(sim: &SimMatrix, members: &[usize], i: usize, gamma: f64) -> f64 {
+    debug_assert!(members.contains(&i), "utility of a non-member");
+    let q_with = cluster_quality(sim, members, gamma);
+    let without: Vec<usize> = members.iter().copied().filter(|&m| m != i).collect();
+    q_with - cluster_quality(sim, &without, gamma)
+}
+
+/// Utility of *joining* a cluster that currently excludes `i`:
+/// `Q(G ∪ {i}) − Q(G)`.
+pub fn join_utility(sim: &SimMatrix, members: &[usize], i: usize, gamma: f64) -> f64 {
+    debug_assert!(!members.contains(&i), "join utility of a member");
+    let mut with: Vec<usize> = members.to_vec();
+    with.push(i);
+    cluster_quality(sim, &with, gamma) - cluster_quality(sim, members, gamma)
+}
+
+/// The exact potential `F_p = Σ_G Q(G)` of the clustering game
+/// (Appendix A-A). Best-response moves never decrease it.
+pub fn potential(sim: &SimMatrix, clusters: &[Vec<usize>], gamma: f64) -> f64 {
+    clusters
+        .iter()
+        .map(|g| cluster_quality(sim, g, gamma))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uniform(n: usize, s: f64) -> SimMatrix {
+        SimMatrix::from_fn(n, |_, _| s)
+    }
+
+    #[test]
+    fn quality_base_cases() {
+        let m = uniform(4, 0.6);
+        assert_eq!(cluster_quality(&m, &[], 0.2), 0.0);
+        assert_eq!(cluster_quality(&m, &[2], 0.2), 0.2);
+        assert!((cluster_quality(&m, &[0, 1], 0.2) - 0.6).abs() < 1e-12);
+        assert!((cluster_quality(&m, &[0, 1, 2, 3], 0.2) - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quality_mixed_pairs() {
+        // sim(0,1)=0.9, everything else 0.1.
+        let m = SimMatrix::from_fn(3, |i, j| if i + j == 1 { 0.9 } else { 0.1 });
+        let q = cluster_quality(&m, &[0, 1, 2], 0.2);
+        assert!((q - (0.9 + 0.1 + 0.1) / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn utilities_are_marginals() {
+        let m = SimMatrix::from_fn(3, |i, j| if i + j == 1 { 0.9 } else { 0.1 });
+        // For i=2 in {0,1,2}: Q({0,1,2}) − Q({0,1}).
+        let u = member_utility(&m, &[0, 1, 2], 2, 0.2);
+        assert!((u - ((0.9 + 0.2) / 3.0 - 0.9)).abs() < 1e-12);
+        // Joining: Q({0,1,2}) − Q({0,1}) as well.
+        let ju = join_utility(&m, &[0, 1], 2, 0.2);
+        assert!((u - ju).abs() < 1e-12);
+    }
+
+    #[test]
+    fn potential_is_sum_of_qualities() {
+        let m = uniform(4, 0.5);
+        let clusters = vec![vec![0, 1], vec![2], vec![3]];
+        let p = potential(&m, &clusters, 0.3);
+        assert!((p - (0.5 + 0.3 + 0.3)).abs() < 1e-12);
+    }
+
+    /// The exact-potential identity of Theorem 1's proof: moving player i
+    /// from cluster A to cluster B changes the potential by exactly the
+    /// utility difference.
+    #[test]
+    fn potential_change_equals_utility_difference() {
+        let m = SimMatrix::from_fn(5, |i, j| 0.1 + 0.15 * ((i * j) % 5) as f64);
+        let gamma = 0.25;
+        let a = vec![0, 1, 4];
+        let b = vec![2, 3];
+        let i = 4;
+        let u_stay = member_utility(&m, &a, i, gamma);
+        let u_move = join_utility(&m, &b, i, gamma);
+
+        let before = potential(&m, &[a.clone(), b.clone()], gamma);
+        let a_after: Vec<usize> = a.iter().copied().filter(|&x| x != i).collect();
+        let mut b_after = b.clone();
+        b_after.push(i);
+        let after = potential(&m, &[a_after, b_after], gamma);
+
+        assert!(
+            ((after - before) - (u_move - u_stay)).abs() < 1e-12,
+            "ΔF = {}, Δu = {}",
+            after - before,
+            u_move - u_stay
+        );
+    }
+}

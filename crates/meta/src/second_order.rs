@@ -1,0 +1,288 @@
+//! Second-order MAML via finite-difference Hessian-vector products.
+//!
+//! The workspace's default meta-trainer ([`crate::meta_training`]) uses
+//! the first-order approximation (FOMAML). Full MAML \[15\] needs the
+//! gradient of the *adapted* query loss with respect to the *initial*
+//! parameters, which for one inner step is
+//!
+//! ```text
+//! ∇_θ L_q(θ − β ∇_θ L_s(θ)) = (I − β ∇²L_s(θ)) · ∇L_q(θ′)
+//! ```
+//!
+//! The Hessian-vector product `∇²L_s(θ) · g` is computed without any
+//! second-derivative code via the central finite difference
+//!
+//! ```text
+//! H·g ≈ (∇L_s(θ + r·ĝ) − ∇L_s(θ − r·ĝ)) / (2r) · ‖g‖
+//! ```
+//!
+//! which costs two extra gradient evaluations per inner step — the
+//! standard trick (Pearlmutter's exact R-op would need forward-mode
+//! plumbing through the LSTM; the FD form is accurate to O(r²) and
+//! entirely adequate for the small models here).
+//!
+//! This module exists as the ablation target for DESIGN.md's
+//! "first-order MAML" substitution: `bench`/tests compare FOMAML and
+//! second-order MAML on the same clusters.
+
+use crate::learning_task::LearningTask;
+use crate::meta_training::MetaConfig;
+use rand::Rng;
+use tamp_nn::{clip_grad_norm, Loss, Seq2Seq};
+
+/// Finite-difference radius for the HVP, relative to parameter scale.
+const FD_RADIUS: f64 = 1e-4;
+
+/// Hessian-vector product `∇²L(θ)·g` of the batch loss at `theta` along
+/// `g`, via central differences. Returns a zero vector when `g` is
+/// numerically zero.
+pub fn hessian_vector_product(
+    model: &mut Seq2Seq,
+    theta: &[f64],
+    g: &[f64],
+    task: &LearningTask,
+    batch: usize,
+    loss: &dyn Loss,
+    rng: &mut impl Rng,
+) -> Vec<f64> {
+    let norm = g.iter().map(|v| v * v).sum::<f64>().sqrt();
+    if norm < 1e-12 {
+        return vec![0.0; g.len()];
+    }
+    // The same minibatch must be used on both sides of the difference.
+    let sb = task.support_batch(batch, rng);
+    let r = FD_RADIUS;
+    let mut plus = theta.to_vec();
+    let mut minus = theta.to_vec();
+    for ((p, m), gv) in plus.iter_mut().zip(minus.iter_mut()).zip(g) {
+        let dir = gv / norm;
+        *p += r * dir;
+        *m -= r * dir;
+    }
+    model.set_params(&plus);
+    let (_, gp) = model.loss_and_grad(&sb, loss);
+    model.set_params(&minus);
+    let (_, gm) = model.loss_and_grad(&sb, loss);
+    gp.iter()
+        .zip(&gm)
+        .map(|(a, b)| (a - b) / (2.0 * r) * norm)
+        .collect()
+}
+
+/// Second-order MAML (Algorithm 3 with exact meta-gradients through the
+/// inner steps, Hessians estimated by finite differences).
+///
+/// Returns the average query loss, updating `theta` in place. The
+/// signature mirrors [`crate::meta_training::meta_train`] so the two are
+/// drop-in interchangeable for ablations.
+pub fn meta_train_second_order(
+    theta: &mut [f64],
+    tasks: &[&LearningTask],
+    template: &Seq2Seq,
+    loss: &dyn Loss,
+    cfg: &MetaConfig,
+    rng: &mut impl Rng,
+) -> f64 {
+    let trainable: Vec<&LearningTask> = tasks
+        .iter()
+        .copied()
+        .filter(|t| t.is_trainable())
+        .collect();
+    if trainable.is_empty() {
+        return 0.0;
+    }
+    let mut model = template.clone();
+    let mut total_query = 0.0;
+    let mut count = 0usize;
+
+    for _ in 0..cfg.iterations {
+        let m = cfg.batch_tasks.max(1);
+        let batch: Vec<&LearningTask> = (0..m)
+            .map(|_| trainable[rng.gen_range(0..trainable.len())])
+            .collect();
+
+        let mut meta_grad = vec![0.0; theta.len()];
+        for task in batch {
+            // Inner adaptation, remembering every intermediate θᵢ.
+            let mut thetas = Vec::with_capacity(cfg.adapt_steps + 1);
+            thetas.push(theta.to_vec());
+            for s in 0..cfg.adapt_steps {
+                let cur = thetas[s].clone();
+                model.set_params(&cur);
+                let sb = task.support_batch(cfg.adapt_batch, rng);
+                let (_, mut grad) = model.loss_and_grad(&sb, loss);
+                clip_grad_norm(&mut grad, cfg.clip_norm);
+                let next: Vec<f64> = cur
+                    .iter()
+                    .zip(&grad)
+                    .map(|(p, g)| p - cfg.beta * g)
+                    .collect();
+                thetas.push(next);
+            }
+            // Query gradient at the adapted parameters...
+            let adapted = thetas.last().expect("at least the init");
+            model.set_params(adapted);
+            let qb = task.query_batch(cfg.query_batch, rng);
+            let (ql, qgrad) = model.loss_and_grad(&qb, loss);
+            total_query += ql;
+            count += 1;
+
+            // ...pulled back through each inner step:
+            // g ← (I − β H(θ_s)) g.
+            let mut g = qgrad;
+            for s in (0..cfg.adapt_steps).rev() {
+                let hv = hessian_vector_product(
+                    &mut model,
+                    &thetas[s],
+                    &g,
+                    task,
+                    cfg.adapt_batch,
+                    loss,
+                    rng,
+                );
+                for (gi, hvi) in g.iter_mut().zip(&hv) {
+                    *gi -= cfg.beta * hvi;
+                }
+            }
+            for (mg, gi) in meta_grad.iter_mut().zip(&g) {
+                *mg += gi;
+            }
+        }
+        let inv = 1.0 / m as f64;
+        for g in meta_grad.iter_mut() {
+            *g *= inv;
+        }
+        clip_grad_norm(&mut meta_grad, cfg.clip_norm);
+        for (p, g) in theta.iter_mut().zip(&meta_grad) {
+            *p -= cfg.alpha * g;
+        }
+    }
+    if count == 0 {
+        0.0
+    } else {
+        total_query / count as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::meta_training::{meta_train, query_loss};
+    use tamp_core::rng::rng_for;
+    use tamp_core::{Grid, Minutes, Point, Routine, WorkerId};
+    use tamp_nn::{MseLoss, Seq2SeqConfig};
+
+    fn line_task(id: u64, speed: f64) -> LearningTask {
+        let days: Vec<Routine> = (0..3)
+            .map(|d| {
+                Routine::from_sampled(
+                    (0..18).map(|i| Point::new(1.0 + (i as f64 * speed).min(17.0), 5.0)),
+                    Minutes::new(d as f64 * 1440.0),
+                    Minutes::new(10.0),
+                )
+            })
+            .collect();
+        let mut rng = rng_for(id, 14);
+        LearningTask::from_history(
+            WorkerId(id),
+            &days,
+            vec![],
+            &Grid::PAPER,
+            3,
+            1,
+            0.7,
+            false,
+            &mut rng,
+        )
+    }
+
+    #[test]
+    fn hvp_matches_quadratic_expectation_direction() {
+        // Sanity: HVP along g has positive alignment with the change of
+        // gradients, and zero input gives zero output.
+        let mut rng = rng_for(1, 14);
+        let mut model = Seq2Seq::new(Seq2SeqConfig::lstm(5), &mut rng);
+        let task = line_task(1, 0.5);
+        let theta = model.params();
+        let zero = vec![0.0; theta.len()];
+        let hv = hessian_vector_product(&mut model, &theta, &zero, &task, 8, &MseLoss, &mut rng);
+        assert!(hv.iter().all(|v| *v == 0.0));
+
+        let g = vec![0.01; theta.len()];
+        let hv = hessian_vector_product(&mut model, &theta, &g, &task, 8, &MseLoss, &mut rng);
+        assert_eq!(hv.len(), theta.len());
+        assert!(hv.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn second_order_reduces_query_loss() {
+        let mut rng = rng_for(2, 14);
+        let template = Seq2Seq::new(Seq2SeqConfig::lstm(6), &mut rng);
+        let tasks = [line_task(1, 0.4), line_task(2, 0.6)];
+        let refs: Vec<&LearningTask> = tasks.iter().collect();
+        let mut theta = template.params();
+        let before = query_loss(&theta, &refs, &template, &MseLoss);
+        let cfg = MetaConfig {
+            iterations: 15,
+            ..MetaConfig::default()
+        };
+        meta_train_second_order(&mut theta, &refs, &template, &MseLoss, &cfg, &mut rng);
+        let after = query_loss(&theta, &refs, &template, &MseLoss);
+        assert!(after < before, "{before} → {after}");
+    }
+
+    #[test]
+    fn second_order_is_competitive_with_first_order() {
+        // On the same budget, second-order should land within a factor of
+        // first-order's loss (usually at or below it).
+        let mut rng = rng_for(3, 14);
+        let template = Seq2Seq::new(Seq2SeqConfig::lstm(6), &mut rng);
+        let tasks = [line_task(4, 0.3), line_task(5, 0.5), line_task(6, 0.7)];
+        let refs: Vec<&LearningTask> = tasks.iter().collect();
+        let cfg = MetaConfig {
+            iterations: 15,
+            ..MetaConfig::default()
+        };
+
+        let mut theta_fo = template.params();
+        let mut rng_a = rng_for(9, 14);
+        meta_train(&mut theta_fo, &refs, &template, &MseLoss, &cfg, &mut rng_a);
+        let fo = query_loss(&theta_fo, &refs, &template, &MseLoss);
+
+        let mut theta_so = template.params();
+        let mut rng_b = rng_for(9, 14);
+        meta_train_second_order(&mut theta_so, &refs, &template, &MseLoss, &cfg, &mut rng_b);
+        let so = query_loss(&theta_so, &refs, &template, &MseLoss);
+
+        assert!(
+            so < fo * 4.0 && fo < so * 4.0,
+            "second-order {so} and first-order {fo} should be in the same regime"
+        );
+    }
+
+    #[test]
+    fn untrainable_tasks_noop() {
+        let mut rng = rng_for(4, 14);
+        let template = Seq2Seq::new(Seq2SeqConfig::lstm(5), &mut rng);
+        let empty = LearningTask {
+            worker_id: WorkerId(1),
+            support: Default::default(),
+            query: Default::default(),
+            poi_seq: vec![],
+            sample_points: vec![],
+            is_new: true,
+        };
+        let mut theta = template.params();
+        let before = theta.clone();
+        let l = meta_train_second_order(
+            &mut theta,
+            &[&empty],
+            &template,
+            &MseLoss,
+            &MetaConfig::default(),
+            &mut rng,
+        );
+        assert_eq!(l, 0.0);
+        assert_eq!(theta, before);
+    }
+}

@@ -1,0 +1,285 @@
+//! The three clustering factors and their pairwise similarity matrices.
+//!
+//! * **Spatial** (`Sim_s`, Eq. 1): a kernel mean embedding over the two
+//!   workers' POI sequences, using a Gaussian location kernel modulated by
+//!   category agreement, normalised into `\[0, 1\]` by the self-kernel
+//!   (cosine normalisation in the kernel's feature space).
+//! * **Learning path** (`Sim_l`, Eq. 2): the mean cosine similarity of the
+//!   two tasks' k-step gradient sequences, affinely mapped from `[−1, 1]`
+//!   to `\[0, 1\]` so every factor shares the `γ`-comparable scale of Eq. 4.
+//! * **Distribution** (`Sim_d`, Eq. 3): the reciprocal Wasserstein
+//!   distance; we use the bounded form `1/(1 + W1/λ)` so that identical
+//!   distributions score exactly 1 rather than ∞ (the paper's `1/W1` is
+//!   unbounded, which would make `Q(G)` incomparable with `γ ∈ (0,1)`).
+
+use crate::learning_task::LearningTask;
+use crate::wasserstein::w1_distance;
+use serde::{Deserialize, Serialize};
+use tamp_core::Poi;
+use tamp_nn::matrix::vecops::cosine;
+
+/// Which clustering factor a similarity matrix encodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FactorKind {
+    /// Distribution similarity `Sim_d` (Eq. 3).
+    Distribution,
+    /// Spatial (POI) similarity `Sim_s` (Eq. 1).
+    Spatial,
+    /// Learning-path similarity `Sim_l` (Eq. 2).
+    LearningPath,
+}
+
+impl FactorKind {
+    /// The paper's chosen factor order for multi-level clustering
+    /// (Section IV-B: "the order ... is Sim_d, Sim_s, and Sim_l").
+    pub const PAPER_ORDER: [FactorKind; 3] = [
+        FactorKind::Distribution,
+        FactorKind::Spatial,
+        FactorKind::LearningPath,
+    ];
+}
+
+/// A symmetric pairwise similarity matrix over `n` learning tasks, with
+/// values in `\[0, 1\]` and a unit diagonal.
+#[derive(Debug, Clone)]
+pub struct SimMatrix {
+    n: usize,
+    vals: Vec<f64>,
+}
+
+impl SimMatrix {
+    /// Builds from a symmetric pair function.
+    pub fn from_fn(n: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut vals = vec![1.0; n * n];
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let s = f(i, j).clamp(0.0, 1.0);
+                vals[i * n + j] = s;
+                vals[j * n + i] = s;
+            }
+        }
+        Self { n, vals }
+    }
+
+    /// Number of tasks.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the matrix is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Pairwise similarity (1 on the diagonal).
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        debug_assert!(i < self.n && j < self.n);
+        self.vals[i * self.n + j]
+    }
+
+    /// The matching *distance* `1 − sim`, used by k-medoids.
+    #[inline]
+    pub fn dist(&self, i: usize, j: usize) -> f64 {
+        1.0 - self.get(i, j)
+    }
+
+    /// Mean similarity between `i` and a set of indices (ignoring `i`
+    /// itself); 0 for an empty set.
+    pub fn mean_to_set(&self, i: usize, set: &[usize]) -> f64 {
+        let mut sum = 0.0;
+        let mut count = 0usize;
+        for &j in set {
+            if j != i {
+                sum += self.get(i, j);
+                count += 1;
+            }
+        }
+        if count == 0 {
+            0.0
+        } else {
+            sum / count as f64
+        }
+    }
+}
+
+/// The kernel `K_h` of Eq. 1: Gaussian in location, scaled by category
+/// agreement (1 for equal categories, `CROSS_CATEGORY` otherwise).
+fn poi_kernel(a: &Poi, b: &Poi, bandwidth_km: f64) -> f64 {
+    const CROSS_CATEGORY: f64 = 0.3;
+    let loc = (-a.loc.dist_sq(b.loc) / (2.0 * bandwidth_km * bandwidth_km)).exp();
+    let cat = if a.category == b.category {
+        1.0
+    } else {
+        CROSS_CATEGORY
+    };
+    loc * cat
+}
+
+fn mean_kernel(a: &[Poi], b: &[Poi], bandwidth_km: f64) -> f64 {
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let mut sum = 0.0;
+    for x in a {
+        for y in b {
+            sum += poi_kernel(x, y, bandwidth_km);
+        }
+    }
+    sum / (a.len() * b.len()) as f64
+}
+
+/// `Sim_s` (Eq. 1): normalised kernel mean similarity of POI sequences.
+///
+/// Normalisation is the kernel-space cosine `k(a,b)/√(k(a,a)·k(b,b))`,
+/// which maps into `\[0, 1\]` with 1 for identical sequences.
+pub fn sim_spatial(a: &[Poi], b: &[Poi], bandwidth_km: f64) -> f64 {
+    let cross = mean_kernel(a, b, bandwidth_km);
+    if cross <= 0.0 {
+        return 0.0;
+    }
+    let saa = mean_kernel(a, a, bandwidth_km);
+    let sbb = mean_kernel(b, b, bandwidth_km);
+    if saa <= 0.0 || sbb <= 0.0 {
+        return 0.0;
+    }
+    (cross / (saa * sbb).sqrt()).clamp(0.0, 1.0)
+}
+
+/// `Sim_l` (Eq. 2): mean step-wise cosine similarity of two k-step
+/// gradient paths, mapped from `[−1, 1]` to `\[0, 1\]`.
+pub fn sim_learning_path(a: &[Vec<f64>], b: &[Vec<f64>]) -> f64 {
+    let k = a.len().min(b.len());
+    if k == 0 {
+        return 0.0;
+    }
+    let mean: f64 = (0..k).map(|i| cosine(&a[i], &b[i])).sum::<f64>() / k as f64;
+    ((mean + 1.0) / 2.0).clamp(0.0, 1.0)
+}
+
+/// Characteristic length scale (km) of the distribution similarity: the
+/// W1 distance at which `Sim_d` halves. City-block scale keeps mid-range
+/// similarities comparable with `γ` and the level thresholds `Θ`.
+pub const DIST_SCALE_KM: f64 = 5.0;
+
+/// `Sim_d` (Eq. 3, bounded form): `1/(1 + W1/λ)` between the two tasks'
+/// sample distributions, with `λ =` [`DIST_SCALE_KM`].
+pub fn sim_distribution(a: &[tamp_core::Point], b: &[tamp_core::Point]) -> f64 {
+    1.0 / (1.0 + w1_distance(a, b) / DIST_SCALE_KM)
+}
+
+/// Default Gaussian bandwidth for the POI kernel, km.
+pub const DEFAULT_BANDWIDTH_KM: f64 = 1.5;
+
+/// Builds the similarity matrix for one factor over a task set.
+///
+/// For [`FactorKind::LearningPath`] the caller must supply the per-task
+/// gradient paths (computed by [`crate::maml::gradient_paths`]); the other
+/// factors read the tasks directly.
+pub fn build_sim_matrix(
+    factor: FactorKind,
+    tasks: &[LearningTask],
+    gradient_paths: Option<&[Vec<Vec<f64>>]>,
+) -> SimMatrix {
+    match factor {
+        FactorKind::Spatial => SimMatrix::from_fn(tasks.len(), |i, j| {
+            sim_spatial(&tasks[i].poi_seq, &tasks[j].poi_seq, DEFAULT_BANDWIDTH_KM)
+        }),
+        FactorKind::Distribution => SimMatrix::from_fn(tasks.len(), |i, j| {
+            sim_distribution(&tasks[i].sample_points, &tasks[j].sample_points)
+        }),
+        FactorKind::LearningPath => {
+            let paths = gradient_paths.expect("learning-path factor needs gradient paths");
+            assert_eq!(paths.len(), tasks.len(), "one path per task");
+            SimMatrix::from_fn(tasks.len(), |i, j| sim_learning_path(&paths[i], &paths[j]))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tamp_core::{Point, PoiCategory};
+
+    fn poi(x: f64, y: f64, cat: PoiCategory) -> Poi {
+        Poi::new(Point::new(x, y), cat)
+    }
+
+    #[test]
+    fn spatial_identity_is_one() {
+        let seq = vec![
+            poi(1.0, 1.0, PoiCategory::Food),
+            poi(3.0, 2.0, PoiCategory::Office),
+        ];
+        let s = sim_spatial(&seq, &seq, 1.5);
+        assert!((s - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn spatial_decays_with_distance() {
+        let a = vec![poi(1.0, 1.0, PoiCategory::Food)];
+        let near = vec![poi(1.5, 1.0, PoiCategory::Food)];
+        let far = vec![poi(15.0, 8.0, PoiCategory::Food)];
+        assert!(sim_spatial(&a, &near, 1.5) > sim_spatial(&a, &far, 1.5));
+    }
+
+    #[test]
+    fn spatial_prefers_same_category() {
+        let a = vec![poi(1.0, 1.0, PoiCategory::Food)];
+        let same = vec![poi(1.5, 1.0, PoiCategory::Food)];
+        let diff = vec![poi(1.5, 1.0, PoiCategory::Office)];
+        assert!(sim_spatial(&a, &same, 1.5) > sim_spatial(&a, &diff, 1.5));
+    }
+
+    #[test]
+    fn spatial_empty_is_zero() {
+        let a = vec![poi(1.0, 1.0, PoiCategory::Food)];
+        assert_eq!(sim_spatial(&a, &[], 1.5), 0.0);
+        assert_eq!(sim_spatial(&[], &[], 1.5), 0.0);
+    }
+
+    #[test]
+    fn learning_path_identity_and_opposite() {
+        let a = vec![vec![1.0, 0.0], vec![0.0, 1.0]];
+        assert!((sim_learning_path(&a, &a) - 1.0).abs() < 1e-9);
+        let b = vec![vec![-1.0, 0.0], vec![0.0, -1.0]];
+        assert!(sim_learning_path(&a, &b).abs() < 1e-9);
+        assert_eq!(sim_learning_path(&a, &[]), 0.0);
+    }
+
+    #[test]
+    fn distribution_identity_is_one() {
+        let pts: Vec<Point> = (0..10).map(|i| Point::new(i as f64, 0.0)).collect();
+        assert!((sim_distribution(&pts, &pts) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn distribution_decays_with_shift() {
+        let a: Vec<Point> = (0..10).map(|i| Point::new(i as f64 * 0.1, 0.0)).collect();
+        let near: Vec<Point> = a.iter().map(|p| p.offset(0.5, 0.0)).collect();
+        let far: Vec<Point> = a.iter().map(|p| p.offset(8.0, 0.0)).collect();
+        assert!(sim_distribution(&a, &near) > sim_distribution(&a, &far));
+    }
+
+    #[test]
+    fn matrix_is_symmetric_unit_diag() {
+        let m = SimMatrix::from_fn(4, |i, j| ((i + j) as f64 * 0.1).min(1.0));
+        for i in 0..4 {
+            assert_eq!(m.get(i, i), 1.0);
+            for j in 0..4 {
+                assert_eq!(m.get(i, j), m.get(j, i));
+                assert!((0.0..=1.0).contains(&m.get(i, j)));
+            }
+        }
+        assert!((m.dist(0, 1) - (1.0 - m.get(0, 1))).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_to_set_ignores_self() {
+        let m = SimMatrix::from_fn(3, |_, _| 0.5);
+        assert_eq!(m.mean_to_set(0, &[0]), 0.0);
+        assert_eq!(m.mean_to_set(0, &[0, 1, 2]), 0.5);
+    }
+}

@@ -1,0 +1,229 @@
+//! Task-Adaptive Meta-Learning over the learning-task tree (Algorithm 2).
+//!
+//! Leaves run Meta-Training (Algorithm 3) on their clusters; interior
+//! nodes recurse over their children, average the returned losses, and
+//! update their own `θ` with the averaged meta information.
+//!
+//! **First-order realisation of line 6** (`θ ← θ − α∇L_avg`): with
+//! first-order meta-gradients, the gradient of the average child loss at
+//! the parent's `θ` is approximated by the average of the children's
+//! parameter displacements, i.e. a Reptile-style interpolation
+//! `θ ← θ + blend · mean(θ_child − θ)`. Each child started from the
+//! parent's `θ` (Algorithm 1 line 15), so the displacement is exactly the
+//! accumulated meta-update direction of that subtree. The substitution is
+//! recorded in DESIGN.md.
+
+use crate::learning_task::LearningTask;
+use crate::meta_training::{meta_train, MetaConfig};
+use crate::tree::{LearningTaskTree, NodeId};
+use rand::Rng;
+use tamp_nn::{Loss, Seq2Seq};
+
+/// Configuration of the TAML recursion.
+#[derive(Debug, Clone, Copy)]
+pub struct TamlConfig {
+    /// Meta-training hyper-parameters for leaves.
+    pub meta: MetaConfig,
+    /// Interpolation factor of the interior-node update (the first-order
+    /// stand-in for `α` in Algorithm 2 line 6).
+    pub parent_blend: f64,
+}
+
+impl Default for TamlConfig {
+    fn default() -> Self {
+        Self {
+            meta: MetaConfig::default(),
+            parent_blend: 0.5,
+        }
+    }
+}
+
+/// Runs Algorithm 2 over the whole tree, training every node's `θ` in
+/// place. Returns the tree-average query loss `L^avg`.
+pub fn taml_train(
+    tree: &mut LearningTaskTree,
+    tasks: &[LearningTask],
+    template: &Seq2Seq,
+    loss: &dyn Loss,
+    cfg: &TamlConfig,
+    rng: &mut impl Rng,
+) -> f64 {
+    taml_node(tree, tree.root(), tasks, template, loss, cfg, rng)
+}
+
+fn taml_node(
+    tree: &mut LearningTaskTree,
+    node: NodeId,
+    tasks: &[LearningTask],
+    template: &Seq2Seq,
+    loss: &dyn Loss,
+    cfg: &TamlConfig,
+    rng: &mut impl Rng,
+) -> f64 {
+    let children = tree.node(node).children.clone();
+    if children.is_empty() {
+        // Leaf: Meta-Training on this cluster (Algorithm 2 lines 1–2).
+        let members = tree.node(node).members.clone();
+        let refs: Vec<&LearningTask> = members.iter().map(|&m| &tasks[m]).collect();
+        let mut theta = tree.node(node).theta.clone();
+        let avg = meta_train(&mut theta, &refs, template, loss, &cfg.meta, rng);
+        tree.node_mut(node).theta = theta;
+        return avg;
+    }
+
+    // Interior: recurse, average losses (lines 3–5).
+    let mut total = 0.0;
+    for &c in &children {
+        total += taml_node(tree, c, tasks, template, loss, cfg, rng);
+    }
+    let avg = total / children.len() as f64;
+
+    // Line 6, first-order: move θ toward the mean child displacement.
+    let parent_theta = tree.node(node).theta.clone();
+    let mut mean_delta = vec![0.0; parent_theta.len()];
+    for &c in &children {
+        let ct = &tree.node(c).theta;
+        for (d, (cv, pv)) in mean_delta.iter_mut().zip(ct.iter().zip(&parent_theta)) {
+            *d += cv - pv;
+        }
+    }
+    let inv = cfg.parent_blend / children.len() as f64;
+    let mut new_theta = parent_theta;
+    for (p, d) in new_theta.iter_mut().zip(&mean_delta) {
+        *p += inv * d;
+    }
+    tree.node_mut(node).theta = new_theta;
+    avg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gtmc::{build_tree, GtmcConfig};
+    use crate::meta_training::query_loss;
+    use crate::similarity::SimMatrix;
+    use tamp_core::rng::rng_for;
+    use tamp_core::{Grid, Minutes, Point, Routine, WorkerId};
+    use tamp_nn::{MseLoss, Seq2SeqConfig};
+
+    /// Two families of workers: eastbound (ids 0–2) and northbound
+    /// (ids 3–5) — a block structure for the tree.
+    fn family_tasks() -> Vec<LearningTask> {
+        (0..6u64)
+            .map(|id| {
+                let (dx, dy) = if id < 3 { (0.5, 0.0) } else { (0.0, 0.4) };
+                let days: Vec<Routine> = (0..2)
+                    .map(|d| {
+                        Routine::from_sampled(
+                            (0..16).map(|i| {
+                                Point::new(
+                                    1.0 + id as f64 + i as f64 * dx,
+                                    1.0 + id as f64 * 0.5 + i as f64 * dy,
+                                )
+                            }),
+                            Minutes::new(d as f64 * 1440.0),
+                            Minutes::new(10.0),
+                        )
+                    })
+                    .collect();
+                let mut rng = rng_for(id, 4);
+                LearningTask::from_history(
+                    WorkerId(id),
+                    &days,
+                    vec![],
+                    &Grid::PAPER,
+                    2,
+                    1,
+                    0.7,
+                    false,
+                    &mut rng,
+                )
+            })
+            .collect()
+    }
+
+    fn block_sim() -> SimMatrix {
+        SimMatrix::from_fn(6, |i, j| if (i < 3) == (j < 3) { 0.9 } else { 0.05 })
+    }
+
+    #[test]
+    fn taml_trains_every_node_and_reduces_loss() {
+        let tasks = family_tasks();
+        let mut rng = rng_for(1, 5);
+        let template = Seq2Seq::new(Seq2SeqConfig::lstm(8), &mut rng);
+        let cfg = GtmcConfig {
+            k: 2,
+            thresholds: vec![0.95],
+            min_split: 2,
+            seed: 3,
+            ..GtmcConfig::default()
+        };
+        let mut tree = build_tree(6, &[block_sim()], &cfg, template.params());
+        assert!(tree.len() >= 3, "expected a split tree");
+
+        let refs: Vec<&LearningTask> = tasks.iter().collect();
+        let before = query_loss(&template.params(), &refs, &template, &MseLoss);
+
+        let tcfg = TamlConfig {
+            meta: MetaConfig {
+                iterations: 20,
+                alpha: 0.03,
+                beta: 0.05,
+                ..MetaConfig::default()
+            },
+            parent_blend: 0.5,
+        };
+        let avg = taml_train(&mut tree, &tasks, &template, &MseLoss, &tcfg, &mut rng);
+        assert!(avg.is_finite());
+
+        // Every leaf θ moved away from the init and improves its cluster.
+        for l in tree.leaves() {
+            let node = tree.node(l);
+            assert_ne!(node.theta, template.params(), "leaf {l} untrained");
+            let members: Vec<&LearningTask> = node.members.iter().map(|&m| &tasks[m]).collect();
+            let after = query_loss(&node.theta, &members, &template, &MseLoss);
+            assert!(
+                after < before,
+                "leaf {l} loss {after} not below initial {before}"
+            );
+        }
+        // The root θ also moved (interior update).
+        assert_ne!(tree.node(tree.root()).theta, template.params());
+    }
+
+    #[test]
+    fn single_node_tree_degenerates_to_meta_training() {
+        let tasks = family_tasks();
+        let mut rng = rng_for(2, 5);
+        let template = Seq2Seq::new(Seq2SeqConfig::lstm(6), &mut rng);
+        let mut tree = crate::tree::LearningTaskTree::with_root(
+            (0..tasks.len()).collect(),
+            template.params(),
+        );
+        let tcfg = TamlConfig::default();
+        let avg = taml_train(&mut tree, &tasks, &template, &MseLoss, &tcfg, &mut rng);
+        assert!(avg > 0.0);
+        assert_ne!(tree.node(0).theta, template.params());
+    }
+
+    #[test]
+    fn zero_blend_keeps_interior_theta() {
+        let tasks = family_tasks();
+        let mut rng = rng_for(3, 5);
+        let template = Seq2Seq::new(Seq2SeqConfig::lstm(6), &mut rng);
+        let cfg = GtmcConfig {
+            k: 2,
+            thresholds: vec![0.95],
+            min_split: 2,
+            seed: 4,
+            ..GtmcConfig::default()
+        };
+        let mut tree = build_tree(6, &[block_sim()], &cfg, template.params());
+        let tcfg = TamlConfig {
+            parent_blend: 0.0,
+            ..TamlConfig::default()
+        };
+        taml_train(&mut tree, &tasks, &template, &MseLoss, &tcfg, &mut rng);
+        assert_eq!(tree.node(tree.root()).theta, template.params());
+    }
+}

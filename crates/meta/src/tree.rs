@@ -1,0 +1,229 @@
+//! The learning-task tree (Definition 6).
+//!
+//! A node `Tᵗ = (G, CH, fr, θ)` holds a learning-task cluster, its
+//! children, its parent, and the initialisation weights `θ` of the
+//! mobility models for tasks in that cluster. Only leaves carry training
+//! data; interior nodes exist to hand increasingly specialised `θ` down
+//! the hierarchy and to serve cold-start lookups.
+
+use serde::{Deserialize, Serialize};
+
+/// Index of a node inside a [`LearningTaskTree`].
+pub type NodeId = usize;
+
+/// One node of the learning-task tree.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TreeNode {
+    /// Learning-task indices (into the tree's task set) in this node's
+    /// cluster `G`.
+    pub members: Vec<usize>,
+    /// Child node ids `CH`.
+    pub children: Vec<NodeId>,
+    /// Parent node id `fr` (None at the root).
+    pub parent: Option<NodeId>,
+    /// Model initialisation parameters `θ`.
+    pub theta: Vec<f64>,
+    /// Which similarity-factor level produced this node (root = 0).
+    pub level: usize,
+}
+
+/// The learning-task tree `T₀ᵗ`.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct LearningTaskTree {
+    nodes: Vec<TreeNode>,
+}
+
+impl LearningTaskTree {
+    /// Creates a tree with a root covering `members`, initialised at
+    /// `theta`.
+    pub fn with_root(members: Vec<usize>, theta: Vec<f64>) -> Self {
+        Self {
+            nodes: vec![TreeNode {
+                members,
+                children: Vec::new(),
+                parent: None,
+                theta,
+                level: 0,
+            }],
+        }
+    }
+
+    /// The root's id (always 0).
+    pub fn root(&self) -> NodeId {
+        0
+    }
+
+    /// Borrow a node.
+    pub fn node(&self, id: NodeId) -> &TreeNode {
+        &self.nodes[id]
+    }
+
+    /// Mutably borrow a node.
+    pub fn node_mut(&mut self, id: NodeId) -> &mut TreeNode {
+        &mut self.nodes[id]
+    }
+
+    /// Total number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the tree has no nodes (never true after `with_root`).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Adds a child under `parent`, inheriting the parent's `θ`
+    /// (Algorithm 1 line 15 creates `(G_sub, ∅, Tᵗ, Tᵗ.θ)`).
+    pub fn add_child(&mut self, parent: NodeId, members: Vec<usize>) -> NodeId {
+        let id = self.nodes.len();
+        let (theta, level) = {
+            let p = &self.nodes[parent];
+            (p.theta.clone(), p.level + 1)
+        };
+        self.nodes.push(TreeNode {
+            members,
+            children: Vec::new(),
+            parent: Some(parent),
+            theta,
+            level,
+        });
+        self.nodes[parent].children.push(id);
+        id
+    }
+
+    /// All leaf ids (nodes without children).
+    pub fn leaves(&self) -> Vec<NodeId> {
+        (0..self.nodes.len())
+            .filter(|&i| self.nodes[i].children.is_empty())
+            .collect()
+    }
+
+    /// Ids in depth-first post-order from the root (children before
+    /// parents) — the traversal the cold-start lookup uses.
+    pub fn post_order(&self) -> Vec<NodeId> {
+        let mut out = Vec::with_capacity(self.nodes.len());
+        self.post_order_from(self.root(), &mut out);
+        out
+    }
+
+    fn post_order_from(&self, id: NodeId, out: &mut Vec<NodeId>) {
+        for &c in &self.nodes[id].children {
+            self.post_order_from(c, out);
+        }
+        out.push(id);
+    }
+
+    /// The leaf whose cluster contains task `task_idx`, if any. Walks down
+    /// from the root following membership.
+    pub fn leaf_of_task(&self, task_idx: usize) -> Option<NodeId> {
+        let mut cur = self.root();
+        if !self.nodes[cur].members.contains(&task_idx) {
+            return None;
+        }
+        'descend: loop {
+            if self.nodes[cur].children.is_empty() {
+                return Some(cur);
+            }
+            for &c in &self.nodes[cur].children {
+                if self.nodes[c].members.contains(&task_idx) {
+                    cur = c;
+                    continue 'descend;
+                }
+            }
+            // Member of this node but of no child — treat as leaf data.
+            return Some(cur);
+        }
+    }
+
+    /// Structural sanity check: children partition their parent's members
+    /// (when a node has children at all). Used by tests.
+    pub fn check_partition(&self) -> bool {
+        for node in &self.nodes {
+            if node.children.is_empty() {
+                continue;
+            }
+            let mut combined: Vec<usize> = node
+                .children
+                .iter()
+                .flat_map(|&c| self.nodes[c].members.iter().copied())
+                .collect();
+            combined.sort_unstable();
+            let mut expected = node.members.clone();
+            expected.sort_unstable();
+            if combined != expected {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_tree() -> LearningTaskTree {
+        let mut t = LearningTaskTree::with_root(vec![0, 1, 2, 3], vec![0.0; 4]);
+        let a = t.add_child(0, vec![0, 1]);
+        let b = t.add_child(0, vec![2, 3]);
+        t.add_child(a, vec![0]);
+        t.add_child(a, vec![1]);
+        let _ = b;
+        t
+    }
+
+    #[test]
+    fn children_inherit_theta_and_level() {
+        let mut t = LearningTaskTree::with_root(vec![0, 1], vec![1.0, 2.0]);
+        let c = t.add_child(0, vec![0]);
+        assert_eq!(t.node(c).theta, vec![1.0, 2.0]);
+        assert_eq!(t.node(c).level, 1);
+        assert_eq!(t.node(c).parent, Some(0));
+        assert_eq!(t.node(0).children, vec![c]);
+    }
+
+    #[test]
+    fn leaves_are_childless() {
+        let t = sample_tree();
+        let leaves = t.leaves();
+        assert_eq!(leaves.len(), 3); // node b plus the two children of a
+        for l in leaves {
+            assert!(t.node(l).children.is_empty());
+        }
+    }
+
+    #[test]
+    fn post_order_visits_children_first() {
+        let t = sample_tree();
+        let order = t.post_order();
+        assert_eq!(order.len(), t.len());
+        assert_eq!(*order.last().unwrap(), t.root());
+        let pos = |id: NodeId| order.iter().position(|&x| x == id).unwrap();
+        for (id, node) in (0..t.len()).map(|i| (i, t.node(i))) {
+            for &c in &node.children {
+                assert!(pos(c) < pos(id), "child {c} after parent {id}");
+            }
+        }
+    }
+
+    #[test]
+    fn leaf_of_task_descends_correctly() {
+        let t = sample_tree();
+        let l0 = t.leaf_of_task(0).unwrap();
+        assert_eq!(t.node(l0).members, vec![0]);
+        let l2 = t.leaf_of_task(2).unwrap();
+        assert_eq!(t.node(l2).members, vec![2, 3]);
+        assert!(t.leaf_of_task(99).is_none());
+    }
+
+    #[test]
+    fn partition_check() {
+        let mut t = sample_tree();
+        assert!(t.check_partition());
+        // Corrupt: remove a member from a leaf.
+        let leaf = t.leaf_of_task(0).unwrap();
+        t.node_mut(leaf).members.clear();
+        assert!(!t.check_partition());
+    }
+}

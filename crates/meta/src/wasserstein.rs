@@ -1,0 +1,176 @@
+//! Exact 1-Wasserstein distance between empirical 2-D distributions.
+//!
+//! The distribution-similarity factor (Eq. 3) needs the Wasserstein
+//! distance between two workers' location distributions. On equal-size
+//! empirical samples the W1 distance under the Euclidean ground metric is
+//! exactly the optimal assignment cost divided by the sample count, which
+//! we compute with the workspace's own Hungarian solver — the textbook
+//! estimator, no approximation beyond subsampling.
+
+use tamp_assign::hungarian::{max_weight_matching, WeightedEdge};
+use tamp_core::Point;
+
+/// Cap on the subsample size; W1 on an n-point subsample costs O(n³).
+pub const DEFAULT_SUBSAMPLE: usize = 48;
+
+/// Deterministically subsamples `n` points with an even stride (keeps the
+/// temporal spread of a trajectory without needing an RNG).
+pub fn strided_subsample(points: &[Point], n: usize) -> Vec<Point> {
+    if points.len() <= n {
+        return points.to_vec();
+    }
+    let stride = points.len() as f64 / n as f64;
+    (0..n)
+        .map(|i| points[(i as f64 * stride) as usize])
+        .collect()
+}
+
+/// Exact W1 distance between two equal-size point sets.
+///
+/// Both sets are first subsampled to `min(|a|, |b|, cap)` points with an
+/// even stride. Returns 0 for empty inputs.
+pub fn w1_distance_capped(a: &[Point], b: &[Point], cap: usize) -> f64 {
+    let n = a.len().min(b.len()).min(cap);
+    if n == 0 {
+        return 0.0;
+    }
+    let xs = strided_subsample(a, n);
+    let ys = strided_subsample(b, n);
+    // Min-cost perfect matching as max-weight with weight = OFFSET − dist;
+    // with a complete equal-size bipartite graph the matching is perfect,
+    // so maximising Σ(OFFSET − dist) minimises Σdist exactly.
+    const OFFSET: f64 = 1.0e5;
+    let mut edges = Vec::with_capacity(n * n);
+    for (i, x) in xs.iter().enumerate() {
+        for (j, y) in ys.iter().enumerate() {
+            edges.push(WeightedEdge::new(i, j, OFFSET - x.dist(*y)));
+        }
+    }
+    let matched = max_weight_matching(n, n, &edges);
+    debug_assert_eq!(matched.len(), n, "complete graph must match perfectly");
+    let total: f64 = matched.iter().map(|&(i, j)| xs[i].dist(ys[j])).sum();
+    total / n as f64
+}
+
+/// [`w1_distance_capped`] with [`DEFAULT_SUBSAMPLE`].
+pub fn w1_distance(a: &[Point], b: &[Point]) -> f64 {
+    w1_distance_capped(a, b, DEFAULT_SUBSAMPLE)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+    use tamp_core::rng::rng_for;
+
+    fn cloud(center: (f64, f64), n: usize, seed: u64) -> Vec<Point> {
+        let mut rng = rng_for(seed, 8);
+        (0..n)
+            .map(|_| {
+                Point::new(
+                    center.0 + rng.gen_range(-0.5..0.5),
+                    center.1 + rng.gen_range(-0.5..0.5),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn identical_sets_have_zero_distance() {
+        let a = cloud((5.0, 5.0), 20, 1);
+        assert!(w1_distance(&a, &a) < 1e-9);
+    }
+
+    #[test]
+    fn translation_shifts_distance_by_offset() {
+        // W1 between X and X+t is exactly |t| (translate every point).
+        let a = cloud((5.0, 5.0), 30, 2);
+        let b: Vec<Point> = a.iter().map(|p| p.offset(3.0, 0.0)).collect();
+        let d = w1_distance(&a, &b);
+        assert!((d - 3.0).abs() < 1e-9, "translation distance {d}");
+    }
+
+    #[test]
+    fn symmetric() {
+        let a = cloud((2.0, 2.0), 25, 3);
+        let b = cloud((8.0, 6.0), 25, 4);
+        assert!((w1_distance(&a, &b) - w1_distance(&b, &a)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn triangle_inequality_on_samples() {
+        let a = cloud((1.0, 1.0), 16, 5);
+        let b = cloud((4.0, 4.0), 16, 6);
+        let c = cloud((8.0, 2.0), 16, 7);
+        let ab = w1_distance(&a, &b);
+        let bc = w1_distance(&b, &c);
+        let ac = w1_distance(&a, &c);
+        assert!(ac <= ab + bc + 1e-9);
+    }
+
+    #[test]
+    fn farther_clouds_are_farther() {
+        let a = cloud((2.0, 5.0), 20, 8);
+        let near = cloud((4.0, 5.0), 20, 9);
+        let far = cloud((14.0, 5.0), 20, 10);
+        assert!(w1_distance(&a, &near) < w1_distance(&a, &far));
+    }
+
+    #[test]
+    fn empty_inputs_are_zero() {
+        assert_eq!(w1_distance(&[], &[]), 0.0);
+        assert_eq!(w1_distance(&cloud((0.0, 0.0), 5, 11), &[]), 0.0);
+    }
+
+    #[test]
+    fn subsample_preserves_spread() {
+        let pts: Vec<Point> = (0..100).map(|i| Point::new(i as f64, 0.0)).collect();
+        let s = strided_subsample(&pts, 10);
+        assert_eq!(s.len(), 10);
+        assert_eq!(s[0].x, 0.0);
+        assert!(s[9].x >= 80.0, "last sample from the tail: {}", s[9].x);
+    }
+
+    #[test]
+    fn matches_brute_force_on_tiny_instances() {
+        // Exhaustive check against all permutations for n = 4.
+        let mut rng = rng_for(12, 8);
+        for _ in 0..20 {
+            let a: Vec<Point> = (0..4)
+                .map(|_| Point::new(rng.gen_range(0.0..10.0), rng.gen_range(0.0..10.0)))
+                .collect();
+            let b: Vec<Point> = (0..4)
+                .map(|_| Point::new(rng.gen_range(0.0..10.0), rng.gen_range(0.0..10.0)))
+                .collect();
+            let got = w1_distance(&a, &b);
+            // Brute force over 4! permutations.
+            let idx = [0usize, 1, 2, 3];
+            let mut best = f64::INFINITY;
+            permute(&idx, &mut |perm| {
+                let c: f64 = perm.iter().enumerate().map(|(i, &j)| a[i].dist(b[j])).sum();
+                best = best.min(c / 4.0);
+            });
+            assert!((got - best).abs() < 1e-9, "got {got}, brute {best}");
+        }
+    }
+
+    fn permute(items: &[usize], f: &mut impl FnMut(&[usize])) {
+        let mut v = items.to_vec();
+        heap_permute(&mut v, items.len(), f);
+    }
+
+    fn heap_permute(v: &mut Vec<usize>, k: usize, f: &mut impl FnMut(&[usize])) {
+        if k == 1 {
+            f(v);
+            return;
+        }
+        for i in 0..k {
+            heap_permute(v, k - 1, f);
+            if k.is_multiple_of(2) {
+                v.swap(i, k - 1);
+            } else {
+                v.swap(0, k - 1);
+            }
+        }
+    }
+}

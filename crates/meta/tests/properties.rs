@@ -1,0 +1,123 @@
+//! Property-based tests for the meta-learning layer.
+
+use proptest::prelude::*;
+use tamp_core::Point;
+use tamp_meta::game::best_response;
+use tamp_meta::kmedoids::kmedoids;
+use tamp_meta::quality::{cluster_quality, potential};
+use tamp_meta::similarity::{sim_distribution, sim_learning_path, SimMatrix};
+use tamp_meta::wasserstein::{strided_subsample, w1_distance};
+
+fn sym_matrix() -> impl Strategy<Value = SimMatrix> {
+    (2usize..10).prop_flat_map(|n| {
+        prop::collection::vec(0.0..1.0f64, n * n)
+            .prop_map(move |raw| SimMatrix::from_fn(n, |i, j| raw[i.min(j) * n + i.max(j)]))
+    })
+}
+
+fn cloud() -> impl Strategy<Value = Vec<Point>> {
+    prop::collection::vec((0.0..20.0f64, 0.0..10.0f64), 1..40)
+        .prop_map(|v| v.into_iter().map(|(x, y)| Point::new(x, y)).collect())
+}
+
+proptest! {
+    #[test]
+    fn quality_is_bounded(sim in sym_matrix(), gamma in 0.01..0.99f64) {
+        let n = sim.len();
+        let members: Vec<usize> = (0..n).collect();
+        let q = cluster_quality(&sim, &members, gamma);
+        prop_assert!((0.0..=1.0).contains(&q), "Q = {q}");
+        prop_assert_eq!(cluster_quality(&sim, &[], gamma), 0.0);
+        prop_assert_eq!(cluster_quality(&sim, &[0], gamma), gamma);
+    }
+
+    /// Theorem 1: best response converges and never loses potential.
+    #[test]
+    fn best_response_converges_with_monotone_potential(
+        sim in sym_matrix(),
+        gamma in 0.05..0.5f64,
+        k in 2usize..4,
+    ) {
+        let n = sim.len();
+        // Round-robin initialisation into k clusters plus empty slots.
+        let mut initial: Vec<Vec<usize>> = vec![Vec::new(); 2 * k];
+        for i in 0..n {
+            initial[i % k].push(i);
+        }
+        let p0 = potential(&sim, &initial, gamma);
+        let out = best_response(&sim, initial, gamma, 200);
+        prop_assert!(out.converged, "dynamics must reach Nash in 200 passes");
+        let p1 = potential(&sim, &out.clusters, gamma);
+        prop_assert!(p1 >= p0 - 1e-9, "potential fell: {p0} → {p1}");
+        // Players preserved.
+        let mut all: Vec<usize> = out.clusters.iter().flatten().copied().collect();
+        all.sort_unstable();
+        prop_assert_eq!(all, (0..n).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn kmedoids_partitions(sim in sym_matrix(), k in 1usize..5) {
+        let n = sim.len();
+        let members: Vec<usize> = (0..n).collect();
+        let mut rng = tamp_core::rng::rng_for(7, 0);
+        let clusters = kmedoids(&sim, &members, k, 20, &mut rng);
+        let mut all: Vec<usize> = clusters.iter().flatten().copied().collect();
+        all.sort_unstable();
+        prop_assert_eq!(all, members);
+        prop_assert!(clusters.iter().all(|c| !c.is_empty()));
+        prop_assert!(clusters.len() <= k.max(n));
+    }
+
+    #[test]
+    fn wasserstein_is_pseudo_metric(a in cloud(), b in cloud()) {
+        let dab = w1_distance(&a, &b);
+        prop_assert!(dab >= 0.0);
+        prop_assert!((dab - w1_distance(&b, &a)).abs() < 1e-9, "symmetry");
+        prop_assert!(w1_distance(&a, &a) < 1e-9, "identity");
+    }
+
+    #[test]
+    fn wasserstein_translation_lower_bound(a in cloud(), dx in 0.0..5.0f64) {
+        // W1(X, X + t) = |t| exactly for equal-size sets; subsampling may
+        // pick different points of X, so allow slack through the mean.
+        let b: Vec<Point> = a.iter().map(|p| p.offset(dx, 0.0)).collect();
+        let d = w1_distance(&a, &b);
+        // Distance between a distribution and its translate is at most
+        // |t| plus subsampling noise, and at least |t| − noise; with the
+        // same strided subsample on both sides it is exact.
+        prop_assert!((d - dx).abs() < 1e-9, "translate: {d} vs {dx}");
+    }
+
+    #[test]
+    fn sim_distribution_in_unit_interval(a in cloud(), b in cloud()) {
+        let s = sim_distribution(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&s));
+        prop_assert!((sim_distribution(&a, &a) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sim_learning_path_bounded(
+        a in prop::collection::vec(prop::collection::vec(-2.0..2.0f64, 4), 0..5),
+        b in prop::collection::vec(prop::collection::vec(-2.0..2.0f64, 4), 0..5),
+    ) {
+        let s = sim_learning_path(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&s));
+        if !a.is_empty() {
+            // Identity: any path is maximally similar to itself (cos = 1
+            // per step) unless a step is the zero vector.
+            let nonzero = a.iter().all(|g| g.iter().any(|v| v.abs() > 1e-9));
+            if nonzero {
+                prop_assert!((sim_learning_path(&a, &a) - 1.0).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn strided_subsample_is_subset(a in cloud(), n in 1usize..20) {
+        let s = strided_subsample(&a, n);
+        prop_assert_eq!(s.len(), a.len().min(n));
+        for p in &s {
+            prop_assert!(a.iter().any(|q| q == p));
+        }
+    }
+}

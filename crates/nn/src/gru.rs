@@ -1,0 +1,381 @@
+//! A GRU cell with exact backpropagation through time.
+//!
+//! The paper's encoder–decoder reference (\[27\], Cho et al.) is actually
+//! the GRU paper; the evaluation instantiates LSTMs (\[28\]). This module
+//! provides the GRU alternative so downstream users can swap the
+//! recurrent substrate. Formulation:
+//!
+//! ```text
+//! r = σ(W_r·[x; h] + b_r)          reset gate
+//! z = σ(W_z·[x; h] + b_z)          update gate
+//! n = tanh(W_n·[x; r ⊙ h] + b_n)   candidate
+//! h' = (1 − z) ⊙ n + z ⊙ h
+//! ```
+//!
+//! Gates are stored in one `(3H) × (I+H)` matrix (row blocks `r, z, n`)
+//! plus a `3H` bias, mirroring [`crate::lstm::LstmCell`]'s layout
+//! conventions.
+
+use crate::matrix::Matrix;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+#[inline]
+fn sigmoid(x: f64) -> f64 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+/// Everything the backward pass needs from one forward step.
+#[derive(Debug, Clone)]
+pub struct GruStepCache {
+    /// Concatenated `[x; h_prev]`.
+    pub z_in: Vec<f64>,
+    /// Reset gate activations.
+    pub r: Vec<f64>,
+    /// Update gate activations.
+    pub z: Vec<f64>,
+    /// Candidate activations.
+    pub n: Vec<f64>,
+    /// Hidden state entering the step.
+    pub h_prev: Vec<f64>,
+}
+
+/// A GRU cell.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GruCell {
+    input_dim: usize,
+    hidden: usize,
+    /// `(3H) × (I+H)` gate weights, row blocks `r, z, n`. The `n` block's
+    /// hidden columns act on `r ⊙ h`.
+    pub w: Matrix,
+    /// `3H` gate biases.
+    pub b: Vec<f64>,
+}
+
+/// Gradients of a [`GruCell`], same shapes as the parameters.
+#[derive(Debug, Clone)]
+pub struct GruGrad {
+    /// Gradient of `w`.
+    pub dw: Matrix,
+    /// Gradient of `b`.
+    pub db: Vec<f64>,
+}
+
+impl GruGrad {
+    /// Zero gradients for a cell of the given shape.
+    pub fn zeros(cell: &GruCell) -> Self {
+        Self {
+            dw: Matrix::zeros(cell.w.rows(), cell.w.cols()),
+            db: vec![0.0; cell.b.len()],
+        }
+    }
+}
+
+impl GruCell {
+    /// A new cell with Xavier weights and zero biases.
+    pub fn new(input_dim: usize, hidden: usize, rng: &mut impl Rng) -> Self {
+        Self {
+            input_dim,
+            hidden,
+            w: Matrix::xavier(3 * hidden, input_dim + hidden, rng),
+            b: vec![0.0; 3 * hidden],
+        }
+    }
+
+    /// Input dimension `I`.
+    #[inline]
+    pub fn input_dim(&self) -> usize {
+        self.input_dim
+    }
+
+    /// Hidden dimension `H`.
+    #[inline]
+    pub fn hidden(&self) -> usize {
+        self.hidden
+    }
+
+    /// Number of scalar parameters.
+    pub fn n_params(&self) -> usize {
+        self.w.rows() * self.w.cols() + self.b.len()
+    }
+
+    /// One forward step: returns the next hidden state and the cache for
+    /// [`GruCell::backward_step`].
+    #[allow(clippy::needless_range_loop)] // indexed gate math mirrors the equations
+    pub fn forward_step(&self, x: &[f64], h_prev: &[f64]) -> (Vec<f64>, GruStepCache) {
+        assert_eq!(x.len(), self.input_dim, "gru input dim mismatch");
+        assert_eq!(h_prev.len(), self.hidden, "gru state dim mismatch");
+        let hd = self.hidden;
+        let id = self.input_dim;
+        let mut z_in = Vec::with_capacity(id + hd);
+        z_in.extend_from_slice(x);
+        z_in.extend_from_slice(h_prev);
+
+        // r and z gates over [x; h].
+        let mut r = vec![0.0; hd];
+        let mut z = vec![0.0; hd];
+        for k in 0..hd {
+            let mut ar = self.b[k];
+            let mut az = self.b[hd + k];
+            for (c, v) in z_in.iter().enumerate() {
+                ar += self.w.get(k, c) * v;
+                az += self.w.get(hd + k, c) * v;
+            }
+            r[k] = sigmoid(ar);
+            z[k] = sigmoid(az);
+        }
+        // Candidate over [x; r ⊙ h].
+        let mut n = vec![0.0; hd];
+        for k in 0..hd {
+            let mut an = self.b[2 * hd + k];
+            for c in 0..id {
+                an += self.w.get(2 * hd + k, c) * x[c];
+            }
+            for j in 0..hd {
+                an += self.w.get(2 * hd + k, id + j) * (r[j] * h_prev[j]);
+            }
+            n[k] = an.tanh();
+        }
+        let mut h = vec![0.0; hd];
+        for k in 0..hd {
+            h[k] = (1.0 - z[k]) * n[k] + z[k] * h_prev[k];
+        }
+        let cache = GruStepCache {
+            z_in,
+            r,
+            z,
+            n,
+            h_prev: h_prev.to_vec(),
+        };
+        (h, cache)
+    }
+
+    /// One backward step of BPTT: accumulates parameter gradients into
+    /// `grad` and returns `(dx, dh_prev)`.
+    #[allow(clippy::needless_range_loop)] // indexed gate math mirrors the equations
+    pub fn backward_step(
+        &self,
+        cache: &GruStepCache,
+        dh: &[f64],
+        grad: &mut GruGrad,
+    ) -> (Vec<f64>, Vec<f64>) {
+        let hd = self.hidden;
+        let id = self.input_dim;
+        assert_eq!(dh.len(), hd);
+
+        // h' = (1−z)·n + z·h_prev
+        let mut dn = vec![0.0; hd];
+        let mut dz = vec![0.0; hd];
+        let mut dh_prev = vec![0.0; hd];
+        for k in 0..hd {
+            dn[k] = dh[k] * (1.0 - cache.z[k]);
+            dz[k] = dh[k] * (cache.h_prev[k] - cache.n[k]);
+            dh_prev[k] = dh[k] * cache.z[k];
+        }
+
+        // Candidate pre-activation gradient.
+        let dan: Vec<f64> = (0..hd)
+            .map(|k| dn[k] * (1.0 - cache.n[k] * cache.n[k]))
+            .collect();
+        // Its input contributions: x part and (r ⊙ h_prev) part.
+        let mut dx = vec![0.0; id];
+        let mut dr = vec![0.0; hd];
+        for k in 0..hd {
+            let row = 2 * hd + k;
+            grad.db[row] += dan[k];
+            for c in 0..id {
+                grad.dw.set(row, c, grad.dw.get(row, c) + dan[k] * cache.z_in[c]);
+                dx[c] += self.w.get(row, c) * dan[k];
+            }
+            for j in 0..hd {
+                let rh = cache.r[j] * cache.h_prev[j];
+                grad.dw
+                    .set(row, id + j, grad.dw.get(row, id + j) + dan[k] * rh);
+                let g = self.w.get(row, id + j) * dan[k];
+                dr[j] += g * cache.h_prev[j];
+                dh_prev[j] += g * cache.r[j];
+            }
+        }
+
+        // Gate pre-activation gradients.
+        for k in 0..hd {
+            let dar = dr[k] * cache.r[k] * (1.0 - cache.r[k]);
+            let daz = dz[k] * cache.z[k] * (1.0 - cache.z[k]);
+            grad.db[k] += dar;
+            grad.db[hd + k] += daz;
+            for (c, v) in cache.z_in.iter().enumerate() {
+                grad.dw.set(k, c, grad.dw.get(k, c) + dar * v);
+                grad.dw.set(hd + k, c, grad.dw.get(hd + k, c) + daz * v);
+                let back = self.w.get(k, c) * dar + self.w.get(hd + k, c) * daz;
+                if c < id {
+                    dx[c] += back;
+                } else {
+                    dh_prev[c - id] += back;
+                }
+            }
+        }
+        (dx, dh_prev)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tamp_core::rng::rng_for;
+
+    #[test]
+    fn forward_shapes_and_bounds() {
+        let mut rng = rng_for(1, 15);
+        let cell = GruCell::new(2, 4, &mut rng);
+        let h0 = vec![0.0; 4];
+        let (h, cache) = cell.forward_step(&[0.3, -0.2], &h0);
+        assert_eq!(h.len(), 4);
+        assert_eq!(cache.z_in.len(), 6);
+        // Starting from h=0, h' = (1−z)·tanh(…) ∈ (−1, 1).
+        assert!(h.iter().all(|v| v.abs() < 1.0));
+    }
+
+    #[test]
+    fn zero_update_gate_bias_keeps_reasonable_mixing() {
+        let mut rng = rng_for(2, 15);
+        let cell = GruCell::new(2, 3, &mut rng);
+        // With large h_prev and the same input, output interpolates
+        // between candidate and h_prev — it must not explode.
+        let h_prev = vec![0.9, -0.9, 0.5];
+        let (h, _) = cell.forward_step(&[0.1, 0.1], &h_prev);
+        assert!(h.iter().all(|v| v.abs() <= 1.0 + 1e-12));
+    }
+
+    #[test]
+    fn backward_matches_finite_differences() {
+        let mut rng = rng_for(3, 15);
+        let cell = GruCell::new(2, 3, &mut rng);
+        let h_prev = vec![0.2, -0.3, 0.1];
+        let x = [0.5, -0.7];
+
+        let objective = |cell: &GruCell| -> f64 {
+            let (h, _) = cell.forward_step(&x, &h_prev);
+            h.iter().sum::<f64>()
+        };
+
+        let (_, cache) = cell.forward_step(&x, &h_prev);
+        let mut grad = GruGrad::zeros(&cell);
+        let ones = vec![1.0; 3];
+        cell.backward_step(&cache, &ones, &mut grad);
+
+        let eps = 1e-6;
+        for &(r, c) in &[(0usize, 0usize), (2, 4), (4, 1), (8, 3), (7, 2), (5, 0)] {
+            let mut plus = cell.clone();
+            plus.w.set(r, c, plus.w.get(r, c) + eps);
+            let mut minus = cell.clone();
+            minus.w.set(r, c, minus.w.get(r, c) - eps);
+            let fd = (objective(&plus) - objective(&minus)) / (2.0 * eps);
+            let an = grad.dw.get(r, c);
+            assert!((fd - an).abs() < 1e-6, "w[{r},{c}]: fd={fd}, an={an}");
+        }
+        for k in 0..9 {
+            let mut plus = cell.clone();
+            plus.b[k] += eps;
+            let mut minus = cell.clone();
+            minus.b[k] -= eps;
+            let fd = (objective(&plus) - objective(&minus)) / (2.0 * eps);
+            assert!((fd - grad.db[k]).abs() < 1e-6, "b[{k}]");
+        }
+    }
+
+    #[test]
+    fn input_and_state_gradients_match_finite_differences() {
+        let mut rng = rng_for(4, 15);
+        let cell = GruCell::new(2, 3, &mut rng);
+        let h_prev = vec![0.15, -0.25, 0.35];
+        let x = [0.4, 0.6];
+
+        let objective = |x: &[f64], h: &[f64]| -> f64 {
+            let (out, _) = cell.forward_step(x, h);
+            out.iter().sum::<f64>()
+        };
+
+        let (_, cache) = cell.forward_step(&x, &h_prev);
+        let mut grad = GruGrad::zeros(&cell);
+        let ones = vec![1.0; 3];
+        let (dx, dh_prev) = cell.backward_step(&cache, &ones, &mut grad);
+
+        let eps = 1e-6;
+        for k in 0..2 {
+            let mut xp = x;
+            xp[k] += eps;
+            let mut xm = x;
+            xm[k] -= eps;
+            let fd = (objective(&xp, &h_prev) - objective(&xm, &h_prev)) / (2.0 * eps);
+            assert!((fd - dx[k]).abs() < 1e-6, "dx[{k}]: fd={fd} an={}", dx[k]);
+        }
+        for k in 0..3 {
+            let mut hp = h_prev.clone();
+            hp[k] += eps;
+            let mut hm = h_prev.clone();
+            hm[k] -= eps;
+            let fd = (objective(&x, &hp) - objective(&x, &hm)) / (2.0 * eps);
+            assert!(
+                (fd - dh_prev[k]).abs() < 1e-6,
+                "dh_prev[{k}]: fd={fd} an={}",
+                dh_prev[k]
+            );
+        }
+    }
+
+    #[test]
+    fn sequence_training_reduces_loss() {
+        // A 2-step unrolled GRU can learn to echo a scaled input.
+        let mut rng = rng_for(5, 15);
+        let mut cell = GruCell::new(1, 4, &mut rng);
+        let head: Vec<f64> = vec![0.5; 4]; // fixed linear readout
+        let data: Vec<(f64, f64, f64)> = (0..16)
+            .map(|i| {
+                let a = (i as f64) / 16.0 - 0.5;
+                let b = ((i * 7) % 16) as f64 / 16.0 - 0.5;
+                (a, b, 0.8 * b)
+            })
+            .collect();
+
+        let loss_of = |cell: &GruCell| -> f64 {
+            data.iter()
+                .map(|&(a, b, y)| {
+                    let h0 = vec![0.0; 4];
+                    let (h1, _) = cell.forward_step(&[a], &h0);
+                    let (h2, _) = cell.forward_step(&[b], &h1);
+                    let out: f64 = h2.iter().zip(&head).map(|(h, w)| h * w).sum();
+                    (out - y) * (out - y)
+                })
+                .sum::<f64>()
+                / data.len() as f64
+        };
+
+        let initial = loss_of(&cell);
+        for _ in 0..200 {
+            let mut grad = GruGrad::zeros(&cell);
+            for &(a, b, y) in &data {
+                let h0 = vec![0.0; 4];
+                let (h1, c1) = cell.forward_step(&[a], &h0);
+                let (h2, c2) = cell.forward_step(&[b], &h1);
+                let out: f64 = h2.iter().zip(&head).map(|(h, w)| h * w).sum();
+                let dout = 2.0 * (out - y) / data.len() as f64;
+                let dh2: Vec<f64> = head.iter().map(|w| dout * w).collect();
+                let (_, dh1) = cell.backward_step(&c2, &dh2, &mut grad);
+                let (_, _) = cell.backward_step(&c1, &dh1, &mut grad);
+            }
+            for r in 0..cell.w.rows() {
+                for c in 0..cell.w.cols() {
+                    cell.w.set(r, c, cell.w.get(r, c) - 2.0 * grad.dw.get(r, c));
+                }
+            }
+            for (b, g) in cell.b.iter_mut().zip(&grad.db) {
+                *b -= 2.0 * g;
+            }
+        }
+        let trained = loss_of(&cell);
+        assert!(
+            trained < initial * 0.5,
+            "GRU training should halve the loss: {initial} → {trained}"
+        );
+    }
+}

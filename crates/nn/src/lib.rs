@@ -1,0 +1,43 @@
+//! # tamp-nn
+//!
+//! A deliberately small, dependency-free neural-network library built for
+//! the TAMP reproduction. The paper's meta-learning framework is
+//! *model-agnostic*: it only requires a sequence model trainable by
+//! gradient descent whose parameters and gradients can be read and written
+//! as flat vectors (MAML adapt steps, meta updates, and the gradient-path
+//! similarity `Sim_l` of Eq. 2 all operate on those vectors).
+//!
+//! Provided here:
+//!
+//! * [`matrix`] — a row-major `f64` matrix with the handful of BLAS-1/2
+//!   operations the models need.
+//! * [`lstm`] — an LSTM cell with exact backpropagation through time.
+//! * [`gru`] — a GRU cell (Cho et al.'s alternative recurrent substrate),
+//!   same BPTT rigour, for users who want a lighter cell.
+//! * [`dense`] — an affine output head.
+//! * [`seq2seq`] — the paper's LSTM-Encoder-Decoder mobility model
+//!   (Section III-B, "Discussion"): encoder consumes `seq_in` locations,
+//!   decoder autoregressively emits `seq_out` locations.
+//! * [`loss`] — plain MSE and the **task-assignment-oriented weighted
+//!   loss** of Eq. 6–7, driven by a historical task-density map.
+//! * [`optim`] — SGD and Adam over flat parameter vectors.
+//!
+//! The crate exposes every model's parameters via [`seq2seq::Seq2Seq::params`] /
+//! [`seq2seq::Seq2Seq::set_params`] so that `tamp-meta` can implement MAML,
+//! TAML and CTML without the models cooperating.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dense;
+pub mod gru;
+pub mod loss;
+pub mod lstm;
+pub mod matrix;
+pub mod optim;
+pub mod seq2seq;
+
+pub use loss::{Loss, MseLoss, TaskDensityMap, TaskOrientedLoss, WeightParams};
+pub use matrix::Matrix;
+pub use optim::{clip_grad_norm, Adam, Optimizer, Sgd};
+pub use seq2seq::{Seq2Seq, Seq2SeqConfig, TrainBatch};

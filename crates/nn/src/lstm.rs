@@ -1,0 +1,357 @@
+//! An LSTM cell with exact backpropagation through time.
+//!
+//! Gate layout follows the classic formulation (Graves 2012, the paper's
+//! reference \[28\]):
+//!
+//! ```text
+//! i = σ(W_i·[x; h] + b_i)      input gate
+//! f = σ(W_f·[x; h] + b_f)      forget gate
+//! g = tanh(W_g·[x; h] + b_g)   candidate
+//! o = σ(W_o·[x; h] + b_o)      output gate
+//! c' = f ⊙ c + i ⊙ g
+//! h' = o ⊙ tanh(c')
+//! ```
+//!
+//! The four gates are stored in one `(4H) × (I+H)` matrix (row blocks in
+//! `i, f, g, o` order) plus a `4H` bias, which keeps the parameter
+//! flattening used by the meta-learner trivial.
+
+use crate::matrix::Matrix;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+#[inline]
+fn sigmoid(x: f64) -> f64 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+/// The recurrent state `(h, c)` of an LSTM.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LstmState {
+    /// Hidden vector.
+    pub h: Vec<f64>,
+    /// Cell vector.
+    pub c: Vec<f64>,
+}
+
+impl LstmState {
+    /// The all-zero initial state.
+    pub fn zeros(hidden: usize) -> Self {
+        Self {
+            h: vec![0.0; hidden],
+            c: vec![0.0; hidden],
+        }
+    }
+}
+
+/// Everything the backward pass needs from one forward step.
+#[derive(Debug, Clone)]
+pub struct StepCache {
+    /// Concatenated `[x; h_prev]`.
+    pub z: Vec<f64>,
+    /// Activated gates, each of length `H`.
+    pub i: Vec<f64>,
+    /// Forget gate.
+    pub f: Vec<f64>,
+    /// Candidate.
+    pub g: Vec<f64>,
+    /// Output gate.
+    pub o: Vec<f64>,
+    /// Cell state entering the step.
+    pub c_prev: Vec<f64>,
+    /// Cell state leaving the step.
+    pub c: Vec<f64>,
+}
+
+/// An LSTM cell.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LstmCell {
+    input_dim: usize,
+    hidden: usize,
+    /// `(4H) × (I+H)` gate weights, row blocks `i, f, g, o`.
+    pub w: Matrix,
+    /// `4H` gate biases.
+    pub b: Vec<f64>,
+}
+
+/// Gradients of an [`LstmCell`], same shapes as the parameters.
+#[derive(Debug, Clone)]
+pub struct LstmGrad {
+    /// Gradient of `w`.
+    pub dw: Matrix,
+    /// Gradient of `b`.
+    pub db: Vec<f64>,
+}
+
+impl LstmGrad {
+    /// Zero gradients for a cell of the given shape.
+    pub fn zeros(cell: &LstmCell) -> Self {
+        Self {
+            dw: Matrix::zeros(cell.w.rows(), cell.w.cols()),
+            db: vec![0.0; cell.b.len()],
+        }
+    }
+}
+
+impl LstmCell {
+    /// A new cell with Xavier weights and the forget-gate bias set to 1
+    /// (the standard trick that keeps early gradients alive).
+    pub fn new(input_dim: usize, hidden: usize, rng: &mut impl Rng) -> Self {
+        let w = Matrix::xavier(4 * hidden, input_dim + hidden, rng);
+        let mut b = vec![0.0; 4 * hidden];
+        for bias in b.iter_mut().skip(hidden).take(hidden) {
+            *bias = 1.0; // forget-gate block
+        }
+        Self {
+            input_dim,
+            hidden,
+            w,
+            b,
+        }
+    }
+
+    /// Input dimension `I`.
+    #[inline]
+    pub fn input_dim(&self) -> usize {
+        self.input_dim
+    }
+
+    /// Hidden dimension `H`.
+    #[inline]
+    pub fn hidden(&self) -> usize {
+        self.hidden
+    }
+
+    /// Number of scalar parameters.
+    pub fn n_params(&self) -> usize {
+        self.w.rows() * self.w.cols() + self.b.len()
+    }
+
+    /// One forward step. Returns the new state and the cache needed by
+    /// [`LstmCell::backward_step`].
+    pub fn forward_step(&self, x: &[f64], state: &LstmState) -> (LstmState, StepCache) {
+        assert_eq!(x.len(), self.input_dim, "lstm input dim mismatch");
+        assert_eq!(state.h.len(), self.hidden, "lstm state dim mismatch");
+        let h = self.hidden;
+        let mut z = Vec::with_capacity(self.input_dim + h);
+        z.extend_from_slice(x);
+        z.extend_from_slice(&state.h);
+
+        let mut a = self.w.matvec(&z);
+        for (av, bv) in a.iter_mut().zip(&self.b) {
+            *av += bv;
+        }
+
+        let mut i = vec![0.0; h];
+        let mut f = vec![0.0; h];
+        let mut g = vec![0.0; h];
+        let mut o = vec![0.0; h];
+        for k in 0..h {
+            i[k] = sigmoid(a[k]);
+            f[k] = sigmoid(a[h + k]);
+            g[k] = a[2 * h + k].tanh();
+            o[k] = sigmoid(a[3 * h + k]);
+        }
+
+        let mut c = vec![0.0; h];
+        let mut h_new = vec![0.0; h];
+        for k in 0..h {
+            c[k] = f[k] * state.c[k] + i[k] * g[k];
+            h_new[k] = o[k] * c[k].tanh();
+        }
+
+        let cache = StepCache {
+            z,
+            i,
+            f,
+            g,
+            o,
+            c_prev: state.c.clone(),
+            c: c.clone(),
+        };
+        (LstmState { h: h_new, c }, cache)
+    }
+
+    /// One backward step of BPTT.
+    ///
+    /// `dh` is the gradient flowing into this step's hidden output (sum of
+    /// the head gradient and the recurrent gradient from step `t+1`);
+    /// `dc_next` the gradient into this step's cell output. Accumulates
+    /// into `grad` and returns `(dx, dh_prev, dc_prev)`.
+    pub fn backward_step(
+        &self,
+        cache: &StepCache,
+        dh: &[f64],
+        dc_next: &[f64],
+        grad: &mut LstmGrad,
+    ) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
+        let h = self.hidden;
+        assert_eq!(dh.len(), h);
+        assert_eq!(dc_next.len(), h);
+
+        let mut da = vec![0.0; 4 * h];
+        let mut dc_prev = vec![0.0; h];
+        for k in 0..h {
+            let tanh_c = cache.c[k].tanh();
+            let do_ = dh[k] * tanh_c;
+            let dc = dh[k] * cache.o[k] * (1.0 - tanh_c * tanh_c) + dc_next[k];
+            let di = dc * cache.g[k];
+            let df = dc * cache.c_prev[k];
+            let dg = dc * cache.i[k];
+            dc_prev[k] = dc * cache.f[k];
+
+            da[k] = di * cache.i[k] * (1.0 - cache.i[k]);
+            da[h + k] = df * cache.f[k] * (1.0 - cache.f[k]);
+            da[2 * h + k] = dg * (1.0 - cache.g[k] * cache.g[k]);
+            da[3 * h + k] = do_ * cache.o[k] * (1.0 - cache.o[k]);
+        }
+
+        grad.dw.add_outer(1.0, &da, &cache.z);
+        for (gb, d) in grad.db.iter_mut().zip(&da) {
+            *gb += d;
+        }
+
+        let dz = self.w.matvec_t(&da);
+        let dx = dz[..self.input_dim].to_vec();
+        let dh_prev = dz[self.input_dim..].to_vec();
+        (dx, dh_prev, dc_prev)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tamp_core::rng::rng_for;
+
+    #[test]
+    fn forward_shapes_and_bounds() {
+        let mut rng = rng_for(1, 0);
+        let cell = LstmCell::new(2, 4, &mut rng);
+        let state = LstmState::zeros(4);
+        let (next, cache) = cell.forward_step(&[0.3, -0.1], &state);
+        assert_eq!(next.h.len(), 4);
+        assert_eq!(next.c.len(), 4);
+        assert_eq!(cache.z.len(), 6);
+        // h = o·tanh(c) ∈ (−1, 1).
+        assert!(next.h.iter().all(|v| v.abs() < 1.0));
+    }
+
+    #[test]
+    fn forget_bias_initialised_to_one() {
+        let mut rng = rng_for(2, 0);
+        let cell = LstmCell::new(3, 5, &mut rng);
+        assert!(cell.b[..5].iter().all(|&b| b == 0.0));
+        assert!(cell.b[5..10].iter().all(|&b| b == 1.0));
+        assert!(cell.b[10..].iter().all(|&b| b == 0.0));
+    }
+
+    #[test]
+    fn zero_input_zero_state_gives_deterministic_output() {
+        let mut rng = rng_for(3, 0);
+        let cell = LstmCell::new(2, 3, &mut rng);
+        let s = LstmState::zeros(3);
+        let (a, _) = cell.forward_step(&[0.0, 0.0], &s);
+        let (b, _) = cell.forward_step(&[0.0, 0.0], &s);
+        assert_eq!(a, b);
+    }
+
+    /// Finite-difference gradient check of a single step: perturb every
+    /// parameter and compare against the analytic gradient of a scalar
+    /// objective `sum(h') + sum(c')`.
+    #[test]
+    fn backward_matches_finite_differences() {
+        let mut rng = rng_for(4, 0);
+        let cell = LstmCell::new(2, 3, &mut rng);
+        let state = LstmState {
+            h: vec![0.1, -0.2, 0.05],
+            c: vec![0.3, 0.0, -0.4],
+        };
+        let x = [0.7, -0.3];
+
+        let objective = |cell: &LstmCell| -> f64 {
+            let (s, _) = cell.forward_step(&x, &state);
+            s.h.iter().sum::<f64>() + s.c.iter().sum::<f64>()
+        };
+
+        // Analytic gradient: dL/dh' = 1, dL/dc' = 1.
+        let (_, cache) = cell.forward_step(&x, &state);
+        let mut grad = LstmGrad::zeros(&cell);
+        let ones = vec![1.0; 3];
+        cell.backward_step(&cache, &ones, &ones, &mut grad);
+
+        let eps = 1e-6;
+        // Check a spread of weight entries.
+        for &(r, c) in &[(0usize, 0usize), (3, 2), (6, 4), (11, 1), (5, 3)] {
+            let mut plus = cell.clone();
+            plus.w.set(r, c, plus.w.get(r, c) + eps);
+            let mut minus = cell.clone();
+            minus.w.set(r, c, minus.w.get(r, c) - eps);
+            let fd = (objective(&plus) - objective(&minus)) / (2.0 * eps);
+            let an = grad.dw.get(r, c);
+            assert!(
+                (fd - an).abs() < 1e-6,
+                "w[{r},{c}]: fd={fd}, analytic={an}"
+            );
+        }
+        // And the biases.
+        for k in 0..12 {
+            let mut plus = cell.clone();
+            plus.b[k] += eps;
+            let mut minus = cell.clone();
+            minus.b[k] -= eps;
+            let fd = (objective(&plus) - objective(&minus)) / (2.0 * eps);
+            assert!(
+                (fd - grad.db[k]).abs() < 1e-6,
+                "b[{k}]: fd={fd}, analytic={}",
+                grad.db[k]
+            );
+        }
+    }
+
+    /// The input/state gradients must match finite differences too.
+    #[test]
+    fn input_gradients_match_finite_differences() {
+        let mut rng = rng_for(5, 0);
+        let cell = LstmCell::new(2, 3, &mut rng);
+        let state = LstmState {
+            h: vec![0.05, -0.15, 0.2],
+            c: vec![-0.1, 0.25, 0.0],
+        };
+        let x = [0.4, 0.9];
+
+        let objective = |x: &[f64], state: &LstmState| -> f64 {
+            let (s, _) = cell.forward_step(x, state);
+            s.h.iter().sum::<f64>() + s.c.iter().sum::<f64>()
+        };
+
+        let (_, cache) = cell.forward_step(&x, &state);
+        let mut grad = LstmGrad::zeros(&cell);
+        let ones = vec![1.0; 3];
+        let (dx, dh_prev, dc_prev) = cell.backward_step(&cache, &ones, &ones, &mut grad);
+
+        let eps = 1e-6;
+        for k in 0..2 {
+            let mut xp = x;
+            xp[k] += eps;
+            let mut xm = x;
+            xm[k] -= eps;
+            let fd = (objective(&xp, &state) - objective(&xm, &state)) / (2.0 * eps);
+            assert!((fd - dx[k]).abs() < 1e-6, "dx[{k}]");
+        }
+        for k in 0..3 {
+            let mut sp = state.clone();
+            sp.h[k] += eps;
+            let mut sm = state.clone();
+            sm.h[k] -= eps;
+            let fd = (objective(&x, &sp) - objective(&x, &sm)) / (2.0 * eps);
+            assert!((fd - dh_prev[k]).abs() < 1e-6, "dh_prev[{k}]");
+
+            let mut sp = state.clone();
+            sp.c[k] += eps;
+            let mut sm = state.clone();
+            sm.c[k] -= eps;
+            let fd = (objective(&x, &sp) - objective(&x, &sm)) / (2.0 * eps);
+            assert!((fd - dc_prev[k]).abs() < 1e-6, "dc_prev[{k}]");
+        }
+    }
+}

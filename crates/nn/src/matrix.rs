@@ -1,0 +1,268 @@
+//! A minimal row-major `f64` matrix.
+//!
+//! The models here are tiny (hidden sizes of a few dozen), so a simple
+//! contiguous `Vec<f64>` with naive loops is both fast enough and easy to
+//! verify. Shapes are checked with assertions — a shape bug is a
+//! programming error, not a runtime condition.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A dense row-major matrix of `f64`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// A `rows × cols` zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Builds a matrix from a function of `(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Self { rows, cols, data }
+    }
+
+    /// Builds from a flat row-major slice.
+    pub fn from_rows(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "data length must match shape");
+        Self { rows, cols, data }
+    }
+
+    /// Xavier/Glorot-uniform initialisation, the usual choice for
+    /// tanh/sigmoid recurrent nets.
+    pub fn xavier(rows: usize, cols: usize, rng: &mut impl Rng) -> Self {
+        let limit = (6.0 / (rows + cols) as f64).sqrt();
+        Self::from_fn(rows, cols, |_, _| rng.gen_range(-limit..limit))
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Flat view of the entries (row-major).
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable flat view of the entries (row-major).
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Entry accessor.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Entry mutator.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// `y = A·x` for a column vector `x` (`len == cols`).
+    #[allow(clippy::needless_range_loop)] // row-slice indexing is the hot path
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols, "matvec shape mismatch");
+        let mut y = vec![0.0; self.rows];
+        for r in 0..self.rows {
+            let row = &self.data[r * self.cols..(r + 1) * self.cols];
+            let mut acc = 0.0;
+            for (a, b) in row.iter().zip(x) {
+                acc += a * b;
+            }
+            y[r] = acc;
+        }
+        y
+    }
+
+    /// `y = Aᵀ·x` for a column vector `x` (`len == rows`) without
+    /// materialising the transpose.
+    #[allow(clippy::needless_range_loop)] // row-slice indexing is the hot path
+    pub fn matvec_t(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.rows, "matvec_t shape mismatch");
+        let mut y = vec![0.0; self.cols];
+        for r in 0..self.rows {
+            let xr = x[r];
+            if xr == 0.0 {
+                continue;
+            }
+            let row = &self.data[r * self.cols..(r + 1) * self.cols];
+            for (yc, a) in y.iter_mut().zip(row) {
+                *yc += a * xr;
+            }
+        }
+        y
+    }
+
+    /// Rank-1 update `A += α · u vᵀ` (`u.len == rows`, `v.len == cols`).
+    /// This is the workhorse of every backward pass.
+    pub fn add_outer(&mut self, alpha: f64, u: &[f64], v: &[f64]) {
+        assert_eq!(u.len(), self.rows, "outer-product row mismatch");
+        assert_eq!(v.len(), self.cols, "outer-product col mismatch");
+        for (r, &ur) in u.iter().enumerate() {
+            if ur == 0.0 {
+                continue;
+            }
+            let row = &mut self.data[r * self.cols..(r + 1) * self.cols];
+            let a = alpha * ur;
+            for (cell, &vc) in row.iter_mut().zip(v) {
+                *cell += a * vc;
+            }
+        }
+    }
+
+    /// In-place `A += α · B`.
+    pub fn axpy(&mut self, alpha: f64, other: &Matrix) {
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "axpy shape mismatch"
+        );
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += alpha * b;
+        }
+    }
+
+    /// In-place scaling `A *= α`.
+    pub fn scale(&mut self, alpha: f64) {
+        for a in &mut self.data {
+            *a *= alpha;
+        }
+    }
+
+    /// Fills the matrix with zeros, keeping its allocation.
+    pub fn clear(&mut self) {
+        self.data.fill(0.0);
+    }
+
+    /// Frobenius norm.
+    pub fn frob_norm(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+}
+
+/// Vector helpers used alongside [`Matrix`]; kept free so call sites read
+/// like math.
+pub mod vecops {
+    /// Dot product. Panics on length mismatch.
+    pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+        assert_eq!(a.len(), b.len(), "dot length mismatch");
+        a.iter().zip(b).map(|(x, y)| x * y).sum()
+    }
+
+    /// `a += α·b` in place.
+    pub fn axpy(a: &mut [f64], alpha: f64, b: &[f64]) {
+        assert_eq!(a.len(), b.len(), "axpy length mismatch");
+        for (x, y) in a.iter_mut().zip(b) {
+            *x += alpha * y;
+        }
+    }
+
+    /// Euclidean norm.
+    pub fn norm(a: &[f64]) -> f64 {
+        dot(a, a).sqrt()
+    }
+
+    /// Cosine similarity; zero when either vector is (numerically) zero.
+    pub fn cosine(a: &[f64], b: &[f64]) -> f64 {
+        let na = norm(a);
+        let nb = norm(b);
+        if na < 1e-12 || nb < 1e-12 {
+            return 0.0;
+        }
+        (dot(a, b) / (na * nb)).clamp(-1.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::vecops::*;
+    use super::*;
+
+    #[test]
+    fn matvec_matches_manual() {
+        let a = Matrix::from_rows(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let y = a.matvec(&[1.0, 0.0, -1.0]);
+        assert_eq!(y, vec![-2.0, -2.0]);
+    }
+
+    #[test]
+    fn matvec_t_matches_transpose() {
+        let a = Matrix::from_rows(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let y = a.matvec_t(&[1.0, 2.0]);
+        assert_eq!(y, vec![9.0, 12.0, 15.0]);
+    }
+
+    #[test]
+    fn outer_product_accumulates() {
+        let mut a = Matrix::zeros(2, 2);
+        a.add_outer(2.0, &[1.0, 3.0], &[4.0, 5.0]);
+        assert_eq!(a.get(0, 0), 8.0);
+        assert_eq!(a.get(1, 1), 30.0);
+    }
+
+    #[test]
+    fn axpy_and_scale() {
+        let mut a = Matrix::from_rows(1, 2, vec![1.0, 2.0]);
+        let b = Matrix::from_rows(1, 2, vec![10.0, 20.0]);
+        a.axpy(0.5, &b);
+        assert_eq!(a.as_slice(), &[6.0, 12.0]);
+        a.scale(2.0);
+        assert_eq!(a.as_slice(), &[12.0, 24.0]);
+        a.clear();
+        assert_eq!(a.as_slice(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn xavier_within_limit() {
+        let mut rng = tamp_core::rng::rng_for(1, 3);
+        let m = Matrix::xavier(8, 8, &mut rng);
+        let limit = (6.0 / 16.0f64).sqrt();
+        assert!(m.as_slice().iter().all(|v| v.abs() <= limit));
+        // Not all zero.
+        assert!(m.frob_norm() > 0.0);
+    }
+
+    #[test]
+    fn cosine_basics() {
+        assert!((cosine(&[1.0, 0.0], &[1.0, 0.0]) - 1.0).abs() < 1e-12);
+        assert!((cosine(&[1.0, 0.0], &[0.0, 1.0])).abs() < 1e-12);
+        assert!((cosine(&[1.0, 0.0], &[-2.0, 0.0]) + 1.0).abs() < 1e-12);
+        assert_eq!(cosine(&[0.0, 0.0], &[1.0, 1.0]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "matvec shape mismatch")]
+    fn matvec_checks_shape() {
+        Matrix::zeros(2, 3).matvec(&[1.0, 2.0]);
+    }
+}

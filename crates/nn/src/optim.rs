@@ -1,0 +1,175 @@
+//! Optimisers over flat parameter vectors.
+//!
+//! Meta-learning needs direct control over parameter vectors (adapt steps
+//! at rate β, meta steps at rate α — Algorithm 3), so optimisers work on
+//! `&mut [f64]` rather than being baked into models.
+
+/// Rescales `grad` in place so its Euclidean norm is at most `max_norm`
+/// (global-norm gradient clipping — the standard guard against the
+/// exploding gradients recurrent nets produce). Returns the pre-clip
+/// norm.
+pub fn clip_grad_norm(grad: &mut [f64], max_norm: f64) -> f64 {
+    assert!(max_norm > 0.0, "max_norm must be positive");
+    let norm = grad.iter().map(|g| g * g).sum::<f64>().sqrt();
+    if norm > max_norm {
+        let scale = max_norm / norm;
+        for g in grad.iter_mut() {
+            *g *= scale;
+        }
+    }
+    norm
+}
+
+/// A first-order optimiser over a flat parameter vector.
+pub trait Optimizer {
+    /// Applies one update given the gradient of the current step.
+    fn step(&mut self, params: &mut [f64], grad: &[f64]);
+}
+
+/// Plain stochastic gradient descent: `θ ← θ − lr · g`.
+#[derive(Debug, Clone, Copy)]
+pub struct Sgd {
+    /// Learning rate.
+    pub lr: f64,
+}
+
+impl Sgd {
+    /// SGD at the given rate.
+    pub fn new(lr: f64) -> Self {
+        Self { lr }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, params: &mut [f64], grad: &[f64]) {
+        assert_eq!(params.len(), grad.len(), "sgd length mismatch");
+        for (p, g) in params.iter_mut().zip(grad) {
+            *p -= self.lr * g;
+        }
+    }
+}
+
+/// Adam (Kingma & Ba) with bias correction.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    /// Learning rate.
+    pub lr: f64,
+    /// First-moment decay.
+    pub beta1: f64,
+    /// Second-moment decay.
+    pub beta2: f64,
+    /// Numerical floor.
+    pub eps: f64,
+    m: Vec<f64>,
+    v: Vec<f64>,
+    t: u64,
+}
+
+impl Adam {
+    /// Adam with the canonical defaults (β₁ = 0.9, β₂ = 0.999).
+    pub fn new(lr: f64, n_params: usize) -> Self {
+        Self {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            m: vec![0.0; n_params],
+            v: vec![0.0; n_params],
+            t: 0,
+        }
+    }
+
+    /// Resets the moment estimates (e.g. when reusing the optimiser for a
+    /// fresh adaptation).
+    pub fn reset(&mut self) {
+        self.m.fill(0.0);
+        self.v.fill(0.0);
+        self.t = 0;
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, params: &mut [f64], grad: &[f64]) {
+        assert_eq!(params.len(), grad.len(), "adam length mismatch");
+        assert_eq!(params.len(), self.m.len(), "adam state length mismatch");
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for i in 0..params.len() {
+            self.m[i] = self.beta1 * self.m[i] + (1.0 - self.beta1) * grad[i];
+            self.v[i] = self.beta2 * self.v[i] + (1.0 - self.beta2) * grad[i] * grad[i];
+            let m_hat = self.m[i] / bc1;
+            let v_hat = self.v[i] / bc2;
+            params[i] -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimise f(x) = (x−3)², gradient 2(x−3).
+    fn quad_grad(x: f64) -> f64 {
+        2.0 * (x - 3.0)
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut x = [0.0];
+        let mut opt = Sgd::new(0.1);
+        for _ in 0..100 {
+            let g = [quad_grad(x[0])];
+            opt.step(&mut x, &g);
+        }
+        assert!((x[0] - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut x = [0.0];
+        let mut opt = Adam::new(0.2, 1);
+        for _ in 0..300 {
+            let g = [quad_grad(x[0])];
+            opt.step(&mut x, &g);
+        }
+        assert!((x[0] - 3.0).abs() < 1e-3, "x = {}", x[0]);
+    }
+
+    #[test]
+    fn adam_reset_clears_momentum() {
+        let mut opt = Adam::new(0.1, 1);
+        let mut x = [0.0];
+        opt.step(&mut x, &[1.0]);
+        assert!(opt.t == 1);
+        opt.reset();
+        assert!(opt.t == 0);
+        assert_eq!(opt.m, vec![0.0]);
+        assert_eq!(opt.v, vec![0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn sgd_checks_lengths() {
+        Sgd::new(0.1).step(&mut [0.0, 1.0], &[1.0]);
+    }
+
+    #[test]
+    fn clip_leaves_small_gradients_alone() {
+        let mut g = vec![0.3, -0.4];
+        let norm = clip_grad_norm(&mut g, 1.0);
+        assert!((norm - 0.5).abs() < 1e-12);
+        assert_eq!(g, vec![0.3, -0.4]);
+    }
+
+    #[test]
+    fn clip_rescales_large_gradients() {
+        let mut g = vec![3.0, 4.0];
+        let norm = clip_grad_norm(&mut g, 1.0);
+        assert!((norm - 5.0).abs() < 1e-12);
+        let new_norm = (g[0] * g[0] + g[1] * g[1]).sqrt();
+        assert!((new_norm - 1.0).abs() < 1e-12);
+        // Direction preserved.
+        assert!((g[1] / g[0] - 4.0 / 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,595 @@
+//! The LSTM-Encoder-Decoder mobility model.
+//!
+//! Section III-B ("Discussion"): the paper's meta-learning is
+//! model-agnostic but instantiates an encoder–decoder over LSTMs \[27, 28\].
+//! The encoder consumes `seq_in` normalised locations; its final state
+//! seeds the decoder, which emits `seq_out` locations. During training the
+//! decoder is *teacher-forced* (its step input is the previous
+//! ground-truth location — the standard seq2seq training regime of Cho et
+//! al.); at inference it runs autoregressively on its own outputs.
+//!
+//! The output head predicts the **displacement** from the decoder's
+//! previous location rather than the absolute position (the residual /
+//! persistence parameterisation standard in trajectory prediction): an
+//! untrained model therefore predicts "stay where you are", and learning
+//! concentrates on movement deltas. The residual base is the decoder's
+//! step input, which is constant w.r.t. the parameters, so gradients are
+//! unchanged.
+//!
+//! Parameters and gradients are exposed as flat `Vec<f64>`s in a fixed
+//! layout so `tamp-meta` can implement MAML-style adapt/meta updates and
+//! record the k-step gradient paths that feed `Sim_l` (Eq. 2).
+
+use crate::dense::{Dense, DenseGrad};
+use crate::gru::{GruCell, GruGrad, GruStepCache};
+use crate::loss::{Loss, Pt2};
+use crate::lstm::{LstmCell, LstmGrad, LstmState, StepCache};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Which recurrent cell the encoder/decoder use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum CellKind {
+    /// Long short-term memory (the paper's instantiation, \[28\]).
+    #[default]
+    Lstm,
+    /// Gated recurrent unit (the encoder–decoder reference \[27\]).
+    Gru,
+}
+
+/// Model hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Seq2SeqConfig {
+    /// Recurrent hidden width for both encoder and decoder.
+    pub hidden: usize,
+    /// Recurrent cell family.
+    pub cell: CellKind,
+}
+
+impl Default for Seq2SeqConfig {
+    fn default() -> Self {
+        Self {
+            hidden: 16,
+            cell: CellKind::Lstm,
+        }
+    }
+}
+
+impl Seq2SeqConfig {
+    /// An LSTM model of the given width (the common case).
+    pub fn lstm(hidden: usize) -> Self {
+        Self {
+            hidden,
+            cell: CellKind::Lstm,
+        }
+    }
+
+    /// A GRU model of the given width.
+    pub fn gru(hidden: usize) -> Self {
+        Self {
+            hidden,
+            cell: CellKind::Gru,
+        }
+    }
+}
+
+/// A recurrent cell of either family, with a unified step interface.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+enum Cell {
+    Lstm(LstmCell),
+    Gru(GruCell),
+}
+
+/// Unified recurrent state: hidden vector plus the LSTM's cell vector
+/// (empty for GRU).
+#[derive(Debug, Clone)]
+struct CellState {
+    h: Vec<f64>,
+    c: Vec<f64>,
+}
+
+/// Unified step cache.
+#[derive(Debug, Clone)]
+enum CellCache {
+    Lstm(StepCache),
+    Gru(GruStepCache),
+}
+
+/// Unified gradient accumulator.
+enum CellGrad {
+    Lstm(LstmGrad),
+    Gru(GruGrad),
+}
+
+impl Cell {
+    fn new(kind: CellKind, input_dim: usize, hidden: usize, rng: &mut impl Rng) -> Self {
+        match kind {
+            CellKind::Lstm => Cell::Lstm(LstmCell::new(input_dim, hidden, rng)),
+            CellKind::Gru => Cell::Gru(GruCell::new(input_dim, hidden, rng)),
+        }
+    }
+
+    fn zero_state(&self, hidden: usize) -> CellState {
+        match self {
+            Cell::Lstm(_) => CellState {
+                h: vec![0.0; hidden],
+                c: vec![0.0; hidden],
+            },
+            Cell::Gru(_) => CellState {
+                h: vec![0.0; hidden],
+                c: Vec::new(),
+            },
+        }
+    }
+
+    fn n_params(&self) -> usize {
+        match self {
+            Cell::Lstm(c) => c.n_params(),
+            Cell::Gru(c) => c.n_params(),
+        }
+    }
+
+    fn zero_grad(&self) -> CellGrad {
+        match self {
+            Cell::Lstm(c) => CellGrad::Lstm(LstmGrad::zeros(c)),
+            Cell::Gru(c) => CellGrad::Gru(GruGrad::zeros(c)),
+        }
+    }
+
+    fn params_into(&self, out: &mut Vec<f64>) {
+        match self {
+            Cell::Lstm(c) => {
+                out.extend_from_slice(c.w.as_slice());
+                out.extend_from_slice(&c.b);
+            }
+            Cell::Gru(c) => {
+                out.extend_from_slice(c.w.as_slice());
+                out.extend_from_slice(&c.b);
+            }
+        }
+    }
+
+    fn set_params_from(&mut self, flat: &[f64], off: &mut usize) {
+        let mut take = |dst: &mut [f64]| {
+            dst.copy_from_slice(&flat[*off..*off + dst.len()]);
+            *off += dst.len();
+        };
+        match self {
+            Cell::Lstm(c) => {
+                take(c.w.as_mut_slice());
+                take(&mut c.b);
+            }
+            Cell::Gru(c) => {
+                take(c.w.as_mut_slice());
+                take(&mut c.b);
+            }
+        }
+    }
+
+    fn grad_into(grad: &CellGrad, out: &mut Vec<f64>, inv: f64) {
+        match grad {
+            CellGrad::Lstm(g) => {
+                out.extend(g.dw.as_slice().iter().map(|v| v * inv));
+                out.extend(g.db.iter().map(|v| v * inv));
+            }
+            CellGrad::Gru(g) => {
+                out.extend(g.dw.as_slice().iter().map(|v| v * inv));
+                out.extend(g.db.iter().map(|v| v * inv));
+            }
+        }
+    }
+
+    fn forward_step(&self, x: &[f64], state: &CellState) -> (CellState, CellCache) {
+        match self {
+            Cell::Lstm(cell) => {
+                let (next, cache) = cell.forward_step(
+                    x,
+                    &LstmState {
+                        h: state.h.clone(),
+                        c: state.c.clone(),
+                    },
+                );
+                (
+                    CellState {
+                        h: next.h,
+                        c: next.c,
+                    },
+                    CellCache::Lstm(cache),
+                )
+            }
+            Cell::Gru(cell) => {
+                let (h, cache) = cell.forward_step(x, &state.h);
+                (CellState { h, c: Vec::new() }, CellCache::Gru(cache))
+            }
+        }
+    }
+
+    /// Backward step: `dh`/`dc` flow in, `(dh_prev, dc_prev)` flow out
+    /// (`dc` slots are empty vectors for GRU).
+    fn backward_step(
+        &self,
+        cache: &CellCache,
+        dh: &[f64],
+        dc: &[f64],
+        grad: &mut CellGrad,
+    ) -> (Vec<f64>, Vec<f64>) {
+        match (self, cache, grad) {
+            (Cell::Lstm(cell), CellCache::Lstm(cache), CellGrad::Lstm(grad)) => {
+                let (_dx, dh_prev, dc_prev) = cell.backward_step(cache, dh, dc, grad);
+                (dh_prev, dc_prev)
+            }
+            (Cell::Gru(cell), CellCache::Gru(cache), CellGrad::Gru(grad)) => {
+                let (_dx, dh_prev) = cell.backward_step(cache, dh, grad);
+                (dh_prev, Vec::new())
+            }
+            _ => unreachable!("cell/cache/grad families always match"),
+        }
+    }
+}
+
+/// One training batch: normalised `(input, target)` sequence pairs
+/// (Definition 3's `(rᵢ, yᵢ)` samples).
+#[derive(Debug, Clone, Default)]
+pub struct TrainBatch {
+    /// The `(seq_in, seq_out)` pairs.
+    pub pairs: Vec<(Vec<Pt2>, Vec<Pt2>)>,
+}
+
+impl TrainBatch {
+    /// Builds a batch from pairs.
+    pub fn new(pairs: Vec<(Vec<Pt2>, Vec<Pt2>)>) -> Self {
+        Self { pairs }
+    }
+
+    /// Number of pairs.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Whether the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+}
+
+/// The encoder–decoder model. Input and output are 2-D normalised
+/// locations.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Seq2Seq {
+    cfg: Seq2SeqConfig,
+    encoder: Cell,
+    decoder: Cell,
+    head: Dense,
+}
+
+/// The per-step feature vector fed to the LSTM cells: the location plus
+/// its displacement from the previous location. The explicit velocity
+/// channel lets the recurrent cells extrapolate constant-speed motion
+/// without having to differentiate positions internally.
+#[inline]
+fn step_features(cur: Pt2, prev: Pt2) -> [f64; 4] {
+    [cur[0], cur[1], cur[0] - prev[0], cur[1] - prev[1]]
+}
+
+impl Seq2Seq {
+    /// Dimensionality of each sequence element (x, y).
+    pub const POINT_DIM: usize = 2;
+    /// Dimensionality of the internal LSTM step features (x, y, dx, dy).
+    pub const FEATURE_DIM: usize = 4;
+
+    /// A freshly initialised model.
+    pub fn new(cfg: Seq2SeqConfig, rng: &mut impl Rng) -> Self {
+        assert!(cfg.hidden > 0, "hidden width must be positive");
+        Self {
+            cfg,
+            encoder: Cell::new(cfg.cell, Self::FEATURE_DIM, cfg.hidden, rng),
+            decoder: Cell::new(cfg.cell, Self::FEATURE_DIM, cfg.hidden, rng),
+            head: Dense::new(cfg.hidden, Self::POINT_DIM, rng),
+        }
+    }
+
+    /// The configuration used to build the model.
+    pub fn config(&self) -> Seq2SeqConfig {
+        self.cfg
+    }
+
+    /// Total number of scalar parameters.
+    pub fn n_params(&self) -> usize {
+        self.encoder.n_params() + self.decoder.n_params() + self.head.n_params()
+    }
+
+    /// Flattens the parameters in a fixed layout:
+    /// `enc.w | enc.b | dec.w | dec.b | head.w | head.b`.
+    pub fn params(&self) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.n_params());
+        self.encoder.params_into(&mut out);
+        self.decoder.params_into(&mut out);
+        out.extend_from_slice(self.head.w.as_slice());
+        out.extend_from_slice(&self.head.b);
+        out
+    }
+
+    /// Writes back a flat parameter vector produced by [`Seq2Seq::params`]
+    /// (or any vector of the same length).
+    pub fn set_params(&mut self, flat: &[f64]) {
+        assert_eq!(flat.len(), self.n_params(), "parameter length mismatch");
+        let mut off = 0;
+        self.encoder.set_params_from(flat, &mut off);
+        self.decoder.set_params_from(flat, &mut off);
+        let mut take = |dst: &mut [f64]| {
+            dst.copy_from_slice(&flat[off..off + dst.len()]);
+            off += dst.len();
+        };
+        take(self.head.w.as_mut_slice());
+        take(&mut self.head.b);
+    }
+
+    /// Autoregressive prediction: encodes `input` and rolls the decoder
+    /// `seq_out` steps on its own outputs.
+    ///
+    /// Panics when `input` is empty — the decoder needs a start token (the
+    /// last observed location).
+    pub fn predict(&self, input: &[Pt2], seq_out: usize) -> Vec<Pt2> {
+        assert!(!input.is_empty(), "prediction needs at least one input point");
+        let mut state = self.encoder.zero_state(self.cfg.hidden);
+        for (i, x) in input.iter().enumerate() {
+            let before = input[i.saturating_sub(1)];
+            let (next, _) = self.encoder.forward_step(&step_features(*x, before), &state);
+            state = next;
+        }
+        let mut outputs = Vec::with_capacity(seq_out);
+        let mut prev = *input.last().expect("non-empty");
+        let mut before = input[input.len().saturating_sub(2)];
+        for _ in 0..seq_out {
+            let (next, _) = self
+                .decoder
+                .forward_step(&step_features(prev, before), &state);
+            state = next;
+            let y = self.head.forward(&state.h);
+            let pt = [prev[0] + y[0], prev[1] + y[1]];
+            outputs.push(pt);
+            before = prev;
+            prev = pt;
+        }
+        outputs
+    }
+
+    /// Mean loss over a batch under teacher forcing, plus the flat
+    /// gradient (same layout as [`Seq2Seq::params`]).
+    ///
+    /// Exact BPTT through the decoder and encoder. The returned loss and
+    /// gradient are averaged over the batch.
+    pub fn loss_and_grad(&self, batch: &TrainBatch, loss: &dyn Loss) -> (f64, Vec<f64>) {
+        assert!(!batch.is_empty(), "empty training batch");
+        let h = self.cfg.hidden;
+        let mut enc_grad = self.encoder.zero_grad();
+        let mut dec_grad = self.decoder.zero_grad();
+        let mut head_grad = DenseGrad::zeros(&self.head);
+        let mut total_loss = 0.0;
+
+        for (input, target) in &batch.pairs {
+            assert!(!input.is_empty() && !target.is_empty(), "degenerate pair");
+            // ---- forward ----
+            let mut state = self.encoder.zero_state(h);
+            let mut enc_caches = Vec::with_capacity(input.len());
+            for (i, x) in input.iter().enumerate() {
+                let before = input[i.saturating_sub(1)];
+                let (next, cache) = self
+                    .encoder
+                    .forward_step(&step_features(*x, before), &state);
+                enc_caches.push(cache);
+                state = next;
+            }
+            let seq_out = target.len();
+            let mut dec_caches = Vec::with_capacity(seq_out);
+            let mut dec_h = Vec::with_capacity(seq_out);
+            let mut preds = Vec::with_capacity(seq_out);
+            let mut prev = *input.last().expect("non-empty");
+            let mut before = input[input.len().saturating_sub(2)];
+            for tgt in target.iter().take(seq_out) {
+                let (next, cache) = self
+                    .decoder
+                    .forward_step(&step_features(prev, before), &state);
+                dec_caches.push(cache);
+                state = next;
+                dec_h.push(state.h.clone());
+                let y = self.head.forward(&state.h);
+                // Residual head: prediction = previous location + delta.
+                preds.push([prev[0] + y[0], prev[1] + y[1]]);
+                // Teacher forcing: the next decoder input is ground truth.
+                before = prev;
+                prev = *tgt;
+            }
+
+            // ---- loss ----
+            let mut dy = Vec::with_capacity(seq_out);
+            for t in 0..seq_out {
+                let (l, g) = loss.step(preds[t], target[t], seq_out);
+                total_loss += l;
+                dy.push(g);
+            }
+
+            // ---- backward through decoder ----
+            let mut dh = vec![0.0; h];
+            let mut dc = match self.decoder {
+                Cell::Lstm(_) => vec![0.0; h],
+                Cell::Gru(_) => Vec::new(),
+            };
+            for t in (0..seq_out).rev() {
+                let dh_head = self.head.backward(&dec_h[t], &dy[t], &mut head_grad);
+                for k in 0..h {
+                    dh[k] += dh_head[k];
+                }
+                let (dh_prev, dc_prev) =
+                    self.decoder
+                        .backward_step(&dec_caches[t], &dh, &dc, &mut dec_grad);
+                dh = dh_prev;
+                dc = dc_prev;
+            }
+            // ---- backward through encoder ----
+            for cache in enc_caches.iter().rev() {
+                let (dh_prev, dc_prev) =
+                    self.encoder.backward_step(cache, &dh, &dc, &mut enc_grad);
+                dh = dh_prev;
+                dc = dc_prev;
+            }
+        }
+
+        let inv = 1.0 / batch.len() as f64;
+        let mut flat = Vec::with_capacity(self.n_params());
+        Cell::grad_into(&enc_grad, &mut flat, inv);
+        Cell::grad_into(&dec_grad, &mut flat, inv);
+        flat.extend(head_grad.dw.as_slice().iter().map(|g| g * inv));
+        flat.extend(head_grad.db.iter().map(|g| g * inv));
+        (total_loss * inv, flat)
+    }
+
+    /// Mean loss over a batch under teacher forcing, without gradients
+    /// (query-set evaluation).
+    pub fn loss_only(&self, batch: &TrainBatch, loss: &dyn Loss) -> f64 {
+        assert!(!batch.is_empty(), "empty batch");
+        let h = self.cfg.hidden;
+        let _ = h;
+        let mut total = 0.0;
+        for (input, target) in &batch.pairs {
+            let mut state = self.encoder.zero_state(self.cfg.hidden);
+            for (i, x) in input.iter().enumerate() {
+                let before = input[i.saturating_sub(1)];
+                let (next, _) = self.encoder.forward_step(&step_features(*x, before), &state);
+                state = next;
+            }
+            let mut prev = *input.last().expect("non-empty");
+            let mut before = input[input.len().saturating_sub(2)];
+            for tgt in target {
+                let (next, _) = self
+                    .decoder
+                    .forward_step(&step_features(prev, before), &state);
+                state = next;
+                let y = self.head.forward(&state.h);
+                let (l, _) = loss.step([prev[0] + y[0], prev[1] + y[1]], *tgt, target.len());
+                total += l;
+                before = prev;
+                prev = *tgt;
+            }
+        }
+        total / batch.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loss::MseLoss;
+    use tamp_core::rng::rng_for;
+
+    fn tiny_model(seed: u64) -> Seq2Seq {
+        let mut rng = rng_for(seed, 0);
+        Seq2Seq::new(Seq2SeqConfig::lstm(6), &mut rng)
+    }
+
+    fn line_batch() -> TrainBatch {
+        // Deterministic straight-line motion: next point continues the line.
+        let mut pairs = Vec::new();
+        for s in 0..8 {
+            let start = s as f64 * 0.01;
+            let input: Vec<Pt2> = (0..4).map(|i| [start + i as f64 * 0.05, 0.5]).collect();
+            let target: Vec<Pt2> = (4..6).map(|i| [start + i as f64 * 0.05, 0.5]).collect();
+            pairs.push((input, target));
+        }
+        TrainBatch::new(pairs)
+    }
+
+    #[test]
+    fn params_round_trip() {
+        let model = tiny_model(1);
+        let p = model.params();
+        assert_eq!(p.len(), model.n_params());
+        let mut other = tiny_model(2);
+        assert_ne!(other.params(), p);
+        other.set_params(&p);
+        assert_eq!(other.params(), p);
+        // Behaviour matches too.
+        let input = [[0.1, 0.2], [0.2, 0.3]];
+        assert_eq!(model.predict(&input, 3), other.predict(&input, 3));
+    }
+
+    #[test]
+    fn predict_emits_requested_length() {
+        let model = tiny_model(3);
+        let out = model.predict(&[[0.5, 0.5]], 4);
+        assert_eq!(out.len(), 4);
+        assert!(out.iter().all(|p| p[0].is_finite() && p[1].is_finite()));
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let model = tiny_model(4);
+        let batch = TrainBatch::new(vec![(
+            vec![[0.1, 0.2], [0.15, 0.25], [0.2, 0.3]],
+            vec![[0.25, 0.35], [0.3, 0.4]],
+        )]);
+        let (l0, grad) = model.loss_and_grad(&batch, &MseLoss);
+        assert!(l0 > 0.0);
+
+        let p = model.params();
+        let eps = 1e-6;
+        // Sample a spread of parameter indices across all blocks.
+        let n = p.len();
+        let idxs = [0, n / 7, n / 3, n / 2, 2 * n / 3, 5 * n / 6, n - 1];
+        for &i in &idxs {
+            let mut plus = model.clone();
+            let mut pp = p.clone();
+            pp[i] += eps;
+            plus.set_params(&pp);
+            let mut minus = model.clone();
+            let mut pm = p.clone();
+            pm[i] -= eps;
+            minus.set_params(&pm);
+            let (lp, _) = plus.loss_and_grad(&batch, &MseLoss);
+            let (lm, _) = minus.loss_and_grad(&batch, &MseLoss);
+            let fd = (lp - lm) / (2.0 * eps);
+            assert!(
+                (fd - grad[i]).abs() < 1e-5,
+                "param {i}: fd={fd} analytic={}",
+                grad[i]
+            );
+        }
+    }
+
+    #[test]
+    fn sgd_training_reduces_loss() {
+        let mut model = tiny_model(5);
+        let batch = line_batch();
+        let (initial, _) = model.loss_and_grad(&batch, &MseLoss);
+        let mut params = model.params();
+        for _ in 0..200 {
+            model.set_params(&params);
+            let (_, grad) = model.loss_and_grad(&batch, &MseLoss);
+            for (p, g) in params.iter_mut().zip(&grad) {
+                *p -= 0.5 * g;
+            }
+        }
+        model.set_params(&params);
+        let (trained, _) = model.loss_and_grad(&batch, &MseLoss);
+        assert!(
+            trained < initial * 0.2,
+            "training should cut loss by 5x: {initial} → {trained}"
+        );
+    }
+
+    #[test]
+    fn loss_only_matches_loss_and_grad() {
+        let model = tiny_model(6);
+        let batch = line_batch();
+        let (l, _) = model.loss_and_grad(&batch, &MseLoss);
+        let l2 = model.loss_only(&batch, &MseLoss);
+        assert!((l - l2).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty training batch")]
+    fn empty_batch_panics() {
+        let model = tiny_model(7);
+        model.loss_and_grad(&TrainBatch::default(), &MseLoss);
+    }
+}

@@ -1,0 +1,98 @@
+//! Property-based tests for the neural substrate.
+
+use proptest::prelude::*;
+use tamp_core::rng::rng_for;
+use tamp_nn::loss::Pt2;
+use tamp_nn::matrix::vecops;
+use tamp_nn::{Loss, Matrix, MseLoss, Seq2Seq, Seq2SeqConfig, TrainBatch};
+
+fn finite_vec(n: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-10.0..10.0f64, n)
+}
+
+proptest! {
+    #[test]
+    fn matvec_is_linear(a in finite_vec(12), x in finite_vec(4), y in finite_vec(4), alpha in -3.0..3.0f64) {
+        let m = Matrix::from_rows(3, 4, a);
+        // M(x + αy) = Mx + αMy
+        let combo: Vec<f64> = x.iter().zip(&y).map(|(xi, yi)| xi + alpha * yi).collect();
+        let lhs = m.matvec(&combo);
+        let mx = m.matvec(&x);
+        let my = m.matvec(&y);
+        for i in 0..3 {
+            prop_assert!((lhs[i] - (mx[i] + alpha * my[i])).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn matvec_t_is_adjoint(a in finite_vec(12), x in finite_vec(4), y in finite_vec(3)) {
+        // ⟨Mx, y⟩ = ⟨x, Mᵀy⟩
+        let m = Matrix::from_rows(3, 4, a);
+        let lhs = vecops::dot(&m.matvec(&x), &y);
+        let rhs = vecops::dot(&x, &m.matvec_t(&y));
+        prop_assert!((lhs - rhs).abs() < 1e-8);
+    }
+
+    #[test]
+    fn cosine_bounded(a in finite_vec(8), b in finite_vec(8)) {
+        let c = vecops::cosine(&a, &b);
+        prop_assert!((-1.0..=1.0).contains(&c));
+    }
+
+    #[test]
+    fn mse_non_negative_and_zero_at_target(p in -2.0..2.0f64, q in -2.0..2.0f64, n in 1usize..6) {
+        let pred: Pt2 = [p, q];
+        let (l, _) = MseLoss.step(pred, pred, n);
+        prop_assert_eq!(l, 0.0);
+        let (l2, _) = MseLoss.step(pred, [q, p], n);
+        prop_assert!(l2 >= 0.0);
+    }
+
+    #[test]
+    fn mse_gradient_descends(px in -1.0..1.0f64, py in -1.0..1.0f64, tx in -1.0..1.0f64, ty in -1.0..1.0f64) {
+        // Stepping opposite the gradient must not increase the loss.
+        let pred: Pt2 = [px, py];
+        let target: Pt2 = [tx, ty];
+        let (l, g) = MseLoss.step(pred, target, 1);
+        let stepped: Pt2 = [pred[0] - 0.01 * g[0], pred[1] - 0.01 * g[1]];
+        let (l2, _) = MseLoss.step(stepped, target, 1);
+        prop_assert!(l2 <= l + 1e-12);
+    }
+
+    #[test]
+    fn seq2seq_params_round_trip(seed in 0u64..500) {
+        let mut rng = rng_for(seed, 3);
+        let model = Seq2Seq::new(Seq2SeqConfig::lstm(4), &mut rng);
+        let p = model.params();
+        let mut rng2 = rng_for(seed + 1, 3);
+        let mut clone = Seq2Seq::new(Seq2SeqConfig::lstm(4), &mut rng2);
+        clone.set_params(&p);
+        prop_assert_eq!(clone.params(), p);
+    }
+
+    #[test]
+    fn seq2seq_outputs_finite(seed in 0u64..200, len_in in 1usize..6, len_out in 1usize..4) {
+        let mut rng = rng_for(seed, 4);
+        let model = Seq2Seq::new(Seq2SeqConfig::lstm(5), &mut rng);
+        let input: Vec<Pt2> = (0..len_in).map(|i| [i as f64 * 0.1, 0.5]).collect();
+        let out = model.predict(&input, len_out);
+        prop_assert_eq!(out.len(), len_out);
+        for p in out {
+            prop_assert!(p[0].is_finite() && p[1].is_finite());
+        }
+    }
+
+    #[test]
+    fn gradient_norm_finite(seed in 0u64..100) {
+        let mut rng = rng_for(seed, 5);
+        let model = Seq2Seq::new(Seq2SeqConfig::lstm(4), &mut rng);
+        let batch = TrainBatch::new(vec![(
+            vec![[0.2, 0.2], [0.3, 0.3]],
+            vec![[0.4, 0.4]],
+        )]);
+        let (l, g) = model.loss_and_grad(&batch, &MseLoss);
+        prop_assert!(l.is_finite());
+        prop_assert!(g.iter().all(|v| v.is_finite()));
+        prop_assert_eq!(g.len(), model.n_params());
+    }
+}

@@ -1,0 +1,135 @@
+//! The worker's accept/reject decision.
+//!
+//! Workers "can decide whether to accept the assigned task according to
+//! his/her actual itinerary and acceptable detour distance w.d"
+//! (Section II). Given the worker's real future path, the decision is:
+//! accept iff some deviation leg serves the task within the detour limit
+//! *and* reaches it before the deadline. The real detour of the best such
+//! leg is the cost `d_c` recorded in `M'`.
+
+use tamp_core::geometry::detour_via;
+use tamp_core::time::travel_minutes;
+use tamp_core::{Minutes, SpatialTask, TimedPoint};
+
+/// The outcome of presenting `task` to a worker whose remaining real
+/// itinerary is `future` (time-ordered, first point is where they are
+/// around `now`).
+///
+/// Returns `Some((detour_km, arrival))` when the worker accepts:
+/// `detour_km` is the real extra distance, `arrival` the time they reach
+/// the task location. `None` means the worker rejects.
+pub fn decide(
+    future: &[TimedPoint],
+    detour_limit_km: f64,
+    speed_km_per_min: f64,
+    task: &SpatialTask,
+    now: Minutes,
+) -> Option<(f64, Minutes)> {
+    if future.is_empty() {
+        return None;
+    }
+    let mut best: Option<(f64, Minutes)> = None;
+    let mut consider = |detour: f64, depart_at: Minutes, from_dist: f64| {
+        if detour > detour_limit_km {
+            return;
+        }
+        let depart = depart_at.as_f64().max(now.as_f64());
+        let arrival = depart + travel_minutes(from_dist, speed_km_per_min);
+        if arrival < task.deadline.as_f64() {
+            match best {
+                Some((b, _)) if b <= detour => {}
+                _ => best = Some((detour, Minutes::new(arrival))),
+            }
+        }
+    };
+    if future.len() == 1 {
+        let p = future[0];
+        let d = p.loc.dist(task.location);
+        consider(2.0 * d, p.time, d);
+        return best;
+    }
+    for leg in future.windows(2) {
+        let (a, b) = (leg[0], leg[1]);
+        let detour = detour_via(a.loc, task.location, b.loc);
+        consider(detour, a.time, a.loc.dist(task.location));
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tamp_core::{Point, TaskId};
+
+    fn future(points: &[(f64, f64)]) -> Vec<TimedPoint> {
+        points
+            .iter()
+            .enumerate()
+            .map(|(i, &(x, y))| TimedPoint::new(Point::new(x, y), Minutes::new(i as f64 * 10.0)))
+            .collect()
+    }
+
+    fn task(x: f64, y: f64, deadline: f64) -> SpatialTask {
+        SpatialTask::new(TaskId(1), Point::new(x, y), Minutes::ZERO, Minutes::new(deadline))
+    }
+
+    #[test]
+    fn accepts_on_path_task() {
+        let f = future(&[(0.0, 0.0), (4.0, 0.0)]);
+        let t = task(2.0, 0.0, 120.0);
+        let (d, arrival) = decide(&f, 6.0, 0.3, &t, Minutes::ZERO).unwrap();
+        assert!(d < 1e-9, "on-path detour is zero");
+        // Departs at t=0 from (0,0): 2 km at 0.3 km/min ≈ 6.67 min.
+        assert!((arrival.as_f64() - 2.0 / 0.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_beyond_detour_limit() {
+        let f = future(&[(0.0, 0.0), (4.0, 0.0)]);
+        let t = task(2.0, 5.0, 240.0); // ~6.77 km detour
+        assert!(decide(&f, 6.0, 0.3, &t, Minutes::ZERO).is_none());
+        assert!(decide(&f, 8.0, 0.3, &t, Minutes::ZERO).is_some());
+    }
+
+    #[test]
+    fn rejects_after_deadline() {
+        let f = future(&[(0.0, 0.0), (4.0, 0.0)]);
+        let t = task(2.0, 0.0, 5.0); // needs ~6.7 min, deadline 5
+        assert!(decide(&f, 6.0, 0.3, &t, Minutes::ZERO).is_none());
+    }
+
+    #[test]
+    fn later_leg_can_be_cheaper() {
+        // The second leg passes right by the task.
+        let f = future(&[(0.0, 0.0), (0.0, 4.0), (6.0, 4.0)]);
+        let t = task(3.0, 4.1, 480.0);
+        let (d, _) = decide(&f, 6.0, 0.3, &t, Minutes::ZERO).unwrap();
+        assert!(d < 0.2, "cheap second-leg detour, got {d}");
+    }
+
+    #[test]
+    fn single_point_roundtrip_rule() {
+        let f = future(&[(0.0, 0.0)]);
+        let t = task(2.0, 0.0, 240.0);
+        let (d, _) = decide(&f, 6.0, 0.3, &t, Minutes::ZERO).unwrap();
+        assert!((d - 4.0).abs() < 1e-9);
+        // Detour limit below the round trip → reject.
+        assert!(decide(&f, 3.0, 0.3, &t, Minutes::ZERO).is_none());
+    }
+
+    #[test]
+    fn empty_future_rejects() {
+        let t = task(1.0, 1.0, 240.0);
+        assert!(decide(&[], 6.0, 0.3, &t, Minutes::ZERO).is_none());
+    }
+
+    #[test]
+    fn departure_clamped_to_now() {
+        // Leg starts in the past relative to `now`; departure time is
+        // clamped so arrival can't be before now.
+        let f = future(&[(0.0, 0.0), (4.0, 0.0)]);
+        let t = task(0.5, 0.0, 240.0);
+        let (_, arrival) = decide(&f, 6.0, 0.3, &t, Minutes::new(30.0)).unwrap();
+        assert!(arrival.as_f64() >= 30.0);
+    }
+}

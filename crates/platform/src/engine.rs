@@ -1,0 +1,594 @@
+//! The online batch assignment loop (Figure 1, "online task assignment").
+//!
+//! Time advances in 2-minute batch windows (Section IV-A). Each batch:
+//!
+//! 1. Newly released tasks join the pending pool; expired ones leave.
+//! 2. Idle workers are snapshotted into [`WorkerView`]s: current
+//!    location, the model's rollout of their next `predict_horizon` time
+//!    units (from the last `seq_in` observed samples), and their
+//!    validation `MR`.
+//! 3. The configured assignment algorithm proposes a plan `M`.
+//! 4. Each assigned worker accepts or rejects against their *real*
+//!    itinerary ([`crate::acceptance`]); accepted tasks complete at the
+//!    real detour cost, and the worker is busy until arrival.
+//! 5. Rejected and unassigned tasks carry over to the next batch while
+//!    still valid — the accumulation effect the paper describes for
+//!    small detours.
+
+use crate::acceptance::decide;
+use crate::metrics::{AssignmentMetrics, BatchRecord};
+use crate::training::TrainedPredictors;
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+use std::time::Instant;
+use tamp_assign::baselines::{
+    ggpso_assign_excluding, km_assign_excluding, lb_assign_excluding, ub_assign_excluding,
+    GgpsoParams,
+};
+use tamp_assign::ppi::{ppi_assign_excluding, PpiParams};
+use tamp_assign::view::{ExcludedPairs, WorkerView};
+use tamp_core::rng::{rng_for, streams};
+use tamp_core::{Minutes, Point, SpatialTask, TaskId, WorkerId, BATCH_WINDOW_MINUTES};
+use tamp_nn::loss::Pt2;
+use tamp_nn::{clip_grad_norm, MseLoss, Seq2Seq, TrainBatch};
+use tamp_sim::Workload;
+
+/// Which assignment algorithm the engine runs (the roster of Fig. 6–11).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AssignmentAlgo {
+    /// Algorithm 4 (PPI).
+    Ppi,
+    /// Plain KM on predicted proximity.
+    Km,
+    /// The genetic baseline.
+    Ggpso,
+    /// Real-trajectory oracle (upper bound).
+    Ub,
+    /// Current-location only (lower bound).
+    Lb,
+}
+
+/// Online continual-adaptation settings: the platform periodically
+/// fine-tunes each worker's model on the movements observed *today*,
+/// tracking intraday drift the offline stage could not see (an extension
+/// beyond the paper's offline-only training — see EXPERIMENTS.md).
+#[derive(Debug, Clone, Copy)]
+pub struct OnlineAdaptConfig {
+    /// Minutes between adaptation rounds.
+    pub every_min: f64,
+    /// SGD steps per round per worker.
+    pub steps: usize,
+    /// Learning rate.
+    pub lr: f64,
+}
+
+impl Default for OnlineAdaptConfig {
+    fn default() -> Self {
+        Self {
+            every_min: 60.0,
+            steps: 2,
+            lr: 0.05,
+        }
+    }
+}
+
+/// Engine configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig {
+    /// Batch window length in minutes (paper: 2).
+    pub batch_window_min: f64,
+    /// Matching-rate radius `a` (km).
+    pub a_km: f64,
+    /// PPI stage-2 mini-batch size `ε`.
+    pub epsilon: usize,
+    /// How many future time units the models roll out per batch.
+    pub predict_horizon: usize,
+    /// Observed samples fed to the model (`seq_in`).
+    pub seq_in: usize,
+    /// GGPSO hyper-parameters.
+    pub ggpso: GgpsoParams,
+    /// Intraday model fine-tuning on observed movements; `None` keeps the
+    /// offline models frozen (the paper's setting).
+    pub online_adapt: Option<OnlineAdaptConfig>,
+    /// How long a worker stays unavailable after rejecting an assignment,
+    /// in minutes. Rejections cost the platform real capacity (the
+    /// paper's motivation: rejections depress worker retention and
+    /// participation), which is what makes low-rejection assignment
+    /// valuable.
+    pub rejection_cooldown_min: f64,
+    /// RNG seed (GGPSO only).
+    pub seed: u64,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            batch_window_min: BATCH_WINDOW_MINUTES,
+            a_km: 0.4,
+            epsilon: 8,
+            predict_horizon: 4,
+            seq_in: 5,
+            ggpso: GgpsoParams::default(),
+            online_adapt: None,
+            rejection_cooldown_min: 10.0,
+            seed: 0,
+        }
+    }
+}
+
+/// Runs one full simulated test day and returns the paper's four metrics.
+///
+/// `predictors` supplies per-worker models and matching rates; it may be
+/// `None` only for the UB / LB baselines, which don't use predictions.
+pub fn run_assignment(
+    workload: &Workload,
+    predictors: Option<&TrainedPredictors>,
+    algo: AssignmentAlgo,
+    cfg: &EngineConfig,
+) -> AssignmentMetrics {
+    run_assignment_inner(workload, predictors, algo, cfg, None)
+}
+
+/// Like [`run_assignment`], additionally recording one [`BatchRecord`]
+/// per batch window into `trace` (for dashboards and load analysis).
+pub fn run_assignment_traced(
+    workload: &Workload,
+    predictors: Option<&TrainedPredictors>,
+    algo: AssignmentAlgo,
+    cfg: &EngineConfig,
+    trace: &mut Vec<BatchRecord>,
+) -> AssignmentMetrics {
+    run_assignment_inner(workload, predictors, algo, cfg, Some(trace))
+}
+
+fn run_assignment_inner(
+    workload: &Workload,
+    predictors: Option<&TrainedPredictors>,
+    algo: AssignmentAlgo,
+    cfg: &EngineConfig,
+    mut trace: Option<&mut Vec<BatchRecord>>,
+) -> AssignmentMetrics {
+    if !matches!(algo, AssignmentAlgo::Ub | AssignmentAlgo::Lb) {
+        assert!(
+            predictors.is_some(),
+            "{algo:?} needs trained predictors"
+        );
+    }
+
+    let mut metrics = AssignmentMetrics {
+        tasks_total: workload.tasks.len(),
+        ..Default::default()
+    };
+    // Online adaptation works on a private copy of the models so a run
+    // never mutates the shared offline predictors.
+    let mut live_models: Option<Vec<Seq2Seq>> = match (cfg.online_adapt, predictors) {
+        (Some(_), Some(p)) => Some(p.models.clone()),
+        _ => None,
+    };
+    let mut next_adapt = cfg.online_adapt.map(|oa| oa.every_min);
+    let mut pending: Vec<SpatialTask> = Vec::new();
+    let mut next_task = 0usize;
+    let mut busy_until: HashMap<WorkerId, f64> = HashMap::new();
+    let mut completed: HashSet<TaskId> = HashSet::new();
+    // Pairs the worker already rejected; never proposed again (the
+    // platform remembers refusals across batches).
+    let mut refused: ExcludedPairs = ExcludedPairs::new();
+    let mut rng = rng_for(cfg.seed, streams::GENETIC);
+
+    let horizon = workload.horizon.as_f64();
+    let mut t = 0.0;
+    while t < horizon {
+        let now = Minutes::new(t + cfg.batch_window_min);
+        // 1. Admit newly released tasks; drop expired ones.
+        while next_task < workload.tasks.len()
+            && workload.tasks[next_task].release.as_f64() < now.as_f64()
+        {
+            pending.push(workload.tasks[next_task]);
+            next_task += 1;
+        }
+        pending.retain(|task| task.deadline.as_f64() > now.as_f64() && !completed.contains(&task.id));
+
+        let mut record = BatchRecord {
+            t_min: now.as_f64(),
+            pending: pending.len(),
+            idle_workers: 0,
+            proposed: 0,
+            accepted: 0,
+            rejected: 0,
+        };
+
+        if !pending.is_empty() {
+            // 2. Snapshot idle workers.
+            let mut views: Vec<WorkerView> = Vec::new();
+            for (wi, sw) in workload.workers.iter().enumerate() {
+                if busy_until.get(&sw.worker.id).copied().unwrap_or(f64::NEG_INFINITY)
+                    > now.as_f64()
+                {
+                    continue;
+                }
+                if let Some(view) =
+                    make_view(workload, predictors, live_models.as_deref(), wi, now, cfg)
+                {
+                    views.push(view);
+                }
+            }
+
+            record.idle_workers = views.len();
+            if !views.is_empty() {
+                // 3. Assign.
+                let start = Instant::now();
+                let plan = match algo {
+                    AssignmentAlgo::Ppi => ppi_assign_excluding(
+                        &pending,
+                        &views,
+                        &PpiParams {
+                            a_km: cfg.a_km,
+                            epsilon: cfg.epsilon,
+                            now,
+                        },
+                        &refused,
+                    ),
+                    AssignmentAlgo::Km => km_assign_excluding(&pending, &views, now, &refused),
+                    AssignmentAlgo::Ggpso => ggpso_assign_excluding(
+                        &pending,
+                        &views,
+                        now,
+                        &cfg.ggpso,
+                        &refused,
+                        &mut rng,
+                    ),
+                    AssignmentAlgo::Ub => ub_assign_excluding(&pending, &views, now, &refused),
+                    AssignmentAlgo::Lb => lb_assign_excluding(&pending, &views, now, &refused),
+                };
+                metrics.algo_seconds += start.elapsed().as_secs_f64();
+
+                // 4. Acceptance against real itineraries.
+                record.proposed = plan.len();
+                for pair in plan.pairs() {
+                    metrics.assigned_total += 1;
+                    let task = pending
+                        .iter()
+                        .find(|tk| tk.id == pair.task)
+                        .copied()
+                        .expect("assigned task is pending");
+                    let view = views
+                        .iter()
+                        .find(|v| v.id == pair.worker)
+                        .expect("assigned worker was snapshotted");
+                    match decide(
+                        &view.real_future,
+                        view.detour_limit_km,
+                        view.speed_km_per_min,
+                        &task,
+                        now,
+                    ) {
+                        Some((detour, _arrival)) => {
+                            record.accepted += 1;
+                            metrics.completed += 1;
+                            metrics.total_detour_km += detour;
+                            completed.insert(task.id);
+                            // The worker is occupied for the time the
+                            // extra travel takes (they keep following
+                            // their routine otherwise), at least one
+                            // batch window.
+                            let busy_min = tamp_core::time::travel_minutes(
+                                detour,
+                                view.speed_km_per_min,
+                            )
+                            .max(cfg.batch_window_min);
+                            busy_until
+                                .insert(pair.worker, now.as_f64() + busy_min);
+                        }
+                        None => {
+                            record.rejected += 1;
+                            metrics.rejected += 1;
+                            // Task stays pending (carried to next batch)
+                            // but this worker won't be asked again, and
+                            // they disengage for a while.
+                            refused.insert((task.id, pair.worker));
+                            busy_until.insert(
+                                pair.worker,
+                                now.as_f64() + cfg.rejection_cooldown_min,
+                            );
+                        }
+                    }
+                }
+                pending.retain(|task| !completed.contains(&task.id));
+            }
+        }
+        if let Some(trace) = trace.as_deref_mut() {
+            trace.push(record);
+        }
+        // Periodic intraday fine-tuning on the day's observations so far.
+        if let (Some(oa), Some(models)) = (cfg.online_adapt, live_models.as_mut()) {
+            if let Some(due) = next_adapt {
+                if now.as_f64() >= due {
+                    online_adapt_round(workload, models, predictors, now, cfg, &oa);
+                    next_adapt = Some(due + oa.every_min);
+                }
+            }
+        }
+        t += cfg.batch_window_min;
+    }
+    metrics
+}
+
+/// Builds the worker view the assignment algorithms see at time `now`.
+fn make_view(
+    workload: &Workload,
+    predictors: Option<&TrainedPredictors>,
+    live_models: Option<&[Seq2Seq]>,
+    wi: usize,
+    now: Minutes,
+    cfg: &EngineConfig,
+) -> Option<WorkerView> {
+    let sw = &workload.workers[wi];
+
+    // Observed history so far today: the worker's periodic location
+    // reports (one per 10-minute time unit). The platform never sees the
+    // worker between reports — "when they are online, they merely share
+    // their current location" (Section II) — so the freshest information
+    // any algorithm has is the *last report*, which may be up to one time
+    // unit stale. This is precisely the gap mobility prediction fills.
+    let observed: Vec<Point> = sw
+        .worker
+        .real_routine
+        .window(Minutes::ZERO, now)
+        .iter()
+        .map(|p| p.loc)
+        .collect();
+    let current = observed
+        .last()
+        .copied()
+        .or_else(|| sw.worker.location_at(now))?;
+
+    let predicted = match predictors {
+        Some(p) => {
+            let mut input: Vec<[f64; 2]> = observed
+                .iter()
+                .rev()
+                .take(cfg.seq_in)
+                .rev()
+                .map(|pt| {
+                    let (x, y) = workload.grid.normalize(*pt);
+                    [x, y]
+                })
+                .collect();
+            if input.is_empty() {
+                let (x, y) = workload.grid.normalize(current);
+                input.push([x, y]);
+            }
+            // Rollout, clamped to the grid and to physical reachability:
+            // the worker cannot be farther from their current position
+            // than speed × elapsed time.
+            let speed_per_unit =
+                sw.worker.speed_km_per_min * tamp_core::time::TIME_UNIT_MINUTES;
+            live_models
+                .map_or(&p.models[wi], |ms| &ms[wi])
+                .predict(&input, cfg.predict_horizon)
+                .into_iter()
+                .enumerate()
+                .map(|(k, o)| {
+                    let raw = workload.grid.clamp(workload.grid.denormalize(o[0], o[1]));
+                    let max_range = speed_per_unit * (k + 1) as f64;
+                    let d = current.dist(raw);
+                    if d > max_range {
+                        current.lerp(raw, max_range / d)
+                    } else {
+                        raw
+                    }
+                })
+                .collect()
+        }
+        None => Vec::new(),
+    };
+
+    // Ground-truth remainder of the day (acceptance + UB oracle).
+    let real_future: Vec<tamp_core::TimedPoint> = sw
+        .worker
+        .real_routine
+        .window(now, Minutes::new(f64::MAX))
+        .to_vec();
+
+    Some(WorkerView {
+        id: sw.worker.id,
+        current,
+        predicted,
+        real_future,
+        mr: predictors.map_or(0.0, |p| p.mrs[wi]),
+        detour_limit_km: sw.worker.detour_limit_km,
+        speed_km_per_min: sw.worker.speed_km_per_min,
+    })
+}
+
+/// One round of intraday fine-tuning: each worker's model takes a few
+/// clipped SGD steps on `(seq_in, seq_out)` windows drawn from their
+/// location reports observed so far today.
+fn online_adapt_round(
+    workload: &Workload,
+    models: &mut [Seq2Seq],
+    predictors: Option<&TrainedPredictors>,
+    now: Minutes,
+    cfg: &EngineConfig,
+    oa: &OnlineAdaptConfig,
+) {
+    let seq_out = predictors.map_or(1, |p| p.seq_out.max(1));
+    for (wi, sw) in workload.workers.iter().enumerate() {
+        let observed = sw.worker.real_routine.window(Minutes::ZERO, now);
+        if observed.len() < cfg.seq_in + seq_out {
+            continue;
+        }
+        let pairs: Vec<(Vec<Pt2>, Vec<Pt2>)> = (0..=observed.len() - cfg.seq_in - seq_out)
+            .map(|start| {
+                let norm = |p: &tamp_core::TimedPoint| {
+                    let (x, y) = workload.grid.normalize(p.loc);
+                    [x, y]
+                };
+                let input = observed[start..start + cfg.seq_in].iter().map(norm).collect();
+                let target = observed[start + cfg.seq_in..start + cfg.seq_in + seq_out]
+                    .iter()
+                    .map(norm)
+                    .collect();
+                (input, target)
+            })
+            .collect();
+        if pairs.is_empty() {
+            continue;
+        }
+        let batch = TrainBatch::new(pairs);
+        let model = &mut models[wi];
+        let mut theta = model.params();
+        for _ in 0..oa.steps {
+            model.set_params(&theta);
+            let (_, mut g) = model.loss_and_grad(&batch, &MseLoss);
+            clip_grad_norm(&mut g, 1.0);
+            for (p, gv) in theta.iter_mut().zip(&g) {
+                *p -= oa.lr * gv;
+            }
+        }
+        model.set_params(&theta);
+    }
+}
+
+/// Number of batch windows in a workload's day (diagnostics).
+pub fn n_batches(workload: &Workload, cfg: &EngineConfig) -> usize {
+    (workload.horizon.as_f64() / cfg.batch_window_min).ceil() as usize
+}
+
+/// A convenient bundle: run every algorithm of Fig. 6 on one workload.
+pub fn run_all_algorithms(
+    workload: &Workload,
+    with_loss: &TrainedPredictors,
+    with_mse: &TrainedPredictors,
+    cfg: &EngineConfig,
+) -> Vec<(String, AssignmentMetrics)> {
+    vec![
+        ("UB".into(), run_assignment(workload, None, AssignmentAlgo::Ub, cfg)),
+        ("LB".into(), run_assignment(workload, None, AssignmentAlgo::Lb, cfg)),
+        (
+            "PPI".into(),
+            run_assignment(workload, Some(with_loss), AssignmentAlgo::Ppi, cfg),
+        ),
+        (
+            "PPI-loss".into(),
+            run_assignment(workload, Some(with_mse), AssignmentAlgo::Ppi, cfg),
+        ),
+        (
+            "KM".into(),
+            run_assignment(workload, Some(with_loss), AssignmentAlgo::Km, cfg),
+        ),
+        (
+            "KM-loss".into(),
+            run_assignment(workload, Some(with_mse), AssignmentAlgo::Km, cfg),
+        ),
+        (
+            "GGPSO".into(),
+            run_assignment(workload, Some(with_loss), AssignmentAlgo::Ggpso, cfg),
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::training::{train_predictors, LossKind, PredictionAlgo, TrainingConfig};
+    use tamp_meta::meta_training::MetaConfig;
+    use tamp_sim::{Scale, WorkloadConfig, WorkloadKind};
+
+    fn tiny() -> Workload {
+        WorkloadConfig::new(WorkloadKind::PortoDidi, Scale::tiny(), 21).build()
+    }
+
+    fn quick_predictors(w: &Workload) -> TrainedPredictors {
+        train_predictors(
+            w,
+            &TrainingConfig {
+                algo: PredictionAlgo::Maml,
+                loss: LossKind::Mse,
+                hidden: 6,
+                seq_in: 3,
+                meta: MetaConfig {
+                    iterations: 2,
+                    ..MetaConfig::default()
+                },
+                adapt_steps: 2,
+                seed: 9,
+                ..TrainingConfig::default()
+            },
+        )
+    }
+
+    fn cfg() -> EngineConfig {
+        EngineConfig {
+            seq_in: 3,
+            ..EngineConfig::default()
+        }
+    }
+
+    #[test]
+    fn ub_completes_with_zero_rejections() {
+        let w = tiny();
+        let m = run_assignment(&w, None, AssignmentAlgo::Ub, &cfg());
+        assert_eq!(m.rejected, 0, "UB checks real constraints");
+        assert_eq!(m.rejection_ratio(), 0.0);
+        assert!(m.completed > 0, "oracle should complete something");
+        assert_eq!(m.completed, m.assigned_total);
+    }
+
+    #[test]
+    fn metric_accounting_is_consistent() {
+        let w = tiny();
+        let p = quick_predictors(&w);
+        for algo in [
+            AssignmentAlgo::Ppi,
+            AssignmentAlgo::Km,
+            AssignmentAlgo::Lb,
+            AssignmentAlgo::Ggpso,
+        ] {
+            let m = run_assignment(&w, Some(&p), algo, &cfg());
+            assert_eq!(m.completed + m.rejected, m.assigned_total, "{algo:?}");
+            assert!(m.completed <= m.tasks_total);
+            assert!(m.completion_ratio() <= 1.0);
+            assert!(m.rejection_ratio() <= 1.0);
+            assert!(m.avg_worker_cost_km().is_finite());
+        }
+    }
+
+    #[test]
+    fn ub_dominates_lb_on_completion() {
+        let w = tiny();
+        let ub = run_assignment(&w, None, AssignmentAlgo::Ub, &cfg());
+        let lb = run_assignment(&w, None, AssignmentAlgo::Lb, &cfg());
+        assert!(
+            ub.completion_ratio() >= lb.completion_ratio(),
+            "UB {} must beat LB {}",
+            ub.completion_ratio(),
+            lb.completion_ratio()
+        );
+    }
+
+    #[test]
+    fn completed_detours_respect_limits() {
+        let w = tiny();
+        let p = quick_predictors(&w);
+        let m = run_assignment(&w, Some(&p), AssignmentAlgo::Ppi, &cfg());
+        if m.completed > 0 {
+            let avg = m.avg_worker_cost_km();
+            let limit = w.workers[0].worker.detour_limit_km;
+            assert!(avg <= limit, "avg detour {avg} exceeds limit {limit}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "needs trained predictors")]
+    fn prediction_algorithms_require_predictors() {
+        let w = tiny();
+        run_assignment(&w, None, AssignmentAlgo::Ppi, &cfg());
+    }
+
+    #[test]
+    fn n_batches_counts_windows() {
+        let w = tiny(); // 24 units × 10 min = 240 min / 2 min = 120
+        assert_eq!(n_batches(&w, &cfg()), 120);
+    }
+}

@@ -1,0 +1,172 @@
+//! Task-assignment experiments (Figures 6–11).
+//!
+//! Every sweep point rebuilds the workload with the swept parameter,
+//! trains two GTTAML predictor sets (task-assignment-oriented loss and
+//! plain MSE — the `PPI`/`PPI-loss`, `KM`/`KM-loss` split), runs all
+//! seven algorithms through the batch engine, and reports the paper's
+//! four metrics.
+
+use crate::engine::{run_all_algorithms, EngineConfig};
+use crate::training::{train_predictors, LossKind, TrainingConfig};
+use serde::{Deserialize, Serialize};
+use tamp_sim::{Scale, WorkloadConfig, WorkloadKind};
+
+/// One algorithm × sweep-point measurement.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AssignmentRow {
+    /// Algorithm name (UB / LB / PPI / PPI-loss / KM / KM-loss / GGPSO).
+    pub algorithm: String,
+    /// Name of the swept parameter.
+    pub param: String,
+    /// Swept value.
+    pub x: f64,
+    /// Task completion ratio.
+    pub completion: f64,
+    /// Rejection ratio `(|M|−|M'|)/|M|`.
+    pub rejection: f64,
+    /// Mean real detour of completed tasks, km.
+    pub cost_km: f64,
+    /// Assignment-algorithm wall-clock seconds over the day.
+    pub runtime_s: f64,
+}
+
+/// Shared sweep configuration.
+#[derive(Debug, Clone)]
+pub struct SweepConfig {
+    /// Workload family.
+    pub kind: WorkloadKind,
+    /// Sizing.
+    pub scale: Scale,
+    /// Master seed.
+    pub seed: u64,
+    /// Offline-stage configuration (loss is overridden per predictor set).
+    pub training: TrainingConfig,
+    /// Online-stage configuration.
+    pub engine: EngineConfig,
+}
+
+fn run_point(
+    cfg: &SweepConfig,
+    param: &str,
+    x: f64,
+    tweak: impl Fn(&mut WorkloadConfig),
+) -> Vec<AssignmentRow> {
+    let mut wcfg = WorkloadConfig::new(cfg.kind, cfg.scale, cfg.seed);
+    tweak(&mut wcfg);
+    let workload = wcfg.build();
+
+    let with_loss = train_predictors(
+        &workload,
+        &TrainingConfig {
+            loss: LossKind::TaskOriented,
+            ..cfg.training.clone()
+        },
+    );
+    let with_mse = train_predictors(
+        &workload,
+        &TrainingConfig {
+            loss: LossKind::Mse,
+            ..cfg.training.clone()
+        },
+    );
+    run_all_algorithms(&workload, &with_loss, &with_mse, &cfg.engine)
+        .into_iter()
+        .map(|(algorithm, m)| AssignmentRow {
+            algorithm,
+            param: param.to_string(),
+            x,
+            completion: m.completion_ratio(),
+            rejection: m.rejection_ratio(),
+            cost_km: m.avg_worker_cost_km(),
+            runtime_s: m.algo_seconds,
+        })
+        .collect()
+}
+
+/// Fig. 6 / Fig. 9: sweep the worker detour limit `d` (km).
+pub fn detour_sweep(cfg: &SweepConfig, detours_km: &[f64]) -> Vec<AssignmentRow> {
+    detours_km
+        .iter()
+        .flat_map(|&d| run_point(cfg, "detour_km", d, |w| w.detour_limit_km = d))
+        .collect()
+}
+
+/// Fig. 7 / Fig. 10: sweep the number of spatial tasks.
+pub fn task_count_sweep(cfg: &SweepConfig, task_counts: &[usize]) -> Vec<AssignmentRow> {
+    task_counts
+        .iter()
+        .flat_map(|&n| {
+            run_point(cfg, "n_tasks", n as f64, |w| {
+                w.scale.n_tasks = n;
+            })
+        })
+        .collect()
+}
+
+/// Fig. 8 / Fig. 11: sweep the task valid-time interval, `[lo, lo+1]`
+/// time units.
+pub fn valid_time_sweep(cfg: &SweepConfig, valid_los: &[f64]) -> Vec<AssignmentRow> {
+    valid_los
+        .iter()
+        .flat_map(|&lo| {
+            run_point(cfg, "valid_time_lo", lo, |w| {
+                w.valid_time_units = (lo, lo + 1.0);
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tamp_meta::meta_training::MetaConfig;
+    use tamp_sim::Scale;
+
+    fn quick_sweep() -> SweepConfig {
+        SweepConfig {
+            kind: WorkloadKind::PortoDidi,
+            scale: Scale::tiny(),
+            seed: 33,
+            training: TrainingConfig {
+                hidden: 5,
+                seq_in: 2,
+                meta: MetaConfig {
+                    iterations: 1,
+                    batch_tasks: 2,
+                    ..MetaConfig::default()
+                },
+                path_steps: 2,
+                adapt_steps: 1,
+                seed: 33,
+                ..TrainingConfig::default()
+            },
+            engine: EngineConfig {
+                seq_in: 2,
+                ..EngineConfig::default()
+            },
+        }
+    }
+
+    #[test]
+    fn detour_sweep_covers_all_algorithms_and_points() {
+        let rows = detour_sweep(&quick_sweep(), &[4.0, 8.0]);
+        assert_eq!(rows.len(), 14, "7 algorithms × 2 points");
+        for r in &rows {
+            assert!((0.0..=1.0).contains(&r.completion), "{r:?}");
+            assert!((0.0..=1.0).contains(&r.rejection));
+            assert!(r.cost_km >= 0.0 && r.cost_km.is_finite());
+            assert_eq!(r.param, "detour_km");
+        }
+        // UB never rejects.
+        for r in rows.iter().filter(|r| r.algorithm == "UB") {
+            assert_eq!(r.rejection, 0.0);
+        }
+    }
+
+    #[test]
+    fn valid_time_sweep_sets_param() {
+        let rows = valid_time_sweep(&quick_sweep(), &[2.0]);
+        assert_eq!(rows.len(), 7);
+        assert!(rows.iter().all(|r| r.param == "valid_time_lo" && r.x == 2.0));
+    }
+}

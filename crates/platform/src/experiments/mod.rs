@@ -1,0 +1,21 @@
+//! Experiment drivers regenerating the paper's tables and figures.
+//!
+//! Each driver is a pure function from a configuration to typed rows, so
+//! the `tamp-bench` binaries stay thin and integration tests can exercise
+//! the full pipelines at tiny scale.
+//!
+//! | Paper artefact | Driver |
+//! |---|---|
+//! | Table IV / VI (clustering ablation) | [`prediction::clustering_ablation`] |
+//! | Table V / VII (`seq_in`/`seq_out` sweep) | [`prediction::seq_sweep`] |
+//! | Fig. 6 / 9 (worker detour `d`) | [`assignment::detour_sweep`] |
+//! | Fig. 7 / 10 (number of tasks) | [`assignment::task_count_sweep`] |
+//! | Fig. 8 / 11 (task valid time) | [`assignment::valid_time_sweep`] |
+
+pub mod assignment;
+pub mod prediction;
+pub mod report;
+
+pub use assignment::{detour_sweep, task_count_sweep, valid_time_sweep, AssignmentRow, SweepConfig};
+pub use prediction::{clustering_ablation, seq_sweep, AblationRow, SeqRow};
+pub use report::{print_markdown_table, save_json};

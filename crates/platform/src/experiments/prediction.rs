@@ -1,0 +1,204 @@
+//! Mobility-prediction experiments (Tables IV–VII).
+
+use crate::training::{train_predictors, PredictionAlgo, TrainingConfig};
+use serde::{Deserialize, Serialize};
+use tamp_meta::similarity::FactorKind;
+use tamp_sim::{Workload, WorkloadConfig};
+
+/// One row of the clustering ablation (Table IV / VI).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AblationRow {
+    /// "GTMC" or "k-means".
+    pub cluster_algorithm: String,
+    /// Which of `Sim_d` / `Sim_s` / `Sim_l` were enabled.
+    pub factors: Vec<String>,
+    /// RMSE in grid cells.
+    pub rmse: f64,
+    /// MAE in grid cells.
+    pub mae: f64,
+    /// Matching rate.
+    pub mr: f64,
+    /// Training time, seconds.
+    pub tt_seconds: f64,
+    /// Leaf clusters produced.
+    pub n_clusters: usize,
+}
+
+/// The paper's factor subsets for Table IV, in row order.
+pub fn ablation_factor_sets() -> Vec<Vec<FactorKind>> {
+    use FactorKind::*;
+    vec![
+        vec![Distribution],
+        vec![Spatial],
+        vec![LearningPath],
+        vec![Distribution, Spatial],
+        vec![Distribution, Spatial, LearningPath],
+    ]
+}
+
+fn factor_names(fs: &[FactorKind]) -> Vec<String> {
+    fs.iter()
+        .map(|f| {
+            match f {
+                FactorKind::Distribution => "Sim_d",
+                FactorKind::Spatial => "Sim_s",
+                FactorKind::LearningPath => "Sim_l",
+            }
+            .to_string()
+        })
+        .collect()
+}
+
+/// Runs the clustering-algorithm × clustering-factor ablation
+/// (Table IV on workload 1, Table VI on workload 2).
+pub fn clustering_ablation(workload: &Workload, base: &TrainingConfig) -> Vec<AblationRow> {
+    let mut rows = Vec::new();
+    for (algo, name) in [
+        (PredictionAlgo::Gttaml, "GTMC"),
+        (PredictionAlgo::GttamlGt, "k-means"),
+    ] {
+        for factors in ablation_factor_sets() {
+            let cfg = TrainingConfig {
+                algo,
+                factors: factors.clone(),
+                ..base.clone()
+            };
+            let p = train_predictors(workload, &cfg);
+            rows.push(AblationRow {
+                cluster_algorithm: name.to_string(),
+                factors: factor_names(&factors),
+                rmse: p.overall.rmse_cells,
+                mae: p.overall.mae_cells,
+                mr: p.overall.mr,
+                tt_seconds: p.train_seconds,
+                n_clusters: p.n_clusters,
+            });
+        }
+    }
+    rows
+}
+
+/// One row of the `seq_in`/`seq_out` sweep (Table V / VII).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SeqRow {
+    /// Which parameter was swept ("seq_in" or "seq_out").
+    pub swept: String,
+    /// The swept value.
+    pub value: usize,
+    /// Algorithm name (MAML / CTML / GTTAML-GT / GTTAML).
+    pub algorithm: String,
+    /// RMSE in grid cells.
+    pub rmse: f64,
+    /// MAE in grid cells.
+    pub mae: f64,
+    /// Matching rate.
+    pub mr: f64,
+    /// Training time, seconds.
+    pub tt_seconds: f64,
+}
+
+/// The paper's prediction-algorithm roster, in column order.
+pub fn prediction_algorithms() -> Vec<(PredictionAlgo, &'static str)> {
+    vec![
+        (PredictionAlgo::Maml, "MAML"),
+        (PredictionAlgo::Ctml, "CTML"),
+        (PredictionAlgo::GttamlGt, "GTTAML-GT"),
+        (PredictionAlgo::Gttaml, "GTTAML"),
+    ]
+}
+
+/// Sweeps `seq_in` (with `seq_out` fixed at the base value) and then
+/// `seq_out` (with `seq_in` fixed), training all four algorithms at each
+/// point (Table V / VII).
+///
+/// `workload_for` rebuilds the workload — sequence lengths change the
+/// learning tasks but not the city, so callers usually return the same
+/// workload every time.
+pub fn seq_sweep(
+    workload_for: impl Fn() -> WorkloadConfig,
+    base: &TrainingConfig,
+    seq_ins: &[usize],
+    seq_outs: &[usize],
+) -> Vec<SeqRow> {
+    let workload = workload_for().build();
+    let mut rows = Vec::new();
+    let mut run = |swept: &str, seq_in: usize, seq_out: usize| {
+        for (algo, name) in prediction_algorithms() {
+            let cfg = TrainingConfig {
+                algo,
+                seq_in,
+                seq_out,
+                ..base.clone()
+            };
+            let p = train_predictors(&workload, &cfg);
+            rows.push(SeqRow {
+                swept: swept.to_string(),
+                value: if swept == "seq_in" { seq_in } else { seq_out },
+                algorithm: name.to_string(),
+                rmse: p.overall.rmse_cells,
+                mae: p.overall.mae_cells,
+                mr: p.overall.mr,
+                tt_seconds: p.train_seconds,
+            });
+        }
+    };
+    for &si in seq_ins {
+        run("seq_in", si, base.seq_out);
+    }
+    for &so in seq_outs {
+        run("seq_out", base.seq_in, so);
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::training::LossKind;
+    use tamp_meta::meta_training::MetaConfig;
+    use tamp_sim::{Scale, WorkloadKind};
+
+    fn quick_base() -> TrainingConfig {
+        TrainingConfig {
+            loss: LossKind::Mse,
+            hidden: 5,
+            seq_in: 2,
+            seq_out: 1,
+            meta: MetaConfig {
+                iterations: 1,
+                batch_tasks: 2,
+                ..MetaConfig::default()
+            },
+            path_steps: 2,
+            adapt_steps: 1,
+            seed: 2,
+            ..TrainingConfig::default()
+        }
+    }
+
+    #[test]
+    fn ablation_produces_ten_rows() {
+        let w = WorkloadConfig::new(WorkloadKind::PortoDidi, Scale::tiny(), 17).build();
+        let rows = clustering_ablation(&w, &quick_base());
+        assert_eq!(rows.len(), 10);
+        assert!(rows.iter().all(|r| r.rmse.is_finite() && r.mr >= 0.0));
+        assert_eq!(rows[0].cluster_algorithm, "GTMC");
+        assert_eq!(rows[9].cluster_algorithm, "k-means");
+        assert_eq!(rows[4].factors.len(), 3);
+    }
+
+    #[test]
+    fn seq_sweep_covers_grid() {
+        let rows = seq_sweep(
+            || WorkloadConfig::new(WorkloadKind::PortoDidi, Scale::tiny(), 18),
+            &quick_base(),
+            &[1, 2],
+            &[1],
+        );
+        // (2 seq_in + 1 seq_out points) × 4 algorithms.
+        assert_eq!(rows.len(), 12);
+        let algos: std::collections::HashSet<&str> =
+            rows.iter().map(|r| r.algorithm.as_str()).collect();
+        assert_eq!(algos.len(), 4);
+    }
+}

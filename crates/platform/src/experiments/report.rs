@@ -1,0 +1,65 @@
+//! Experiment output: markdown tables for the console, JSON for
+//! EXPERIMENTS.md bookkeeping.
+
+use serde::Serialize;
+use std::io::Write;
+use std::path::Path;
+
+/// Serialises any row set to pretty JSON at `path`, creating parent
+/// directories as needed.
+pub fn save_json<T: Serialize>(path: &Path, name: &str, rows: &T) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let payload = serde_json::json!({
+        "experiment": name,
+        "crate_version": env!("CARGO_PKG_VERSION"),
+        "rows": rows,
+    });
+    let mut f = std::fs::File::create(path)?;
+    writeln!(f, "{}", serde_json::to_string_pretty(&payload)?)?;
+    Ok(())
+}
+
+/// Prints a GitHub-flavoured markdown table.
+pub fn print_markdown_table(headers: &[&str], rows: &[Vec<String>]) {
+    println!("| {} |", headers.join(" | "));
+    println!("|{}|", headers.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+    for row in rows {
+        println!("| {} |", row.join(" | "));
+    }
+}
+
+/// Formats a float with 4 decimals for table cells.
+pub fn f4(x: f64) -> String {
+    format!("{x:.4}")
+}
+
+/// Formats a float with 1 decimal for table cells (e.g. seconds).
+pub fn f1(x: f64) -> String {
+    format!("{x:.1}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn save_json_round_trips() {
+        let dir = std::env::temp_dir().join("tamp_report_test");
+        let path = dir.join("nested/rows.json");
+        let rows = vec![serde_json::json!({"a": 1})];
+        save_json(&path, "unit", &rows).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let v: serde_json::Value = serde_json::from_str(&text).unwrap();
+        assert_eq!(v["experiment"], "unit");
+        assert_eq!(v["rows"][0]["a"], 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(f4(0.123456), "0.1235");
+        assert_eq!(f1(12.34), "12.3");
+    }
+}

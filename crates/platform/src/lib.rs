@@ -1,0 +1,34 @@
+//! # tamp-platform
+//!
+//! The batch-mode spatial-crowdsourcing platform simulator (Figure 1's
+//! loop) and the experiment drivers that regenerate the paper's tables
+//! and figures.
+//!
+//! * [`acceptance`] — the worker's accept/reject decision against their
+//!   *real* itinerary (detour limit + task deadline), with the real
+//!   detour cost `d_c` of accepted pairs.
+//! * [`engine`] — the 2-minute batch loop: collect live tasks, snapshot
+//!   worker views (observed history → model rollout), run an assignment
+//!   algorithm, simulate acceptance, carry rejected/unassigned tasks to
+//!   the next batch, track busy workers.
+//! * [`training`] — the offline stage: learning-task construction,
+//!   MAML / CTML / GTTAML-GT / GTTAML training, per-worker adaptation,
+//!   validation matching rates, cold-start handling for new workers.
+//! * [`metrics`] — the paper's four assignment metrics (completion
+//!   ratio, rejection ratio, worker cost, running time).
+//! * [`experiments`] — one driver per table/figure family, emitting both
+//!   human-readable rows and machine-readable JSON.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod acceptance;
+pub mod engine;
+pub mod experiments;
+pub mod metrics;
+pub mod training;
+
+pub use engine::{run_assignment, run_assignment_traced, AssignmentAlgo, EngineConfig};
+pub use metrics::BatchRecord;
+pub use metrics::AssignmentMetrics;
+pub use training::{train_predictors, LossKind, PredictionAlgo, TrainedPredictors, TrainingConfig};

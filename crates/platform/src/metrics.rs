@@ -1,0 +1,107 @@
+//! The paper's four assignment metrics (Section IV-A).
+
+use serde::{Deserialize, Serialize};
+
+/// One batch window's snapshot (produced by
+/// [`crate::engine::run_assignment_traced`]).
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct BatchRecord {
+    /// End of the batch window, minutes.
+    pub t_min: f64,
+    /// Live tasks entering the matcher.
+    pub pending: usize,
+    /// Idle workers snapshotted for this batch.
+    pub idle_workers: usize,
+    /// Pairs the assignment algorithm proposed.
+    pub proposed: usize,
+    /// Proposals the workers accepted (tasks completed).
+    pub accepted: usize,
+    /// Proposals the workers rejected.
+    pub rejected: usize,
+}
+
+/// Aggregate outcome of one simulated test day.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct AssignmentMetrics {
+    /// Total tasks published over the day.
+    pub tasks_total: usize,
+    /// Assignments proposed across all batches, `Σ|M|`.
+    pub assigned_total: usize,
+    /// Assignments accepted and completed, `Σ|M'|`.
+    pub completed: usize,
+    /// Assignments rejected by workers.
+    pub rejected: usize,
+    /// Sum of real detours of completed pairs, km.
+    pub total_detour_km: f64,
+    /// Wall-clock seconds spent inside the assignment algorithm.
+    pub algo_seconds: f64,
+}
+
+impl AssignmentMetrics {
+    /// Completion ratio: completed / total tasks.
+    pub fn completion_ratio(&self) -> f64 {
+        if self.tasks_total == 0 {
+            0.0
+        } else {
+            self.completed as f64 / self.tasks_total as f64
+        }
+    }
+
+    /// Rejection ratio `(|M| − |M'|)/|M|` (Definition 5).
+    pub fn rejection_ratio(&self) -> f64 {
+        if self.assigned_total == 0 {
+            0.0
+        } else {
+            self.rejected as f64 / self.assigned_total as f64
+        }
+    }
+
+    /// Average worker cost: mean real detour of completed pairs, km.
+    pub fn avg_worker_cost_km(&self) -> f64 {
+        if self.completed == 0 {
+            0.0
+        } else {
+            self.total_detour_km / self.completed as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios() {
+        let m = AssignmentMetrics {
+            tasks_total: 100,
+            assigned_total: 80,
+            completed: 60,
+            rejected: 20,
+            total_detour_km: 90.0,
+            algo_seconds: 1.0,
+        };
+        assert!((m.completion_ratio() - 0.6).abs() < 1e-12);
+        assert!((m.rejection_ratio() - 0.25).abs() < 1e-12);
+        assert!((m.avg_worker_cost_km() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_denominators_are_safe() {
+        let m = AssignmentMetrics::default();
+        assert_eq!(m.completion_ratio(), 0.0);
+        assert_eq!(m.rejection_ratio(), 0.0);
+        assert_eq!(m.avg_worker_cost_km(), 0.0);
+    }
+
+    #[test]
+    fn counts_are_consistent() {
+        let m = AssignmentMetrics {
+            tasks_total: 10,
+            assigned_total: 8,
+            completed: 5,
+            rejected: 3,
+            ..Default::default()
+        };
+        assert_eq!(m.completed + m.rejected, m.assigned_total);
+    }
+}

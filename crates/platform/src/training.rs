@@ -1,0 +1,507 @@
+//! The offline training stage (Figure 1, "offline training").
+//!
+//! Builds one learning task per worker, trains the chosen prediction
+//! algorithm (MAML / CTML / GTTAML-GT / GTTAML), adapts a personal model
+//! per worker, and scores each worker's validation matching rate — the
+//! `MR` the PPI algorithm consumes at assignment time.
+//!
+//! Cold-start workers (one day of history) follow the paper's new-worker
+//! path: their model is initialised from the most similar tree node (or
+//! cluster centroid for CTML) before adaptation.
+
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+use tamp_core::rng::{rng_for, streams};
+use tamp_meta::cold_start::best_init_node;
+use tamp_meta::ctml::{ctml_train, task_features, CtmlConfig};
+use tamp_meta::eval::{evaluate_model, PredictionMetrics};
+use tamp_meta::gtmc::{build_tree, GtmcConfig};
+use tamp_meta::maml::{adapt, gradient_paths, maml_train};
+use tamp_meta::meta_training::MetaConfig;
+use tamp_meta::similarity::{build_sim_matrix, FactorKind};
+use tamp_meta::taml::{taml_train, TamlConfig};
+use tamp_meta::LearningTask;
+use tamp_nn::seq2seq::CellKind;
+use tamp_nn::{Loss, MseLoss, Seq2Seq, Seq2SeqConfig, TaskDensityMap, TaskOrientedLoss, WeightParams};
+use tamp_sim::Workload;
+
+/// Which prediction algorithm trains the worker models (the roster of
+/// Section IV-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PredictionAlgo {
+    /// Plain MAML \[15\]: one shared initialisation.
+    Maml,
+    /// CTML \[41\]: soft k-means over data features ⊕ learning paths.
+    Ctml,
+    /// GTTAML-GT: multi-level clustering without the game refinement.
+    GttamlGt,
+    /// GTTAML: the paper's full method.
+    Gttaml,
+}
+
+/// Which loss trains the models: plain MSE (`*-loss` variants) or the
+/// task-assignment-oriented loss of Eq. 6–7.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LossKind {
+    /// Plain MSE.
+    Mse,
+    /// Task-assignment-oriented weighted MSE (Eq. 6–7).
+    TaskOriented,
+}
+
+/// Offline-stage configuration.
+#[derive(Debug, Clone)]
+pub struct TrainingConfig {
+    /// Prediction algorithm.
+    pub algo: PredictionAlgo,
+    /// Training loss.
+    pub loss: LossKind,
+    /// Input window length (Definition 3).
+    pub seq_in: usize,
+    /// Output window length.
+    pub seq_out: usize,
+    /// Recurrent hidden width.
+    pub hidden: usize,
+    /// Recurrent cell family (LSTM is the paper's instantiation).
+    pub cell: CellKind,
+    /// Meta-training hyper-parameters.
+    pub meta: MetaConfig,
+    /// GTMC clustering configuration (GTTAML variants).
+    pub gtmc: GtmcConfig,
+    /// Ordered similarity factors for GTMC (Table IV's ablation knob).
+    pub factors: Vec<FactorKind>,
+    /// Gradient-path probe length for `Sim_l` / CTML features.
+    pub path_steps: usize,
+    /// Per-worker adaptation steps after meta-training.
+    pub adapt_steps: usize,
+    /// Per-worker adaptation rate.
+    pub adapt_beta: f64,
+    /// Matching-rate radius `a` in km (Definition 7).
+    pub a_km: f64,
+    /// Weighted-loss hyper-parameters (Eq. 7).
+    pub weight_params: WeightParams,
+    /// Number of soft clusters for CTML.
+    pub ctml_k: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for TrainingConfig {
+    fn default() -> Self {
+        Self {
+            algo: PredictionAlgo::Gttaml,
+            loss: LossKind::TaskOriented,
+            seq_in: 5,
+            seq_out: 1,
+            hidden: 16,
+            cell: CellKind::Lstm,
+            meta: MetaConfig::default(),
+            gtmc: GtmcConfig::default(),
+            factors: FactorKind::PAPER_ORDER.to_vec(),
+            path_steps: 3,
+            adapt_steps: 8,
+            adapt_beta: 0.15,
+            a_km: 0.4,
+            weight_params: WeightParams::default(),
+            ctml_k: 4,
+            seed: 0,
+        }
+    }
+}
+
+/// Per-worker trained models plus validation metrics.
+#[derive(Debug, Clone)]
+pub struct TrainedPredictors {
+    /// One adapted model per worker, indexed like `workload.workers`.
+    pub models: Vec<Seq2Seq>,
+    /// Validation matching rate per worker.
+    pub mrs: Vec<f64>,
+    /// Per-worker validation metrics.
+    pub per_worker: Vec<PredictionMetrics>,
+    /// Point-weighted overall metrics (the paper's RMSE/MAE/MR row).
+    pub overall: PredictionMetrics,
+    /// Wall-clock seconds of the offline stage (the paper's TT).
+    pub train_seconds: f64,
+    /// Number of leaf clusters the algorithm produced (diagnostics).
+    pub n_clusters: usize,
+    /// Output horizon the models were trained with.
+    pub seq_out: usize,
+}
+
+impl TrainedPredictors {
+    /// Serialises the trained predictor set (models, matching rates,
+    /// metrics) to JSON at `path`, so the offline stage can be trained
+    /// once and reused across many online experiments.
+    pub fn save_json(&self, path: &std::path::Path) -> std::io::Result<()> {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        let payload = serde_json::json!({
+            "models": self.models,
+            "mrs": self.mrs,
+            "per_worker": self.per_worker,
+            "overall": self.overall,
+            "train_seconds": self.train_seconds,
+            "n_clusters": self.n_clusters,
+            "seq_out": self.seq_out,
+        });
+        std::fs::write(path, serde_json::to_string(&payload)?)
+    }
+
+    /// Loads a predictor set saved by [`TrainedPredictors::save_json`].
+    pub fn load_json(path: &std::path::Path) -> std::io::Result<Self> {
+        let text = std::fs::read_to_string(path)?;
+        let v: serde_json::Value = serde_json::from_str(&text)?;
+        let parse = |field: &str| -> std::io::Result<serde_json::Value> {
+            v.get(field)
+                .cloned()
+                .ok_or_else(|| std::io::Error::other(format!("missing field {field}")))
+        };
+        Ok(Self {
+            models: serde_json::from_value(parse("models")?)?,
+            mrs: serde_json::from_value(parse("mrs")?)?,
+            per_worker: serde_json::from_value(parse("per_worker")?)?,
+            overall: serde_json::from_value(parse("overall")?)?,
+            train_seconds: serde_json::from_value(parse("train_seconds")?)?,
+            n_clusters: serde_json::from_value(parse("n_clusters")?)?,
+            seq_out: serde_json::from_value(parse("seq_out")?)?,
+        })
+    }
+}
+
+/// Matching rate assumed for workers without validation data.
+const DEFAULT_MR: f64 = 0.2;
+
+/// Builds the per-worker learning tasks of a workload.
+pub fn build_learning_tasks(workload: &Workload, cfg: &TrainingConfig) -> Vec<LearningTask> {
+    workload
+        .workers
+        .iter()
+        .enumerate()
+        .map(|(i, sw)| {
+            let mut rng = rng_for(cfg.seed, streams::META + 500 + i as u64);
+            LearningTask::from_history(
+                sw.worker.id,
+                &sw.history_days,
+                sw.poi_seq.clone(),
+                &workload.grid,
+                cfg.seq_in,
+                cfg.seq_out,
+                0.7,
+                sw.worker.is_new,
+                &mut rng,
+            )
+        })
+        .collect()
+}
+
+fn make_loss(workload: &Workload, cfg: &TrainingConfig) -> Box<dyn Loss> {
+    match cfg.loss {
+        LossKind::Mse => Box::new(MseLoss),
+        LossKind::TaskOriented => {
+            let density = TaskDensityMap::build(workload.grid, &workload.historical_task_locs);
+            Box::new(TaskOrientedLoss::new(density, cfg.weight_params))
+        }
+    }
+}
+
+/// Runs the offline stage end to end.
+pub fn train_predictors(workload: &Workload, cfg: &TrainingConfig) -> TrainedPredictors {
+    let start = Instant::now();
+    let tasks = build_learning_tasks(workload, cfg);
+    let loss = make_loss(workload, cfg);
+    let mut rng = rng_for(cfg.seed, streams::WEIGHTS);
+    let template = Seq2Seq::new(
+        Seq2SeqConfig {
+            hidden: cfg.hidden,
+            cell: cfg.cell,
+        },
+        &mut rng,
+    );
+    let mut meta_rng = rng_for(cfg.seed, streams::META);
+
+    // Per-worker initialisation θ according to the algorithm.
+    let (inits, n_clusters): (Vec<Vec<f64>>, usize) = match cfg.algo {
+        PredictionAlgo::Maml => {
+            let (theta, _) = maml_train(&tasks, &template, loss.as_ref(), &cfg.meta, &mut meta_rng);
+            (vec![theta; tasks.len()], 1)
+        }
+        PredictionAlgo::Ctml => {
+            let paths = gradient_paths(
+                &tasks,
+                &template,
+                loss.as_ref(),
+                cfg.path_steps,
+                cfg.adapt_beta,
+                cfg.meta.adapt_batch,
+                &mut meta_rng,
+            );
+            let ctml_cfg = CtmlConfig {
+                k: cfg.ctml_k,
+                path_steps: cfg.path_steps,
+                path_beta: cfg.adapt_beta,
+                meta: cfg.meta,
+                ..CtmlConfig::default()
+            };
+            let model = ctml_train(&tasks, &paths, &template, loss.as_ref(), &ctml_cfg, &mut meta_rng);
+            let inits = tasks
+                .iter()
+                .zip(&paths)
+                .map(|(t, p)| {
+                    // Features must be normalised like training did; assign
+                    // via raw features is an approximation the centroids
+                    // tolerate (z-scores are monotone per column).
+                    model.theta_for(&normalised_like(&tasks, &paths, task_features(t, p))).to_vec()
+                })
+                .collect();
+            let k = model.clusters.iter().filter(|c| !c.is_empty()).count();
+            (inits, k)
+        }
+        PredictionAlgo::GttamlGt | PredictionAlgo::Gttaml => {
+            let paths_needed = cfg.factors.contains(&FactorKind::LearningPath);
+            let paths = if paths_needed {
+                Some(gradient_paths(
+                    &tasks,
+                    &template,
+                    loss.as_ref(),
+                    cfg.path_steps,
+                    cfg.adapt_beta,
+                    cfg.meta.adapt_batch,
+                    &mut meta_rng,
+                ))
+            } else {
+                None
+            };
+            let sims: Vec<_> = cfg
+                .factors
+                .iter()
+                .map(|f| build_sim_matrix(*f, &tasks, paths.as_deref()))
+                .collect();
+            let mut gtmc = cfg.gtmc.clone();
+            gtmc.use_game = matches!(cfg.algo, PredictionAlgo::Gttaml);
+            gtmc.thresholds.resize(sims.len(), *gtmc.thresholds.last().unwrap_or(&0.75));
+            gtmc.thresholds.truncate(sims.len());
+            gtmc.seed = cfg.seed;
+            let mut tree = build_tree(tasks.len(), &sims, &gtmc, template.params());
+            let tcfg = TamlConfig {
+                meta: cfg.meta,
+                parent_blend: 0.5,
+            };
+            taml_train(&mut tree, &tasks, &template, loss.as_ref(), &tcfg, &mut meta_rng);
+
+            let inits = tasks
+                .iter()
+                .enumerate()
+                .map(|(i, t)| {
+                    if t.is_trainable() && !t.is_new {
+                        if let Some(leaf) = tree.leaf_of_task(i) {
+                            return tree.node(leaf).theta.clone();
+                        }
+                    }
+                    // Cold start: most similar node in the tree.
+                    let node = best_init_node(&tree, &tasks, t);
+                    tree.node(node).theta.clone()
+                })
+                .collect();
+            (inits, tree.leaves().len())
+        }
+    };
+
+    // Per-worker adaptation + validation.
+    let n = tasks.len();
+    let mut models: Vec<Seq2Seq> = Vec::with_capacity(n);
+    let mut per_worker: Vec<PredictionMetrics> = Vec::with_capacity(n);
+    // Worker adaptation is embarrassingly parallel; shard across threads.
+    let n_threads = std::thread::available_parallelism().map_or(4, |p| p.get()).min(8);
+    let chunk = n.div_ceil(n_threads.max(1));
+    let mut shards: Vec<Vec<(usize, Seq2Seq, PredictionMetrics)>> = Vec::new();
+    crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (shard_id, idxs) in (0..n).collect::<Vec<_>>().chunks(chunk.max(1)).enumerate() {
+            let idxs = idxs.to_vec();
+            let tasks = &tasks;
+            let inits = &inits;
+            let template = &template;
+            let loss = loss.as_ref();
+            let grid = workload.grid;
+            handles.push(scope.spawn(move |_| {
+                let mut out = Vec::with_capacity(idxs.len());
+                let mut rng = rng_for(cfg.seed, streams::META + 9000 + shard_id as u64);
+                for i in idxs {
+                    // Final per-worker adaptation mirrors the inner loop
+                    // the meta-init was optimised for: SGD at β with the
+                    // meta adapt-batch size (Section III-B: "a few rounds
+                    // of adaptive training").
+                    let model = adapt(
+                        &inits[i],
+                        &tasks[i],
+                        template,
+                        loss,
+                        cfg.adapt_steps,
+                        cfg.meta.beta,
+                        cfg.meta.adapt_batch,
+                        &mut rng,
+                    );
+                    let metrics = evaluate_model(&model, &tasks[i].query, &grid, cfg.a_km);
+                    out.push((i, model, metrics));
+                }
+                out
+            }));
+        }
+        shards = handles.into_iter().map(|h| h.join().expect("shard panicked")).collect();
+    })
+    .expect("crossbeam scope");
+
+    let mut indexed: Vec<(usize, Seq2Seq, PredictionMetrics)> =
+        shards.into_iter().flatten().collect();
+    indexed.sort_by_key(|(i, _, _)| *i);
+    for (_, model, metrics) in indexed {
+        models.push(model);
+        per_worker.push(metrics);
+    }
+
+    let mrs: Vec<f64> = per_worker
+        .iter()
+        .map(|m| if m.n_points == 0 { DEFAULT_MR } else { m.mr })
+        .collect();
+    let overall = PredictionMetrics::merge(&per_worker);
+
+    TrainedPredictors {
+        models,
+        mrs,
+        per_worker,
+        overall,
+        train_seconds: start.elapsed().as_secs_f64(),
+        n_clusters,
+        seq_out: cfg.seq_out,
+    }
+}
+
+/// Re-applies the z-score normalisation CTML used at training time so a
+/// raw feature vector can be routed to the right centroid. Falls back to
+/// the raw features when the population is degenerate.
+fn normalised_like(tasks: &[LearningTask], paths: &[Vec<Vec<f64>>], raw: Vec<f64>) -> Vec<f64> {
+    let all: Vec<Vec<f64>> = tasks
+        .iter()
+        .zip(paths)
+        .map(|(t, p)| task_features(t, p))
+        .collect();
+    if all.is_empty() {
+        return raw;
+    }
+    let dim = raw.len();
+    let n = all.len() as f64;
+    let mut out = raw;
+    for c in 0..dim {
+        let mean = all.iter().map(|f| f[c]).sum::<f64>() / n;
+        let var = all.iter().map(|f| (f[c] - mean).powi(2)).sum::<f64>() / n;
+        let sd = var.sqrt().max(1e-9);
+        out[c] = (out[c] - mean) / sd;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tamp_sim::{Scale, WorkloadConfig, WorkloadKind};
+
+    fn quick_cfg(algo: PredictionAlgo) -> TrainingConfig {
+        TrainingConfig {
+            algo,
+            loss: LossKind::Mse,
+            hidden: 6,
+            seq_in: 3,
+            seq_out: 1,
+            meta: MetaConfig {
+                iterations: 2,
+                batch_tasks: 2,
+                ..MetaConfig::default()
+            },
+            path_steps: 2,
+            adapt_steps: 2,
+            seed: 5,
+            ..TrainingConfig::default()
+        }
+    }
+
+    fn tiny_workload() -> tamp_sim::Workload {
+        WorkloadConfig::new(WorkloadKind::PortoDidi, Scale::tiny(), 3).build()
+    }
+
+    #[test]
+    fn learning_tasks_cover_all_workers() {
+        let w = tiny_workload();
+        let tasks = build_learning_tasks(&w, &quick_cfg(PredictionAlgo::Maml));
+        assert_eq!(tasks.len(), w.workers.len());
+        // Most workers with full history must be trainable.
+        let trainable = tasks.iter().filter(|t| t.is_trainable()).count();
+        assert!(trainable >= w.workers.len() / 2);
+    }
+
+    #[test]
+    fn all_algorithms_produce_complete_predictors() {
+        let w = tiny_workload();
+        for algo in [
+            PredictionAlgo::Maml,
+            PredictionAlgo::Ctml,
+            PredictionAlgo::GttamlGt,
+            PredictionAlgo::Gttaml,
+        ] {
+            let p = train_predictors(&w, &quick_cfg(algo));
+            assert_eq!(p.models.len(), w.workers.len(), "{algo:?}");
+            assert_eq!(p.mrs.len(), w.workers.len());
+            assert!(p.mrs.iter().all(|&m| (0.0..=1.0).contains(&m)));
+            assert!(p.overall.rmse_cells.is_finite());
+            assert!(p.train_seconds >= 0.0);
+            assert!(p.n_clusters >= 1, "{algo:?} clusters");
+        }
+    }
+
+    #[test]
+    fn task_oriented_loss_trains_too() {
+        let w = tiny_workload();
+        let cfg = TrainingConfig {
+            loss: LossKind::TaskOriented,
+            ..quick_cfg(PredictionAlgo::Gttaml)
+        };
+        let p = train_predictors(&w, &cfg);
+        assert_eq!(p.models.len(), w.workers.len());
+        assert!(p.overall.rmse_cells.is_finite());
+    }
+
+    #[test]
+    fn predictors_json_round_trip() {
+        let w = tiny_workload();
+        let p = train_predictors(&w, &quick_cfg(PredictionAlgo::Maml));
+        let path = std::env::temp_dir().join("tamp_predictors_test/p.json");
+        p.save_json(&path).unwrap();
+        let back = TrainedPredictors::load_json(&path).unwrap();
+        assert_eq!(back.models.len(), p.models.len());
+        assert_eq!(back.n_clusters, p.n_clusters);
+        // JSON floats can differ in the last ulp; compare with tolerance.
+        for (a, b) in back.mrs.iter().zip(&p.mrs) {
+            assert!((a - b).abs() < 1e-12);
+        }
+        // A reloaded model predicts (numerically) identically.
+        let input = [[0.3, 0.4], [0.35, 0.45]];
+        for (a, b) in back.models[0]
+            .predict(&input, 2)
+            .iter()
+            .zip(p.models[0].predict(&input, 2))
+        {
+            assert!((a[0] - b[0]).abs() < 1e-9 && (a[1] - b[1]).abs() < 1e-9);
+        }
+        std::fs::remove_dir_all(path.parent().unwrap()).ok();
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let w = tiny_workload();
+        let cfg = quick_cfg(PredictionAlgo::Gttaml);
+        let a = train_predictors(&w, &cfg);
+        let b = train_predictors(&w, &cfg);
+        assert_eq!(a.models[0].params(), b.models[0].params());
+        assert_eq!(a.mrs, b.mrs);
+    }
+}

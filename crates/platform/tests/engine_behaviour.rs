@@ -1,0 +1,175 @@
+//! Behavioural tests of the batch engine's platform mechanics: refusal
+//! memory, rejection cooldown, stale location reports, and busy-time
+//! accounting.
+
+use tamp_meta::meta_training::MetaConfig;
+use tamp_platform::engine::n_batches;
+use tamp_platform::{
+    run_assignment, train_predictors, AssignmentAlgo, EngineConfig, LossKind, PredictionAlgo,
+    TrainingConfig,
+};
+use tamp_sim::{Scale, Workload, WorkloadConfig, WorkloadKind};
+
+fn tiny_workload(seed: u64) -> Workload {
+    WorkloadConfig::new(WorkloadKind::PortoDidi, Scale::tiny(), seed).build()
+}
+
+fn quick_training(seed: u64) -> TrainingConfig {
+    TrainingConfig {
+        algo: PredictionAlgo::Maml,
+        loss: LossKind::Mse,
+        hidden: 6,
+        seq_in: 3,
+        meta: MetaConfig {
+            iterations: 2,
+            ..MetaConfig::default()
+        },
+        adapt_steps: 2,
+        seed,
+        ..TrainingConfig::default()
+    }
+}
+
+fn engine() -> EngineConfig {
+    EngineConfig {
+        seq_in: 3,
+        ..EngineConfig::default()
+    }
+}
+
+/// A worker is never asked twice about the same task, so the number of
+/// proposals involving any (task, worker) pair is at most 1; hence
+/// `assigned_total ≤ tasks × workers`.
+#[test]
+fn refusal_memory_bounds_total_proposals() {
+    let w = tiny_workload(301);
+    let p = train_predictors(&w, &quick_training(301));
+    let m = run_assignment(&w, Some(&p), AssignmentAlgo::Lb, &engine());
+    assert!(
+        m.assigned_total <= w.tasks.len() * w.workers.len(),
+        "{} proposals exceed the pair budget",
+        m.assigned_total
+    );
+}
+
+/// A longer rejection cooldown can only reduce (or keep) the number of
+/// proposals made — cooled-down workers are out of the pool.
+#[test]
+fn cooldown_reduces_proposal_volume() {
+    let w = tiny_workload(302);
+    let p = train_predictors(&w, &quick_training(302));
+    let short = run_assignment(
+        &w,
+        Some(&p),
+        AssignmentAlgo::Km,
+        &EngineConfig {
+            rejection_cooldown_min: 0.0,
+            ..engine()
+        },
+    );
+    let long = run_assignment(
+        &w,
+        Some(&p),
+        AssignmentAlgo::Km,
+        &EngineConfig {
+            rejection_cooldown_min: 60.0,
+            ..engine()
+        },
+    );
+    assert!(
+        long.assigned_total <= short.assigned_total,
+        "long cooldown proposed more: {} vs {}",
+        long.assigned_total,
+        short.assigned_total
+    );
+}
+
+/// The UB oracle is insensitive to prediction-related knobs — it reads
+/// real trajectories.
+#[test]
+fn ub_is_invariant_to_prediction_horizon() {
+    let w = tiny_workload(303);
+    let a = run_assignment(
+        &w,
+        None,
+        AssignmentAlgo::Ub,
+        &EngineConfig {
+            predict_horizon: 1,
+            ..engine()
+        },
+    );
+    let b = run_assignment(
+        &w,
+        None,
+        AssignmentAlgo::Ub,
+        &EngineConfig {
+            predict_horizon: 8,
+            ..engine()
+        },
+    );
+    assert_eq!(a.completed, b.completed);
+    assert_eq!(a.assigned_total, b.assigned_total);
+}
+
+/// Wider batch windows mean fewer batches.
+#[test]
+fn batch_window_controls_batch_count() {
+    let w = tiny_workload(304);
+    let two = n_batches(&w, &engine());
+    let five = n_batches(
+        &w,
+        &EngineConfig {
+            batch_window_min: 5.0,
+            ..engine()
+        },
+    );
+    assert!(five < two);
+    assert_eq!(two, (w.horizon.as_f64() / 2.0).ceil() as usize);
+}
+
+/// Completed tasks never exceed published tasks, and detour accounting
+/// stays within the per-task limit × completions.
+#[test]
+fn aggregate_detour_is_bounded() {
+    let w = tiny_workload(305);
+    let p = train_predictors(&w, &quick_training(305));
+    for algo in [AssignmentAlgo::Ppi, AssignmentAlgo::Km, AssignmentAlgo::Lb] {
+        let m = run_assignment(&w, Some(&p), algo, &engine());
+        let limit = w.workers[0].worker.detour_limit_km;
+        assert!(m.total_detour_km <= limit * m.completed as f64 + 1e-9, "{algo:?}");
+    }
+}
+
+/// The traced run returns identical aggregates to the untraced run, and
+/// the per-batch records sum to them.
+#[test]
+fn trace_is_consistent_with_aggregates() {
+    use tamp_platform::{run_assignment_traced, BatchRecord};
+    let w = tiny_workload(306);
+    let p = train_predictors(&w, &quick_training(306));
+    let plain = run_assignment(&w, Some(&p), AssignmentAlgo::Ppi, &engine());
+    let mut trace: Vec<BatchRecord> = Vec::new();
+    let traced = run_assignment_traced(&w, Some(&p), AssignmentAlgo::Ppi, &engine(), &mut trace);
+    assert_eq!(plain.completed, traced.completed);
+    assert_eq!(plain.assigned_total, traced.assigned_total);
+    assert_eq!(plain.rejected, traced.rejected);
+
+    assert_eq!(trace.len(), n_batches(&w, &engine()));
+    let accepted: usize = trace.iter().map(|r| r.accepted).sum();
+    let rejected: usize = trace.iter().map(|r| r.rejected).sum();
+    let proposed: usize = trace.iter().map(|r| r.proposed).sum();
+    assert_eq!(accepted, traced.completed);
+    assert_eq!(rejected, traced.rejected);
+    assert_eq!(proposed, traced.assigned_total);
+    // Monotone time and bounded pools.
+    for pair in trace.windows(2) {
+        assert!(pair[0].t_min < pair[1].t_min);
+    }
+    for r in &trace {
+        assert!(r.idle_workers <= w.workers.len());
+        // A matching can't exceed either side of the bipartite graph.
+        assert!(r.proposed <= r.pending);
+        assert!(r.proposed <= r.idle_workers);
+        assert_eq!(r.accepted + r.rejected, r.proposed);
+    }
+}

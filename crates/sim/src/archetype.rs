@@ -1,0 +1,192 @@
+//! Latent mobility archetypes.
+//!
+//! Each synthetic worker belongs to one archetype that shapes their daily
+//! routine. Archetypes are the ground-truth cluster structure the
+//! meta-learner is supposed to discover — the paper's Challenge I observes
+//! that worker mobility patterns vary systematically between workers, and
+//! its clustering similarities (`Sim_d`, `Sim_s`, `Sim_l`) all key off
+//! such differences.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use tamp_core::{Grid, Point};
+
+/// The latent mobility pattern of a worker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ArchetypeKind {
+    /// Home → work in the morning, work → home in the evening, with long
+    /// dwells. Highly predictable.
+    Commuter,
+    /// Repeated loops through a handful of retail/food stops (couriers,
+    /// delivery riders). Predictable but busier.
+    CourierLoop,
+    /// Random waypoints across the whole city (taxis between fares). The
+    /// hardest pattern to predict.
+    Roamer,
+    /// Short errands inside one neighbourhood.
+    Localized,
+}
+
+impl ArchetypeKind {
+    /// All archetypes in stable order.
+    pub const ALL: [ArchetypeKind; 4] = [
+        ArchetypeKind::Commuter,
+        ArchetypeKind::CourierLoop,
+        ArchetypeKind::Roamer,
+        ArchetypeKind::Localized,
+    ];
+
+    /// Stable index within [`ArchetypeKind::ALL`].
+    pub fn index(self) -> usize {
+        Self::ALL.iter().position(|a| *a == self).expect("in ALL")
+    }
+
+    /// Standard deviation of the per-sample observation noise, in km.
+    pub fn noise_km(self) -> f64 {
+        match self {
+            ArchetypeKind::Commuter => 0.08,
+            ArchetypeKind::CourierLoop => 0.1,
+            ArchetypeKind::Roamer => 0.2,
+            ArchetypeKind::Localized => 0.06,
+        }
+    }
+
+    /// Mean dwell at an anchor, in time units.
+    pub fn dwell_units(self) -> f64 {
+        match self {
+            ArchetypeKind::Commuter => 9.0,
+            ArchetypeKind::CourierLoop => 1.0,
+            ArchetypeKind::Roamer => 1.5,
+            ArchetypeKind::Localized => 3.0,
+        }
+    }
+
+    /// Number of anchor locations the worker's day revolves around.
+    pub fn n_anchors(self, rng: &mut impl Rng) -> usize {
+        match self {
+            ArchetypeKind::Commuter => 2,
+            ArchetypeKind::CourierLoop => rng.gen_range(4..=6),
+            ArchetypeKind::Roamer => rng.gen_range(5..=8),
+            ArchetypeKind::Localized => rng.gen_range(2..=4),
+        }
+    }
+}
+
+/// A worker's realised archetype: the latent kind plus the personal
+/// anchor locations their routine visits.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WorkerPersona {
+    /// The latent pattern.
+    pub kind: ArchetypeKind,
+    /// Personal anchor locations (home, work, regular stops...).
+    pub anchors: Vec<Point>,
+}
+
+impl WorkerPersona {
+    /// Samples a persona of the given kind inside the grid.
+    ///
+    /// Commuter homes are drawn from the western residential half and
+    /// workplaces from the eastern office band so the population exhibits
+    /// a realistic shared flow; localized workers pick a neighbourhood
+    /// centre and tight satellites.
+    pub fn sample(kind: ArchetypeKind, grid: &Grid, rng: &mut impl Rng) -> Self {
+        let w = grid.width_km();
+        let h = grid.height_km();
+        let n = kind.n_anchors(rng);
+        let anchors = match kind {
+            ArchetypeKind::Commuter => {
+                let home = Point::new(rng.gen_range(0.05 * w..0.45 * w), rng.gen_range(0.1 * h..0.9 * h));
+                let work = Point::new(rng.gen_range(0.55 * w..0.95 * w), rng.gen_range(0.2 * h..0.8 * h));
+                vec![home, work]
+            }
+            ArchetypeKind::CourierLoop => {
+                // Stops scattered around a depot in the central band.
+                let depot = Point::new(rng.gen_range(0.3 * w..0.7 * w), rng.gen_range(0.3 * h..0.7 * h));
+                let mut stops = vec![depot];
+                for _ in 1..n {
+                    stops.push(grid.clamp(Point::new(
+                        depot.x + rng.gen_range(-0.3 * w..0.3 * w),
+                        depot.y + rng.gen_range(-0.35 * h..0.35 * h),
+                    )));
+                }
+                stops
+            }
+            ArchetypeKind::Roamer => (0..n)
+                .map(|_| Point::new(rng.gen_range(0.0..w), rng.gen_range(0.0..h)))
+                .collect(),
+            ArchetypeKind::Localized => {
+                let center = Point::new(rng.gen_range(0.1 * w..0.9 * w), rng.gen_range(0.1 * h..0.9 * h));
+                let mut stops = vec![center];
+                for _ in 1..n {
+                    stops.push(grid.clamp(Point::new(
+                        center.x + rng.gen_range(-1.2..1.2),
+                        center.y + rng.gen_range(-1.2..1.2),
+                    )));
+                }
+                stops
+            }
+        };
+        Self { kind, anchors }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tamp_core::rng::rng_for;
+
+    #[test]
+    fn indexes_are_stable() {
+        for (i, a) in ArchetypeKind::ALL.iter().enumerate() {
+            assert_eq!(a.index(), i);
+        }
+    }
+
+    #[test]
+    fn personas_stay_in_grid() {
+        let grid = Grid::PAPER;
+        let mut rng = rng_for(5, 0);
+        for kind in ArchetypeKind::ALL {
+            for _ in 0..50 {
+                let p = WorkerPersona::sample(kind, &grid, &mut rng);
+                assert!(!p.anchors.is_empty());
+                for a in &p.anchors {
+                    assert!(grid.contains(*a), "{kind:?} anchor {a:?} outside grid");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn commuter_flows_west_to_east() {
+        let grid = Grid::PAPER;
+        let mut rng = rng_for(6, 0);
+        for _ in 0..20 {
+            let p = WorkerPersona::sample(ArchetypeKind::Commuter, &grid, &mut rng);
+            assert_eq!(p.anchors.len(), 2);
+            assert!(p.anchors[0].x < p.anchors[1].x, "home west of work");
+        }
+    }
+
+    #[test]
+    fn localized_anchors_are_tight() {
+        let grid = Grid::PAPER;
+        let mut rng = rng_for(7, 0);
+        for _ in 0..20 {
+            let p = WorkerPersona::sample(ArchetypeKind::Localized, &grid, &mut rng);
+            let c = p.anchors[0];
+            for a in &p.anchors[1..] {
+                assert!(c.dist(*a) < 2.5, "satellite too far: {}", c.dist(*a));
+            }
+        }
+    }
+
+    #[test]
+    fn roamer_noise_is_highest() {
+        let noisiest = ArchetypeKind::ALL
+            .iter()
+            .max_by(|a, b| a.noise_km().partial_cmp(&b.noise_km()).unwrap())
+            .unwrap();
+        assert_eq!(*noisiest, ArchetypeKind::Roamer);
+    }
+}

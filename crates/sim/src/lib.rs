@@ -1,0 +1,33 @@
+//! # tamp-sim
+//!
+//! Synthetic mobility and spatial-task workloads standing in for the
+//! paper's datasets (Section IV-A, Table II), which are not shippable:
+//! Porto taxi trajectories + Didi pick-up orders (workload 1) and Gowalla
+//! check-ins + Foursquare venues (workload 2).
+//!
+//! The generators preserve the two properties the paper's method actually
+//! exploits:
+//!
+//! 1. **Heterogeneous, clusterable mobility.** Workers are drawn from
+//!    latent [`archetype`]s (commuter, courier loop, roamer, localized)
+//!    with per-worker anchors and noise. The game-theoretic clustering of
+//!    `tamp-meta` is expected to (approximately) recover these latent
+//!    groups — exactly the structure MAML alone cannot exploit.
+//! 2. **A task distribution distinct from (workload 1) or aligned with
+//!    (workload 2) the worker distribution.** The paper observes that
+//!    alignment shrinks worker-cost differences between algorithms
+//!    (Appendix C); [`task_gen`] reproduces both regimes from one knob.
+//!
+//! Everything is deterministic given a `u64` seed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod archetype;
+pub mod poi_gen;
+pub mod routine_gen;
+pub mod task_gen;
+pub mod workload;
+
+pub use archetype::ArchetypeKind;
+pub use workload::{Scale, SimWorker, Workload, WorkloadConfig, WorkloadKind};

@@ -1,0 +1,110 @@
+//! POI synthesis.
+//!
+//! The paper obtains POIs from OpenStreetMap to build the spatial feature
+//! `V` of each learning task. We scatter category-clustered POIs over the
+//! synthetic city: residential in the west, offices in the east, retail
+//! and food along the central band, leisure and transport mixed — matching
+//! the anchor geography of [`crate::archetype`].
+
+use rand::Rng;
+use tamp_core::{Grid, Poi, PoiCategory, Point};
+
+/// Generates `n` POIs over the grid.
+pub fn generate_pois(grid: &Grid, n: usize, rng: &mut impl Rng) -> Vec<Poi> {
+    let w = grid.width_km();
+    let h = grid.height_km();
+    let mut pois = Vec::with_capacity(n);
+    for _ in 0..n {
+        let cat = PoiCategory::ALL[rng.gen_range(0..PoiCategory::ALL.len())];
+        let (x_range, y_range) = match cat {
+            PoiCategory::Residential => (0.0 * w..0.5 * w, 0.0 * h..h),
+            PoiCategory::Office => (0.5 * w..w, 0.15 * h..0.85 * h),
+            PoiCategory::Retail => (0.25 * w..0.75 * w, 0.25 * h..0.75 * h),
+            PoiCategory::Food => (0.2 * w..0.8 * w, 0.2 * h..0.8 * h),
+            PoiCategory::Leisure => (0.0 * w..w, 0.0 * h..h),
+            PoiCategory::Transport => (0.1 * w..0.9 * w, 0.1 * h..0.9 * h),
+        };
+        pois.push(Poi::new(
+            Point::new(rng.gen_range(x_range), rng.gen_range(y_range)),
+            cat,
+        ));
+    }
+    pois
+}
+
+/// The nearest POI to a point, if any exist.
+pub fn nearest_poi(pois: &[Poi], p: Point) -> Option<Poi> {
+    pois.iter()
+        .min_by(|a, b| {
+            a.loc
+                .dist_sq(p)
+                .partial_cmp(&b.loc.dist_sq(p))
+                .expect("finite")
+        })
+        .copied()
+}
+
+/// The POI sequence of a worker: the nearest POI to each visited anchor
+/// (the collection backing `Vᵢ` in Eq. 1).
+pub fn poi_sequence(pois: &[Poi], anchors: &[Point]) -> Vec<Poi> {
+    anchors
+        .iter()
+        .filter_map(|a| nearest_poi(pois, *a))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tamp_core::rng::rng_for;
+
+    #[test]
+    fn pois_inside_grid_and_all_categories_present() {
+        let grid = Grid::PAPER;
+        let mut rng = rng_for(1, tamp_core::rng::streams::POIS);
+        let pois = generate_pois(&grid, 600, &mut rng);
+        assert_eq!(pois.len(), 600);
+        for p in &pois {
+            assert!(grid.contains(p.loc));
+        }
+        for cat in PoiCategory::ALL {
+            assert!(pois.iter().any(|p| p.category == cat), "{cat:?} missing");
+        }
+    }
+
+    #[test]
+    fn residential_west_office_east() {
+        let grid = Grid::PAPER;
+        let mut rng = rng_for(2, tamp_core::rng::streams::POIS);
+        let pois = generate_pois(&grid, 500, &mut rng);
+        let mean_x = |cat: PoiCategory| {
+            let xs: Vec<f64> = pois
+                .iter()
+                .filter(|p| p.category == cat)
+                .map(|p| p.loc.x)
+                .collect();
+            xs.iter().sum::<f64>() / xs.len() as f64
+        };
+        assert!(mean_x(PoiCategory::Residential) < mean_x(PoiCategory::Office));
+    }
+
+    #[test]
+    fn nearest_poi_finds_closest() {
+        let pois = vec![
+            Poi::new(Point::new(0.0, 0.0), PoiCategory::Food),
+            Poi::new(Point::new(5.0, 5.0), PoiCategory::Office),
+        ];
+        let n = nearest_poi(&pois, Point::new(4.0, 4.0)).unwrap();
+        assert_eq!(n.category, PoiCategory::Office);
+        assert!(nearest_poi(&[], Point::new(0.0, 0.0)).is_none());
+    }
+
+    #[test]
+    fn poi_sequence_matches_anchor_count() {
+        let mut rng = rng_for(3, tamp_core::rng::streams::POIS);
+        let pois = generate_pois(&Grid::PAPER, 100, &mut rng);
+        let anchors = [Point::new(1.0, 1.0), Point::new(15.0, 8.0)];
+        let seq = poi_sequence(&pois, &anchors);
+        assert_eq!(seq.len(), 2);
+    }
+}

@@ -1,0 +1,227 @@
+//! Daily routine generation.
+//!
+//! A worker's day is simulated at the paper's 10-minute cadence: the
+//! worker moves between their persona's anchors at bounded speed, dwells
+//! at each anchor, and every recorded sample is perturbed by the
+//! archetype's observation noise. Distinct days reuse the same anchors in
+//! (mostly) the same order, so a worker has a *learnable* pattern with
+//! day-to-day variation — the setting mobility prediction assumes.
+
+use crate::archetype::{ArchetypeKind, WorkerPersona};
+use rand::Rng;
+use rand_distr_normal::sample_normal;
+use tamp_core::{Grid, Minutes, Point, Routine, TimedPoint, TIME_UNIT_MINUTES};
+
+/// Tiny Box–Muller helper so we don't need the `rand_distr` crate.
+mod rand_distr_normal {
+    use rand::Rng;
+
+    /// One `N(0, sigma²)` sample.
+    pub fn sample_normal(rng: &mut impl Rng, sigma: f64) -> f64 {
+        // Box–Muller; u1 in (0,1] to avoid ln(0).
+        let u1: f64 = 1.0 - rng.gen::<f64>();
+        let u2: f64 = rng.gen();
+        sigma * (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+}
+
+/// Parameters of one simulated day.
+#[derive(Debug, Clone, Copy)]
+pub struct DayParams {
+    /// Number of 10-minute samples in the day.
+    pub units: usize,
+    /// Worker travel speed in km per time unit.
+    pub speed_km_per_unit: f64,
+    /// Start-of-day timestamp (minutes).
+    pub day_start: Minutes,
+}
+
+impl Default for DayParams {
+    fn default() -> Self {
+        Self {
+            units: 48, // an 8-hour active window
+            speed_km_per_unit: 3.0,
+            day_start: Minutes::ZERO,
+        }
+    }
+}
+
+/// Simulates one day of movement for `persona`, returning `units` samples
+/// spaced one time unit apart starting at `day_start`.
+pub fn generate_day(
+    persona: &WorkerPersona,
+    grid: &Grid,
+    params: &DayParams,
+    rng: &mut impl Rng,
+) -> Routine {
+    assert!(params.units > 0, "day must have samples");
+    let noise = persona.kind.noise_km();
+    let dwell_mean = persona.kind.dwell_units();
+
+    // Anchor visiting order: commuters strictly alternate home/work; loops
+    // cycle; roamers shuffle per day; localized hop randomly.
+    let mut order: Vec<usize> = (0..persona.anchors.len()).collect();
+    if persona.kind == ArchetypeKind::Roamer {
+        use rand::seq::SliceRandom;
+        order.shuffle(rng);
+    }
+
+    let mut pos = persona.anchors[order[0]];
+    let mut goal_idx = 0usize; // index into `order`
+    let mut dwell_left = sample_dwell(dwell_mean, rng);
+    let mut points = Vec::with_capacity(params.units);
+
+    for unit in 0..params.units {
+        let t = Minutes::new(params.day_start.as_f64() + unit as f64 * TIME_UNIT_MINUTES);
+        // Record the (noisy) current position.
+        let observed = grid.clamp(Point::new(
+            pos.x + sample_normal(rng, noise),
+            pos.y + sample_normal(rng, noise),
+        ));
+        points.push(TimedPoint::new(observed, t));
+
+        // Advance the underlying true position by one unit.
+        let goal = persona.anchors[order[goal_idx % order.len()]];
+        let to_goal = pos.dist(goal);
+        if to_goal < 1e-9 {
+            // At the anchor: dwell, then pick the next goal.
+            if dwell_left > 0.0 {
+                dwell_left -= 1.0;
+            } else {
+                goal_idx += 1;
+                dwell_left = sample_dwell(dwell_mean, rng);
+                // Localized workers sometimes revisit a random anchor
+                // instead of cycling.
+                if persona.kind == ArchetypeKind::Localized && rng.gen_bool(0.5) {
+                    goal_idx = rng.gen_range(0..order.len());
+                }
+            }
+        } else {
+            let step = params.speed_km_per_unit.min(to_goal);
+            pos = pos.lerp(goal, step / to_goal);
+        }
+    }
+    Routine::from_points(points)
+}
+
+fn sample_dwell(mean: f64, rng: &mut impl Rng) -> f64 {
+    // Tightly concentrated dwell around the archetype mean: day-to-day
+    // repeatability is what makes mobility *learnable* (the paper's
+    // premise that daily routines are predictable from history).
+    (mean + rng.gen_range(-1.0..1.0) * mean * 0.1).max(0.0)
+}
+
+/// Simulates `days` consecutive days; each day is offset by 24 h in the
+/// returned routines' timestamps but uses the *same* persona.
+pub fn generate_days(
+    persona: &WorkerPersona,
+    grid: &Grid,
+    base: &DayParams,
+    days: usize,
+    rng: &mut impl Rng,
+) -> Vec<Routine> {
+    (0..days)
+        .map(|d| {
+            let params = DayParams {
+                day_start: Minutes::new(base.day_start.as_f64() + d as f64 * 24.0 * 60.0),
+                ..*base
+            };
+            generate_day(persona, grid, &params, rng)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tamp_core::rng::rng_for;
+
+    fn persona(kind: ArchetypeKind, seed: u64) -> WorkerPersona {
+        let mut rng = rng_for(seed, 0);
+        WorkerPersona::sample(kind, &Grid::PAPER, &mut rng)
+    }
+
+    #[test]
+    fn day_has_requested_cadence() {
+        let p = persona(ArchetypeKind::Commuter, 1);
+        let mut rng = rng_for(1, 1);
+        let day = generate_day(&p, &Grid::PAPER, &DayParams::default(), &mut rng);
+        assert_eq!(day.len(), 48);
+        let pts = day.points();
+        assert_eq!(pts[0].time.as_f64(), 0.0);
+        assert!((pts[1].time.as_f64() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn movement_respects_speed_plus_noise() {
+        let p = persona(ArchetypeKind::Roamer, 2);
+        let mut rng = rng_for(2, 1);
+        let params = DayParams::default();
+        let day = generate_day(&p, &Grid::PAPER, &params, &mut rng);
+        // Max step = speed + generous noise allowance (4σ on both ends).
+        let max_leg = params.speed_km_per_unit + 8.0 * p.kind.noise_km();
+        for leg in day.points().windows(2) {
+            let d = leg[0].loc.dist(leg[1].loc);
+            assert!(d <= max_leg, "leg {d} exceeds {max_leg}");
+        }
+    }
+
+    #[test]
+    fn samples_stay_in_grid() {
+        for kind in ArchetypeKind::ALL {
+            let p = persona(kind, 3);
+            let mut rng = rng_for(3, kind.index() as u64);
+            let day = generate_day(&p, &Grid::PAPER, &DayParams::default(), &mut rng);
+            for pt in day.points() {
+                assert!(Grid::PAPER.contains(pt.loc));
+            }
+        }
+    }
+
+    #[test]
+    fn commuter_days_are_similar_roamer_days_are_not() {
+        let grid = Grid::PAPER;
+        let params = DayParams::default();
+        let day_dist = |kind: ArchetypeKind, seed: u64| -> f64 {
+            let p = persona(kind, seed);
+            let mut rng = rng_for(seed, 9);
+            let days = generate_days(&p, &grid, &params, 2, &mut rng);
+            // Mean pointwise distance between the two days, aligned by
+            // time-of-day index.
+            let a = days[0].points();
+            let b = days[1].points();
+            a.iter()
+                .zip(b)
+                .map(|(x, y)| x.loc.dist(y.loc))
+                .sum::<f64>()
+                / a.len() as f64
+        };
+        // Average across several workers to avoid flaky single draws.
+        let commuter: f64 = (0..8).map(|s| day_dist(ArchetypeKind::Commuter, 100 + s)).sum::<f64>() / 8.0;
+        let roamer: f64 = (0..8).map(|s| day_dist(ArchetypeKind::Roamer, 200 + s)).sum::<f64>() / 8.0;
+        assert!(
+            commuter < roamer,
+            "commuters must repeat more than roamers: {commuter} vs {roamer}"
+        );
+    }
+
+    #[test]
+    fn generate_days_offsets_timestamps() {
+        let p = persona(ArchetypeKind::Localized, 4);
+        let mut rng = rng_for(4, 1);
+        let days = generate_days(&p, &Grid::PAPER, &DayParams::default(), 3, &mut rng);
+        assert_eq!(days.len(), 3);
+        assert_eq!(days[1].start_time().unwrap().as_f64(), 24.0 * 60.0);
+        assert_eq!(days[2].start_time().unwrap().as_f64(), 48.0 * 60.0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let p = persona(ArchetypeKind::CourierLoop, 5);
+        let mut r1 = rng_for(5, 1);
+        let mut r2 = rng_for(5, 1);
+        let d1 = generate_day(&p, &Grid::PAPER, &DayParams::default(), &mut r1);
+        let d2 = generate_day(&p, &Grid::PAPER, &DayParams::default(), &mut r2);
+        assert_eq!(d1, d2);
+    }
+}

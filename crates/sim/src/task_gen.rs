@@ -1,0 +1,240 @@
+//! Spatial-task synthesis.
+//!
+//! Tasks are drawn from a mixture of Gaussian hotspots (standing in for
+//! Didi pick-up orders / Foursquare venues), arrive over the horizon with
+//! a bimodal (morning/evening-peak) temporal profile, and carry deadlines
+//! `release + U[lo, hi]` time units (the paper's "valid time" knob,
+//! Table III).
+
+use rand::Rng;
+use tamp_core::{Grid, Minutes, Point, SpatialTask, TaskId, TIME_UNIT_MINUTES};
+
+/// One Gaussian hotspot of the task mixture.
+#[derive(Debug, Clone, Copy)]
+pub struct Hotspot {
+    /// Hotspot centre.
+    pub center: Point,
+    /// Isotropic standard deviation, km.
+    pub sigma_km: f64,
+    /// Mixture weight (relative).
+    pub weight: f64,
+}
+
+/// The task-generation configuration.
+#[derive(Debug, Clone)]
+pub struct TaskGenConfig {
+    /// Hotspot mixture.
+    pub hotspots: Vec<Hotspot>,
+    /// Horizon over which tasks arrive, `[0, horizon)` minutes.
+    pub horizon: Minutes,
+    /// Valid time bounds in paper time units (e.g. `(3.0, 4.0)`).
+    pub valid_time_units: (f64, f64),
+}
+
+fn sample_gaussian(rng: &mut impl Rng, sigma: f64) -> f64 {
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    sigma * (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Samples one location from the hotspot mixture, clamped to the grid.
+pub fn sample_location(cfg: &TaskGenConfig, grid: &Grid, rng: &mut impl Rng) -> Point {
+    assert!(!cfg.hotspots.is_empty(), "mixture needs hotspots");
+    let total: f64 = cfg.hotspots.iter().map(|h| h.weight).sum();
+    let mut pick = rng.gen_range(0.0..total);
+    let mut chosen = cfg.hotspots[0];
+    for h in &cfg.hotspots {
+        if pick < h.weight {
+            chosen = *h;
+            break;
+        }
+        pick -= h.weight;
+    }
+    grid.clamp(Point::new(
+        chosen.center.x + sample_gaussian(rng, chosen.sigma_km),
+        chosen.center.y + sample_gaussian(rng, chosen.sigma_km),
+    ))
+}
+
+/// Samples an arrival time with a bimodal day profile: 35% in an early
+/// peak, 35% in a late peak, 30% uniform background.
+fn sample_arrival(horizon: f64, rng: &mut impl Rng) -> f64 {
+    let r: f64 = rng.gen();
+    let t = if r < 0.35 {
+        0.25 * horizon + sample_gaussian(rng, 0.08 * horizon)
+    } else if r < 0.7 {
+        0.7 * horizon + sample_gaussian(rng, 0.08 * horizon)
+    } else {
+        rng.gen_range(0.0..horizon)
+    };
+    t.clamp(0.0, horizon - 1e-6)
+}
+
+/// Generates `n` tasks over the horizon, sorted by release time.
+///
+/// `id_offset` lets callers draw several disjoint batches with unique ids.
+pub fn generate_tasks(
+    cfg: &TaskGenConfig,
+    grid: &Grid,
+    n: usize,
+    id_offset: u64,
+    rng: &mut impl Rng,
+) -> Vec<SpatialTask> {
+    let horizon = cfg.horizon.as_f64();
+    assert!(horizon > 0.0, "horizon must be positive");
+    let (lo, hi) = cfg.valid_time_units;
+    assert!(lo > 0.0 && hi >= lo, "invalid valid-time interval");
+    let mut tasks: Vec<SpatialTask> = (0..n)
+        .map(|i| {
+            let release = sample_arrival(horizon, rng);
+            let valid = rng.gen_range(lo..=hi) * TIME_UNIT_MINUTES;
+            SpatialTask::new(
+                TaskId(id_offset + i as u64),
+                sample_location(cfg, grid, rng),
+                Minutes::new(release),
+                Minutes::new(release + valid),
+            )
+        })
+        .collect();
+    tasks.sort_by(|a, b| a.release.as_f64().partial_cmp(&b.release.as_f64()).expect("finite"));
+    tasks
+}
+
+/// Generates only hotspot-mixture locations (the *historical* task set
+/// that drives the task-assignment-oriented loss, Eq. 7).
+pub fn generate_historical_locations(
+    cfg: &TaskGenConfig,
+    grid: &Grid,
+    n: usize,
+    rng: &mut impl Rng,
+) -> Vec<Point> {
+    (0..n).map(|_| sample_location(cfg, grid, rng)).collect()
+}
+
+/// A default unaligned hotspot mixture for workload 1: dense downtown
+/// spots that do *not* coincide with residential anchors.
+pub fn workload1_hotspots(grid: &Grid) -> Vec<Hotspot> {
+    let w = grid.width_km();
+    let h = grid.height_km();
+    vec![
+        Hotspot {
+            center: Point::new(0.62 * w, 0.5 * h),
+            sigma_km: 1.2,
+            weight: 3.0,
+        },
+        Hotspot {
+            center: Point::new(0.45 * w, 0.3 * h),
+            sigma_km: 1.0,
+            weight: 2.0,
+        },
+        Hotspot {
+            center: Point::new(0.8 * w, 0.7 * h),
+            sigma_km: 1.5,
+            weight: 2.0,
+        },
+        Hotspot {
+            center: Point::new(0.25 * w, 0.75 * h),
+            sigma_km: 1.8,
+            weight: 1.0,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tamp_core::rng::{rng_for, streams};
+
+    fn cfg(grid: &Grid) -> TaskGenConfig {
+        TaskGenConfig {
+            hotspots: workload1_hotspots(grid),
+            horizon: Minutes::new(480.0),
+            valid_time_units: (3.0, 4.0),
+        }
+    }
+
+    #[test]
+    fn tasks_are_sorted_in_grid_with_valid_deadlines() {
+        let grid = Grid::PAPER;
+        let c = cfg(&grid);
+        let mut rng = rng_for(1, streams::TASKS);
+        let tasks = generate_tasks(&c, &grid, 300, 0, &mut rng);
+        assert_eq!(tasks.len(), 300);
+        for pair in tasks.windows(2) {
+            assert!(pair[0].release.as_f64() <= pair[1].release.as_f64());
+        }
+        for t in &tasks {
+            assert!(grid.contains(t.location));
+            assert!(t.release.as_f64() >= 0.0 && t.release.as_f64() < 480.0);
+            let valid = t.deadline.as_f64() - t.release.as_f64();
+            assert!(
+                (30.0..=40.0 + 1e-9).contains(&valid),
+                "valid time {valid} outside [30, 40] min"
+            );
+        }
+    }
+
+    #[test]
+    fn ids_are_unique_and_offset() {
+        let grid = Grid::PAPER;
+        let c = cfg(&grid);
+        let mut rng = rng_for(2, streams::TASKS);
+        let a = generate_tasks(&c, &grid, 50, 0, &mut rng);
+        let b = generate_tasks(&c, &grid, 50, 50, &mut rng);
+        let mut ids: Vec<u64> = a.iter().chain(&b).map(|t| t.id.0).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 100);
+    }
+
+    #[test]
+    fn locations_concentrate_near_hotspots() {
+        let grid = Grid::PAPER;
+        let c = cfg(&grid);
+        let mut rng = rng_for(3, streams::TASKS);
+        let locs = generate_historical_locations(&c, &grid, 2000, &mut rng);
+        // Most samples should be within 3σ of some hotspot.
+        let near = locs
+            .iter()
+            .filter(|l| {
+                c.hotspots
+                    .iter()
+                    .any(|h| l.dist(h.center) < 3.0 * h.sigma_km)
+            })
+            .count();
+        assert!(near as f64 > 0.95 * locs.len() as f64, "only {near} near");
+    }
+
+    #[test]
+    fn arrivals_are_bimodal() {
+        let grid = Grid::PAPER;
+        let c = cfg(&grid);
+        let mut rng = rng_for(4, streams::TASKS);
+        let tasks = generate_tasks(&c, &grid, 3000, 0, &mut rng);
+        // The two peak windows should hold clearly more than their uniform
+        // share (~each window is 20% of the horizon).
+        let horizon = 480.0;
+        let in_window = |lo: f64, hi: f64| {
+            tasks
+                .iter()
+                .filter(|t| t.release.as_f64() >= lo * horizon && t.release.as_f64() < hi * horizon)
+                .count() as f64
+                / tasks.len() as f64
+        };
+        assert!(in_window(0.15, 0.35) > 0.25);
+        assert!(in_window(0.6, 0.8) > 0.25);
+    }
+
+    #[test]
+    #[should_panic(expected = "mixture needs hotspots")]
+    fn empty_mixture_panics() {
+        let grid = Grid::PAPER;
+        let c = TaskGenConfig {
+            hotspots: vec![],
+            horizon: Minutes::new(100.0),
+            valid_time_units: (1.0, 2.0),
+        };
+        let mut rng = rng_for(5, streams::TASKS);
+        sample_location(&c, &grid, &mut rng);
+    }
+}

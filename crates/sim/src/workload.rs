@@ -1,0 +1,461 @@
+//! Complete experiment workloads.
+//!
+//! [`WorkloadConfig::build`] assembles the city (grid + POIs), the worker
+//! population (personas → multi-day histories → a held-out test day), and
+//! the task streams (assignment tasks for the test day plus the larger
+//! *historical* set that feeds the task-oriented loss of Eq. 7).
+//!
+//! Two presets mirror the paper's Table II:
+//!
+//! * [`WorkloadKind::PortoDidi`] — taxi-like workers (more roamers and
+//!   couriers), task hotspots *not* aligned with worker anchors.
+//! * [`WorkloadKind::GowallaFoursquare`] — check-in-like workers (more
+//!   commuters/localized), task hotspots aligned with worker anchors,
+//!   which is why the paper sees smaller worker-cost gaps there.
+
+use crate::archetype::{ArchetypeKind, WorkerPersona};
+use crate::poi_gen::{generate_pois, poi_sequence};
+use crate::routine_gen::{generate_days, DayParams};
+use crate::task_gen::{
+    generate_historical_locations, generate_tasks, workload1_hotspots, Hotspot, TaskGenConfig,
+};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use tamp_core::rng::{rng_for, streams};
+use tamp_core::{Grid, Minutes, Poi, Point, Routine, SpatialTask, Worker, WorkerId};
+
+/// Sizing knobs. The paper-scale preset matches Table II/III; the default
+/// is laptop-scale and regenerates every experiment in minutes.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Scale {
+    /// Number of crowd workers.
+    pub n_workers: usize,
+    /// Training days per worker (the paper uses Oct 20–28 ≈ 9 days).
+    pub train_days: usize,
+    /// 10-minute samples per day (48 = an 8-hour active window).
+    pub units_per_day: usize,
+    /// Assignment tasks on the test day.
+    pub n_tasks: usize,
+    /// Historical task locations for the loss density map.
+    pub n_historical_tasks: usize,
+}
+
+impl Scale {
+    /// Tiny scale for unit tests.
+    pub fn tiny() -> Self {
+        Self {
+            n_workers: 8,
+            train_days: 3,
+            units_per_day: 24,
+            n_tasks: 40,
+            n_historical_tasks: 400,
+        }
+    }
+
+    /// Default experiment scale (laptop-friendly). The task:worker ratio
+    /// (~25:1 per day) keeps the platform resource-constrained, as in the
+    /// paper's 1K–5K tasks on 442 workers with short validity windows.
+    pub fn small() -> Self {
+        Self {
+            n_workers: 30,
+            train_days: 6,
+            units_per_day: 48,
+            n_tasks: 2400,
+            n_historical_tasks: 4000,
+        }
+    }
+
+    /// The paper's workload-1 scale (Porto: 442 taxis, 9 training days).
+    pub fn paper_workload1() -> Self {
+        Self {
+            n_workers: 442,
+            train_days: 9,
+            units_per_day: 48,
+            n_tasks: 3000,
+            n_historical_tasks: 50_000,
+        }
+    }
+}
+
+/// Which dataset pair the workload imitates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WorkloadKind {
+    /// Workload 1: Porto taxis + Didi orders (unaligned task hotspots).
+    PortoDidi,
+    /// Workload 2: Gowalla check-ins + Foursquare venues (aligned).
+    GowallaFoursquare,
+}
+
+/// Full workload configuration.
+#[derive(Debug, Clone)]
+pub struct WorkloadConfig {
+    /// Which dataset pair to imitate.
+    pub kind: WorkloadKind,
+    /// City discretisation.
+    pub grid: Grid,
+    /// Sizing.
+    pub scale: Scale,
+    /// Master seed; every derived stream is deterministic in it.
+    pub seed: u64,
+    /// Worker detour limit `d` in km (swept in Fig. 6/9).
+    pub detour_limit_km: f64,
+    /// Worker speed, km/min.
+    pub speed_km_per_min: f64,
+    /// Task valid time `[lo, hi]` in time units (swept in Fig. 8/11).
+    pub valid_time_units: (f64, f64),
+    /// Fraction of workers that are cold-start newcomers (1 training day).
+    pub new_worker_fraction: f64,
+    /// Number of POIs in the city.
+    pub n_pois: usize,
+}
+
+impl WorkloadConfig {
+    /// The paper's default parameter column (bold values in Table III).
+    pub fn new(kind: WorkloadKind, scale: Scale, seed: u64) -> Self {
+        Self {
+            kind,
+            grid: Grid::PAPER,
+            scale,
+            seed,
+            detour_limit_km: 6.0,
+            speed_km_per_min: 0.3,
+            valid_time_units: (3.0, 4.0),
+            new_worker_fraction: 0.15,
+            n_pois: 400,
+        }
+    }
+
+    /// Archetype mixture weights for this workload kind.
+    fn archetype_weights(&self) -> [f64; 4] {
+        match self.kind {
+            // Taxi-like: movement-dominated (courier loops and roamers);
+            // dwell-heavy archetypes are rare. This is what separates the
+            // current-location LB from prediction-aware assignment.
+            WorkloadKind::PortoDidi => [0.1, 0.6, 0.1, 0.2],
+            // Check-in-like: routine-driven commuters and locals.
+            WorkloadKind::GowallaFoursquare => [0.4, 0.15, 0.1, 0.35],
+        }
+    }
+
+    /// Builds the full workload.
+    pub fn build(&self) -> Workload {
+        assert!(self.scale.n_workers > 0, "need workers");
+        let grid = self.grid;
+        let mut poi_rng = rng_for(self.seed, streams::POIS);
+        let pois = generate_pois(&grid, self.n_pois, &mut poi_rng);
+
+        // ---- workers ----
+        let weights = self.archetype_weights();
+        let total_w: f64 = weights.iter().sum();
+        let day = DayParams {
+            units: self.scale.units_per_day,
+            speed_km_per_unit: self.speed_km_per_min * tamp_core::TIME_UNIT_MINUTES,
+            day_start: Minutes::ZERO,
+        };
+        let mut workers = Vec::with_capacity(self.scale.n_workers);
+        let mut anchor_pool = Vec::new();
+        for i in 0..self.scale.n_workers {
+            let mut rng = rng_for(self.seed, streams::ROUTINES + 1000 + i as u64);
+            // Pick archetype by weight.
+            let mut pick = rng.gen_range(0.0..total_w);
+            let mut kind = ArchetypeKind::ALL[0];
+            for (k, w) in ArchetypeKind::ALL.iter().zip(weights) {
+                if pick < w {
+                    kind = *k;
+                    break;
+                }
+                pick -= w;
+            }
+            let persona = WorkerPersona::sample(kind, &grid, &mut rng);
+            anchor_pool.extend(persona.anchors.iter().copied());
+
+            let is_new = (i as f64 + 0.5) / self.scale.n_workers as f64
+                > 1.0 - self.new_worker_fraction;
+            let train_days = if is_new { 1 } else { self.scale.train_days };
+            // Train days + one held-out test day.
+            let mut days = generate_days(&persona, &grid, &day, train_days + 1, &mut rng);
+            let test_day_abs = days.pop().expect("at least one day");
+            // Re-base the test day to t=0 (it is "today" for the engine).
+            let offset = test_day_abs.start_time().expect("non-empty").as_f64();
+            let test_day = Routine::from_points(
+                test_day_abs
+                    .points()
+                    .iter()
+                    .map(|p| tamp_core::TimedPoint::new(p.loc, Minutes::new(p.time.as_f64() - offset)))
+                    .collect(),
+            );
+
+            let history_all = Routine::from_points(
+                days.iter()
+                    .flat_map(|d| d.points().iter().copied())
+                    .collect(),
+            );
+            let core = Worker {
+                id: WorkerId(i as u64),
+                history: history_all,
+                real_routine: test_day,
+                detour_limit_km: self.detour_limit_km,
+                speed_km_per_min: self.speed_km_per_min,
+                is_new,
+            };
+            let poi_seq = poi_sequence(&pois, &persona.anchors);
+            workers.push(SimWorker {
+                worker: core,
+                history_days: days,
+                persona,
+                poi_seq,
+            });
+        }
+
+        // ---- tasks ----
+        let hotspots = match self.kind {
+            WorkloadKind::PortoDidi => workload1_hotspots(&grid),
+            WorkloadKind::GowallaFoursquare => aligned_hotspots(&anchor_pool, self.seed),
+        };
+        let horizon = Minutes::new(self.scale.units_per_day as f64 * tamp_core::TIME_UNIT_MINUTES);
+        let task_cfg = TaskGenConfig {
+            hotspots,
+            horizon,
+            valid_time_units: self.valid_time_units,
+        };
+        let mut task_rng = rng_for(self.seed, streams::TASKS);
+        let tasks = generate_tasks(&task_cfg, &grid, self.scale.n_tasks, 0, &mut task_rng);
+        let historical =
+            generate_historical_locations(&task_cfg, &grid, self.scale.n_historical_tasks, &mut task_rng);
+
+        Workload {
+            grid,
+            workers,
+            pois,
+            tasks,
+            historical_task_locs: historical,
+            horizon,
+        }
+    }
+}
+
+/// Hotspots centred on a sample of worker anchors (workload 2's aligned
+/// distribution).
+fn aligned_hotspots(anchor_pool: &[Point], seed: u64) -> Vec<Hotspot> {
+    assert!(!anchor_pool.is_empty(), "anchor pool empty");
+    let mut rng = rng_for(seed, streams::TASKS + 77);
+    let k = 6.min(anchor_pool.len());
+    (0..k)
+        .map(|_| Hotspot {
+            center: anchor_pool[rng.gen_range(0..anchor_pool.len())],
+            sigma_km: 1.2,
+            weight: 1.0,
+        })
+        .collect()
+}
+
+/// A simulated worker: the platform-facing [`Worker`] plus the generation
+/// ground truth used by learning and evaluation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimWorker {
+    /// The platform-facing worker (history + hidden real routine).
+    pub worker: Worker,
+    /// Per-day training routines (training pairs never cross days).
+    pub history_days: Vec<Routine>,
+    /// The latent persona that generated the routines.
+    pub persona: WorkerPersona,
+    /// POI sequence for the spatial-feature similarity (Eq. 1).
+    pub poi_seq: Vec<Poi>,
+}
+
+/// A complete workload.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Workload {
+    /// City discretisation.
+    pub grid: Grid,
+    /// Worker population.
+    pub workers: Vec<SimWorker>,
+    /// City POIs.
+    pub pois: Vec<Poi>,
+    /// Assignment tasks for the test day, sorted by release.
+    pub tasks: Vec<SpatialTask>,
+    /// Historical task locations (for Eq. 7's density map).
+    pub historical_task_locs: Vec<Point>,
+    /// End of the test-day horizon.
+    pub horizon: Minutes,
+}
+
+impl Workload {
+    /// Serialises the workload to pretty JSON at `path` (creating parent
+    /// directories), so an exact experiment input can be shared or
+    /// archived independently of the generator version.
+    pub fn save_json(&self, path: &std::path::Path) -> std::io::Result<()> {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        let json = serde_json::to_string(self).map_err(std::io::Error::other)?;
+        std::fs::write(path, json)
+    }
+
+    /// Loads a workload previously written by [`Workload::save_json`].
+    pub fn load_json(path: &std::path::Path) -> std::io::Result<Self> {
+        let text = std::fs::read_to_string(path)?;
+        serde_json::from_str(&text).map_err(std::io::Error::other)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(kind: WorkloadKind) -> Workload {
+        WorkloadConfig::new(kind, Scale::tiny(), 42).build()
+    }
+
+    #[test]
+    fn build_produces_complete_population() {
+        let w = tiny(WorkloadKind::PortoDidi);
+        assert_eq!(w.workers.len(), 8);
+        assert_eq!(w.tasks.len(), 40);
+        assert_eq!(w.historical_task_locs.len(), 400);
+        assert!(!w.pois.is_empty());
+        for sw in &w.workers {
+            assert!(!sw.worker.real_routine.is_empty());
+            assert!(!sw.worker.history.is_empty());
+            assert!(!sw.history_days.is_empty());
+            assert!(!sw.poi_seq.is_empty());
+        }
+    }
+
+    #[test]
+    fn test_day_rebased_to_zero() {
+        let w = tiny(WorkloadKind::PortoDidi);
+        for sw in &w.workers {
+            assert_eq!(sw.worker.real_routine.start_time().unwrap().as_f64(), 0.0);
+            let end = sw.worker.real_routine.end_time().unwrap().as_f64();
+            assert!(end < w.horizon.as_f64());
+        }
+    }
+
+    #[test]
+    fn new_workers_have_single_training_day() {
+        let cfg = WorkloadConfig {
+            new_worker_fraction: 0.25,
+            ..WorkloadConfig::new(WorkloadKind::PortoDidi, Scale::tiny(), 7)
+        };
+        let w = cfg.build();
+        let new: Vec<_> = w.workers.iter().filter(|sw| sw.worker.is_new).collect();
+        assert_eq!(new.len(), 2, "25% of 8 workers");
+        for sw in new {
+            assert_eq!(sw.history_days.len(), 1);
+        }
+        for sw in w.workers.iter().filter(|sw| !sw.worker.is_new) {
+            assert_eq!(sw.history_days.len(), 3);
+        }
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = tiny(WorkloadKind::PortoDidi);
+        let b = tiny(WorkloadKind::PortoDidi);
+        assert_eq!(a.tasks.len(), b.tasks.len());
+        assert_eq!(a.tasks[0].location, b.tasks[0].location);
+        assert_eq!(
+            a.workers[0].worker.real_routine,
+            b.workers[0].worker.real_routine
+        );
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = tiny(WorkloadKind::PortoDidi);
+        let b = WorkloadConfig::new(WorkloadKind::PortoDidi, Scale::tiny(), 43).build();
+        assert_ne!(a.tasks[0].location, b.tasks[0].location);
+    }
+
+    #[test]
+    fn workload2_tasks_sit_nearer_worker_anchors() {
+        // The aligned mixture must place tasks closer to worker anchors
+        // than the unaligned one (the property behind Fig. 9's smaller
+        // worker-cost gaps).
+        let mean_anchor_dist = |w: &Workload| {
+            let anchors: Vec<Point> = w
+                .workers
+                .iter()
+                .flat_map(|sw| sw.persona.anchors.iter().copied())
+                .collect();
+            w.tasks
+                .iter()
+                .map(|t| {
+                    anchors
+                        .iter()
+                        .map(|a| a.dist(t.location))
+                        .fold(f64::INFINITY, f64::min)
+                })
+                .sum::<f64>()
+                / w.tasks.len() as f64
+        };
+        // A mid-size population so the statistic is stable.
+        let scale = Scale {
+            n_workers: 24,
+            train_days: 2,
+            units_per_day: 16,
+            n_tasks: 120,
+            n_historical_tasks: 100,
+        };
+        let w1 = WorkloadConfig::new(WorkloadKind::PortoDidi, scale, 42).build();
+        let w2 = WorkloadConfig::new(WorkloadKind::GowallaFoursquare, scale, 42).build();
+        assert!(
+            mean_anchor_dist(&w2) < mean_anchor_dist(&w1),
+            "aligned workload should put tasks nearer anchors: {} vs {}",
+            mean_anchor_dist(&w2),
+            mean_anchor_dist(&w1)
+        );
+    }
+
+    #[test]
+    fn archetype_mix_matches_kind() {
+        let big = WorkloadConfig::new(WorkloadKind::GowallaFoursquare, Scale::small(), 11).build();
+        let commuters = big
+            .workers
+            .iter()
+            .filter(|sw| sw.persona.kind == ArchetypeKind::Commuter)
+            .count();
+        let roamers = big
+            .workers
+            .iter()
+            .filter(|sw| sw.persona.kind == ArchetypeKind::Roamer)
+            .count();
+        assert!(
+            commuters > roamers,
+            "check-in workload is commuter-heavy: {commuters} vs {roamers}"
+        );
+    }
+}
+#[cfg(test)]
+mod persistence_tests {
+    use super::*;
+
+    #[test]
+    fn workload_json_round_trip() {
+        let w = WorkloadConfig::new(WorkloadKind::PortoDidi, Scale::tiny(), 5).build();
+        let path = std::env::temp_dir().join("tamp_workload_test/w.json");
+        w.save_json(&path).unwrap();
+        let back = Workload::load_json(&path).unwrap();
+        assert_eq!(back.workers.len(), w.workers.len());
+        assert_eq!(back.tasks.len(), w.tasks.len());
+        assert!(back.tasks[0].location.dist(w.tasks[0].location) < 1e-9);
+        // Float round-trips can differ in the last ulp; compare pointwise
+        // with tolerance.
+        let a = back.workers[3].worker.real_routine.points();
+        let b = w.workers[3].worker.real_routine.points();
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert!(x.loc.dist(y.loc) < 1e-9);
+            assert!((x.time.as_f64() - y.time.as_f64()).abs() < 1e-9);
+        }
+        assert_eq!(back.workers[3].persona.kind, w.workers[3].persona.kind);
+        std::fs::remove_dir_all(path.parent().unwrap()).ok();
+    }
+
+    #[test]
+    fn load_missing_file_errors() {
+        let err = Workload::load_json(std::path::Path::new("/nonexistent/tamp.json"));
+        assert!(err.is_err());
+    }
+}

@@ -1,0 +1,96 @@
+//! Property-based tests for the synthetic-workload generators.
+
+use proptest::prelude::*;
+use tamp_core::rng::rng_for;
+use tamp_core::{Grid, Minutes};
+use tamp_sim::archetype::{ArchetypeKind, WorkerPersona};
+use tamp_sim::routine_gen::{generate_day, generate_days, DayParams};
+use tamp_sim::task_gen::{generate_tasks, workload1_hotspots, TaskGenConfig};
+
+fn any_archetype() -> impl Strategy<Value = ArchetypeKind> {
+    prop::sample::select(ArchetypeKind::ALL.to_vec())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn days_have_exact_cadence_and_stay_in_grid(
+        kind in any_archetype(),
+        seed in 0u64..1000,
+        units in 4usize..40,
+    ) {
+        let grid = Grid::PAPER;
+        let mut rng = rng_for(seed, 21);
+        let persona = WorkerPersona::sample(kind, &grid, &mut rng);
+        let day = generate_day(
+            &persona,
+            &grid,
+            &DayParams { units, ..DayParams::default() },
+            &mut rng,
+        );
+        prop_assert_eq!(day.len(), units);
+        for (i, p) in day.points().iter().enumerate() {
+            prop_assert!(grid.contains(p.loc));
+            prop_assert!((p.time.as_f64() - i as f64 * 10.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn leg_lengths_bounded_by_speed_and_noise(
+        kind in any_archetype(),
+        seed in 0u64..500,
+    ) {
+        let grid = Grid::PAPER;
+        let mut rng = rng_for(seed, 22);
+        let persona = WorkerPersona::sample(kind, &grid, &mut rng);
+        let params = DayParams::default();
+        let day = generate_day(&persona, &grid, &params, &mut rng);
+        let bound = params.speed_km_per_unit + 10.0 * kind.noise_km();
+        for leg in day.points().windows(2) {
+            prop_assert!(leg[0].loc.dist(leg[1].loc) <= bound);
+        }
+    }
+
+    #[test]
+    fn multi_day_offsets_are_24h(
+        kind in any_archetype(),
+        seed in 0u64..300,
+        days in 1usize..5,
+    ) {
+        let grid = Grid::PAPER;
+        let mut rng = rng_for(seed, 23);
+        let persona = WorkerPersona::sample(kind, &grid, &mut rng);
+        let all = generate_days(&persona, &grid, &DayParams::default(), days, &mut rng);
+        prop_assert_eq!(all.len(), days);
+        for (d, day) in all.iter().enumerate() {
+            prop_assert!((day.start_time().unwrap().as_f64() - d as f64 * 1440.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn tasks_valid_sorted_and_in_grid(
+        seed in 0u64..500,
+        n in 1usize..200,
+        lo in 1.0..4.0f64,
+    ) {
+        let grid = Grid::PAPER;
+        let cfg = TaskGenConfig {
+            hotspots: workload1_hotspots(&grid),
+            horizon: Minutes::new(480.0),
+            valid_time_units: (lo, lo + 1.0),
+        };
+        let mut rng = rng_for(seed, 24);
+        let tasks = generate_tasks(&cfg, &grid, n, 0, &mut rng);
+        prop_assert_eq!(tasks.len(), n);
+        for pair in tasks.windows(2) {
+            prop_assert!(pair[0].release.as_f64() <= pair[1].release.as_f64());
+        }
+        for t in &tasks {
+            prop_assert!(grid.contains(t.location));
+            let valid = (t.deadline.as_f64() - t.release.as_f64()) / 10.0;
+            prop_assert!(valid >= lo - 1e-9 && valid <= lo + 1.0 + 1e-9);
+            prop_assert!(t.release.as_f64() >= 0.0 && t.release.as_f64() < 480.0);
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! A day in the life of one courier.
+//!
+//! Zooms into a single worker: shows their latent archetype, how the
+//! trained model's rollout tracks their real movements through the day,
+//! and how the acceptance model decides on concrete nearby tasks.
+//!
+//! ```sh
+//! cargo run --release --example courier_day
+//! ```
+
+use tamp::core::{Minutes, Point};
+use tamp::platform::acceptance::decide;
+use tamp::platform::{train_predictors, TrainingConfig};
+use tamp::sim::{ArchetypeKind, Scale, WorkloadConfig, WorkloadKind};
+
+fn main() {
+    let workload = WorkloadConfig::new(WorkloadKind::PortoDidi, Scale::tiny(), 7).build();
+    let predictors = train_predictors(
+        &workload,
+        &TrainingConfig {
+            seed: 7,
+            ..TrainingConfig::default()
+        },
+    );
+
+    // Pick a courier (fall back to worker 0 if the draw has none).
+    let (wi, courier) = workload
+        .workers
+        .iter()
+        .enumerate()
+        .find(|(_, sw)| sw.persona.kind == ArchetypeKind::CourierLoop)
+        .unwrap_or((0, &workload.workers[0]));
+    println!(
+        "worker {} — archetype {:?}, detour limit {} km, {} anchors, MR {:.2}",
+        courier.worker.id,
+        courier.persona.kind,
+        courier.worker.detour_limit_km,
+        courier.persona.anchors.len(),
+        predictors.mrs[wi],
+    );
+
+    // Walk the day in 1-hour strides: observed position vs model rollout.
+    println!("\n time | real position      | predicted next unit | error (km)");
+    for hour in 1..=4 {
+        let now = Minutes::new(hour as f64 * 60.0);
+        let real_now = courier.worker.location_at(now).expect("on duty");
+        let observed: Vec<[f64; 2]> = courier
+            .worker
+            .real_routine
+            .window(Minutes::ZERO, now)
+            .iter()
+            .rev()
+            .take(5)
+            .rev()
+            .map(|p| {
+                let (x, y) = workload.grid.normalize(p.loc);
+                [x, y]
+            })
+            .collect();
+        if observed.is_empty() {
+            continue;
+        }
+        let pred = predictors.models[wi].predict(&observed, 1)[0];
+        let pred_km = workload.grid.denormalize(pred[0], pred[1]);
+        let real_next = courier
+            .worker
+            .real_routine
+            .position_at(Minutes::new(now.as_f64() + 10.0))
+            .expect("on duty");
+        println!(
+            " {:>4.0} | ({:5.2}, {:5.2}) km | ({:5.2}, {:5.2}) km   | {:.2}",
+            now.as_f64(),
+            real_now.x,
+            real_now.y,
+            pred_km.x,
+            pred_km.y,
+            pred_km.dist(real_next),
+        );
+    }
+
+    // Offer three hypothetical check-in tasks at increasing distance from
+    // the courier's 2-hour position and show the acceptance decision.
+    let now = Minutes::new(120.0);
+    let here = courier.worker.location_at(now).expect("on duty");
+    let future = courier
+        .worker
+        .real_routine
+        .window(now, Minutes::new(f64::MAX))
+        .to_vec();
+    println!("\n acceptance decisions at t = {:.0} min (position {:.2}, {:.2}):", now.as_f64(), here.x, here.y);
+    for (label, offset) in [("next door", 0.3), ("across town", 3.0), ("far corner", 9.0)] {
+        let task = tamp::core::SpatialTask::new(
+            tamp::core::TaskId(900),
+            workload.grid.clamp(Point::new(here.x + offset, here.y + offset / 2.0)),
+            now,
+            Minutes::new(now.as_f64() + 40.0),
+        );
+        match decide(
+            &future,
+            courier.worker.detour_limit_km,
+            courier.worker.speed_km_per_min,
+            &task,
+            now,
+        ) {
+            Some((detour, arrival)) => println!(
+                "  {label:<12} → ACCEPT (detour {detour:.2} km, arrives at {:.0} min)",
+                arrival.as_f64()
+            ),
+            None => println!("  {label:<12} → REJECT (violates detour or deadline)"),
+        }
+    }
+}

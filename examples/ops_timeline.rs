@@ -1,0 +1,86 @@
+//! Intraday load timeline: how the platform breathes over a day.
+//!
+//! Runs PPI with per-batch tracing and renders an hourly console
+//! timeline of pending tasks, idle workers, and proposal outcomes —
+//! the view an operations team watches, and a demonstration of
+//! `run_assignment_traced`.
+//!
+//! ```sh
+//! cargo run --release --example ops_timeline
+//! ```
+
+use tamp::platform::{
+    run_assignment_traced, train_predictors, AssignmentAlgo, BatchRecord, EngineConfig,
+    TrainingConfig,
+};
+use tamp::sim::{Scale, WorkloadConfig, WorkloadKind};
+
+fn bar(value: usize, max: usize, width: usize) -> String {
+    if max == 0 {
+        return String::new();
+    }
+    let filled = (value * width).div_ceil(max.max(1)).min(width);
+    "█".repeat(filled)
+}
+
+fn main() {
+    let workload = WorkloadConfig::new(WorkloadKind::PortoDidi, Scale::tiny(), 77).build();
+    let predictors = train_predictors(
+        &workload,
+        &TrainingConfig {
+            seed: 77,
+            ..TrainingConfig::default()
+        },
+    );
+    let mut trace: Vec<BatchRecord> = Vec::new();
+    let metrics = run_assignment_traced(
+        &workload,
+        Some(&predictors),
+        AssignmentAlgo::Ppi,
+        &EngineConfig::default(),
+        &mut trace,
+    );
+
+    // Aggregate 2-minute batches into 30-minute buckets for display.
+    const BUCKET_MIN: f64 = 30.0;
+    let mut buckets: Vec<(f64, usize, usize, usize, usize)> = Vec::new();
+    for r in &trace {
+        let idx = ((r.t_min - 1e-9).max(0.0) / BUCKET_MIN) as usize;
+        if buckets.len() <= idx {
+            buckets.resize(idx + 1, (0.0, 0, 0, 0, 0));
+        }
+        let b = &mut buckets[idx];
+        b.0 = (idx as f64 + 1.0) * BUCKET_MIN;
+        b.1 = b.1.max(r.pending);
+        b.2 += r.proposed;
+        b.3 += r.accepted;
+        b.4 += r.rejected;
+    }
+    let max_pending = buckets.iter().map(|b| b.1).max().unwrap_or(1);
+
+    println!(
+        "day with {} tasks / {} workers — PPI completion {:.3}, rejection {:.3}\n",
+        metrics.tasks_total,
+        workload.workers.len(),
+        metrics.completion_ratio(),
+        metrics.rejection_ratio()
+    );
+    println!("  time | peak pending          | proposed accepted rejected");
+    for (t, pending, proposed, accepted, rejected) in &buckets {
+        println!(
+            " {:>4.0}m | {:<21} | {:>8} {:>8} {:>8}",
+            t,
+            format!("{} {}", bar(*pending, max_pending, 14), pending),
+            proposed,
+            accepted,
+            rejected
+        );
+    }
+    println!(
+        "\ntrace covered {} batches; totals — proposed {}, accepted {}, rejected {}",
+        trace.len(),
+        metrics.assigned_total,
+        metrics.completed,
+        metrics.rejected
+    );
+}

@@ -1,0 +1,65 @@
+//! Train once, serve many: persisting the offline stage.
+//!
+//! The paper's platform trains mobility models offline and reuses them
+//! online. This example runs the offline stage once, archives the
+//! predictor set to JSON, reloads it, and proves the reloaded models
+//! drive the online stage identically — the workflow a production
+//! deployment would use across restarts.
+//!
+//! ```sh
+//! cargo run --release --example train_once_serve_many
+//! ```
+
+use tamp::platform::{
+    run_assignment, train_predictors, AssignmentAlgo, EngineConfig, TrainingConfig,
+};
+use tamp::platform::training::TrainedPredictors;
+use tamp::sim::{Scale, WorkloadConfig, WorkloadKind};
+
+fn main() -> std::io::Result<()> {
+    let dir = std::env::temp_dir().join("tamp_demo_artifacts");
+    let workload_path = dir.join("city.json");
+    let predictors_path = dir.join("predictors.json");
+
+    // ---- offline stage (run once) ----
+    let workload = WorkloadConfig::new(WorkloadKind::PortoDidi, Scale::tiny(), 99).build();
+    workload.save_json(&workload_path)?;
+    let predictors = train_predictors(
+        &workload,
+        &TrainingConfig {
+            seed: 99,
+            ..TrainingConfig::default()
+        },
+    );
+    predictors.save_json(&predictors_path)?;
+    println!(
+        "archived offline stage: {} models ({:.1}s training) → {}",
+        predictors.models.len(),
+        predictors.train_seconds,
+        predictors_path.display()
+    );
+
+    // ---- a later process: reload and serve ----
+    let workload2 = tamp::sim::Workload::load_json(&workload_path)?;
+    let reloaded = TrainedPredictors::load_json(&predictors_path)?;
+    let engine = EngineConfig::default();
+
+    let fresh = run_assignment(&workload, Some(&predictors), AssignmentAlgo::Ppi, &engine);
+    let served = run_assignment(&workload2, Some(&reloaded), AssignmentAlgo::Ppi, &engine);
+    println!(
+        "fresh run   : completion {:.3}, rejection {:.3}",
+        fresh.completion_ratio(),
+        fresh.rejection_ratio()
+    );
+    println!(
+        "reloaded run: completion {:.3}, rejection {:.3}",
+        served.completion_ratio(),
+        served.rejection_ratio()
+    );
+    assert_eq!(fresh.completed, served.completed, "identical behaviour after reload");
+    assert_eq!(fresh.rejected, served.rejected);
+    println!("reloaded predictors reproduce the fresh run exactly ✓");
+
+    std::fs::remove_dir_all(&dir).ok();
+    Ok(())
+}

@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Regenerates every table and figure of the paper plus the repo's own
+# ablations. Configure with TAMP_SCALE (tiny|small|paper), TAMP_SEED,
+# TAMP_OUT. Results print as markdown and land in ${TAMP_OUT:-results}/.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+BINS=(exp_table4 exp_table5 exp_table6 exp_table7
+      exp_fig6 exp_fig7 exp_fig8 exp_fig9 exp_fig10 exp_fig11
+      exp_ablation_meta exp_ablation_ppi)
+cargo build --release -p tamp-bench --bins
+for b in "${BINS[@]}"; do
+  echo "=== $b ==="
+  cargo run --release -p tamp-bench --bin "$b"
+done

@@ -1,0 +1,30 @@
+//! # tamp — Mobility Prediction-Aware Spatial Crowdsourcing
+//!
+//! A reproduction of *"Effective Task Assignment in Mobility
+//! Prediction-Aware Spatial Crowdsourcing"* (Li et al., ICDE 2025) as a
+//! Rust workspace. This facade crate re-exports the workspace so
+//! downstream users depend on a single package:
+//!
+//! * [`core`] — domain model (tasks, workers, routines, geometry).
+//! * [`nn`] — micro neural-network library (LSTM encoder–decoder,
+//!   optimisers, the task-assignment-oriented loss of Eq. 6–7).
+//! * [`sim`] — synthetic city workloads standing in for the
+//!   Porto/Didi and Gowalla/Foursquare datasets.
+//! * [`meta`] — game-theory-based task-adaptive meta-learning (GTMC,
+//!   TAML) plus the MAML / CTML / GTTAML-GT baselines.
+//! * [`assign`] — Hungarian matching, the matching-rate metric, the PPI
+//!   assignment algorithm and the UB / LB / KM / GGPSO baselines.
+//! * [`platform`] — the batch-mode platform simulator and the experiment
+//!   drivers that regenerate every table and figure of the paper.
+//!
+//! See `examples/quickstart.rs` for a three-minute tour.
+
+pub use tamp_assign as assign;
+pub use tamp_core as core;
+pub use tamp_meta as meta;
+pub use tamp_nn as nn;
+pub use tamp_platform as platform;
+pub use tamp_sim as sim;
+
+/// The crate version, for experiment reports.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");

@@ -1,0 +1,133 @@
+//! Cross-crate integration tests: the full TAMP pipeline at tiny scale.
+
+use tamp::platform::engine::run_all_algorithms;
+use tamp::platform::{
+    run_assignment, train_predictors, AssignmentAlgo, EngineConfig, LossKind, PredictionAlgo,
+    TrainingConfig,
+};
+use tamp::meta::meta_training::MetaConfig;
+use tamp::sim::{Scale, WorkloadConfig, WorkloadKind};
+
+fn quick_training(seed: u64, algo: PredictionAlgo, loss: LossKind) -> TrainingConfig {
+    TrainingConfig {
+        algo,
+        loss,
+        hidden: 8,
+        seq_in: 3,
+        seq_out: 1,
+        meta: MetaConfig {
+            iterations: 3,
+            batch_tasks: 3,
+            ..MetaConfig::default()
+        },
+        path_steps: 2,
+        adapt_steps: 3,
+        seed,
+        ..TrainingConfig::default()
+    }
+}
+
+fn engine() -> EngineConfig {
+    EngineConfig {
+        seq_in: 3,
+        ..EngineConfig::default()
+    }
+}
+
+#[test]
+fn full_pipeline_runs_and_metrics_are_sane() {
+    let workload = WorkloadConfig::new(WorkloadKind::PortoDidi, Scale::tiny(), 1001).build();
+    let predictors = train_predictors(
+        &workload,
+        &quick_training(1001, PredictionAlgo::Gttaml, LossKind::TaskOriented),
+    );
+    assert_eq!(predictors.models.len(), workload.workers.len());
+    assert!(predictors.overall.rmse_cells > 0.0);
+    assert!((0.0..=1.0).contains(&predictors.overall.mr));
+
+    let m = run_assignment(&workload, Some(&predictors), AssignmentAlgo::Ppi, &engine());
+    assert_eq!(m.tasks_total, workload.tasks.len());
+    assert_eq!(m.completed + m.rejected, m.assigned_total);
+    assert!(m.completion_ratio() <= 1.0);
+    assert!(m.avg_worker_cost_km() <= workload.workers[0].worker.detour_limit_km);
+}
+
+#[test]
+fn pipeline_is_deterministic_in_the_seed() {
+    let build = || {
+        let workload = WorkloadConfig::new(WorkloadKind::PortoDidi, Scale::tiny(), 77).build();
+        let p = train_predictors(
+            &workload,
+            &quick_training(77, PredictionAlgo::Gttaml, LossKind::Mse),
+        );
+        run_assignment(&workload, Some(&p), AssignmentAlgo::Ppi, &engine())
+    };
+    let a = build();
+    let b = build();
+    assert_eq!(a.completed, b.completed);
+    assert_eq!(a.rejected, b.rejected);
+    assert_eq!(a.assigned_total, b.assigned_total);
+    assert!((a.total_detour_km - b.total_detour_km).abs() < 1e-9);
+}
+
+#[test]
+fn ub_bounds_hold_across_the_roster() {
+    let workload = WorkloadConfig::new(WorkloadKind::PortoDidi, Scale::tiny(), 55).build();
+    let with_loss = train_predictors(
+        &workload,
+        &quick_training(55, PredictionAlgo::Gttaml, LossKind::TaskOriented),
+    );
+    let with_mse = train_predictors(
+        &workload,
+        &quick_training(55, PredictionAlgo::Gttaml, LossKind::Mse),
+    );
+    let rows = run_all_algorithms(&workload, &with_loss, &with_mse, &engine());
+    let get = |name: &str| {
+        rows.iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, m)| *m)
+            .expect("algorithm row present")
+    };
+    let ub = get("UB");
+    assert_eq!(ub.rejected, 0, "UB never violates real constraints");
+    // UB is the completion upper bound of the roster.
+    for (name, m) in &rows {
+        assert!(
+            m.completion_ratio() <= ub.completion_ratio() + 1e-9,
+            "{name} beats UB: {} > {}",
+            m.completion_ratio(),
+            ub.completion_ratio()
+        );
+    }
+    // All plans account consistently.
+    for (name, m) in &rows {
+        assert_eq!(m.completed + m.rejected, m.assigned_total, "{name}");
+    }
+}
+
+#[test]
+fn workload2_pipeline_also_runs() {
+    let workload =
+        WorkloadConfig::new(WorkloadKind::GowallaFoursquare, Scale::tiny(), 90).build();
+    let p = train_predictors(
+        &workload,
+        &quick_training(90, PredictionAlgo::Ctml, LossKind::Mse),
+    );
+    let m = run_assignment(&workload, Some(&p), AssignmentAlgo::Km, &engine());
+    assert_eq!(m.completed + m.rejected, m.assigned_total);
+}
+
+#[test]
+fn every_prediction_algorithm_feeds_the_engine() {
+    let workload = WorkloadConfig::new(WorkloadKind::PortoDidi, Scale::tiny(), 31).build();
+    for algo in [
+        PredictionAlgo::Maml,
+        PredictionAlgo::Ctml,
+        PredictionAlgo::GttamlGt,
+        PredictionAlgo::Gttaml,
+    ] {
+        let p = train_predictors(&workload, &quick_training(31, algo, LossKind::Mse));
+        let m = run_assignment(&workload, Some(&p), AssignmentAlgo::Ppi, &engine());
+        assert!(m.assigned_total > 0, "{algo:?} produced no assignments");
+    }
+}

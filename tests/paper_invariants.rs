@@ -1,0 +1,194 @@
+//! Cross-crate tests of the paper's formal claims.
+//!
+//! These pin the theorem-level behaviour: the potential-game property
+//! behind Theorem 1, the Lemma 1 geometry, the Theorem 2 feasibility
+//! premise as used by PPI, and the loss-weighting claim of Section III-C.
+
+use tamp::assign::feasibility::{feasible_distances, theorem2_bound, FeasibilityParams};
+use tamp::assign::view::WorkerView;
+use tamp::core::geometry::detour_via;
+use tamp::core::rng::rng_for;
+use tamp::core::{Grid, Minutes, Point, SpatialTask, TaskId, WorkerId};
+use tamp::meta::game::best_response;
+use tamp::meta::quality::potential;
+use tamp::meta::similarity::SimMatrix;
+use tamp::nn::{Loss, MseLoss, TaskDensityMap, TaskOrientedLoss, WeightParams};
+use rand::Rng;
+
+/// Lemma 1's geometric core: if `dis(l1, τ) ≤ a + b ≤ d/2`, the detour
+/// through τ on any leg starting at l1 is `< d`.
+#[test]
+fn lemma1_detour_bound_holds() {
+    let mut rng = rng_for(1, 0);
+    for _ in 0..2000 {
+        let d = rng.gen_range(1.0..10.0);
+        let l1 = Point::new(rng.gen_range(0.0..20.0), rng.gen_range(0.0..10.0));
+        let l2 = Point::new(rng.gen_range(0.0..20.0), rng.gen_range(0.0..10.0));
+        // Place τ within d/2 of l1 (the a + b ≤ d/2 premise).
+        let angle = rng.gen_range(0.0..std::f64::consts::TAU);
+        let radius = rng.gen_range(0.0..d / 2.0);
+        let tau = Point::new(l1.x + radius * angle.cos(), l1.y + radius * angle.sin());
+        let detour = detour_via(l1, tau, l2);
+        assert!(
+            detour < d,
+            "Lemma 1 violated: detour {detour} ≥ d {d} (radius {radius})"
+        );
+    }
+}
+
+/// Theorem 2 as PPI consumes it: every distance admitted to the set `B`
+/// satisfies both the detour and the deadline premise.
+#[test]
+fn theorem2_premises_enforced() {
+    let mut rng = rng_for(2, 0);
+    for _ in 0..500 {
+        let worker = WorkerView {
+            id: WorkerId(1),
+            current: Point::new(0.0, 0.0),
+            predicted: (0..6)
+                .map(|_| Point::new(rng.gen_range(0.0..20.0), rng.gen_range(0.0..10.0)))
+                .collect(),
+            real_future: Vec::new(),
+            mr: 0.5,
+            detour_limit_km: rng.gen_range(1.0..10.0),
+            speed_km_per_min: 0.3,
+        };
+        let task = SpatialTask::new(
+            TaskId(1),
+            Point::new(rng.gen_range(0.0..20.0), rng.gen_range(0.0..10.0)),
+            Minutes::ZERO,
+            Minutes::new(rng.gen_range(5.0..60.0)),
+        );
+        let a_km = 0.4;
+        let params = FeasibilityParams {
+            a_km,
+            now: Minutes::ZERO,
+        };
+        let bound = theorem2_bound(&worker, &task, Minutes::ZERO);
+        assert!(bound <= worker.detour_limit_km / 2.0 + 1e-12);
+        assert!(bound <= task.reach_radius(Minutes::ZERO, worker.speed_km_per_min) + 1e-12);
+        for dist in feasible_distances(&worker, &task, &params) {
+            assert!(dist + a_km <= bound + 1e-12, "B admits an infeasible point");
+        }
+    }
+}
+
+/// The exact-potential property behind Theorem 1, on random instances:
+/// running the dynamics longer never lowers the potential, and the final
+/// state is a Nash equilibrium.
+#[test]
+fn theorem1_potential_monotone_on_random_instances() {
+    for seed in 0..10u64 {
+        let mut rng = rng_for(seed, 3);
+        let n = rng.gen_range(4..14usize);
+        let raw: Vec<f64> = (0..n * n).map(|_| rng.gen_range(0.0..1.0)).collect();
+        let sim = SimMatrix::from_fn(n, |i, j| raw[i.min(j) * n + i.max(j)]);
+        let gamma = 0.25;
+        let initial: Vec<Vec<usize>> = vec![(0..n).collect()];
+        let mut last = potential(&sim, &initial, gamma);
+        for passes in 1..=8 {
+            let out = best_response(&sim, initial.clone(), gamma, passes);
+            let p = potential(&sim, &out.clusters, gamma);
+            assert!(p >= last - 1e-9, "potential decreased at pass {passes}");
+            last = last.max(p);
+            if out.converged {
+                break;
+            }
+        }
+    }
+}
+
+/// Section III-C's claim: the weighted loss penalises errors in task-dense
+/// regions more than identical errors in task deserts.
+#[test]
+fn weighted_loss_prioritises_task_dense_regions() {
+    let grid = Grid::PAPER;
+    // A dense hotspot around (5, 5).
+    let hotspot: Vec<Point> = (0..500)
+        .map(|i| Point::new(5.0 + (i % 20) as f64 * 0.05, 5.0 + (i / 20) as f64 * 0.05))
+        .collect();
+    let loss = TaskOrientedLoss::new(
+        TaskDensityMap::build(grid, &hotspot),
+        WeightParams::default(),
+    );
+
+    // Identical prediction error at the hotspot vs in the desert.
+    let err = [0.01, 0.01];
+    let hot_target = {
+        let (x, y) = grid.normalize(Point::new(5.2, 5.2));
+        [x, y]
+    };
+    let desert_target = {
+        let (x, y) = grid.normalize(Point::new(18.0, 1.0));
+        [x, y]
+    };
+    let (hot_l, _) = loss.step(
+        [hot_target[0] + err[0], hot_target[1] + err[1]],
+        hot_target,
+        1,
+    );
+    let (desert_l, _) = loss.step(
+        [desert_target[0] + err[0], desert_target[1] + err[1]],
+        desert_target,
+        1,
+    );
+    assert!(
+        hot_l > desert_l * 1.5,
+        "hotspot error {hot_l} should dominate desert error {desert_l}"
+    );
+
+    // And plain MSE treats them identically (the misalignment the paper
+    // criticises).
+    let (m1, _) = MseLoss.step(
+        [hot_target[0] + err[0], hot_target[1] + err[1]],
+        hot_target,
+        1,
+    );
+    let (m2, _) = MseLoss.step(
+        [desert_target[0] + err[0], desert_target[1] + err[1]],
+        desert_target,
+        1,
+    );
+    assert!((m1 - m2).abs() < 1e-12);
+}
+
+/// Definition 5's objective accounting: completion + rejection counts add
+/// up, and assignment validity holds per batch (checked end-to-end in
+/// `end_to_end.rs`; here on the raw algorithms with a crafted instance).
+#[test]
+fn ppi_plan_validity_on_crafted_contention() {
+    use tamp::assign::ppi::{ppi_assign, PpiParams};
+    // 5 tasks contending for 2 workers.
+    let tasks: Vec<SpatialTask> = (0..5)
+        .map(|i| {
+            SpatialTask::new(
+                TaskId(i),
+                Point::new(1.0 + i as f64 * 0.1, 1.0),
+                Minutes::ZERO,
+                Minutes::new(60.0),
+            )
+        })
+        .collect();
+    let workers: Vec<WorkerView> = (0..2)
+        .map(|i| WorkerView {
+            id: WorkerId(i),
+            current: Point::new(1.0, 1.0),
+            predicted: vec![Point::new(1.0 + i as f64 * 0.2, 1.0)],
+            real_future: Vec::new(),
+            mr: 0.8,
+            detour_limit_km: 6.0,
+            speed_km_per_min: 0.3,
+        })
+        .collect();
+    let plan = ppi_assign(
+        &tasks,
+        &workers,
+        &PpiParams {
+            a_km: 0.4,
+            epsilon: 2,
+            now: Minutes::ZERO,
+        },
+    );
+    assert!(plan.is_valid());
+    assert_eq!(plan.len(), 2, "both workers get exactly one task");
+}
