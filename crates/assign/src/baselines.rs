@@ -136,8 +136,7 @@ pub fn lb_assign_excluding(
                 continue;
             }
             let dist = worker.current.dist(task.location);
-            let within_deadline = now.as_f64()
-                + travel_minutes(dist, worker.speed_km_per_min)
+            let within_deadline = now.as_f64() + travel_minutes(dist, worker.speed_km_per_min)
                 < task.deadline.as_f64();
             if within_deadline {
                 edges.push(WeightedEdge::new(ti, wi, inv_weight(dist)));
@@ -425,7 +424,12 @@ mod tests {
     }
 
     fn task(id: u64, x: f64, y: f64, deadline: f64) -> SpatialTask {
-        SpatialTask::new(TaskId(id), Point::new(x, y), Minutes::ZERO, Minutes::new(deadline))
+        SpatialTask::new(
+            TaskId(id),
+            Point::new(x, y),
+            Minutes::ZERO,
+            Minutes::new(deadline),
+        )
     }
 
     #[test]
@@ -474,7 +478,10 @@ mod tests {
         let w = worker(1, &[(0.0, 0.0), (9.0, 0.0)], &[]);
         let unreachable = task(1, 8.0, 0.0, 20.0);
         let plan = lb_assign(&[unreachable], std::slice::from_ref(&w), Minutes::ZERO);
-        assert!(plan.is_empty(), "deadline-unreachable task must not be assigned");
+        assert!(
+            plan.is_empty(),
+            "deadline-unreachable task must not be assigned"
+        );
         // A reachable task is assigned regardless of the real path.
         let t2 = task(2, 8.0, 0.0, 240.0);
         let plan = lb_assign(&[t2], std::slice::from_ref(&w), Minutes::ZERO);
@@ -517,7 +524,9 @@ mod tests {
     fn ggpso_never_duplicates_workers() {
         let mut rng = tamp_core::rng::rng_for(12, tamp_core::rng::streams::GENETIC);
         let w = worker(1, &[(0.0, 0.0)], &[(1.0, 0.0)]);
-        let tasks: Vec<SpatialTask> = (0..5).map(|i| task(i, 1.0 + i as f64 * 0.01, 0.0, 240.0)).collect();
+        let tasks: Vec<SpatialTask> = (0..5)
+            .map(|i| task(i, 1.0 + i as f64 * 0.01, 0.0, 240.0))
+            .collect();
         let plan = ggpso_assign(
             &tasks,
             &[w],

@@ -51,7 +51,9 @@ pub fn feasible_distances(
 
 /// Smallest element of a distance set, `minB` of Algorithm 4.
 pub fn min_b(b: &[f64]) -> Option<f64> {
-    b.iter().copied().min_by(|x, y| x.partial_cmp(y).expect("finite"))
+    b.iter()
+        .copied()
+        .min_by(|x, y| x.partial_cmp(y).expect("finite"))
 }
 
 /// The score `|B| · MR` that orders Algorithm 4's stages: the expected

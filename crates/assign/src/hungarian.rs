@@ -304,10 +304,7 @@ mod tests {
     #[test]
     fn forbidden_edges_never_matched() {
         // Only (0,0) and (1,1) exist; the solver cannot invent (0,1).
-        let edges = [
-            WeightedEdge::new(0, 0, 1.0),
-            WeightedEdge::new(1, 1, 1.0),
-        ];
+        let edges = [WeightedEdge::new(0, 0, 1.0), WeightedEdge::new(1, 1, 1.0)];
         let m = max_weight_matching(2, 2, &edges);
         assert_valid(&m);
         let set: std::collections::HashSet<_> = m.into_iter().collect();
@@ -319,10 +316,7 @@ mod tests {
 
     #[test]
     fn parallel_edges_keep_best() {
-        let edges = [
-            WeightedEdge::new(0, 0, 1.0),
-            WeightedEdge::new(0, 0, 7.0),
-        ];
+        let edges = [WeightedEdge::new(0, 0, 1.0), WeightedEdge::new(0, 0, 7.0)];
         let m = max_weight_matching(1, 1, &edges);
         assert_eq!(m, vec![(0, 0)]);
         assert_eq!(matching_weight(&edges, &m), 7.0);

@@ -18,7 +18,9 @@
 //! speculative ones can displace them (see the paper's Discussion of
 //! Algorithm 4).
 
-use crate::feasibility::{expected_support, feasible_distances, min_b, theorem2_bound, FeasibilityParams};
+use crate::feasibility::{
+    expected_support, feasible_distances, min_b, theorem2_bound, FeasibilityParams,
+};
 use crate::hungarian::{max_weight_matching, WeightedEdge};
 use crate::view::{ExcludedPairs, WorkerView};
 use tamp_core::assignment::{Assignment, AssignmentPair};
@@ -111,27 +113,28 @@ pub fn ppi_assign_excluding(
     let mut pending: Vec<WeightedEdge> = Vec::new();
     let mut assigned_tasks = plan.assigned_tasks();
     let mut assigned_workers = plan.assigned_workers();
-    let flush = |pending: &mut Vec<WeightedEdge>,
-                     plan: &mut Assignment,
-                     assigned_tasks: &mut std::collections::HashSet<tamp_core::TaskId>,
-                     assigned_workers: &mut std::collections::HashSet<tamp_core::WorkerId>| {
-        if pending.is_empty() {
-            return;
-        }
-        let m = max_weight_matching(tasks.len(), workers.len(), pending);
-        for &(ti, wi) in &m {
-            let pair = AssignmentPair {
-                task: tasks[ti].id,
-                worker: workers[wi].id,
-                score: edge_weight(pending, ti, wi),
-            };
-            if plan.try_push(pair) {
-                assigned_tasks.insert(pair.task);
-                assigned_workers.insert(pair.worker);
+    let flush =
+        |pending: &mut Vec<WeightedEdge>,
+         plan: &mut Assignment,
+         assigned_tasks: &mut std::collections::HashSet<tamp_core::TaskId>,
+         assigned_workers: &mut std::collections::HashSet<tamp_core::WorkerId>| {
+            if pending.is_empty() {
+                return;
             }
-        }
-        pending.clear();
-    };
+            let m = max_weight_matching(tasks.len(), workers.len(), pending);
+            for &(ti, wi) in &m {
+                let pair = AssignmentPair {
+                    task: tasks[ti].id,
+                    worker: workers[wi].id,
+                    score: edge_weight(pending, ti, wi),
+                };
+                if plan.try_push(pair) {
+                    assigned_tasks.insert(pair.task);
+                    assigned_workers.insert(pair.worker);
+                }
+            }
+            pending.clear();
+        };
     for &(_support, mb, ti, wi) in &deferred {
         if assigned_tasks.contains(&tasks[ti].id) || assigned_workers.contains(&workers[wi].id) {
             continue; // element removed from 𝓑 by an earlier KM round
@@ -303,10 +306,15 @@ mod tests {
         p.epsilon = 1;
         // Three medium-confidence pairs (support < 1).
         let workers: Vec<WorkerView> = (0..3)
-            .map(|i| worker(i, &[(i as f64 * 2.0, 0.0), (i as f64 * 2.0 + 0.1, 0.0)], 0.3))
+            .map(|i| {
+                worker(
+                    i,
+                    &[(i as f64 * 2.0, 0.0), (i as f64 * 2.0 + 0.1, 0.0)],
+                    0.3,
+                )
+            })
             .collect();
-        let tasks: Vec<SpatialTask> =
-            (0..3).map(|i| task(i, i as f64 * 2.0 + 0.2, 0.0)).collect();
+        let tasks: Vec<SpatialTask> = (0..3).map(|i| task(i, i as f64 * 2.0 + 0.2, 0.0)).collect();
         let plan = ppi_assign(&tasks, &workers, &p);
         assert_eq!(plan.len(), 3);
         assert!(plan.is_valid());

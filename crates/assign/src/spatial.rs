@@ -90,7 +90,11 @@ impl BucketIndex {
         let mut out = Vec::new();
         for iy in lo_y..=hi_y {
             for ix in lo_x..=hi_x {
-                out.extend(self.buckets[iy * self.cols + ix].iter().map(|&w| w as usize));
+                out.extend(
+                    self.buckets[iy * self.cols + ix]
+                        .iter()
+                        .map(|&w| w as usize),
+                );
             }
         }
         out.sort_unstable();
@@ -107,7 +111,7 @@ impl BucketIndex {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tamp_core::{WorkerId};
+    use tamp_core::WorkerId;
 
     fn worker_at(id: u64, pts: &[(f64, f64)]) -> WorkerView {
         WorkerView {

@@ -1,18 +1,17 @@
 //! Property-based tests for the matching and assignment layer.
 
 use proptest::prelude::*;
-use tamp_core::routine::TimedPoint;
-use tamp_core::{Minutes, Point, SpatialTask, TaskId, WorkerId};
 use tamp_assign::baselines::{km_assign, lb_assign, ub_assign};
 use tamp_assign::hungarian::{matching_weight, max_weight_matching, WeightedEdge};
 use tamp_assign::matching_rate::matching_rate;
 use tamp_assign::ppi::{ppi_assign, PpiParams};
 use tamp_assign::view::WorkerView;
+use tamp_core::routine::TimedPoint;
+use tamp_core::{Minutes, Point, SpatialTask, TaskId, WorkerId};
 
 fn edges_strategy() -> impl Strategy<Value = (usize, usize, Vec<WeightedEdge>)> {
     (1usize..6, 1usize..6).prop_flat_map(|(n, m)| {
-        let edge = (0..n, 0..m, 0.1..10.0f64)
-            .prop_map(|(l, r, w)| WeightedEdge::new(l, r, w));
+        let edge = (0..n, 0..m, 0.1..10.0f64).prop_map(|(l, r, w)| WeightedEdge::new(l, r, w));
         prop::collection::vec(edge, 0..12).prop_map(move |es| (n, m, es))
     })
 }
@@ -32,7 +31,9 @@ fn worker_strategy() -> impl Strategy<Value = WorkerView> {
             real_future: real
                 .iter()
                 .enumerate()
-                .map(|(i, &(x, y))| TimedPoint::new(Point::new(x, y), Minutes::new(i as f64 * 10.0)))
+                .map(|(i, &(x, y))| {
+                    TimedPoint::new(Point::new(x, y), Minutes::new(i as f64 * 10.0))
+                })
                 .collect(),
             mr,
             detour_limit_km: d,
@@ -45,7 +46,12 @@ fn tasks_strategy() -> impl Strategy<Value = Vec<SpatialTask>> {
         ts.iter()
             .enumerate()
             .map(|(i, &(x, y, dl))| {
-                SpatialTask::new(TaskId(i as u64), Point::new(x, y), Minutes::ZERO, Minutes::new(dl))
+                SpatialTask::new(
+                    TaskId(i as u64),
+                    Point::new(x, y),
+                    Minutes::ZERO,
+                    Minutes::new(dl),
+                )
             })
             .collect()
     })

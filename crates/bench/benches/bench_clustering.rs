@@ -18,7 +18,9 @@ fn noisy_blocks(n: usize, block: usize) -> SimMatrix {
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("clustering");
-    group.sample_size(20).measurement_time(std::time::Duration::from_secs(2));
+    group
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(2));
     for &n in &[16usize, 64, 128] {
         let sim = noisy_blocks(n, n / 4);
         let members: Vec<usize> = (0..n).collect();

@@ -36,7 +36,9 @@ fn greedy(n: usize, m: usize, edges: &[WeightedEdge]) -> usize {
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("hungarian");
-    group.sample_size(20).measurement_time(std::time::Duration::from_secs(2));
+    group
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(2));
     for &n in &[8usize, 32, 64, 128] {
         let edges = dense_edges(n, n, n as u64);
         group.bench_with_input(BenchmarkId::new("km", n), &n, |b, &n| {

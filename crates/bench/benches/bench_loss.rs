@@ -16,15 +16,15 @@ fn bench(c: &mut Criterion) {
     let tasks: Vec<Point> = (0..20_000)
         .map(|_| Point::new(rng.gen_range(0.0..20.0), rng.gen_range(0.0..10.0)))
         .collect();
-    let weighted = TaskOrientedLoss::new(
-        TaskDensityMap::build(grid, &tasks),
-        WeightParams::default(),
-    );
+    let weighted =
+        TaskOrientedLoss::new(TaskDensityMap::build(grid, &tasks), WeightParams::default());
     let pred: Pt2 = [0.31, 0.52];
     let target: Pt2 = [0.30, 0.50];
 
     let mut group = c.benchmark_group("loss");
-    group.sample_size(50).measurement_time(std::time::Duration::from_secs(2));
+    group
+        .sample_size(50)
+        .measurement_time(std::time::Duration::from_secs(2));
     group.bench_function("mse_step", |b| {
         b.iter(|| black_box(MseLoss.step(black_box(pred), black_box(target), 3)))
     });

@@ -26,7 +26,9 @@ fn bench(c: &mut Criterion) {
     let mut rng = rng_for(1, 0);
     let model = Seq2Seq::new(Seq2SeqConfig::lstm(16), &mut rng);
     let mut group = c.benchmark_group("lstm");
-    group.sample_size(30).measurement_time(std::time::Duration::from_secs(2));
+    group
+        .sample_size(30)
+        .measurement_time(std::time::Duration::from_secs(2));
     for &(si, so) in &[(1usize, 1usize), (5, 1), (5, 3), (10, 3)] {
         let b8 = batch(si, so, 8);
         group.bench_with_input(

@@ -6,8 +6,8 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::Rng;
 use std::hint::black_box;
 use tamp_assign::baselines::{km_assign, km_assign_indexed};
-use tamp_assign::view::ExcludedPairs;
 use tamp_assign::ppi::{ppi_assign, PpiParams};
+use tamp_assign::view::ExcludedPairs;
 use tamp_assign::view::WorkerView;
 use tamp_core::rng::rng_for;
 use tamp_core::{Minutes, Point, SpatialTask, TaskId, WorkerId};
@@ -45,25 +45,29 @@ fn setup(n_tasks: usize, n_workers: usize, seed: u64) -> (Vec<SpatialTask>, Vec<
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("ppi");
-    group.sample_size(20).measurement_time(std::time::Duration::from_secs(2));
+    group
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(2));
     for &n in &[16usize, 48, 96, 256] {
         let (tasks, workers) = setup(n, n, n as u64);
         for &eps in &[2usize, 8, 32] {
-            group.bench_with_input(
-                BenchmarkId::new(format!("ppi_eps{eps}"), n),
-                &n,
-                |b, _| {
-                    let params = PpiParams {
-                        a_km: 0.4,
-                        epsilon: eps,
-                        now: Minutes::ZERO,
-                    };
-                    b.iter(|| black_box(ppi_assign(black_box(&tasks), black_box(&workers), &params)))
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(format!("ppi_eps{eps}"), n), &n, |b, _| {
+                let params = PpiParams {
+                    a_km: 0.4,
+                    epsilon: eps,
+                    now: Minutes::ZERO,
+                };
+                b.iter(|| black_box(ppi_assign(black_box(&tasks), black_box(&workers), &params)))
+            });
         }
         group.bench_with_input(BenchmarkId::new("km_single", n), &n, |b, _| {
-            b.iter(|| black_box(km_assign(black_box(&tasks), black_box(&workers), Minutes::ZERO)))
+            b.iter(|| {
+                black_box(km_assign(
+                    black_box(&tasks),
+                    black_box(&workers),
+                    Minutes::ZERO,
+                ))
+            })
         });
         group.bench_with_input(BenchmarkId::new("km_indexed", n), &n, |b, _| {
             let none = ExcludedPairs::new();

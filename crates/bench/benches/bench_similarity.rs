@@ -5,7 +5,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::Rng;
 use std::hint::black_box;
 use tamp_core::rng::rng_for;
-use tamp_core::{Point, Poi, PoiCategory};
+use tamp_core::{Poi, PoiCategory, Point};
 use tamp_meta::similarity::{sim_distribution, sim_learning_path, sim_spatial};
 use tamp_meta::sinkhorn::{sinkhorn_distance, SinkhornConfig};
 use tamp_meta::wasserstein::{strided_subsample, w1_distance_capped};
@@ -19,14 +19,20 @@ fn cloud(n: usize, seed: u64) -> Vec<Point> {
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("similarity");
-    group.sample_size(20).measurement_time(std::time::Duration::from_secs(2));
+    group
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(2));
 
     let a = cloud(256, 1);
     let b = cloud(256, 2);
     for &cap in &[16usize, 32, 48, 64] {
-        group.bench_with_input(BenchmarkId::new("sim_d_w1_exact", cap), &cap, |bch, &cap| {
-            bch.iter(|| black_box(w1_distance_capped(black_box(&a), black_box(&b), cap)))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("sim_d_w1_exact", cap),
+            &cap,
+            |bch, &cap| {
+                bch.iter(|| black_box(w1_distance_capped(black_box(&a), black_box(&b), cap)))
+            },
+        );
         // Sinkhorn on the same subsample sizes: the O(n²·iters) scalable
         // alternative; the crossover vs the exact O(n³) solver shows when
         // it pays off.

@@ -18,9 +18,14 @@ fn main() {
         (PredictionAlgo::GttamlGt, "GTTAML-GT"),
         (PredictionAlgo::Gttaml, "GTTAML"),
     ] {
-        let cfg = TrainingConfig { algo, ..default_training(seed) };
+        let cfg = TrainingConfig {
+            algo,
+            ..default_training(seed)
+        };
         let p = train_predictors(&w, &cfg);
-        println!("{name:<10} rmse {:.3} mae {:.3} mr {:.3} tt {:.1}s clusters {}",
-            p.overall.rmse_cells, p.overall.mae_cells, p.overall.mr, p.train_seconds, p.n_clusters);
+        println!(
+            "{name:<10} rmse {:.3} mae {:.3} mr {:.3} tt {:.1}s clusters {}",
+            p.overall.rmse_cells, p.overall.mae_cells, p.overall.mr, p.train_seconds, p.n_clusters
+        );
     }
 }

@@ -6,19 +6,24 @@
 //! poor, the mobility data is inherently unpredictable (roamers), not the
 //! training pipeline.
 use tamp_bench::seed_from_env;
+use tamp_core::rng::rng_for;
+use tamp_meta::eval::evaluate_model;
+use tamp_nn::{Adam, MseLoss, Optimizer, Seq2Seq, Seq2SeqConfig};
 use tamp_platform::training::{build_learning_tasks, TrainingConfig};
 use tamp_sim::{Scale, WorkloadConfig, WorkloadKind};
-use tamp_meta::eval::evaluate_model;
-use tamp_nn::{MseLoss, Adam, Optimizer, Seq2Seq, Seq2SeqConfig};
-use tamp_core::rng::rng_for;
 
 fn main() {
     let seed = seed_from_env();
     let w = WorkloadConfig::new(WorkloadKind::PortoDidi, Scale::tiny(), seed).build();
-    let cfg = TrainingConfig { seed, ..TrainingConfig::default() };
+    let cfg = TrainingConfig {
+        seed,
+        ..TrainingConfig::default()
+    };
     let tasks = build_learning_tasks(&w, &cfg);
     for (i, task) in tasks.iter().enumerate().take(4) {
-        if !task.is_trainable() { continue; }
+        if !task.is_trainable() {
+            continue;
+        }
         let mut rng = rng_for(seed, 99);
         let mut model = Seq2Seq::new(Seq2SeqConfig::lstm(16), &mut rng);
         let mut params = model.params();

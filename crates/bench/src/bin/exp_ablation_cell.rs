@@ -49,6 +49,10 @@ fn main() {
         })
         .collect();
     print_markdown_table(&["cell", "RMSE", "MAE", "MR", "TT (s)"], &table);
-    save_json(&out_dir().join("ablation_cell.json"), "ablation_cell_family", &rows)
-        .expect("write rows");
+    save_json(
+        &out_dir().join("ablation_cell.json"),
+        "ablation_cell_family",
+        &rows,
+    )
+    .expect("write rows");
 }

@@ -9,9 +9,6 @@
 
 use std::time::Instant;
 use tamp_bench::{default_training, out_dir, seed_from_env};
-use tamp_platform::experiments::report::{f1, f4, print_markdown_table, save_json};
-use tamp_platform::training::{build_learning_tasks, TrainingConfig};
-use tamp_sim::{Scale, WorkloadConfig, WorkloadKind};
 use tamp_core::rng::{rng_for, streams};
 use tamp_meta::eval::{evaluate_model, PredictionMetrics};
 use tamp_meta::maml::adapt;
@@ -19,6 +16,9 @@ use tamp_meta::meta_training::meta_train;
 use tamp_meta::second_order::meta_train_second_order;
 use tamp_meta::LearningTask;
 use tamp_nn::{MseLoss, Seq2Seq, Seq2SeqConfig};
+use tamp_platform::experiments::report::{f1, f4, print_markdown_table, save_json};
+use tamp_platform::training::{build_learning_tasks, TrainingConfig};
+use tamp_sim::{Scale, WorkloadConfig, WorkloadKind};
 
 fn main() {
     let seed = seed_from_env();
@@ -62,9 +62,23 @@ fn main() {
         let mut meta_rng = rng_for(seed, streams::META);
         let start = Instant::now();
         if second_order {
-            meta_train_second_order(&mut theta, &refs, &template, &MseLoss, &cfg.meta, &mut meta_rng);
+            meta_train_second_order(
+                &mut theta,
+                &refs,
+                &template,
+                &MseLoss,
+                &cfg.meta,
+                &mut meta_rng,
+            );
         } else {
-            meta_train(&mut theta, &refs, &template, &MseLoss, &cfg.meta, &mut meta_rng);
+            meta_train(
+                &mut theta,
+                &refs,
+                &template,
+                &MseLoss,
+                &cfg.meta,
+                &mut meta_rng,
+            );
         }
         let tt = start.elapsed().as_secs_f64();
         let m = evaluate(&theta, &mut meta_rng);
@@ -89,6 +103,10 @@ fn main() {
         })
         .collect();
     print_markdown_table(&["variant", "RMSE", "MAE", "MR", "TT (s)"], &table);
-    save_json(&out_dir().join("ablation_meta.json"), "ablation_meta_order", &rows)
-        .expect("write rows");
+    save_json(
+        &out_dir().join("ablation_meta.json"),
+        "ablation_meta_order",
+        &rows,
+    )
+    .expect("write rows");
 }

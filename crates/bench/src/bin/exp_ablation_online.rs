@@ -73,6 +73,10 @@ fn main() {
         })
         .collect();
     print_markdown_table(&["variant", "completion", "rejection", "cost (km)"], &table);
-    save_json(&out_dir().join("ablation_online.json"), "ablation_online_adaptation", &rows)
-        .expect("write rows");
+    save_json(
+        &out_dir().join("ablation_online.json"),
+        "ablation_online_adaptation",
+        &rows,
+    )
+    .expect("write rows");
 }

@@ -69,7 +69,13 @@ fn main() {
         })
         .collect();
     print_markdown_table(
-        &["variant", "completion", "rejection", "cost (km)", "runtime (s)"],
+        &[
+            "variant",
+            "completion",
+            "rejection",
+            "cost (km)",
+            "runtime (s)",
+        ],
         &table,
     );
     save_json(&out_dir().join("ablation_ppi.json"), "ablation_ppi", &rows).expect("write rows");

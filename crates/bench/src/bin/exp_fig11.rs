@@ -1,13 +1,18 @@
 //! Regenerates **Fig. 11** of the paper: effect of task valid time (workload 2).
 
-use tamp_bench::{default_engine, default_training, out_dir, print_assignment, scale_from_env, seed_from_env};
-use tamp_platform::experiments::{valid_time_sweep, save_json, SweepConfig};
+use tamp_bench::{
+    default_engine, default_training, out_dir, print_assignment, scale_from_env, seed_from_env,
+};
+use tamp_platform::experiments::{save_json, valid_time_sweep, SweepConfig};
 use tamp_sim::WorkloadKind;
 
 fn main() {
     let scale = scale_from_env();
     let seed = seed_from_env();
-    println!("# Fig. 11: effect of task valid time (workload 2, {} workers, seed {seed})", scale.n_workers);
+    println!(
+        "# Fig. 11: effect of task valid time (workload 2, {} workers, seed {seed})",
+        scale.n_workers
+    );
     let cfg = SweepConfig {
         kind: WorkloadKind::GowallaFoursquare,
         scale,
@@ -17,5 +22,10 @@ fn main() {
     };
     let rows = valid_time_sweep(&cfg, &[1.0, 2.0, 3.0, 4.0, 5.0]);
     print_assignment(&rows);
-    save_json(&out_dir().join("fig11.json"), "fig11_valid_time_sweep_workload2", &rows).expect("write rows");
+    save_json(
+        &out_dir().join("fig11.json"),
+        "fig11_valid_time_sweep_workload2",
+        &rows,
+    )
+    .expect("write rows");
 }

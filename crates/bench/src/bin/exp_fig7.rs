@@ -1,13 +1,18 @@
 //! Regenerates **Fig. 7** of the paper: effect of the number of spatial tasks (workload 1).
 
-use tamp_bench::{default_engine, default_training, out_dir, print_assignment, scale_from_env, seed_from_env};
-use tamp_platform::experiments::{task_count_sweep, save_json, SweepConfig};
+use tamp_bench::{
+    default_engine, default_training, out_dir, print_assignment, scale_from_env, seed_from_env,
+};
+use tamp_platform::experiments::{save_json, task_count_sweep, SweepConfig};
 use tamp_sim::WorkloadKind;
 
 fn main() {
     let scale = scale_from_env();
     let seed = seed_from_env();
-    println!("# Fig. 7: effect of the number of spatial tasks (workload 1, {} workers, seed {seed})", scale.n_workers);
+    println!(
+        "# Fig. 7: effect of the number of spatial tasks (workload 1, {} workers, seed {seed})",
+        scale.n_workers
+    );
     let cfg = SweepConfig {
         kind: WorkloadKind::PortoDidi,
         scale,
@@ -17,5 +22,10 @@ fn main() {
     };
     let rows = task_count_sweep(&cfg, &tamp_bench::task_sweep_points(&scale));
     print_assignment(&rows);
-    save_json(&out_dir().join("fig7.json"), "fig7_task_count_sweep_workload1", &rows).expect("write rows");
+    save_json(
+        &out_dir().join("fig7.json"),
+        "fig7_task_count_sweep_workload1",
+        &rows,
+    )
+    .expect("write rows");
 }

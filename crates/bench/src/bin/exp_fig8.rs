@@ -1,13 +1,18 @@
 //! Regenerates **Fig. 8** of the paper: effect of task valid time (workload 1).
 
-use tamp_bench::{default_engine, default_training, out_dir, print_assignment, scale_from_env, seed_from_env};
-use tamp_platform::experiments::{valid_time_sweep, save_json, SweepConfig};
+use tamp_bench::{
+    default_engine, default_training, out_dir, print_assignment, scale_from_env, seed_from_env,
+};
+use tamp_platform::experiments::{save_json, valid_time_sweep, SweepConfig};
 use tamp_sim::WorkloadKind;
 
 fn main() {
     let scale = scale_from_env();
     let seed = seed_from_env();
-    println!("# Fig. 8: effect of task valid time (workload 1, {} workers, seed {seed})", scale.n_workers);
+    println!(
+        "# Fig. 8: effect of task valid time (workload 1, {} workers, seed {seed})",
+        scale.n_workers
+    );
     let cfg = SweepConfig {
         kind: WorkloadKind::PortoDidi,
         scale,
@@ -17,5 +22,10 @@ fn main() {
     };
     let rows = valid_time_sweep(&cfg, &[1.0, 2.0, 3.0, 4.0, 5.0]);
     print_assignment(&rows);
-    save_json(&out_dir().join("fig8.json"), "fig8_valid_time_sweep_workload1", &rows).expect("write rows");
+    save_json(
+        &out_dir().join("fig8.json"),
+        "fig8_valid_time_sweep_workload1",
+        &rows,
+    )
+    .expect("write rows");
 }

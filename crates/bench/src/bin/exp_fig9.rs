@@ -1,13 +1,18 @@
 //! Regenerates **Fig. 9** of the paper: effect of worker detour d (workload 2).
 
-use tamp_bench::{default_engine, default_training, out_dir, print_assignment, scale_from_env, seed_from_env};
+use tamp_bench::{
+    default_engine, default_training, out_dir, print_assignment, scale_from_env, seed_from_env,
+};
 use tamp_platform::experiments::{detour_sweep, save_json, SweepConfig};
 use tamp_sim::WorkloadKind;
 
 fn main() {
     let scale = scale_from_env();
     let seed = seed_from_env();
-    println!("# Fig. 9: effect of worker detour d (workload 2, {} workers, seed {seed})", scale.n_workers);
+    println!(
+        "# Fig. 9: effect of worker detour d (workload 2, {} workers, seed {seed})",
+        scale.n_workers
+    );
     let cfg = SweepConfig {
         kind: WorkloadKind::GowallaFoursquare,
         scale,
@@ -17,5 +22,10 @@ fn main() {
     };
     let rows = detour_sweep(&cfg, &[2.0, 4.0, 6.0, 8.0, 10.0]);
     print_assignment(&rows);
-    save_json(&out_dir().join("fig9.json"), "fig9_detour_sweep_workload2", &rows).expect("write rows");
+    save_json(
+        &out_dir().join("fig9.json"),
+        "fig9_detour_sweep_workload2",
+        &rows,
+    )
+    .expect("write rows");
 }

@@ -1,0 +1,110 @@
+//! Robustness under injected faults (ours, beyond the paper): sweeps
+//! report loss × prediction failure and measures how gracefully each
+//! assignment algorithm degrades. See DESIGN.md, "Fault model &
+//! degradation ladder".
+
+use tamp_bench::svg::{line_chart, Series};
+use tamp_bench::{
+    default_engine, default_training, out_dir, print_robustness, scale_from_env, seed_from_env,
+};
+use tamp_platform::engine::OnlineAdaptConfig;
+use tamp_platform::experiments::{robustness_sweep, save_json, RobustnessRow, SweepConfig};
+use tamp_sim::WorkloadKind;
+
+const REPORT_LOSSES: [f64; 6] = [0.0, 0.1, 0.2, 0.3, 0.4, 0.5];
+const PREDICTION_FAILURES: [f64; 3] = [0.0, 0.1, 0.25];
+
+/// One series per (algorithm, prediction-failure slice), x = report loss
+/// in %, y = `pick(row)`.
+fn series_over_loss(
+    rows: &[RobustnessRow],
+    slices: &[f64],
+    pick: impl Fn(&RobustnessRow) -> f64,
+) -> Vec<Series> {
+    let mut out = Vec::new();
+    for algo in ["PPI", "KM", "LB"] {
+        for &pf in slices {
+            let points: Vec<(f64, f64)> = rows
+                .iter()
+                .filter(|r| r.algorithm == algo && r.prediction_failure == pf)
+                .map(|r| (r.report_loss * 100.0, pick(r)))
+                .collect();
+            if !points.is_empty() {
+                out.push(Series {
+                    name: format!("{algo} pf={:.0}%", pf * 100.0),
+                    points,
+                });
+            }
+        }
+    }
+    out
+}
+
+fn main() {
+    let scale = scale_from_env();
+    let seed = seed_from_env();
+    println!(
+        "# Robustness: completion under report loss × prediction failure ({} workers, seed {seed})",
+        scale.n_workers
+    );
+    let cfg = SweepConfig {
+        kind: WorkloadKind::PortoDidi,
+        scale,
+        seed,
+        training: default_training(seed),
+        // Online adaptation is on so the sweep also measures the
+        // quarantine rung (poisoned rounds → rollback to checkpoint).
+        engine: tamp_platform::EngineConfig {
+            online_adapt: Some(OnlineAdaptConfig::default()),
+            ..default_engine(seed)
+        },
+    };
+    let rows = robustness_sweep(&cfg, &REPORT_LOSSES, &PREDICTION_FAILURES);
+    print_robustness(&rows);
+
+    let out = out_dir();
+    std::fs::create_dir_all(&out).expect("create output dir");
+    save_json(
+        &out.join("robustness.json"),
+        "robustness_fault_sweep",
+        &rows,
+    )
+    .expect("write rows");
+
+    // Charts come straight from the in-memory rows (the JSON on disk is
+    // for downstream tooling, not a round-trip dependency). The palette
+    // has 8 colours, so each chart shows at most two failure slices.
+    let charts = [
+        (
+            "robustness_completion.svg",
+            line_chart(
+                "Completion vs report loss",
+                "report loss (%)",
+                "completion ratio",
+                &series_over_loss(&rows, &[0.0, 0.25], |r| r.completion),
+            ),
+        ),
+        (
+            "robustness_rejection.svg",
+            line_chart(
+                "Rejection vs report loss",
+                "report loss (%)",
+                "rejection ratio",
+                &series_over_loss(&rows, &[0.0, 0.25], |r| r.rejection),
+            ),
+        ),
+        (
+            "robustness_fallbacks.svg",
+            line_chart(
+                "Prediction fallbacks vs report loss",
+                "report loss (%)",
+                "fallback views",
+                &series_over_loss(&rows, &[0.1, 0.25], |r| r.fallback_views as f64),
+            ),
+        ),
+    ];
+    for (name, svg) in charts {
+        std::fs::write(out.join(name), svg).expect("write svg");
+        println!("wrote {}", out.join(name).display());
+    }
+}

@@ -60,7 +60,15 @@ fn main() {
         })
         .collect();
     print_markdown_table(
-        &["workers", "tasks", "train (s)", "PPI (s)", "KM (s)", "UB (s)", "PPI completion"],
+        &[
+            "workers",
+            "tasks",
+            "train (s)",
+            "PPI (s)",
+            "KM (s)",
+            "UB (s)",
+            "PPI completion",
+        ],
         &table,
     );
     save_json(&out_dir().join("scaling.json"), "scaling_runtime", &rows).expect("write rows");

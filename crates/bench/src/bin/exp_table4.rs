@@ -8,10 +8,17 @@ use tamp_sim::{WorkloadConfig, WorkloadKind};
 fn main() {
     let scale = scale_from_env();
     let seed = seed_from_env();
-    println!("# Table IV: clustering ablation (workload 1, {} workers, seed {seed})", scale.n_workers);
+    println!(
+        "# Table IV: clustering ablation (workload 1, {} workers, seed {seed})",
+        scale.n_workers
+    );
     let workload = WorkloadConfig::new(WorkloadKind::PortoDidi, scale, seed).build();
     let rows = clustering_ablation(&workload, &default_training(seed));
     print_ablation(&rows);
-    save_json(&out_dir().join("table4.json"), "table4_clustering_ablation_workload1", &rows)
-        .expect("write rows");
+    save_json(
+        &out_dir().join("table4.json"),
+        "table4_clustering_ablation_workload1",
+        &rows,
+    )
+    .expect("write rows");
 }

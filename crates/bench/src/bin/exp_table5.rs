@@ -8,7 +8,10 @@ use tamp_sim::{WorkloadConfig, WorkloadKind};
 fn main() {
     let scale = scale_from_env();
     let seed = seed_from_env();
-    println!("# Table V: seq_in/seq_out sweep (workload 1, {} workers, seed {seed})", scale.n_workers);
+    println!(
+        "# Table V: seq_in/seq_out sweep (workload 1, {} workers, seed {seed})",
+        scale.n_workers
+    );
     let rows = seq_sweep(
         || WorkloadConfig::new(WorkloadKind::PortoDidi, scale, seed),
         &default_training(seed),
@@ -16,6 +19,10 @@ fn main() {
         &[1, 2, 3],
     );
     print_seq(&rows);
-    save_json(&out_dir().join("table5.json"), "table5_seq_sweep_workload1", &rows)
-        .expect("write rows");
+    save_json(
+        &out_dir().join("table5.json"),
+        "table5_seq_sweep_workload1",
+        &rows,
+    )
+    .expect("write rows");
 }

@@ -8,10 +8,17 @@ use tamp_sim::{WorkloadConfig, WorkloadKind};
 fn main() {
     let scale = scale_from_env();
     let seed = seed_from_env();
-    println!("# Table VI: clustering ablation (workload 2, {} workers, seed {seed})", scale.n_workers);
+    println!(
+        "# Table VI: clustering ablation (workload 2, {} workers, seed {seed})",
+        scale.n_workers
+    );
     let workload = WorkloadConfig::new(WorkloadKind::GowallaFoursquare, scale, seed).build();
     let rows = clustering_ablation(&workload, &default_training(seed));
     print_ablation(&rows);
-    save_json(&out_dir().join("table6.json"), "table6_clustering_ablation_workload2", &rows)
-        .expect("write rows");
+    save_json(
+        &out_dir().join("table6.json"),
+        "table6_clustering_ablation_workload2",
+        &rows,
+    )
+    .expect("write rows");
 }

@@ -20,9 +20,9 @@ pub mod svg;
 
 use std::path::PathBuf;
 use tamp_meta::meta_training::MetaConfig;
-use tamp_platform::experiments::{AblationRow, AssignmentRow, SeqRow};
-use tamp_platform::{EngineConfig, TrainingConfig};
 use tamp_platform::experiments::report::{f1, f4, print_markdown_table};
+use tamp_platform::experiments::{AblationRow, AssignmentRow, RobustnessRow, SeqRow};
+use tamp_platform::{EngineConfig, TrainingConfig};
 use tamp_sim::Scale;
 
 /// Reads the experiment scale from `TAMP_SCALE`.
@@ -99,7 +99,15 @@ pub fn print_ablation(rows: &[AblationRow]) {
         })
         .collect();
     print_markdown_table(
-        &["cluster algo", "factors", "RMSE", "MAE", "MR", "TT (s)", "#clusters"],
+        &[
+            "cluster algo",
+            "factors",
+            "RMSE",
+            "MAE",
+            "MR",
+            "TT (s)",
+            "#clusters",
+        ],
         &table,
     );
 }
@@ -151,6 +159,42 @@ pub fn print_assignment(rows: &[AssignmentRow]) {
             "rejection",
             "cost (km)",
             "runtime (s)",
+        ],
+        &table,
+    );
+}
+
+/// Prints robustness-sweep rows (fault injection).
+pub fn print_robustness(rows: &[RobustnessRow]) {
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{:.0}%", r.report_loss * 100.0),
+                format!("{:.0}%", r.prediction_failure * 100.0),
+                r.algorithm.clone(),
+                f4(r.completion),
+                f4(r.rejection),
+                f4(r.cost_km),
+                r.dropped_reports.to_string(),
+                r.fallback_views.to_string(),
+                r.quarantined_models.to_string(),
+                r.invalid_pairs.to_string(),
+            ]
+        })
+        .collect();
+    print_markdown_table(
+        &[
+            "report loss",
+            "pred. failure",
+            "algorithm",
+            "completion",
+            "rejection",
+            "cost (km)",
+            "dropped",
+            "fallbacks",
+            "quarantined",
+            "invalid",
         ],
         &table,
     );

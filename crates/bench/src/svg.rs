@@ -62,8 +62,14 @@ fn fmt_tick(v: f64) -> String {
 
 /// Renders a single line chart as an SVG document.
 pub fn line_chart(title: &str, x_label: &str, y_label: &str, series: &[Series]) -> String {
-    let xs: Vec<f64> = series.iter().flat_map(|s| s.points.iter().map(|p| p.0)).collect();
-    let ys: Vec<f64> = series.iter().flat_map(|s| s.points.iter().map(|p| p.1)).collect();
+    let xs: Vec<f64> = series
+        .iter()
+        .flat_map(|s| s.points.iter().map(|p| p.0))
+        .collect();
+    let ys: Vec<f64> = series
+        .iter()
+        .flat_map(|s| s.points.iter().map(|p| p.1))
+        .collect();
     let (x_lo, x_hi) = bounds(&xs);
     let (mut y_lo, mut y_hi) = bounds(&ys);
     if (y_hi - y_lo).abs() < 1e-12 {
@@ -194,7 +200,9 @@ fn bounds(v: &[f64]) -> (f64, f64) {
 }
 
 fn escape(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 #[cfg(test)]

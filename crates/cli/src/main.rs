@@ -153,7 +153,10 @@ fn cmd_simulate(args: &Args) -> Result<(), String> {
     let needs_predictors = !matches!(algo, AssignmentAlgo::Ub | AssignmentAlgo::Lb);
     let predictors = if needs_predictors {
         let tcfg = training_config(args)?;
-        eprintln!("training predictors ({:?}, {:?} loss)...", tcfg.algo, tcfg.loss);
+        eprintln!(
+            "training predictors ({:?}, {:?} loss)...",
+            tcfg.algo, tcfg.loss
+        );
         Some(train_predictors(&workload, &tcfg))
     } else {
         None
@@ -180,8 +183,16 @@ fn cmd_simulate(args: &Args) -> Result<(), String> {
     } else {
         println!("algorithm        : {algo:?}");
         println!("tasks            : {}", m.tasks_total);
-        println!("completed        : {} ({:.3})", m.completed, m.completion_ratio());
-        println!("rejected         : {} ({:.3})", m.rejected, m.rejection_ratio());
+        println!(
+            "completed        : {} ({:.3})",
+            m.completed,
+            m.completion_ratio()
+        );
+        println!(
+            "rejected         : {} ({:.3})",
+            m.rejected,
+            m.rejection_ratio()
+        );
         println!("avg worker cost  : {:.2} km", m.avg_worker_cost_km());
         println!("algorithm runtime: {:.3} s", m.algo_seconds);
     }

@@ -110,10 +110,7 @@ impl Assignment {
 
     /// The worker assigned to `task`, if any.
     pub fn worker_for(&self, task: TaskId) -> Option<WorkerId> {
-        self.pairs
-            .iter()
-            .find(|p| p.task == task)
-            .map(|p| p.worker)
+        self.pairs.iter().find(|p| p.task == task).map(|p| p.worker)
     }
 }
 

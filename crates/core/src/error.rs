@@ -31,6 +31,40 @@ pub enum TampError {
     EmptyInput(&'static str),
 }
 
+/// Errors surfaced by the online assignment engine's fallible entry
+/// points (`try_run_assignment` and friends in `tamp-platform`).
+///
+/// The engine's philosophy after the fault-injection work is *degrade,
+/// don't die*: per-pair and per-worker inconsistencies are skipped and
+/// counted in the metrics, so only conditions that make an entire run
+/// meaningless (a mis-wired configuration) are reported here.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// A prediction-based algorithm was started without trained
+    /// predictors (only the UB/LB oracle baselines can run without).
+    MissingPredictors {
+        /// Name of the algorithm that was requested.
+        algo: String,
+    },
+    /// An engine configuration value was out of its valid domain.
+    InvalidEngineConfig(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::MissingPredictors { algo } => {
+                write!(f, "{algo} needs trained predictors")
+            }
+            EngineError::InvalidEngineConfig(msg) => {
+                write!(f, "invalid engine configuration: {msg}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
 impl fmt::Display for TampError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -52,6 +86,14 @@ impl std::error::Error for TampError {}
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn engine_error_messages() {
+        let e = EngineError::MissingPredictors { algo: "Ppi".into() };
+        assert_eq!(e.to_string(), "Ppi needs trained predictors");
+        let e = EngineError::InvalidEngineConfig("batch window 0".into());
+        assert!(e.to_string().contains("batch window 0"));
+    }
 
     #[test]
     fn display_messages() {

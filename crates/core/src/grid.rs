@@ -43,7 +43,11 @@ impl Grid {
     pub fn new(cols: usize, rows: usize, cell_km: f64) -> Self {
         assert!(cols > 0 && rows > 0, "grid must have cells");
         assert!(cell_km > 0.0, "cell size must be positive");
-        Self { cols, rows, cell_km }
+        Self {
+            cols,
+            rows,
+            cell_km,
+        }
     }
 
     /// Region width in kilometres.

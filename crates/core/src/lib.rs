@@ -47,7 +47,7 @@ pub mod time;
 pub mod worker;
 
 pub use assignment::{Assignment, AssignmentPair};
-pub use error::{Result, TampError};
+pub use error::{EngineError, Result, TampError};
 pub use geometry::Point;
 pub use grid::Grid;
 pub use poi::{Poi, PoiCategory};

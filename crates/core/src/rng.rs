@@ -12,8 +12,7 @@ use rand::SeedableRng;
 /// Mixes an experiment seed with a stream label into an independent child
 /// seed (SplitMix64 finaliser, the standard seed-derivation mixer).
 pub fn derive_seed(seed: u64, stream: u64) -> u64 {
-    let mut z = seed
-        .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(stream.wrapping_add(1)));
+    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(stream.wrapping_add(1)));
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)
@@ -42,6 +41,9 @@ pub mod streams {
     pub const POIS: u64 = 7;
     /// Distribution-similarity subsampling.
     pub const WASSERSTEIN: u64 = 8;
+    /// Fault injection (report loss/noise, offline windows, prediction
+    /// failures) — see `tamp-platform::faults`.
+    pub const FAULTS: u64 = 9;
 }
 
 #[cfg(test)]

@@ -58,11 +58,17 @@ impl Routine {
 
     /// Builds a routine from locations sampled at a fixed cadence starting
     /// at `start`.
-    pub fn from_sampled(locs: impl IntoIterator<Item = Point>, start: Minutes, step: Minutes) -> Self {
+    pub fn from_sampled(
+        locs: impl IntoIterator<Item = Point>,
+        start: Minutes,
+        step: Minutes,
+    ) -> Self {
         let points = locs
             .into_iter()
             .enumerate()
-            .map(|(i, loc)| TimedPoint::new(loc, Minutes::new(start.as_f64() + i as f64 * step.as_f64())))
+            .map(|(i, loc)| {
+                TimedPoint::new(loc, Minutes::new(start.as_f64() + i as f64 * step.as_f64()))
+            })
             .collect();
         Self { points }
     }
@@ -175,7 +181,10 @@ impl Routine {
     /// assert_eq!(pairs[0].1, vec![Point::new(2.0, 0.0)]);
     /// ```
     pub fn training_pairs(&self, seq_in: usize, seq_out: usize) -> Vec<(Vec<Point>, Vec<Point>)> {
-        assert!(seq_in > 0 && seq_out > 0, "sequence lengths must be positive");
+        assert!(
+            seq_in > 0 && seq_out > 0,
+            "sequence lengths must be positive"
+        );
         let n = self.points.len();
         let need = seq_in + seq_out;
         if n < need {
@@ -238,8 +247,14 @@ mod tests {
     #[test]
     fn position_interpolates_and_clamps() {
         let r = straight();
-        assert_eq!(r.position_at(Minutes::new(-5.0)).unwrap(), Point::new(0.0, 0.0));
-        assert_eq!(r.position_at(Minutes::new(100.0)).unwrap(), Point::new(4.0, 0.0));
+        assert_eq!(
+            r.position_at(Minutes::new(-5.0)).unwrap(),
+            Point::new(0.0, 0.0)
+        );
+        assert_eq!(
+            r.position_at(Minutes::new(100.0)).unwrap(),
+            Point::new(4.0, 0.0)
+        );
         let mid = r.position_at(Minutes::new(15.0)).unwrap();
         assert!((mid.x - 1.5).abs() < 1e-12);
         assert!(Routine::new().position_at(Minutes::ZERO).is_none());

@@ -96,7 +96,8 @@ mod tests {
         let routines: Vec<Routine> = (0..days)
             .map(|d| {
                 Routine::from_sampled(
-                    (0..12).map(|i| Point::new(cx + (i % 4) as f64 * 0.2, cy + (i % 2) as f64 * 0.2)),
+                    (0..12)
+                        .map(|i| Point::new(cx + (i % 4) as f64 * 0.2, cy + (i % 2) as f64 * 0.2)),
                     Minutes::new(d as f64 * 1440.0),
                     Minutes::new(10.0),
                 )
@@ -146,10 +147,7 @@ mod tests {
 
     #[test]
     fn adapt_new_worker_returns_trained_model() {
-        let tasks = vec![
-            corner_task(0, 2.0, 2.0, 2),
-            corner_task(1, 2.5, 2.5, 2),
-        ];
+        let tasks = vec![corner_task(0, 2.0, 2.0, 2), corner_task(1, 2.5, 2.5, 2)];
         let mut rng = rng_for(9, 7);
         let template = Seq2Seq::new(Seq2SeqConfig::lstm(6), &mut rng);
         let tree = LearningTaskTree::with_root(vec![0, 1], template.params());

@@ -263,9 +263,8 @@ mod tests {
         let days: Vec<Routine> = (0..2)
             .map(|d| {
                 Routine::from_sampled(
-                    (0..14).map(|i| {
-                        Point::new(cx + (i % 4) as f64 * 0.3, cy + (i % 3) as f64 * 0.3)
-                    }),
+                    (0..14)
+                        .map(|i| Point::new(cx + (i % 4) as f64 * 0.3, cy + (i % 3) as f64 * 0.3)),
                     Minutes::new(d as f64 * 1440.0),
                     Minutes::new(10.0),
                 )

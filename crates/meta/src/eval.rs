@@ -5,10 +5,10 @@
 //! deployment regime), not teacher-forced, so the metrics reflect what
 //! the assignment stage will actually consume.
 
+use serde::{Deserialize, Serialize};
 use tamp_assign::matching_rate::matching_rate;
 use tamp_core::{Grid, Point};
 use tamp_nn::{Seq2Seq, TrainBatch};
-use serde::{Deserialize, Serialize};
 
 /// Prediction quality of one model on held-out pairs.
 #[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
@@ -115,7 +115,10 @@ mod tests {
     #[test]
     fn metrics_are_finite_and_consistent() {
         let batch = TrainBatch::new(vec![
-            (vec![[0.1, 0.2], [0.15, 0.25]], vec![[0.2, 0.3], [0.25, 0.35]]),
+            (
+                vec![[0.1, 0.2], [0.15, 0.25]],
+                vec![[0.2, 0.3], [0.25, 0.35]],
+            ),
             (vec![[0.5, 0.5]], vec![[0.55, 0.5]]),
         ]);
         let m = evaluate_model(&model(), &batch, &Grid::PAPER, 0.4);

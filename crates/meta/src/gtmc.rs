@@ -62,13 +62,14 @@ impl Default for GtmcConfig {
 /// similarity matrices `sims` (one per factor, the paper's order being
 /// `Sim_d, Sim_s, Sim_l`). The root's `θ` is `init_theta`; children
 /// inherit it.
-pub fn build_tree(n_tasks: usize, sims: &[SimMatrix], cfg: &GtmcConfig, init_theta: Vec<f64>) -> LearningTaskTree {
+pub fn build_tree(
+    n_tasks: usize,
+    sims: &[SimMatrix],
+    cfg: &GtmcConfig,
+    init_theta: Vec<f64>,
+) -> LearningTaskTree {
     assert!(!sims.is_empty(), "need at least one similarity factor");
-    assert_eq!(
-        sims.len(),
-        cfg.thresholds.len(),
-        "one threshold per factor"
-    );
+    assert_eq!(sims.len(), cfg.thresholds.len(), "one threshold per factor");
     for s in sims {
         assert_eq!(s.len(), n_tasks, "similarity matrix size mismatch");
     }

@@ -101,13 +101,7 @@ mod tests {
     /// Two obvious blocks: members 0–3 mutually similar, 4–7 mutually
     /// similar, low cross similarity.
     fn block_matrix() -> SimMatrix {
-        SimMatrix::from_fn(8, |i, j| {
-            if (i < 4) == (j < 4) {
-                0.9
-            } else {
-                0.05
-            }
-        })
+        SimMatrix::from_fn(8, |i, j| if (i < 4) == (j < 4) { 0.9 } else { 0.05 })
     }
 
     #[test]
@@ -119,10 +113,7 @@ mod tests {
         assert_eq!(clusters.len(), 2);
         for c in &clusters {
             let lows = c.iter().filter(|&&m| m < 4).count();
-            assert!(
-                lows == 0 || lows == c.len(),
-                "cluster mixes blocks: {c:?}"
-            );
+            assert!(lows == 0 || lows == c.len(), "cluster mixes blocks: {c:?}");
         }
     }
 

@@ -171,7 +171,13 @@ mod tests {
         let mut rng = rng_for(1, 2);
         let template = Seq2Seq::new(Seq2SeqConfig::lstm(6), &mut rng);
         let tasks = vec![task_moving(1, 0.4, 0.0), task_moving(2, 0.0, 0.3)];
-        let (theta, avg) = maml_train(&tasks, &template, &MseLoss, &MetaConfig::default(), &mut rng);
+        let (theta, avg) = maml_train(
+            &tasks,
+            &template,
+            &MseLoss,
+            &MetaConfig::default(),
+            &mut rng,
+        );
         assert_eq!(theta.len(), template.n_params());
         assert!(avg.is_finite());
     }

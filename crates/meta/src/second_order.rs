@@ -83,11 +83,8 @@ pub fn meta_train_second_order(
     cfg: &MetaConfig,
     rng: &mut impl Rng,
 ) -> f64 {
-    let trainable: Vec<&LearningTask> = tasks
-        .iter()
-        .copied()
-        .filter(|t| t.is_trainable())
-        .collect();
+    let trainable: Vec<&LearningTask> =
+        tasks.iter().copied().filter(|t| t.is_trainable()).collect();
     if trainable.is_empty() {
         return 0.0;
     }

@@ -201,7 +201,7 @@ pub fn build_sim_matrix(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tamp_core::{Point, PoiCategory};
+    use tamp_core::{PoiCategory, Point};
 
     fn poi(x: f64, y: f64, cat: PoiCategory) -> Poi {
         Poi::new(Point::new(x, y), cat)

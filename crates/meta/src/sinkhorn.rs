@@ -179,7 +179,10 @@ mod tests {
         // inputs transposes the kernel, so the convergence check fires at
         // a slightly different iterate).
         let d_sym = sinkhorn_distance(&near, &a, &cfg);
-        assert!((d_near - d_sym).abs() / d_near.max(1e-9) < 1e-3, "{d_near} vs {d_sym}");
+        assert!(
+            (d_near - d_sym).abs() / d_near.max(1e-9) < 1e-3,
+            "{d_near} vs {d_sym}"
+        );
     }
 
     #[test]

@@ -196,10 +196,8 @@ mod tests {
         let tasks = family_tasks();
         let mut rng = rng_for(2, 5);
         let template = Seq2Seq::new(Seq2SeqConfig::lstm(6), &mut rng);
-        let mut tree = crate::tree::LearningTaskTree::with_root(
-            (0..tasks.len()).collect(),
-            template.params(),
-        );
+        let mut tree =
+            crate::tree::LearningTaskTree::with_root((0..tasks.len()).collect(), template.params());
         let tcfg = TamlConfig::default();
         let avg = taml_train(&mut tree, &tasks, &template, &MseLoss, &tcfg, &mut rng);
         assert!(avg > 0.0);

@@ -184,7 +184,8 @@ impl GruCell {
             let row = 2 * hd + k;
             grad.db[row] += dan[k];
             for c in 0..id {
-                grad.dw.set(row, c, grad.dw.get(row, c) + dan[k] * cache.z_in[c]);
+                grad.dw
+                    .set(row, c, grad.dw.get(row, c) + dan[k] * cache.z_in[c]);
                 dx[c] += self.w.get(row, c) * dan[k];
             }
             for j in 0..hd {

@@ -288,10 +288,7 @@ mod tests {
             minus.w.set(r, c, minus.w.get(r, c) - eps);
             let fd = (objective(&plus) - objective(&minus)) / (2.0 * eps);
             let an = grad.dw.get(r, c);
-            assert!(
-                (fd - an).abs() < 1e-6,
-                "w[{r},{c}]: fd={fd}, analytic={an}"
-            );
+            assert!((fd - an).abs() < 1e-6, "w[{r},{c}]: fd={fd}, analytic={an}");
         }
         // And the biases.
         for k in 0..12 {

@@ -330,11 +330,16 @@ impl Seq2Seq {
     /// Panics when `input` is empty — the decoder needs a start token (the
     /// last observed location).
     pub fn predict(&self, input: &[Pt2], seq_out: usize) -> Vec<Pt2> {
-        assert!(!input.is_empty(), "prediction needs at least one input point");
+        assert!(
+            !input.is_empty(),
+            "prediction needs at least one input point"
+        );
         let mut state = self.encoder.zero_state(self.cfg.hidden);
         for (i, x) in input.iter().enumerate() {
             let before = input[i.saturating_sub(1)];
-            let (next, _) = self.encoder.forward_step(&step_features(*x, before), &state);
+            let (next, _) = self
+                .encoder
+                .forward_step(&step_features(*x, before), &state);
             state = next;
         }
         let mut outputs = Vec::with_capacity(seq_out);
@@ -428,8 +433,7 @@ impl Seq2Seq {
             }
             // ---- backward through encoder ----
             for cache in enc_caches.iter().rev() {
-                let (dh_prev, dc_prev) =
-                    self.encoder.backward_step(cache, &dh, &dc, &mut enc_grad);
+                let (dh_prev, dc_prev) = self.encoder.backward_step(cache, &dh, &dc, &mut enc_grad);
                 dh = dh_prev;
                 dc = dc_prev;
             }
@@ -455,7 +459,9 @@ impl Seq2Seq {
             let mut state = self.encoder.zero_state(self.cfg.hidden);
             for (i, x) in input.iter().enumerate() {
                 let before = input[i.saturating_sub(1)];
-                let (next, _) = self.encoder.forward_step(&step_features(*x, before), &state);
+                let (next, _) = self
+                    .encoder
+                    .forward_step(&step_features(*x, before), &state);
                 state = next;
             }
             let mut prev = *input.last().expect("non-empty");

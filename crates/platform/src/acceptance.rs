@@ -70,7 +70,12 @@ mod tests {
     }
 
     fn task(x: f64, y: f64, deadline: f64) -> SpatialTask {
-        SpatialTask::new(TaskId(1), Point::new(x, y), Minutes::ZERO, Minutes::new(deadline))
+        SpatialTask::new(
+            TaskId(1),
+            Point::new(x, y),
+            Minutes::ZERO,
+            Minutes::new(deadline),
+        )
     }
 
     #[test]

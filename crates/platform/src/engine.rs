@@ -16,6 +16,7 @@
 //!    small detours.
 
 use crate::acceptance::decide;
+use crate::faults::{FaultConfig, FaultPlan, RolloutFault};
 use crate::metrics::{AssignmentMetrics, BatchRecord};
 use crate::training::TrainedPredictors;
 use serde::{Deserialize, Serialize};
@@ -28,6 +29,7 @@ use tamp_assign::baselines::{
 use tamp_assign::ppi::{ppi_assign_excluding, PpiParams};
 use tamp_assign::view::{ExcludedPairs, WorkerView};
 use tamp_core::rng::{rng_for, streams};
+use tamp_core::EngineError;
 use tamp_core::{Minutes, Point, SpatialTask, TaskId, WorkerId, BATCH_WINDOW_MINUTES};
 use tamp_nn::loss::Pt2;
 use tamp_nn::{clip_grad_norm, MseLoss, Seq2Seq, TrainBatch};
@@ -120,13 +122,16 @@ impl Default for EngineConfig {
 ///
 /// `predictors` supplies per-worker models and matching rates; it may be
 /// `None` only for the UB / LB baselines, which don't use predictions.
+///
+/// Panics on configuration errors (notably a prediction-based algorithm
+/// without predictors); [`try_run_assignment`] is the fallible variant.
 pub fn run_assignment(
     workload: &Workload,
     predictors: Option<&TrainedPredictors>,
     algo: AssignmentAlgo,
     cfg: &EngineConfig,
 ) -> AssignmentMetrics {
-    run_assignment_inner(workload, predictors, algo, cfg, None)
+    try_run_assignment(workload, predictors, algo, cfg).unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// Like [`run_assignment`], additionally recording one [`BatchRecord`]
@@ -138,7 +143,43 @@ pub fn run_assignment_traced(
     cfg: &EngineConfig,
     trace: &mut Vec<BatchRecord>,
 ) -> AssignmentMetrics {
-    run_assignment_inner(workload, predictors, algo, cfg, Some(trace))
+    run_assignment_inner(workload, predictors, algo, cfg, None, Some(trace))
+        .unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible variant of [`run_assignment`]: mis-wired configurations come
+/// back as [`EngineError`] instead of a panic.
+pub fn try_run_assignment(
+    workload: &Workload,
+    predictors: Option<&TrainedPredictors>,
+    algo: AssignmentAlgo,
+    cfg: &EngineConfig,
+) -> Result<AssignmentMetrics, EngineError> {
+    run_assignment_inner(workload, predictors, algo, cfg, None, None)
+}
+
+/// Runs a day under injected faults (see [`crate::faults`]). With
+/// [`FaultConfig::none`] this is bit-identical to [`try_run_assignment`].
+pub fn run_assignment_with_faults(
+    workload: &Workload,
+    predictors: Option<&TrainedPredictors>,
+    algo: AssignmentAlgo,
+    cfg: &EngineConfig,
+    faults: &FaultConfig,
+) -> Result<AssignmentMetrics, EngineError> {
+    run_assignment_inner(workload, predictors, algo, cfg, Some(faults), None)
+}
+
+/// [`run_assignment_with_faults`] with a per-batch trace.
+pub fn run_assignment_with_faults_traced(
+    workload: &Workload,
+    predictors: Option<&TrainedPredictors>,
+    algo: AssignmentAlgo,
+    cfg: &EngineConfig,
+    faults: &FaultConfig,
+    trace: &mut Vec<BatchRecord>,
+) -> Result<AssignmentMetrics, EngineError> {
+    run_assignment_inner(workload, predictors, algo, cfg, Some(faults), Some(trace))
 }
 
 fn run_assignment_inner(
@@ -146,14 +187,28 @@ fn run_assignment_inner(
     predictors: Option<&TrainedPredictors>,
     algo: AssignmentAlgo,
     cfg: &EngineConfig,
+    faults: Option<&FaultConfig>,
     mut trace: Option<&mut Vec<BatchRecord>>,
-) -> AssignmentMetrics {
-    if !matches!(algo, AssignmentAlgo::Ub | AssignmentAlgo::Lb) {
-        assert!(
-            predictors.is_some(),
-            "{algo:?} needs trained predictors"
-        );
+) -> Result<AssignmentMetrics, EngineError> {
+    if !matches!(algo, AssignmentAlgo::Ub | AssignmentAlgo::Lb) && predictors.is_none() {
+        return Err(EngineError::MissingPredictors {
+            algo: format!("{algo:?}"),
+        });
     }
+    if !cfg.batch_window_min.is_finite() || cfg.batch_window_min <= 0.0 {
+        return Err(EngineError::InvalidEngineConfig(format!(
+            "batch_window_min = {} must be finite and > 0",
+            cfg.batch_window_min
+        )));
+    }
+    if let Some(fc) = faults {
+        fc.validate().map_err(EngineError::InvalidEngineConfig)?;
+    }
+    // A no-op fault layer takes the exact legacy code paths: `FaultConfig
+    // ::none()` must reproduce a clean run bit for bit.
+    let fplan: Option<FaultPlan> = faults
+        .filter(|fc| !fc.is_none())
+        .map(|fc| FaultPlan::build(workload, fc));
 
     let mut metrics = AssignmentMetrics {
         tasks_total: workload.tasks.len(),
@@ -174,9 +229,14 @@ fn run_assignment_inner(
     // platform remembers refusals across batches).
     let mut refused: ExcludedPairs = ExcludedPairs::new();
     let mut rng = rng_for(cfg.seed, streams::GENETIC);
+    // Quarantine flags for divergent online-adapted models (once a model
+    // is rolled back to its offline checkpoint it stays frozen).
+    let mut quarantined = vec![false; workload.workers.len()];
+    let mut adapt_round: u64 = 0;
 
     let horizon = workload.horizon.as_f64();
     let mut t = 0.0;
+    let mut batch_idx: u64 = 0;
     while t < horizon {
         let now = Minutes::new(t + cfg.batch_window_min);
         // 1. Admit newly released tasks; drop expired ones.
@@ -186,32 +246,54 @@ fn run_assignment_inner(
             pending.push(workload.tasks[next_task]);
             next_task += 1;
         }
-        pending.retain(|task| task.deadline.as_f64() > now.as_f64() && !completed.contains(&task.id));
+        pending
+            .retain(|task| task.deadline.as_f64() > now.as_f64() && !completed.contains(&task.id));
 
         let mut record = BatchRecord {
             t_min: now.as_f64(),
             pending: pending.len(),
-            idle_workers: 0,
-            proposed: 0,
-            accepted: 0,
-            rejected: 0,
+            ..Default::default()
         };
+        if let Some(pl) = &fplan {
+            record.dropped_reports = pl.dropped_in_window(t, now.as_f64());
+            metrics.dropped_reports += record.dropped_reports;
+        }
 
         if !pending.is_empty() {
             // 2. Snapshot idle workers.
             let mut views: Vec<WorkerView> = Vec::new();
             for (wi, sw) in workload.workers.iter().enumerate() {
-                if busy_until.get(&sw.worker.id).copied().unwrap_or(f64::NEG_INFINITY)
+                if busy_until
+                    .get(&sw.worker.id)
+                    .copied()
+                    .unwrap_or(f64::NEG_INFINITY)
                     > now.as_f64()
                 {
                     continue;
                 }
-                if let Some(view) =
-                    make_view(workload, predictors, live_models.as_deref(), wi, now, cfg)
+                // Offline workers are unreachable: no report stream, no
+                // assignment proposals.
+                if fplan
+                    .as_ref()
+                    .is_some_and(|pl| pl.workers[wi].is_offline(now.as_f64()))
                 {
+                    continue;
+                }
+                if let Some(view) = make_view(
+                    workload,
+                    predictors,
+                    live_models.as_deref(),
+                    wi,
+                    now,
+                    cfg,
+                    fplan.as_ref(),
+                    batch_idx,
+                    &mut record,
+                ) {
                     views.push(view);
                 }
             }
+            metrics.fallback_views += record.fallback_views;
 
             record.idle_workers = views.len();
             if !views.is_empty() {
@@ -230,12 +312,7 @@ fn run_assignment_inner(
                     ),
                     AssignmentAlgo::Km => km_assign_excluding(&pending, &views, now, &refused),
                     AssignmentAlgo::Ggpso => ggpso_assign_excluding(
-                        &pending,
-                        &views,
-                        now,
-                        &cfg.ggpso,
-                        &refused,
-                        &mut rng,
+                        &pending, &views, now, &cfg.ggpso, &refused, &mut rng,
                     ),
                     AssignmentAlgo::Ub => ub_assign_excluding(&pending, &views, now, &refused),
                     AssignmentAlgo::Lb => lb_assign_excluding(&pending, &views, now, &refused),
@@ -246,15 +323,22 @@ fn run_assignment_inner(
                 record.proposed = plan.len();
                 for pair in plan.pairs() {
                     metrics.assigned_total += 1;
-                    let task = pending
-                        .iter()
-                        .find(|tk| tk.id == pair.task)
-                        .copied()
-                        .expect("assigned task is pending");
-                    let view = views
-                        .iter()
-                        .find(|v| v.id == pair.worker)
-                        .expect("assigned worker was snapshotted");
+                    // An algorithm handing back a pair that references a
+                    // task or worker outside this batch's snapshot is a
+                    // bug in that algorithm — but not one worth killing
+                    // the whole day's assignment loop for. Skip and
+                    // count it (`completed + rejected + invalid_pairs ==
+                    // assigned_total` stays an invariant).
+                    let Some(task) = pending.iter().find(|tk| tk.id == pair.task).copied() else {
+                        metrics.invalid_pairs += 1;
+                        record.invalid_pairs += 1;
+                        continue;
+                    };
+                    let Some(view) = views.iter().find(|v| v.id == pair.worker) else {
+                        metrics.invalid_pairs += 1;
+                        record.invalid_pairs += 1;
+                        continue;
+                    };
                     match decide(
                         &view.real_future,
                         view.detour_limit_km,
@@ -271,13 +355,10 @@ fn run_assignment_inner(
                             // extra travel takes (they keep following
                             // their routine otherwise), at least one
                             // batch window.
-                            let busy_min = tamp_core::time::travel_minutes(
-                                detour,
-                                view.speed_km_per_min,
-                            )
-                            .max(cfg.batch_window_min);
-                            busy_until
-                                .insert(pair.worker, now.as_f64() + busy_min);
+                            let busy_min =
+                                tamp_core::time::travel_minutes(detour, view.speed_km_per_min)
+                                    .max(cfg.batch_window_min);
+                            busy_until.insert(pair.worker, now.as_f64() + busy_min);
                         }
                         None => {
                             record.rejected += 1;
@@ -286,34 +367,56 @@ fn run_assignment_inner(
                             // but this worker won't be asked again, and
                             // they disengage for a while.
                             refused.insert((task.id, pair.worker));
-                            busy_until.insert(
-                                pair.worker,
-                                now.as_f64() + cfg.rejection_cooldown_min,
-                            );
+                            busy_until
+                                .insert(pair.worker, now.as_f64() + cfg.rejection_cooldown_min);
                         }
                     }
                 }
                 pending.retain(|task| !completed.contains(&task.id));
             }
         }
-        if let Some(trace) = trace.as_deref_mut() {
-            trace.push(record);
-        }
         // Periodic intraday fine-tuning on the day's observations so far.
         if let (Some(oa), Some(models)) = (cfg.online_adapt, live_models.as_mut()) {
             if let Some(due) = next_adapt {
                 if now.as_f64() >= due {
-                    online_adapt_round(workload, models, predictors, now, cfg, &oa);
+                    let newly = online_adapt_round(
+                        workload,
+                        models,
+                        predictors,
+                        now,
+                        cfg,
+                        &oa,
+                        fplan.as_ref(),
+                        adapt_round,
+                        &mut quarantined,
+                    );
+                    record.quarantined_models = newly;
+                    metrics.quarantined_models += newly;
+                    adapt_round += 1;
                     next_adapt = Some(due + oa.every_min);
                 }
             }
         }
+        if let Some(trace) = trace.as_deref_mut() {
+            trace.push(record);
+        }
         t += cfg.batch_window_min;
+        batch_idx += 1;
     }
-    metrics
+    Ok(metrics)
 }
 
 /// Builds the worker view the assignment algorithms see at time `now`.
+///
+/// Under fault injection the view degrades gracefully instead of dying
+/// (the "degradation ladder", DESIGN.md):
+///
+/// 1. model rollout over the *received* report stream (the normal path);
+/// 2. if the rollout fails or any output is non-finite — a persistence
+///    forecast from the last received report (`fallback_views`);
+/// 3. if no report was ever received from a worker who should have been
+///    heard from — exclude the worker from this batch entirely.
+#[allow(clippy::too_many_arguments)]
 fn make_view(
     workload: &Workload,
     predictors: Option<&TrainedPredictors>,
@@ -321,6 +424,9 @@ fn make_view(
     wi: usize,
     now: Minutes,
     cfg: &EngineConfig,
+    fplan: Option<&FaultPlan>,
+    batch_idx: u64,
+    record: &mut BatchRecord,
 ) -> Option<WorkerView> {
     let sw = &workload.workers[wi];
 
@@ -330,20 +436,40 @@ fn make_view(
     // their current location" (Section II) — so the freshest information
     // any algorithm has is the *last report*, which may be up to one time
     // unit stale. This is precisely the gap mobility prediction fills.
-    let observed: Vec<Point> = sw
-        .worker
-        .real_routine
-        .window(Minutes::ZERO, now)
-        .iter()
-        .map(|p| p.loc)
-        .collect();
-    let current = observed
-        .last()
-        .copied()
-        .or_else(|| sw.worker.location_at(now))?;
+    // Under fault injection only *received* reports count.
+    let observed: Vec<Point> = match fplan {
+        None => sw
+            .worker
+            .real_routine
+            .window(Minutes::ZERO, now)
+            .iter()
+            .map(|p| p.loc)
+            .collect(),
+        Some(pl) => pl.workers[wi]
+            .received_before(now)
+            .iter()
+            .map(|p| p.loc)
+            .collect(),
+    };
+    let current = match observed.last().copied() {
+        Some(c) => c,
+        None => {
+            if fplan.is_some_and(|pl| pl.workers[wi].any_report_before(now)) {
+                // Every report so far was lost: the platform has no idea
+                // where this worker is. Bottom rung: exclude them.
+                return None;
+            }
+            // No report was *due* yet (start of day): fall back to the
+            // worker's registered day-start position, as before.
+            sw.worker.location_at(now)?
+        }
+    };
 
     let predicted = match predictors {
         Some(p) => {
+            let rollout = fplan.map_or(RolloutFault::Healthy, |pl| {
+                pl.injector.rollout(wi as u64, batch_idx)
+            });
             let mut input: Vec<[f64; 2]> = observed
                 .iter()
                 .rev()
@@ -358,27 +484,56 @@ fn make_view(
                 let (x, y) = workload.grid.normalize(current);
                 input.push([x, y]);
             }
+            let raw_rollout = match rollout {
+                RolloutFault::Unavailable => None,
+                RolloutFault::Healthy => Some(
+                    live_models
+                        .map_or(&p.models[wi], |ms| &ms[wi])
+                        .predict(&input, cfg.predict_horizon),
+                ),
+                RolloutFault::Garbage => Some(fplan.unwrap().injector.garbage_rollout(
+                    wi as u64,
+                    batch_idx,
+                    cfg.predict_horizon,
+                )),
+            };
             // Rollout, clamped to the grid and to physical reachability:
             // the worker cannot be farther from their current position
-            // than speed × elapsed time.
-            let speed_per_unit =
-                sw.worker.speed_km_per_min * tamp_core::time::TIME_UNIT_MINUTES;
-            live_models
-                .map_or(&p.models[wi], |ms| &ms[wi])
-                .predict(&input, cfg.predict_horizon)
-                .into_iter()
-                .enumerate()
-                .map(|(k, o)| {
+            // than speed × elapsed time. Non-finite model output (or
+            // injected garbage) invalidates the whole rollout.
+            let clamped = raw_rollout.and_then(|outs| {
+                let speed_per_unit =
+                    sw.worker.speed_km_per_min * tamp_core::time::TIME_UNIT_MINUTES;
+                let mut pts = Vec::with_capacity(outs.len());
+                for (k, o) in outs.into_iter().enumerate() {
+                    // Validate *before* clamping: `f64::clamp` would
+                    // quietly pull an infinite coordinate onto the grid
+                    // edge and launder it into a plausible point.
+                    if !(o[0].is_finite() && o[1].is_finite()) {
+                        return None;
+                    }
                     let raw = workload.grid.clamp(workload.grid.denormalize(o[0], o[1]));
                     let max_range = speed_per_unit * (k + 1) as f64;
                     let d = current.dist(raw);
-                    if d > max_range {
+                    // `d == 0` (or a degenerate non-finite distance)
+                    // must not reach `lerp` with a 0/0 ratio.
+                    pts.push(if d.is_finite() && d > 0.0 && d > max_range {
                         current.lerp(raw, max_range / d)
                     } else {
                         raw
-                    }
-                })
-                .collect()
+                    });
+                }
+                Some(pts)
+            });
+            match clamped {
+                Some(pts) => pts,
+                None => {
+                    // Persistence fallback: predict "stays where last
+                    // seen" — crude, but never worse than no view.
+                    record.fallback_views += 1;
+                    vec![current; cfg.predict_horizon]
+                }
+            }
         }
         None => Vec::new(),
     };
@@ -404,6 +559,12 @@ fn make_view(
 /// One round of intraday fine-tuning: each worker's model takes a few
 /// clipped SGD steps on `(seq_in, seq_out)` windows drawn from their
 /// location reports observed so far today.
+///
+/// Divergence guard: if a step produces a non-finite loss, gradient or
+/// parameter (bad data, poisoning, numeric blow-up), the model is rolled
+/// back to its offline checkpoint and *quarantined* — frozen for the
+/// rest of the day. Returns the number of models newly quarantined.
+#[allow(clippy::too_many_arguments)]
 fn online_adapt_round(
     workload: &Workload,
     models: &mut [Seq2Seq],
@@ -411,20 +572,38 @@ fn online_adapt_round(
     now: Minutes,
     cfg: &EngineConfig,
     oa: &OnlineAdaptConfig,
-) {
+    fplan: Option<&FaultPlan>,
+    round_idx: u64,
+    quarantined: &mut [bool],
+) -> usize {
     let seq_out = predictors.map_or(1, |p| p.seq_out.max(1));
+    let mut newly_quarantined = 0;
     for (wi, sw) in workload.workers.iter().enumerate() {
-        let observed = sw.worker.real_routine.window(Minutes::ZERO, now);
+        if quarantined[wi] {
+            continue;
+        }
+        // Train on what the platform received, not on ground truth.
+        let received;
+        let observed: &[tamp_core::TimedPoint] = match fplan {
+            None => sw.worker.real_routine.window(Minutes::ZERO, now),
+            Some(pl) => {
+                received = pl.workers[wi].received_before(now);
+                &received
+            }
+        };
         if observed.len() < cfg.seq_in + seq_out {
             continue;
         }
-        let pairs: Vec<(Vec<Pt2>, Vec<Pt2>)> = (0..=observed.len() - cfg.seq_in - seq_out)
+        let mut pairs: Vec<(Vec<Pt2>, Vec<Pt2>)> = (0..=observed.len() - cfg.seq_in - seq_out)
             .map(|start| {
                 let norm = |p: &tamp_core::TimedPoint| {
                     let (x, y) = workload.grid.normalize(p.loc);
                     [x, y]
                 };
-                let input = observed[start..start + cfg.seq_in].iter().map(norm).collect();
+                let input = observed[start..start + cfg.seq_in]
+                    .iter()
+                    .map(norm)
+                    .collect();
                 let target = observed[start + cfg.seq_in..start + cfg.seq_in + seq_out]
                     .iter()
                     .map(norm)
@@ -435,19 +614,45 @@ fn online_adapt_round(
         if pairs.is_empty() {
             continue;
         }
+        if fplan.is_some_and(|pl| pl.injector.adapt_poisoned(wi as u64, round_idx)) {
+            // Poisoned round: corrupted targets slipped into the online
+            // training feed. The divergence guard below must catch the
+            // resulting non-finite loss.
+            for (_, target) in &mut pairs {
+                for p in target.iter_mut() {
+                    p[0] = f64::NAN;
+                }
+            }
+        }
         let batch = TrainBatch::new(pairs);
         let model = &mut models[wi];
         let mut theta = model.params();
+        let mut healthy = true;
         for _ in 0..oa.steps {
             model.set_params(&theta);
-            let (_, mut g) = model.loss_and_grad(&batch, &MseLoss);
+            let (loss, mut g) = model.loss_and_grad(&batch, &MseLoss);
+            if !loss.is_finite() || g.iter().any(|v| !v.is_finite()) {
+                healthy = false;
+                break;
+            }
             clip_grad_norm(&mut g, 1.0);
             for (p, gv) in theta.iter_mut().zip(&g) {
                 *p -= oa.lr * gv;
             }
         }
-        model.set_params(&theta);
+        if healthy && theta.iter().all(|v| v.is_finite()) {
+            model.set_params(&theta);
+        } else {
+            // Roll back to the offline checkpoint and stop adapting this
+            // worker for the day.
+            if let Some(p) = predictors {
+                *model = p.models[wi].clone();
+            }
+            quarantined[wi] = true;
+            newly_quarantined += 1;
+        }
     }
+    newly_quarantined
 }
 
 /// Number of batch windows in a workload's day (diagnostics).
@@ -463,8 +668,14 @@ pub fn run_all_algorithms(
     cfg: &EngineConfig,
 ) -> Vec<(String, AssignmentMetrics)> {
     vec![
-        ("UB".into(), run_assignment(workload, None, AssignmentAlgo::Ub, cfg)),
-        ("LB".into(), run_assignment(workload, None, AssignmentAlgo::Lb, cfg)),
+        (
+            "UB".into(),
+            run_assignment(workload, None, AssignmentAlgo::Ub, cfg),
+        ),
+        (
+            "LB".into(),
+            run_assignment(workload, None, AssignmentAlgo::Lb, cfg),
+        ),
         (
             "PPI".into(),
             run_assignment(workload, Some(with_loss), AssignmentAlgo::Ppi, cfg),

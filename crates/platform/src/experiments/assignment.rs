@@ -167,6 +167,8 @@ mod tests {
     fn valid_time_sweep_sets_param() {
         let rows = valid_time_sweep(&quick_sweep(), &[2.0]);
         assert_eq!(rows.len(), 7);
-        assert!(rows.iter().all(|r| r.param == "valid_time_lo" && r.x == 2.0));
+        assert!(rows
+            .iter()
+            .all(|r| r.param == "valid_time_lo" && r.x == 2.0));
     }
 }

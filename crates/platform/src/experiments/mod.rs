@@ -11,11 +11,16 @@
 //! | Fig. 6 / 9 (worker detour `d`) | [`assignment::detour_sweep`] |
 //! | Fig. 7 / 10 (number of tasks) | [`assignment::task_count_sweep`] |
 //! | Fig. 8 / 11 (task valid time) | [`assignment::valid_time_sweep`] |
+//! | Robustness (fault injection, ours) | [`robustness::robustness_sweep`] |
 
 pub mod assignment;
 pub mod prediction;
 pub mod report;
+pub mod robustness;
 
-pub use assignment::{detour_sweep, task_count_sweep, valid_time_sweep, AssignmentRow, SweepConfig};
+pub use assignment::{
+    detour_sweep, task_count_sweep, valid_time_sweep, AssignmentRow, SweepConfig,
+};
 pub use prediction::{clustering_ablation, seq_sweep, AblationRow, SeqRow};
 pub use report::{print_markdown_table, save_json};
+pub use robustness::{robustness_sweep, RobustnessRow};

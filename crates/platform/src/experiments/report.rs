@@ -24,7 +24,10 @@ pub fn save_json<T: Serialize>(path: &Path, name: &str, rows: &T) -> std::io::Re
 /// Prints a GitHub-flavoured markdown table.
 pub fn print_markdown_table(headers: &[&str], rows: &[Vec<String>]) {
     println!("| {} |", headers.join(" | "));
-    println!("|{}|", headers.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+    println!(
+        "|{}|",
+        headers.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+    );
     for row in rows {
         println!("| {} |", row.join(" | "));
     }

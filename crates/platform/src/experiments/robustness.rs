@@ -1,0 +1,205 @@
+//! Robustness experiment: graceful degradation under injected faults.
+//!
+//! Sweeps report loss × prediction failure over the assignment
+//! algorithms (PPI / KM / LB) on one fixed workload and predictor set,
+//! measuring how completion degrades and how often each degradation rung
+//! fires (see DESIGN.md, "Fault model & degradation ladder").
+//!
+//! The prediction-failure axis `f` is split 80 % clean failures
+//! (rollout unavailable) and 20 % garbage responses, so both detection
+//! paths of the ladder are exercised at every point. LB ignores
+//! predictions entirely, so its series isolates the effect of report
+//! loss alone — the gap between PPI and LB at equal fault levels is the
+//! value prediction still adds under degraded inputs.
+
+use crate::engine::{run_assignment_with_faults, AssignmentAlgo};
+use crate::experiments::assignment::SweepConfig;
+use crate::faults::FaultConfig;
+use crate::training::{train_predictors, LossKind, TrainedPredictors, TrainingConfig};
+use serde::{Deserialize, Serialize};
+use tamp_sim::{Workload, WorkloadConfig};
+
+/// One algorithm × fault-point measurement.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RobustnessRow {
+    /// Algorithm name (PPI / KM / LB).
+    pub algorithm: String,
+    /// P(a location report is lost), the x axis.
+    pub report_loss: f64,
+    /// P(a model rollout fails), the series axis.
+    pub prediction_failure: f64,
+    /// Task completion ratio.
+    pub completion: f64,
+    /// Rejection ratio.
+    pub rejection: f64,
+    /// Mean real detour of completed tasks, km.
+    pub cost_km: f64,
+    /// Reports lost before reaching the platform.
+    pub dropped_reports: usize,
+    /// Views served by the persistence fallback.
+    pub fallback_views: usize,
+    /// Models quarantined after divergent adaptation.
+    pub quarantined_models: usize,
+    /// Assignment pairs skipped as internally inconsistent.
+    pub invalid_pairs: usize,
+}
+
+/// The fault configuration one sweep point runs under. The
+/// prediction-failure axis also poisons online-adaptation rounds at the
+/// same rate, so the quarantine rung of the ladder is measured whenever
+/// the engine runs with `online_adapt` enabled.
+pub fn sweep_point_faults(report_loss: f64, prediction_failure: f64, seed: u64) -> FaultConfig {
+    FaultConfig {
+        report_loss,
+        prediction_failure: 0.8 * prediction_failure,
+        prediction_garbage: 0.2 * prediction_failure,
+        adapt_poison: prediction_failure,
+        seed,
+        ..FaultConfig::none()
+    }
+}
+
+fn run_cell(
+    workload: &Workload,
+    predictors: &TrainedPredictors,
+    cfg: &SweepConfig,
+    report_loss: f64,
+    prediction_failure: f64,
+) -> Vec<RobustnessRow> {
+    let faults = sweep_point_faults(report_loss, prediction_failure, cfg.seed);
+    [
+        ("PPI", AssignmentAlgo::Ppi, Some(predictors)),
+        ("KM", AssignmentAlgo::Km, Some(predictors)),
+        ("LB", AssignmentAlgo::Lb, None),
+    ]
+    .into_iter()
+    .map(|(name, algo, preds)| {
+        let m = run_assignment_with_faults(workload, preds, algo, &cfg.engine, &faults)
+            .expect("sweep fault configs are valid");
+        RobustnessRow {
+            algorithm: name.to_string(),
+            report_loss,
+            prediction_failure,
+            completion: m.completion_ratio(),
+            rejection: m.rejection_ratio(),
+            cost_km: m.avg_worker_cost_km(),
+            dropped_reports: m.dropped_reports,
+            fallback_views: m.fallback_views,
+            quarantined_models: m.quarantined_models,
+            invalid_pairs: m.invalid_pairs,
+        }
+    })
+    .collect()
+}
+
+/// The full grid: every `report_losses × prediction_failures` cell, three
+/// algorithms per cell. Workload and predictors are built once — only the
+/// fault layer varies, so differences between rows are pure fault effect.
+pub fn robustness_sweep(
+    cfg: &SweepConfig,
+    report_losses: &[f64],
+    prediction_failures: &[f64],
+) -> Vec<RobustnessRow> {
+    let workload = WorkloadConfig::new(cfg.kind, cfg.scale, cfg.seed).build();
+    let predictors = train_predictors(
+        &workload,
+        &TrainingConfig {
+            loss: LossKind::TaskOriented,
+            ..cfg.training.clone()
+        },
+    );
+    prediction_failures
+        .iter()
+        .flat_map(|&pf| {
+            report_losses
+                .iter()
+                .flat_map(|&rl| run_cell(&workload, &predictors, cfg, rl, pf))
+                .collect::<Vec<_>>()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::run_assignment;
+    use tamp_meta::meta_training::MetaConfig;
+    use tamp_sim::{Scale, WorkloadKind};
+
+    fn quick_sweep() -> SweepConfig {
+        SweepConfig {
+            kind: WorkloadKind::PortoDidi,
+            scale: Scale::tiny(),
+            seed: 33,
+            training: TrainingConfig {
+                hidden: 5,
+                seq_in: 2,
+                meta: MetaConfig {
+                    iterations: 1,
+                    batch_tasks: 2,
+                    ..MetaConfig::default()
+                },
+                path_steps: 2,
+                adapt_steps: 1,
+                seed: 33,
+                ..TrainingConfig::default()
+            },
+            engine: crate::engine::EngineConfig {
+                seq_in: 2,
+                ..crate::engine::EngineConfig::default()
+            },
+        }
+    }
+
+    #[test]
+    fn sweep_covers_grid_and_stays_sane() {
+        let cfg = quick_sweep();
+        let rows = robustness_sweep(&cfg, &[0.0, 0.5], &[0.0, 0.25]);
+        assert_eq!(rows.len(), 12, "3 algorithms × 2 × 2 points");
+        for r in &rows {
+            assert!((0.0..=1.0).contains(&r.completion), "{r:?}");
+            assert!((0.0..=1.0).contains(&r.rejection), "{r:?}");
+            assert!(r.cost_km.is_finite());
+        }
+        // Zero-fault cells inject nothing.
+        for r in rows
+            .iter()
+            .filter(|r| r.report_loss == 0.0 && r.prediction_failure == 0.0)
+        {
+            assert_eq!(r.dropped_reports, 0, "{r:?}");
+            assert_eq!(r.fallback_views, 0, "{r:?}");
+        }
+        // Faulted cells actually exercise the ladder.
+        let faulted: Vec<_> = rows.iter().filter(|r| r.report_loss == 0.5).collect();
+        assert!(faulted.iter().any(|r| r.dropped_reports > 0));
+        let pf = rows
+            .iter()
+            .find(|r| r.algorithm == "PPI" && r.prediction_failure == 0.25)
+            .unwrap();
+        assert!(pf.fallback_views > 0, "{pf:?}");
+    }
+
+    #[test]
+    fn zero_fault_cell_matches_clean_engine() {
+        let cfg = quick_sweep();
+        let workload = WorkloadConfig::new(cfg.kind, cfg.scale, cfg.seed).build();
+        let predictors = train_predictors(
+            &workload,
+            &TrainingConfig {
+                loss: LossKind::TaskOriented,
+                ..cfg.training.clone()
+            },
+        );
+        let cell = run_cell(&workload, &predictors, &cfg, 0.0, 0.0);
+        let clean = run_assignment(
+            &workload,
+            Some(&predictors),
+            AssignmentAlgo::Ppi,
+            &cfg.engine,
+        );
+        let ppi = cell.iter().find(|r| r.algorithm == "PPI").unwrap();
+        assert_eq!(ppi.completion, clean.completion_ratio());
+        assert_eq!(ppi.rejection, clean.rejection_ratio());
+        assert_eq!(ppi.cost_km, clean.avg_worker_cost_km());
+    }
+}

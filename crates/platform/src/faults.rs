@@ -1,0 +1,612 @@
+//! Seeded fault injection for the online assignment platform.
+//!
+//! Real crowdsourcing platforms run on messy inputs: workers' phones drop
+//! location reports, deliver them late or noisy, emit corrupt coordinates,
+//! and go offline; model servers fail a rollout or return garbage. This
+//! module turns those failure modes into a *deterministic, replayable*
+//! perturbation layer so the engine's graceful-degradation ladder can be
+//! measured (see `exp_robustness` in `tamp-bench` and DESIGN.md, "Fault
+//! model & degradation ladder").
+//!
+//! Determinism discipline: every individual fault decision draws from its
+//! own RNG derived as `seed → streams::FAULTS → decision kind → worker →
+//! index` via [`tamp_core::rng::derive_seed`]. Decisions are therefore
+//! pure functions of `(FaultConfig, worker, index)` — independent of
+//! query order, and each fault knob toggles without disturbing the
+//! others' streams.
+//!
+//! [`FaultConfig::none`] injects nothing and draws nothing: a run with it
+//! is bit-identical to a run without a fault layer at all.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tamp_core::rng::{derive_seed, streams};
+use tamp_core::{Grid, Minutes, Point, TimedPoint};
+use tamp_sim::Workload;
+
+/// Sub-stream labels under [`streams::FAULTS`], one per decision kind, so
+/// toggling one fault knob never shifts another knob's random stream.
+mod kinds {
+    pub const REPORT_DROP: u64 = 1;
+    pub const REPORT_CORRUPT: u64 = 2;
+    pub const REPORT_DELAY: u64 = 3;
+    pub const REPORT_NOISE: u64 = 4;
+    pub const OFFLINE: u64 = 5;
+    pub const PREDICT: u64 = 6;
+    pub const ADAPT: u64 = 7;
+}
+
+/// Probabilities and magnitudes of every injected failure mode.
+///
+/// All probabilities are per-event (per report, per worker, per rollout,
+/// per adaptation round) and must lie in `[0, 1]`; magnitudes are in the
+/// unit of their name and must be finite and non-negative.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultConfig {
+    /// P(a location report never arrives).
+    pub report_loss: f64,
+    /// P(a report arrives late).
+    pub report_delay: f64,
+    /// Maximum lateness of a delayed report, minutes (uniform in
+    /// `[0, max)`).
+    pub max_delay_min: f64,
+    /// Standard deviation of Gaussian GPS error added per delivered
+    /// report, km.
+    pub gps_noise_km: f64,
+    /// P(a report's coordinates are corrupted — non-finite or absurdly
+    /// off-grid; the ingest validator rejects these).
+    pub corrupt_coord: f64,
+    /// P(a worker goes offline for one contiguous window today).
+    pub offline_worker: f64,
+    /// Length of that offline window, minutes.
+    pub offline_window_min: f64,
+    /// P(the model rollout for a worker is unavailable in a batch).
+    pub prediction_failure: f64,
+    /// P(the model rollout returns garbage instead of failing cleanly).
+    pub prediction_garbage: f64,
+    /// P(an online-adaptation round for a worker trains on poisoned
+    /// targets, driving the loss non-finite).
+    pub adapt_poison: f64,
+    /// Seed of the fault streams (independent of the engine seed, so the
+    /// same workload can be replayed under different fault draws).
+    pub seed: u64,
+}
+
+impl FaultConfig {
+    /// The identity configuration: injects nothing, draws no randomness.
+    pub fn none() -> Self {
+        Self {
+            report_loss: 0.0,
+            report_delay: 0.0,
+            max_delay_min: 0.0,
+            gps_noise_km: 0.0,
+            corrupt_coord: 0.0,
+            offline_worker: 0.0,
+            offline_window_min: 0.0,
+            prediction_failure: 0.0,
+            prediction_garbage: 0.0,
+            adapt_poison: 0.0,
+            seed: 0,
+        }
+    }
+
+    /// True when no fault can ever fire under this configuration.
+    pub fn is_none(&self) -> bool {
+        self.report_loss == 0.0
+            && self.report_delay == 0.0
+            && self.gps_noise_km == 0.0
+            && self.corrupt_coord == 0.0
+            && (self.offline_worker == 0.0 || self.offline_window_min == 0.0)
+            && self.prediction_failure == 0.0
+            && self.prediction_garbage == 0.0
+            && self.adapt_poison == 0.0
+    }
+
+    /// Domain check: probabilities in `[0, 1]`, magnitudes finite `≥ 0`.
+    pub fn validate(&self) -> Result<(), String> {
+        let probs = [
+            ("report_loss", self.report_loss),
+            ("report_delay", self.report_delay),
+            ("corrupt_coord", self.corrupt_coord),
+            ("offline_worker", self.offline_worker),
+            ("prediction_failure", self.prediction_failure),
+            ("prediction_garbage", self.prediction_garbage),
+            ("adapt_poison", self.adapt_poison),
+        ];
+        for (name, p) in probs {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(format!("{name} = {p} is not a probability"));
+            }
+        }
+        let mags = [
+            ("max_delay_min", self.max_delay_min),
+            ("gps_noise_km", self.gps_noise_km),
+            ("offline_window_min", self.offline_window_min),
+        ];
+        for (name, m) in mags {
+            if !m.is_finite() || m < 0.0 {
+                return Err(format!("{name} = {m} must be finite and ≥ 0"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// What happened to one location report on its way to the platform.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ReportFault {
+    /// Never arrives.
+    Drop,
+    /// Arrives carrying these (garbage) coordinates instead of the
+    /// measurement.
+    Corrupt(Point),
+    /// Arrives `delay_min` late with `(dx, dy)` km of GPS error (all
+    /// zero for a clean report).
+    Deliver {
+        /// Lateness in minutes.
+        delay_min: f64,
+        /// GPS error offset in km.
+        noise_km: (f64, f64),
+    },
+}
+
+/// What happened to one model rollout request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RolloutFault {
+    /// The model answered normally.
+    Healthy,
+    /// The rollout failed cleanly (e.g. model server timeout).
+    Unavailable,
+    /// The rollout "succeeded" but returned garbage values.
+    Garbage,
+}
+
+/// Draws individual fault decisions deterministically from a
+/// [`FaultConfig`].
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    cfg: FaultConfig,
+}
+
+/// One standard-normal sample via Box–Muller.
+fn gauss(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+impl FaultInjector {
+    /// Wraps a (validated) configuration.
+    pub fn new(cfg: FaultConfig) -> Self {
+        Self { cfg }
+    }
+
+    /// The configuration this injector draws from.
+    pub fn config(&self) -> &FaultConfig {
+        &self.cfg
+    }
+
+    fn rng(&self, kind: u64, worker: u64, index: u64) -> StdRng {
+        let s = derive_seed(self.cfg.seed, streams::FAULTS);
+        StdRng::seed_from_u64(derive_seed(
+            derive_seed(s, kind),
+            derive_seed(worker, index),
+        ))
+    }
+
+    /// Fate of report `report_idx` of `worker`. Clean configurations
+    /// short-circuit without drawing randomness.
+    pub fn report(&self, worker: u64, report_idx: u64) -> ReportFault {
+        let c = &self.cfg;
+        if c.report_loss > 0.0
+            && self
+                .rng(kinds::REPORT_DROP, worker, report_idx)
+                .gen_bool(c.report_loss)
+        {
+            return ReportFault::Drop;
+        }
+        if c.corrupt_coord > 0.0 {
+            let mut rng = self.rng(kinds::REPORT_CORRUPT, worker, report_idx);
+            if rng.gen_bool(c.corrupt_coord) {
+                // Corruption shapes seen in real feeds: NaN payloads and
+                // wildly out-of-range fixed-point garbage.
+                let p = match rng.gen_range(0u32..3) {
+                    0 => Point::new(f64::NAN, f64::NAN),
+                    1 => Point::new(f64::INFINITY, 0.0),
+                    _ => Point::new(1.0e7, -1.0e7),
+                };
+                return ReportFault::Corrupt(p);
+            }
+        }
+        let delay_min = if c.report_delay > 0.0 && c.max_delay_min > 0.0 {
+            let mut rng = self.rng(kinds::REPORT_DELAY, worker, report_idx);
+            if rng.gen_bool(c.report_delay) {
+                rng.gen_range(0.0..c.max_delay_min)
+            } else {
+                0.0
+            }
+        } else {
+            0.0
+        };
+        let noise_km = if c.gps_noise_km > 0.0 {
+            let mut rng = self.rng(kinds::REPORT_NOISE, worker, report_idx);
+            (
+                c.gps_noise_km * gauss(&mut rng),
+                c.gps_noise_km * gauss(&mut rng),
+            )
+        } else {
+            (0.0, 0.0)
+        };
+        ReportFault::Deliver {
+            delay_min,
+            noise_km,
+        }
+    }
+
+    /// The worker's offline window for the day, if any.
+    pub fn offline_window(&self, worker: u64, horizon_min: f64) -> Option<(f64, f64)> {
+        let c = &self.cfg;
+        if c.offline_worker == 0.0 || c.offline_window_min == 0.0 {
+            return None;
+        }
+        let mut rng = self.rng(kinds::OFFLINE, worker, 0);
+        if !rng.gen_bool(c.offline_worker) {
+            return None;
+        }
+        let len = c.offline_window_min.min(horizon_min);
+        let latest_start = (horizon_min - len).max(0.0);
+        let start = if latest_start > 0.0 {
+            rng.gen_range(0.0..latest_start)
+        } else {
+            0.0
+        };
+        Some((start, start + len))
+    }
+
+    /// Fate of the model rollout for `worker` in batch `batch_idx`.
+    pub fn rollout(&self, worker: u64, batch_idx: u64) -> RolloutFault {
+        let c = &self.cfg;
+        if c.prediction_failure == 0.0 && c.prediction_garbage == 0.0 {
+            return RolloutFault::Healthy;
+        }
+        let mut rng = self.rng(kinds::PREDICT, worker, batch_idx);
+        // A single draw decides: [0, garbage) → garbage, [garbage,
+        // garbage + failure) → unavailable, rest healthy.
+        let x: f64 = rng.gen_range(0.0..1.0);
+        if x < c.prediction_garbage {
+            RolloutFault::Garbage
+        } else if x < c.prediction_garbage + c.prediction_failure {
+            RolloutFault::Unavailable
+        } else {
+            RolloutFault::Healthy
+        }
+    }
+
+    /// A garbage rollout in normalized model-output space: non-finite
+    /// and far-out-of-range values that must not survive validation.
+    pub fn garbage_rollout(&self, worker: u64, batch_idx: u64, horizon: usize) -> Vec<[f64; 2]> {
+        let mut rng = self.rng(kinds::PREDICT, worker, derive_seed(batch_idx, 1));
+        (0..horizon)
+            .map(|_| match rng.gen_range(0u32..3) {
+                0 => [f64::NAN, f64::NAN],
+                1 => [f64::NEG_INFINITY, 0.5],
+                _ => [rng.gen_range(-1.0e6..1.0e6), f64::NAN],
+            })
+            .collect()
+    }
+
+    /// Whether adaptation round `round_idx` for `worker` trains on
+    /// poisoned targets.
+    pub fn adapt_poisoned(&self, worker: u64, round_idx: u64) -> bool {
+        let c = &self.cfg;
+        c.adapt_poison > 0.0
+            && self
+                .rng(kinds::ADAPT, worker, round_idx)
+                .gen_bool(c.adapt_poison)
+    }
+}
+
+/// Ingest-side validation of a (possibly faulty) report location: rejects
+/// non-finite and absurdly out-of-range coordinates, clamps mild GPS
+/// drift back onto the grid, and passes in-grid points through untouched.
+pub fn sanitize_report(grid: &Grid, p: Point) -> Option<Point> {
+    if !p.is_finite() {
+        return None;
+    }
+    let (w, h) = (grid.width_km(), grid.height_km());
+    if p.x < -w || p.x > 2.0 * w || p.y < -h || p.y > 2.0 * h {
+        return None;
+    }
+    if grid.contains(p) {
+        Some(p)
+    } else {
+        Some(grid.clamp(p))
+    }
+}
+
+/// One delivered location report as the platform sees it.
+#[derive(Debug, Clone, Copy)]
+pub struct VisibleReport {
+    /// When the location was measured (the routine sample time), minutes.
+    pub report_min: f64,
+    /// When the platform received it (`report_min` + delay), minutes.
+    pub visible_min: f64,
+    /// The received location (after noise and ingest clamping).
+    pub loc: Point,
+}
+
+/// The fault schedule of one worker for the whole day.
+#[derive(Debug, Clone, Default)]
+pub struct WorkerFaultPlan {
+    /// Reports that reach the platform, in measurement order.
+    pub visible: Vec<VisibleReport>,
+    /// Measurement times of reports that never become usable (dropped,
+    /// or rejected by ingest validation).
+    pub dropped_min: Vec<f64>,
+    /// `[start, end)` of the worker's offline window, if any.
+    pub offline: Option<(f64, f64)>,
+}
+
+impl WorkerFaultPlan {
+    /// Whether the worker is offline (unassignable) at minute `t`.
+    pub fn is_offline(&self, t: f64) -> bool {
+        self.offline.is_some_and(|(s, e)| t >= s && t < e)
+    }
+
+    /// Reports received strictly before `now`, as timed points in
+    /// measurement order (mirrors `Routine::window(0, now)` semantics).
+    pub fn received_before(&self, now: Minutes) -> Vec<TimedPoint> {
+        self.visible
+            .iter()
+            .filter(|r| r.visible_min < now.as_f64())
+            .map(|r| TimedPoint {
+                loc: r.loc,
+                time: Minutes::new(r.report_min),
+            })
+            .collect()
+    }
+
+    /// Whether any report was measured (delivered or not) before `now` —
+    /// i.e. the worker *should* have been heard from by now.
+    pub fn any_report_before(&self, now: Minutes) -> bool {
+        self.visible.iter().any(|r| r.report_min < now.as_f64())
+            || self.dropped_min.iter().any(|t| *t < now.as_f64())
+    }
+}
+
+/// The precomputed fault schedule for a whole run: what every worker's
+/// report stream looks like after injection, plus the injector for
+/// per-batch (rollout) and per-round (adaptation) decisions.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    /// Per-worker schedules, indexed like `workload.workers`.
+    pub workers: Vec<WorkerFaultPlan>,
+    /// Decision source for rollout / adaptation faults.
+    pub injector: FaultInjector,
+}
+
+impl FaultPlan {
+    /// Applies `cfg` to every report of every worker in `workload`.
+    pub fn build(workload: &Workload, cfg: &FaultConfig) -> Self {
+        let injector = FaultInjector::new(*cfg);
+        let horizon = workload.horizon.as_f64();
+        let workers = workload
+            .workers
+            .iter()
+            .enumerate()
+            .map(|(wi, sw)| {
+                let mut plan = WorkerFaultPlan {
+                    offline: injector.offline_window(wi as u64, horizon),
+                    ..Default::default()
+                };
+                let reports = sw
+                    .worker
+                    .real_routine
+                    .window(Minutes::ZERO, Minutes::new(f64::MAX));
+                for (ri, p) in reports.iter().enumerate() {
+                    let t = p.time.as_f64();
+                    if plan.is_offline(t) {
+                        plan.dropped_min.push(t);
+                        continue;
+                    }
+                    match injector.report(wi as u64, ri as u64) {
+                        ReportFault::Drop => plan.dropped_min.push(t),
+                        ReportFault::Corrupt(garbage) => {
+                            match sanitize_report(&workload.grid, garbage) {
+                                Some(loc) => plan.visible.push(VisibleReport {
+                                    report_min: t,
+                                    visible_min: t,
+                                    loc,
+                                }),
+                                None => plan.dropped_min.push(t),
+                            }
+                        }
+                        ReportFault::Deliver {
+                            delay_min,
+                            noise_km: (dx, dy),
+                        } => {
+                            if dx == 0.0 && dy == 0.0 {
+                                // A clean report is the measurement
+                                // itself; it bypasses ingest clamping so
+                                // a zero-fault plan reproduces the raw
+                                // routine exactly.
+                                plan.visible.push(VisibleReport {
+                                    report_min: t,
+                                    visible_min: t + delay_min,
+                                    loc: p.loc,
+                                });
+                            } else {
+                                match sanitize_report(&workload.grid, p.loc.offset(dx, dy)) {
+                                    Some(loc) => plan.visible.push(VisibleReport {
+                                        report_min: t,
+                                        visible_min: t + delay_min,
+                                        loc,
+                                    }),
+                                    None => plan.dropped_min.push(t),
+                                }
+                            }
+                        }
+                    }
+                }
+                plan
+            })
+            .collect();
+        Self { workers, injector }
+    }
+
+    /// Reports lost (measured but never usable) with measurement time in
+    /// `[start, end)` — the per-batch `dropped_reports` metric.
+    pub fn dropped_in_window(&self, start: f64, end: f64) -> usize {
+        self.workers
+            .iter()
+            .flat_map(|w| &w.dropped_min)
+            .filter(|t| **t >= start && **t < end)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tamp_sim::{Scale, WorkloadConfig, WorkloadKind};
+
+    fn tiny() -> Workload {
+        WorkloadConfig::new(WorkloadKind::PortoDidi, Scale::tiny(), 21).build()
+    }
+
+    #[test]
+    fn none_config_is_identity() {
+        let cfg = FaultConfig::none();
+        assert!(cfg.is_none());
+        cfg.validate().unwrap();
+        let w = tiny();
+        let plan = FaultPlan::build(&w, &cfg);
+        for (wp, sw) in plan.workers.iter().zip(&w.workers) {
+            assert!(wp.dropped_min.is_empty());
+            assert!(wp.offline.is_none());
+            let raw = sw
+                .worker
+                .real_routine
+                .window(Minutes::ZERO, Minutes::new(f64::MAX));
+            assert_eq!(wp.visible.len(), raw.len());
+            for (v, r) in wp.visible.iter().zip(raw) {
+                assert_eq!(v.loc, r.loc);
+                assert_eq!(v.report_min, r.time.as_f64());
+                assert_eq!(v.visible_min, r.time.as_f64());
+            }
+        }
+    }
+
+    #[test]
+    fn decisions_are_deterministic_and_order_free() {
+        let cfg = FaultConfig {
+            report_loss: 0.3,
+            report_delay: 0.2,
+            max_delay_min: 12.0,
+            gps_noise_km: 0.1,
+            corrupt_coord: 0.05,
+            prediction_failure: 0.25,
+            prediction_garbage: 0.1,
+            adapt_poison: 0.2,
+            seed: 7,
+            ..FaultConfig::none()
+        };
+        let inj = FaultInjector::new(cfg);
+        // Query in different orders; decisions must not move.
+        let forward: Vec<ReportFault> = (0..50).map(|i| inj.report(3, i)).collect();
+        let backward: Vec<ReportFault> = (0..50).rev().map(|i| inj.report(3, i)).collect();
+        for (i, f) in forward.iter().enumerate() {
+            assert_eq!(*f, backward[49 - i]);
+        }
+        assert_eq!(inj.rollout(5, 17), inj.rollout(5, 17));
+        assert_eq!(inj.adapt_poisoned(2, 4), inj.adapt_poisoned(2, 4));
+    }
+
+    #[test]
+    fn knobs_use_independent_streams() {
+        // Turning GPS noise on must not change which reports drop.
+        let base = FaultConfig {
+            report_loss: 0.4,
+            seed: 11,
+            ..FaultConfig::none()
+        };
+        let noisy = FaultConfig {
+            gps_noise_km: 0.2,
+            ..base
+        };
+        let a = FaultInjector::new(base);
+        let b = FaultInjector::new(noisy);
+        for i in 0..100 {
+            let dropped_a = matches!(a.report(0, i), ReportFault::Drop);
+            let dropped_b = matches!(b.report(0, i), ReportFault::Drop);
+            assert_eq!(dropped_a, dropped_b, "report {i}");
+        }
+    }
+
+    #[test]
+    fn sanitizer_rejects_garbage_and_clamps_drift() {
+        let g = Grid::PAPER;
+        assert_eq!(sanitize_report(&g, Point::new(f64::NAN, 1.0)), None);
+        assert_eq!(sanitize_report(&g, Point::new(1.0e7, -1.0e7)), None);
+        let inside = Point::new(1.0, 1.0);
+        assert_eq!(sanitize_report(&g, inside), Some(inside));
+        let drift = Point::new(-0.05, 1.0);
+        let fixed = sanitize_report(&g, drift).unwrap();
+        assert!(g.contains(fixed));
+    }
+
+    #[test]
+    fn report_loss_rate_is_roughly_honoured() {
+        let cfg = FaultConfig {
+            report_loss: 0.3,
+            seed: 3,
+            ..FaultConfig::none()
+        };
+        let w = tiny();
+        let plan = FaultPlan::build(&w, &cfg);
+        let (mut dropped, mut total) = (0usize, 0usize);
+        for (wp, sw) in plan.workers.iter().zip(&w.workers) {
+            let raw = sw
+                .worker
+                .real_routine
+                .window(Minutes::ZERO, Minutes::new(f64::MAX))
+                .len();
+            total += raw;
+            dropped += wp.dropped_min.len();
+            assert_eq!(wp.visible.len() + wp.dropped_min.len(), raw);
+        }
+        let rate = dropped as f64 / total.max(1) as f64;
+        assert!((0.15..=0.45).contains(&rate), "drop rate {rate}");
+    }
+
+    #[test]
+    fn offline_window_lies_inside_horizon() {
+        let cfg = FaultConfig {
+            offline_worker: 1.0,
+            offline_window_min: 60.0,
+            seed: 5,
+            ..FaultConfig::none()
+        };
+        let w = tiny();
+        let plan = FaultPlan::build(&w, &cfg);
+        let horizon = w.horizon.as_f64();
+        let mut some = false;
+        for wp in &plan.workers {
+            let (s, e) = wp.offline.expect("offline_worker = 1.0");
+            some = true;
+            assert!(s >= 0.0 && e <= horizon + 1e-9 && e > s);
+            assert!(wp.is_offline(s) && !wp.is_offline(e));
+        }
+        assert!(some);
+    }
+
+    #[test]
+    fn validate_rejects_out_of_domain() {
+        let mut cfg = FaultConfig::none();
+        cfg.report_loss = 1.5;
+        assert!(cfg.validate().is_err());
+        let mut cfg = FaultConfig::none();
+        cfg.gps_noise_km = f64::NAN;
+        assert!(cfg.validate().is_err());
+    }
+}

@@ -15,7 +15,13 @@
 //!   MAML / CTML / GTTAML-GT / GTTAML training, per-worker adaptation,
 //!   validation matching rates, cold-start handling for new workers.
 //! * [`metrics`] — the paper's four assignment metrics (completion
-//!   ratio, rejection ratio, worker cost, running time).
+//!   ratio, rejection ratio, worker cost, running time) plus the
+//!   robustness counters (dropped reports, fallback views, quarantined
+//!   models, invalid pairs).
+//! * [`faults`] — seeded, replayable fault injection (report loss /
+//!   delay / noise / corruption, offline windows, rollout failures,
+//!   training poisoning) used to measure the engine's graceful
+//!   degradation.
 //! * [`experiments`] — one driver per table/figure family, emitting both
 //!   human-readable rows and machine-readable JSON.
 
@@ -25,10 +31,15 @@
 pub mod acceptance;
 pub mod engine;
 pub mod experiments;
+pub mod faults;
 pub mod metrics;
 pub mod training;
 
-pub use engine::{run_assignment, run_assignment_traced, AssignmentAlgo, EngineConfig};
-pub use metrics::BatchRecord;
+pub use engine::{
+    run_assignment, run_assignment_traced, run_assignment_with_faults,
+    run_assignment_with_faults_traced, try_run_assignment, AssignmentAlgo, EngineConfig,
+};
+pub use faults::{FaultConfig, FaultInjector, FaultPlan};
 pub use metrics::AssignmentMetrics;
+pub use metrics::BatchRecord;
 pub use training::{train_predictors, LossKind, PredictionAlgo, TrainedPredictors, TrainingConfig};

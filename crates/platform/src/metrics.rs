@@ -18,6 +18,18 @@ pub struct BatchRecord {
     pub accepted: usize,
     /// Proposals the workers rejected.
     pub rejected: usize,
+    /// Location reports measured in this window that never became usable
+    /// (dropped, corrupted, or swallowed by an offline window).
+    pub dropped_reports: usize,
+    /// Worker views built from the persistence fallback because the
+    /// model rollout failed or returned garbage this batch.
+    pub fallback_views: usize,
+    /// Proposed pairs skipped because the pair referenced a task or
+    /// worker missing from this batch's snapshot.
+    pub invalid_pairs: usize,
+    /// Models quarantined (rolled back to their offline checkpoint)
+    /// during this batch's adaptation round.
+    pub quarantined_models: usize,
 }
 
 /// Aggregate outcome of one simulated test day.
@@ -35,6 +47,19 @@ pub struct AssignmentMetrics {
     pub total_detour_km: f64,
     /// Wall-clock seconds spent inside the assignment algorithm.
     pub algo_seconds: f64,
+    /// Location reports lost before reaching the platform (fault
+    /// injection; zero in a clean run).
+    pub dropped_reports: usize,
+    /// Views served by the persistence fallback instead of a model
+    /// rollout (fault injection; zero in a clean run).
+    pub fallback_views: usize,
+    /// Models quarantined and rolled back to their offline checkpoint
+    /// after a divergent adaptation round.
+    pub quarantined_models: usize,
+    /// Assignment pairs skipped as internally inconsistent instead of
+    /// panicking; counted inside `assigned_total`, so
+    /// `completed + rejected + invalid_pairs == assigned_total`.
+    pub invalid_pairs: usize,
 }
 
 impl AssignmentMetrics {
@@ -79,6 +104,7 @@ mod tests {
             rejected: 20,
             total_detour_km: 90.0,
             algo_seconds: 1.0,
+            ..Default::default()
         };
         assert!((m.completion_ratio() - 0.6).abs() < 1e-12);
         assert!((m.rejection_ratio() - 0.25).abs() < 1e-12);

@@ -22,7 +22,9 @@ use tamp_meta::similarity::{build_sim_matrix, FactorKind};
 use tamp_meta::taml::{taml_train, TamlConfig};
 use tamp_meta::LearningTask;
 use tamp_nn::seq2seq::CellKind;
-use tamp_nn::{Loss, MseLoss, Seq2Seq, Seq2SeqConfig, TaskDensityMap, TaskOrientedLoss, WeightParams};
+use tamp_nn::{
+    Loss, MseLoss, Seq2Seq, Seq2SeqConfig, TaskDensityMap, TaskOrientedLoss, WeightParams,
+};
 use tamp_sim::Workload;
 
 /// Which prediction algorithm trains the worker models (the roster of
@@ -243,7 +245,14 @@ pub fn train_predictors(workload: &Workload, cfg: &TrainingConfig) -> TrainedPre
                 meta: cfg.meta,
                 ..CtmlConfig::default()
             };
-            let model = ctml_train(&tasks, &paths, &template, loss.as_ref(), &ctml_cfg, &mut meta_rng);
+            let model = ctml_train(
+                &tasks,
+                &paths,
+                &template,
+                loss.as_ref(),
+                &ctml_cfg,
+                &mut meta_rng,
+            );
             let inits = tasks
                 .iter()
                 .zip(&paths)
@@ -251,7 +260,9 @@ pub fn train_predictors(workload: &Workload, cfg: &TrainingConfig) -> TrainedPre
                     // Features must be normalised like training did; assign
                     // via raw features is an approximation the centroids
                     // tolerate (z-scores are monotone per column).
-                    model.theta_for(&normalised_like(&tasks, &paths, task_features(t, p))).to_vec()
+                    model
+                        .theta_for(&normalised_like(&tasks, &paths, task_features(t, p)))
+                        .to_vec()
                 })
                 .collect();
             let k = model.clusters.iter().filter(|c| !c.is_empty()).count();
@@ -279,7 +290,8 @@ pub fn train_predictors(workload: &Workload, cfg: &TrainingConfig) -> TrainedPre
                 .collect();
             let mut gtmc = cfg.gtmc.clone();
             gtmc.use_game = matches!(cfg.algo, PredictionAlgo::Gttaml);
-            gtmc.thresholds.resize(sims.len(), *gtmc.thresholds.last().unwrap_or(&0.75));
+            gtmc.thresholds
+                .resize(sims.len(), *gtmc.thresholds.last().unwrap_or(&0.75));
             gtmc.thresholds.truncate(sims.len());
             gtmc.seed = cfg.seed;
             let mut tree = build_tree(tasks.len(), &sims, &gtmc, template.params());
@@ -287,7 +299,14 @@ pub fn train_predictors(workload: &Workload, cfg: &TrainingConfig) -> TrainedPre
                 meta: cfg.meta,
                 parent_blend: 0.5,
             };
-            taml_train(&mut tree, &tasks, &template, loss.as_ref(), &tcfg, &mut meta_rng);
+            taml_train(
+                &mut tree,
+                &tasks,
+                &template,
+                loss.as_ref(),
+                &tcfg,
+                &mut meta_rng,
+            );
 
             let inits = tasks
                 .iter()
@@ -312,7 +331,9 @@ pub fn train_predictors(workload: &Workload, cfg: &TrainingConfig) -> TrainedPre
     let mut models: Vec<Seq2Seq> = Vec::with_capacity(n);
     let mut per_worker: Vec<PredictionMetrics> = Vec::with_capacity(n);
     // Worker adaptation is embarrassingly parallel; shard across threads.
-    let n_threads = std::thread::available_parallelism().map_or(4, |p| p.get()).min(8);
+    let n_threads = std::thread::available_parallelism()
+        .map_or(4, |p| p.get())
+        .min(8);
     let chunk = n.div_ceil(n_threads.max(1));
     let mut shards: Vec<Vec<(usize, Seq2Seq, PredictionMetrics)>> = Vec::new();
     crossbeam::thread::scope(|scope| {
@@ -348,7 +369,10 @@ pub fn train_predictors(workload: &Workload, cfg: &TrainingConfig) -> TrainedPre
                 out
             }));
         }
-        shards = handles.into_iter().map(|h| h.join().expect("shard panicked")).collect();
+        shards = handles
+            .into_iter()
+            .map(|h| h.join().expect("shard panicked"))
+            .collect();
     })
     .expect("crossbeam scope");
 

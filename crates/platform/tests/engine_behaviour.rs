@@ -136,7 +136,10 @@ fn aggregate_detour_is_bounded() {
     for algo in [AssignmentAlgo::Ppi, AssignmentAlgo::Km, AssignmentAlgo::Lb] {
         let m = run_assignment(&w, Some(&p), algo, &engine());
         let limit = w.workers[0].worker.detour_limit_km;
-        assert!(m.total_detour_km <= limit * m.completed as f64 + 1e-9, "{algo:?}");
+        assert!(
+            m.total_detour_km <= limit * m.completed as f64 + 1e-9,
+            "{algo:?}"
+        );
     }
 }
 

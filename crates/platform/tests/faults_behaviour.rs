@@ -1,0 +1,270 @@
+//! Behavioural tests of the fault-injection layer and the engine's
+//! graceful-degradation ladder: determinism, zero-fault equivalence with
+//! the clean engine, metric accounting under random fault configurations,
+//! fallback and quarantine activation.
+
+use rand::Rng;
+use tamp_core::rng::rng_for;
+use tamp_meta::meta_training::MetaConfig;
+use tamp_platform::engine::{
+    run_assignment_with_faults, run_assignment_with_faults_traced, try_run_assignment,
+    OnlineAdaptConfig,
+};
+use tamp_platform::{
+    run_assignment, train_predictors, AssignmentAlgo, AssignmentMetrics, EngineConfig, FaultConfig,
+    LossKind, PredictionAlgo, TrainingConfig,
+};
+use tamp_sim::{Scale, Workload, WorkloadConfig, WorkloadKind};
+
+fn tiny_workload(seed: u64) -> Workload {
+    WorkloadConfig::new(WorkloadKind::PortoDidi, Scale::tiny(), seed).build()
+}
+
+fn quick_training(seed: u64) -> TrainingConfig {
+    TrainingConfig {
+        algo: PredictionAlgo::Maml,
+        loss: LossKind::Mse,
+        hidden: 6,
+        seq_in: 3,
+        meta: MetaConfig {
+            iterations: 2,
+            ..MetaConfig::default()
+        },
+        adapt_steps: 2,
+        seed,
+        ..TrainingConfig::default()
+    }
+}
+
+fn engine() -> EngineConfig {
+    EngineConfig {
+        seq_in: 3,
+        ..EngineConfig::default()
+    }
+}
+
+fn mixed_faults(seed: u64) -> FaultConfig {
+    FaultConfig {
+        report_loss: 0.2,
+        report_delay: 0.15,
+        max_delay_min: 12.0,
+        gps_noise_km: 0.05,
+        corrupt_coord: 0.05,
+        offline_worker: 0.2,
+        offline_window_min: 40.0,
+        prediction_failure: 0.2,
+        prediction_garbage: 0.05,
+        adapt_poison: 0.0,
+        seed,
+    }
+}
+
+/// Everything that should be identical across replays of the same
+/// `(workload, faults, engine)` triple — wall-clock time excluded.
+fn fingerprint(
+    m: &AssignmentMetrics,
+) -> (usize, usize, usize, usize, u64, usize, usize, usize, usize) {
+    (
+        m.tasks_total,
+        m.assigned_total,
+        m.completed,
+        m.rejected,
+        m.total_detour_km.to_bits(),
+        m.dropped_reports,
+        m.fallback_views,
+        m.quarantined_models,
+        m.invalid_pairs,
+    )
+}
+
+/// Same workload + same FaultConfig + same seed ⇒ identical metrics.
+#[test]
+fn fault_runs_are_deterministic() {
+    let w = tiny_workload(401);
+    let p = train_predictors(&w, &quick_training(401));
+    let faults = mixed_faults(17);
+    for algo in [AssignmentAlgo::Ppi, AssignmentAlgo::Km, AssignmentAlgo::Lb] {
+        let preds = (algo != AssignmentAlgo::Lb).then_some(&p);
+        let a = run_assignment_with_faults(&w, preds, algo, &engine(), &faults).unwrap();
+        let b = run_assignment_with_faults(&w, preds, algo, &engine(), &faults).unwrap();
+        assert_eq!(fingerprint(&a), fingerprint(&b), "{algo:?}");
+    }
+}
+
+/// `FaultConfig::none()` must reproduce today's clean-engine metrics
+/// exactly — the fault layer is strictly additive.
+#[test]
+fn zero_faults_match_clean_engine_exactly() {
+    let w = tiny_workload(402);
+    let p = train_predictors(&w, &quick_training(402));
+    for algo in [
+        AssignmentAlgo::Ppi,
+        AssignmentAlgo::Km,
+        AssignmentAlgo::Ub,
+        AssignmentAlgo::Lb,
+    ] {
+        let preds = (!matches!(algo, AssignmentAlgo::Ub | AssignmentAlgo::Lb)).then_some(&p);
+        let clean = run_assignment(&w, preds, algo, &engine());
+        let faulted =
+            run_assignment_with_faults(&w, preds, algo, &engine(), &FaultConfig::none()).unwrap();
+        assert_eq!(fingerprint(&clean), fingerprint(&faulted), "{algo:?}");
+        assert_eq!(faulted.dropped_reports, 0);
+        assert_eq!(faulted.fallback_views, 0);
+        assert_eq!(faulted.quarantined_models, 0);
+        assert_eq!(faulted.invalid_pairs, 0);
+    }
+}
+
+/// Accounting invariant under randomly drawn fault configurations:
+/// `completed + rejected + invalid_pairs == assigned_total`, counters
+/// stay within their denominators, and no run panics.
+#[test]
+fn accounting_holds_under_random_fault_configs() {
+    let w = tiny_workload(403);
+    let p = train_predictors(&w, &quick_training(403));
+    let mut rng = rng_for(403, 99);
+    for trial in 0..12 {
+        let faults = FaultConfig {
+            report_loss: rng.gen_range(0.0..0.8),
+            report_delay: rng.gen_range(0.0..0.5),
+            max_delay_min: rng.gen_range(0.0..30.0),
+            gps_noise_km: rng.gen_range(0.0..0.3),
+            corrupt_coord: rng.gen_range(0.0..0.2),
+            offline_worker: rng.gen_range(0.0..0.5),
+            offline_window_min: rng.gen_range(0.0..90.0),
+            prediction_failure: rng.gen_range(0.0..0.5),
+            prediction_garbage: rng.gen_range(0.0..0.3),
+            adapt_poison: rng.gen_range(0.0..0.5),
+            seed: rng.gen(),
+        };
+        let algo = match trial % 3 {
+            0 => AssignmentAlgo::Ppi,
+            1 => AssignmentAlgo::Km,
+            _ => AssignmentAlgo::Lb,
+        };
+        let preds = (algo != AssignmentAlgo::Lb).then_some(&p);
+        let cfg = EngineConfig {
+            online_adapt: (trial % 2 == 0).then(OnlineAdaptConfig::default),
+            ..engine()
+        };
+        let mut trace = Vec::new();
+        let m = run_assignment_with_faults_traced(&w, preds, algo, &cfg, &faults, &mut trace)
+            .unwrap_or_else(|e| panic!("trial {trial} ({algo:?}): {e}"));
+        assert_eq!(
+            m.completed + m.rejected + m.invalid_pairs,
+            m.assigned_total,
+            "trial {trial} ({algo:?}): {faults:?}"
+        );
+        assert!(m.completed <= m.tasks_total);
+        assert!(m.total_detour_km.is_finite());
+        assert!(m.quarantined_models <= w.workers.len());
+        // The trace tells the same story as the aggregate.
+        assert_eq!(
+            m.dropped_reports,
+            trace.iter().map(|b| b.dropped_reports).sum()
+        );
+        assert_eq!(
+            m.fallback_views,
+            trace.iter().map(|b| b.fallback_views).sum()
+        );
+        assert_eq!(m.invalid_pairs, trace.iter().map(|b| b.invalid_pairs).sum());
+        assert_eq!(
+            m.quarantined_models,
+            trace.iter().map(|b| b.quarantined_models).sum()
+        );
+    }
+}
+
+/// With every rollout failing, every built view must come from the
+/// persistence fallback — and the engine still completes tasks.
+#[test]
+fn total_prediction_failure_degrades_to_persistence() {
+    let w = tiny_workload(404);
+    let p = train_predictors(&w, &quick_training(404));
+    let faults = FaultConfig {
+        prediction_failure: 1.0,
+        seed: 5,
+        ..FaultConfig::none()
+    };
+    let m =
+        run_assignment_with_faults(&w, Some(&p), AssignmentAlgo::Ppi, &engine(), &faults).unwrap();
+    assert!(m.fallback_views > 0, "no fallback views recorded");
+    assert!(
+        m.completed > 0,
+        "persistence-only PPI should still complete something"
+    );
+    assert_eq!(m.dropped_reports, 0, "report stream was clean");
+}
+
+/// Poisoned online-adaptation rounds must be caught by the divergence
+/// guard: the affected models are quarantined, and the run finishes with
+/// finite metrics.
+#[test]
+fn poisoned_adaptation_triggers_quarantine() {
+    let w = tiny_workload(405);
+    let p = train_predictors(&w, &quick_training(405));
+    let cfg = EngineConfig {
+        online_adapt: Some(OnlineAdaptConfig::default()),
+        ..engine()
+    };
+    let faults = FaultConfig {
+        adapt_poison: 1.0,
+        seed: 6,
+        ..FaultConfig::none()
+    };
+    let m = run_assignment_with_faults(&w, Some(&p), AssignmentAlgo::Ppi, &cfg, &faults).unwrap();
+    assert!(m.quarantined_models > 0, "poison never tripped the guard");
+    assert!(m.quarantined_models <= w.workers.len());
+    assert!(m.total_detour_km.is_finite());
+}
+
+/// Report loss hurts but must not cliff: the engine keeps assigning at
+/// 50 % loss, and losing reports never *increases* what the platform
+/// knows (dropped counts grow with the loss rate).
+#[test]
+fn report_loss_degrades_without_cliff() {
+    let w = tiny_workload(406);
+    let p = train_predictors(&w, &quick_training(406));
+    let mut dropped_prev = 0usize;
+    for (i, loss) in [0.0, 0.25, 0.5].into_iter().enumerate() {
+        let faults = FaultConfig {
+            report_loss: loss,
+            seed: 7,
+            ..FaultConfig::none()
+        };
+        let m = run_assignment_with_faults(&w, Some(&p), AssignmentAlgo::Ppi, &engine(), &faults)
+            .unwrap();
+        assert!(
+            m.completed > 0,
+            "engine cliffed at {loss} report loss: {m:?}"
+        );
+        if i > 0 {
+            assert!(m.dropped_reports > dropped_prev, "loss {loss}");
+        }
+        dropped_prev = m.dropped_reports;
+    }
+}
+
+/// The fallible entry point reports configuration errors instead of
+/// panicking.
+#[test]
+fn try_run_surfaces_config_errors() {
+    let w = tiny_workload(407);
+    let err = try_run_assignment(&w, None, AssignmentAlgo::Ppi, &engine()).unwrap_err();
+    assert!(err.to_string().contains("needs trained predictors"));
+
+    let bad_faults = FaultConfig {
+        report_loss: 2.0,
+        ..FaultConfig::none()
+    };
+    let err = run_assignment_with_faults(&w, None, AssignmentAlgo::Lb, &engine(), &bad_faults)
+        .unwrap_err();
+    assert!(err.to_string().contains("report_loss"));
+
+    let bad_cfg = EngineConfig {
+        batch_window_min: 0.0,
+        ..engine()
+    };
+    let err = try_run_assignment(&w, None, AssignmentAlgo::Lb, &bad_cfg).unwrap_err();
+    assert!(err.to_string().contains("batch_window_min"));
+}

@@ -95,13 +95,22 @@ impl WorkerPersona {
         let n = kind.n_anchors(rng);
         let anchors = match kind {
             ArchetypeKind::Commuter => {
-                let home = Point::new(rng.gen_range(0.05 * w..0.45 * w), rng.gen_range(0.1 * h..0.9 * h));
-                let work = Point::new(rng.gen_range(0.55 * w..0.95 * w), rng.gen_range(0.2 * h..0.8 * h));
+                let home = Point::new(
+                    rng.gen_range(0.05 * w..0.45 * w),
+                    rng.gen_range(0.1 * h..0.9 * h),
+                );
+                let work = Point::new(
+                    rng.gen_range(0.55 * w..0.95 * w),
+                    rng.gen_range(0.2 * h..0.8 * h),
+                );
                 vec![home, work]
             }
             ArchetypeKind::CourierLoop => {
                 // Stops scattered around a depot in the central band.
-                let depot = Point::new(rng.gen_range(0.3 * w..0.7 * w), rng.gen_range(0.3 * h..0.7 * h));
+                let depot = Point::new(
+                    rng.gen_range(0.3 * w..0.7 * w),
+                    rng.gen_range(0.3 * h..0.7 * h),
+                );
                 let mut stops = vec![depot];
                 for _ in 1..n {
                     stops.push(grid.clamp(Point::new(
@@ -115,7 +124,10 @@ impl WorkerPersona {
                 .map(|_| Point::new(rng.gen_range(0.0..w), rng.gen_range(0.0..h)))
                 .collect(),
             ArchetypeKind::Localized => {
-                let center = Point::new(rng.gen_range(0.1 * w..0.9 * w), rng.gen_range(0.1 * h..0.9 * h));
+                let center = Point::new(
+                    rng.gen_range(0.1 * w..0.9 * w),
+                    rng.gen_range(0.1 * h..0.9 * h),
+                );
                 let mut stops = vec![center];
                 for _ in 1..n {
                     stops.push(grid.clamp(Point::new(

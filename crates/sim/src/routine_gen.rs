@@ -190,15 +190,17 @@ mod tests {
             // time-of-day index.
             let a = days[0].points();
             let b = days[1].points();
-            a.iter()
-                .zip(b)
-                .map(|(x, y)| x.loc.dist(y.loc))
-                .sum::<f64>()
-                / a.len() as f64
+            a.iter().zip(b).map(|(x, y)| x.loc.dist(y.loc)).sum::<f64>() / a.len() as f64
         };
         // Average across several workers to avoid flaky single draws.
-        let commuter: f64 = (0..8).map(|s| day_dist(ArchetypeKind::Commuter, 100 + s)).sum::<f64>() / 8.0;
-        let roamer: f64 = (0..8).map(|s| day_dist(ArchetypeKind::Roamer, 200 + s)).sum::<f64>() / 8.0;
+        let commuter: f64 = (0..8)
+            .map(|s| day_dist(ArchetypeKind::Commuter, 100 + s))
+            .sum::<f64>()
+            / 8.0;
+        let roamer: f64 = (0..8)
+            .map(|s| day_dist(ArchetypeKind::Roamer, 200 + s))
+            .sum::<f64>()
+            / 8.0;
         assert!(
             commuter < roamer,
             "commuters must repeat more than roamers: {commuter} vs {roamer}"

@@ -96,7 +96,12 @@ pub fn generate_tasks(
             )
         })
         .collect();
-    tasks.sort_by(|a, b| a.release.as_f64().partial_cmp(&b.release.as_f64()).expect("finite"));
+    tasks.sort_by(|a, b| {
+        a.release
+            .as_f64()
+            .partial_cmp(&b.release.as_f64())
+            .expect("finite")
+    });
     tasks
 }
 

@@ -169,8 +169,8 @@ impl WorkloadConfig {
             let persona = WorkerPersona::sample(kind, &grid, &mut rng);
             anchor_pool.extend(persona.anchors.iter().copied());
 
-            let is_new = (i as f64 + 0.5) / self.scale.n_workers as f64
-                > 1.0 - self.new_worker_fraction;
+            let is_new =
+                (i as f64 + 0.5) / self.scale.n_workers as f64 > 1.0 - self.new_worker_fraction;
             let train_days = if is_new { 1 } else { self.scale.train_days };
             // Train days + one held-out test day.
             let mut days = generate_days(&persona, &grid, &day, train_days + 1, &mut rng);
@@ -181,7 +181,9 @@ impl WorkloadConfig {
                 test_day_abs
                     .points()
                     .iter()
-                    .map(|p| tamp_core::TimedPoint::new(p.loc, Minutes::new(p.time.as_f64() - offset)))
+                    .map(|p| {
+                        tamp_core::TimedPoint::new(p.loc, Minutes::new(p.time.as_f64() - offset))
+                    })
                     .collect(),
             );
 
@@ -220,8 +222,12 @@ impl WorkloadConfig {
         };
         let mut task_rng = rng_for(self.seed, streams::TASKS);
         let tasks = generate_tasks(&task_cfg, &grid, self.scale.n_tasks, 0, &mut task_rng);
-        let historical =
-            generate_historical_locations(&task_cfg, &grid, self.scale.n_historical_tasks, &mut task_rng);
+        let historical = generate_historical_locations(
+            &task_cfg,
+            &grid,
+            self.scale.n_historical_tasks,
+            &mut task_rng,
+        );
 
         Workload {
             grid,

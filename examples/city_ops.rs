@@ -49,7 +49,10 @@ fn main() {
     );
 
     let rows = run_all_algorithms(&workload, &with_loss, &with_mse, &EngineConfig::default());
-    println!("{:<9} {:>11} {:>10} {:>10} {:>11}", "algorithm", "completion", "rejection", "cost(km)", "runtime(s)");
+    println!(
+        "{:<9} {:>11} {:>10} {:>10} {:>11}",
+        "algorithm", "completion", "rejection", "cost(km)", "runtime(s)"
+    );
     for (name, m) in &rows {
         println!(
             "{:<9} {:>11.3} {:>10.3} {:>10.2} {:>11.3}",

@@ -34,7 +34,11 @@ fn main() {
     // Treat the flagged newcomers as the "arriving" workers and everyone
     // else as the veteran population the platform already trained on.
     let veterans: Vec<_> = tasks.iter().filter(|t| !t.is_new).cloned().collect();
-    let newcomers: Vec<_> = tasks.iter().filter(|t| t.is_new && t.is_trainable()).cloned().collect();
+    let newcomers: Vec<_> = tasks
+        .iter()
+        .filter(|t| t.is_new && t.is_trainable())
+        .cloned()
+        .collect();
     println!("{} veterans, {} newcomers", veterans.len(), newcomers.len());
 
     let mut rng = rng_for(11, streams::WEIGHTS);
@@ -61,15 +65,52 @@ fn main() {
         },
         template.params(),
     );
-    taml_train(&mut tree, &veterans, &template, &loss, &TamlConfig { meta, parent_blend: 0.5 }, &mut meta_rng);
+    taml_train(
+        &mut tree,
+        &veterans,
+        &template,
+        &loss,
+        &TamlConfig {
+            meta,
+            parent_blend: 0.5,
+        },
+        &mut meta_rng,
+    );
 
     println!("\n newcomer | random init | MAML init | GTTAML tree init");
     for task in &newcomers {
         let eval = |model: &Seq2Seq| model.loss_only(&task.query, &loss);
-        let random = adapt(&template.params(), task, &template, &loss, 5, 0.1, 8, &mut meta_rng);
-        let from_maml = adapt(&maml_theta, task, &template, &loss, 5, 0.1, 8, &mut meta_rng);
-        let (from_tree, node) =
-            adapt_new_worker(&tree, &veterans, task, &template, &loss, 5, 0.1, 8, &mut meta_rng);
+        let random = adapt(
+            &template.params(),
+            task,
+            &template,
+            &loss,
+            5,
+            0.1,
+            8,
+            &mut meta_rng,
+        );
+        let from_maml = adapt(
+            &maml_theta,
+            task,
+            &template,
+            &loss,
+            5,
+            0.1,
+            8,
+            &mut meta_rng,
+        );
+        let (from_tree, node) = adapt_new_worker(
+            &tree,
+            &veterans,
+            task,
+            &template,
+            &loss,
+            5,
+            0.1,
+            8,
+            &mut meta_rng,
+        );
         println!(
             "  {:>7} |   {:.5}   |  {:.5}  |  {:.5}  (tree node {node})",
             task.worker_id.to_string(),

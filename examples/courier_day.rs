@@ -87,11 +87,22 @@ fn main() {
         .real_routine
         .window(now, Minutes::new(f64::MAX))
         .to_vec();
-    println!("\n acceptance decisions at t = {:.0} min (position {:.2}, {:.2}):", now.as_f64(), here.x, here.y);
-    for (label, offset) in [("next door", 0.3), ("across town", 3.0), ("far corner", 9.0)] {
+    println!(
+        "\n acceptance decisions at t = {:.0} min (position {:.2}, {:.2}):",
+        now.as_f64(),
+        here.x,
+        here.y
+    );
+    for (label, offset) in [
+        ("next door", 0.3),
+        ("across town", 3.0),
+        ("far corner", 9.0),
+    ] {
         let task = tamp::core::SpatialTask::new(
             tamp::core::TaskId(900),
-            workload.grid.clamp(Point::new(here.x + offset, here.y + offset / 2.0)),
+            workload
+                .grid
+                .clamp(Point::new(here.x + offset, here.y + offset / 2.0)),
             now,
             Minutes::new(now.as_f64() + 40.0),
         );

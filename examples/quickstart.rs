@@ -9,7 +9,9 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use tamp::platform::{run_assignment, train_predictors, AssignmentAlgo, EngineConfig, TrainingConfig};
+use tamp::platform::{
+    run_assignment, train_predictors, AssignmentAlgo, EngineConfig, TrainingConfig,
+};
 use tamp::sim::{Scale, WorkloadConfig, WorkloadKind};
 
 fn main() {

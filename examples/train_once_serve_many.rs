@@ -10,10 +10,10 @@
 //! cargo run --release --example train_once_serve_many
 //! ```
 
+use tamp::platform::training::TrainedPredictors;
 use tamp::platform::{
     run_assignment, train_predictors, AssignmentAlgo, EngineConfig, TrainingConfig,
 };
-use tamp::platform::training::TrainedPredictors;
 use tamp::sim::{Scale, WorkloadConfig, WorkloadKind};
 
 fn main() -> std::io::Result<()> {
@@ -56,7 +56,10 @@ fn main() -> std::io::Result<()> {
         served.completion_ratio(),
         served.rejection_ratio()
     );
-    assert_eq!(fresh.completed, served.completed, "identical behaviour after reload");
+    assert_eq!(
+        fresh.completed, served.completed,
+        "identical behaviour after reload"
+    );
     assert_eq!(fresh.rejected, served.rejected);
     println!("reloaded predictors reproduce the fresh run exactly ✓");
 

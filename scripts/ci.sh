@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Local CI gate: formatting, lints, and the tier-1 build+test pass.
+#
+# Everything runs --offline: the workspace's dependency set is small and
+# pinned (see CONTRIBUTING.md), and CI must not depend on a registry
+# being reachable. Run `cargo fetch` once on a connected machine first.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "== cargo clippy (deny warnings)"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "== tier-1: build + test"
+cargo build --release --workspace --offline
+cargo test --workspace --offline -q
+
+echo "CI gate passed."

@@ -6,7 +6,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 BINS=(exp_table4 exp_table5 exp_table6 exp_table7
       exp_fig6 exp_fig7 exp_fig8 exp_fig9 exp_fig10 exp_fig11
-      exp_ablation_meta exp_ablation_ppi)
+      exp_ablation_meta exp_ablation_ppi exp_robustness)
 cargo build --release -p tamp-bench --bins
 for b in "${BINS[@]}"; do
   echo "=== $b ==="

@@ -1,11 +1,11 @@
 //! Cross-crate integration tests: the full TAMP pipeline at tiny scale.
 
+use tamp::meta::meta_training::MetaConfig;
 use tamp::platform::engine::run_all_algorithms;
 use tamp::platform::{
     run_assignment, train_predictors, AssignmentAlgo, EngineConfig, LossKind, PredictionAlgo,
     TrainingConfig,
 };
-use tamp::meta::meta_training::MetaConfig;
 use tamp::sim::{Scale, WorkloadConfig, WorkloadKind};
 
 fn quick_training(seed: u64, algo: PredictionAlgo, loss: LossKind) -> TrainingConfig {
@@ -107,8 +107,7 @@ fn ub_bounds_hold_across_the_roster() {
 
 #[test]
 fn workload2_pipeline_also_runs() {
-    let workload =
-        WorkloadConfig::new(WorkloadKind::GowallaFoursquare, Scale::tiny(), 90).build();
+    let workload = WorkloadConfig::new(WorkloadKind::GowallaFoursquare, Scale::tiny(), 90).build();
     let p = train_predictors(
         &workload,
         &quick_training(90, PredictionAlgo::Ctml, LossKind::Mse),

@@ -4,6 +4,7 @@
 //! behind Theorem 1, the Lemma 1 geometry, the Theorem 2 feasibility
 //! premise as used by PPI, and the loss-weighting claim of Section III-C.
 
+use rand::Rng;
 use tamp::assign::feasibility::{feasible_distances, theorem2_bound, FeasibilityParams};
 use tamp::assign::view::WorkerView;
 use tamp::core::geometry::detour_via;
@@ -13,7 +14,6 @@ use tamp::meta::game::best_response;
 use tamp::meta::quality::potential;
 use tamp::meta::similarity::SimMatrix;
 use tamp::nn::{Loss, MseLoss, TaskDensityMap, TaskOrientedLoss, WeightParams};
-use rand::Rng;
 
 /// Lemma 1's geometric core: if `dis(l1, τ) ≤ a + b ≤ d/2`, the detour
 /// through τ on any leg starting at l1 is `< d`.
