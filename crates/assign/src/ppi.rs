@@ -26,6 +26,7 @@ use crate::view::{ExcludedPairs, WorkerView};
 use tamp_core::assignment::{Assignment, AssignmentPair};
 use tamp_core::geometry::min_dist_to_path;
 use tamp_core::{Minutes, SpatialTask};
+use tamp_obs::Obs;
 
 /// Softening constant for `1/minB` weights so a zero distance doesn't
 /// produce an infinite weight.
@@ -74,6 +75,25 @@ pub fn ppi_assign_excluding(
     params: &PpiParams,
     excluded: &ExcludedPairs,
 ) -> Assignment {
+    ppi_assign_observed(tasks, workers, params, excluded, &Obs::null())
+}
+
+/// [`ppi_assign_excluding`] with telemetry: per-stage spans
+/// (`ppi.stage1`/`ppi.stage2`/`ppi.stage3`), candidate-pruning counters
+/// (`ppi.pairs.{scored,excluded,infeasible,confident,deferred}`,
+/// `ppi.stage3.candidates`), and a `ppi.km.calls` counter for the inner
+/// Hungarian invocations (each timed into the `ppi.km` histogram).
+///
+/// Passing [`Obs::null`] makes this byte-identical to
+/// [`ppi_assign_excluding`] — the assignment itself never depends on the
+/// telemetry handle.
+pub fn ppi_assign_observed(
+    tasks: &[SpatialTask],
+    workers: &[WorkerView],
+    params: &PpiParams,
+    excluded: &ExcludedPairs,
+    obs: &Obs,
+) -> Assignment {
     let mut plan = Assignment::new();
     if tasks.is_empty() || workers.is_empty() {
         return plan;
@@ -83,17 +103,30 @@ pub fn ppi_assign_excluding(
         a_km: params.a_km,
         now: params.now,
     };
+    let mut km_calls: u64 = 0;
+    let mut km = |n_left: usize, n_right: usize, edges: &[WeightedEdge]| {
+        km_calls += 1;
+        let start = std::time::Instant::now();
+        let m = max_weight_matching(n_left, n_right, edges);
+        obs.observe("ppi.km", start.elapsed().as_secs_f64() * 1e6);
+        m
+    };
 
     // ---- Stage 1: score every pair (Algorithm 4, lines 1–11) ----
+    let stage1 = obs.span("ppi.stage1");
+    let mut excluded_pairs: u64 = 0;
+    let mut infeasible_pairs: u64 = 0;
     let mut confident = Vec::new();
     let mut deferred: Vec<(f64, f64, usize, usize)> = Vec::new(); // (support, minB, task, worker)
     for (ti, task) in tasks.iter().enumerate() {
         for (wi, worker) in workers.iter().enumerate() {
             if excluded.contains(&(task.id, worker.id)) {
+                excluded_pairs += 1;
                 continue;
             }
             let b = feasible_distances(worker, task, &fparams);
             if b.is_empty() {
+                infeasible_pairs += 1;
                 continue;
             }
             let support = expected_support(b.len(), worker.mr);
@@ -105,15 +138,22 @@ pub fn ppi_assign_excluding(
             }
         }
     }
-    let matched = max_weight_matching(tasks.len(), workers.len(), &confident);
+    obs.count("ppi.pairs.scored", (tasks.len() * workers.len()) as u64);
+    obs.count("ppi.pairs.excluded", excluded_pairs);
+    obs.count("ppi.pairs.infeasible", infeasible_pairs);
+    obs.count("ppi.pairs.confident", confident.len() as u64);
+    obs.count("ppi.pairs.deferred", deferred.len() as u64);
+    let matched = km(tasks.len(), workers.len(), &confident);
     push_pairs(&mut plan, tasks, workers, &matched, &confident);
+    drop(stage1);
 
     // ---- Stage 2: ranked residual in ε mini-batches (lines 13–27) ----
+    let stage2 = obs.span("ppi.stage2");
     deferred.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite support"));
     let mut pending: Vec<WeightedEdge> = Vec::new();
     let mut assigned_tasks = plan.assigned_tasks();
     let mut assigned_workers = plan.assigned_workers();
-    let flush =
+    let mut flush =
         |pending: &mut Vec<WeightedEdge>,
          plan: &mut Assignment,
          assigned_tasks: &mut std::collections::HashSet<tamp_core::TaskId>,
@@ -121,7 +161,7 @@ pub fn ppi_assign_excluding(
             if pending.is_empty() {
                 return;
             }
-            let m = max_weight_matching(tasks.len(), workers.len(), pending);
+            let m = km(tasks.len(), workers.len(), pending);
             for &(ti, wi) in &m {
                 let pair = AssignmentPair {
                     task: tasks[ti].id,
@@ -155,8 +195,10 @@ pub fn ppi_assign_excluding(
         &mut assigned_tasks,
         &mut assigned_workers,
     );
+    drop(stage2);
 
     // ---- Stage 3: best-effort on predicted proximity (lines 28–34) ----
+    let stage3_span = obs.span("ppi.stage3");
     let mut stage3 = Vec::new();
     for (ti, task) in tasks.iter().enumerate() {
         if assigned_tasks.contains(&task.id) {
@@ -173,8 +215,11 @@ pub fn ppi_assign_excluding(
             }
         }
     }
-    let matched = max_weight_matching(tasks.len(), workers.len(), &stage3);
+    obs.count("ppi.stage3.candidates", stage3.len() as u64);
+    let matched = km(tasks.len(), workers.len(), &stage3);
     push_pairs(&mut plan, tasks, workers, &matched, &stage3);
+    drop(stage3_span);
+    obs.count("ppi.km.calls", km_calls);
 
     plan
 }

@@ -1,0 +1,108 @@
+//! Micro-bench: telemetry op cost — the "disabled means free" contract.
+//!
+//! Compares a disabled handle (`Obs::null()`), a `NullRecorder`-backed
+//! handle (clocks + registry, no I/O), and a `MemoryRecorder`-backed
+//! handle (full event materialisation) on the three hot-path ops, plus
+//! the instrumented PPI assignment stage end to end. The acceptance bar
+//! (ISSUE satellite 1) is NullRecorder overhead < 2% on the engine-side
+//! workload; `diag_obs_overhead` checks the same bar offline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::Rng;
+use std::hint::black_box;
+use tamp_assign::ppi::{ppi_assign_observed, PpiParams};
+use tamp_assign::view::{ExcludedPairs, WorkerView};
+use tamp_core::rng::rng_for;
+use tamp_core::{Minutes, Point, SpatialTask, TaskId, WorkerId};
+use tamp_obs::{MemoryRecorder, NullRecorder, Obs};
+
+fn setup(n_tasks: usize, n_workers: usize, seed: u64) -> (Vec<SpatialTask>, Vec<WorkerView>) {
+    let mut rng = rng_for(seed, 0);
+    let tasks = (0..n_tasks)
+        .map(|i| {
+            SpatialTask::new(
+                TaskId(i as u64),
+                Point::new(rng.gen_range(0.0..20.0), rng.gen_range(0.0..10.0)),
+                Minutes::ZERO,
+                Minutes::new(rng.gen_range(30.0..60.0)),
+            )
+        })
+        .collect();
+    let workers = (0..n_workers)
+        .map(|i| {
+            let base = Point::new(rng.gen_range(0.0..20.0), rng.gen_range(0.0..10.0));
+            WorkerView {
+                id: WorkerId(i as u64),
+                current: base,
+                predicted: (0..6)
+                    .map(|k| base.offset(0.5 * k as f64, rng.gen_range(-0.4..0.4)))
+                    .collect(),
+                real_future: Vec::new(),
+                mr: rng.gen_range(0.1..0.9),
+                detour_limit_km: 6.0,
+                speed_km_per_min: 0.3,
+            }
+        })
+        .collect();
+    (tasks, workers)
+}
+
+fn bench_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs_ops");
+    let handles: [(&str, Obs); 3] = [
+        ("null", Obs::null()),
+        ("null_recorder", Obs::new(NullRecorder)),
+        ("memory_recorder", Obs::new(MemoryRecorder::new())),
+    ];
+    for (label, obs) in &handles {
+        group.bench_function(format!("span/{label}"), |b| {
+            b.iter(|| {
+                let _s = black_box(obs).span("bench.span");
+            })
+        });
+        group.bench_function(format!("count/{label}"), |b| {
+            b.iter(|| black_box(obs).count("bench.count", 1))
+        });
+        group.bench_function(format!("gauge/{label}"), |b| {
+            b.iter(|| black_box(obs).gauge("bench.gauge", 0.5))
+        });
+        group.bench_function(format!("observe/{label}"), |b| {
+            b.iter(|| black_box(obs).observe("bench.observe", 12.5))
+        });
+    }
+    group.finish();
+}
+
+fn bench_ppi_observed(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs_ppi");
+    group
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(2));
+    let (tasks, workers) = setup(96, 96, 96);
+    let params = PpiParams {
+        a_km: 0.4,
+        epsilon: 8,
+        now: Minutes::ZERO,
+    };
+    let none = ExcludedPairs::new();
+    for (label, obs) in [
+        ("null", Obs::null()),
+        ("null_recorder", Obs::new(NullRecorder)),
+    ] {
+        group.bench_function(format!("ppi96/{label}"), |b| {
+            b.iter(|| {
+                black_box(ppi_assign_observed(
+                    black_box(&tasks),
+                    black_box(&workers),
+                    &params,
+                    &none,
+                    &obs,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ops, bench_ppi_observed);
+criterion_main!(benches);

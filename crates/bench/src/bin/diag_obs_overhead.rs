@@ -1,0 +1,181 @@
+//! Measures the telemetry layer's overhead on the engine hot path —
+//! the "disabled means free" contract of DESIGN.md § Observability.
+//!
+//! Three measurements:
+//!
+//! 1. **Per-op micro cost** of `span`/`count`/`gauge` on a disabled
+//!    handle (`Obs::null()`) and on a [`NullRecorder`]-backed handle
+//!    (clock reads + registry updates, but no I/O).
+//! 2. **End-to-end engine delta**: the full batch loop
+//!    (`run_assignment_observed`, PPI) timed with both handles,
+//!    order-alternated repeats, paired-mean difference. Reported but
+//!    not asserted — a ~60 ms run cannot resolve a sub-1% effect.
+//! 3. **Op-count bound**: the run's actual telemetry ops priced at
+//!    the per-op cost. Asserted against the < 2% acceptance bar.
+//!
+//! Runs offline (no criterion); writes `results/obs_overhead.json`.
+
+use std::time::Instant;
+use tamp_bench::{default_engine, default_training, out_dir, seed_from_env};
+use tamp_obs::{NullRecorder, Obs};
+use tamp_platform::experiments::report::{print_markdown_table, save_json};
+use tamp_platform::training::train_predictors;
+use tamp_platform::{run_assignment_observed, AssignmentAlgo};
+use tamp_sim::{Scale, WorkloadConfig, WorkloadKind};
+
+/// ns/op of one span + one count + one gauge on the given handle.
+fn micro_ns_per_op(obs: &Obs, iters: u64) -> f64 {
+    let t0 = Instant::now();
+    for i in 0..iters {
+        let _s = obs.span("bench.micro");
+        obs.count("bench.micro.count", 1);
+        obs.gauge("bench.micro.gauge", i as f64);
+    }
+    t0.elapsed().as_secs_f64() * 1e9 / (iters as f64 * 3.0)
+}
+
+fn median(xs: &mut [f64]) -> f64 {
+    xs.sort_by(|a, b| a.total_cmp(b));
+    xs[xs.len() / 2]
+}
+
+fn main() {
+    let seed = seed_from_env();
+    println!("# Telemetry overhead (seed {seed})\n");
+
+    // 1. Micro: per-op cost.
+    let iters = 2_000_000u64;
+    let null_ns = micro_ns_per_op(&Obs::null(), iters);
+    let rec_ns = micro_ns_per_op(&Obs::new(NullRecorder), iters);
+    print_markdown_table(
+        &["handle", "ns/op (span+count+gauge avg)"],
+        &[
+            vec!["Obs::null()".into(), format!("{null_ns:.1}")],
+            vec!["Obs::new(NullRecorder)".into(), format!("{rec_ns:.1}")],
+        ],
+    );
+
+    // 2. End-to-end: full engine batch loop, interleaved repeats.
+    // Small paper scale: matching is the dominant cost, as in any real
+    // run — the regime the < 2% bar is defined over. (On a `tiny`
+    // workload the whole run is a few ms and fixed per-batch telemetry
+    // shows up at ~10%; that is not the hot path the contract covers.)
+    let scale = Scale {
+        n_workers: 30,
+        n_tasks: 2400,
+        ..Scale::small()
+    };
+    let workload = WorkloadConfig::new(WorkloadKind::PortoDidi, scale, seed).build();
+    let predictors = train_predictors(&workload, &default_training(seed));
+    let engine = default_engine(seed);
+    let run = |obs: &Obs| {
+        let t0 = Instant::now();
+        let m = run_assignment_observed(
+            &workload,
+            Some(&predictors),
+            AssignmentAlgo::Ppi,
+            &engine,
+            None,
+            None,
+            obs,
+        )
+        .expect("engine run");
+        (t0.elapsed().as_secs_f64(), m.completion_ratio())
+    };
+
+    // Warm-up, then interleave with the arm order alternating per
+    // repeat — running one arm always-second makes it absorb the whole
+    // drift of its predecessor (allocator state, frequency ramps) and
+    // biases the comparison by far more than the effect under test.
+    let (baseline_obs, recorder_obs) = (Obs::null(), Obs::new(NullRecorder));
+    run(&baseline_obs);
+    run(&recorder_obs);
+    let repeats = 15;
+    let (mut off, mut on) = (Vec::new(), Vec::new());
+    let mut completion = (0.0, 0.0);
+    for rep in 0..repeats {
+        let arms: [bool; 2] = if rep % 2 == 0 {
+            [false, true]
+        } else {
+            [true, false]
+        };
+        for enabled in arms {
+            if enabled {
+                let (s, c) = run(&recorder_obs);
+                on.push(s);
+                completion.1 = c;
+            } else {
+                let (s, c) = run(&baseline_obs);
+                off.push(s);
+                completion.0 = c;
+            }
+        }
+    }
+    // Paired estimator: adjacent runs share machine state, so the
+    // per-repeat difference cancels most of the drift that raw
+    // per-arm medians keep.
+    let paired_mean: f64 = off.iter().zip(&on).map(|(a, b)| b - a).sum::<f64>() / repeats as f64;
+    let (off_med, on_med) = (median(&mut off), median(&mut on));
+    let overhead_pct = paired_mean / off_med * 100.0;
+    println!();
+    print_markdown_table(
+        &["arm", "median run (s)", "completion"],
+        &[
+            vec![
+                "Obs::null()".into(),
+                format!("{off_med:.4}"),
+                format!("{:.4}", completion.0),
+            ],
+            vec![
+                "Obs::new(NullRecorder)".into(),
+                format!("{on_med:.4}"),
+                format!("{:.4}", completion.1),
+            ],
+        ],
+    );
+    assert!(
+        (completion.0 - completion.1).abs() < 1e-12,
+        "telemetry must not change assignment results"
+    );
+
+    // Deterministic bound: count the telemetry ops the run actually
+    // performs (events + histogram-only observes) and price them at
+    // the measured per-op cost. The wall-clock delta above is the
+    // corroborating measurement, but at ~50 ms per run its noise floor
+    // (several %) sits above the effect; the bound is what the < 2%
+    // bar is checked against.
+    let (counting_obs, mem) = Obs::in_memory();
+    run(&counting_obs);
+    let events = mem.events().len() as u64;
+    let snap = counting_obs.snapshot();
+    let spans = mem
+        .events()
+        .iter()
+        .filter(|e| e.kind == tamp_obs::EventKind::Span)
+        .count() as u64;
+    let hist_obs: u64 = snap.histograms.values().map(|h| h.count).sum();
+    let observes = hist_obs.saturating_sub(spans);
+    let total_ops = events + observes;
+    let bound_pct = total_ops as f64 * rec_ns / (off_med * 1e9) * 100.0;
+    println!(
+        "\nmeasured end-to-end delta (paired mean of {repeats}): {overhead_pct:+.2}% \
+         (per-pair noise of a ~{:.0} ms run is several %)",
+        off_med * 1e3
+    );
+    println!(
+        "op-count bound: {total_ops} ops x {rec_ns:.0} ns = {bound_pct:.2}% of the run (bar: < 2%)"
+    );
+    assert!(bound_pct < 2.0, "telemetry op cost exceeds the 2% bar");
+
+    let rows = vec![serde_json::json!({
+        "micro_null_ns_per_op": null_ns,
+        "micro_null_recorder_ns_per_op": rec_ns,
+        "engine_off_median_s": off_med,
+        "engine_on_median_s": on_med,
+        "measured_delta_pct": overhead_pct,
+        "telemetry_ops": total_ops,
+        "overhead_bound_pct": bound_pct,
+        "repeats": repeats,
+    })];
+    save_json(&out_dir().join("obs_overhead.json"), "obs_overhead", &rows).expect("write rows");
+}

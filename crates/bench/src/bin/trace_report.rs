@@ -1,0 +1,136 @@
+//! Turns a JSONL telemetry trace (from `tamp-cli ... --trace FILE`) into
+//! a per-stage latency table and an SVG timeline of the engine's batch
+//! loop.
+//!
+//! ```text
+//! cargo run -p tamp-bench --bin trace_report -- results/trace.jsonl
+//! ```
+//!
+//! Writes `<trace>.timeline.svg` next to the input (override with
+//! `TAMP_OUT`-relative `trace_timeline.svg` when no argument is given)
+//! and prints a markdown table of span statistics to stdout.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use tamp_bench::svg::{line_chart, Series};
+use tamp_obs::{Event, EventKind, Histogram};
+use tamp_platform::experiments::report::print_markdown_table;
+
+/// Per-span-name aggregate built from the trace.
+struct SpanStats {
+    hist: Histogram,
+    total_us: f64,
+}
+
+fn main() {
+    let arg = std::env::args().nth(1);
+    let path = arg.map(PathBuf::from).unwrap_or_else(|| {
+        PathBuf::from(std::env::var("TAMP_OUT").unwrap_or_else(|_| "results".into()))
+            .join("trace.jsonl")
+    });
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: read {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    };
+
+    let mut stats: BTreeMap<String, SpanStats> = BTreeMap::new();
+    // (name, batch idx, duration ms) of per-batch engine stage spans.
+    let mut timeline: Vec<(String, u64, f64)> = Vec::new();
+    let mut n_events = 0usize;
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let ev = match Event::from_json_line(line) {
+            Ok(ev) => ev,
+            Err(e) => {
+                eprintln!("error: {}:{}: {e}", path.display(), lineno + 1);
+                std::process::exit(1);
+            }
+        };
+        n_events += 1;
+        if ev.kind != EventKind::Span {
+            continue;
+        }
+        let span = ev.span.as_ref().expect("span event carries span data");
+        let s = stats.entry(ev.name.clone()).or_insert_with(|| SpanStats {
+            hist: Histogram::default(),
+            total_us: 0.0,
+        });
+        s.hist.observe(span.dur_us as f64);
+        s.total_us += span.dur_us as f64;
+        if let Some(idx) = ev.idx {
+            if ev.name.starts_with("engine.batch.") {
+                timeline.push((ev.name.clone(), idx, span.dur_us as f64 / 1000.0));
+            }
+        }
+    }
+
+    if stats.is_empty() {
+        eprintln!(
+            "error: {} holds {n_events} events but no spans — was the run traced?",
+            path.display()
+        );
+        std::process::exit(1);
+    }
+
+    // Per-stage latency table, heaviest first.
+    let mut rows: Vec<(String, &SpanStats)> = stats.iter().map(|(n, s)| (n.clone(), s)).collect();
+    rows.sort_by(|a, b| b.1.total_us.total_cmp(&a.1.total_us));
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|(name, s)| {
+            let snap = s.hist.snapshot();
+            vec![
+                name.clone(),
+                snap.count.to_string(),
+                format!("{:.2}", s.total_us / 1000.0),
+                format!("{:.1}", s.total_us / snap.count.max(1) as f64),
+                format!("{:.1}", snap.p50),
+                format!("{:.1}", snap.p95),
+                format!("{:.1}", snap.p99),
+                format!("{:.1}", snap.max),
+            ]
+        })
+        .collect();
+    println!("trace: {} ({n_events} events)\n", path.display());
+    print_markdown_table(
+        &[
+            "span", "count", "total ms", "mean us", "p50 us", "p95 us", "p99 us", "max us",
+        ],
+        &table,
+    );
+
+    // SVG timeline: per-batch duration of each engine stage.
+    let mut by_stage: BTreeMap<String, Vec<(f64, f64)>> = BTreeMap::new();
+    for (name, idx, ms) in &timeline {
+        let label = name.trim_start_matches("engine.batch.").to_string();
+        by_stage.entry(label).or_default().push((*idx as f64, *ms));
+    }
+    if by_stage.is_empty() {
+        eprintln!("note: no engine.batch.* spans — skipping the timeline SVG");
+        return;
+    }
+    let series: Vec<Series> = by_stage
+        .into_iter()
+        .map(|(name, mut points)| {
+            points.sort_by(|a, b| a.0.total_cmp(&b.0));
+            Series { name, points }
+        })
+        .collect();
+    let svg = line_chart(
+        "Engine batch-stage latency",
+        "batch",
+        "stage time (ms)",
+        &series,
+    );
+    let out = path.with_extension("timeline.svg");
+    if let Err(e) = std::fs::write(&out, svg) {
+        eprintln!("error: write {}: {e}", out.display());
+        std::process::exit(1);
+    }
+    println!("\nwrote {}", out.display());
+}

@@ -12,15 +12,21 @@
 //! `simulate` runs the full offline + online pipeline and prints the
 //! paper's four assignment metrics; `predict` stops after the offline
 //! stage and prints RMSE/MAE/MR/TT.
+//!
+//! Telemetry (docs/telemetry.md): `--trace FILE` streams one JSONL event
+//! per span/counter/gauge to FILE; `--metrics FILE` writes the end-of-run
+//! `TelemetrySnapshot` as JSON. `trace-validate` re-parses a trace (and
+//! optionally reconciles it against a metrics snapshot) — the CI gate.
 
 mod args;
 
 use args::Args;
 use std::path::Path;
 use std::process::ExitCode;
+use tamp_obs::{Event, EventKind, JsonlRecorder, NullRecorder, Obs, TelemetrySnapshot};
 use tamp_platform::{
-    run_assignment, train_predictors, AssignmentAlgo, EngineConfig, LossKind, PredictionAlgo,
-    TrainingConfig,
+    run_assignment_observed, train_predictors_observed, AssignmentAlgo, EngineConfig, LossKind,
+    PredictionAlgo, TrainingConfig,
 };
 use tamp_sim::{Scale, Workload, WorkloadConfig, WorkloadKind};
 
@@ -31,9 +37,11 @@ USAGE:
   tamp-cli generate --out FILE [--kind porto|gowalla] [--scale tiny|small|paper]
                     [--seed N] [--detour KM] [--tasks N]
   tamp-cli simulate [--workload FILE | generation options] --algo ppi|km|ggpso|ub|lb
-                    [--loss task|mse] [--json]
+                    [--loss task|mse] [--json] [--trace FILE] [--metrics FILE]
   tamp-cli predict  [--workload FILE | generation options]
                     [--algo gttaml|gttaml-gt|ctml|maml] [--loss task|mse] [--json]
+                    [--trace FILE] [--metrics FILE]
+  tamp-cli trace-validate --trace FILE [--metrics FILE]
   tamp-cli help
 ";
 
@@ -46,8 +54,9 @@ fn main() -> ExitCode {
         }
     };
     // Surface obvious typos: every command shares one option vocabulary.
-    const KNOWN: [&str; 10] = [
+    const KNOWN: [&str; 12] = [
         "out", "workload", "kind", "scale", "seed", "algo", "loss", "detour", "tasks", "json",
+        "trace", "metrics",
     ];
     for name in args.option_names() {
         if !KNOWN.contains(&name) {
@@ -58,6 +67,7 @@ fn main() -> ExitCode {
         Some("generate") => cmd_generate(&args),
         Some("simulate") => cmd_simulate(&args),
         Some("predict") => cmd_predict(&args),
+        Some("trace-validate") => cmd_trace_validate(&args),
         Some("help") | None => {
             println!("{HELP}");
             Ok(())
@@ -140,8 +150,41 @@ fn training_config(args: &Args) -> Result<TrainingConfig, String> {
     Ok(cfg)
 }
 
+/// Builds the telemetry handle from `--trace` / `--metrics`.
+///
+/// `--trace FILE` streams JSONL events; `--metrics FILE` only needs the
+/// in-process registry, so without a trace path the recorder is a
+/// [`NullRecorder`]. Neither flag → a disabled handle (zero overhead).
+fn make_obs(args: &Args) -> Result<Obs, String> {
+    match args.get("trace") {
+        Some(path) => {
+            let rec = JsonlRecorder::create(Path::new(path))
+                .map_err(|e| format!("create trace {path}: {e}"))?;
+            Ok(Obs::new(rec))
+        }
+        None if args.get("metrics").is_some() => Ok(Obs::new(NullRecorder)),
+        None => Ok(Obs::null()),
+    }
+}
+
+/// Flushes the trace and writes the `--metrics` snapshot, if requested.
+fn finish_obs(args: &Args, obs: &Obs) -> Result<(), String> {
+    obs.flush();
+    if let Some(path) = args.get("metrics") {
+        let path = Path::new(path);
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)
+                .map_err(|e| format!("create {}: {e}", parent.display()))?;
+        }
+        std::fs::write(path, obs.snapshot().to_json())
+            .map_err(|e| format!("write {}: {e}", path.display()))?;
+    }
+    Ok(())
+}
+
 fn cmd_simulate(args: &Args) -> Result<(), String> {
     let workload = build_or_load(args)?;
+    let obs = make_obs(args)?;
     let algo = match args.get_or("algo", "ppi") {
         "ppi" => AssignmentAlgo::Ppi,
         "km" => AssignmentAlgo::Km,
@@ -157,7 +200,7 @@ fn cmd_simulate(args: &Args) -> Result<(), String> {
             "training predictors ({:?}, {:?} loss)...",
             tcfg.algo, tcfg.loss
         );
-        Some(train_predictors(&workload, &tcfg))
+        Some(train_predictors_observed(&workload, &tcfg, &obs))
     } else {
         None
     };
@@ -165,7 +208,17 @@ fn cmd_simulate(args: &Args) -> Result<(), String> {
         seed: args.get_parsed::<u64>("seed")?.unwrap_or(42),
         ..EngineConfig::default()
     };
-    let m = run_assignment(&workload, predictors.as_ref(), algo, &engine);
+    let m = run_assignment_observed(
+        &workload,
+        predictors.as_ref(),
+        algo,
+        &engine,
+        None,
+        None,
+        &obs,
+    )
+    .map_err(|e| e.to_string())?;
+    finish_obs(args, &obs)?;
     if args.flag("json") {
         println!(
             "{}",
@@ -201,6 +254,7 @@ fn cmd_simulate(args: &Args) -> Result<(), String> {
 
 fn cmd_predict(args: &Args) -> Result<(), String> {
     let workload = build_or_load(args)?;
+    let obs = make_obs(args)?;
     let mut tcfg = training_config(args)?;
     tcfg.algo = match args.get_or("algo", "gttaml") {
         "gttaml" => PredictionAlgo::Gttaml,
@@ -209,7 +263,8 @@ fn cmd_predict(args: &Args) -> Result<(), String> {
         "maml" => PredictionAlgo::Maml,
         other => return Err(format!("unknown prediction algorithm: {other}")),
     };
-    let p = train_predictors(&workload, &tcfg);
+    let p = train_predictors_observed(&workload, &tcfg, &obs);
+    finish_obs(args, &obs)?;
     if args.flag("json") {
         println!(
             "{}",
@@ -230,5 +285,89 @@ fn cmd_predict(args: &Args) -> Result<(), String> {
         println!("training time : {:.1} s", p.train_seconds);
         println!("leaf clusters : {}", p.n_clusters);
     }
+    Ok(())
+}
+
+/// Validates a JSONL trace: every line must parse as an [`Event`], span
+/// ids must be unique, and every span parent must reference another span
+/// in the file. With `--metrics`, additionally reconciles the trace
+/// against the snapshot: per-name counter sums must match the snapshot's
+/// counters, and per-name span counts must match the snapshot's span
+/// histograms.
+fn cmd_trace_validate(args: &Args) -> Result<(), String> {
+    let path = args
+        .get("trace")
+        .ok_or("trace-validate needs --trace FILE")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+
+    let mut events: Vec<Event> = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let ev = Event::from_json_line(line)
+            .map_err(|e| format!("{path}:{}: bad event: {e}", lineno + 1))?;
+        events.push(ev);
+    }
+
+    let mut span_ids = std::collections::HashSet::new();
+    let mut counter_sums: std::collections::BTreeMap<String, u64> = Default::default();
+    let mut span_counts: std::collections::BTreeMap<String, u64> = Default::default();
+    let (mut n_spans, mut n_counts, mut n_gauges) = (0u64, 0u64, 0u64);
+    for ev in &events {
+        match ev.kind {
+            EventKind::Span => {
+                n_spans += 1;
+                let span = ev.span.as_ref().ok_or("span event without span data")?;
+                if !span_ids.insert(span.id) {
+                    return Err(format!("duplicate span id {} in {path}", span.id));
+                }
+                *span_counts.entry(ev.name.clone()).or_default() += 1;
+            }
+            EventKind::Count => {
+                n_counts += 1;
+                *counter_sums.entry(ev.name.clone()).or_default() += ev.value as u64;
+            }
+            EventKind::Gauge => n_gauges += 1,
+        }
+    }
+    for ev in &events {
+        if let Some(span) = &ev.span {
+            if let Some(parent) = span.parent {
+                if !span_ids.contains(&parent) {
+                    return Err(format!(
+                        "span {} ({}) references unknown parent {parent}",
+                        span.id, ev.name
+                    ));
+                }
+            }
+        }
+    }
+
+    if let Some(mpath) = args.get("metrics") {
+        let mtext = std::fs::read_to_string(mpath).map_err(|e| format!("read {mpath}: {e}"))?;
+        let snap = TelemetrySnapshot::from_json(&mtext).map_err(|e| format!("{mpath}: {e}"))?;
+        for (name, sum) in &counter_sums {
+            let got = snap.counters.get(name).copied().unwrap_or(0);
+            if got != *sum {
+                return Err(format!(
+                    "counter {name}: trace sums to {sum}, snapshot says {got}"
+                ));
+            }
+        }
+        for (name, n) in &span_counts {
+            let got = snap.histograms.get(name).map_or(0, |h| h.count);
+            if got != *n {
+                return Err(format!(
+                    "span {name}: {n} events in trace, {got} in snapshot histogram"
+                ));
+            }
+        }
+    }
+
+    println!(
+        "trace OK: {} events ({n_spans} spans, {n_counts} counts, {n_gauges} gauges)",
+        events.len()
+    );
     Ok(())
 }

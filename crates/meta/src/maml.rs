@@ -6,9 +6,10 @@
 //! whole task set with a single shared initialisation.
 
 use crate::learning_task::LearningTask;
-use crate::meta_training::{meta_train, MetaConfig};
+use crate::meta_training::{meta_train_observed, MetaConfig};
 use rand::Rng;
 use tamp_nn::{clip_grad_norm, Adam, Loss, Optimizer, Seq2Seq};
+use tamp_obs::Obs;
 
 /// Trains one shared initialisation over all learning tasks (the MAML
 /// baseline). Returns `(θ, average query loss)`.
@@ -19,9 +20,26 @@ pub fn maml_train(
     cfg: &MetaConfig,
     rng: &mut impl Rng,
 ) -> (Vec<f64>, f64) {
+    maml_train_observed(tasks, template, loss, cfg, rng, &Obs::null())
+}
+
+/// [`maml_train`] with telemetry: a `meta.maml` span around the whole
+/// run, per-iteration `meta.iter` spans / `meta.query_loss` gauges from
+/// the underlying Meta-Training, and a final `meta.maml.query_loss`
+/// gauge.
+pub fn maml_train_observed(
+    tasks: &[LearningTask],
+    template: &Seq2Seq,
+    loss: &dyn Loss,
+    cfg: &MetaConfig,
+    rng: &mut impl Rng,
+    obs: &Obs,
+) -> (Vec<f64>, f64) {
+    let _span = obs.span("meta.maml");
     let refs: Vec<&LearningTask> = tasks.iter().collect();
     let mut theta = template.params();
-    let avg = meta_train(&mut theta, &refs, template, loss, cfg, rng);
+    let avg = meta_train_observed(&mut theta, &refs, template, loss, cfg, rng, obs);
+    obs.gauge("meta.maml.query_loss", avg);
     (theta, avg)
 }
 

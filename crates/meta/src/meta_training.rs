@@ -15,6 +15,7 @@ use crate::learning_task::LearningTask;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 use tamp_nn::{clip_grad_norm, Loss, Seq2Seq};
+use tamp_obs::Obs;
 
 /// Hyper-parameters of Algorithm 3 (and of the TAML recursion that calls
 /// it).
@@ -68,6 +69,24 @@ pub fn meta_train(
     cfg: &MetaConfig,
     rng: &mut impl Rng,
 ) -> f64 {
+    meta_train_observed(theta, tasks, template, loss, cfg, rng, &Obs::null())
+}
+
+/// [`meta_train`] with telemetry: one `meta.iter` span per meta
+/// iteration and a `meta.query_loss` gauge per iteration (the running
+/// batch-average query loss). Passing [`Obs::null`] makes this identical
+/// to [`meta_train`] — telemetry never influences the RNG stream or the
+/// update itself.
+#[allow(clippy::too_many_arguments)]
+pub fn meta_train_observed(
+    theta: &mut [f64],
+    tasks: &[&LearningTask],
+    template: &Seq2Seq,
+    loss: &dyn Loss,
+    cfg: &MetaConfig,
+    rng: &mut impl Rng,
+    obs: &Obs,
+) -> f64 {
     let trainable: Vec<&LearningTask> =
         tasks.iter().copied().filter(|t| t.is_trainable()).collect();
     if trainable.is_empty() {
@@ -83,7 +102,10 @@ pub fn meta_train(
     let mut total_query = 0.0;
     let mut query_count = 0usize;
 
-    for _ in 0..cfg.iterations {
+    for iter in 0..cfg.iterations {
+        let _iter_span = obs.span_idx("meta.iter", iter as u64);
+        let mut iter_query = 0.0;
+        let mut iter_count = 0usize;
         // Sample a batch of m tasks (with replacement when the cluster is
         // smaller than m, matching "sample a batch" semantics).
         let m = cfg.batch_tasks.max(1);
@@ -110,9 +132,18 @@ pub fn meta_train(
             let (ql, qgrad) = model.loss_and_grad(&qb, loss);
             total_query += ql;
             query_count += 1;
+            iter_query += ql;
+            iter_count += 1;
             for (mg, g) in meta_grad.iter_mut().zip(&qgrad) {
                 *mg += g;
             }
+        }
+        if iter_count > 0 {
+            obs.gauge_idx(
+                "meta.query_loss",
+                iter_query / iter_count as f64,
+                Some(iter as u64),
+            );
         }
         // Meta update: θ ← θ − α · (1/m) Σ ∇L^q.
         let inv = 1.0 / m as f64;

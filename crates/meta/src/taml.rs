@@ -14,10 +14,11 @@
 //! recorded in DESIGN.md.
 
 use crate::learning_task::LearningTask;
-use crate::meta_training::{meta_train, MetaConfig};
+use crate::meta_training::{meta_train_observed, MetaConfig};
 use crate::tree::{LearningTaskTree, NodeId};
 use rand::Rng;
 use tamp_nn::{Loss, Seq2Seq};
+use tamp_obs::Obs;
 
 /// Configuration of the TAML recursion.
 #[derive(Debug, Clone, Copy)]
@@ -48,9 +49,26 @@ pub fn taml_train(
     cfg: &TamlConfig,
     rng: &mut impl Rng,
 ) -> f64 {
-    taml_node(tree, tree.root(), tasks, template, loss, cfg, rng)
+    taml_train_observed(tree, tasks, template, loss, cfg, rng, &Obs::null())
 }
 
+/// [`taml_train`] with telemetry: one `meta.taml.node` span per tree
+/// node (idx = node id; leaf spans nest inside their ancestors', exactly
+/// mirroring the recursion) and a `meta.taml.node_loss` gauge per node
+/// with the query loss that node contributed.
+pub fn taml_train_observed(
+    tree: &mut LearningTaskTree,
+    tasks: &[LearningTask],
+    template: &Seq2Seq,
+    loss: &dyn Loss,
+    cfg: &TamlConfig,
+    rng: &mut impl Rng,
+    obs: &Obs,
+) -> f64 {
+    taml_node(tree, tree.root(), tasks, template, loss, cfg, rng, obs)
+}
+
+#[allow(clippy::too_many_arguments)]
 fn taml_node(
     tree: &mut LearningTaskTree,
     node: NodeId,
@@ -59,24 +77,29 @@ fn taml_node(
     loss: &dyn Loss,
     cfg: &TamlConfig,
     rng: &mut impl Rng,
+    obs: &Obs,
 ) -> f64 {
+    let node_span = obs.span_idx("meta.taml.node", node as u64);
     let children = tree.node(node).children.clone();
     if children.is_empty() {
         // Leaf: Meta-Training on this cluster (Algorithm 2 lines 1–2).
         let members = tree.node(node).members.clone();
         let refs: Vec<&LearningTask> = members.iter().map(|&m| &tasks[m]).collect();
         let mut theta = tree.node(node).theta.clone();
-        let avg = meta_train(&mut theta, &refs, template, loss, &cfg.meta, rng);
+        let avg = meta_train_observed(&mut theta, &refs, template, loss, &cfg.meta, rng, obs);
         tree.node_mut(node).theta = theta;
+        obs.gauge_idx("meta.taml.node_loss", avg, Some(node as u64));
+        drop(node_span);
         return avg;
     }
 
     // Interior: recurse, average losses (lines 3–5).
     let mut total = 0.0;
     for &c in &children {
-        total += taml_node(tree, c, tasks, template, loss, cfg, rng);
+        total += taml_node(tree, c, tasks, template, loss, cfg, rng, obs);
     }
     let avg = total / children.len() as f64;
+    obs.gauge_idx("meta.taml.node_loss", avg, Some(node as u64));
 
     // Line 6, first-order: move θ toward the mean child displacement.
     let parent_theta = tree.node(node).theta.clone();

@@ -1,0 +1,250 @@
+//! The trace event model and its JSONL encoding.
+//!
+//! One event is one line of the trace. Three kinds exist:
+//!
+//! * `span` — a completed timed scope, with nesting (`id`/`parent`) and
+//!   monotonic timing (`t_us` start offset, `dur_us` duration, both
+//!   microseconds from the recorder's origin).
+//! * `count` — a named counter increment.
+//! * `gauge` — a named point-in-time measurement.
+//!
+//! Determinism contract: `count` and `gauge` lines carry **no wall-clock
+//! field at all**, and a `span` line's identity fields (`name`, `id`,
+//! `parent`, `idx`) are assigned in program order — so two runs with the
+//! same seed produce identical event sequences modulo the `t_us`/`dur_us`
+//! fields (see the schema reference in `docs/telemetry.md`).
+
+use crate::json::{obj, JsonValue};
+
+/// What an [`Event`] describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A completed span (timed scope).
+    Span,
+    /// A counter increment.
+    Count,
+    /// A gauge observation.
+    Gauge,
+}
+
+impl EventKind {
+    /// The `ev` field value of the JSONL encoding.
+    pub fn tag(self) -> &'static str {
+        match self {
+            EventKind::Span => "span",
+            EventKind::Count => "count",
+            EventKind::Gauge => "gauge",
+        }
+    }
+}
+
+/// Timing and nesting of a span event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpanData {
+    /// Sequential span id (1-based, assigned in program order).
+    pub id: u64,
+    /// Id of the enclosing span on the same thread, if any.
+    pub parent: Option<u64>,
+    /// Start offset from the observation origin, µs (wall-clock field).
+    pub start_us: u64,
+    /// Duration, µs (wall-clock field).
+    pub dur_us: u64,
+}
+
+/// One telemetry event (= one JSONL line).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Event kind.
+    pub kind: EventKind,
+    /// Dotted event name, e.g. `engine.batch.matching`.
+    pub name: String,
+    /// Counter increment or gauge value (0 for spans).
+    pub value: f64,
+    /// Optional ordinal context: batch index, meta iteration, cluster id…
+    pub idx: Option<u64>,
+    /// Present on span events only.
+    pub span: Option<SpanData>,
+}
+
+impl Event {
+    /// A counter-increment event.
+    pub fn count(name: impl Into<String>, value: u64, idx: Option<u64>) -> Self {
+        Self {
+            kind: EventKind::Count,
+            name: name.into(),
+            value: value as f64,
+            idx,
+            span: None,
+        }
+    }
+
+    /// A gauge-observation event.
+    pub fn gauge(name: impl Into<String>, value: f64, idx: Option<u64>) -> Self {
+        Self {
+            kind: EventKind::Gauge,
+            name: name.into(),
+            value,
+            idx,
+            span: None,
+        }
+    }
+
+    /// Encodes the event as one compact JSON line (no trailing newline).
+    pub fn to_json_line(&self) -> String {
+        let mut fields: Vec<(&'static str, JsonValue)> = vec![
+            ("ev", JsonValue::Str(self.kind.tag().into())),
+            ("name", JsonValue::Str(self.name.clone())),
+        ];
+        match self.kind {
+            EventKind::Span => {
+                let s = self.span.expect("span event carries SpanData");
+                fields.push(("id", JsonValue::Num(s.id as f64)));
+                fields.push((
+                    "parent",
+                    s.parent
+                        .map_or(JsonValue::Null, |p| JsonValue::Num(p as f64)),
+                ));
+                fields.push(("t_us", JsonValue::Num(s.start_us as f64)));
+                fields.push(("dur_us", JsonValue::Num(s.dur_us as f64)));
+            }
+            EventKind::Count | EventKind::Gauge => {
+                fields.push(("value", JsonValue::Num(self.value)));
+            }
+        }
+        if let Some(idx) = self.idx {
+            fields.push(("idx", JsonValue::Num(idx as f64)));
+        }
+        obj(fields).to_json()
+    }
+
+    /// Decodes one JSONL line back into an [`Event`].
+    pub fn from_json_line(line: &str) -> Result<Self, String> {
+        let v = crate::json::parse(line)?;
+        let kind = match v.get("ev").and_then(JsonValue::as_str) {
+            Some("span") => EventKind::Span,
+            Some("count") => EventKind::Count,
+            Some("gauge") => EventKind::Gauge,
+            other => return Err(format!("unknown event kind {other:?}")),
+        };
+        let name = v
+            .get("name")
+            .and_then(JsonValue::as_str)
+            .ok_or("missing name")?
+            .to_string();
+        let idx = v.get("idx").and_then(JsonValue::as_u64);
+        let (value, span) = match kind {
+            EventKind::Span => {
+                let span = SpanData {
+                    id: v
+                        .get("id")
+                        .and_then(JsonValue::as_u64)
+                        .ok_or("missing id")?,
+                    parent: v.get("parent").and_then(JsonValue::as_u64),
+                    start_us: v
+                        .get("t_us")
+                        .and_then(JsonValue::as_u64)
+                        .ok_or("missing t_us")?,
+                    dur_us: v
+                        .get("dur_us")
+                        .and_then(JsonValue::as_u64)
+                        .ok_or("missing dur_us")?,
+                };
+                (0.0, Some(span))
+            }
+            _ => {
+                let value = v
+                    .get("value")
+                    .and_then(JsonValue::as_num)
+                    .ok_or("missing value")?;
+                (value, None)
+            }
+        };
+        Ok(Self {
+            kind,
+            name,
+            value,
+            idx,
+            span,
+        })
+    }
+
+    /// The event with its wall-clock fields (`t_us`, `dur_us`) zeroed —
+    /// the canonical form the determinism tests compare.
+    pub fn without_wall_clock(&self) -> Self {
+        let mut out = self.clone();
+        if let Some(s) = out.span.as_mut() {
+            s.start_us = 0;
+            s.dur_us = 0;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_line_round_trips() {
+        let ev = Event {
+            kind: EventKind::Span,
+            name: "engine.batch".into(),
+            value: 0.0,
+            idx: Some(17),
+            span: Some(SpanData {
+                id: 3,
+                parent: Some(1),
+                start_us: 1234,
+                dur_us: 567,
+            }),
+        };
+        let line = ev.to_json_line();
+        assert_eq!(Event::from_json_line(&line).unwrap(), ev);
+        assert!(line.contains(r#""ev":"span""#));
+    }
+
+    #[test]
+    fn count_and_gauge_lines_round_trip() {
+        for ev in [
+            Event::count("engine.fault.dropped_reports", 4, Some(2)),
+            Event::gauge("train.query_loss", 0.125, None),
+        ] {
+            assert_eq!(Event::from_json_line(&ev.to_json_line()).unwrap(), ev);
+        }
+    }
+
+    #[test]
+    fn count_and_gauge_carry_no_wall_clock() {
+        let line = Event::count("x", 1, None).to_json_line();
+        assert!(!line.contains("t_us") && !line.contains("dur_us"));
+    }
+
+    #[test]
+    fn without_wall_clock_normalises_spans_only() {
+        let ev = Event {
+            kind: EventKind::Span,
+            name: "s".into(),
+            value: 0.0,
+            idx: None,
+            span: Some(SpanData {
+                id: 1,
+                parent: None,
+                start_us: 99,
+                dur_us: 7,
+            }),
+        };
+        let norm = ev.without_wall_clock();
+        assert_eq!(norm.span.unwrap().start_us, 0);
+        assert_eq!(norm.span.unwrap().id, 1);
+        let g = Event::gauge("g", 1.0, None);
+        assert_eq!(g.without_wall_clock(), g);
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(Event::from_json_line("{}").is_err());
+        assert!(Event::from_json_line(r#"{"ev":"span","name":"x"}"#).is_err());
+        assert!(Event::from_json_line(r#"{"ev":"count","name":"x"}"#).is_err());
+        assert!(Event::from_json_line("not json").is_err());
+    }
+}

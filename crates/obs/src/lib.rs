@@ -1,0 +1,271 @@
+//! # tamp-obs
+//!
+//! Zero-dependency telemetry for the TAMP workspace: scoped span timers,
+//! named counters/gauges/histograms, structured JSONL traces, and a
+//! serialisable end-of-run [`TelemetrySnapshot`].
+//!
+//! Everything flows through an [`Obs`] handle:
+//!
+//! ```
+//! use tamp_obs::Obs;
+//!
+//! let (obs, mem) = Obs::in_memory();
+//! {
+//!     let _batch = obs.span("engine.batch");
+//!     obs.count("engine.fault.dropped_reports", 2);
+//!     obs.gauge("train.query_loss", 0.12);
+//! }
+//! assert_eq!(mem.events().len(), 3);
+//! let snapshot = obs.snapshot();
+//! assert_eq!(snapshot.counters["engine.fault.dropped_reports"], 2);
+//! assert_eq!(snapshot.histograms["engine.batch"].count, 1);
+//! ```
+//!
+//! Design rules (the "overhead contract", DESIGN.md § Observability):
+//!
+//! * **No external dependencies.** The crate sits under every hot path
+//!   in the workspace; it carries its own JSON codec ([`json`]).
+//! * **Disabled means free.** [`Obs::null`] makes every call a branch on
+//!   an `Option` — no clock reads, no allocation, no locking.
+//! * **Telemetry never fails the run.** Recorder I/O errors are
+//!   swallowed (and queryable); nothing here panics on bad input.
+//! * **Determinism modulo wall-clock.** Event sequences are functions of
+//!   program order; only `t_us`/`dur_us` fields vary between identically
+//!   seeded runs (recorders are driven from one thread per scope).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod json;
+pub mod recorder;
+pub mod registry;
+pub mod span;
+
+pub use event::{Event, EventKind, SpanData};
+pub use recorder::{JsonlRecorder, MemoryRecorder, NullRecorder, Recorder};
+pub use registry::{GaugeStat, Histogram, HistogramSnapshot, MetricsRegistry, TelemetrySnapshot};
+pub use span::SpanGuard;
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+struct ObsInner {
+    recorder: Arc<dyn Recorder>,
+    registry: MetricsRegistry,
+    origin: Instant,
+    next_span_id: AtomicU64,
+}
+
+/// The telemetry handle the engine, training, and assignment code carry.
+///
+/// Cloning is cheap (an `Arc`); clones share the recorder, registry, and
+/// span-id sequence. A disabled handle ([`Obs::null`]) reduces every
+/// operation to an `Option` branch.
+#[derive(Clone)]
+pub struct Obs {
+    inner: Option<Arc<ObsInner>>,
+}
+
+impl std::fmt::Debug for Obs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Obs")
+            .field("enabled", &self.is_enabled())
+            .finish()
+    }
+}
+
+impl Default for Obs {
+    fn default() -> Self {
+        Self::null()
+    }
+}
+
+impl Obs {
+    /// A disabled handle: every call is a no-op.
+    pub fn null() -> Self {
+        Self { inner: None }
+    }
+
+    /// An enabled handle feeding the given recorder (plus the internal
+    /// metrics registry).
+    pub fn new(recorder: impl Recorder + 'static) -> Self {
+        Self::from_shared(Arc::new(recorder))
+    }
+
+    /// Like [`Obs::new`] for an already-shared recorder.
+    pub fn from_shared(recorder: Arc<dyn Recorder>) -> Self {
+        Self {
+            inner: Some(Arc::new(ObsInner {
+                recorder,
+                registry: MetricsRegistry::new(),
+                origin: Instant::now(),
+                next_span_id: AtomicU64::new(1),
+            })),
+        }
+    }
+
+    /// An enabled handle backed by a [`MemoryRecorder`], returning both
+    /// (tests and reconciliation checks).
+    pub fn in_memory() -> (Self, Arc<MemoryRecorder>) {
+        let mem = Arc::new(MemoryRecorder::new());
+        (Self::from_shared(mem.clone()), mem)
+    }
+
+    /// True when events are being recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Opens a span; the returned guard records on drop.
+    #[inline]
+    pub fn span(&self, name: &'static str) -> SpanGuard<'_> {
+        match &self.inner {
+            None => SpanGuard::disabled(),
+            Some(_) => SpanGuard::open(self, name, None),
+        }
+    }
+
+    /// Opens a span carrying an ordinal (`idx`) — batch number, meta
+    /// iteration, cluster id…
+    #[inline]
+    pub fn span_idx(&self, name: &'static str, idx: u64) -> SpanGuard<'_> {
+        match &self.inner {
+            None => SpanGuard::disabled(),
+            Some(_) => SpanGuard::open(self, name, Some(idx)),
+        }
+    }
+
+    /// Adds `n` to a counter and emits a `count` event (skipped when
+    /// `n == 0`, so quiet batches don't bloat traces).
+    #[inline]
+    pub fn count(&self, name: &str, n: u64) {
+        self.count_idx(name, n, None);
+    }
+
+    /// [`Obs::count`] with an ordinal.
+    #[inline]
+    pub fn count_idx(&self, name: &str, n: u64, idx: Option<u64>) {
+        if let Some(inner) = &self.inner {
+            if n == 0 {
+                return;
+            }
+            inner.registry.count(name, n);
+            inner.recorder.record(&Event::count(name, n, idx));
+        }
+    }
+
+    /// Sets a gauge and emits a `gauge` event.
+    #[inline]
+    pub fn gauge(&self, name: &str, v: f64) {
+        self.gauge_idx(name, v, None);
+    }
+
+    /// [`Obs::gauge`] with an ordinal.
+    #[inline]
+    pub fn gauge_idx(&self, name: &str, v: f64, idx: Option<u64>) {
+        if let Some(inner) = &self.inner {
+            inner.registry.gauge(name, v);
+            inner.recorder.record(&Event::gauge(name, v, idx));
+        }
+    }
+
+    /// Records a value into a histogram only (no trace event) — for
+    /// high-frequency observations where per-event lines would dominate
+    /// the trace.
+    #[inline]
+    pub fn observe(&self, name: &str, v: f64) {
+        if let Some(inner) = &self.inner {
+            inner.registry.observe(name, v);
+        }
+    }
+
+    /// Freezes the current metrics. Empty when disabled.
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        match &self.inner {
+            None => TelemetrySnapshot::default(),
+            Some(inner) => inner.registry.snapshot(),
+        }
+    }
+
+    /// Flushes the recorder's buffered output.
+    pub fn flush(&self) {
+        if let Some(inner) = &self.inner {
+            inner.recorder.flush();
+        }
+    }
+
+    pub(crate) fn next_span_id(&self) -> u64 {
+        self.inner
+            .as_ref()
+            .map_or(0, |i| i.next_span_id.fetch_add(1, Ordering::Relaxed))
+    }
+
+    pub(crate) fn micros_since_origin(&self, t: Instant) -> u64 {
+        self.inner.as_ref().map_or(0, |i| {
+            t.saturating_duration_since(i.origin)
+                .as_micros()
+                .min(u64::MAX as u128) as u64
+        })
+    }
+
+    pub(crate) fn record_span_end(&self, event: Event, dur_us: u64) {
+        if let Some(inner) = &self.inner {
+            inner.registry.observe(&event.name, dur_us as f64);
+            inner.recorder.record(&event);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_handle_is_fully_inert() {
+        let obs = Obs::null();
+        assert!(!obs.is_enabled());
+        obs.count("c", 5);
+        obs.gauge("g", 1.0);
+        obs.observe("h", 2.0);
+        obs.flush();
+        assert_eq!(obs.snapshot(), TelemetrySnapshot::default());
+    }
+
+    #[test]
+    fn null_recorder_handle_still_accumulates_metrics() {
+        let obs = Obs::new(NullRecorder);
+        obs.count("c", 5);
+        {
+            let _s = obs.span("s");
+        }
+        let snap = obs.snapshot();
+        assert_eq!(snap.counters["c"], 5);
+        assert_eq!(snap.histograms["s"].count, 1);
+    }
+
+    #[test]
+    fn zero_count_emits_nothing() {
+        let (obs, mem) = Obs::in_memory();
+        obs.count("c", 0);
+        assert!(mem.is_empty());
+        assert_eq!(obs.snapshot().counters.get("c"), None);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let (obs, mem) = Obs::in_memory();
+        let clone = obs.clone();
+        clone.count("c", 1);
+        obs.count("c", 2);
+        assert_eq!(obs.snapshot().counters["c"], 3);
+        assert_eq!(mem.len(), 2);
+    }
+
+    #[test]
+    fn obs_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Obs>();
+    }
+}

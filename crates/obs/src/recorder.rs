@@ -1,0 +1,189 @@
+//! Event sinks: where telemetry goes.
+//!
+//! The [`Recorder`] trait is the single extension point; the engine and
+//! training code never know which sink is behind it. Three are provided:
+//!
+//! * [`NullRecorder`] — discards everything; the default in production
+//!   paths, with near-zero overhead.
+//! * [`JsonlRecorder`] — buffered structured events, one JSON object per
+//!   line (the on-disk trace format `trace_report` and `tamp-cli
+//!   trace-validate` consume).
+//! * [`MemoryRecorder`] — keeps events in memory; used by tests and the
+//!   reconciliation checks.
+
+use crate::event::Event;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::Mutex;
+
+/// An event sink. Implementations must be cheap to call and must not
+/// panic on I/O trouble (telemetry never takes down the run it watches).
+pub trait Recorder: Send + Sync {
+    /// Consumes one event.
+    fn record(&self, event: &Event);
+    /// Flushes buffered output, if any.
+    fn flush(&self) {}
+}
+
+/// Discards every event.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullRecorder;
+
+impl Recorder for NullRecorder {
+    #[inline]
+    fn record(&self, _event: &Event) {}
+}
+
+/// Buffers events in memory (tests, reconciliation checks).
+#[derive(Debug, Default)]
+pub struct MemoryRecorder {
+    events: Mutex<Vec<Event>>,
+}
+
+impl MemoryRecorder {
+    /// An empty in-memory recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A copy of every event recorded so far, in arrival order.
+    pub fn events(&self) -> Vec<Event> {
+        self.events.lock().expect("obs lock").clone()
+    }
+
+    /// Number of events recorded so far.
+    pub fn len(&self) -> usize {
+        self.events.lock().expect("obs lock").len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Recorder for MemoryRecorder {
+    fn record(&self, event: &Event) {
+        self.events.lock().expect("obs lock").push(event.clone());
+    }
+}
+
+/// Writes one JSON object per event to a buffered byte sink.
+///
+/// I/O errors after construction are swallowed (and remembered): a full
+/// disk must degrade the trace, not the run.
+pub struct JsonlRecorder {
+    out: Mutex<BufWriter<Box<dyn Write + Send>>>,
+    failed: std::sync::atomic::AtomicBool,
+}
+
+impl JsonlRecorder {
+    /// Records into any byte sink.
+    pub fn new(sink: Box<dyn Write + Send>) -> Self {
+        Self {
+            out: Mutex::new(BufWriter::new(sink)),
+            failed: std::sync::atomic::AtomicBool::new(false),
+        }
+    }
+
+    /// Creates (truncates) `path` and records into it.
+    pub fn create(path: &Path) -> std::io::Result<Self> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        Ok(Self::new(Box::new(std::fs::File::create(path)?)))
+    }
+
+    /// True if any write or flush failed since construction.
+    pub fn poisoned(&self) -> bool {
+        self.failed.load(std::sync::atomic::Ordering::Relaxed)
+    }
+}
+
+impl Recorder for JsonlRecorder {
+    fn record(&self, event: &Event) {
+        let mut out = self.out.lock().expect("obs lock");
+        let line = event.to_json_line();
+        if writeln!(out, "{line}").is_err() {
+            self.failed
+                .store(true, std::sync::atomic::Ordering::Relaxed);
+        }
+    }
+
+    fn flush(&self) {
+        if self.out.lock().expect("obs lock").flush().is_err() {
+            self.failed
+                .store(true, std::sync::atomic::Ordering::Relaxed);
+        }
+    }
+}
+
+impl Drop for JsonlRecorder {
+    fn drop(&mut self) {
+        Recorder::flush(self);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn memory_recorder_keeps_order() {
+        let r = MemoryRecorder::new();
+        r.record(&Event::count("a", 1, None));
+        r.record(&Event::gauge("b", 2.0, Some(1)));
+        let evs = r.events();
+        assert_eq!(evs.len(), 2);
+        assert_eq!(evs[0].name, "a");
+        assert_eq!(evs[1].name, "b");
+    }
+
+    #[test]
+    fn jsonl_recorder_emits_parseable_lines() {
+        let buf: Arc<Mutex<Vec<u8>>> = Arc::new(Mutex::new(Vec::new()));
+        struct Shared(Arc<Mutex<Vec<u8>>>);
+        impl Write for Shared {
+            fn write(&mut self, b: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(b);
+                Ok(b.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let r = JsonlRecorder::new(Box::new(Shared(buf.clone())));
+        r.record(&Event::count("x", 3, None));
+        r.record(&Event::gauge("y", 0.5, Some(7)));
+        Recorder::flush(&r);
+        let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in lines {
+            Event::from_json_line(line).unwrap();
+        }
+        assert!(!r.poisoned());
+    }
+
+    #[test]
+    fn jsonl_recorder_survives_sink_failure() {
+        struct Failing;
+        impl Write for Failing {
+            fn write(&mut self, _: &[u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::other("disk full"))
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Err(std::io::Error::other("disk full"))
+            }
+        }
+        let r = JsonlRecorder::new(Box::new(Failing));
+        for _ in 0..10_000 {
+            r.record(&Event::count("x", 1, None)); // must not panic
+        }
+        Recorder::flush(&r);
+        assert!(r.poisoned());
+    }
+}

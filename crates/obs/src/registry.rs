@@ -1,0 +1,434 @@
+//! Named metrics: counters, gauges, and log-bucketed latency histograms,
+//! plus the serialisable [`TelemetrySnapshot`] taken at end of run.
+//!
+//! Histograms bucket values geometrically at 8 sub-buckets per octave
+//! (~±4.4 % relative quantile error) — precise enough for p50/p95/p99
+//! latency reporting while keeping a histogram at a fixed 3.5 KiB.
+
+use crate::json::{obj, parse, JsonValue};
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// Sub-buckets per power of two.
+const SUB: f64 = 8.0;
+/// Lowest representable bucket exponent (`value ≈ 2^(LO/SUB)` ≈ 1.5e-5).
+const LO: i32 = -128;
+/// One past the highest bucket exponent (`2^(HI/SUB)` ≈ 1.1e12).
+const HI: i32 = 320;
+/// Bucket count: one zero/underflow bucket plus the geometric range.
+const N_BUCKETS: usize = (HI - LO) as usize + 1;
+
+fn bucket_of(v: f64) -> usize {
+    if v <= 0.0 || !v.is_finite() {
+        return 0; // zero / negative / non-finite → underflow bucket
+    }
+    let e = (v.log2() * SUB).floor() as i32;
+    (e.clamp(LO, HI - 1) - LO) as usize + 1
+}
+
+/// Geometric midpoint of a bucket (its representative value).
+fn bucket_mid(b: usize) -> f64 {
+    if b == 0 {
+        return 0.0;
+    }
+    2f64.powf(((b as i32 - 1 + LO) as f64 + 0.5) / SUB)
+}
+
+/// A log-bucketed histogram of non-negative values.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self {
+            buckets: vec![0; N_BUCKETS],
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+}
+
+impl Histogram {
+    /// Records one value.
+    pub fn observe(&mut self, v: f64) {
+        self.buckets[bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Approximate quantile `q ∈ [0, 1]`; 0 on an empty histogram.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (b, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                // Exact extremes beat the bucket approximation at the ends.
+                return bucket_mid(b).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Freezes the histogram into quantile form.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count,
+            sum: self.sum,
+            min: if self.count == 0 { 0.0 } else { self.min },
+            max: if self.count == 0 { 0.0 } else { self.max },
+            p50: self.quantile(0.50),
+            p95: self.quantile(0.95),
+            p99: self.quantile(0.99),
+        }
+    }
+}
+
+/// Frozen histogram statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct HistogramSnapshot {
+    /// Number of observations.
+    pub count: u64,
+    /// Exact sum of observed values.
+    pub sum: f64,
+    /// Exact minimum (0 when empty).
+    pub min: f64,
+    /// Exact maximum (0 when empty).
+    pub max: f64,
+    /// Approximate median.
+    pub p50: f64,
+    /// Approximate 95th percentile.
+    pub p95: f64,
+    /// Approximate 99th percentile.
+    pub p99: f64,
+}
+
+/// Last-value gauge with running extremes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GaugeStat {
+    /// Most recent value.
+    pub last: f64,
+    /// Smallest value seen.
+    pub min: f64,
+    /// Largest value seen.
+    pub max: f64,
+    /// Number of observations.
+    pub count: u64,
+}
+
+impl GaugeStat {
+    fn observe(&mut self, v: f64) {
+        self.last = v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        self.count += 1;
+    }
+
+    fn first(v: f64) -> Self {
+        Self {
+            last: v,
+            min: v,
+            max: v,
+            count: 1,
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct RegistryInner {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, GaugeStat>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+/// Thread-safe registry of named metrics.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    inner: Mutex<RegistryInner>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `n` to the named counter.
+    pub fn count(&self, name: &str, n: u64) {
+        let mut g = self.inner.lock().expect("obs lock");
+        match g.counters.get_mut(name) {
+            Some(c) => *c += n,
+            None => {
+                g.counters.insert(name.to_string(), n);
+            }
+        }
+    }
+
+    /// Sets the named gauge to `v`.
+    pub fn gauge(&self, name: &str, v: f64) {
+        let mut g = self.inner.lock().expect("obs lock");
+        match g.gauges.get_mut(name) {
+            Some(s) => s.observe(v),
+            None => {
+                g.gauges.insert(name.to_string(), GaugeStat::first(v));
+            }
+        }
+    }
+
+    /// Records `v` into the named histogram.
+    pub fn observe(&self, name: &str, v: f64) {
+        let mut g = self.inner.lock().expect("obs lock");
+        g.histograms.entry(name.to_string()).or_default().observe(v);
+    }
+
+    /// Current value of a counter (0 if never incremented).
+    pub fn counter_value(&self, name: &str) -> u64 {
+        self.inner
+            .lock()
+            .expect("obs lock")
+            .counters
+            .get(name)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Freezes the whole registry.
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        let g = self.inner.lock().expect("obs lock");
+        TelemetrySnapshot {
+            counters: g.counters.clone(),
+            gauges: g.gauges.clone(),
+            histograms: g
+                .histograms
+                .iter()
+                .map(|(k, h)| (k.clone(), h.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+/// A point-in-time, serialisable copy of every metric — the file the
+/// `--metrics` CLI flag writes and `trace-validate` reconciles.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TelemetrySnapshot {
+    /// Counter totals by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge statistics by name.
+    pub gauges: BTreeMap<String, GaugeStat>,
+    /// Histogram quantiles by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl TelemetrySnapshot {
+    /// Serialises the snapshot to compact JSON.
+    pub fn to_json(&self) -> String {
+        let counters = JsonValue::Obj(
+            self.counters
+                .iter()
+                .map(|(k, &v)| (k.clone(), JsonValue::Num(v as f64)))
+                .collect(),
+        );
+        let gauges = JsonValue::Obj(
+            self.gauges
+                .iter()
+                .map(|(k, s)| {
+                    (
+                        k.clone(),
+                        obj([
+                            ("last", JsonValue::Num(s.last)),
+                            ("min", JsonValue::Num(s.min)),
+                            ("max", JsonValue::Num(s.max)),
+                            ("count", JsonValue::Num(s.count as f64)),
+                        ]),
+                    )
+                })
+                .collect(),
+        );
+        let histograms = JsonValue::Obj(
+            self.histograms
+                .iter()
+                .map(|(k, h)| {
+                    (
+                        k.clone(),
+                        obj([
+                            ("count", JsonValue::Num(h.count as f64)),
+                            ("sum", JsonValue::Num(h.sum)),
+                            ("min", JsonValue::Num(h.min)),
+                            ("max", JsonValue::Num(h.max)),
+                            ("p50", JsonValue::Num(h.p50)),
+                            ("p95", JsonValue::Num(h.p95)),
+                            ("p99", JsonValue::Num(h.p99)),
+                        ]),
+                    )
+                })
+                .collect(),
+        );
+        obj([
+            ("counters", counters),
+            ("gauges", gauges),
+            ("histograms", histograms),
+        ])
+        .to_json()
+    }
+
+    /// Parses a snapshot serialised by [`TelemetrySnapshot::to_json`].
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let v = parse(text)?;
+        let num = |o: &JsonValue, k: &str| -> Result<f64, String> {
+            o.get(k)
+                .and_then(JsonValue::as_num)
+                .ok_or(format!("missing field {k}"))
+        };
+        let mut out = TelemetrySnapshot::default();
+        for (k, c) in v
+            .get("counters")
+            .and_then(JsonValue::as_obj)
+            .ok_or("missing counters")?
+        {
+            out.counters.insert(
+                k.clone(),
+                c.as_u64().ok_or(format!("counter {k} not a u64"))?,
+            );
+        }
+        for (k, g) in v
+            .get("gauges")
+            .and_then(JsonValue::as_obj)
+            .ok_or("missing gauges")?
+        {
+            out.gauges.insert(
+                k.clone(),
+                GaugeStat {
+                    last: num(g, "last")?,
+                    min: num(g, "min")?,
+                    max: num(g, "max")?,
+                    count: num(g, "count")? as u64,
+                },
+            );
+        }
+        for (k, h) in v
+            .get("histograms")
+            .and_then(JsonValue::as_obj)
+            .ok_or("missing histograms")?
+        {
+            out.histograms.insert(
+                k.clone(),
+                HistogramSnapshot {
+                    count: num(h, "count")? as u64,
+                    sum: num(h, "sum")?,
+                    min: num(h, "min")?,
+                    max: num(h, "max")?,
+                    p50: num(h, "p50")?,
+                    p95: num(h, "p95")?,
+                    p99: num(h, "p99")?,
+                },
+            );
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles_track_a_uniform_ramp() {
+        let mut h = Histogram::default();
+        for i in 1..=1000 {
+            h.observe(i as f64);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 1000);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 1000.0);
+        // ±4.4 % bucket error plus discretisation slack.
+        assert!((s.p50 / 500.0 - 1.0).abs() < 0.10, "p50 = {}", s.p50);
+        assert!((s.p95 / 950.0 - 1.0).abs() < 0.10, "p95 = {}", s.p95);
+        assert!((s.p99 / 990.0 - 1.0).abs() < 0.10, "p99 = {}", s.p99);
+    }
+
+    #[test]
+    fn histogram_handles_edge_values() {
+        let mut h = Histogram::default();
+        for v in [0.0, -1.0, f64::NAN, 1e-30, 1e30, 42.0] {
+            h.observe(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 6);
+        // Quantiles stay within the observed (finite-clamped) range.
+        assert!(s.p50.is_finite() && s.p99.is_finite());
+        let empty = Histogram::default().snapshot();
+        assert_eq!(empty.count, 0);
+        assert_eq!(empty.p99, 0.0);
+    }
+
+    #[test]
+    fn bucket_mid_is_inside_its_bucket() {
+        for v in [1e-4, 0.01, 1.0, 3.7, 1000.0, 1e9] {
+            let b = bucket_of(v);
+            let mid = bucket_mid(b);
+            assert!(
+                (mid / v).abs().log2().abs() <= 1.0 / SUB,
+                "v={v} mid={mid} off by more than one bucket"
+            );
+        }
+    }
+
+    #[test]
+    fn registry_accumulates_and_snapshots() {
+        let r = MetricsRegistry::new();
+        r.count("engine.fault.dropped_reports", 3);
+        r.count("engine.fault.dropped_reports", 2);
+        r.gauge("train.query_loss", 0.5);
+        r.gauge("train.query_loss", 0.25);
+        r.observe("engine.batch.matching_us", 120.0);
+        r.observe("engine.batch.matching_us", 80.0);
+        assert_eq!(r.counter_value("engine.fault.dropped_reports"), 5);
+        let s = r.snapshot();
+        assert_eq!(s.counters["engine.fault.dropped_reports"], 5);
+        let g = s.gauges["train.query_loss"];
+        assert_eq!((g.last, g.min, g.max, g.count), (0.25, 0.25, 0.5, 2));
+        let h = s.histograms["engine.batch.matching_us"];
+        assert_eq!(h.count, 2);
+        assert!((h.sum - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn snapshot_json_round_trips() {
+        let r = MetricsRegistry::new();
+        r.count("a.b", 7);
+        r.gauge("c", -1.5);
+        for i in 0..100 {
+            r.observe("lat_us", 10.0 + i as f64);
+        }
+        let s = r.snapshot();
+        let back = TelemetrySnapshot::from_json(&s.to_json()).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn snapshot_rejects_malformed_json() {
+        assert!(TelemetrySnapshot::from_json("{}").is_err());
+        assert!(TelemetrySnapshot::from_json(r#"{"counters":{"a":-1}}"#).is_err());
+        assert!(TelemetrySnapshot::from_json("nonsense").is_err());
+    }
+
+    #[test]
+    fn empty_snapshot_round_trips() {
+        let s = MetricsRegistry::new().snapshot();
+        assert_eq!(TelemetrySnapshot::from_json(&s.to_json()).unwrap(), s);
+    }
+}

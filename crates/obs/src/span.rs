@@ -1,0 +1,156 @@
+//! RAII span timers with parent/child nesting.
+//!
+//! A [`SpanGuard`] measures the scope it lives in on the monotonic clock
+//! and, on drop, emits one `span` event and one histogram observation
+//! (`<name>` in microseconds) into its [`Obs`](crate::Obs). Nesting is
+//! tracked per thread: a span opened while another is alive on the same
+//! thread records that span as its parent. The complete span event is
+//! emitted at *end* time, so in a trace children appear before their
+//! parents — consumers reconstruct the tree from `id`/`parent`.
+
+use crate::event::{Event, EventKind, SpanData};
+use crate::Obs;
+use std::cell::RefCell;
+use std::time::Instant;
+
+thread_local! {
+    /// Stack of open span ids on this thread (innermost last).
+    static SPAN_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Times a scope; see the module docs. Constructed via [`Obs::span`].
+#[must_use = "a span guard measures the scope it is bound to; dropping it immediately records nothing useful"]
+pub struct SpanGuard<'a> {
+    /// `None` when observability is disabled — every drop is then free.
+    obs: Option<&'a Obs>,
+    name: &'static str,
+    idx: Option<u64>,
+    id: u64,
+    parent: Option<u64>,
+    start: Instant,
+}
+
+impl<'a> SpanGuard<'a> {
+    pub(crate) fn disabled() -> Self {
+        Self {
+            obs: None,
+            name: "",
+            idx: None,
+            id: 0,
+            parent: None,
+            start: Instant::now(),
+        }
+    }
+
+    pub(crate) fn open(obs: &'a Obs, name: &'static str, idx: Option<u64>) -> Self {
+        let id = obs.next_span_id();
+        let parent = SPAN_STACK.with(|s| {
+            let mut s = s.borrow_mut();
+            let parent = s.last().copied();
+            s.push(id);
+            parent
+        });
+        Self {
+            obs: Some(obs),
+            name,
+            idx,
+            id,
+            parent,
+            start: Instant::now(),
+        }
+    }
+
+    /// The span's id (for tests asserting the nesting structure).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        let Some(obs) = self.obs else { return };
+        let dur = self.start.elapsed();
+        SPAN_STACK.with(|s| {
+            let mut s = s.borrow_mut();
+            debug_assert_eq!(s.last(), Some(&self.id), "span drop order inverted");
+            s.retain(|&x| x != self.id);
+        });
+        let start_us = obs.micros_since_origin(self.start);
+        let dur_us = dur.as_micros().min(u64::MAX as u128) as u64;
+        obs.record_span_end(
+            Event {
+                kind: EventKind::Span,
+                name: self.name.to_string(),
+                value: 0.0,
+                idx: self.idx,
+                span: Some(SpanData {
+                    id: self.id,
+                    parent: self.parent,
+                    start_us,
+                    dur_us,
+                }),
+            },
+            dur_us,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::event::EventKind;
+    use crate::Obs;
+
+    #[test]
+    fn spans_nest_and_emit_in_end_order() {
+        let (obs, mem) = Obs::in_memory();
+        {
+            let outer = obs.span("outer");
+            let outer_id = outer.id();
+            {
+                let inner = obs.span_idx("inner", 3);
+                assert_ne!(inner.id(), outer_id);
+            }
+            let _sibling = obs.span("sibling");
+        }
+        let evs = mem.events();
+        assert_eq!(evs.len(), 3);
+        // End order: inner, sibling, outer.
+        assert_eq!(evs[0].name, "inner");
+        assert_eq!(evs[1].name, "sibling");
+        assert_eq!(evs[2].name, "outer");
+        let outer_id = evs[2].span.unwrap().id;
+        assert_eq!(evs[0].span.unwrap().parent, Some(outer_id));
+        assert_eq!(evs[1].span.unwrap().parent, Some(outer_id));
+        assert_eq!(evs[2].span.unwrap().parent, None);
+        assert_eq!(evs[0].idx, Some(3));
+        assert!(evs.iter().all(|e| e.kind == EventKind::Span));
+    }
+
+    #[test]
+    fn spans_feed_a_latency_histogram() {
+        let (obs, _mem) = Obs::in_memory();
+        for _ in 0..5 {
+            let _s = obs.span("work");
+        }
+        let snap = obs.snapshot();
+        assert_eq!(snap.histograms["work"].count, 5);
+    }
+
+    #[test]
+    fn disabled_obs_spans_are_inert() {
+        let obs = Obs::null();
+        let s = obs.span("anything");
+        assert_eq!(s.id(), 0);
+        drop(s);
+        assert!(obs.snapshot().histograms.is_empty());
+    }
+
+    #[test]
+    fn sequential_spans_get_sequential_ids() {
+        let (obs, mem) = Obs::in_memory();
+        drop(obs.span("a"));
+        drop(obs.span("b"));
+        let evs = mem.events();
+        assert_eq!(evs[0].span.unwrap().id + 1, evs[1].span.unwrap().id);
+    }
+}

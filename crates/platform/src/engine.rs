@@ -26,13 +26,14 @@ use tamp_assign::baselines::{
     ggpso_assign_excluding, km_assign_excluding, lb_assign_excluding, ub_assign_excluding,
     GgpsoParams,
 };
-use tamp_assign::ppi::{ppi_assign_excluding, PpiParams};
+use tamp_assign::ppi::{ppi_assign_observed, PpiParams};
 use tamp_assign::view::{ExcludedPairs, WorkerView};
 use tamp_core::rng::{rng_for, streams};
 use tamp_core::EngineError;
 use tamp_core::{Minutes, Point, SpatialTask, TaskId, WorkerId, BATCH_WINDOW_MINUTES};
 use tamp_nn::loss::Pt2;
 use tamp_nn::{clip_grad_norm, MseLoss, Seq2Seq, TrainBatch};
+use tamp_obs::Obs;
 use tamp_sim::Workload;
 
 /// Which assignment algorithm the engine runs (the roster of Fig. 6–11).
@@ -143,8 +144,16 @@ pub fn run_assignment_traced(
     cfg: &EngineConfig,
     trace: &mut Vec<BatchRecord>,
 ) -> AssignmentMetrics {
-    run_assignment_inner(workload, predictors, algo, cfg, None, Some(trace))
-        .unwrap_or_else(|e| panic!("{e}"))
+    run_assignment_inner(
+        workload,
+        predictors,
+        algo,
+        cfg,
+        None,
+        Some(trace),
+        &Obs::null(),
+    )
+    .unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// Fallible variant of [`run_assignment`]: mis-wired configurations come
@@ -155,7 +164,7 @@ pub fn try_run_assignment(
     algo: AssignmentAlgo,
     cfg: &EngineConfig,
 ) -> Result<AssignmentMetrics, EngineError> {
-    run_assignment_inner(workload, predictors, algo, cfg, None, None)
+    run_assignment_inner(workload, predictors, algo, cfg, None, None, &Obs::null())
 }
 
 /// Runs a day under injected faults (see [`crate::faults`]). With
@@ -167,7 +176,15 @@ pub fn run_assignment_with_faults(
     cfg: &EngineConfig,
     faults: &FaultConfig,
 ) -> Result<AssignmentMetrics, EngineError> {
-    run_assignment_inner(workload, predictors, algo, cfg, Some(faults), None)
+    run_assignment_inner(
+        workload,
+        predictors,
+        algo,
+        cfg,
+        Some(faults),
+        None,
+        &Obs::null(),
+    )
 }
 
 /// [`run_assignment_with_faults`] with a per-batch trace.
@@ -179,9 +196,51 @@ pub fn run_assignment_with_faults_traced(
     faults: &FaultConfig,
     trace: &mut Vec<BatchRecord>,
 ) -> Result<AssignmentMetrics, EngineError> {
-    run_assignment_inner(workload, predictors, algo, cfg, Some(faults), Some(trace))
+    run_assignment_inner(
+        workload,
+        predictors,
+        algo,
+        cfg,
+        Some(faults),
+        Some(trace),
+        &Obs::null(),
+    )
 }
 
+/// The fully-general observed entry point: optional fault injection,
+/// optional per-batch trace, and a telemetry handle (pass [`Obs::null`]
+/// for none — that path is identical to the legacy entry points).
+///
+/// Per batch the engine emits one `engine.batch` span with nested
+/// `engine.batch.{carry,snapshot,matching,acceptance}` stage spans (plus
+/// `engine.adapt` on adaptation rounds), an `assign.<algo>` span around
+/// the matcher, fault counters mirroring [`AssignmentMetrics`]
+/// (`engine.fault.*`), and assignment-outcome counters
+/// (`engine.assign.{proposed,accepted,rejected}`).
+pub fn run_assignment_observed(
+    workload: &Workload,
+    predictors: Option<&TrainedPredictors>,
+    algo: AssignmentAlgo,
+    cfg: &EngineConfig,
+    faults: Option<&FaultConfig>,
+    trace: Option<&mut Vec<BatchRecord>>,
+    obs: &Obs,
+) -> Result<AssignmentMetrics, EngineError> {
+    run_assignment_inner(workload, predictors, algo, cfg, faults, trace, obs)
+}
+
+/// Span name of the matcher stage for each algorithm.
+fn algo_span_name(algo: AssignmentAlgo) -> &'static str {
+    match algo {
+        AssignmentAlgo::Ppi => "assign.ppi",
+        AssignmentAlgo::Km => "assign.km",
+        AssignmentAlgo::Ggpso => "assign.ggpso",
+        AssignmentAlgo::Ub => "assign.ub",
+        AssignmentAlgo::Lb => "assign.lb",
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
 fn run_assignment_inner(
     workload: &Workload,
     predictors: Option<&TrainedPredictors>,
@@ -189,6 +248,7 @@ fn run_assignment_inner(
     cfg: &EngineConfig,
     faults: Option<&FaultConfig>,
     mut trace: Option<&mut Vec<BatchRecord>>,
+    obs: &Obs,
 ) -> Result<AssignmentMetrics, EngineError> {
     if !matches!(algo, AssignmentAlgo::Ub | AssignmentAlgo::Lb) && predictors.is_none() {
         return Err(EngineError::MissingPredictors {
@@ -238,8 +298,11 @@ fn run_assignment_inner(
     let mut t = 0.0;
     let mut batch_idx: u64 = 0;
     while t < horizon {
+        let _batch_span = obs.span_idx("engine.batch", batch_idx);
         let now = Minutes::new(t + cfg.batch_window_min);
         // 1. Admit newly released tasks; drop expired ones.
+        let carry_start = Instant::now();
+        let carry_span = obs.span_idx("engine.batch.carry", batch_idx);
         while next_task < workload.tasks.len()
             && workload.tasks[next_task].release.as_f64() < now.as_f64()
         {
@@ -248,19 +311,33 @@ fn run_assignment_inner(
         }
         pending
             .retain(|task| task.deadline.as_f64() > now.as_f64() && !completed.contains(&task.id));
+        drop(carry_span);
 
         let mut record = BatchRecord {
             t_min: now.as_f64(),
             pending: pending.len(),
             ..Default::default()
         };
+        record.stages.carry_s = carry_start.elapsed().as_secs_f64();
         if let Some(pl) = &fplan {
             record.dropped_reports = pl.dropped_in_window(t, now.as_f64());
             metrics.dropped_reports += record.dropped_reports;
+            obs.count_idx(
+                "engine.fault.dropped_reports",
+                record.dropped_reports as u64,
+                Some(batch_idx),
+            );
         }
+        obs.gauge_idx(
+            "engine.batch.pending",
+            record.pending as f64,
+            Some(batch_idx),
+        );
 
         if !pending.is_empty() {
             // 2. Snapshot idle workers.
+            let snapshot_start = Instant::now();
+            let snapshot_span = obs.span_idx("engine.batch.snapshot", batch_idx);
             let mut views: Vec<WorkerView> = Vec::new();
             for (wi, sw) in workload.workers.iter().enumerate() {
                 if busy_until
@@ -293,14 +370,28 @@ fn run_assignment_inner(
                     views.push(view);
                 }
             }
+            drop(snapshot_span);
+            record.stages.snapshot_s = snapshot_start.elapsed().as_secs_f64();
             metrics.fallback_views += record.fallback_views;
+            obs.count_idx(
+                "engine.fault.fallback_views",
+                record.fallback_views as u64,
+                Some(batch_idx),
+            );
 
             record.idle_workers = views.len();
+            obs.gauge_idx(
+                "engine.batch.idle_workers",
+                record.idle_workers as f64,
+                Some(batch_idx),
+            );
             if !views.is_empty() {
                 // 3. Assign.
                 let start = Instant::now();
+                let matching_span = obs.span_idx("engine.batch.matching", batch_idx);
+                let algo_span = obs.span_idx(algo_span_name(algo), batch_idx);
                 let plan = match algo {
-                    AssignmentAlgo::Ppi => ppi_assign_excluding(
+                    AssignmentAlgo::Ppi => ppi_assign_observed(
                         &pending,
                         &views,
                         &PpiParams {
@@ -309,6 +400,7 @@ fn run_assignment_inner(
                             now,
                         },
                         &refused,
+                        obs,
                     ),
                     AssignmentAlgo::Km => km_assign_excluding(&pending, &views, now, &refused),
                     AssignmentAlgo::Ggpso => ggpso_assign_excluding(
@@ -317,9 +409,14 @@ fn run_assignment_inner(
                     AssignmentAlgo::Ub => ub_assign_excluding(&pending, &views, now, &refused),
                     AssignmentAlgo::Lb => lb_assign_excluding(&pending, &views, now, &refused),
                 };
-                metrics.algo_seconds += start.elapsed().as_secs_f64();
+                drop(algo_span);
+                drop(matching_span);
+                record.stages.matching_s = start.elapsed().as_secs_f64();
+                metrics.algo_seconds += record.stages.matching_s;
 
                 // 4. Acceptance against real itineraries.
+                let acceptance_start = Instant::now();
+                let acceptance_span = obs.span_idx("engine.batch.acceptance", batch_idx);
                 record.proposed = plan.len();
                 for pair in plan.pairs() {
                     metrics.assigned_total += 1;
@@ -373,12 +470,36 @@ fn run_assignment_inner(
                     }
                 }
                 pending.retain(|task| !completed.contains(&task.id));
+                drop(acceptance_span);
+                record.stages.acceptance_s = acceptance_start.elapsed().as_secs_f64();
+                obs.count_idx(
+                    "engine.assign.proposed",
+                    record.proposed as u64,
+                    Some(batch_idx),
+                );
+                obs.count_idx(
+                    "engine.assign.accepted",
+                    record.accepted as u64,
+                    Some(batch_idx),
+                );
+                obs.count_idx(
+                    "engine.assign.rejected",
+                    record.rejected as u64,
+                    Some(batch_idx),
+                );
+                obs.count_idx(
+                    "engine.fault.invalid_pairs",
+                    record.invalid_pairs as u64,
+                    Some(batch_idx),
+                );
             }
         }
         // Periodic intraday fine-tuning on the day's observations so far.
         if let (Some(oa), Some(models)) = (cfg.online_adapt, live_models.as_mut()) {
             if let Some(due) = next_adapt {
                 if now.as_f64() >= due {
+                    let adapt_start = Instant::now();
+                    let adapt_span = obs.span_idx("engine.adapt", adapt_round);
                     let newly = online_adapt_round(
                         workload,
                         models,
@@ -389,20 +510,31 @@ fn run_assignment_inner(
                         fplan.as_ref(),
                         adapt_round,
                         &mut quarantined,
+                        obs,
                     );
+                    drop(adapt_span);
+                    record.stages.adapt_s = adapt_start.elapsed().as_secs_f64();
                     record.quarantined_models = newly;
                     metrics.quarantined_models += newly;
+                    obs.count_idx(
+                        "engine.fault.quarantined_models",
+                        newly as u64,
+                        Some(adapt_round),
+                    );
                     adapt_round += 1;
                     next_adapt = Some(due + oa.every_min);
                 }
             }
         }
+        metrics.stages.add(&record.stages);
         if let Some(trace) = trace.as_deref_mut() {
             trace.push(record);
         }
         t += cfg.batch_window_min;
         batch_idx += 1;
     }
+    metrics.stages.matching_s = metrics.algo_seconds;
+    obs.flush();
     Ok(metrics)
 }
 
@@ -467,6 +599,7 @@ fn make_view(
 
     let predicted = match predictors {
         Some(p) => {
+            let rollout_start = Instant::now();
             let rollout = fplan.map_or(RolloutFault::Healthy, |pl| {
                 pl.injector.rollout(wi as u64, batch_idx)
             });
@@ -525,7 +658,7 @@ fn make_view(
                 }
                 Some(pts)
             });
-            match clamped {
+            let pts = match clamped {
                 Some(pts) => pts,
                 None => {
                     // Persistence fallback: predict "stays where last
@@ -533,7 +666,9 @@ fn make_view(
                     record.fallback_views += 1;
                     vec![current; cfg.predict_horizon]
                 }
-            }
+            };
+            record.stages.rollout_s += rollout_start.elapsed().as_secs_f64();
+            pts
         }
         None => Vec::new(),
     };
@@ -575,6 +710,7 @@ fn online_adapt_round(
     fplan: Option<&FaultPlan>,
     round_idx: u64,
     quarantined: &mut [bool],
+    obs: &Obs,
 ) -> usize {
     let seq_out = predictors.map_or(1, |p| p.seq_out.max(1));
     let mut newly_quarantined = 0;
@@ -650,6 +786,9 @@ fn online_adapt_round(
             }
             quarantined[wi] = true;
             newly_quarantined += 1;
+            // Per-worker quarantine event: idx names the worker whose
+            // model was rolled back this round.
+            obs.count_idx("engine.quarantine", 1, Some(wi as u64));
         }
     }
     newly_quarantined

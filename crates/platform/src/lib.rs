@@ -36,10 +36,12 @@ pub mod metrics;
 pub mod training;
 
 pub use engine::{
-    run_assignment, run_assignment_traced, run_assignment_with_faults,
+    run_assignment, run_assignment_observed, run_assignment_traced, run_assignment_with_faults,
     run_assignment_with_faults_traced, try_run_assignment, AssignmentAlgo, EngineConfig,
 };
 pub use faults::{FaultConfig, FaultInjector, FaultPlan};
-pub use metrics::AssignmentMetrics;
-pub use metrics::BatchRecord;
-pub use training::{train_predictors, LossKind, PredictionAlgo, TrainedPredictors, TrainingConfig};
+pub use metrics::{AssignmentMetrics, BatchRecord, StageTimings};
+pub use training::{
+    train_predictors, train_predictors_observed, LossKind, PredictionAlgo, TrainedPredictors,
+    TrainingConfig,
+};

@@ -1,6 +1,48 @@
-//! The paper's four assignment metrics (Section IV-A).
+//! The paper's four assignment metrics (Section IV-A), the per-batch
+//! trace record, and the per-stage wall-clock breakdown that replaced
+//! the lumped `algo_seconds` counter.
 
 use serde::{Deserialize, Serialize};
+
+/// Wall-clock seconds spent in each stage of the engine's batch loop.
+///
+/// Before the observability work, `algo_seconds` wrapped only the
+/// matcher call, making rollout and acceptance costs invisible. This
+/// struct is the per-stage replacement; `algo_seconds` survives as an
+/// alias of [`StageTimings::matching_s`] for backward compatibility.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct StageTimings {
+    /// Building worker views (includes `rollout_s`).
+    pub snapshot_s: f64,
+    /// Model rollout portion of the snapshot stage.
+    pub rollout_s: f64,
+    /// The assignment algorithm proper (the old `algo_seconds`).
+    pub matching_s: f64,
+    /// Simulating worker accept/reject decisions.
+    pub acceptance_s: f64,
+    /// Task admission, expiry, and carry-over bookkeeping.
+    pub carry_s: f64,
+    /// Online-adaptation rounds (zero when adaptation is off).
+    pub adapt_s: f64,
+}
+
+impl StageTimings {
+    /// Sum of the top-level stages (`rollout_s` is already inside
+    /// `snapshot_s`, so it is not added again).
+    pub fn total_s(&self) -> f64 {
+        self.snapshot_s + self.matching_s + self.acceptance_s + self.carry_s + self.adapt_s
+    }
+
+    /// Accumulates another breakdown into this one.
+    pub fn add(&mut self, other: &StageTimings) {
+        self.snapshot_s += other.snapshot_s;
+        self.rollout_s += other.rollout_s;
+        self.matching_s += other.matching_s;
+        self.acceptance_s += other.acceptance_s;
+        self.carry_s += other.carry_s;
+        self.adapt_s += other.adapt_s;
+    }
+}
 
 /// One batch window's snapshot (produced by
 /// [`crate::engine::run_assignment_traced`]).
@@ -30,6 +72,10 @@ pub struct BatchRecord {
     /// Models quarantined (rolled back to their offline checkpoint)
     /// during this batch's adaptation round.
     pub quarantined_models: usize,
+    /// Per-stage wall-clock breakdown of this batch (absent in traces
+    /// recorded before the observability work).
+    #[serde(default)]
+    pub stages: StageTimings,
 }
 
 /// Aggregate outcome of one simulated test day.
@@ -46,7 +92,15 @@ pub struct AssignmentMetrics {
     /// Sum of real detours of completed pairs, km.
     pub total_detour_km: f64,
     /// Wall-clock seconds spent inside the assignment algorithm.
+    ///
+    /// Kept for backward compatibility: this is exactly
+    /// `stages.matching_s` — the full per-stage breakdown (rollout,
+    /// acceptance, carry-over…) lives in [`AssignmentMetrics::stages`].
     pub algo_seconds: f64,
+    /// Per-stage wall-clock breakdown summed over all batches (absent in
+    /// metrics recorded before the observability work).
+    #[serde(default)]
+    pub stages: StageTimings,
     /// Location reports lost before reaching the platform (fault
     /// injection; zero in a clean run).
     pub dropped_reports: usize,
@@ -129,5 +183,23 @@ mod tests {
             ..Default::default()
         };
         assert_eq!(m.completed + m.rejected, m.assigned_total);
+    }
+
+    #[test]
+    fn stage_timings_accumulate_and_total() {
+        let mut a = StageTimings {
+            snapshot_s: 1.0,
+            rollout_s: 0.5,
+            matching_s: 2.0,
+            acceptance_s: 0.25,
+            carry_s: 0.125,
+            adapt_s: 0.0,
+        };
+        let b = a;
+        a.add(&b);
+        assert_eq!(a.matching_s, 4.0);
+        assert_eq!(a.rollout_s, 1.0);
+        // rollout is inside snapshot, not double-counted in the total.
+        assert!((a.total_s() - 2.0 * (1.0 + 2.0 + 0.25 + 0.125)).abs() < 1e-12);
     }
 }

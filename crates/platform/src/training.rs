@@ -16,15 +16,16 @@ use tamp_meta::cold_start::best_init_node;
 use tamp_meta::ctml::{ctml_train, task_features, CtmlConfig};
 use tamp_meta::eval::{evaluate_model, PredictionMetrics};
 use tamp_meta::gtmc::{build_tree, GtmcConfig};
-use tamp_meta::maml::{adapt, gradient_paths, maml_train};
+use tamp_meta::maml::{adapt, gradient_paths, maml_train_observed};
 use tamp_meta::meta_training::MetaConfig;
 use tamp_meta::similarity::{build_sim_matrix, FactorKind};
-use tamp_meta::taml::{taml_train, TamlConfig};
+use tamp_meta::taml::{taml_train_observed, TamlConfig};
 use tamp_meta::LearningTask;
 use tamp_nn::seq2seq::CellKind;
 use tamp_nn::{
     Loss, MseLoss, Seq2Seq, Seq2SeqConfig, TaskDensityMap, TaskOrientedLoss, WeightParams,
 };
+use tamp_obs::Obs;
 use tamp_sim::Workload;
 
 /// Which prediction algorithm trains the worker models (the roster of
@@ -209,8 +210,30 @@ fn make_loss(workload: &Workload, cfg: &TrainingConfig) -> Box<dyn Loss> {
 
 /// Runs the offline stage end to end.
 pub fn train_predictors(workload: &Workload, cfg: &TrainingConfig) -> TrainedPredictors {
+    train_predictors_observed(workload, cfg, &Obs::null())
+}
+
+/// [`train_predictors`] with telemetry.
+///
+/// Emits `train.offline` around the whole stage with nested
+/// `train.tasks` (learning-task construction), `train.meta`
+/// (meta-training — inside it the per-iteration `meta.iter` spans and
+/// `meta.query_loss` gauges of the chosen algorithm), and `train.adapt`
+/// (per-worker adaptation + validation). Worker adaptation runs on
+/// worker threads; to keep event sequences deterministic, per-worker
+/// telemetry (`train.worker.mr` gauges) is emitted from this thread
+/// after the shards join, in worker order. Ends with `train.mr.overall`
+/// and a `train.clusters` counter.
+pub fn train_predictors_observed(
+    workload: &Workload,
+    cfg: &TrainingConfig,
+    obs: &Obs,
+) -> TrainedPredictors {
+    let _stage_span = obs.span("train.offline");
     let start = Instant::now();
+    let task_span = obs.span("train.tasks");
     let tasks = build_learning_tasks(workload, cfg);
+    drop(task_span);
     let loss = make_loss(workload, cfg);
     let mut rng = rng_for(cfg.seed, streams::WEIGHTS);
     let template = Seq2Seq::new(
@@ -223,9 +246,17 @@ pub fn train_predictors(workload: &Workload, cfg: &TrainingConfig) -> TrainedPre
     let mut meta_rng = rng_for(cfg.seed, streams::META);
 
     // Per-worker initialisation θ according to the algorithm.
+    let meta_span = obs.span("train.meta");
     let (inits, n_clusters): (Vec<Vec<f64>>, usize) = match cfg.algo {
         PredictionAlgo::Maml => {
-            let (theta, _) = maml_train(&tasks, &template, loss.as_ref(), &cfg.meta, &mut meta_rng);
+            let (theta, _) = maml_train_observed(
+                &tasks,
+                &template,
+                loss.as_ref(),
+                &cfg.meta,
+                &mut meta_rng,
+                obs,
+            );
             (vec![theta; tasks.len()], 1)
         }
         PredictionAlgo::Ctml => {
@@ -299,13 +330,14 @@ pub fn train_predictors(workload: &Workload, cfg: &TrainingConfig) -> TrainedPre
                 meta: cfg.meta,
                 parent_blend: 0.5,
             };
-            taml_train(
+            taml_train_observed(
                 &mut tree,
                 &tasks,
                 &template,
                 loss.as_ref(),
                 &tcfg,
                 &mut meta_rng,
+                obs,
             );
 
             let inits = tasks
@@ -325,8 +357,11 @@ pub fn train_predictors(workload: &Workload, cfg: &TrainingConfig) -> TrainedPre
             (inits, tree.leaves().len())
         }
     };
+    drop(meta_span);
+    obs.count("train.clusters", n_clusters as u64);
 
     // Per-worker adaptation + validation.
+    let adapt_span = obs.span("train.adapt");
     let n = tasks.len();
     let mut models: Vec<Seq2Seq> = Vec::with_capacity(n);
     let mut per_worker: Vec<PredictionMetrics> = Vec::with_capacity(n);
@@ -384,11 +419,19 @@ pub fn train_predictors(workload: &Workload, cfg: &TrainingConfig) -> TrainedPre
         per_worker.push(metrics);
     }
 
+    drop(adapt_span);
+
     let mrs: Vec<f64> = per_worker
         .iter()
         .map(|m| if m.n_points == 0 { DEFAULT_MR } else { m.mr })
         .collect();
     let overall = PredictionMetrics::merge(&per_worker);
+    // Per-worker telemetry after the shards join, in worker order, so the
+    // event sequence is deterministic despite the threaded adaptation.
+    for (i, mr) in mrs.iter().enumerate() {
+        obs.gauge_idx("train.worker.mr", *mr, Some(i as u64));
+    }
+    obs.gauge("train.mr.overall", overall.mr);
 
     TrainedPredictors {
         models,

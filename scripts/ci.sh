@@ -17,4 +17,13 @@ echo "== tier-1: build + test"
 cargo build --release --workspace --offline
 cargo test --workspace --offline -q
 
+echo "== traced smoke run (telemetry schema + reconciliation)"
+SMOKE_DIR="$(mktemp -d)"
+trap 'rm -rf "$SMOKE_DIR"' EXIT
+cargo run --release -p tamp-cli --offline -q -- simulate \
+    --kind porto --scale tiny --seed 7 --algo ppi \
+    --trace "$SMOKE_DIR/trace.jsonl" --metrics "$SMOKE_DIR/telemetry.json" >/dev/null
+cargo run --release -p tamp-cli --offline -q -- trace-validate \
+    --trace "$SMOKE_DIR/trace.jsonl" --metrics "$SMOKE_DIR/telemetry.json"
+
 echo "CI gate passed."

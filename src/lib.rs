@@ -16,6 +16,9 @@
 //!   assignment algorithm and the UB / LB / KM / GGPSO baselines.
 //! * [`platform`] — the batch-mode platform simulator and the experiment
 //!   drivers that regenerate every table and figure of the paper.
+//! * [`obs`] — zero-dependency telemetry (spans, counters, histograms,
+//!   JSONL traces) wired through the engine, training, and assignment
+//!   hot paths.
 //!
 //! See `examples/quickstart.rs` for a three-minute tour.
 
@@ -23,6 +26,7 @@ pub use tamp_assign as assign;
 pub use tamp_core as core;
 pub use tamp_meta as meta;
 pub use tamp_nn as nn;
+pub use tamp_obs as obs;
 pub use tamp_platform as platform;
 pub use tamp_sim as sim;
 
