@@ -38,16 +38,23 @@ fn matching_to_plan(
     edges: &[WeightedEdge],
 ) -> Assignment {
     let matched = max_weight_matching(tasks.len(), workers.len(), edges);
+    // The solver keeps the *best* of parallel edges, so the reported
+    // score must be the max weight per pair — and a map lookup avoids an
+    // O(E) scan per matched pair.
+    let mut weights: std::collections::HashMap<(usize, usize), f64> =
+        std::collections::HashMap::with_capacity(edges.len());
+    for e in edges {
+        weights
+            .entry((e.left, e.right))
+            .and_modify(|w| *w = w.max(e.weight))
+            .or_insert(e.weight);
+    }
     let mut plan = Assignment::new();
     for (ti, wi) in matched {
-        let w = edges
-            .iter()
-            .find(|e| e.left == ti && e.right == wi)
-            .map_or(0.0, |e| e.weight);
         plan.try_push(AssignmentPair {
             task: tasks[ti].id,
             worker: workers[wi].id,
-            score: w,
+            score: weights.get(&(ti, wi)).copied().unwrap_or(0.0),
         });
     }
     plan
@@ -187,20 +194,20 @@ pub fn km_assign_indexed(
     now: Minutes,
     excluded: &ExcludedPairs,
 ) -> Assignment {
-    use crate::spatial::BucketIndex;
+    use crate::spatial::{BucketIndex, PrefilterBounds};
     if tasks.is_empty() || workers.is_empty() {
         return Assignment::new();
     }
-    // The Theorem 2 bound never exceeds d/2, so a radius of max(d)/2 is a
-    // conservative prefilter for every pair.
-    let radius = workers
-        .iter()
-        .map(|w| w.detour_limit_km / 2.0)
-        .fold(0.0, f64::max);
-    let index = BucketIndex::build(workers, radius.max(0.5));
+    // Per-task radius from the batch-wide Theorem 2 bound: tighter than a
+    // flat max(d)/2 for deadline-constrained tasks, still conservative
+    // for every worker.
+    let bounds = PrefilterBounds::over(workers);
+    let index = BucketIndex::build(workers, bounds.cell_km());
+    let mut cand_buf = Vec::new();
     let mut edges = Vec::new();
     for (ti, task) in tasks.iter().enumerate() {
-        for wi in index.candidates_within(task.location, radius) {
+        index.candidates_within_into(task.location, bounds.radius_for(task, now), &mut cand_buf);
+        for &wi in &cand_buf {
             let worker = &workers[wi];
             if excluded.contains(&(task.id, worker.id)) {
                 continue;

@@ -40,23 +40,61 @@ impl WeightedEdge {
 /// callers must be ≪ than this; `debug_assert`ed in the solver.
 const FORBIDDEN: f64 = 1.0e9;
 
+/// Scratch buffers for [`solve_min_cost`], reused across rows and across
+/// per-component solves so the inner loop never allocates.
+#[derive(Debug, Default)]
+struct KmWorkspace {
+    u: Vec<f64>,
+    v: Vec<f64>,
+    p: Vec<usize>,
+    way: Vec<usize>,
+    minv: Vec<f64>,
+    used: Vec<bool>,
+}
+
+impl KmWorkspace {
+    /// Resizes and zeroes every buffer for an `n × m` solve.
+    fn reset(&mut self, n: usize, m: usize) {
+        self.u.clear();
+        self.u.resize(n + 1, 0.0);
+        self.v.clear();
+        self.v.resize(m + 1, 0.0);
+        self.p.clear();
+        self.p.resize(m + 1, 0);
+        self.way.clear();
+        self.way.resize(m + 1, 0);
+        // `minv`/`used` are re-initialised per row inside the solve; only
+        // capacity matters here.
+        self.minv.resize(m + 1, f64::INFINITY);
+        self.used.resize(m + 1, false);
+    }
+}
+
 /// Solves the min-cost perfect assignment on an `n × m` cost matrix with
 /// `n ≤ m` using the potentials/shortest-augmenting-path Hungarian method.
 /// Returns `row_of_col[j]` (`usize::MAX` for unmatched columns).
-fn solve_min_cost(n: usize, m: usize, cost: &[f64]) -> Vec<usize> {
+///
+/// `ws` supplies the scratch buffers; per-row `minv`/`used` are reset with
+/// a `fill` instead of a fresh allocation each augmentation round.
+fn solve_min_cost(n: usize, m: usize, cost: &[f64], ws: &mut KmWorkspace) -> Vec<usize> {
     debug_assert!(n <= m);
     // 1-indexed arrays, following the classic formulation.
     let inf = f64::INFINITY;
-    let mut u = vec![0.0; n + 1];
-    let mut v = vec![0.0; m + 1];
-    let mut p = vec![0usize; m + 1]; // row matched to column j
-    let mut way = vec![0usize; m + 1];
+    ws.reset(n, m);
+    let KmWorkspace {
+        u,
+        v,
+        p,
+        way,
+        minv,
+        used,
+    } = ws;
 
     for i in 1..=n {
         p[0] = i;
         let mut j0 = 0usize;
-        let mut minv = vec![inf; m + 1];
-        let mut used = vec![false; m + 1];
+        minv[..=m].fill(inf);
+        used[..=m].fill(false);
         loop {
             used[j0] = true;
             let i0 = p[j0];
@@ -107,10 +145,52 @@ fn solve_min_cost(n: usize, m: usize, cost: &[f64]) -> Vec<usize> {
     row_of_col
 }
 
+/// Disjoint-set union over compact vertex indices, used to split the
+/// bipartite graph into connected components.
+struct Dsu {
+    parent: Vec<u32>,
+}
+
+impl Dsu {
+    fn new(n: usize) -> Self {
+        Self {
+            parent: (0..n as u32).collect(),
+        }
+    }
+
+    fn find(&mut self, x: usize) -> usize {
+        let mut root = x;
+        while self.parent[root] as usize != root {
+            root = self.parent[root] as usize;
+        }
+        let mut cur = x;
+        while cur != root {
+            let next = self.parent[cur] as usize;
+            self.parent[cur] = root as u32;
+            cur = next;
+        }
+        root
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.parent[ra] = rb as u32;
+        }
+    }
+}
+
 /// Maximum-cardinality, maximum-weight matching over a sparse edge list.
 ///
 /// `n_left` and `n_right` bound the vertex indices; absent edges are
-/// forbidden. Returns `(left, right)` pairs of the matching (unordered).
+/// forbidden. Returns `(left, right)` pairs of the matching, sorted by
+/// `(left, right)`.
+///
+/// The graph is first split into connected components (a task in one city
+/// district shares no candidate workers with a task in another), and each
+/// component is solved as its own dense Hungarian instance — many small
+/// `n² m` solves instead of one big one. Scratch buffers are shared
+/// across components so the inner loop never allocates.
 ///
 /// # Examples
 ///
@@ -124,8 +204,7 @@ fn solve_min_cost(n: usize, m: usize, cost: &[f64]) -> Vec<usize> {
 ///     WeightedEdge::new(1, 0, 5.0),
 ///     WeightedEdge::new(1, 1, 1.0),
 /// ];
-/// let mut m = max_weight_matching(2, 2, &edges);
-/// m.sort();
+/// let m = max_weight_matching(2, 2, &edges);
 /// assert_eq!(m, vec![(0, 1), (1, 0)]);
 /// ```
 ///
@@ -151,7 +230,7 @@ pub fn max_weight_matching(
     }
 
     // Only vertices that actually carry edges need to participate — this
-    // keeps the dense matrix small when the graph is sparse.
+    // keeps the dense matrices small when the graph is sparse.
     let mut left_ids: Vec<usize> = edges.iter().map(|e| e.left).collect();
     left_ids.sort_unstable();
     left_ids.dedup();
@@ -160,9 +239,50 @@ pub fn max_weight_matching(
     right_ids.dedup();
 
     let ln = left_ids.len();
-    let rn = right_ids.len();
     let left_pos = |v: usize| left_ids.binary_search(&v).expect("left id present");
     let right_pos = |v: usize| right_ids.binary_search(&v).expect("right id present");
+
+    // Connected components over compact indices: lefts are 0..ln, rights
+    // are ln..ln+rn.
+    let mut dsu = Dsu::new(ln + right_ids.len());
+    for e in edges {
+        dsu.union(left_pos(e.left), ln + right_pos(e.right));
+    }
+    // Bucket edges per component, in order of first appearance (stable
+    // for identical inputs; the final sort makes the output canonical).
+    let mut slot_of_root: std::collections::HashMap<usize, usize> =
+        std::collections::HashMap::new();
+    let mut comp_edges: Vec<Vec<&WeightedEdge>> = Vec::new();
+    for e in edges {
+        let root = dsu.find(left_pos(e.left));
+        let slot = *slot_of_root.entry(root).or_insert_with(|| {
+            comp_edges.push(Vec::new());
+            comp_edges.len() - 1
+        });
+        comp_edges[slot].push(e);
+    }
+
+    let mut ws = KmWorkspace::default();
+    let mut result = Vec::new();
+    for comp in &comp_edges {
+        solve_component(comp, &mut ws, &mut result);
+    }
+    result.sort_unstable();
+    result
+}
+
+/// Solves one connected component as a dense Hungarian instance, pushing
+/// the matched `(left, right)` pairs (original vertex ids) into `out`.
+fn solve_component(edges: &[&WeightedEdge], ws: &mut KmWorkspace, out: &mut Vec<(usize, usize)>) {
+    let mut lefts: Vec<usize> = edges.iter().map(|e| e.left).collect();
+    lefts.sort_unstable();
+    lefts.dedup();
+    let mut rights: Vec<usize> = edges.iter().map(|e| e.right).collect();
+    rights.sort_unstable();
+    rights.dedup();
+    let (ln, rn) = (lefts.len(), rights.len());
+    let lpos = |v: usize| lefts.binary_search(&v).expect("left id present");
+    let rpos = |v: usize| rights.binary_search(&v).expect("right id present");
 
     // Orient so rows ≤ cols.
     let transpose = ln > rn;
@@ -175,17 +295,16 @@ pub fn max_weight_matching(
     let mut cost = vec![FORBIDDEN; n * m];
     for e in edges {
         let (r, c) = if transpose {
-            (right_pos(e.right), left_pos(e.left))
+            (rpos(e.right), lpos(e.left))
         } else {
-            (left_pos(e.left), right_pos(e.right))
+            (lpos(e.left), rpos(e.right))
         };
         let cell = &mut cost[r * m + c];
         // Parallel edges: keep the best (max weight = min cost).
         *cell = cell.min(-e.weight);
     }
 
-    let row_of_col = solve_min_cost(n, m, &cost);
-    let mut result = Vec::new();
+    let row_of_col = solve_min_cost(n, m, &cost, ws);
     for (c, &r) in row_of_col.iter().enumerate() {
         if r == usize::MAX {
             continue;
@@ -194,13 +313,12 @@ pub fn max_weight_matching(
             continue; // matched through a forbidden cell — drop it
         }
         let (l, rr) = if transpose {
-            (left_ids[c], right_ids[r])
+            (lefts[c], rights[r])
         } else {
-            (left_ids[r], right_ids[c])
+            (lefts[r], rights[c])
         };
-        result.push((l, rr));
+        out.push((l, rr));
     }
-    result
 }
 
 /// Total weight of a matching under an edge list (useful for tests and
@@ -332,6 +450,100 @@ mod tests {
         let m = max_weight_matching(1000, 1000, &edges);
         assert_valid(&m);
         assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn disjoint_components_solved_independently() {
+        // Three disjoint blocks with interleaved, non-contiguous vertex
+        // ids — the component split must keep them apart and still return
+        // the globally optimal (= per-block optimal) matching.
+        let edges = [
+            // Block A: lefts {0, 6}, rights {2, 8} — anti-diag heavier.
+            WeightedEdge::new(0, 2, 1.0),
+            WeightedEdge::new(0, 8, 5.0),
+            WeightedEdge::new(6, 2, 5.0),
+            WeightedEdge::new(6, 8, 1.0),
+            // Block B: left {3}, rights {0, 5} — prefers right 5.
+            WeightedEdge::new(3, 0, 2.0),
+            WeightedEdge::new(3, 5, 4.0),
+            // Block C: lefts {1, 9}, right {4} — heavier left wins.
+            WeightedEdge::new(1, 4, 1.5),
+            WeightedEdge::new(9, 4, 2.5),
+        ];
+        let m = max_weight_matching(10, 10, &edges);
+        assert_valid(&m);
+        assert_eq!(m, vec![(0, 8), (3, 5), (6, 2), (9, 4)]);
+        assert_eq!(matching_weight(&edges, &m), 5.0 + 5.0 + 4.0 + 2.5);
+    }
+
+    #[test]
+    fn multi_component_matches_brute_force() {
+        // Randomised graphs built from several small blocks over disjoint
+        // vertex ranges, cross-checked against exhaustive enumeration.
+        use rand::Rng;
+        let mut rng = tamp_core::rng::rng_for(98, 0);
+        for trial in 0..100 {
+            let blocks = rng.gen_range(2..=4usize);
+            let mut edges = Vec::new();
+            for b in 0..blocks {
+                // Each block lives on its own id range (stride 5) so the
+                // blocks are guaranteed disjoint components.
+                let (lo_l, lo_r) = (b * 5, b * 5);
+                let n = rng.gen_range(1..=2usize);
+                let m = rng.gen_range(1..=2usize);
+                for l in 0..n {
+                    for r in 0..m {
+                        if rng.gen_bool(0.8) {
+                            edges.push(WeightedEdge::new(
+                                lo_l + l,
+                                lo_r + r,
+                                rng.gen_range(0.1..10.0),
+                            ));
+                        }
+                    }
+                }
+            }
+            if edges.len() > 12 {
+                edges.truncate(12); // keep 2^E brute force cheap
+            }
+            let (n_left, n_right) = (blocks * 5, blocks * 5);
+            let got = max_weight_matching(n_left, n_right, &edges);
+            assert_valid(&got);
+            let got_w = if got.is_empty() {
+                0.0
+            } else {
+                matching_weight(&edges, &got)
+            };
+
+            // Brute force over edge subsets.
+            let mut best = (0usize, 0.0f64);
+            for mask in 0u32..(1 << edges.len()) {
+                let mut used_l = std::collections::HashSet::new();
+                let mut used_r = std::collections::HashSet::new();
+                let mut ok = true;
+                let mut w = 0.0;
+                let mut c = 0usize;
+                for (i, e) in edges.iter().enumerate() {
+                    if mask & (1 << i) != 0 {
+                        if !used_l.insert(e.left) || !used_r.insert(e.right) {
+                            ok = false;
+                            break;
+                        }
+                        w += e.weight;
+                        c += 1;
+                    }
+                }
+                if ok && (c > best.0 || (c == best.0 && w > best.1)) {
+                    best = (c, w);
+                }
+            }
+            assert_eq!(got.len(), best.0, "trial {trial}: cardinality mismatch");
+            assert!(
+                (got_w - best.1).abs() < 1e-6,
+                "trial {trial}: weight {got_w} vs brute {}",
+                best.1
+            );
+        }
     }
 
     #[test]

@@ -22,7 +22,9 @@ use crate::feasibility::{
     expected_support, feasible_distances, min_b, theorem2_bound, FeasibilityParams,
 };
 use crate::hungarian::{max_weight_matching, WeightedEdge};
+use crate::spatial::{BucketIndex, PrefilterBounds};
 use crate::view::{ExcludedPairs, WorkerView};
+use std::collections::HashMap;
 use tamp_core::assignment::{Assignment, AssignmentPair};
 use tamp_core::geometry::min_dist_to_path;
 use tamp_core::{Minutes, SpatialTask};
@@ -41,6 +43,12 @@ pub struct PpiParams {
     pub epsilon: usize,
     /// Current time `t_c`.
     pub now: Minutes,
+    /// Prefilter candidate pairs through a [`BucketIndex`] instead of
+    /// enumerating every task × worker pair. The query radius is the
+    /// batch-wide Theorem 2 bound ([`PrefilterBounds`]), so the surviving
+    /// pairs — and therefore the assignment — are byte-identical to full
+    /// enumeration (property-tested).
+    pub use_index: bool,
 }
 
 impl Default for PpiParams {
@@ -49,6 +57,7 @@ impl Default for PpiParams {
             a_km: 0.4,
             epsilon: 8,
             now: Minutes::ZERO,
+            use_index: true,
         }
     }
 }
@@ -81,8 +90,15 @@ pub fn ppi_assign_excluding(
 /// [`ppi_assign_excluding`] with telemetry: per-stage spans
 /// (`ppi.stage1`/`ppi.stage2`/`ppi.stage3`), candidate-pruning counters
 /// (`ppi.pairs.{scored,excluded,infeasible,confident,deferred}`,
-/// `ppi.stage3.candidates`), and a `ppi.km.calls` counter for the inner
-/// Hungarian invocations (each timed into the `ppi.km` histogram).
+/// `ppi.stage3.candidates`, and — when the index is enabled —
+/// `ppi.index.{candidates,pruned}`), and a `ppi.km.calls` counter for the
+/// inner Hungarian invocations (each timed into the `ppi.km` histogram).
+///
+/// `ppi.pairs.scored` is the number of pairs that actually received a
+/// `(|B|·MR, minB)` score, i.e. survived both the exclusion check and the
+/// feasibility filter. With the index enabled, excluded/infeasible counts
+/// cover only the *probed* pairs; `ppi.index.pruned` accounts for the
+/// rest.
 ///
 /// Passing [`Obs::null`] makes this byte-identical to
 /// [`ppi_assign_excluding`] — the assignment itself never depends on the
@@ -112,6 +128,24 @@ pub fn ppi_assign_observed(
         m
     };
 
+    // Candidate generation: either every worker (naive) or the bucket
+    // index queried at the batch-wide Theorem 2 radius. The index returns
+    // a sorted superset of the feasible workers, so the feasibility
+    // predicates below see the surviving pairs in the same order as the
+    // naive scan — the two paths produce byte-identical plans.
+    let index = params.use_index.then(|| {
+        let bounds = PrefilterBounds::over(workers);
+        (BucketIndex::build(workers, bounds.cell_km()), bounds)
+    });
+    let all_workers: Vec<usize> = if index.is_none() {
+        (0..workers.len()).collect()
+    } else {
+        Vec::new()
+    };
+    let mut cand_buf: Vec<usize> = Vec::new();
+    let mut index_candidates: u64 = 0;
+    let mut index_pruned: u64 = 0;
+
     // ---- Stage 1: score every pair (Algorithm 4, lines 1–11) ----
     let stage1 = obs.span("ppi.stage1");
     let mut excluded_pairs: u64 = 0;
@@ -119,7 +153,21 @@ pub fn ppi_assign_observed(
     let mut confident = Vec::new();
     let mut deferred: Vec<(f64, f64, usize, usize)> = Vec::new(); // (support, minB, task, worker)
     for (ti, task) in tasks.iter().enumerate() {
-        for (wi, worker) in workers.iter().enumerate() {
+        let candidates: &[usize] = match &index {
+            Some((idx, bounds)) => {
+                idx.candidates_within_into(
+                    task.location,
+                    bounds.radius_for(task, params.now),
+                    &mut cand_buf,
+                );
+                index_candidates += cand_buf.len() as u64;
+                index_pruned += (workers.len() - cand_buf.len()) as u64;
+                &cand_buf
+            }
+            None => &all_workers,
+        };
+        for &wi in candidates {
+            let worker = &workers[wi];
             if excluded.contains(&(task.id, worker.id)) {
                 excluded_pairs += 1;
                 continue;
@@ -138,18 +186,40 @@ pub fn ppi_assign_observed(
             }
         }
     }
-    obs.count("ppi.pairs.scored", (tasks.len() * workers.len()) as u64);
+    obs.count(
+        "ppi.pairs.scored",
+        (confident.len() + deferred.len()) as u64,
+    );
     obs.count("ppi.pairs.excluded", excluded_pairs);
     obs.count("ppi.pairs.infeasible", infeasible_pairs);
     obs.count("ppi.pairs.confident", confident.len() as u64);
     obs.count("ppi.pairs.deferred", deferred.len() as u64);
     let matched = km(tasks.len(), workers.len(), &confident);
-    push_pairs(&mut plan, tasks, workers, &matched, &confident);
+    push_pairs(
+        &mut plan,
+        tasks,
+        workers,
+        &matched,
+        &best_weights(&confident),
+    );
     drop(stage1);
 
     // ---- Stage 2: ranked residual in ε mini-batches (lines 13–27) ----
     let stage2 = obs.span("ppi.stage2");
-    deferred.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite support"));
+    // Descending support with a deterministic total order: NaN support
+    // (e.g. a worker whose MR came back NaN from a corrupted validation
+    // window) ranks last instead of panicking, equal support prefers the
+    // nearer pair (smaller minB), and any remaining tie falls back to
+    // (task, worker) index so the mini-batch boundaries are stable across
+    // runs.
+    deferred.sort_by(|x, y| {
+        let key = |s: f64| if s.is_nan() { f64::NEG_INFINITY } else { s };
+        key(y.0)
+            .total_cmp(&key(x.0))
+            .then_with(|| x.1.total_cmp(&y.1))
+            .then_with(|| x.2.cmp(&y.2))
+            .then_with(|| x.3.cmp(&y.3))
+    });
     let mut pending: Vec<WeightedEdge> = Vec::new();
     let mut assigned_tasks = plan.assigned_tasks();
     let mut assigned_workers = plan.assigned_workers();
@@ -162,11 +232,12 @@ pub fn ppi_assign_observed(
                 return;
             }
             let m = km(tasks.len(), workers.len(), pending);
+            let weights = best_weights(pending);
             for &(ti, wi) in &m {
                 let pair = AssignmentPair {
                     task: tasks[ti].id,
                     worker: workers[wi].id,
-                    score: edge_weight(pending, ti, wi),
+                    score: weights.get(&(ti, wi)).copied().unwrap_or(0.0),
                 };
                 if plan.try_push(pair) {
                     assigned_tasks.insert(pair.task);
@@ -204,7 +275,21 @@ pub fn ppi_assign_observed(
         if assigned_tasks.contains(&task.id) {
             continue;
         }
-        for (wi, worker) in workers.iter().enumerate() {
+        let candidates: &[usize] = match &index {
+            Some((idx, bounds)) => {
+                idx.candidates_within_into(
+                    task.location,
+                    bounds.radius_for(task, params.now),
+                    &mut cand_buf,
+                );
+                index_candidates += cand_buf.len() as u64;
+                index_pruned += (workers.len() - cand_buf.len()) as u64;
+                &cand_buf
+            }
+            None => &all_workers,
+        };
+        for &wi in candidates {
+            let worker = &workers[wi];
             if assigned_workers.contains(&worker.id) || excluded.contains(&(task.id, worker.id)) {
                 continue;
             }
@@ -217,18 +302,29 @@ pub fn ppi_assign_observed(
     }
     obs.count("ppi.stage3.candidates", stage3.len() as u64);
     let matched = km(tasks.len(), workers.len(), &stage3);
-    push_pairs(&mut plan, tasks, workers, &matched, &stage3);
+    push_pairs(&mut plan, tasks, workers, &matched, &best_weights(&stage3));
     drop(stage3_span);
     obs.count("ppi.km.calls", km_calls);
+    if index.is_some() {
+        obs.count("ppi.index.candidates", index_candidates);
+        obs.count("ppi.index.pruned", index_pruned);
+    }
 
     plan
 }
 
-fn edge_weight(edges: &[WeightedEdge], l: usize, r: usize) -> f64 {
-    edges
-        .iter()
-        .find(|e| e.left == l && e.right == r)
-        .map_or(0.0, |e| e.weight)
+/// Best weight per `(left, right)` pair. The KM solver keeps the *best*
+/// of parallel edges, so the reported score must be the max — and a hash
+/// map makes the post-matching score lookup O(1) instead of an O(E) scan
+/// per matched pair.
+fn best_weights(edges: &[WeightedEdge]) -> HashMap<(usize, usize), f64> {
+    let mut m: HashMap<(usize, usize), f64> = HashMap::with_capacity(edges.len());
+    for e in edges {
+        m.entry((e.left, e.right))
+            .and_modify(|w| *w = w.max(e.weight))
+            .or_insert(e.weight);
+    }
+    m
 }
 
 fn push_pairs(
@@ -236,13 +332,13 @@ fn push_pairs(
     tasks: &[SpatialTask],
     workers: &[WorkerView],
     matched: &[(usize, usize)],
-    edges: &[WeightedEdge],
+    weights: &HashMap<(usize, usize), f64>,
 ) {
     for &(ti, wi) in matched {
         let pair = AssignmentPair {
             task: tasks[ti].id,
             worker: workers[wi].id,
-            score: edge_weight(edges, ti, wi),
+            score: weights.get(&(ti, wi)).copied().unwrap_or(0.0),
         };
         plan.try_push(pair);
     }
@@ -279,6 +375,7 @@ mod tests {
             a_km: 0.4,
             epsilon: 2,
             now: Minutes::ZERO,
+            use_index: true,
         }
     }
 
@@ -343,6 +440,65 @@ mod tests {
         let plan = ppi_assign(&[t1, t2], &[w1], &params());
         assert_eq!(plan.worker_for(TaskId(1)), Some(WorkerId(1)));
         assert_eq!(plan.worker_for(TaskId(2)), None);
+    }
+
+    #[test]
+    fn nan_matching_rate_ranks_last_instead_of_panicking() {
+        // Worker 2's MR came back NaN (corrupted validation window).
+        // Stage 2 must not panic, and the worker with a real score must
+        // win the contested task.
+        let mut p = params();
+        p.epsilon = 1;
+        let w_nan = worker(1, &[(0.3, 0.0)], f64::NAN);
+        let w_ok = worker(2, &[(0.3, 0.0)], 0.5);
+        let t = task(1, 0.0, 0.0);
+        let plan = ppi_assign(&[t], &[w_nan, w_ok], &p);
+        assert_eq!(plan.worker_for(TaskId(1)), Some(WorkerId(2)));
+    }
+
+    #[test]
+    fn equal_support_tie_prefers_nearer_task() {
+        // Both pairs have support 0.5; the ε=1 mini-batches must take the
+        // smaller-minB (nearer) pair first, so the single worker goes to
+        // the near task deterministically.
+        let mut p = params();
+        p.epsilon = 1;
+        let w = worker(1, &[(0.0, 0.0)], 0.5);
+        let near = task(1, 0.5, 0.0);
+        let far = task(2, 2.0, 0.0);
+        // List the far task first so insertion order alone would pick it.
+        let plan = ppi_assign(&[far, near], &[w], &p);
+        assert_eq!(plan.worker_for(TaskId(1)), Some(WorkerId(1)));
+        assert_eq!(plan.worker_for(TaskId(2)), None);
+    }
+
+    #[test]
+    fn indexed_matches_naive_randomized() {
+        use rand::Rng;
+        let mut rng = tamp_core::rng::rng_for(97, 0);
+        for round in 0..20 {
+            let workers: Vec<WorkerView> = (0..25)
+                .map(|i| {
+                    let pts: Vec<(f64, f64)> = (0..4)
+                        .map(|_| (rng.gen_range(0.0..20.0), rng.gen_range(0.0..10.0)))
+                        .collect();
+                    let mut w = worker(i, &pts, rng.gen_range(0.0..1.0));
+                    w.detour_limit_km = rng.gen_range(1.0..8.0);
+                    w.speed_km_per_min = rng.gen_range(0.1..0.6);
+                    w
+                })
+                .collect();
+            let tasks: Vec<SpatialTask> = (0..30)
+                .map(|i| task(i, rng.gen_range(0.0..20.0), rng.gen_range(0.0..10.0)))
+                .collect();
+            let mut p = params();
+            p.epsilon = 1 + (round % 5);
+            p.use_index = false;
+            let naive = ppi_assign(&tasks, &workers, &p);
+            p.use_index = true;
+            let indexed = ppi_assign(&tasks, &workers, &p);
+            assert_eq!(naive.pairs(), indexed.pairs(), "round {round}");
+        }
     }
 
     #[test]

@@ -7,10 +7,16 @@
 //! a task only probes workers with *some* point within a conservative
 //! radius — the exact feasibility predicates still run afterwards, so
 //! results are identical to full enumeration (property-tested).
+//!
+//! Consumers: all three PPI stages (`ppi_assign_observed`, via
+//! [`PrefilterBounds`] for the per-task query radius) and the KM baseline
+//! (`km_assign_indexed`). Both fall back to full enumeration when the
+//! index is disabled (`EngineConfig::spatial_index` / `--no-index`), and
+//! the two paths are property-tested byte-identical.
 
 use crate::view::WorkerView;
 use std::collections::HashSet;
-use tamp_core::Point;
+use tamp_core::{Minutes, Point, SpatialTask};
 
 /// A uniform-grid index over worker positions (current + predicted).
 #[derive(Debug, Clone)]
@@ -33,7 +39,10 @@ impl BucketIndex {
         let mut max = Point::new(f64::NEG_INFINITY, f64::NEG_INFINITY);
         let mut any = false;
         for w in workers {
-            for p in std::iter::once(&w.current).chain(&w.predicted) {
+            // Non-finite points (corrupted feeds) can never satisfy a
+            // distance predicate, so skipping them keeps the index
+            // conservative *and* keeps the bounding box sane.
+            for p in w.indexable_points().filter(|p| p.is_finite()) {
                 min.x = min.x.min(p.x);
                 min.y = min.y.min(p.y);
                 max.x = max.x.max(p.x);
@@ -55,7 +64,7 @@ impl BucketIndex {
         let mut buckets = vec![Vec::new(); cols * rows];
         for (wi, w) in workers.iter().enumerate() {
             let mut seen = HashSet::new();
-            for p in std::iter::once(&w.current).chain(&w.predicted) {
+            for p in w.indexable_points().filter(|p| p.is_finite()) {
                 let ix = (((p.x - min.x) / cell_km) as usize).min(cols - 1);
                 let iy = (((p.y - min.y) / cell_km) as usize).min(rows - 1);
                 if seen.insert((ix, iy)) {
@@ -76,8 +85,19 @@ impl BucketIndex {
     /// of `p` — conservatively (by bucket overlap), i.e. a superset of
     /// the exact answer and never a false negative. Sorted, deduplicated.
     pub fn candidates_within(&self, p: Point, radius_km: f64) -> Vec<usize> {
-        if radius_km < 0.0 {
-            return Vec::new();
+        let mut out = Vec::new();
+        self.candidates_within_into(p, radius_km, &mut out);
+        out
+    }
+
+    /// [`Self::candidates_within`] writing into a caller-owned buffer —
+    /// the batch hot path queries once per task and reuses `out`.
+    pub fn candidates_within_into(&self, p: Point, radius_km: f64, out: &mut Vec<usize>) {
+        out.clear();
+        if radius_km.is_nan() || radius_km < 0.0 || !p.is_finite() {
+            // Negative or NaN radius, or a corrupted task location: no
+            // finite-distance predicate can hold.
+            return;
         }
         let lo_x = ((p.x - radius_km - self.origin.x) / self.cell_km).floor();
         let hi_x = ((p.x + radius_km - self.origin.x) / self.cell_km).floor();
@@ -87,7 +107,6 @@ impl BucketIndex {
         let lo_y = lo_y.max(0.0) as usize;
         let hi_x = (hi_x.max(0.0) as usize).min(self.cols - 1);
         let hi_y = (hi_y.max(0.0) as usize).min(self.rows - 1);
-        let mut out = Vec::new();
         for iy in lo_y..=hi_y {
             for ix in lo_x..=hi_x {
                 out.extend(
@@ -99,12 +118,57 @@ impl BucketIndex {
         }
         out.sort_unstable();
         out.dedup();
-        out
     }
 
     /// Number of buckets (diagnostics).
     pub fn n_buckets(&self) -> usize {
         self.buckets.len()
+    }
+}
+
+/// Batch-wide bounds from which a conservative per-task query radius is
+/// derived.
+///
+/// Every feasibility predicate in the assignment layer is capped by the
+/// Theorem 2 bound `min(d/2, sp·(τ.t − t_c))`, which is monotone in the
+/// worker's detour limit `d` and speed `sp`. Taking the batch maxima of
+/// both, `radius_for` dominates `theorem2_bound(w, τ)` for **every**
+/// worker of the batch, so an index query at that radius can never drop a
+/// feasible pair — while still shrinking with tight deadlines.
+#[derive(Debug, Clone, Copy)]
+pub struct PrefilterBounds {
+    max_half_detour_km: f64,
+    max_speed_km_per_min: f64,
+}
+
+impl PrefilterBounds {
+    /// Batch maxima over `workers` (zeroes for an empty batch).
+    pub fn over(workers: &[WorkerView]) -> Self {
+        let mut max_half_detour_km: f64 = 0.0;
+        let mut max_speed_km_per_min: f64 = 0.0;
+        for w in workers {
+            max_half_detour_km = max_half_detour_km.max(w.detour_limit_km / 2.0);
+            max_speed_km_per_min = max_speed_km_per_min.max(w.speed_km_per_min);
+        }
+        Self {
+            max_half_detour_km,
+            max_speed_km_per_min,
+        }
+    }
+
+    /// Conservative query radius for `task` at time `now`:
+    /// `min(max(d)/2, max(sp)·remaining)` ≥ `theorem2_bound(w, task, now)`
+    /// for every worker in the batch.
+    pub fn radius_for(&self, task: &SpatialTask, now: Minutes) -> f64 {
+        self.max_half_detour_km
+            .min(task.reach_radius(now, self.max_speed_km_per_min))
+    }
+
+    /// Grid cell size for a [`BucketIndex`] serving these bounds: half
+    /// the dominant radius, floored so degenerate batches (all detour
+    /// limits ~0) don't explode the bucket count.
+    pub fn cell_km(&self) -> f64 {
+        (self.max_half_detour_km / 2.0).max(0.25)
     }
 }
 
@@ -190,5 +254,42 @@ mod tests {
         let workers = vec![worker_at(0, &[(1.0, 1.0)])];
         let idx = BucketIndex::build(&workers, 1.0);
         assert!(idx.candidates_within(Point::new(1.0, 1.0), -1.0).is_empty());
+    }
+
+    /// The prefilter radius must dominate `theorem2_bound` for every
+    /// worker of the batch — that is the property that makes the indexed
+    /// PPI path equivalent to full enumeration.
+    #[test]
+    fn prefilter_radius_dominates_theorem2_bound() {
+        use crate::feasibility::theorem2_bound;
+        use rand::Rng;
+        use tamp_core::{SpatialTask, TaskId};
+        let mut rng = tamp_core::rng::rng_for(32, 0);
+        for _ in 0..50 {
+            let workers: Vec<WorkerView> = (0..15)
+                .map(|i| {
+                    let mut w =
+                        worker_at(i, &[(rng.gen_range(0.0..20.0), rng.gen_range(0.0..10.0))]);
+                    w.detour_limit_km = rng.gen_range(0.5..10.0);
+                    w.speed_km_per_min = rng.gen_range(0.05..0.8);
+                    w
+                })
+                .collect();
+            let bounds = PrefilterBounds::over(&workers);
+            let now = Minutes::new(rng.gen_range(0.0..120.0));
+            let task = SpatialTask::new(
+                TaskId(0),
+                Point::new(rng.gen_range(0.0..20.0), rng.gen_range(0.0..10.0)),
+                Minutes::ZERO,
+                Minutes::new(rng.gen_range(0.0..300.0)),
+            );
+            let radius = bounds.radius_for(&task, now);
+            for w in &workers {
+                assert!(
+                    theorem2_bound(w, &task, now) <= radius + 1e-12,
+                    "prefilter radius must be conservative"
+                );
+            }
+        }
     }
 }

@@ -39,4 +39,13 @@ impl WorkerView {
     pub fn real_path(&self) -> Vec<Point> {
         self.real_future.iter().map(|p| p.loc).collect()
     }
+
+    /// Every point a spatial index must cover for this worker: the
+    /// current location plus the predicted rollout. A worker is a
+    /// candidate for a task exactly when one of these points is near it —
+    /// both the stage-1/2 feasibility predicates (predicted points) and
+    /// the stage-3 proximity check are distances to this set.
+    pub fn indexable_points(&self) -> impl Iterator<Item = &Point> {
+        std::iter::once(&self.current).chain(&self.predicted)
+    }
 }

@@ -23,8 +23,9 @@ fn worker_strategy() -> impl Strategy<Value = WorkerView> {
         prop::collection::vec((0.0..20.0f64, 0.0..10.0f64), 1..8),
         0.0..1.0f64,
         1.0..10.0f64,
+        0.05..0.8f64,
     )
-        .prop_map(|(id, pred, real, mr, d)| WorkerView {
+        .prop_map(|(id, pred, real, mr, d, sp)| WorkerView {
             id: WorkerId(id),
             current: Point::new(real[0].0, real[0].1),
             predicted: pred.iter().map(|&(x, y)| Point::new(x, y)).collect(),
@@ -37,7 +38,7 @@ fn worker_strategy() -> impl Strategy<Value = WorkerView> {
                 .collect(),
             mr,
             detour_limit_km: d,
-            speed_km_per_min: 0.3,
+            speed_km_per_min: sp,
         })
 }
 
@@ -136,7 +137,7 @@ proptest! {
     ) {
         let workers = dedup_workers(workers);
         let now = Minutes::ZERO;
-        let params = PpiParams { a_km: 0.4, epsilon: 3, now };
+        let params = PpiParams { a_km: 0.4, epsilon: 3, now, use_index: true };
         for plan in [
             ppi_assign(&tasks, &workers, &params),
             km_assign(&tasks, &workers, now),
@@ -162,7 +163,7 @@ proptest! {
         // stages 1–2 are strictly tighter.
         let workers = dedup_workers(workers);
         let now = Minutes::ZERO;
-        let plan = ppi_assign(&tasks, &workers, &PpiParams { a_km: 0.4, epsilon: 4, now });
+        let plan = ppi_assign(&tasks, &workers, &PpiParams { a_km: 0.4, epsilon: 4, now, use_index: true });
         for pair in plan.pairs() {
             let t = tasks.iter().find(|t| t.id == pair.task).unwrap();
             let w = workers.iter().find(|w| w.id == pair.worker).unwrap();
@@ -193,10 +194,32 @@ proptest! {
         let none = ExcludedPairs::new();
         let full = km_assign_excluding(&tasks, &workers, now, &none);
         let indexed = km_assign_indexed(&tasks, &workers, now, &none);
-        let mut a: Vec<_> = full.pairs().iter().map(|p| (p.task, p.worker)).collect();
-        let mut b: Vec<_> = indexed.pairs().iter().map(|p| (p.task, p.worker)).collect();
-        a.sort();
-        b.sort();
-        prop_assert_eq!(a, b);
+        // Byte-identical: same pairs, same scores, same order.
+        prop_assert_eq!(full.pairs(), indexed.pairs());
+    }
+
+    /// Indexed PPI ≡ naive PPI, byte for byte (pairs, scores, and order),
+    /// across workloads, mini-batch sizes and matching radii. This is the
+    /// contract that lets `spatial_index` default to on.
+    #[test]
+    fn indexed_ppi_matches_naive(
+        tasks in tasks_strategy(),
+        workers in prop::collection::vec(worker_strategy(), 0..8),
+        epsilon in 1usize..6,
+        a_km in 0.1..1.5f64,
+    ) {
+        let workers = dedup_workers(workers);
+        let now = Minutes::ZERO;
+        let naive = ppi_assign(
+            &tasks,
+            &workers,
+            &PpiParams { a_km, epsilon, now, use_index: false },
+        );
+        let indexed = ppi_assign(
+            &tasks,
+            &workers,
+            &PpiParams { a_km, epsilon, now, use_index: true },
+        );
+        prop_assert_eq!(naive.pairs(), indexed.pairs());
     }
 }

@@ -83,6 +83,7 @@ fn bench_ppi_observed(c: &mut Criterion) {
         a_km: 0.4,
         epsilon: 8,
         now: Minutes::ZERO,
+        use_index: true,
     };
     let none = ExcludedPairs::new();
     for (label, obs) in [

@@ -56,10 +56,20 @@ fn bench(c: &mut Criterion) {
                     a_km: 0.4,
                     epsilon: eps,
                     now: Minutes::ZERO,
+                    use_index: true,
                 };
                 b.iter(|| black_box(ppi_assign(black_box(&tasks), black_box(&workers), &params)))
             });
         }
+        group.bench_with_input(BenchmarkId::new("ppi_naive", n), &n, |b, _| {
+            let params = PpiParams {
+                a_km: 0.4,
+                epsilon: 8,
+                now: Minutes::ZERO,
+                use_index: false,
+            };
+            b.iter(|| black_box(ppi_assign(black_box(&tasks), black_box(&workers), &params)))
+        });
         group.bench_with_input(BenchmarkId::new("km_single", n), &n, |b, _| {
             b.iter(|| {
                 black_box(km_assign(
@@ -84,5 +94,36 @@ fn bench(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench);
+/// Paper-scale candidate generation: 442 workers (the dataset's worker
+/// count) against growing task backlogs, naive enumeration vs the bucket
+/// index. Both produce byte-identical plans; only the probe count differs.
+fn bench_paper_scale(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ppi_scale");
+    group
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(4));
+    for &n_tasks in &[500usize, 1000] {
+        let (tasks, workers) = setup(n_tasks, 442, n_tasks as u64);
+        for (label, use_index) in [("naive", false), ("indexed", true)] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("ppi442_{label}"), n_tasks),
+                &n_tasks,
+                |b, _| {
+                    let params = PpiParams {
+                        a_km: 0.4,
+                        epsilon: 8,
+                        now: Minutes::ZERO,
+                        use_index,
+                    };
+                    b.iter(|| {
+                        black_box(ppi_assign(black_box(&tasks), black_box(&workers), &params))
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench, bench_paper_scale);
 criterion_main!(benches);

@@ -1,0 +1,167 @@
+//! Measures what the spatial bucket index buys at paper scale — 442
+//! workers against growing task backlogs — and proves, on the same
+//! inputs, that the indexed and naive PPI paths return the *identical*
+//! plan (pairs, scores, order).
+//!
+//! For each backlog size the PPI batch is solved `REPEATS` times per arm
+//! (naive enumeration vs `use_index`), order-alternated, and the median
+//! per-solve time is reported together with the speedup. The KM baseline
+//! gets the same treatment via `km_assign_excluding` / `km_assign_indexed`.
+//!
+//! Runs offline (no criterion); writes `results/ppi_index.json`.
+
+use rand::Rng;
+use std::time::Instant;
+use tamp_assign::baselines::{km_assign_excluding, km_assign_indexed};
+use tamp_assign::ppi::{ppi_assign, PpiParams};
+use tamp_assign::view::{ExcludedPairs, WorkerView};
+use tamp_bench::{out_dir, seed_from_env};
+use tamp_core::rng::rng_for;
+use tamp_core::{Minutes, Point, SpatialTask, TaskId, WorkerId};
+use tamp_platform::experiments::report::{print_markdown_table, save_json};
+
+const N_WORKERS: usize = 442; // the paper's Workload 1 worker count
+const REPEATS: usize = 7;
+
+// Metro-scale map (Porto is ~40 km across). The index's win is the ratio
+// of the prefilter disc (~(d/2)² π ≈ 50 km²) to the city area; cramming
+// 442 workers into a toy 20×10 km box would make every worker a
+// candidate for every task and measure nothing but index overhead.
+const AREA_X_KM: f64 = 40.0;
+const AREA_Y_KM: f64 = 30.0;
+
+fn setup(n_tasks: usize, seed: u64) -> (Vec<SpatialTask>, Vec<WorkerView>) {
+    let mut rng = rng_for(seed, 0);
+    let tasks = (0..n_tasks)
+        .map(|i| {
+            SpatialTask::new(
+                TaskId(i as u64),
+                Point::new(rng.gen_range(0.0..AREA_X_KM), rng.gen_range(0.0..AREA_Y_KM)),
+                Minutes::ZERO,
+                Minutes::new(rng.gen_range(30.0..60.0)),
+            )
+        })
+        .collect();
+    let workers = (0..N_WORKERS)
+        .map(|i| {
+            let base = Point::new(rng.gen_range(0.0..AREA_X_KM), rng.gen_range(0.0..AREA_Y_KM));
+            WorkerView {
+                id: WorkerId(i as u64),
+                current: base,
+                predicted: (0..6)
+                    .map(|k| base.offset(0.5 * k as f64, rng.gen_range(-0.4..0.4)))
+                    .collect(),
+                real_future: Vec::new(),
+                mr: rng.gen_range(0.1..0.9),
+                detour_limit_km: rng.gen_range(3.0..8.0),
+                speed_km_per_min: rng.gen_range(0.2..0.5),
+            }
+        })
+        .collect();
+    (tasks, workers)
+}
+
+fn median(xs: &mut [f64]) -> f64 {
+    xs.sort_by(|a, b| a.total_cmp(b));
+    xs[xs.len() / 2]
+}
+
+/// Plan fingerprint: (task id, worker id, score bits) per pair.
+type PlanFp = Vec<(u64, u64, u64)>;
+
+/// Times `f` over order-alternated repeats; returns (naive_median_s,
+/// indexed_median_s) and checks each round's plans are byte-identical.
+fn time_pair(mut f: impl FnMut(bool) -> PlanFp) -> (f64, f64) {
+    let (mut naive_s, mut indexed_s) = (Vec::new(), Vec::new());
+    for rep in 0..REPEATS {
+        let arms = if rep % 2 == 0 {
+            [false, true]
+        } else {
+            [true, false]
+        };
+        let mut plans: Vec<(bool, PlanFp)> = Vec::new();
+        for use_index in arms {
+            let t0 = Instant::now();
+            let plan = f(use_index);
+            let dt = t0.elapsed().as_secs_f64();
+            if use_index {
+                indexed_s.push(dt);
+            } else {
+                naive_s.push(dt);
+            }
+            plans.push((use_index, plan));
+        }
+        assert_eq!(
+            plans[0].1, plans[1].1,
+            "indexed and naive plans diverged (rep {rep})"
+        );
+    }
+    (median(&mut naive_s), median(&mut indexed_s))
+}
+
+fn main() {
+    let seed = seed_from_env();
+    println!("# Spatial index speedup at paper scale ({N_WORKERS} workers, seed {seed})\n");
+
+    let mut table = Vec::new();
+    let mut rows = Vec::new();
+    for &n_tasks in &[500usize, 1000, 3000] {
+        let (tasks, workers) = setup(n_tasks, seed ^ n_tasks as u64);
+        let none = ExcludedPairs::new();
+
+        // Plans are fingerprinted as (task, worker, score bits) so the
+        // equality check covers scores, not just the pairing.
+        let fp = |plan: &tamp_core::assignment::Assignment| -> PlanFp {
+            plan.pairs()
+                .iter()
+                .map(|p| (p.task.0, p.worker.0, p.score.to_bits()))
+                .collect()
+        };
+
+        let (ppi_naive_s, ppi_indexed_s) = time_pair(|use_index| {
+            let params = PpiParams {
+                a_km: 0.4,
+                epsilon: 8,
+                now: Minutes::ZERO,
+                use_index,
+            };
+            fp(&ppi_assign(&tasks, &workers, &params))
+        });
+        let (km_naive_s, km_indexed_s) = time_pair(|use_index| {
+            let plan = if use_index {
+                km_assign_indexed(&tasks, &workers, Minutes::ZERO, &none)
+            } else {
+                km_assign_excluding(&tasks, &workers, Minutes::ZERO, &none)
+            };
+            fp(&plan)
+        });
+
+        for (algo, naive_s, indexed_s) in [
+            ("ppi", ppi_naive_s, ppi_indexed_s),
+            ("km", km_naive_s, km_indexed_s),
+        ] {
+            table.push(vec![
+                algo.to_string(),
+                n_tasks.to_string(),
+                format!("{:.1}", naive_s * 1e3),
+                format!("{:.1}", indexed_s * 1e3),
+                format!("{:.2}x", naive_s / indexed_s),
+            ]);
+            rows.push(serde_json::json!({
+                "algo": algo,
+                "n_workers": N_WORKERS,
+                "n_tasks": n_tasks,
+                "naive_ms": naive_s * 1e3,
+                "indexed_ms": indexed_s * 1e3,
+                "speedup": naive_s / indexed_s,
+                "repeats": REPEATS,
+            }));
+        }
+    }
+    print_markdown_table(
+        &["algo", "tasks", "naive (ms)", "indexed (ms)", "speedup"],
+        &table,
+    );
+    println!("\nplans byte-identical across every repeat of every configuration");
+    save_json(&out_dir().join("ppi_index.json"), "ppi_index", &rows).expect("write rows");
+}

@@ -38,6 +38,7 @@ USAGE:
                     [--seed N] [--detour KM] [--tasks N]
   tamp-cli simulate [--workload FILE | generation options] --algo ppi|km|ggpso|ub|lb
                     [--loss task|mse] [--json] [--trace FILE] [--metrics FILE]
+                    [--no-index]  (disable spatial prefiltering; same results, slower)
   tamp-cli predict  [--workload FILE | generation options]
                     [--algo gttaml|gttaml-gt|ctml|maml] [--loss task|mse] [--json]
                     [--trace FILE] [--metrics FILE]
@@ -54,9 +55,9 @@ fn main() -> ExitCode {
         }
     };
     // Surface obvious typos: every command shares one option vocabulary.
-    const KNOWN: [&str; 12] = [
+    const KNOWN: [&str; 13] = [
         "out", "workload", "kind", "scale", "seed", "algo", "loss", "detour", "tasks", "json",
-        "trace", "metrics",
+        "trace", "metrics", "no-index",
     ];
     for name in args.option_names() {
         if !KNOWN.contains(&name) {
@@ -206,6 +207,7 @@ fn cmd_simulate(args: &Args) -> Result<(), String> {
     };
     let engine = EngineConfig {
         seed: args.get_parsed::<u64>("seed")?.unwrap_or(42),
+        spatial_index: !args.flag("no-index"),
         ..EngineConfig::default()
     };
     let m = run_assignment_observed(

@@ -23,8 +23,8 @@ use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
 use std::time::Instant;
 use tamp_assign::baselines::{
-    ggpso_assign_excluding, km_assign_excluding, lb_assign_excluding, ub_assign_excluding,
-    GgpsoParams,
+    ggpso_assign_excluding, km_assign_excluding, km_assign_indexed, lb_assign_excluding,
+    ub_assign_excluding, GgpsoParams,
 };
 use tamp_assign::ppi::{ppi_assign_observed, PpiParams};
 use tamp_assign::view::{ExcludedPairs, WorkerView};
@@ -101,6 +101,12 @@ pub struct EngineConfig {
     pub rejection_cooldown_min: f64,
     /// RNG seed (GGPSO only).
     pub seed: u64,
+    /// Prefilter candidate pairs through a spatial bucket index (PPI and
+    /// the KM baseline). Assignments are byte-identical with or without
+    /// it — the index only prunes pairs the feasibility predicates would
+    /// reject anyway — so this exists to compare the two paths
+    /// (`--no-index` on the CLI) and as an escape hatch.
+    pub spatial_index: bool,
 }
 
 impl Default for EngineConfig {
@@ -115,6 +121,7 @@ impl Default for EngineConfig {
             online_adapt: None,
             rejection_cooldown_min: 10.0,
             seed: 0,
+            spatial_index: true,
         }
     }
 }
@@ -398,10 +405,14 @@ fn run_assignment_inner(
                             a_km: cfg.a_km,
                             epsilon: cfg.epsilon,
                             now,
+                            use_index: cfg.spatial_index,
                         },
                         &refused,
                         obs,
                     ),
+                    AssignmentAlgo::Km if cfg.spatial_index => {
+                        km_assign_indexed(&pending, &views, now, &refused)
+                    }
                     AssignmentAlgo::Km => km_assign_excluding(&pending, &views, now, &refused),
                     AssignmentAlgo::Ggpso => ggpso_assign_excluding(
                         &pending, &views, now, &cfg.ggpso, &refused, &mut rng,
@@ -414,9 +425,13 @@ fn run_assignment_inner(
                 record.stages.matching_s = start.elapsed().as_secs_f64();
                 metrics.algo_seconds += record.stages.matching_s;
 
-                // 4. Acceptance against real itineraries.
+                // 4. Acceptance against real itineraries. Id → snapshot
+                // maps are built once per batch so each proposed pair
+                // resolves in O(1) instead of scanning the batch.
                 let acceptance_start = Instant::now();
                 let acceptance_span = obs.span_idx("engine.batch.acceptance", batch_idx);
+                let task_by_id: HashMap<_, _> = pending.iter().map(|tk| (tk.id, tk)).collect();
+                let view_by_id: HashMap<_, _> = views.iter().map(|v| (v.id, v)).collect();
                 record.proposed = plan.len();
                 for pair in plan.pairs() {
                     metrics.assigned_total += 1;
@@ -426,12 +441,12 @@ fn run_assignment_inner(
                     // the whole day's assignment loop for. Skip and
                     // count it (`completed + rejected + invalid_pairs ==
                     // assigned_total` stays an invariant).
-                    let Some(task) = pending.iter().find(|tk| tk.id == pair.task).copied() else {
+                    let Some(task) = task_by_id.get(&pair.task).map(|tk| **tk) else {
                         metrics.invalid_pairs += 1;
                         record.invalid_pairs += 1;
                         continue;
                     };
-                    let Some(view) = views.iter().find(|v| v.id == pair.worker) else {
+                    let Some(&view) = view_by_id.get(&pair.worker) else {
                         metrics.invalid_pairs += 1;
                         record.invalid_pairs += 1;
                         continue;

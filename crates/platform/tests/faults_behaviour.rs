@@ -268,3 +268,33 @@ fn try_run_surfaces_config_errors() {
     let err = try_run_assignment(&w, None, AssignmentAlgo::Lb, &bad_cfg).unwrap_err();
     assert!(err.to_string().contains("batch_window_min"));
 }
+
+/// Spatial prefiltering must be invisible end to end: with the index on
+/// or off, a full simulated day — clean or under a mixed fault plan —
+/// produces bit-identical metrics (including the float detour total) for
+/// both index-aware algorithms.
+#[test]
+fn spatial_index_is_metric_invisible_under_faults() {
+    let w = tiny_workload(408);
+    let p = train_predictors(&w, &quick_training(408));
+    for algo in [AssignmentAlgo::Ppi, AssignmentAlgo::Km] {
+        for faults in [FaultConfig::none(), mixed_faults(23)] {
+            let indexed = EngineConfig {
+                spatial_index: true,
+                ..engine()
+            };
+            let naive = EngineConfig {
+                spatial_index: false,
+                ..engine()
+            };
+            let a = run_assignment_with_faults(&w, Some(&p), algo, &indexed, &faults).unwrap();
+            let b = run_assignment_with_faults(&w, Some(&p), algo, &naive, &faults).unwrap();
+            assert_eq!(
+                fingerprint(&a),
+                fingerprint(&b),
+                "{algo:?} faults.seed={}",
+                faults.seed
+            );
+        }
+    }
+}

@@ -26,4 +26,22 @@ cargo run --release -p tamp-cli --offline -q -- simulate \
 cargo run --release -p tamp-cli --offline -q -- trace-validate \
     --trace "$SMOKE_DIR/trace.jsonl" --metrics "$SMOKE_DIR/telemetry.json"
 
+echo "== indexed vs naive smoke comparison (must be identical)"
+# The spatial index is a pure prefilter: --no-index must reproduce the
+# exact same simulation outcome. Compare the deterministic result lines
+# of the text report (timings naturally differ).
+for algo in ppi km; do
+    cargo run --release -p tamp-cli --offline -q -- simulate \
+        --kind porto --scale tiny --seed 7 --algo "$algo" \
+        >"$SMOKE_DIR/$algo.indexed.txt"
+    cargo run --release -p tamp-cli --offline -q -- simulate \
+        --kind porto --scale tiny --seed 7 --algo "$algo" --no-index \
+        >"$SMOKE_DIR/$algo.naive.txt"
+    if ! diff <(grep -iE '^(tasks|completed|rejected|avg)' "$SMOKE_DIR/$algo.indexed.txt") \
+              <(grep -iE '^(tasks|completed|rejected|avg)' "$SMOKE_DIR/$algo.naive.txt"); then
+        echo "FAIL: --no-index changed the $algo simulation outcome" >&2
+        exit 1
+    fi
+done
+
 echo "CI gate passed."

@@ -187,6 +187,7 @@ fn ppi_plan_validity_on_crafted_contention() {
             a_km: 0.4,
             epsilon: 2,
             now: Minutes::ZERO,
+            use_index: true,
         },
     );
     assert!(plan.is_valid());
