@@ -5,7 +5,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use tamp_core::rng::rng_for;
 use tamp_nn::loss::Pt2;
-use tamp_nn::{MseLoss, Seq2Seq, Seq2SeqConfig, TrainBatch};
+use tamp_nn::{sub_scaled, Adam, MseLoss, Optimizer, Seq2Seq, Seq2SeqConfig, TrainBatch};
 
 fn batch(seq_in: usize, seq_out: usize, n: usize) -> TrainBatch {
     let pairs = (0..n)
@@ -46,5 +46,65 @@ fn bench(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench);
+/// The backward pass in both guises: the per-call-allocating
+/// `loss_and_grad` (the historical path, still the API for one-off
+/// callers) vs `loss_and_grad_ws` reusing one `Tape` across calls — the
+/// shape every adapt / meta inner loop now runs.
+fn bench_backward(c: &mut Criterion) {
+    let mut rng = rng_for(2, 0);
+    let model = Seq2Seq::new(Seq2SeqConfig::lstm(16), &mut rng);
+    let mut group = c.benchmark_group("lstm_backward");
+    group
+        .sample_size(30)
+        .measurement_time(std::time::Duration::from_secs(2));
+    for &(si, so) in &[(5usize, 1usize), (10, 3)] {
+        let b8 = batch(si, so, 8);
+        group.bench_with_input(
+            BenchmarkId::new("alloc", format!("in{si}_out{so}")),
+            &b8,
+            |b, batch| b.iter(|| black_box(model.loss_and_grad(black_box(batch), &MseLoss))),
+        );
+        let mut tape = model.make_tape();
+        group.bench_with_input(
+            BenchmarkId::new("workspace", format!("in{si}_out{so}")),
+            &b8,
+            |b, batch| {
+                b.iter(|| black_box(model.loss_and_grad_ws(black_box(batch), &MseLoss, &mut tape)))
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Optimiser steps on a full parameter vector: the in-place SGD update
+/// (`sub_scaled`, the inner-loop step) and one Adam step (per-worker
+/// fine-tuning).
+fn bench_optim_step(c: &mut Criterion) {
+    let mut rng = rng_for(3, 0);
+    let model = Seq2Seq::new(Seq2SeqConfig::lstm(16), &mut rng);
+    let n = model.n_params();
+    let grad: Vec<f64> = (0..n).map(|i| ((i % 13) as f64 - 6.0) * 1e-3).collect();
+    let mut group = c.benchmark_group("optim_step");
+    group
+        .sample_size(50)
+        .measurement_time(std::time::Duration::from_secs(2));
+    let mut theta = model.params();
+    group.bench_function(BenchmarkId::new("sgd_sub_scaled", n), |b| {
+        b.iter(|| {
+            sub_scaled(&mut theta, 1e-6, &grad);
+            black_box(theta[0])
+        })
+    });
+    let mut theta = model.params();
+    let mut opt = Adam::new(1e-4, n);
+    group.bench_function(BenchmarkId::new("adam", n), |b| {
+        b.iter(|| {
+            opt.step(&mut theta, &grad);
+            black_box(theta[0])
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench, bench_backward, bench_optim_step);
 criterion_main!(benches);

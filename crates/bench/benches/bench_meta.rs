@@ -1,0 +1,97 @@
+//! Macro-bench: one FOMAML outer iteration and one TAML node at
+//! paper-scale shapes (hidden 16, seq 5→1, default batch sizes) — the
+//! units the offline training stage repeats thousands of times.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tamp_core::rng::rng_for;
+use tamp_core::{Grid, Minutes, Point, Routine, WorkerId};
+use tamp_meta::meta_training::{meta_train, MetaConfig};
+use tamp_meta::taml::{taml_train, TamlConfig};
+use tamp_meta::{LearningTask, LearningTaskTree};
+use tamp_nn::{MseLoss, Seq2Seq, Seq2SeqConfig};
+
+fn line_task(id: u64, speed: f64) -> LearningTask {
+    let days: Vec<Routine> = (0..3)
+        .map(|d| {
+            Routine::from_sampled(
+                (0..24).map(|i| Point::new((i as f64 * speed) % 18.0 + 1.0, 5.0)),
+                Minutes::new(d as f64 * 1440.0),
+                Minutes::new(10.0),
+            )
+        })
+        .collect();
+    let mut rng = rng_for(id, 0);
+    LearningTask::from_history(
+        WorkerId(id),
+        &days,
+        vec![],
+        &Grid::PAPER,
+        5,
+        1,
+        0.7,
+        false,
+        &mut rng,
+    )
+}
+
+fn bench(c: &mut Criterion) {
+    let mut rng = rng_for(1, 0);
+    let template = Seq2Seq::new(Seq2SeqConfig::lstm(16), &mut rng);
+    let tasks: Vec<LearningTask> = (0..8)
+        .map(|i| line_task(i, 0.3 + 0.05 * i as f64))
+        .collect();
+    let refs: Vec<&LearningTask> = tasks.iter().collect();
+
+    let mut group = c.benchmark_group("meta");
+    group
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(5));
+
+    let one_iter = MetaConfig {
+        iterations: 1,
+        ..MetaConfig::default()
+    };
+    // threads 0 resolves to all cores; 1 is the serial baseline the
+    // parallel path must reproduce byte-for-byte.
+    for &threads in &[1usize, 0] {
+        let cfg = MetaConfig {
+            threads,
+            ..one_iter
+        };
+        group.bench_with_input(
+            BenchmarkId::new("fomaml_outer_iter", format!("threads{threads}")),
+            &cfg,
+            |b, cfg| {
+                b.iter(|| {
+                    let mut theta = template.params();
+                    let mut rng = rng_for(9, 1);
+                    black_box(meta_train(
+                        &mut theta, &refs, &template, &MseLoss, cfg, &mut rng,
+                    ))
+                })
+            },
+        );
+    }
+
+    // One TAML node: a single-root tree degenerates to one Meta-Training
+    // call — the per-node unit of the Algorithm 2 recursion.
+    group.bench_function("taml_node", |b| {
+        b.iter(|| {
+            let mut tree =
+                LearningTaskTree::with_root((0..tasks.len()).collect(), template.params());
+            let tcfg = TamlConfig {
+                meta: one_iter,
+                ..TamlConfig::default()
+            };
+            let mut rng = rng_for(9, 2);
+            black_box(taml_train(
+                &mut tree, &tasks, &template, &MseLoss, &tcfg, &mut rng,
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,515 @@
+//! Measures the training-path overhaul at paper scale (442 workers):
+//! end-to-end FOMAML meta-training with the pre-overhaul kernels
+//! (per-step allocating forward/backward, cloned weight vectors,
+//! per-call gradient buffers) vs the fused workspace-reuse path, serial
+//! and parallel. Asserts all arms produce byte-identical parameters,
+//! then writes the median timings and speedup breakdown to
+//! `results/train_speed.json`.
+//!
+//! Environment: `TAMP_SEED` (default 42), `TAMP_REPEATS` (default 5),
+//! `TAMP_META_ITERS` (default 20), `TAMP_SCALE` (default `paper`),
+//! `TAMP_OUT` (default `results/`).
+
+use std::time::Instant;
+use tamp_bench::{out_dir, seed_from_env};
+use tamp_core::rng::{rng_for, streams};
+use tamp_meta::meta_training::{meta_train, resolve_threads, MetaConfig};
+use tamp_meta::LearningTask;
+use tamp_nn::dense::{Dense, DenseGrad};
+use tamp_nn::loss::Pt2;
+use tamp_nn::lstm::{LstmCell, LstmGrad};
+use tamp_nn::matrix::Matrix;
+use tamp_nn::seq2seq::CellKind;
+use tamp_nn::{clip_grad_norm, Loss, MseLoss, Seq2Seq, Seq2SeqConfig, TrainBatch};
+use tamp_platform::training::{build_learning_tasks, TrainingConfig};
+use tamp_sim::{Scale, WorkloadConfig, WorkloadKind};
+
+/// The per-step feature vector the model feeds its cells (location plus
+/// displacement) — copied from the model so the naive arm is fed the
+/// exact same inputs.
+#[inline]
+fn step_features(cur: Pt2, prev: Pt2) -> [f64; 4] {
+    [cur[0], cur[1], cur[0] - prev[0], cur[1] - prev[1]]
+}
+
+#[inline]
+fn sigmoid(x: f64) -> f64 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+/// Pre-overhaul matrix–vector product: one row at a time with a single
+/// accumulator chain (the overhauled `matvec_into` runs four rows with
+/// independent chains — same per-row addition order, hence bit-equal,
+/// but much better instruction-level parallelism).
+fn naive_matvec(w: &Matrix, x: &[f64]) -> Vec<f64> {
+    let (rows, cols) = (w.rows(), w.cols());
+    let data = w.as_slice();
+    let mut y = vec![0.0; rows];
+    for r in 0..rows {
+        let row = &data[r * cols..(r + 1) * cols];
+        let mut acc = 0.0;
+        for (a, b) in row.iter().zip(x) {
+            acc += a * b;
+        }
+        y[r] = acc;
+    }
+    y
+}
+
+/// Pre-overhaul transposed product, allocating its output per call.
+fn naive_matvec_t(w: &Matrix, x: &[f64]) -> Vec<f64> {
+    let (rows, cols) = (w.rows(), w.cols());
+    let data = w.as_slice();
+    let mut y = vec![0.0; cols];
+    for (r, &xr) in x.iter().enumerate().take(rows) {
+        if xr == 0.0 {
+            continue;
+        }
+        let row = &data[r * cols..(r + 1) * cols];
+        for (yc, a) in y.iter_mut().zip(row) {
+            *yc += a * xr;
+        }
+    }
+    y
+}
+
+/// Pre-overhaul recurrent state: freshly allocated per step.
+struct NaiveState {
+    h: Vec<f64>,
+    c: Vec<f64>,
+}
+
+impl NaiveState {
+    fn zeros(hidden: usize) -> Self {
+        Self {
+            h: vec![0.0; hidden],
+            c: vec![0.0; hidden],
+        }
+    }
+}
+
+/// Pre-overhaul step cache — no stored `tanh(c)`; the backward pass
+/// re-evaluates it, as the original kernel did.
+struct NaiveCache {
+    z: Vec<f64>,
+    i: Vec<f64>,
+    f: Vec<f64>,
+    g: Vec<f64>,
+    o: Vec<f64>,
+    c_prev: Vec<f64>,
+    c: Vec<f64>,
+}
+
+/// Line-for-line pre-overhaul `LstmCell::forward_step`: fresh gate
+/// vectors, state, and cache every call.
+fn naive_forward_step(cell: &LstmCell, x: &[f64], state: &NaiveState) -> (NaiveState, NaiveCache) {
+    let h = cell.hidden();
+    let mut z = Vec::with_capacity(cell.input_dim() + h);
+    z.extend_from_slice(x);
+    z.extend_from_slice(&state.h);
+
+    let mut a = naive_matvec(&cell.w, &z);
+    for (av, bv) in a.iter_mut().zip(&cell.b) {
+        *av += bv;
+    }
+
+    let mut i = vec![0.0; h];
+    let mut f = vec![0.0; h];
+    let mut g = vec![0.0; h];
+    let mut o = vec![0.0; h];
+    for k in 0..h {
+        i[k] = sigmoid(a[k]);
+        f[k] = sigmoid(a[h + k]);
+        g[k] = a[2 * h + k].tanh();
+        o[k] = sigmoid(a[3 * h + k]);
+    }
+
+    let mut c = vec![0.0; h];
+    let mut h_new = vec![0.0; h];
+    for k in 0..h {
+        c[k] = f[k] * state.c[k] + i[k] * g[k];
+        h_new[k] = o[k] * c[k].tanh();
+    }
+
+    let cache = NaiveCache {
+        z,
+        i,
+        f,
+        g,
+        o,
+        c_prev: state.c.clone(),
+        c: c.clone(),
+    };
+    (NaiveState { h: h_new, c }, cache)
+}
+
+/// Line-for-line pre-overhaul `LstmCell::backward_step`, including the
+/// per-call `da`/`dz` allocations and the `dx` split the meta loop then
+/// discards.
+fn naive_backward_step(
+    cell: &LstmCell,
+    cache: &NaiveCache,
+    dh: &[f64],
+    dc_next: &[f64],
+    grad: &mut LstmGrad,
+) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
+    let h = cell.hidden();
+    let mut da = vec![0.0; 4 * h];
+    let mut dc_prev = vec![0.0; h];
+    for k in 0..h {
+        let tanh_c = cache.c[k].tanh();
+        let do_ = dh[k] * tanh_c;
+        let dc = dh[k] * cache.o[k] * (1.0 - tanh_c * tanh_c) + dc_next[k];
+        let di = dc * cache.g[k];
+        let df = dc * cache.c_prev[k];
+        let dg = dc * cache.i[k];
+        dc_prev[k] = dc * cache.f[k];
+
+        da[k] = di * cache.i[k] * (1.0 - cache.i[k]);
+        da[h + k] = df * cache.f[k] * (1.0 - cache.f[k]);
+        da[2 * h + k] = dg * (1.0 - cache.g[k] * cache.g[k]);
+        da[3 * h + k] = do_ * cache.o[k] * (1.0 - cache.o[k]);
+    }
+
+    grad.dw.add_outer(1.0, &da, &cache.z);
+    for (gb, d) in grad.db.iter_mut().zip(&da) {
+        *gb += d;
+    }
+
+    let dz = naive_matvec_t(&cell.w, &da);
+    let dx = dz[..cell.input_dim()].to_vec();
+    let dh_prev = dz[cell.input_dim()..].to_vec();
+    (dx, dh_prev, dc_prev)
+}
+
+/// Pre-overhaul `Dense::forward` / `Dense::backward`, allocating per call.
+fn naive_dense_forward(d: &Dense, x: &[f64]) -> Vec<f64> {
+    let mut y = naive_matvec(&d.w, x);
+    for (yv, bv) in y.iter_mut().zip(&d.b) {
+        *yv += bv;
+    }
+    y
+}
+
+fn naive_dense_backward(d: &Dense, x: &[f64], dy: &[f64], grad: &mut DenseGrad) -> Vec<f64> {
+    grad.dw.add_outer(1.0, dy, x);
+    for (gb, dv) in grad.db.iter_mut().zip(dy) {
+        *gb += dv;
+    }
+    naive_matvec_t(&d.w, dy)
+}
+
+/// The encoder–decoder rebuilt from the pre-overhaul kernels above:
+/// single-chain GEMV, a fresh state + cache per step, fresh gradient
+/// buffers per call, and a flattening pass at the end. Arithmetic is
+/// bit-identical to `Seq2Seq::loss_and_grad_ws`, so the measured gap is
+/// exactly the overhaul's allocation + fusion + ILP work.
+struct NaiveModel {
+    enc: LstmCell,
+    dec: LstmCell,
+    head: Dense,
+    hidden: usize,
+}
+
+impl NaiveModel {
+    fn like(template: &Seq2Seq) -> Self {
+        let cfg = template.config();
+        assert_eq!(cfg.cell, CellKind::Lstm, "naive arm models the LSTM path");
+        let mut rng = rng_for(0, 0);
+        let out = Self {
+            enc: LstmCell::new(Seq2Seq::FEATURE_DIM, cfg.hidden, &mut rng),
+            dec: LstmCell::new(Seq2Seq::FEATURE_DIM, cfg.hidden, &mut rng),
+            head: Dense::new(cfg.hidden, Seq2Seq::POINT_DIM, &mut rng),
+            hidden: cfg.hidden,
+        };
+        assert_eq!(
+            out.enc.n_params() + out.dec.n_params() + out.head.n_params(),
+            template.n_params()
+        );
+        out
+    }
+
+    /// Same flat layout as [`Seq2Seq::params`]: encoder w+b, decoder
+    /// w+b, head w+b.
+    fn set_params(&mut self, flat: &[f64]) {
+        fn take(dst: &mut [f64], flat: &[f64], off: &mut usize) {
+            dst.copy_from_slice(&flat[*off..*off + dst.len()]);
+            *off += dst.len();
+        }
+        let mut off = 0usize;
+        take(self.enc.w.as_mut_slice(), flat, &mut off);
+        take(&mut self.enc.b, flat, &mut off);
+        take(self.dec.w.as_mut_slice(), flat, &mut off);
+        take(&mut self.dec.b, flat, &mut off);
+        take(self.head.w.as_mut_slice(), flat, &mut off);
+        take(&mut self.head.b, flat, &mut off);
+        assert_eq!(off, flat.len(), "param layout mismatch");
+    }
+
+    /// Line-for-line reconstruction of the pre-overhaul
+    /// `Seq2Seq::loss_and_grad` (teacher-forced forward, exact BPTT),
+    /// with its original allocation pattern.
+    fn loss_and_grad(&self, batch: &TrainBatch, loss: &dyn Loss) -> (f64, Vec<f64>) {
+        assert!(!batch.is_empty(), "empty training batch");
+        let h = self.hidden;
+        let mut enc_grad = LstmGrad::zeros(&self.enc);
+        let mut dec_grad = LstmGrad::zeros(&self.dec);
+        let mut head_grad = DenseGrad::zeros(&self.head);
+        let mut total_loss = 0.0;
+
+        for (input, target) in &batch.pairs {
+            let mut state = NaiveState::zeros(h);
+            let mut enc_caches = Vec::with_capacity(input.len());
+            for (i, x) in input.iter().enumerate() {
+                let before = input[i.saturating_sub(1)];
+                let (next, cache) =
+                    naive_forward_step(&self.enc, &step_features(*x, before), &state);
+                enc_caches.push(cache);
+                state = next;
+            }
+            let seq_out = target.len();
+            let mut dec_caches = Vec::with_capacity(seq_out);
+            let mut dec_h = Vec::with_capacity(seq_out);
+            let mut preds: Vec<Pt2> = Vec::with_capacity(seq_out);
+            let mut prev = *input.last().expect("non-empty");
+            let mut before = input[input.len().saturating_sub(2)];
+            for tgt in target.iter().take(seq_out) {
+                let (next, cache) =
+                    naive_forward_step(&self.dec, &step_features(prev, before), &state);
+                dec_caches.push(cache);
+                state = next;
+                dec_h.push(state.h.clone());
+                let y = naive_dense_forward(&self.head, &state.h);
+                preds.push([prev[0] + y[0], prev[1] + y[1]]);
+                before = prev;
+                prev = *tgt;
+            }
+
+            let mut dy = Vec::with_capacity(seq_out);
+            for t in 0..seq_out {
+                let (l, g) = loss.step(preds[t], target[t], seq_out);
+                total_loss += l;
+                dy.push(g);
+            }
+
+            let mut dh = vec![0.0; h];
+            let mut dc = vec![0.0; h];
+            for t in (0..seq_out).rev() {
+                let dh_head = naive_dense_backward(&self.head, &dec_h[t], &dy[t], &mut head_grad);
+                for k in 0..h {
+                    dh[k] += dh_head[k];
+                }
+                let (_dx, dh_prev, dc_prev) =
+                    naive_backward_step(&self.dec, &dec_caches[t], &dh, &dc, &mut dec_grad);
+                dh = dh_prev;
+                dc = dc_prev;
+            }
+            for cache in enc_caches.iter().rev() {
+                let (_dx, dh_prev, dc_prev) =
+                    naive_backward_step(&self.enc, cache, &dh, &dc, &mut enc_grad);
+                dh = dh_prev;
+                dc = dc_prev;
+            }
+        }
+
+        let inv = 1.0 / batch.len() as f64;
+        let mut flat = Vec::new();
+        flat.extend(enc_grad.dw.as_slice().iter().map(|g| g * inv));
+        flat.extend(enc_grad.db.iter().map(|g| g * inv));
+        flat.extend(dec_grad.dw.as_slice().iter().map(|g| g * inv));
+        flat.extend(dec_grad.db.iter().map(|g| g * inv));
+        flat.extend(head_grad.dw.as_slice().iter().map(|g| g * inv));
+        flat.extend(head_grad.db.iter().map(|g| g * inv));
+        (total_loss * inv, flat)
+    }
+}
+
+/// The pre-overhaul Meta-Training loop: a fresh `θᵢ` clone per task, the
+/// allocating kernels above, element-wise update loops.
+fn meta_train_naive(
+    theta: &mut [f64],
+    tasks: &[&LearningTask],
+    model: &mut NaiveModel,
+    loss: &dyn Loss,
+    cfg: &MetaConfig,
+    rng: &mut impl rand::Rng,
+) -> f64 {
+    let trainable: Vec<&LearningTask> =
+        tasks.iter().copied().filter(|t| t.is_trainable()).collect();
+    if trainable.is_empty() {
+        return 0.0;
+    }
+    let mut total_query = 0.0;
+    let mut query_count = 0usize;
+    for _iter in 0..cfg.iterations {
+        let m = cfg.batch_tasks.max(1);
+        let batch: Vec<&LearningTask> = (0..m)
+            .map(|_| trainable[rng.gen_range(0..trainable.len())])
+            .collect();
+        let mut meta_grad = vec![0.0; theta.len()];
+        for task in batch {
+            let mut theta_i = theta.to_vec();
+            for _ in 0..cfg.adapt_steps {
+                model.set_params(&theta_i);
+                let sb = task.support_batch(cfg.adapt_batch, rng);
+                let (_, mut grad) = model.loss_and_grad(&sb, loss);
+                clip_grad_norm(&mut grad, cfg.clip_norm);
+                for (p, g) in theta_i.iter_mut().zip(&grad) {
+                    *p -= cfg.beta * g;
+                }
+            }
+            model.set_params(&theta_i);
+            let qb = task.query_batch(cfg.query_batch, rng);
+            let (ql, qgrad) = model.loss_and_grad(&qb, loss);
+            total_query += ql;
+            query_count += 1;
+            for (mg, g) in meta_grad.iter_mut().zip(&qgrad) {
+                *mg += g;
+            }
+        }
+        let inv = 1.0 / m as f64;
+        for g in meta_grad.iter_mut() {
+            *g *= inv;
+        }
+        clip_grad_norm(&mut meta_grad, cfg.clip_norm);
+        for (p, g) in theta.iter_mut().zip(&meta_grad) {
+            *p -= cfg.alpha * g;
+        }
+    }
+    if query_count == 0 {
+        0.0
+    } else {
+        total_query / query_count as f64
+    }
+}
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+fn median(xs: &mut [f64]) -> f64 {
+    xs.sort_by(|a, b| a.total_cmp(b));
+    xs[xs.len() / 2]
+}
+
+fn main() {
+    let seed = seed_from_env();
+    let repeats = env_usize("TAMP_REPEATS", 5).max(1);
+    let iterations = env_usize("TAMP_META_ITERS", 20);
+    let scale = match std::env::var("TAMP_SCALE").as_deref() {
+        Ok("tiny") => Scale::tiny(),
+        Ok("small") => Scale::small(),
+        _ => Scale::paper_workload1(),
+    };
+
+    eprintln!("building workload ({} workers)...", scale.n_workers);
+    let workload = WorkloadConfig::new(WorkloadKind::PortoDidi, scale, seed).build();
+    let tcfg = TrainingConfig {
+        seed,
+        ..TrainingConfig::default()
+    };
+    let tasks = build_learning_tasks(&workload, &tcfg);
+    let refs: Vec<&LearningTask> = tasks.iter().collect();
+    let trainable = refs.iter().filter(|t| t.is_trainable()).count();
+    eprintln!("tasks: {} ({} trainable)", tasks.len(), trainable);
+
+    let mut init_rng = rng_for(seed, streams::WEIGHTS);
+    let template = Seq2Seq::new(
+        Seq2SeqConfig {
+            hidden: tcfg.hidden,
+            cell: tcfg.cell,
+        },
+        &mut init_rng,
+    );
+    let mut naive_model = NaiveModel::like(&template);
+    let cfg = MetaConfig {
+        iterations,
+        batch_tasks: 16,
+        ..MetaConfig::default()
+    };
+    let par_threads = resolve_threads(0);
+
+    // Each arm replays the identical RNG stream, so all three runs do the
+    // same arithmetic on the same samples and must agree to the last bit.
+    let mut run_naive = || {
+        let mut theta = template.params();
+        let mut rng = rng_for(seed, streams::META);
+        let t0 = Instant::now();
+        let l = meta_train_naive(
+            &mut theta,
+            &refs,
+            &mut naive_model,
+            &MseLoss,
+            &cfg,
+            &mut rng,
+        );
+        (t0.elapsed().as_secs_f64(), theta, l)
+    };
+    let run_overhauled = |threads: usize| {
+        let cfg = MetaConfig { threads, ..cfg };
+        let mut theta = template.params();
+        let mut rng = rng_for(seed, streams::META);
+        let t0 = Instant::now();
+        let l = meta_train(&mut theta, &refs, &template, &MseLoss, &cfg, &mut rng);
+        (t0.elapsed().as_secs_f64(), theta, l)
+    };
+
+    let (mut t_naive, mut t_fused, mut t_par) = (Vec::new(), Vec::new(), Vec::new());
+    for r in 0..repeats {
+        let (tn, theta_n, loss_n) = run_naive();
+        let (tf, theta_f, loss_f) = run_overhauled(1);
+        let (tp, theta_p, loss_p) = run_overhauled(par_threads);
+        assert_eq!(theta_f, theta_n, "fused path drifted from the naive arm");
+        assert_eq!(theta_p, theta_n, "parallel path drifted from the naive arm");
+        assert_eq!(loss_f, loss_n);
+        assert_eq!(loss_p, loss_n);
+        eprintln!(
+            "repeat {}/{repeats}: naive {tn:.3}s  fused {tf:.3}s  parallel({par_threads}) {tp:.3}s",
+            r + 1
+        );
+        t_naive.push(tn);
+        t_fused.push(tf);
+        t_par.push(tp);
+    }
+
+    let (mn, mf, mp) = (
+        median(&mut t_naive),
+        median(&mut t_fused),
+        median(&mut t_par),
+    );
+    // Hand-formatted JSON: the measurement record must reflect the real
+    // numbers even in stripped build environments where serde_json is
+    // substituted, so skip the serialization layer entirely.
+    let json = format!(
+        "{{\n  \"name\": \"train_speed\",\n  \"scale\": {{ \"n_workers\": {}, \"trainable_tasks\": {} }},\n  \"config\": {{\n    \"hidden\": {}, \"seq_in\": {}, \"seq_out\": {},\n    \"iterations\": {}, \"batch_tasks\": {}, \"adapt_steps\": {},\n    \"adapt_batch\": {}, \"query_batch\": {},\n    \"repeats\": {}, \"parallel_threads\": {}\n  }},\n  \"median_seconds\": {{ \"naive_serial\": {mn:.6}, \"fused_serial\": {mf:.6}, \"fused_parallel\": {mp:.6} }},\n  \"speedup\": {{\n    \"end_to_end\": {:.4},\n    \"fused_only\": {:.4},\n    \"parallel_only\": {:.4}\n  }},\n  \"byte_identical\": true\n}}\n",
+        workload.workers.len(),
+        trainable,
+        tcfg.hidden,
+        tcfg.seq_in,
+        tcfg.seq_out,
+        cfg.iterations,
+        cfg.batch_tasks,
+        cfg.adapt_steps,
+        cfg.adapt_batch,
+        cfg.query_batch,
+        repeats,
+        par_threads,
+        mn / mp,
+        mn / mf,
+        mf / mp,
+    );
+    let path = out_dir().join("train_speed.json");
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir).expect("create results dir");
+    }
+    std::fs::write(&path, json).expect("write train_speed.json");
+    println!(
+        "naive {mn:.3}s | fused {mf:.3}s ({:.2}x) | parallel x{par_threads} {mp:.3}s ({:.2}x end-to-end) -> {}",
+        mn / mf,
+        mn / mp,
+        path.display()
+    );
+}

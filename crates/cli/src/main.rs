@@ -39,9 +39,11 @@ USAGE:
   tamp-cli simulate [--workload FILE | generation options] --algo ppi|km|ggpso|ub|lb
                     [--loss task|mse] [--json] [--trace FILE] [--metrics FILE]
                     [--no-index]  (disable spatial prefiltering; same results, slower)
+                    [--train-threads N]  (training threads; 0 = all cores, default 1;
+                                          results are identical for every N)
   tamp-cli predict  [--workload FILE | generation options]
                     [--algo gttaml|gttaml-gt|ctml|maml] [--loss task|mse] [--json]
-                    [--trace FILE] [--metrics FILE]
+                    [--trace FILE] [--metrics FILE] [--train-threads N]
   tamp-cli trace-validate --trace FILE [--metrics FILE]
   tamp-cli help
 ";
@@ -55,9 +57,21 @@ fn main() -> ExitCode {
         }
     };
     // Surface obvious typos: every command shares one option vocabulary.
-    const KNOWN: [&str; 13] = [
-        "out", "workload", "kind", "scale", "seed", "algo", "loss", "detour", "tasks", "json",
-        "trace", "metrics", "no-index",
+    const KNOWN: [&str; 14] = [
+        "out",
+        "workload",
+        "kind",
+        "scale",
+        "seed",
+        "algo",
+        "loss",
+        "detour",
+        "tasks",
+        "json",
+        "trace",
+        "metrics",
+        "no-index",
+        "train-threads",
     ];
     for name in args.option_names() {
         if !KNOWN.contains(&name) {
@@ -148,6 +162,9 @@ fn training_config(args: &Args) -> Result<TrainingConfig, String> {
         ..TrainingConfig::default()
     };
     cfg.loss = parse_loss(args.get_or("loss", "task"))?;
+    if let Some(t) = args.get_parsed::<usize>("train-threads")? {
+        cfg.meta.threads = t;
+    }
     Ok(cfg)
 }
 

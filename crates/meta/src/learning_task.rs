@@ -87,6 +87,18 @@ impl LearningTask {
     pub fn query_batch(&self, n: usize, rng: &mut impl Rng) -> TrainBatch {
         sample_batch(&self.query, n, rng)
     }
+
+    /// [`LearningTask::support_batch`] into a caller-owned batch whose
+    /// pair buffers are reused across calls. Draws and contents are
+    /// identical to the allocating variant.
+    pub fn support_batch_into(&self, n: usize, rng: &mut impl Rng, out: &mut TrainBatch) {
+        sample_batch_into(&self.support, n, rng, out)
+    }
+
+    /// [`LearningTask::query_batch`] into a caller-owned batch.
+    pub fn query_batch_into(&self, n: usize, rng: &mut impl Rng, out: &mut TrainBatch) {
+        sample_batch_into(&self.query, n, rng, out)
+    }
 }
 
 fn sample_batch(batch: &TrainBatch, n: usize, rng: &mut impl Rng) -> TrainBatch {
@@ -95,6 +107,30 @@ fn sample_batch(batch: &TrainBatch, n: usize, rng: &mut impl Rng) -> TrainBatch 
     }
     let picks = rand::seq::index::sample(rng, batch.len(), n);
     TrainBatch::new(picks.iter().map(|i| batch.pairs[i].clone()).collect())
+}
+
+/// [`sample_batch`] writing into `out`, reusing its pair allocations.
+/// Consumes the RNG exactly as [`sample_batch`] does (one index sample
+/// when the source is larger than `n`, nothing otherwise), and produces
+/// the same pairs in the same order.
+fn sample_batch_into(batch: &TrainBatch, n: usize, rng: &mut impl Rng, out: &mut TrainBatch) {
+    let count = batch.len().min(n);
+    out.pairs.truncate(count);
+    while out.pairs.len() < count {
+        out.pairs.push((Vec::new(), Vec::new()));
+    }
+    if batch.len() <= n {
+        for (dst, src) in out.pairs.iter_mut().zip(&batch.pairs) {
+            dst.0.clone_from(&src.0);
+            dst.1.clone_from(&src.1);
+        }
+    } else {
+        let picks = rand::seq::index::sample(rng, batch.len(), n);
+        for (dst, i) in out.pairs.iter_mut().zip(picks.iter()) {
+            dst.0.clone_from(&batch.pairs[i].0);
+            dst.1.clone_from(&batch.pairs[i].1);
+        }
+    }
 }
 
 #[inline]

@@ -60,6 +60,6 @@ pub mod wasserstein;
 
 pub use gtmc::{build_tree, GtmcConfig};
 pub use learning_task::LearningTask;
-pub use meta_training::MetaConfig;
+pub use meta_training::{resolve_threads, MetaConfig};
 pub use similarity::{FactorKind, SimMatrix};
 pub use tree::LearningTaskTree;

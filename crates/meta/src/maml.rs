@@ -8,7 +8,7 @@
 use crate::learning_task::LearningTask;
 use crate::meta_training::{meta_train_observed, MetaConfig};
 use rand::Rng;
-use tamp_nn::{clip_grad_norm, Adam, Loss, Optimizer, Seq2Seq};
+use tamp_nn::{clip_grad_norm, sub_scaled, Adam, Loss, Optimizer, Seq2Seq};
 use tamp_obs::Obs;
 
 /// Trains one shared initialisation over all learning tasks (the MAML
@@ -62,14 +62,13 @@ pub fn adapt(
         model.set_params(&t);
         return model;
     }
+    let mut tape = template.make_tape();
     for _ in 0..steps {
         model.set_params(&t);
         let sb = task.support_batch(batch, rng);
-        let (_, mut g) = model.loss_and_grad(&sb, loss);
-        clip_grad_norm(&mut g, 1.0);
-        for (p, gv) in t.iter_mut().zip(&g) {
-            *p -= beta * gv;
-        }
+        model.loss_and_grad_ws(&sb, loss, &mut tape);
+        clip_grad_norm(tape.grad_mut(), 1.0);
+        sub_scaled(&mut t, beta, tape.grad());
     }
     model.set_params(&t);
     model
@@ -98,12 +97,13 @@ pub fn adapt_adam(
         return model;
     }
     let mut opt = Adam::new(lr, t.len());
+    let mut tape = template.make_tape();
     for _ in 0..steps {
         model.set_params(&t);
         let sb = task.support_batch(batch, rng);
-        let (_, mut g) = model.loss_and_grad(&sb, loss);
-        clip_grad_norm(&mut g, 1.0);
-        opt.step(&mut t, &g);
+        model.loss_and_grad_ws(&sb, loss, &mut tape);
+        clip_grad_norm(tape.grad_mut(), 1.0);
+        opt.step(&mut t, tape.grad());
     }
     model.set_params(&t);
     model
@@ -125,23 +125,24 @@ pub fn gradient_paths(
 ) -> Vec<Vec<Vec<f64>>> {
     let init = template.params();
     let mut model = template.clone();
+    let mut tape = template.make_tape();
+    let mut theta: Vec<f64> = Vec::with_capacity(init.len());
     tasks
         .iter()
         .map(|task| {
             if task.support.is_empty() {
                 return Vec::new();
             }
-            let mut theta = init.clone();
+            theta.clear();
+            theta.extend_from_slice(&init);
             let mut path = Vec::with_capacity(k);
             for _ in 0..k {
                 model.set_params(&theta);
                 let sb = task.support_batch(batch, rng);
-                let (_, mut g) = model.loss_and_grad(&sb, loss);
-                clip_grad_norm(&mut g, 1.0);
-                for (p, gv) in theta.iter_mut().zip(&g) {
-                    *p -= beta * gv;
-                }
-                path.push(g);
+                model.loss_and_grad_ws(&sb, loss, &mut tape);
+                clip_grad_norm(tape.grad_mut(), 1.0);
+                sub_scaled(&mut theta, beta, tape.grad());
+                path.push(tape.grad().to_vec());
             }
             path
         })

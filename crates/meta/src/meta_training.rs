@@ -14,8 +14,15 @@
 use crate::learning_task::LearningTask;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
-use tamp_nn::{clip_grad_norm, Loss, Seq2Seq};
+use std::time::Instant;
+use tamp_nn::{clip_grad_norm, sub_scaled, Loss, Seq2Seq, Tape, TrainBatch};
 use tamp_obs::Obs;
+
+// Referenced from the `#[serde(default = ...)]` attribute only.
+#[allow(dead_code)]
+fn default_threads() -> usize {
+    1
+}
 
 /// Hyper-parameters of Algorithm 3 (and of the TAML recursion that calls
 /// it).
@@ -38,6 +45,12 @@ pub struct MetaConfig {
     /// Global-norm gradient clip applied to every inner and meta
     /// gradient (LSTMs spike; clipping keeps small clusters stable).
     pub clip_norm: f64,
+    /// Worker threads for the per-task inner loops (0 ⇒ one per
+    /// available core). Results are byte-identical for every value:
+    /// batches are presampled on the calling thread in the serial RNG
+    /// order and per-task gradients are reduced in task order.
+    #[serde(default = "default_threads")]
+    pub threads: usize,
 }
 
 impl Default for MetaConfig {
@@ -51,7 +64,17 @@ impl Default for MetaConfig {
             adapt_batch: 12,
             query_batch: 12,
             clip_norm: 1.0,
+            threads: 1,
         }
+    }
+}
+
+/// Resolves a `threads` knob: `0` means one worker per available core.
+pub fn resolve_threads(threads: usize) -> usize {
+    if threads == 0 {
+        std::thread::available_parallelism().map_or(1, |p| p.get())
+    } else {
+        threads
     }
 }
 
@@ -72,11 +95,73 @@ pub fn meta_train(
     meta_train_observed(theta, tasks, template, loss, cfg, rng, &Obs::null())
 }
 
+/// Presampled work for one task of one meta iteration: the k support
+/// batches and the query batch, drawn on the calling thread so the RNG
+/// stream matches the serial implementation exactly.
+struct TaskJob {
+    task_idx: usize,
+    support: Vec<TrainBatch>,
+    query: TrainBatch,
+}
+
+/// Result of one task's adapt + query-gradient computation. `qgrad` is
+/// kept per task (not pre-summed per shard) so the final reduction adds
+/// in task order regardless of thread count — floating-point addition is
+/// not associative.
+struct TaskOut {
+    query_loss: f64,
+    qgrad: Vec<f64>,
+    nn_secs: f64,
+}
+
+/// The RNG-free compute of one task: k inner SGD steps on the support
+/// batches, then the query loss and first-order meta gradient at the
+/// adapted parameters. Arithmetic is identical to the historical serial
+/// loop (`set_params`, clipped gradient, `θ -= β·g`), only allocation
+/// patterns differ: the workspace `tape` and `theta_i` scratch are
+/// reused across calls.
+fn run_task(
+    job: &TaskJob,
+    theta: &[f64],
+    model: &mut Seq2Seq,
+    tape: &mut Tape,
+    theta_i: &mut Vec<f64>,
+    loss: &dyn Loss,
+    cfg: &MetaConfig,
+) -> TaskOut {
+    let t0 = Instant::now();
+    theta_i.clear();
+    theta_i.extend_from_slice(theta);
+    for sb in &job.support {
+        model.set_params(theta_i);
+        model.loss_and_grad_ws(sb, loss, tape);
+        clip_grad_norm(tape.grad_mut(), cfg.clip_norm);
+        sub_scaled(theta_i, cfg.beta, tape.grad());
+    }
+    // Query loss and its (first-order) meta gradient at θᵢ.
+    model.set_params(theta_i);
+    let query_loss = model.loss_and_grad_ws(&job.query, loss, tape);
+    TaskOut {
+        query_loss,
+        qgrad: tape.grad().to_vec(),
+        nn_secs: t0.elapsed().as_secs_f64(),
+    }
+}
+
 /// [`meta_train`] with telemetry: one `meta.iter` span per meta
-/// iteration and a `meta.query_loss` gauge per iteration (the running
-/// batch-average query loss). Passing [`Obs::null`] makes this identical
+/// iteration, a `meta.query_loss` gauge per iteration (the running
+/// batch-average query loss), an `nn.gemm` histogram sample per task
+/// (seconds of NN compute), and a `meta.grad_reduce` span around each
+/// meta-gradient reduction. Passing [`Obs::null`] makes this identical
 /// to [`meta_train`] — telemetry never influences the RNG stream or the
 /// update itself.
+///
+/// With `cfg.threads > 1` the per-task adapt + query-gradient work is
+/// sharded across scoped threads. All RNG draws stay on the calling
+/// thread in the serial order, every task's gradient is reduced in task
+/// order, and all telemetry is emitted from the calling thread, so the
+/// updated `theta`, the returned loss, and every gauge are byte-identical
+/// to the single-threaded run.
 #[allow(clippy::too_many_arguments)]
 pub fn meta_train_observed(
     theta: &mut [f64],
@@ -98,62 +183,84 @@ pub fn meta_train_observed(
         "theta shape must match the template"
     );
 
+    let n_threads = resolve_threads(cfg.threads);
+    // Serial-path worker state, reused across all iterations. The job
+    // buffers (support/query batches) are also recycled: refilling them
+    // draws the RNG and produces pairs exactly as fresh allocation would.
     let mut model = template.clone();
+    let mut tape = template.make_tape();
+    let mut theta_i: Vec<f64> = Vec::with_capacity(theta.len());
+    let mut jobs: Vec<TaskJob> = Vec::new();
+    let mut meta_grad = vec![0.0; theta.len()];
     let mut total_query = 0.0;
     let mut query_count = 0usize;
 
     for iter in 0..cfg.iterations {
         let _iter_span = obs.span_idx("meta.iter", iter as u64);
-        let mut iter_query = 0.0;
-        let mut iter_count = 0usize;
         // Sample a batch of m tasks (with replacement when the cluster is
-        // smaller than m, matching "sample a batch" semantics).
+        // smaller than m, matching "sample a batch" semantics), then
+        // presample every support/query batch in the serial nested order:
+        // per task, k support draws followed by one query draw.
         let m = cfg.batch_tasks.max(1);
-        let batch: Vec<&LearningTask> = (0..m)
+        let picked: Vec<&LearningTask> = (0..m)
             .map(|_| trainable[rng.gen_range(0..trainable.len())])
             .collect();
-
-        let mut meta_grad = vec![0.0; theta.len()];
-        for task in batch {
-            // Adapt k steps from θ on the support set.
-            let mut theta_i = theta.to_vec();
-            for _ in 0..cfg.adapt_steps {
-                model.set_params(&theta_i);
-                let sb = task.support_batch(cfg.adapt_batch, rng);
-                let (_, mut grad) = model.loss_and_grad(&sb, loss);
-                clip_grad_norm(&mut grad, cfg.clip_norm);
-                for (p, g) in theta_i.iter_mut().zip(&grad) {
-                    *p -= cfg.beta * g;
-                }
+        jobs.truncate(m);
+        while jobs.len() < m {
+            jobs.push(TaskJob {
+                task_idx: jobs.len(),
+                support: Vec::new(),
+                query: TrainBatch::new(Vec::new()),
+            });
+        }
+        for (task_idx, (job, task)) in jobs.iter_mut().zip(picked).enumerate() {
+            job.task_idx = task_idx;
+            job.support.truncate(cfg.adapt_steps);
+            while job.support.len() < cfg.adapt_steps {
+                job.support.push(TrainBatch::new(Vec::new()));
             }
-            // Query loss and its (first-order) meta gradient at θᵢ.
-            model.set_params(&theta_i);
-            let qb = task.query_batch(cfg.query_batch, rng);
-            let (ql, qgrad) = model.loss_and_grad(&qb, loss);
-            total_query += ql;
+            for sb in job.support.iter_mut() {
+                task.support_batch_into(cfg.adapt_batch, rng, sb);
+            }
+            task.query_batch_into(cfg.query_batch, rng, &mut job.query);
+        }
+
+        let outs: Vec<TaskOut> = if n_threads <= 1 || m == 1 {
+            jobs.iter()
+                .map(|job| run_task(job, theta, &mut model, &mut tape, &mut theta_i, loss, cfg))
+                .collect()
+        } else {
+            run_tasks_parallel(&jobs, theta, template, loss, cfg, n_threads)
+        };
+
+        // Telemetry and reduction from the calling thread, in task order.
+        let mut iter_query = 0.0;
+        for out in &outs {
+            obs.observe("nn.gemm", out.nn_secs);
+            total_query += out.query_loss;
             query_count += 1;
-            iter_query += ql;
-            iter_count += 1;
-            for (mg, g) in meta_grad.iter_mut().zip(&qgrad) {
+            iter_query += out.query_loss;
+        }
+        obs.gauge_idx(
+            "meta.query_loss",
+            iter_query / outs.len() as f64,
+            Some(iter as u64),
+        );
+
+        // Meta update: θ ← θ − α · (1/m) Σ ∇L^q.
+        let _reduce_span = obs.span("meta.grad_reduce");
+        meta_grad.fill(0.0);
+        for out in &outs {
+            for (mg, g) in meta_grad.iter_mut().zip(&out.qgrad) {
                 *mg += g;
             }
         }
-        if iter_count > 0 {
-            obs.gauge_idx(
-                "meta.query_loss",
-                iter_query / iter_count as f64,
-                Some(iter as u64),
-            );
-        }
-        // Meta update: θ ← θ − α · (1/m) Σ ∇L^q.
         let inv = 1.0 / m as f64;
         for g in meta_grad.iter_mut() {
             *g *= inv;
         }
         clip_grad_norm(&mut meta_grad, cfg.clip_norm);
-        for (p, g) in theta.iter_mut().zip(&meta_grad) {
-            *p -= cfg.alpha * g;
-        }
+        sub_scaled(theta, cfg.alpha, &meta_grad);
     }
 
     if query_count == 0 {
@@ -161,6 +268,47 @@ pub fn meta_train_observed(
     } else {
         total_query / query_count as f64
     }
+}
+
+/// Fans the presampled jobs of one meta iteration out over scoped worker
+/// threads. Each worker owns a model clone and workspace; outputs come
+/// back tagged with their task index and are re-sorted so downstream
+/// reduction sees task order.
+fn run_tasks_parallel(
+    jobs: &[TaskJob],
+    theta: &[f64],
+    template: &Seq2Seq,
+    loss: &dyn Loss,
+    cfg: &MetaConfig,
+    n_threads: usize,
+) -> Vec<TaskOut> {
+    let chunk = jobs.len().div_ceil(n_threads);
+    let mut tagged: Vec<(usize, TaskOut)> = Vec::with_capacity(jobs.len());
+    crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for shard in jobs.chunks(chunk.max(1)) {
+            handles.push(scope.spawn(move |_| {
+                let mut model = template.clone();
+                let mut tape = template.make_tape();
+                let mut theta_i: Vec<f64> = Vec::with_capacity(theta.len());
+                shard
+                    .iter()
+                    .map(|job| {
+                        (
+                            job.task_idx,
+                            run_task(job, theta, &mut model, &mut tape, &mut theta_i, loss, cfg),
+                        )
+                    })
+                    .collect::<Vec<_>>()
+            }));
+        }
+        for h in handles {
+            tagged.extend(h.join().expect("meta worker panicked"));
+        }
+    })
+    .expect("crossbeam scope");
+    tagged.sort_by_key(|(i, _)| *i);
+    tagged.into_iter().map(|(_, out)| out).collect()
 }
 
 /// Average query loss of `theta` over a task set *without* adaptation
@@ -284,6 +432,108 @@ mod tests {
         );
         assert_eq!(l, 0.0);
         assert_eq!(theta, before);
+    }
+
+    /// Line-for-line copy of the historical serial implementation
+    /// (fresh model clones, allocating `loss_and_grad`, in-place
+    /// element loops). Kept as the oracle for the byte-equivalence test:
+    /// the production path must reproduce it bit-for-bit at any thread
+    /// count.
+    fn meta_train_reference(
+        theta: &mut [f64],
+        tasks: &[&LearningTask],
+        template: &Seq2Seq,
+        loss: &dyn tamp_nn::Loss,
+        cfg: &MetaConfig,
+        rng: &mut impl rand::Rng,
+    ) -> f64 {
+        let trainable: Vec<&LearningTask> =
+            tasks.iter().copied().filter(|t| t.is_trainable()).collect();
+        if trainable.is_empty() {
+            return 0.0;
+        }
+        let mut model = template.clone();
+        let mut total_query = 0.0;
+        let mut query_count = 0usize;
+        for _iter in 0..cfg.iterations {
+            let m = cfg.batch_tasks.max(1);
+            let batch: Vec<&LearningTask> = (0..m)
+                .map(|_| trainable[rng.gen_range(0..trainable.len())])
+                .collect();
+            let mut meta_grad = vec![0.0; theta.len()];
+            for task in batch {
+                let mut theta_i = theta.to_vec();
+                for _ in 0..cfg.adapt_steps {
+                    model.set_params(&theta_i);
+                    let sb = task.support_batch(cfg.adapt_batch, rng);
+                    let (_, mut grad) = model.loss_and_grad(&sb, loss);
+                    clip_grad_norm(&mut grad, cfg.clip_norm);
+                    for (p, g) in theta_i.iter_mut().zip(&grad) {
+                        *p -= cfg.beta * g;
+                    }
+                }
+                model.set_params(&theta_i);
+                let qb = task.query_batch(cfg.query_batch, rng);
+                let (ql, qgrad) = model.loss_and_grad(&qb, loss);
+                total_query += ql;
+                query_count += 1;
+                for (mg, g) in meta_grad.iter_mut().zip(&qgrad) {
+                    *mg += g;
+                }
+            }
+            let inv = 1.0 / m as f64;
+            for g in meta_grad.iter_mut() {
+                *g *= inv;
+            }
+            clip_grad_norm(&mut meta_grad, cfg.clip_norm);
+            for (p, g) in theta.iter_mut().zip(&meta_grad) {
+                *p -= cfg.alpha * g;
+            }
+        }
+        if query_count == 0 {
+            0.0
+        } else {
+            total_query / query_count as f64
+        }
+    }
+
+    #[test]
+    fn meta_train_is_byte_identical_to_reference_at_any_thread_count() {
+        for seed in [7u64, 21] {
+            let mut init_rng = rng_for(seed, 0);
+            let template = Seq2Seq::new(Seq2SeqConfig::lstm(6), &mut init_rng);
+            let tasks = [
+                line_task(seed * 10 + 1, 0.3),
+                line_task(seed * 10 + 2, 0.5),
+                line_task(seed * 10 + 3, 0.8),
+            ];
+            let refs: Vec<&LearningTask> = tasks.iter().collect();
+            let cfg = MetaConfig {
+                iterations: 5,
+                batch_tasks: 3,
+                adapt_steps: 2,
+                adapt_batch: 6,
+                query_batch: 6,
+                ..MetaConfig::default()
+            };
+
+            let mut theta_ref = template.params();
+            let mut rng = rng_for(seed, tamp_core::rng::streams::META);
+            let loss_ref =
+                meta_train_reference(&mut theta_ref, &refs, &template, &MseLoss, &cfg, &mut rng);
+
+            for threads in [1usize, 2, 4] {
+                let cfg = MetaConfig { threads, ..cfg };
+                let mut theta = template.params();
+                let mut rng = rng_for(seed, tamp_core::rng::streams::META);
+                let loss = meta_train(&mut theta, &refs, &template, &MseLoss, &cfg, &mut rng);
+                assert_eq!(
+                    theta, theta_ref,
+                    "threads={threads} drifted from the serial reference"
+                );
+                assert_eq!(loss, loss_ref, "query loss drifted at threads={threads}");
+            }
+        }
     }
 
     #[test]

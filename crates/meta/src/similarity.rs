@@ -13,10 +13,10 @@
 //!   unbounded, which would make `Q(G)` incomparable with `γ ∈ (0,1)`).
 
 use crate::learning_task::LearningTask;
-use crate::wasserstein::w1_distance;
+use crate::wasserstein::{strided_subsample, w1_distance, DEFAULT_SUBSAMPLE};
 use serde::{Deserialize, Serialize};
 use tamp_core::Poi;
-use tamp_nn::matrix::vecops::cosine;
+use tamp_nn::matrix::vecops::{cosine, dot, norm};
 
 /// Which clustering factor a similarity matrix encodes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -56,6 +56,49 @@ impl SimMatrix {
                 let s = f(i, j).clamp(0.0, 1.0);
                 vals[i * n + j] = s;
                 vals[j * n + i] = s;
+            }
+        }
+        Self { n, vals }
+    }
+
+    /// Builds from a symmetric pair function, computing the upper
+    /// triangle across `threads` scoped workers.
+    ///
+    /// Bitwise identical to [`SimMatrix::from_fn`] for every thread
+    /// count: each pair value depends only on `(i, j)` and its placement
+    /// in the matrix is position-determined, so scheduling cannot change
+    /// the result. Rows are dealt round-robin because row `i` carries
+    /// `n − 1 − i` pairs — contiguous chunks would leave the last worker
+    /// nearly idle.
+    pub fn from_fn_par(n: usize, threads: usize, f: impl Fn(usize, usize) -> f64 + Sync) -> Self {
+        let n_threads = threads.max(1);
+        if n_threads == 1 || n < 2 {
+            return Self::from_fn(n, f);
+        }
+        let mut vals = vec![1.0; n * n];
+        {
+            let mut shards: Vec<Vec<(usize, &mut [f64])>> =
+                (0..n_threads).map(|_| Vec::new()).collect();
+            for (i, row) in vals.chunks_mut(n).enumerate() {
+                shards[i % n_threads].push((i, row));
+            }
+            let f = &f;
+            crossbeam::thread::scope(|s| {
+                for shard in shards {
+                    s.spawn(move |_| {
+                        for (i, row) in shard {
+                            for (j, v) in row.iter_mut().enumerate().skip(i + 1) {
+                                *v = f(i, j).clamp(0.0, 1.0);
+                            }
+                        }
+                    });
+                }
+            })
+            .expect("similarity worker panicked");
+        }
+        for i in 0..n {
+            for j in (i + 1)..n {
+                vals[j * n + i] = vals[i * n + j];
             }
         }
         Self { n, vals }
@@ -136,12 +179,20 @@ fn mean_kernel(a: &[Poi], b: &[Poi], bandwidth_km: f64) -> f64 {
 /// Normalisation is the kernel-space cosine `k(a,b)/√(k(a,a)·k(b,b))`,
 /// which maps into `\[0, 1\]` with 1 for identical sequences.
 pub fn sim_spatial(a: &[Poi], b: &[Poi], bandwidth_km: f64) -> f64 {
+    let saa = mean_kernel(a, a, bandwidth_km);
+    let sbb = mean_kernel(b, b, bandwidth_km);
+    sim_spatial_normalised(a, b, saa, sbb, bandwidth_km)
+}
+
+/// [`sim_spatial`] with the self-kernels `k(a,a)` / `k(b,b)` supplied by
+/// the caller. They only depend on one sequence each, so matrix builds
+/// hoist them out of the O(n²) pair loop; the arithmetic is otherwise
+/// identical to [`sim_spatial`].
+fn sim_spatial_normalised(a: &[Poi], b: &[Poi], saa: f64, sbb: f64, bandwidth_km: f64) -> f64 {
     let cross = mean_kernel(a, b, bandwidth_km);
     if cross <= 0.0 {
         return 0.0;
     }
-    let saa = mean_kernel(a, a, bandwidth_km);
-    let sbb = mean_kernel(b, b, bandwidth_km);
     if saa <= 0.0 || sbb <= 0.0 {
         return 0.0;
     }
@@ -156,6 +207,28 @@ pub fn sim_learning_path(a: &[Vec<f64>], b: &[Vec<f64>]) -> f64 {
         return 0.0;
     }
     let mean: f64 = (0..k).map(|i| cosine(&a[i], &b[i])).sum::<f64>() / k as f64;
+    ((mean + 1.0) / 2.0).clamp(0.0, 1.0)
+}
+
+/// [`sim_learning_path`] with the per-step gradient norms supplied by the
+/// caller (each norm depends on one path only, so matrix builds compute
+/// them once per task). Inlines [`cosine`]'s exact arithmetic — same
+/// zero-guard, same `dot/(‖a‖·‖b‖)` and clamps — on the hoisted norms.
+fn sim_learning_path_normed(a: &[Vec<f64>], b: &[Vec<f64>], na: &[f64], nb: &[f64]) -> f64 {
+    let k = a.len().min(b.len());
+    if k == 0 {
+        return 0.0;
+    }
+    let mean: f64 = (0..k)
+        .map(|i| {
+            if na[i] < 1e-12 || nb[i] < 1e-12 {
+                0.0
+            } else {
+                (dot(&a[i], &b[i]) / (na[i] * nb[i])).clamp(-1.0, 1.0)
+            }
+        })
+        .sum::<f64>()
+        / k as f64;
     ((mean + 1.0) / 2.0).clamp(0.0, 1.0)
 }
 
@@ -183,17 +256,68 @@ pub fn build_sim_matrix(
     tasks: &[LearningTask],
     gradient_paths: Option<&[Vec<Vec<f64>>]>,
 ) -> SimMatrix {
+    build_sim_matrix_threaded(factor, tasks, gradient_paths, 1)
+}
+
+/// [`build_sim_matrix`] with per-task preprocessing hoisted out of the
+/// O(n²) pair loop and the upper triangle computed across `threads`
+/// workers (values are bitwise identical for every thread count; see
+/// [`SimMatrix::from_fn_par`]).
+pub fn build_sim_matrix_threaded(
+    factor: FactorKind,
+    tasks: &[LearningTask],
+    gradient_paths: Option<&[Vec<Vec<f64>>]>,
+    threads: usize,
+) -> SimMatrix {
+    let n = tasks.len();
     match factor {
-        FactorKind::Spatial => SimMatrix::from_fn(tasks.len(), |i, j| {
-            sim_spatial(&tasks[i].poi_seq, &tasks[j].poi_seq, DEFAULT_BANDWIDTH_KM)
-        }),
-        FactorKind::Distribution => SimMatrix::from_fn(tasks.len(), |i, j| {
-            sim_distribution(&tasks[i].sample_points, &tasks[j].sample_points)
-        }),
+        FactorKind::Spatial => {
+            // The self-kernels normalising Eq. 1 depend on one sequence
+            // each; compute all n once instead of 2·(n choose 2) times.
+            let self_k: Vec<f64> = tasks
+                .iter()
+                .map(|t| mean_kernel(&t.poi_seq, &t.poi_seq, DEFAULT_BANDWIDTH_KM))
+                .collect();
+            SimMatrix::from_fn_par(n, threads, |i, j| {
+                sim_spatial_normalised(
+                    &tasks[i].poi_seq,
+                    &tasks[j].poi_seq,
+                    self_k[i],
+                    self_k[j],
+                    DEFAULT_BANDWIDTH_KM,
+                )
+            })
+        }
+        FactorKind::Distribution => {
+            // When both sides hold at least DEFAULT_SUBSAMPLE points the
+            // W1 subsample size is the cap for every partner, so the
+            // strided subsample can be taken once per task. Smaller tasks
+            // make the size min(|a|, |b|, cap) pair-dependent — those
+            // pairs keep the unhoisted path so values stay identical.
+            let subs: Vec<Option<Vec<tamp_core::Point>>> = tasks
+                .iter()
+                .map(|t| {
+                    (t.sample_points.len() >= DEFAULT_SUBSAMPLE)
+                        .then(|| strided_subsample(&t.sample_points, DEFAULT_SUBSAMPLE))
+                })
+                .collect();
+            SimMatrix::from_fn_par(n, threads, |i, j| match (&subs[i], &subs[j]) {
+                (Some(a), Some(b)) => 1.0 / (1.0 + w1_distance(a, b) / DIST_SCALE_KM),
+                _ => sim_distribution(&tasks[i].sample_points, &tasks[j].sample_points),
+            })
+        }
         FactorKind::LearningPath => {
             let paths = gradient_paths.expect("learning-path factor needs gradient paths");
             assert_eq!(paths.len(), tasks.len(), "one path per task");
-            SimMatrix::from_fn(tasks.len(), |i, j| sim_learning_path(&paths[i], &paths[j]))
+            // Eq. 2's cosines reuse each step gradient's norm against
+            // every partner; hoist the norms out of the pair loop.
+            let norms: Vec<Vec<f64>> = paths
+                .iter()
+                .map(|p| p.iter().map(|g| norm(g)).collect())
+                .collect();
+            SimMatrix::from_fn_par(n, threads, |i, j| {
+                sim_learning_path_normed(&paths[i], &paths[j], &norms[i], &norms[j])
+            })
         }
     }
 }
@@ -281,5 +405,89 @@ mod tests {
         let m = SimMatrix::from_fn(3, |_, _| 0.5);
         assert_eq!(m.mean_to_set(0, &[0]), 0.0);
         assert_eq!(m.mean_to_set(0, &[0, 1, 2]), 0.5);
+    }
+
+    /// The memoized + threaded builds must be bitwise identical to the
+    /// naive per-pair functions for every factor and thread count — the
+    /// hoisted self-kernels / subsamples / norms reuse the exact same
+    /// arithmetic, and upper-triangle placement is position-determined.
+    #[test]
+    fn threaded_memoized_builds_match_naive_pairwise() {
+        use crate::learning_task::LearningTask;
+        use rand::Rng;
+        use tamp_core::rng::rng_for;
+        use tamp_core::WorkerId;
+
+        let mut rng = rng_for(99, 3);
+        let n = 7usize;
+        let tasks: Vec<LearningTask> = (0..n)
+            .map(|i| {
+                // Mix sizes around DEFAULT_SUBSAMPLE so both the hoisted
+                // and the fallback W1 paths are exercised.
+                let n_pts = if i % 2 == 0 {
+                    DEFAULT_SUBSAMPLE + 12
+                } else {
+                    10
+                };
+                let sample_points: Vec<Point> = (0..n_pts)
+                    .map(|_| Point::new(rng.gen_range(0.0..19.0), rng.gen_range(0.0..9.0)))
+                    .collect();
+                let poi_seq: Vec<Poi> = (0..4)
+                    .map(|k| {
+                        let cat = if (i + k) % 2 == 0 {
+                            PoiCategory::Food
+                        } else {
+                            PoiCategory::Office
+                        };
+                        poi(rng.gen_range(0.0..19.0), rng.gen_range(0.0..9.0), cat)
+                    })
+                    .collect();
+                LearningTask {
+                    worker_id: WorkerId(i as u64),
+                    support: Default::default(),
+                    query: Default::default(),
+                    poi_seq,
+                    sample_points,
+                    is_new: false,
+                }
+            })
+            .collect();
+        let paths: Vec<Vec<Vec<f64>>> = (0..n)
+            .map(|i| {
+                if i == 3 {
+                    Vec::new() // empty path: Sim_l must stay 0 to anyone
+                } else {
+                    (0..3)
+                        .map(|_| (0..8).map(|_| rng.gen_range(-1.0..1.0)).collect())
+                        .collect()
+                }
+            })
+            .collect();
+
+        for factor in FactorKind::PAPER_ORDER {
+            let naive = match factor {
+                FactorKind::Spatial => SimMatrix::from_fn(n, |i, j| {
+                    sim_spatial(&tasks[i].poi_seq, &tasks[j].poi_seq, DEFAULT_BANDWIDTH_KM)
+                }),
+                FactorKind::Distribution => SimMatrix::from_fn(n, |i, j| {
+                    sim_distribution(&tasks[i].sample_points, &tasks[j].sample_points)
+                }),
+                FactorKind::LearningPath => {
+                    SimMatrix::from_fn(n, |i, j| sim_learning_path(&paths[i], &paths[j]))
+                }
+            };
+            for threads in [1usize, 2, 4] {
+                let m = build_sim_matrix_threaded(factor, &tasks, Some(&paths), threads);
+                for i in 0..n {
+                    for j in 0..n {
+                        assert_eq!(
+                            m.get(i, j).to_bits(),
+                            naive.get(i, j).to_bits(),
+                            "factor {factor:?} threads {threads} pair ({i},{j})"
+                        );
+                    }
+                }
+            }
+        }
     }
 }

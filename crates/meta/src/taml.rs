@@ -14,9 +14,10 @@
 //! recorded in DESIGN.md.
 
 use crate::learning_task::LearningTask;
-use crate::meta_training::{meta_train_observed, MetaConfig};
+use crate::meta_training::{meta_train_observed, resolve_threads, MetaConfig};
 use crate::tree::{LearningTaskTree, NodeId};
 use rand::Rng;
+use tamp_core::rng::rng_for;
 use tamp_nn::{Loss, Seq2Seq};
 use tamp_obs::Obs;
 
@@ -56,6 +57,15 @@ pub fn taml_train(
 /// node (idx = node id; leaf spans nest inside their ancestors', exactly
 /// mirroring the recursion) and a `meta.taml.node_loss` gauge per node
 /// with the query loss that node contributed.
+///
+/// With `cfg.meta.threads > 1`, sibling subtrees of an interior node are
+/// trained on parallel scoped threads. Each child subtree draws a
+/// reproducible seed from the parent's RNG stream (serially, in child
+/// order), so node parameters and losses are identical for every thread
+/// count. Worker threads run without telemetry; each parallel child's
+/// `meta.taml.node_loss` gauge is re-emitted from the calling thread in
+/// child order after the join (descendant-level spans/gauges are
+/// suppressed under parallel siblings — see docs/telemetry.md).
 pub fn taml_train_observed(
     tree: &mut LearningTaskTree,
     tasks: &[LearningTask],
@@ -93,10 +103,30 @@ fn taml_node(
         return avg;
     }
 
-    // Interior: recurse, average losses (lines 3–5).
+    // Interior: recurse, average losses (lines 3–5). Each child subtree
+    // gets its own seed drawn serially from the parent stream in child
+    // order — the recursion's results are then independent of sibling
+    // execution order, so siblings can run on parallel threads without
+    // changing a single bit of the output.
+    let child_seeds: Vec<u64> = children.iter().map(|_| rng.gen::<u64>()).collect();
+    let n_threads = resolve_threads(cfg.meta.threads);
     let mut total = 0.0;
-    for &c in &children {
-        total += taml_node(tree, c, tasks, template, loss, cfg, rng, obs);
+    if n_threads <= 1 || children.len() < 2 {
+        for (&c, &seed) in children.iter().zip(&child_seeds) {
+            let mut crng = rng_for(seed, 0);
+            total += taml_node(tree, c, tasks, template, loss, cfg, &mut crng, obs);
+        }
+    } else {
+        total = taml_children_parallel(
+            tree,
+            &children,
+            &child_seeds,
+            tasks,
+            template,
+            loss,
+            cfg,
+            obs,
+        );
     }
     let avg = total / children.len() as f64;
     obs.gauge_idx("meta.taml.node_loss", avg, Some(node as u64));
@@ -117,6 +147,75 @@ fn taml_node(
     }
     tree.node_mut(node).theta = new_theta;
     avg
+}
+
+/// Trains the sibling subtrees under one interior node on parallel
+/// scoped threads. Each worker recurses over a clone of the tree with
+/// its child's private RNG and no telemetry; after the join, every
+/// subtree's updated `θ`s are merged back and the per-child
+/// `meta.taml.node_loss` gauges are emitted — both in child order.
+/// Returns the sum of the children's losses (added in child order).
+#[allow(clippy::too_many_arguments)]
+fn taml_children_parallel(
+    tree: &mut LearningTaskTree,
+    children: &[NodeId],
+    child_seeds: &[u64],
+    tasks: &[LearningTask],
+    template: &Seq2Seq,
+    loss: &dyn Loss,
+    cfg: &TamlConfig,
+    obs: &Obs,
+) -> f64 {
+    let mut results: Vec<(f64, LearningTaskTree)> = Vec::with_capacity(children.len());
+    crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (&c, &seed) in children.iter().zip(child_seeds) {
+            let tree_ref = &*tree;
+            handles.push(scope.spawn(move |_| {
+                let mut sub = tree_ref.clone();
+                let mut crng = rng_for(seed, 0);
+                let avg = taml_node(
+                    &mut sub,
+                    c,
+                    tasks,
+                    template,
+                    loss,
+                    cfg,
+                    &mut crng,
+                    &Obs::null(),
+                );
+                (avg, sub)
+            }));
+        }
+        for h in handles {
+            results.push(h.join().expect("taml child panicked"));
+        }
+    })
+    .expect("crossbeam scope");
+
+    let mut total = 0.0;
+    for (&c, (avg, sub)) in children.iter().zip(results.iter_mut()) {
+        for id in collect_subtree(sub, c) {
+            tree.node_mut(id).theta = std::mem::take(&mut sub.node_mut(id).theta);
+        }
+        obs.gauge_idx("meta.taml.node_loss", *avg, Some(c as u64));
+        total += *avg;
+    }
+    total
+}
+
+/// Node ids of the subtree rooted at `node` (depth-first, parents before
+/// children).
+fn collect_subtree(tree: &LearningTaskTree, node: NodeId) -> Vec<NodeId> {
+    let mut out = vec![node];
+    let mut stack = vec![node];
+    while let Some(n) = stack.pop() {
+        for &c in &tree.node(n).children {
+            out.push(c);
+            stack.push(c);
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -212,6 +311,51 @@ mod tests {
         }
         // The root θ also moved (interior update).
         assert_ne!(tree.node(tree.root()).theta, template.params());
+    }
+
+    #[test]
+    fn taml_is_invariant_to_thread_count() {
+        let tasks = family_tasks();
+        let mut seed_rng = rng_for(7, 5);
+        let template = Seq2Seq::new(Seq2SeqConfig::lstm(6), &mut seed_rng);
+        let cfg = GtmcConfig {
+            k: 2,
+            thresholds: vec![0.95],
+            min_split: 2,
+            seed: 3,
+            ..GtmcConfig::default()
+        };
+        let base_tree = build_tree(6, &[block_sim()], &cfg, template.params());
+        assert!(base_tree.len() >= 3, "expected a split tree");
+
+        let run = |threads: usize| {
+            let mut tree = base_tree.clone();
+            let tcfg = TamlConfig {
+                meta: MetaConfig {
+                    iterations: 4,
+                    adapt_steps: 2,
+                    threads,
+                    ..MetaConfig::default()
+                },
+                parent_blend: 0.5,
+            };
+            let mut rng = rng_for(11, 5);
+            let avg = taml_train(&mut tree, &tasks, &template, &MseLoss, &tcfg, &mut rng);
+            (avg, tree)
+        };
+
+        let (avg1, tree1) = run(1);
+        for threads in [2usize, 4] {
+            let (avg_n, tree_n) = run(threads);
+            assert_eq!(avg_n, avg1, "loss drifted at threads={threads}");
+            for id in 0..tree1.len() {
+                assert_eq!(
+                    tree_n.node(id).theta,
+                    tree1.node(id).theta,
+                    "node {id} theta drifted at threads={threads}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -48,21 +48,37 @@ impl Dense {
 
     /// Forward pass.
     pub fn forward(&self, x: &[f64]) -> Vec<f64> {
-        let mut y = self.w.matvec(x);
+        let mut y = vec![0.0; self.w.rows()];
+        self.forward_into(x, &mut y);
+        y
+    }
+
+    /// [`Dense::forward`] into a caller-owned buffer (resized as needed).
+    /// Bit-identical to the allocating variant.
+    pub fn forward_into(&self, x: &[f64], y: &mut Vec<f64>) {
+        y.resize(self.w.rows(), 0.0);
+        self.w.matvec_into(x, y);
         for (yv, bv) in y.iter_mut().zip(&self.b) {
             *yv += bv;
         }
-        y
     }
 
     /// Backward pass: accumulates parameter gradients into `grad` and
     /// returns `dx`. `x` must be the input of the matching forward call.
     pub fn backward(&self, x: &[f64], dy: &[f64], grad: &mut DenseGrad) -> Vec<f64> {
+        let mut dx = vec![0.0; self.w.cols()];
+        self.backward_into(x, dy, grad, &mut dx);
+        dx
+    }
+
+    /// [`Dense::backward`] into a caller-owned `dx` buffer.
+    pub fn backward_into(&self, x: &[f64], dy: &[f64], grad: &mut DenseGrad, dx: &mut Vec<f64>) {
         grad.dw.add_outer(1.0, dy, x);
         for (gb, d) in grad.db.iter_mut().zip(dy) {
             *gb += d;
         }
-        self.w.matvec_t(dy)
+        dx.resize(self.w.cols(), 0.0);
+        self.w.matvec_t_into(dy, dx);
     }
 }
 

@@ -40,6 +40,19 @@ pub struct GruStepCache {
     pub h_prev: Vec<f64>,
 }
 
+impl GruStepCache {
+    /// An empty cache whose buffers grow on first use (workspace slot).
+    pub fn empty() -> Self {
+        Self {
+            z_in: Vec::new(),
+            r: Vec::new(),
+            z: Vec::new(),
+            n: Vec::new(),
+            h_prev: Vec::new(),
+        }
+    }
+}
+
 /// A GRU cell.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct GruCell {
@@ -101,72 +114,120 @@ impl GruCell {
 
     /// One forward step: returns the next hidden state and the cache for
     /// [`GruCell::backward_step`].
-    #[allow(clippy::needless_range_loop)] // indexed gate math mirrors the equations
     pub fn forward_step(&self, x: &[f64], h_prev: &[f64]) -> (Vec<f64>, GruStepCache) {
+        let mut h = Vec::new();
+        let mut cache = GruStepCache::empty();
+        self.forward_step_ws(x, h_prev, &mut h, &mut cache);
+        (h, cache)
+    }
+
+    /// [`GruCell::forward_step`] into caller-owned buffers. The three gate
+    /// rows are read as contiguous slices of the fused `(3H) × (I+H)`
+    /// matrix instead of per-element `get` calls; each accumulator still
+    /// starts from the bias and adds products in column order, so results
+    /// are bit-identical to the original formulation.
+    #[allow(clippy::needless_range_loop)] // indexed gate math mirrors the equations
+    pub fn forward_step_ws(
+        &self,
+        x: &[f64],
+        h_prev: &[f64],
+        h_out: &mut Vec<f64>,
+        cache: &mut GruStepCache,
+    ) {
         assert_eq!(x.len(), self.input_dim, "gru input dim mismatch");
         assert_eq!(h_prev.len(), self.hidden, "gru state dim mismatch");
         let hd = self.hidden;
         let id = self.input_dim;
-        let mut z_in = Vec::with_capacity(id + hd);
-        z_in.extend_from_slice(x);
-        z_in.extend_from_slice(h_prev);
+        cache.z_in.clear();
+        cache.z_in.extend_from_slice(x);
+        cache.z_in.extend_from_slice(h_prev);
 
         // r and z gates over [x; h].
-        let mut r = vec![0.0; hd];
-        let mut z = vec![0.0; hd];
+        cache.r.resize(hd, 0.0);
+        cache.z.resize(hd, 0.0);
         for k in 0..hd {
+            let row_r = self.w.row(k);
+            let row_z = self.w.row(hd + k);
             let mut ar = self.b[k];
             let mut az = self.b[hd + k];
-            for (c, v) in z_in.iter().enumerate() {
-                ar += self.w.get(k, c) * v;
-                az += self.w.get(hd + k, c) * v;
+            for (c, v) in cache.z_in.iter().enumerate() {
+                ar += row_r[c] * v;
+                az += row_z[c] * v;
             }
-            r[k] = sigmoid(ar);
-            z[k] = sigmoid(az);
+            cache.r[k] = sigmoid(ar);
+            cache.z[k] = sigmoid(az);
         }
         // Candidate over [x; r ⊙ h].
-        let mut n = vec![0.0; hd];
+        cache.n.resize(hd, 0.0);
         for k in 0..hd {
+            let row_n = self.w.row(2 * hd + k);
             let mut an = self.b[2 * hd + k];
             for c in 0..id {
-                an += self.w.get(2 * hd + k, c) * x[c];
+                an += row_n[c] * x[c];
             }
             for j in 0..hd {
-                an += self.w.get(2 * hd + k, id + j) * (r[j] * h_prev[j]);
+                an += row_n[id + j] * (cache.r[j] * h_prev[j]);
             }
-            n[k] = an.tanh();
+            cache.n[k] = an.tanh();
         }
-        let mut h = vec![0.0; hd];
+        h_out.resize(hd, 0.0);
         for k in 0..hd {
-            h[k] = (1.0 - z[k]) * n[k] + z[k] * h_prev[k];
+            h_out[k] = (1.0 - cache.z[k]) * cache.n[k] + cache.z[k] * h_prev[k];
         }
-        let cache = GruStepCache {
-            z_in,
-            r,
-            z,
-            n,
-            h_prev: h_prev.to_vec(),
-        };
-        (h, cache)
+        cache.h_prev.clear();
+        cache.h_prev.extend_from_slice(h_prev);
     }
 
     /// One backward step of BPTT: accumulates parameter gradients into
     /// `grad` and returns `(dx, dh_prev)`.
-    #[allow(clippy::needless_range_loop)] // indexed gate math mirrors the equations
     pub fn backward_step(
         &self,
         cache: &GruStepCache,
         dh: &[f64],
         grad: &mut GruGrad,
     ) -> (Vec<f64>, Vec<f64>) {
+        let mut dx = Vec::new();
+        let mut dh_prev = Vec::new();
+        let mut scratch = (Vec::new(), Vec::new(), Vec::new(), Vec::new());
+        self.backward_step_ws(
+            cache,
+            dh,
+            grad,
+            &mut dx,
+            &mut dh_prev,
+            &mut scratch.0,
+            &mut scratch.1,
+            &mut scratch.2,
+            &mut scratch.3,
+        );
+        (dx, dh_prev)
+    }
+
+    /// [`GruCell::backward_step`] with caller-owned scratch (`dn`, `dz`,
+    /// `dan`, `dr` are the per-gate intermediaries). Gate rows are
+    /// accessed as slices of the fused weight matrix; the accumulation
+    /// order matches the per-element original exactly.
+    #[allow(clippy::needless_range_loop, clippy::too_many_arguments)]
+    pub fn backward_step_ws(
+        &self,
+        cache: &GruStepCache,
+        dh: &[f64],
+        grad: &mut GruGrad,
+        dx: &mut Vec<f64>,
+        dh_prev: &mut Vec<f64>,
+        dn: &mut Vec<f64>,
+        dz: &mut Vec<f64>,
+        dan: &mut Vec<f64>,
+        dr: &mut Vec<f64>,
+    ) {
         let hd = self.hidden;
         let id = self.input_dim;
         assert_eq!(dh.len(), hd);
 
         // h' = (1−z)·n + z·h_prev
-        let mut dn = vec![0.0; hd];
-        let mut dz = vec![0.0; hd];
-        let mut dh_prev = vec![0.0; hd];
+        dn.resize(hd, 0.0);
+        dz.resize(hd, 0.0);
+        dh_prev.resize(hd, 0.0);
         for k in 0..hd {
             dn[k] = dh[k] * (1.0 - cache.z[k]);
             dz[k] = dh[k] * (cache.h_prev[k] - cache.n[k]);
@@ -174,25 +235,28 @@ impl GruCell {
         }
 
         // Candidate pre-activation gradient.
-        let dan: Vec<f64> = (0..hd)
-            .map(|k| dn[k] * (1.0 - cache.n[k] * cache.n[k]))
-            .collect();
+        dan.resize(hd, 0.0);
+        for k in 0..hd {
+            dan[k] = dn[k] * (1.0 - cache.n[k] * cache.n[k]);
+        }
         // Its input contributions: x part and (r ⊙ h_prev) part.
-        let mut dx = vec![0.0; id];
-        let mut dr = vec![0.0; hd];
+        dx.clear();
+        dx.resize(id, 0.0);
+        dr.clear();
+        dr.resize(hd, 0.0);
         for k in 0..hd {
             let row = 2 * hd + k;
             grad.db[row] += dan[k];
+            let w_row = self.w.row(row);
+            let g_row = grad.dw.row_mut(row);
             for c in 0..id {
-                grad.dw
-                    .set(row, c, grad.dw.get(row, c) + dan[k] * cache.z_in[c]);
-                dx[c] += self.w.get(row, c) * dan[k];
+                g_row[c] += dan[k] * cache.z_in[c];
+                dx[c] += w_row[c] * dan[k];
             }
             for j in 0..hd {
                 let rh = cache.r[j] * cache.h_prev[j];
-                grad.dw
-                    .set(row, id + j, grad.dw.get(row, id + j) + dan[k] * rh);
-                let g = self.w.get(row, id + j) * dan[k];
+                g_row[id + j] += dan[k] * rh;
+                let g = w_row[id + j] * dan[k];
                 dr[j] += g * cache.h_prev[j];
                 dh_prev[j] += g * cache.r[j];
             }
@@ -204,18 +268,25 @@ impl GruCell {
             let daz = dz[k] * cache.z[k] * (1.0 - cache.z[k]);
             grad.db[k] += dar;
             grad.db[hd + k] += daz;
-            for (c, v) in cache.z_in.iter().enumerate() {
-                grad.dw.set(k, c, grad.dw.get(k, c) + dar * v);
-                grad.dw.set(hd + k, c, grad.dw.get(hd + k, c) + daz * v);
-                let back = self.w.get(k, c) * dar + self.w.get(hd + k, c) * daz;
+            let w_r = self.w.row(k);
+            let w_z = self.w.row(hd + k);
+            for c in 0..cache.z_in.len() {
+                let back = w_r[c] * dar + w_z[c] * daz;
                 if c < id {
                     dx[c] += back;
                 } else {
                     dh_prev[c - id] += back;
                 }
             }
+            let g_r = grad.dw.row_mut(k);
+            for (c, v) in cache.z_in.iter().enumerate() {
+                g_r[c] += dar * v;
+            }
+            let g_z = grad.dw.row_mut(hd + k);
+            for (c, v) in cache.z_in.iter().enumerate() {
+                g_z[c] += daz * v;
+            }
         }
-        (dx, dh_prev)
     }
 }
 
@@ -321,6 +392,84 @@ mod tests {
                 "dh_prev[{k}]: fd={fd} an={}",
                 dh_prev[k]
             );
+        }
+    }
+
+    #[test]
+    fn workspace_reuse_is_bitwise_stable() {
+        // Reusing dirty scratch buffers must give exactly the same
+        // numbers as fresh allocations on every call.
+        let mut rng = rng_for(6, 15);
+        let cell = GruCell::new(3, 5, &mut rng);
+        let xs = [
+            vec![0.4, -0.2, 0.9],
+            vec![-0.6, 0.1, 0.3],
+            vec![0.2, 0.8, -0.5],
+        ];
+
+        // Reference: allocating path.
+        let mut h_ref = vec![0.0; 5];
+        let mut caches_ref = Vec::new();
+        for x in &xs {
+            let (h, c) = cell.forward_step(x, &h_ref);
+            h_ref = h;
+            caches_ref.push(c);
+        }
+        let mut grad_ref = GruGrad::zeros(&cell);
+        let mut dh = vec![1.0; 5];
+        let mut dx_ref_all = Vec::new();
+        for c in caches_ref.iter().rev() {
+            let (dx, dh_prev) = cell.backward_step(c, &dh, &mut grad_ref);
+            dx_ref_all.push(dx);
+            dh = dh_prev;
+        }
+
+        // Workspace path with deliberately dirty buffers.
+        let mut h_ws = vec![0.0; 5];
+        let mut h_buf = vec![9.9; 17];
+        let mut cache = GruStepCache::empty();
+        cache.z_in = vec![7.0; 31];
+        cache.r = vec![-3.0; 2];
+        let mut caches_ws = Vec::new();
+        for x in &xs {
+            cell.forward_step_ws(x, &h_ws, &mut h_buf, &mut cache);
+            h_ws.clear();
+            h_ws.extend_from_slice(&h_buf);
+            caches_ws.push(cache.clone());
+        }
+        assert_eq!(h_ws, h_ref);
+        for (a, b) in caches_ws.iter().zip(&caches_ref) {
+            assert_eq!(a.z_in, b.z_in);
+            assert_eq!(a.r, b.r);
+            assert_eq!(a.z, b.z);
+            assert_eq!(a.n, b.n);
+            assert_eq!(a.h_prev, b.h_prev);
+        }
+
+        let mut grad_ws = GruGrad::zeros(&cell);
+        let mut dh = vec![1.0; 5];
+        let (mut dx, mut dh_prev) = (vec![5.0; 9], vec![5.0; 9]);
+        let (mut dn, mut dzv, mut dan, mut dr) =
+            (vec![1.0; 3], vec![2.0; 4], vec![3.0; 5], vec![4.0; 6]);
+        for (i, c) in caches_ws.iter().rev().enumerate() {
+            cell.backward_step_ws(
+                c,
+                &dh,
+                &mut grad_ws,
+                &mut dx,
+                &mut dh_prev,
+                &mut dn,
+                &mut dzv,
+                &mut dan,
+                &mut dr,
+            );
+            assert_eq!(dx, dx_ref_all[i]);
+            dh.clear();
+            dh.extend_from_slice(&dh_prev);
+        }
+        assert_eq!(grad_ws.db, grad_ref.db);
+        for r in 0..grad_ws.dw.rows() {
+            assert_eq!(grad_ws.dw.row(r), grad_ref.dw.row(r));
         }
     }
 

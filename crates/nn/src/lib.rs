@@ -39,5 +39,5 @@ pub mod seq2seq;
 
 pub use loss::{Loss, MseLoss, TaskDensityMap, TaskOrientedLoss, WeightParams};
 pub use matrix::Matrix;
-pub use optim::{clip_grad_norm, Adam, Optimizer, Sgd};
-pub use seq2seq::{Seq2Seq, Seq2SeqConfig, TrainBatch};
+pub use optim::{add_scaled, clip_grad_norm, sub_scaled, Adam, Optimizer, Sgd};
+pub use seq2seq::{Seq2Seq, Seq2SeqConfig, Tape, TrainBatch};

@@ -16,7 +16,7 @@
 //! `i, f, g, o` order) plus a `4H` bias, which keeps the parameter
 //! flattening used by the meta-learner trivial.
 
-use crate::matrix::Matrix;
+use crate::matrix::{matvec_colmajor_into, Matrix};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -61,6 +61,25 @@ pub struct StepCache {
     pub c_prev: Vec<f64>,
     /// Cell state leaving the step.
     pub c: Vec<f64>,
+    /// `tanh(c)` as computed by the forward step — the backward pass
+    /// reuses it instead of re-evaluating the transcendental.
+    pub tanh_c: Vec<f64>,
+}
+
+impl StepCache {
+    /// An empty cache whose buffers grow on first use (workspace slot).
+    pub fn empty() -> Self {
+        Self {
+            z: Vec::new(),
+            i: Vec::new(),
+            f: Vec::new(),
+            g: Vec::new(),
+            o: Vec::new(),
+            c_prev: Vec::new(),
+            c: Vec::new(),
+            tanh_c: Vec::new(),
+        }
+    }
 }
 
 /// An LSTM cell.
@@ -130,46 +149,87 @@ impl LstmCell {
     /// One forward step. Returns the new state and the cache needed by
     /// [`LstmCell::backward_step`].
     pub fn forward_step(&self, x: &[f64], state: &LstmState) -> (LstmState, StepCache) {
-        assert_eq!(x.len(), self.input_dim, "lstm input dim mismatch");
-        assert_eq!(state.h.len(), self.hidden, "lstm state dim mismatch");
-        let h = self.hidden;
-        let mut z = Vec::with_capacity(self.input_dim + h);
-        z.extend_from_slice(x);
-        z.extend_from_slice(&state.h);
+        let mut next = LstmState::zeros(self.hidden);
+        let mut cache = StepCache::empty();
+        let mut a = Vec::new();
+        self.forward_step_ws(
+            x,
+            &state.h,
+            &state.c,
+            &mut next.h,
+            &mut next.c,
+            &mut cache,
+            &mut a,
+            &[],
+        );
+        (next, cache)
+    }
 
-        let mut a = self.w.matvec(&z);
+    /// [`LstmCell::forward_step`] writing into caller-owned buffers: the
+    /// next state goes to `h_out`/`c_out`, the step cache is rebuilt in
+    /// place, and `a` is scratch for the fused `4H` gate pre-activation.
+    /// Every buffer is resized as needed, so repeated calls allocate
+    /// nothing once the buffers have grown. Arithmetic (one fused gate
+    /// GEMM, then bias add) is bit-identical to the allocating version.
+    ///
+    /// `wt` is an optional column-major copy of `w` (from
+    /// [`Matrix::transpose_into`]); pass it when the same weights are
+    /// reused across many steps so the gate GEMM runs through the
+    /// vectorisable [`matvec_colmajor_into`] — results are bit-identical
+    /// either way. Pass `&[]` to use the row-major weights directly.
+    #[allow(clippy::too_many_arguments)]
+    pub fn forward_step_ws(
+        &self,
+        x: &[f64],
+        h_prev: &[f64],
+        c_prev: &[f64],
+        h_out: &mut Vec<f64>,
+        c_out: &mut Vec<f64>,
+        cache: &mut StepCache,
+        a: &mut Vec<f64>,
+        wt: &[f64],
+    ) {
+        assert_eq!(x.len(), self.input_dim, "lstm input dim mismatch");
+        assert_eq!(h_prev.len(), self.hidden, "lstm state dim mismatch");
+        let h = self.hidden;
+        cache.z.clear();
+        cache.z.extend_from_slice(x);
+        cache.z.extend_from_slice(h_prev);
+
+        a.resize(4 * h, 0.0);
+        if wt.is_empty() {
+            self.w.matvec_into(&cache.z, a);
+        } else {
+            matvec_colmajor_into(wt, 4 * h, self.input_dim + h, &cache.z, a);
+        }
         for (av, bv) in a.iter_mut().zip(&self.b) {
             *av += bv;
         }
 
-        let mut i = vec![0.0; h];
-        let mut f = vec![0.0; h];
-        let mut g = vec![0.0; h];
-        let mut o = vec![0.0; h];
+        cache.i.resize(h, 0.0);
+        cache.f.resize(h, 0.0);
+        cache.g.resize(h, 0.0);
+        cache.o.resize(h, 0.0);
         for k in 0..h {
-            i[k] = sigmoid(a[k]);
-            f[k] = sigmoid(a[h + k]);
-            g[k] = a[2 * h + k].tanh();
-            o[k] = sigmoid(a[3 * h + k]);
+            cache.i[k] = sigmoid(a[k]);
+            cache.f[k] = sigmoid(a[h + k]);
+            cache.g[k] = a[2 * h + k].tanh();
+            cache.o[k] = sigmoid(a[3 * h + k]);
         }
 
-        let mut c = vec![0.0; h];
-        let mut h_new = vec![0.0; h];
+        c_out.resize(h, 0.0);
+        h_out.resize(h, 0.0);
+        cache.tanh_c.resize(h, 0.0);
         for k in 0..h {
-            c[k] = f[k] * state.c[k] + i[k] * g[k];
-            h_new[k] = o[k] * c[k].tanh();
+            c_out[k] = cache.f[k] * c_prev[k] + cache.i[k] * cache.g[k];
+            cache.tanh_c[k] = c_out[k].tanh();
+            h_out[k] = cache.o[k] * cache.tanh_c[k];
         }
 
-        let cache = StepCache {
-            z,
-            i,
-            f,
-            g,
-            o,
-            c_prev: state.c.clone(),
-            c: c.clone(),
-        };
-        (LstmState { h: h_new, c }, cache)
+        cache.c_prev.clear();
+        cache.c_prev.extend_from_slice(c_prev);
+        cache.c.clear();
+        cache.c.extend_from_slice(c_out);
     }
 
     /// One backward step of BPTT.
@@ -185,14 +245,49 @@ impl LstmCell {
         dc_next: &[f64],
         grad: &mut LstmGrad,
     ) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
+        let mut da = Vec::new();
+        let mut dz = Vec::new();
+        let mut dh_prev = Vec::new();
+        let mut dc_prev = Vec::new();
+        self.backward_step_ws(
+            cache,
+            dh,
+            dc_next,
+            grad,
+            &mut da,
+            &mut dz,
+            &mut dh_prev,
+            &mut dc_prev,
+        );
+        let dx = dz[..self.input_dim].to_vec();
+        (dx, dh_prev, dc_prev)
+    }
+
+    /// [`LstmCell::backward_step`] with caller-owned scratch: `da` holds
+    /// the fused `4H` gate pre-activation gradient, `dz` the `I+H` input
+    /// gradient (`dz[..I]` is `dx` if the caller wants it), and
+    /// `dh_prev`/`dc_prev` the recurrent gradients. Buffers are resized in
+    /// place; repeated calls allocate nothing.
+    #[allow(clippy::too_many_arguments)]
+    pub fn backward_step_ws(
+        &self,
+        cache: &StepCache,
+        dh: &[f64],
+        dc_next: &[f64],
+        grad: &mut LstmGrad,
+        da: &mut Vec<f64>,
+        dz: &mut Vec<f64>,
+        dh_prev: &mut Vec<f64>,
+        dc_prev: &mut Vec<f64>,
+    ) {
         let h = self.hidden;
         assert_eq!(dh.len(), h);
         assert_eq!(dc_next.len(), h);
 
-        let mut da = vec![0.0; 4 * h];
-        let mut dc_prev = vec![0.0; h];
+        da.resize(4 * h, 0.0);
+        dc_prev.resize(h, 0.0);
         for k in 0..h {
-            let tanh_c = cache.c[k].tanh();
+            let tanh_c = cache.tanh_c[k];
             let do_ = dh[k] * tanh_c;
             let dc = dh[k] * cache.o[k] * (1.0 - tanh_c * tanh_c) + dc_next[k];
             let di = dc * cache.g[k];
@@ -206,15 +301,15 @@ impl LstmCell {
             da[3 * h + k] = do_ * cache.o[k] * (1.0 - cache.o[k]);
         }
 
-        grad.dw.add_outer(1.0, &da, &cache.z);
-        for (gb, d) in grad.db.iter_mut().zip(&da) {
+        grad.dw.add_outer(1.0, da, &cache.z);
+        for (gb, d) in grad.db.iter_mut().zip(da.iter()) {
             *gb += d;
         }
 
-        let dz = self.w.matvec_t(&da);
-        let dx = dz[..self.input_dim].to_vec();
-        let dh_prev = dz[self.input_dim..].to_vec();
-        (dx, dh_prev, dc_prev)
+        dz.resize(self.input_dim + h, 0.0);
+        self.w.matvec_t_into(da, dz);
+        dh_prev.clear();
+        dh_prev.extend_from_slice(&dz[self.input_dim..]);
     }
 }
 
@@ -303,6 +398,165 @@ mod tests {
                 grad.db[k]
             );
         }
+    }
+
+    /// The fused `[4H × (I+H)]` gate GEMM must agree with a naive unfused
+    /// reference (four separate per-gate H×(I+H) matrix–vector products)
+    /// on both the forward activations and the backward gradients, to
+    /// ≤ 1e-10 (they are in fact bit-identical: each output row's
+    /// accumulation chain is the same).
+    #[test]
+    fn fused_gates_match_unfused_reference() {
+        let mut rng = rng_for(6, 0);
+        let cell = LstmCell::new(3, 5, &mut rng);
+        let (id, h) = (3usize, 5usize);
+        let state = LstmState {
+            h: vec![0.12, -0.34, 0.56, -0.08, 0.21],
+            c: vec![-0.4, 0.3, 0.0, 0.25, -0.15],
+        };
+        let x = [0.6, -0.2, 0.45];
+
+        // ---- unfused forward: one matvec per gate block ----
+        let gate_rows = |block: usize| -> Matrix {
+            Matrix::from_fn(h, id + h, |r, c| cell.w.get(block * h + r, c))
+        };
+        let (wi, wf, wg, wo) = (gate_rows(0), gate_rows(1), gate_rows(2), gate_rows(3));
+        let mut z = x.to_vec();
+        z.extend_from_slice(&state.h);
+        let ai = wi.matvec(&z);
+        let af = wf.matvec(&z);
+        let ag = wg.matvec(&z);
+        let ao = wo.matvec(&z);
+        let mut h_ref = vec![0.0; h];
+        let mut c_ref = vec![0.0; h];
+        let mut gates_ref = (vec![0.0; h], vec![0.0; h], vec![0.0; h], vec![0.0; h]);
+        for k in 0..h {
+            let i = sigmoid(ai[k] + cell.b[k]);
+            let f = sigmoid(af[k] + cell.b[h + k]);
+            let g = (ag[k] + cell.b[2 * h + k]).tanh();
+            let o = sigmoid(ao[k] + cell.b[3 * h + k]);
+            c_ref[k] = f * state.c[k] + i * g;
+            h_ref[k] = o * c_ref[k].tanh();
+            gates_ref.0[k] = i;
+            gates_ref.1[k] = f;
+            gates_ref.2[k] = g;
+            gates_ref.3[k] = o;
+        }
+
+        let (next, cache) = cell.forward_step(&x, &state);
+        for k in 0..h {
+            assert!((next.h[k] - h_ref[k]).abs() <= 1e-10, "h[{k}]");
+            assert!((next.c[k] - c_ref[k]).abs() <= 1e-10, "c[{k}]");
+            assert!((cache.i[k] - gates_ref.0[k]).abs() <= 1e-10);
+            assert!((cache.f[k] - gates_ref.1[k]).abs() <= 1e-10);
+            assert!((cache.g[k] - gates_ref.2[k]).abs() <= 1e-10);
+            assert!((cache.o[k] - gates_ref.3[k]).abs() <= 1e-10);
+        }
+
+        // ---- unfused backward: per-gate outer products + transposed
+        //      per-gate matvecs, against the fused backward_step ----
+        let dh: Vec<f64> = (0..h).map(|k| 0.3 - 0.1 * k as f64).collect();
+        let dc_next: Vec<f64> = (0..h).map(|k| -0.2 + 0.07 * k as f64).collect();
+        let mut grad = LstmGrad::zeros(&cell);
+        let (dx, dh_prev, dc_prev) = cell.backward_step(&cache, &dh, &dc_next, &mut grad);
+
+        let mut da = vec![0.0; 4 * h];
+        let mut dc_prev_ref = vec![0.0; h];
+        for k in 0..h {
+            let tanh_c = cache.c[k].tanh();
+            let do_ = dh[k] * tanh_c;
+            let dc = dh[k] * cache.o[k] * (1.0 - tanh_c * tanh_c) + dc_next[k];
+            dc_prev_ref[k] = dc * cache.f[k];
+            da[k] = dc * cache.g[k] * cache.i[k] * (1.0 - cache.i[k]);
+            da[h + k] = dc * cache.c_prev[k] * cache.f[k] * (1.0 - cache.f[k]);
+            da[2 * h + k] = dc * cache.i[k] * (1.0 - cache.g[k] * cache.g[k]);
+            da[3 * h + k] = do_ * cache.o[k] * (1.0 - cache.o[k]);
+        }
+        let mut dz_ref = vec![0.0; id + h];
+        for (block, w) in [&wi, &wf, &wg, &wo].iter().enumerate() {
+            let part = w.matvec_t(&da[block * h..(block + 1) * h]);
+            for (acc, v) in dz_ref.iter_mut().zip(&part) {
+                *acc += v;
+            }
+        }
+        for k in 0..id {
+            assert!((dx[k] - dz_ref[k]).abs() <= 1e-10, "dx[{k}]");
+        }
+        for k in 0..h {
+            assert!((dh_prev[k] - dz_ref[id + k]).abs() <= 1e-10, "dh_prev[{k}]");
+            assert!((dc_prev[k] - dc_prev_ref[k]).abs() <= 1e-10, "dc_prev[{k}]");
+        }
+        for (r, &dar) in da.iter().enumerate() {
+            for c in 0..id + h {
+                let unfused = dar * cache.z[c];
+                assert!((grad.dw.get(r, c) - unfused).abs() <= 1e-10, "dw[{r},{c}]");
+            }
+            assert!((grad.db[r] - dar).abs() <= 1e-10, "db[{r}]");
+        }
+    }
+
+    /// Workspace-based steps with dirty reused buffers must reproduce the
+    /// fresh-allocation path exactly.
+    #[test]
+    fn workspace_reuse_is_bitwise_stable() {
+        let mut rng = rng_for(7, 0);
+        let cell = LstmCell::new(2, 4, &mut rng);
+        let s0 = LstmState::zeros(4);
+        let inputs = [[0.4, -0.3], [0.1, 0.9], [-0.7, 0.2]];
+
+        // Fresh-allocation reference over the sequence.
+        let mut state = s0.clone();
+        let mut ref_caches = Vec::new();
+        for x in &inputs {
+            let (next, cache) = cell.forward_step(x, &state);
+            ref_caches.push(cache);
+            state = next;
+        }
+        let ref_final = state;
+
+        // Workspace path: one set of buffers reused across the sequence
+        // (pre-dirtied with junk values).
+        let mut cache = StepCache::empty();
+        cache.z = vec![9.9; 17];
+        let mut a = vec![7.7; 3];
+        // Drive the workspace path through the column-major GEMM so this
+        // test also pins its bit-equality to the allocating reference.
+        let mut wt = Vec::new();
+        cell.w.transpose_into(&mut wt);
+        let (mut h, mut c) = (s0.h.clone(), s0.c.clone());
+        let (mut h_out, mut c_out) = (vec![1.0; 9], vec![2.0; 1]);
+        for (t, x) in inputs.iter().enumerate() {
+            cell.forward_step_ws(x, &h, &c, &mut h_out, &mut c_out, &mut cache, &mut a, &wt);
+            assert_eq!(cache.z, ref_caches[t].z, "step {t} cache.z");
+            assert_eq!(cache.i, ref_caches[t].i, "step {t} cache.i");
+            assert_eq!(cache.c, ref_caches[t].c, "step {t} cache.c");
+            std::mem::swap(&mut h, &mut h_out);
+            std::mem::swap(&mut c, &mut c_out);
+        }
+        assert_eq!(h, ref_final.h);
+        assert_eq!(c, ref_final.c);
+
+        // Backward with dirty scratch matches the allocating backward.
+        let ones = vec![1.0; 4];
+        let mut grad_ref = LstmGrad::zeros(&cell);
+        let (_, dhp_ref, dcp_ref) = cell.backward_step(&ref_caches[2], &ones, &ones, &mut grad_ref);
+        let mut grad_ws = LstmGrad::zeros(&cell);
+        let (mut da, mut dz) = (vec![3.0; 2], vec![4.0; 40]);
+        let (mut dhp, mut dcp) = (vec![5.0; 7], vec![6.0; 3]);
+        cell.backward_step_ws(
+            &ref_caches[2],
+            &ones,
+            &ones,
+            &mut grad_ws,
+            &mut da,
+            &mut dz,
+            &mut dhp,
+            &mut dcp,
+        );
+        assert_eq!(dhp, dhp_ref);
+        assert_eq!(dcp, dcp_ref);
+        assert_eq!(grad_ws.dw, grad_ref.dw);
+        assert_eq!(grad_ws.db, grad_ref.db);
     }
 
     /// The input/state gradients must match finite differences too.

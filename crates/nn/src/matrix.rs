@@ -88,30 +88,97 @@ impl Matrix {
         self.data[r * self.cols + c] = v;
     }
 
+    /// One row as a slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f64] {
+        debug_assert!(r < self.rows);
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// One row as a mutable slice.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
+        debug_assert!(r < self.rows);
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
     /// `y = A·x` for a column vector `x` (`len == cols`).
-    #[allow(clippy::needless_range_loop)] // row-slice indexing is the hot path
     pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
-        assert_eq!(x.len(), self.cols, "matvec shape mismatch");
         let mut y = vec![0.0; self.rows];
-        for r in 0..self.rows {
-            let row = &self.data[r * self.cols..(r + 1) * self.cols];
+        self.matvec_into(x, &mut y);
+        y
+    }
+
+    /// [`Matrix::matvec`] into a caller-provided buffer (`y.len == rows`).
+    ///
+    /// Rows are processed four at a time with one independent accumulator
+    /// chain each — the per-row accumulation order (and therefore the
+    /// result, bit for bit) is identical to the straightforward per-row
+    /// loop; the blocking only removes the serial add-latency bottleneck
+    /// by giving the CPU four dependency chains to overlap.
+    pub fn matvec_into(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.cols, "matvec shape mismatch");
+        assert_eq!(y.len(), self.rows, "matvec output mismatch");
+        let n = self.cols;
+        let mut r = 0;
+        while r + 4 <= self.rows {
+            let base = r * n;
+            let (r0, rest) = self.data[base..base + 4 * n].split_at(n);
+            let (r1, rest) = rest.split_at(n);
+            let (r2, r3) = rest.split_at(n);
+            let (mut a0, mut a1, mut a2, mut a3) = (0.0, 0.0, 0.0, 0.0);
+            for (k, &xv) in x.iter().enumerate() {
+                a0 += r0[k] * xv;
+                a1 += r1[k] * xv;
+                a2 += r2[k] * xv;
+                a3 += r3[k] * xv;
+            }
+            y[r] = a0;
+            y[r + 1] = a1;
+            y[r + 2] = a2;
+            y[r + 3] = a3;
+            r += 4;
+        }
+        while r < self.rows {
+            let row = &self.data[r * n..(r + 1) * n];
             let mut acc = 0.0;
             for (a, b) in row.iter().zip(x) {
                 acc += a * b;
             }
             y[r] = acc;
+            r += 1;
         }
-        y
+    }
+
+    /// Writes a column-major copy of `A` into `out` (element `(r, c)` at
+    /// `out[c * rows + r]`), resizing as needed. Pair with
+    /// [`matvec_colmajor_into`] for a vectorisable forward product.
+    pub fn transpose_into(&self, out: &mut Vec<f64>) {
+        out.resize(self.rows * self.cols, 0.0);
+        for r in 0..self.rows {
+            let row = &self.data[r * self.cols..(r + 1) * self.cols];
+            for (c, &v) in row.iter().enumerate() {
+                out[c * self.rows + r] = v;
+            }
+        }
     }
 
     /// `y = Aᵀ·x` for a column vector `x` (`len == rows`) without
     /// materialising the transpose.
-    #[allow(clippy::needless_range_loop)] // row-slice indexing is the hot path
     pub fn matvec_t(&self, x: &[f64]) -> Vec<f64> {
-        assert_eq!(x.len(), self.rows, "matvec_t shape mismatch");
         let mut y = vec![0.0; self.cols];
-        for r in 0..self.rows {
-            let xr = x[r];
+        self.matvec_t_into(x, &mut y);
+        y
+    }
+
+    /// [`Matrix::matvec_t`] into a caller-provided buffer, which is
+    /// zero-filled first (`y.len == cols`). Accumulation order matches
+    /// the allocating version exactly.
+    pub fn matvec_t_into(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.rows, "matvec_t shape mismatch");
+        assert_eq!(y.len(), self.cols, "matvec_t output mismatch");
+        y.fill(0.0);
+        for (r, &xr) in x.iter().enumerate() {
             if xr == 0.0 {
                 continue;
             }
@@ -120,7 +187,6 @@ impl Matrix {
                 *yc += a * xr;
             }
         }
-        y
     }
 
     /// Rank-1 update `A += α · u vᵀ` (`u.len == rows`, `v.len == cols`).
@@ -170,6 +236,42 @@ impl Matrix {
     }
 }
 
+/// `y = A·x` where `wt` is `A` stored column-major (the output of
+/// [`Matrix::transpose_into`]).
+///
+/// Each output row still accumulates its products in column order
+/// `k = 0..cols` — exactly the order of [`Matrix::matvec_into`] — so the
+/// result is bit-identical. The difference is purely mechanical: the
+/// inner loop walks a contiguous column and updates independent outputs,
+/// which the compiler can vectorise, unlike the row-major dot product
+/// whose single accumulator chain forces scalar code.
+pub fn matvec_colmajor_into(wt: &[f64], rows: usize, cols: usize, x: &[f64], y: &mut [f64]) {
+    assert_eq!(wt.len(), rows * cols, "colmajor shape mismatch");
+    assert_eq!(x.len(), cols, "matvec shape mismatch");
+    assert_eq!(y.len(), rows, "matvec output mismatch");
+    y.fill(0.0);
+    // Columns are consumed two at a time so `y` is loaded/stored once per
+    // pair; the expression below evaluates left to right, i.e.
+    // `(y + w0·x0) + w1·x1`, which is exactly the one-column-at-a-time
+    // order — results stay bit-identical.
+    let mut k = 0;
+    while k + 2 <= cols {
+        let (x0, x1) = (x[k], x[k + 1]);
+        let (c0, c1) = wt[k * rows..(k + 2) * rows].split_at(rows);
+        for ((yv, &w0), &w1) in y.iter_mut().zip(c0).zip(c1) {
+            *yv = *yv + w0 * x0 + w1 * x1;
+        }
+        k += 2;
+    }
+    if k < cols {
+        let xv = x[k];
+        let col = &wt[k * rows..(k + 1) * rows];
+        for (yv, &wv) in y.iter_mut().zip(col) {
+            *yv += wv * xv;
+        }
+    }
+}
+
 /// Vector helpers used alongside [`Matrix`]; kept free so call sites read
 /// like math.
 pub mod vecops {
@@ -213,6 +315,39 @@ mod tests {
         let a = Matrix::from_rows(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
         let y = a.matvec(&[1.0, 0.0, -1.0]);
         assert_eq!(y, vec![-2.0, -2.0]);
+    }
+
+    /// The 4-row-blocked kernel must be bit-identical to a scalar per-row
+    /// loop for every row-count remainder (0..=3 tail rows).
+    #[test]
+    fn blocked_matvec_is_bitwise_identical_to_scalar() {
+        let mut rng = tamp_core::rng::rng_for(7, 3);
+        for rows in 1..10usize {
+            let m = Matrix::xavier(rows, 7, &mut rng);
+            let x: Vec<f64> = (0..7).map(|i| (i as f64 * 0.37).sin()).collect();
+            let scalar: Vec<f64> = (0..rows)
+                .map(|r| {
+                    let mut acc = 0.0;
+                    for (a, b) in m.row(r).iter().zip(&x) {
+                        acc += a * b;
+                    }
+                    acc
+                })
+                .collect();
+            assert_eq!(m.matvec(&x), scalar, "rows={rows}");
+        }
+    }
+
+    #[test]
+    fn into_variants_reuse_buffers() {
+        let m = Matrix::from_rows(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let mut y = vec![99.0, 99.0];
+        m.matvec_into(&[1.0, 0.0, -1.0], &mut y);
+        assert_eq!(y, vec![-2.0, -2.0]);
+        // matvec_t_into zero-fills: stale contents must not leak.
+        let mut yt = vec![5.0, 5.0, 5.0];
+        m.matvec_t_into(&[1.0, 2.0], &mut yt);
+        assert_eq!(yt, vec![9.0, 12.0, 15.0]);
     }
 
     #[test]

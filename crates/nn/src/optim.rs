@@ -20,6 +20,26 @@ pub fn clip_grad_norm(grad: &mut [f64], max_norm: f64) -> f64 {
     norm
 }
 
+/// In-place `params += alpha · g` over flat parameter vectors — the
+/// meta-update primitive that lets MAML-style loops modify a parameter
+/// vector without cloning a whole weight set first.
+#[inline]
+pub fn add_scaled(params: &mut [f64], alpha: f64, g: &[f64]) {
+    assert_eq!(params.len(), g.len(), "add_scaled length mismatch");
+    for (p, gv) in params.iter_mut().zip(g) {
+        *p += alpha * gv;
+    }
+}
+
+/// In-place `params -= alpha · g` (an SGD/adapt step at rate `alpha`).
+#[inline]
+pub fn sub_scaled(params: &mut [f64], alpha: f64, g: &[f64]) {
+    assert_eq!(params.len(), g.len(), "sub_scaled length mismatch");
+    for (p, gv) in params.iter_mut().zip(g) {
+        *p -= alpha * gv;
+    }
+}
+
 /// A first-order optimiser over a flat parameter vector.
 pub trait Optimizer {
     /// Applies one update given the gradient of the current step.
@@ -152,6 +172,15 @@ mod tests {
     #[should_panic(expected = "length mismatch")]
     fn sgd_checks_lengths() {
         Sgd::new(0.1).step(&mut [0.0, 1.0], &[1.0]);
+    }
+
+    #[test]
+    fn scaled_ops_match_manual_update() {
+        let mut p = vec![1.0, 2.0, -0.5];
+        add_scaled(&mut p, 0.5, &[2.0, -4.0, 1.0]);
+        assert_eq!(p, vec![2.0, 0.0, 0.0]);
+        sub_scaled(&mut p, 0.25, &[4.0, 0.0, -8.0]);
+        assert_eq!(p, vec![1.0, 0.0, 2.0]);
     }
 
     #[test]

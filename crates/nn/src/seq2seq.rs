@@ -26,6 +26,7 @@ use crate::loss::{Loss, Pt2};
 use crate::lstm::{LstmCell, LstmGrad, LstmState, StepCache};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
+use std::mem;
 
 /// Which recurrent cell the encoder/decoder use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
@@ -82,7 +83,7 @@ enum Cell {
 
 /// Unified recurrent state: hidden vector plus the LSTM's cell vector
 /// (empty for GRU).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 struct CellState {
     h: Vec<f64>,
     c: Vec<f64>,
@@ -99,6 +100,22 @@ enum CellCache {
 enum CellGrad {
     Lstm(LstmGrad),
     Gru(GruGrad),
+}
+
+impl CellGrad {
+    /// Zeroes the accumulator without reallocating.
+    fn zero_in_place(&mut self) {
+        match self {
+            CellGrad::Lstm(g) => {
+                g.dw.clear();
+                g.db.fill(0.0);
+            }
+            CellGrad::Gru(g) => {
+                g.dw.clear();
+                g.db.fill(0.0);
+            }
+        }
+    }
 }
 
 impl Cell {
@@ -133,6 +150,27 @@ impl Cell {
         match self {
             Cell::Lstm(c) => CellGrad::Lstm(LstmGrad::zeros(c)),
             Cell::Gru(c) => CellGrad::Gru(GruGrad::zeros(c)),
+        }
+    }
+
+    /// An empty step cache of the matching family (workspace pool slot).
+    fn empty_cache(&self) -> CellCache {
+        match self {
+            Cell::Lstm(_) => CellCache::Lstm(StepCache::empty()),
+            Cell::Gru(_) => CellCache::Gru(GruStepCache::empty()),
+        }
+    }
+
+    /// Whether `grad` has the family and shape of this cell's parameters.
+    fn grad_matches(&self, grad: &CellGrad) -> bool {
+        match (self, grad) {
+            (Cell::Lstm(c), CellGrad::Lstm(g)) => {
+                g.dw.rows() == c.w.rows() && g.dw.cols() == c.w.cols() && g.db.len() == c.b.len()
+            }
+            (Cell::Gru(c), CellGrad::Gru(g)) => {
+                g.dw.rows() == c.w.rows() && g.dw.cols() == c.w.cols() && g.db.len() == c.b.len()
+            }
+            _ => false,
         }
     }
 
@@ -204,25 +242,160 @@ impl Cell {
         }
     }
 
-    /// Backward step: `dh`/`dc` flow in, `(dh_prev, dc_prev)` flow out
-    /// (`dc` slots are empty vectors for GRU).
-    fn backward_step(
+    /// [`Cell::forward_step`] into caller-owned state/cache buffers.
+    /// `a` is scratch for the fused gate pre-activation and `wt` an
+    /// optional column-major weight copy (both LSTM only).
+    #[allow(clippy::too_many_arguments)]
+    fn forward_step_ws(
+        &self,
+        x: &[f64],
+        state: &CellState,
+        next: &mut CellState,
+        cache: &mut CellCache,
+        a: &mut Vec<f64>,
+        wt: &[f64],
+    ) {
+        match (self, cache) {
+            (Cell::Lstm(cell), CellCache::Lstm(cache)) => {
+                cell.forward_step_ws(
+                    x,
+                    &state.h,
+                    &state.c,
+                    &mut next.h,
+                    &mut next.c,
+                    cache,
+                    a,
+                    wt,
+                );
+            }
+            (Cell::Gru(cell), CellCache::Gru(cache)) => {
+                cell.forward_step_ws(x, &state.h, &mut next.h, cache);
+                next.c.clear();
+            }
+            _ => unreachable!("cell/cache families always match"),
+        }
+    }
+
+    /// Column-major weight copy for the vectorised forward GEMM (LSTM
+    /// only; GRU leaves `out` empty and keeps its row-major path).
+    fn transpose_weights_into(&self, out: &mut Vec<f64>) {
+        match self {
+            Cell::Lstm(cell) => cell.w.transpose_into(out),
+            Cell::Gru(_) => out.clear(),
+        }
+    }
+
+    /// [`Cell::backward_step`] with caller-owned scratch. `s1..s5` are
+    /// generic scratch slots; each family uses the subset it needs and
+    /// overwrites them completely, so slots can be shared between cells.
+    #[allow(clippy::too_many_arguments)]
+    fn backward_step_ws(
         &self,
         cache: &CellCache,
         dh: &[f64],
         dc: &[f64],
         grad: &mut CellGrad,
-    ) -> (Vec<f64>, Vec<f64>) {
+        dh_prev: &mut Vec<f64>,
+        dc_prev: &mut Vec<f64>,
+        s1: &mut Vec<f64>,
+        s2: &mut Vec<f64>,
+        s3: &mut Vec<f64>,
+        s4: &mut Vec<f64>,
+        s5: &mut Vec<f64>,
+    ) {
         match (self, cache, grad) {
             (Cell::Lstm(cell), CellCache::Lstm(cache), CellGrad::Lstm(grad)) => {
-                let (_dx, dh_prev, dc_prev) = cell.backward_step(cache, dh, dc, grad);
-                (dh_prev, dc_prev)
+                cell.backward_step_ws(cache, dh, dc, grad, s1, s2, dh_prev, dc_prev);
             }
             (Cell::Gru(cell), CellCache::Gru(cache), CellGrad::Gru(grad)) => {
-                let (_dx, dh_prev) = cell.backward_step(cache, dh, grad);
-                (dh_prev, Vec::new())
+                cell.backward_step_ws(cache, dh, grad, s1, dh_prev, s2, s3, s4, s5);
+                dc_prev.clear();
             }
             _ => unreachable!("cell/cache/grad families always match"),
+        }
+    }
+}
+
+/// A reusable training workspace for [`Seq2Seq::loss_and_grad_ws`].
+///
+/// Holds every buffer the forward/backward pass needs — step-cache pools,
+/// state double-buffers, gradient accumulators, and the flat output
+/// gradient — so repeated loss/gradient evaluations (the inner loops of
+/// MAML/TAML meta-training) allocate nothing once the buffers have grown
+/// to the model's working-set size. A tape adapts automatically if handed
+/// a model of a different shape or cell family.
+#[derive(Default)]
+pub struct Tape {
+    enc_caches: Vec<CellCache>,
+    dec_caches: Vec<CellCache>,
+    dec_h: Vec<Vec<f64>>,
+    state: CellState,
+    next: CellState,
+    enc_grad: Option<CellGrad>,
+    dec_grad: Option<CellGrad>,
+    head_grad: Option<DenseGrad>,
+    preds: Vec<Pt2>,
+    dy: Vec<Pt2>,
+    y: Vec<f64>,
+    dh: Vec<f64>,
+    dc: Vec<f64>,
+    dh_prev: Vec<f64>,
+    dc_prev: Vec<f64>,
+    dh_head: Vec<f64>,
+    s1: Vec<f64>,
+    s2: Vec<f64>,
+    s3: Vec<f64>,
+    s4: Vec<f64>,
+    s5: Vec<f64>,
+    wt_enc: Vec<f64>,
+    wt_dec: Vec<f64>,
+    flat: Vec<f64>,
+}
+
+impl Tape {
+    /// An empty tape; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The flat gradient produced by the last
+    /// [`Seq2Seq::loss_and_grad_ws`] call (layout of
+    /// [`Seq2Seq::params`]). Empty before the first call.
+    pub fn grad(&self) -> &[f64] {
+        &self.flat
+    }
+
+    /// Mutable view of the last gradient (e.g. for in-place clipping).
+    pub fn grad_mut(&mut self) -> &mut [f64] {
+        &mut self.flat
+    }
+
+    /// (Re)sizes the gradient accumulators for `model` and zeroes them.
+    fn ensure(&mut self, model: &Seq2Seq) {
+        match self.enc_grad.as_mut() {
+            Some(g) if model.encoder.grad_matches(g) => g.zero_in_place(),
+            _ => {
+                self.enc_grad = Some(model.encoder.zero_grad());
+                self.enc_caches.clear();
+            }
+        }
+        match self.dec_grad.as_mut() {
+            Some(g) if model.decoder.grad_matches(g) => g.zero_in_place(),
+            _ => {
+                self.dec_grad = Some(model.decoder.zero_grad());
+                self.dec_caches.clear();
+            }
+        }
+        match self.head_grad.as_mut() {
+            Some(g)
+                if g.dw.rows() == model.head.w.rows()
+                    && g.dw.cols() == model.head.w.cols()
+                    && g.db.len() == model.head.b.len() =>
+            {
+                g.dw.clear();
+                g.db.fill(0.0);
+            }
+            _ => self.head_grad = Some(DenseGrad::zeros(&model.head)),
         }
     }
 }
@@ -363,42 +536,113 @@ impl Seq2Seq {
     /// gradient (same layout as [`Seq2Seq::params`]).
     ///
     /// Exact BPTT through the decoder and encoder. The returned loss and
-    /// gradient are averaged over the batch.
+    /// gradient are averaged over the batch. Allocates a fresh [`Tape`]
+    /// per call — hot loops should hold one via [`Seq2Seq::make_tape`]
+    /// and call [`Seq2Seq::loss_and_grad_ws`] instead.
     pub fn loss_and_grad(&self, batch: &TrainBatch, loss: &dyn Loss) -> (f64, Vec<f64>) {
+        let mut tape = self.make_tape();
+        let l = self.loss_and_grad_ws(batch, loss, &mut tape);
+        (l, mem::take(&mut tape.flat))
+    }
+
+    /// A training workspace pre-sized for this model's gradients.
+    pub fn make_tape(&self) -> Tape {
+        let mut tape = Tape::new();
+        tape.ensure(self);
+        tape
+    }
+
+    /// [`Seq2Seq::loss_and_grad`] against a reusable workspace: returns
+    /// the mean loss and leaves the flat gradient in [`Tape::grad`].
+    /// Arithmetic is bit-identical to the allocating variant; after the
+    /// first call on a given model shape, no allocations are performed.
+    pub fn loss_and_grad_ws(&self, batch: &TrainBatch, loss: &dyn Loss, tape: &mut Tape) -> f64 {
         assert!(!batch.is_empty(), "empty training batch");
         let h = self.cfg.hidden;
-        let mut enc_grad = self.encoder.zero_grad();
-        let mut dec_grad = self.decoder.zero_grad();
-        let mut head_grad = DenseGrad::zeros(&self.head);
+        tape.ensure(self);
+        let Tape {
+            enc_caches,
+            dec_caches,
+            dec_h,
+            state,
+            next,
+            enc_grad,
+            dec_grad,
+            head_grad,
+            preds,
+            dy,
+            y,
+            dh,
+            dc,
+            dh_prev,
+            dc_prev,
+            dh_head,
+            s1,
+            s2,
+            s3,
+            s4,
+            s5,
+            wt_enc,
+            wt_dec,
+            flat,
+        } = tape;
+        let enc_grad = enc_grad.as_mut().expect("ensured");
+        let dec_grad = dec_grad.as_mut().expect("ensured");
+        let head_grad = head_grad.as_mut().expect("ensured");
+        // The weights are constant across every step of this call; a
+        // column-major copy lets the forward gate GEMM vectorise
+        // (bit-identical results — see `matvec_colmajor_into`).
+        self.encoder.transpose_weights_into(wt_enc);
+        self.decoder.transpose_weights_into(wt_dec);
         let mut total_loss = 0.0;
 
         for (input, target) in &batch.pairs {
             assert!(!input.is_empty() && !target.is_empty(), "degenerate pair");
             // ---- forward ----
-            let mut state = self.encoder.zero_state(h);
-            let mut enc_caches = Vec::with_capacity(input.len());
+            state.h.clear();
+            state.h.resize(h, 0.0);
+            state.c.clear();
+            if matches!(self.encoder, Cell::Lstm(_)) {
+                state.c.resize(h, 0.0);
+            }
+            while enc_caches.len() < input.len() {
+                enc_caches.push(self.encoder.empty_cache());
+            }
             for (i, x) in input.iter().enumerate() {
                 let before = input[i.saturating_sub(1)];
-                let (next, cache) = self
-                    .encoder
-                    .forward_step(&step_features(*x, before), &state);
-                enc_caches.push(cache);
-                state = next;
+                self.encoder.forward_step_ws(
+                    &step_features(*x, before),
+                    state,
+                    next,
+                    &mut enc_caches[i],
+                    s1,
+                    wt_enc,
+                );
+                mem::swap(state, next);
             }
             let seq_out = target.len();
-            let mut dec_caches = Vec::with_capacity(seq_out);
-            let mut dec_h = Vec::with_capacity(seq_out);
-            let mut preds = Vec::with_capacity(seq_out);
+            while dec_caches.len() < seq_out {
+                dec_caches.push(self.decoder.empty_cache());
+            }
+            while dec_h.len() < seq_out {
+                dec_h.push(Vec::new());
+            }
+            preds.clear();
             let mut prev = *input.last().expect("non-empty");
             let mut before = input[input.len().saturating_sub(2)];
-            for tgt in target.iter().take(seq_out) {
-                let (next, cache) = self
-                    .decoder
-                    .forward_step(&step_features(prev, before), &state);
-                dec_caches.push(cache);
-                state = next;
-                dec_h.push(state.h.clone());
-                let y = self.head.forward(&state.h);
+            for (t, tgt) in target.iter().enumerate() {
+                self.decoder.forward_step_ws(
+                    &step_features(prev, before),
+                    state,
+                    next,
+                    &mut dec_caches[t],
+                    s1,
+                    wt_dec,
+                );
+                mem::swap(state, next);
+                dec_h[t].clear();
+                dec_h[t].extend_from_slice(&state.h);
+                self.head.forward_into(&state.h, y);
                 // Residual head: prediction = previous location + delta.
                 preds.push([prev[0] + y[0], prev[1] + y[1]]);
                 // Teacher forcing: the next decoder input is ground truth.
@@ -407,7 +651,7 @@ impl Seq2Seq {
             }
 
             // ---- loss ----
-            let mut dy = Vec::with_capacity(seq_out);
+            dy.clear();
             for t in 0..seq_out {
                 let (l, g) = loss.step(preds[t], target[t], seq_out);
                 total_loss += l;
@@ -415,37 +659,51 @@ impl Seq2Seq {
             }
 
             // ---- backward through decoder ----
-            let mut dh = vec![0.0; h];
-            let mut dc = match self.decoder {
-                Cell::Lstm(_) => vec![0.0; h],
-                Cell::Gru(_) => Vec::new(),
-            };
+            dh.clear();
+            dh.resize(h, 0.0);
+            dc.clear();
+            if matches!(self.decoder, Cell::Lstm(_)) {
+                dc.resize(h, 0.0);
+            }
             for t in (0..seq_out).rev() {
-                let dh_head = self.head.backward(&dec_h[t], &dy[t], &mut head_grad);
+                self.head
+                    .backward_into(&dec_h[t], &dy[t], head_grad, dh_head);
                 for k in 0..h {
                     dh[k] += dh_head[k];
                 }
-                let (dh_prev, dc_prev) =
-                    self.decoder
-                        .backward_step(&dec_caches[t], &dh, &dc, &mut dec_grad);
-                dh = dh_prev;
-                dc = dc_prev;
+                self.decoder.backward_step_ws(
+                    &dec_caches[t],
+                    dh,
+                    dc,
+                    dec_grad,
+                    dh_prev,
+                    dc_prev,
+                    s1,
+                    s2,
+                    s3,
+                    s4,
+                    s5,
+                );
+                mem::swap(dh, dh_prev);
+                mem::swap(dc, dc_prev);
             }
             // ---- backward through encoder ----
-            for cache in enc_caches.iter().rev() {
-                let (dh_prev, dc_prev) = self.encoder.backward_step(cache, &dh, &dc, &mut enc_grad);
-                dh = dh_prev;
-                dc = dc_prev;
+            for cache in enc_caches[..input.len()].iter().rev() {
+                self.encoder.backward_step_ws(
+                    cache, dh, dc, enc_grad, dh_prev, dc_prev, s1, s2, s3, s4, s5,
+                );
+                mem::swap(dh, dh_prev);
+                mem::swap(dc, dc_prev);
             }
         }
 
         let inv = 1.0 / batch.len() as f64;
-        let mut flat = Vec::with_capacity(self.n_params());
-        Cell::grad_into(&enc_grad, &mut flat, inv);
-        Cell::grad_into(&dec_grad, &mut flat, inv);
+        flat.clear();
+        Cell::grad_into(enc_grad, flat, inv);
+        Cell::grad_into(dec_grad, flat, inv);
         flat.extend(head_grad.dw.as_slice().iter().map(|g| g * inv));
         flat.extend(head_grad.db.iter().map(|g| g * inv));
-        (total_loss * inv, flat)
+        total_loss * inv
     }
 
     /// Mean loss over a batch under teacher forcing, without gradients
@@ -597,5 +855,31 @@ mod tests {
     fn empty_batch_panics() {
         let model = tiny_model(7);
         model.loss_and_grad(&TrainBatch::default(), &MseLoss);
+    }
+
+    #[test]
+    fn tape_reuse_is_bitwise_identical_across_models_and_cells() {
+        // One tape driven through repeated calls, different batches, and
+        // both cell families must reproduce the allocating path exactly.
+        let mut rng = rng_for(8, 0);
+        let lstm = Seq2Seq::new(Seq2SeqConfig::lstm(6), &mut rng);
+        let gru = Seq2Seq::new(Seq2SeqConfig::gru(5), &mut rng);
+        let batch_a = line_batch();
+        let batch_b = TrainBatch::new(vec![(
+            vec![[0.9, 0.1], [0.8, 0.2], [0.7, 0.3], [0.6, 0.4], [0.5, 0.5]],
+            vec![[0.4, 0.6], [0.3, 0.7], [0.2, 0.8]],
+        )]);
+
+        let mut tape = Tape::new();
+        for model in [&lstm, &gru] {
+            for batch in [&batch_a, &batch_b] {
+                for _ in 0..2 {
+                    let (l_ref, g_ref) = model.loss_and_grad(batch, &MseLoss);
+                    let l_ws = model.loss_and_grad_ws(batch, &MseLoss, &mut tape);
+                    assert_eq!(l_ws, l_ref);
+                    assert_eq!(tape.grad(), &g_ref[..]);
+                }
+            }
+        }
     }
 }

@@ -17,8 +17,8 @@ use tamp_meta::ctml::{ctml_train, task_features, CtmlConfig};
 use tamp_meta::eval::{evaluate_model, PredictionMetrics};
 use tamp_meta::gtmc::{build_tree, GtmcConfig};
 use tamp_meta::maml::{adapt, gradient_paths, maml_train_observed};
-use tamp_meta::meta_training::MetaConfig;
-use tamp_meta::similarity::{build_sim_matrix, FactorKind};
+use tamp_meta::meta_training::{resolve_threads, MetaConfig};
+use tamp_meta::similarity::{build_sim_matrix_threaded, FactorKind};
 use tamp_meta::taml::{taml_train_observed, TamlConfig};
 use tamp_meta::LearningTask;
 use tamp_nn::seq2seq::CellKind;
@@ -317,7 +317,7 @@ pub fn train_predictors_observed(
             let sims: Vec<_> = cfg
                 .factors
                 .iter()
-                .map(|f| build_sim_matrix(*f, &tasks, paths.as_deref()))
+                .map(|f| build_sim_matrix_threaded(*f, &tasks, paths.as_deref(), cfg.meta.threads))
                 .collect();
             let mut gtmc = cfg.gtmc.clone();
             gtmc.use_game = matches!(cfg.algo, PredictionAlgo::Gttaml);
@@ -365,15 +365,16 @@ pub fn train_predictors_observed(
     let n = tasks.len();
     let mut models: Vec<Seq2Seq> = Vec::with_capacity(n);
     let mut per_worker: Vec<PredictionMetrics> = Vec::with_capacity(n);
-    // Worker adaptation is embarrassingly parallel; shard across threads.
-    let n_threads = std::thread::available_parallelism()
-        .map_or(4, |p| p.get())
-        .min(8);
+    // Worker adaptation is embarrassingly parallel; shard across the
+    // configured thread count. Each worker draws from its own
+    // index-seeded RNG stream, so models and metrics are bitwise
+    // identical for every thread count and shard layout.
+    let n_threads = resolve_threads(cfg.meta.threads);
     let chunk = n.div_ceil(n_threads.max(1));
     let mut shards: Vec<Vec<(usize, Seq2Seq, PredictionMetrics)>> = Vec::new();
     crossbeam::thread::scope(|scope| {
         let mut handles = Vec::new();
-        for (shard_id, idxs) in (0..n).collect::<Vec<_>>().chunks(chunk.max(1)).enumerate() {
+        for idxs in (0..n).collect::<Vec<_>>().chunks(chunk.max(1)) {
             let idxs = idxs.to_vec();
             let tasks = &tasks;
             let inits = &inits;
@@ -382,8 +383,8 @@ pub fn train_predictors_observed(
             let grid = workload.grid;
             handles.push(scope.spawn(move |_| {
                 let mut out = Vec::with_capacity(idxs.len());
-                let mut rng = rng_for(cfg.seed, streams::META + 9000 + shard_id as u64);
                 for i in idxs {
+                    let mut rng = rng_for(cfg.seed, streams::META + 9000 + i as u64);
                     // Final per-worker adaptation mirrors the inner loop
                     // the meta-init was optimised for: SGD at β with the
                     // meta adapt-batch size (Section III-B: "a few rounds
@@ -570,5 +571,24 @@ mod tests {
         let b = train_predictors(&w, &cfg);
         assert_eq!(a.models[0].params(), b.models[0].params());
         assert_eq!(a.mrs, b.mrs);
+    }
+
+    /// End-to-end thread-count invariance: similarity matrices, TAML,
+    /// meta-training and worker adaptation all parallelise, and every one
+    /// must produce bitwise-identical output at any `meta.threads`.
+    #[test]
+    fn thread_count_does_not_change_predictors() {
+        let w = tiny_workload();
+        let base = quick_cfg(PredictionAlgo::Gttaml);
+        let serial = train_predictors(&w, &base);
+        for threads in [2usize, 4] {
+            let mut cfg = base.clone();
+            cfg.meta.threads = threads;
+            let p = train_predictors(&w, &cfg);
+            for (a, b) in serial.models.iter().zip(&p.models) {
+                assert_eq!(a.params(), b.params(), "threads {threads}");
+            }
+            assert_eq!(serial.mrs, p.mrs, "threads {threads}");
+        }
     }
 }

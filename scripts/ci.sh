@@ -44,4 +44,22 @@ for algo in ppi km; do
     fi
 done
 
+echo "== train-threads determinism smoke (1 vs 4 must be identical)"
+# Parallel meta-training uses fixed-order reduction, so predictor
+# quality metrics must be byte-identical at any thread count. Only the
+# wall-clock line may differ.
+for t in 1 4; do
+    cargo run --release -p tamp-cli --offline -q -- predict \
+        --kind porto --scale tiny --seed 7 --train-threads "$t" \
+        >"$SMOKE_DIR/predict.t$t.txt"
+done
+if ! diff <(grep -v '^training time' "$SMOKE_DIR/predict.t1.txt") \
+          <(grep -v '^training time' "$SMOKE_DIR/predict.t4.txt"); then
+    echo "FAIL: --train-threads changed the predictor training outcome" >&2
+    exit 1
+fi
+
+echo "== benches compile"
+cargo bench --workspace --offline --no-run
+
 echo "CI gate passed."
