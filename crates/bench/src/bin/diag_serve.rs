@@ -1,0 +1,197 @@
+//! Load-generates the serve host: replays each shard's day at
+//! increasing task-rate multipliers through a fixed-capacity submission
+//! queue and records, per rate, the p50/p95 per-window step latency,
+//! the cross-batch prediction-cache hit rate, and the shed counts.
+//! At the highest rates the per-window bursts exceed the queue and the
+//! host sheds — visibly, in the `shed` column — which is exactly the
+//! overload behaviour docs/serving.md describes. Writes
+//! `results/serve_latency.json`.
+//!
+//! Environment: `TAMP_SEED` (default 42), `TAMP_SHARDS` (default 2),
+//! `TAMP_THREADS` (default = shards), `TAMP_QUEUE_CAP` (default 12),
+//! `TAMP_SCALE` (default `tiny`), `TAMP_OUT` (default `results/`).
+
+use std::time::Instant;
+use tamp_bench::{out_dir, seed_from_env};
+use tamp_meta::meta_training::MetaConfig;
+use tamp_obs::Obs;
+use tamp_platform::{
+    train_predictors, AssignmentAlgo, EngineConfig, LossKind, PredictionAlgo, TrainingConfig,
+};
+use tamp_serve::{HostConfig, Pacing, ServeHost, Shard, ShardConfig};
+use tamp_sim::{Scale, WorkloadConfig, WorkloadKind};
+
+/// Task-rate multipliers applied to the scale's default task count.
+const RATES: [usize; 4] = [1, 2, 4, 8];
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+/// One aggregated row of the sweep.
+struct RateRow {
+    rate: usize,
+    tasks_per_shard: usize,
+    windows: u64,
+    p50_ms: f64,
+    p95_ms: f64,
+    hits: u64,
+    misses: u64,
+    hit_rate: f64,
+    submitted: usize,
+    shed: usize,
+    completed: usize,
+    wall_seconds: f64,
+}
+
+fn main() {
+    let base_seed = seed_from_env();
+    let n_shards = env_usize("TAMP_SHARDS", 2).max(1);
+    let threads = env_usize("TAMP_THREADS", n_shards).max(1);
+    let queue_cap = env_usize("TAMP_QUEUE_CAP", 12).max(1);
+    let scale = match std::env::var("TAMP_SCALE").as_deref() {
+        Ok("small") => Scale::small(),
+        Ok("paper") => Scale::paper_workload1(),
+        _ => Scale::tiny(),
+    };
+
+    // Quick offline stage: the sweep measures the serving path, not
+    // training quality, so a small model keeps the loadgen snappy while
+    // still exercising real rollouts (and hence the prediction cache).
+    let training = |seed: u64| TrainingConfig {
+        algo: PredictionAlgo::Maml,
+        loss: LossKind::Mse,
+        hidden: 8,
+        seq_in: 5,
+        meta: MetaConfig {
+            iterations: 4,
+            ..MetaConfig::default()
+        },
+        adapt_steps: 2,
+        seed,
+        ..TrainingConfig::default()
+    };
+
+    let mut rows = Vec::new();
+    for rate in RATES {
+        let n_tasks = scale.n_tasks * rate;
+        let mut shards = Vec::new();
+        for i in 0..n_shards {
+            let seed = base_seed + i as u64;
+            let shard_scale = Scale { n_tasks, ..scale };
+            let workload = WorkloadConfig::new(WorkloadKind::PortoDidi, shard_scale, seed).build();
+            eprintln!(
+                "rate x{rate} shard{i}: {} workers, {} tasks — training...",
+                workload.workers.len(),
+                workload.tasks.len()
+            );
+            let predictors = train_predictors(&workload, &training(seed));
+            let cfg = ShardConfig {
+                algo: AssignmentAlgo::Ppi,
+                engine: EngineConfig {
+                    seq_in: 5,
+                    seed,
+                    prediction_cache: true,
+                    ..EngineConfig::default()
+                },
+                faults: None,
+                queue_capacity: queue_cap,
+            };
+            shards.push(
+                Shard::new(format!("shard{i}"), workload, Some(predictors), cfg)
+                    .expect("shard construction"),
+            );
+        }
+
+        let host = ServeHost::new(
+            shards,
+            HostConfig {
+                threads,
+                pacing: Pacing::FullSpeed,
+            },
+        );
+        let t0 = Instant::now();
+        let report = host.run(&Obs::null());
+        let wall = t0.elapsed().as_secs_f64();
+
+        let (mut hits, mut misses) = (0u64, 0u64);
+        let (mut submitted, mut shed, mut completed) = (0usize, 0usize, 0usize);
+        let mut p50s = Vec::new();
+        let mut p95 = 0.0f64;
+        for s in &report.shards {
+            hits += s.cache.hits;
+            misses += s.cache.misses;
+            submitted += s.counts.submitted_tasks + s.counts.submitted_reports;
+            shed += s.counts.shed();
+            completed += s.metrics.completed;
+            p50s.push(s.batch_p50_ms);
+            p95 = p95.max(s.batch_p95_ms);
+        }
+        let p50 = p50s.iter().sum::<f64>() / p50s.len() as f64;
+        let hit_rate = if hits + misses == 0 {
+            0.0
+        } else {
+            hits as f64 / (hits + misses) as f64
+        };
+        eprintln!(
+            "rate x{rate}: {} windows, p50 {p50:.3} ms, p95 {p95:.3} ms, \
+             hit rate {hit_rate:.3}, shed {shed}, wall {wall:.2}s",
+            report.windows
+        );
+        rows.push(RateRow {
+            rate,
+            tasks_per_shard: n_tasks,
+            windows: report.windows,
+            p50_ms: p50,
+            p95_ms: p95,
+            hits,
+            misses,
+            hit_rate,
+            submitted,
+            shed,
+            completed,
+            wall_seconds: wall,
+        });
+    }
+
+    // Hand-formatted JSON, like the other diag bins: the measurement
+    // record must hold real numbers even where serde_json is stubbed.
+    let mut body = String::new();
+    for (i, r) in rows.iter().enumerate() {
+        let sep = if i + 1 == rows.len() { "" } else { "," };
+        body.push_str(&format!(
+            "    {{ \"rate\": {}, \"tasks_per_shard\": {}, \"windows\": {}, \
+             \"batch_p50_ms\": {:.6}, \"batch_p95_ms\": {:.6}, \
+             \"cache_hits\": {}, \"cache_misses\": {}, \"cache_hit_rate\": {:.4}, \
+             \"submitted\": {}, \"shed\": {}, \"completed\": {}, \
+             \"wall_seconds\": {:.4} }}{sep}\n",
+            r.rate,
+            r.tasks_per_shard,
+            r.windows,
+            r.p50_ms,
+            r.p95_ms,
+            r.hits,
+            r.misses,
+            r.hit_rate,
+            r.submitted,
+            r.shed,
+            r.completed,
+            r.wall_seconds,
+        ));
+    }
+    let json = format!(
+        "{{\n  \"name\": \"serve_latency\",\n  \"shards\": {n_shards},\n  \
+         \"threads\": {threads},\n  \"queue_capacity\": {queue_cap},\n  \
+         \"n_workers\": {},\n  \"rates\": [\n{body}  ]\n}}\n",
+        scale.n_workers
+    );
+    let path = out_dir().join("serve_latency.json");
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir).expect("create results dir");
+    }
+    std::fs::write(&path, json).expect("write serve_latency.json");
+    println!("wrote {}", path.display());
+}

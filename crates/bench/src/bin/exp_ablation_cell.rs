@@ -1,7 +1,7 @@
 //! Ablation: recurrent cell family (LSTM vs GRU).
 //!
-//! The paper instantiates its encoder–decoder with LSTMs [28] while
-//! citing the GRU encoder–decoder paper [27]. Both cells are available in
+//! The paper instantiates its encoder–decoder with LSTMs \[28\] while
+//! citing the GRU encoder–decoder paper \[27\]. Both cells are available in
 //! `tamp-nn`; this ablation trains GTTAML with each on the same workload
 //! and reports prediction quality and training time (GRUs have 3/4 the
 //! parameters per unit of hidden width).

@@ -15,6 +15,7 @@
 //! Run e.g. `cargo run -p tamp-bench --release --bin exp_table4`.
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 pub mod svg;
 

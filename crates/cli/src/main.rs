@@ -11,7 +11,9 @@
 //!
 //! `simulate` runs the full offline + online pipeline and prints the
 //! paper's four assignment metrics; `predict` stops after the offline
-//! stage and prints RMSE/MAE/MR/TT.
+//! stage and prints RMSE/MAE/MR/TT; `serve` runs the long-running
+//! sharded service host over replayed workloads (docs/serving.md) and
+//! prints the same metric block per shard.
 //!
 //! Telemetry (docs/telemetry.md): `--trace FILE` streams one JSONL event
 //! per span/counter/gauge to FILE; `--metrics FILE` writes the end-of-run
@@ -25,9 +27,10 @@ use std::path::Path;
 use std::process::ExitCode;
 use tamp_obs::{Event, EventKind, JsonlRecorder, NullRecorder, Obs, TelemetrySnapshot};
 use tamp_platform::{
-    run_assignment_observed, train_predictors_observed, AssignmentAlgo, EngineConfig, LossKind,
-    PredictionAlgo, TrainingConfig,
+    run_assignment_observed, train_predictors_observed, AssignmentAlgo, AssignmentMetrics,
+    EngineConfig, LossKind, PredictionAlgo, TrainingConfig,
 };
+use tamp_serve::{HostConfig, Pacing, ServeHost, Shard, ShardConfig};
 use tamp_sim::{Scale, Workload, WorkloadConfig, WorkloadKind};
 
 const HELP: &str = "\
@@ -44,6 +47,14 @@ USAGE:
   tamp-cli predict  [--workload FILE | generation options]
                     [--algo gttaml|gttaml-gt|ctml|maml] [--loss task|mse] [--json]
                     [--trace FILE] [--metrics FILE] [--train-threads N]
+  tamp-cli serve    [--shards N] [generation options] [--algo ppi|km|ggpso|ub|lb]
+                    [--queue-cap N]  (submission-queue capacity per shard)
+                    [--threads N]    (shard-stepping threads; identical results for any N)
+                    [--no-cache]     (disable the cross-batch prediction cache;
+                                      same results, more rollout work)
+                    [--no-index] [--loss task|mse] [--json] [--trace FILE]
+                    [--metrics FILE] [--train-threads N]
+                    (shard i uses seed SEED+i; see docs/serving.md)
   tamp-cli trace-validate --trace FILE [--metrics FILE]
   tamp-cli help
 ";
@@ -57,7 +68,7 @@ fn main() -> ExitCode {
         }
     };
     // Surface obvious typos: every command shares one option vocabulary.
-    const KNOWN: [&str; 14] = [
+    const KNOWN: [&str; 18] = [
         "out",
         "workload",
         "kind",
@@ -72,6 +83,10 @@ fn main() -> ExitCode {
         "metrics",
         "no-index",
         "train-threads",
+        "shards",
+        "queue-cap",
+        "threads",
+        "no-cache",
     ];
     for name in args.option_names() {
         if !KNOWN.contains(&name) {
@@ -82,6 +97,7 @@ fn main() -> ExitCode {
         Some("generate") => cmd_generate(&args),
         Some("simulate") => cmd_simulate(&args),
         Some("predict") => cmd_predict(&args),
+        Some("serve") => cmd_serve(&args),
         Some("trace-validate") => cmd_trace_validate(&args),
         Some("help") | None => {
             println!("{HELP}");
@@ -200,17 +216,39 @@ fn finish_obs(args: &Args, obs: &Obs) -> Result<(), String> {
     Ok(())
 }
 
+fn parse_algo(s: &str) -> Result<AssignmentAlgo, String> {
+    match s {
+        "ppi" => Ok(AssignmentAlgo::Ppi),
+        "km" => Ok(AssignmentAlgo::Km),
+        "ggpso" => Ok(AssignmentAlgo::Ggpso),
+        "ub" => Ok(AssignmentAlgo::Ub),
+        "lb" => Ok(AssignmentAlgo::Lb),
+        other => Err(format!("unknown assignment algorithm: {other}")),
+    }
+}
+
+/// The deterministic result block `simulate` and `serve` share — CI
+/// diffs these lines between the two paths, so they must stay
+/// byte-identical for identical runs (timings are printed separately).
+fn print_assignment_block(m: &AssignmentMetrics) {
+    println!("tasks            : {}", m.tasks_total);
+    println!(
+        "completed        : {} ({:.3})",
+        m.completed,
+        m.completion_ratio()
+    );
+    println!(
+        "rejected         : {} ({:.3})",
+        m.rejected,
+        m.rejection_ratio()
+    );
+    println!("avg worker cost  : {:.2} km", m.avg_worker_cost_km());
+}
+
 fn cmd_simulate(args: &Args) -> Result<(), String> {
     let workload = build_or_load(args)?;
     let obs = make_obs(args)?;
-    let algo = match args.get_or("algo", "ppi") {
-        "ppi" => AssignmentAlgo::Ppi,
-        "km" => AssignmentAlgo::Km,
-        "ggpso" => AssignmentAlgo::Ggpso,
-        "ub" => AssignmentAlgo::Ub,
-        "lb" => AssignmentAlgo::Lb,
-        other => return Err(format!("unknown assignment algorithm: {other}")),
-    };
+    let algo = parse_algo(args.get_or("algo", "ppi"))?;
     let needs_predictors = !matches!(algo, AssignmentAlgo::Ub | AssignmentAlgo::Lb);
     let predictors = if needs_predictors {
         let tcfg = training_config(args)?;
@@ -254,19 +292,132 @@ fn cmd_simulate(args: &Args) -> Result<(), String> {
         );
     } else {
         println!("algorithm        : {algo:?}");
-        println!("tasks            : {}", m.tasks_total);
-        println!(
-            "completed        : {} ({:.3})",
-            m.completed,
-            m.completion_ratio()
-        );
-        println!(
-            "rejected         : {} ({:.3})",
-            m.rejected,
-            m.rejection_ratio()
-        );
-        println!("avg worker cost  : {:.2} km", m.avg_worker_cost_km());
+        print_assignment_block(&m);
         println!("algorithm runtime: {:.3} s", m.algo_seconds);
+    }
+    Ok(())
+}
+
+/// The long-running service host: one shard per `--shards`, shard `i`
+/// generated (and trained, and seeded) with `SEED + i`, so each shard's
+/// result block is byte-identical to `simulate --seed SEED+i` — the CI
+/// smoke gate diffs exactly that. The cross-batch prediction cache is
+/// on unless `--no-cache` (results are identical either way).
+fn cmd_serve(args: &Args) -> Result<(), String> {
+    if args.get("workload").is_some() {
+        return Err("serve generates one workload per shard; --workload is not supported".into());
+    }
+    let n_shards = args.get_parsed::<usize>("shards")?.unwrap_or(2).max(1);
+    let base_seed = args.get_parsed::<u64>("seed")?.unwrap_or(42);
+    let algo = parse_algo(args.get_or("algo", "ppi"))?;
+    let kind = parse_kind(args.get_or("kind", "porto"))?;
+    let scale = parse_scale(args.get_or("scale", "small"))?;
+    let queue_capacity = args.get_parsed::<usize>("queue-cap")?.unwrap_or(4096);
+    let threads = args.get_parsed::<usize>("threads")?.unwrap_or(1).max(1);
+    let obs = make_obs(args)?;
+    let needs_predictors = !matches!(algo, AssignmentAlgo::Ub | AssignmentAlgo::Lb);
+
+    let mut shards = Vec::with_capacity(n_shards);
+    for i in 0..n_shards {
+        let seed = base_seed + i as u64;
+        let mut wcfg = WorkloadConfig::new(kind, scale, seed);
+        if let Some(d) = args.get_parsed::<f64>("detour")? {
+            wcfg.detour_limit_km = d;
+        }
+        if let Some(n) = args.get_parsed::<usize>("tasks")? {
+            wcfg.scale.n_tasks = n;
+        }
+        let workload = wcfg.build();
+        let predictors = if needs_predictors {
+            let mut tcfg = training_config(args)?;
+            tcfg.seed = seed;
+            eprintln!(
+                "shard{i}: training predictors ({:?}, {:?} loss)...",
+                tcfg.algo, tcfg.loss
+            );
+            Some(train_predictors_observed(&workload, &tcfg, &obs))
+        } else {
+            None
+        };
+        let cfg = ShardConfig {
+            algo,
+            engine: EngineConfig {
+                seed,
+                spatial_index: !args.flag("no-index"),
+                prediction_cache: !args.flag("no-cache"),
+                ..EngineConfig::default()
+            },
+            faults: None,
+            queue_capacity,
+        };
+        let shard = Shard::new(format!("shard{i}"), workload, predictors, cfg)
+            .map_err(|e| e.to_string())?;
+        shards.push(shard);
+    }
+
+    let host = ServeHost::new(
+        shards,
+        HostConfig {
+            threads,
+            pacing: Pacing::FullSpeed,
+        },
+    );
+    let report = host.run(&obs);
+    finish_obs(args, &obs)?;
+
+    if args.flag("json") {
+        let shards: Vec<serde_json::Value> = report
+            .shards
+            .iter()
+            .map(|r| {
+                serde_json::json!({
+                    "shard": r.name,
+                    "windows": r.windows,
+                    "tasks_total": r.metrics.tasks_total,
+                    "completed": r.metrics.completed,
+                    "rejected": r.metrics.rejected,
+                    "completion_ratio": r.metrics.completion_ratio(),
+                    "rejection_ratio": r.metrics.rejection_ratio(),
+                    "avg_worker_cost_km": r.metrics.avg_worker_cost_km(),
+                    "submitted": r.counts.submitted_tasks + r.counts.submitted_reports,
+                    "shed": r.counts.shed(),
+                    "cache_hits": r.cache.hits,
+                    "cache_misses": r.cache.misses,
+                    "cache_hit_rate": r.cache_hit_rate(),
+                    "batch_p50_ms": r.batch_p50_ms,
+                    "batch_p95_ms": r.batch_p95_ms,
+                })
+            })
+            .collect();
+        println!(
+            "{}",
+            serde_json::json!({
+                "algorithm": format!("{algo:?}"),
+                "windows": report.windows,
+                "shards": shards,
+            })
+        );
+    } else {
+        for (i, r) in report.shards.iter().enumerate() {
+            println!("-- {} (seed {}, {algo:?})", r.name, base_seed + i as u64);
+            print_assignment_block(&r.metrics);
+            println!(
+                "windows          : {} ({:.2} ms p50, {:.2} ms p95)",
+                r.windows, r.batch_p50_ms, r.batch_p95_ms
+            );
+            println!(
+                "submissions      : {} accepted, {} shed",
+                r.counts.submitted_tasks + r.counts.submitted_reports,
+                r.counts.shed()
+            );
+            println!(
+                "prediction cache : {} hits, {} misses ({:.3} hit rate), {} invalidated",
+                r.cache.hits,
+                r.cache.misses,
+                r.cache_hit_rate(),
+                r.cache.invalidations
+            );
+        }
     }
     Ok(())
 }

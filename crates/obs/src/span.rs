@@ -2,7 +2,7 @@
 //!
 //! A [`SpanGuard`] measures the scope it lives in on the monotonic clock
 //! and, on drop, emits one `span` event and one histogram observation
-//! (`<name>` in microseconds) into its [`Obs`](crate::Obs). Nesting is
+//! (`<name>` in microseconds) into its [`Obs`]. Nesting is
 //! tracked per thread: a span opened while another is alive on the same
 //! thread records that span as its parent. The complete span event is
 //! emitted at *end* time, so in a trace children appear before their

@@ -14,10 +14,23 @@
 //! 5. Rejected and unassigned tasks carry over to the next batch while
 //!    still valid — the accumulation effect the paper describes for
 //!    small detours.
+//!
+//! Two drivers share this loop:
+//!
+//! * the **one-shot** entry points below ([`run_assignment`] and
+//!   friends) iterate a whole simulated day over a [`Workload`];
+//! * the **incremental** API ([`EngineState`] + [`StepCtx`]) advances
+//!   one batch window at a time, with tasks and worker reports supplied
+//!   by the caller — this is what the long-running `tamp-serve` host
+//!   drives, one [`EngineState`] per shard.
+//!
+//! Both produce byte-identical assignments given the same inputs; the
+//! one-shot entry points are thin loops over [`EngineState::step_batch`].
 
 use crate::acceptance::decide;
 use crate::faults::{FaultConfig, FaultPlan, RolloutFault};
 use crate::metrics::{AssignmentMetrics, BatchRecord};
+use crate::predcache::{PredictionCache, RolloutKey};
 use crate::training::TrainedPredictors;
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
@@ -30,7 +43,7 @@ use tamp_assign::ppi::{ppi_assign_observed, PpiParams};
 use tamp_assign::view::{ExcludedPairs, WorkerView};
 use tamp_core::rng::{rng_for, streams};
 use tamp_core::EngineError;
-use tamp_core::{Minutes, Point, SpatialTask, TaskId, WorkerId, BATCH_WINDOW_MINUTES};
+use tamp_core::{Minutes, Point, SpatialTask, TaskId, TimedPoint, WorkerId, BATCH_WINDOW_MINUTES};
 use tamp_nn::loss::Pt2;
 use tamp_nn::{clip_grad_norm, MseLoss, Seq2Seq, TrainBatch};
 use tamp_obs::Obs;
@@ -107,6 +120,13 @@ pub struct EngineConfig {
     /// reject anyway — so this exists to compare the two paths
     /// (`--no-index` on the CLI) and as an escape hatch.
     pub spatial_index: bool,
+    /// Reuse each worker's model rollout across consecutive batch
+    /// windows while its inputs are unchanged (see
+    /// [`crate::predcache`]). Like the spatial index, this is a pure
+    /// optimisation: assignments are byte-identical with or without it.
+    /// Off by default so one-shot experiment runs measure the raw
+    /// rollout cost; the serve layer turns it on.
+    pub prediction_cache: bool,
 }
 
 impl Default for EngineConfig {
@@ -122,6 +142,7 @@ impl Default for EngineConfig {
             rejection_cooldown_min: 10.0,
             seed: 0,
             spatial_index: true,
+            prediction_cache: false,
         }
     }
 }
@@ -247,107 +268,205 @@ fn algo_span_name(algo: AssignmentAlgo) -> &'static str {
     }
 }
 
-#[allow(clippy::too_many_arguments)]
-fn run_assignment_inner(
-    workload: &Workload,
-    predictors: Option<&TrainedPredictors>,
-    algo: AssignmentAlgo,
-    cfg: &EngineConfig,
-    faults: Option<&FaultConfig>,
-    mut trace: Option<&mut Vec<BatchRecord>>,
-    obs: &Obs,
-) -> Result<AssignmentMetrics, EngineError> {
-    if !matches!(algo, AssignmentAlgo::Ub | AssignmentAlgo::Lb) && predictors.is_none() {
-        return Err(EngineError::MissingPredictors {
-            algo: format!("{algo:?}"),
-        });
-    }
-    if !cfg.batch_window_min.is_finite() || cfg.batch_window_min <= 0.0 {
-        return Err(EngineError::InvalidEngineConfig(format!(
-            "batch_window_min = {} must be finite and > 0",
-            cfg.batch_window_min
-        )));
-    }
-    if let Some(fc) = faults {
-        fc.validate().map_err(EngineError::InvalidEngineConfig)?;
-    }
-    // A no-op fault layer takes the exact legacy code paths: `FaultConfig
-    // ::none()` must reproduce a clean run bit for bit.
-    let fplan: Option<FaultPlan> = faults
-        .filter(|fc| !fc.is_none())
-        .map(|fc| FaultPlan::build(workload, fc));
+/// Per-batch context for [`EngineState::step_batch`]: everything the
+/// step needs that outlives the state itself.
+///
+/// `reports` is the serve path's observation source: per-worker logs of
+/// the location reports *received* so far (indexed like
+/// `workload.workers`). When present (and no fault plan is active) the
+/// engine reads worker histories from these logs instead of from the
+/// ground-truth routines — a log holding exactly the routine samples
+/// before `now` reproduces the one-shot run bit for bit. A fault plan
+/// takes precedence over `reports`: under fault injection the received
+/// streams are defined by the plan.
+pub struct StepCtx<'a> {
+    /// The workload the engine serves (workers, tasks, grid, horizon).
+    pub workload: &'a Workload,
+    /// Trained per-worker predictors; `None` only for UB/LB.
+    pub predictors: Option<&'a TrainedPredictors>,
+    /// Assignment algorithm to run each batch.
+    pub algo: AssignmentAlgo,
+    /// Engine configuration.
+    pub cfg: &'a EngineConfig,
+    /// Active fault plan, if any.
+    pub fplan: Option<&'a FaultPlan>,
+    /// Per-worker received-report logs (the serve path); ignored while
+    /// `fplan` is set.
+    pub reports: Option<&'a [Vec<TimedPoint>]>,
+    /// Telemetry handle.
+    pub obs: &'a Obs,
+}
 
-    let mut metrics = AssignmentMetrics {
-        tasks_total: workload.tasks.len(),
-        ..Default::default()
-    };
-    // Online adaptation works on a private copy of the models so a run
-    // never mutates the shared offline predictors.
-    let mut live_models: Option<Vec<Seq2Seq>> = match (cfg.online_adapt, predictors) {
-        (Some(_), Some(p)) => Some(p.models.clone()),
-        _ => None,
-    };
-    let mut next_adapt = cfg.online_adapt.map(|oa| oa.every_min);
-    let mut pending: Vec<SpatialTask> = Vec::new();
-    let mut next_task = 0usize;
-    let mut busy_until: HashMap<WorkerId, f64> = HashMap::new();
-    let mut completed: HashSet<TaskId> = HashSet::new();
-    // Pairs the worker already rejected; never proposed again (the
-    // platform remembers refusals across batches).
-    let mut refused: ExcludedPairs = ExcludedPairs::new();
-    let mut rng = rng_for(cfg.seed, streams::GENETIC);
-    // Quarantine flags for divergent online-adapted models (once a model
-    // is rolled back to its offline checkpoint it stays frozen).
-    let mut quarantined = vec![false; workload.workers.len()];
-    let mut adapt_round: u64 = 0;
+/// The engine's mutable cross-batch state, advanced one window at a
+/// time by [`EngineState::step_batch`].
+///
+/// The one-shot entry points ([`run_assignment`] and friends) drive
+/// this internally; the `tamp-serve` host owns one per shard and feeds
+/// it tasks drained from its submission queue. Given the same sequence
+/// of admitted tasks and the same observation source, stepping is
+/// byte-identical to the one-shot loop.
+pub struct EngineState {
+    metrics: AssignmentMetrics,
+    /// Online adaptation works on a private copy of the models so a run
+    /// never mutates the shared offline predictors.
+    live_models: Option<Vec<Seq2Seq>>,
+    next_adapt: Option<f64>,
+    pending: Vec<SpatialTask>,
+    busy_until: HashMap<WorkerId, f64>,
+    completed: HashSet<TaskId>,
+    /// Pairs the worker already rejected; never proposed again (the
+    /// platform remembers refusals across batches).
+    refused: ExcludedPairs,
+    rng: rand::rngs::StdRng,
+    /// Quarantine flags for divergent online-adapted models (once a
+    /// model is rolled back to its offline checkpoint it stays frozen).
+    quarantined: Vec<bool>,
+    adapt_round: u64,
+    batch_idx: u64,
+    /// Start of the next batch window, minutes.
+    t: f64,
+    cache: Option<PredictionCache>,
+}
 
-    let horizon = workload.horizon.as_f64();
-    let mut t = 0.0;
-    let mut batch_idx: u64 = 0;
-    while t < horizon {
-        let _batch_span = obs.span_idx("engine.batch", batch_idx);
-        let now = Minutes::new(t + cfg.batch_window_min);
+impl EngineState {
+    /// Validates the configuration and builds the initial state.
+    ///
+    /// Fails with [`EngineError::MissingPredictors`] when a
+    /// prediction-based algorithm has no predictors and with
+    /// [`EngineError::InvalidEngineConfig`] on a non-positive batch
+    /// window.
+    pub fn new(
+        workload: &Workload,
+        predictors: Option<&TrainedPredictors>,
+        algo: AssignmentAlgo,
+        cfg: &EngineConfig,
+    ) -> Result<Self, EngineError> {
+        if !matches!(algo, AssignmentAlgo::Ub | AssignmentAlgo::Lb) && predictors.is_none() {
+            return Err(EngineError::MissingPredictors {
+                algo: format!("{algo:?}"),
+            });
+        }
+        if !cfg.batch_window_min.is_finite() || cfg.batch_window_min <= 0.0 {
+            return Err(EngineError::InvalidEngineConfig(format!(
+                "batch_window_min = {} must be finite and > 0",
+                cfg.batch_window_min
+            )));
+        }
+        let live_models = match (cfg.online_adapt, predictors) {
+            (Some(_), Some(p)) => Some(p.models.clone()),
+            _ => None,
+        };
+        Ok(Self {
+            metrics: AssignmentMetrics {
+                tasks_total: workload.tasks.len(),
+                ..Default::default()
+            },
+            live_models,
+            next_adapt: cfg.online_adapt.map(|oa| oa.every_min),
+            pending: Vec::new(),
+            busy_until: HashMap::new(),
+            completed: HashSet::new(),
+            refused: ExcludedPairs::new(),
+            rng: rng_for(cfg.seed, streams::GENETIC),
+            quarantined: vec![false; workload.workers.len()],
+            adapt_round: 0,
+            batch_idx: 0,
+            t: 0.0,
+            cache: cfg
+                .prediction_cache
+                .then(|| PredictionCache::new(workload.workers.len())),
+        })
+    }
+
+    /// Start of the next batch window, minutes since day start.
+    pub fn now(&self) -> f64 {
+        self.t
+    }
+
+    /// End of the next batch window (`now + batch_window_min`) — the
+    /// boundary a driver should drain submissions up to (exclusive)
+    /// before calling [`EngineState::step_batch`].
+    pub fn next_window_end(&self, cfg: &EngineConfig) -> f64 {
+        self.t + cfg.batch_window_min
+    }
+
+    /// Batch windows stepped so far.
+    pub fn batches_run(&self) -> u64 {
+        self.batch_idx
+    }
+
+    /// Tasks currently live (admitted, unexpired, uncompleted).
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Cumulative prediction-cache counters (zeros while the cache is
+    /// disabled).
+    pub fn cache_stats(&self) -> crate::predcache::CacheStats {
+        self.cache.as_ref().map(|c| c.stats()).unwrap_or_default()
+    }
+
+    /// Metrics accumulated so far (a run in progress; see
+    /// [`EngineState::finish`] for the end-of-run version).
+    pub fn metrics(&self) -> &AssignmentMetrics {
+        &self.metrics
+    }
+
+    /// Advances one batch window. `admitted` are the tasks newly
+    /// released into this window, in release order; expired ones are
+    /// dropped (and counted) by the carry stage, so feeding a stale task
+    /// is safe.
+    pub fn step_batch(&mut self, ctx: &StepCtx<'_>, admitted: &[SpatialTask]) -> BatchRecord {
+        let cfg = ctx.cfg;
+        let obs = ctx.obs;
+        let _batch_span = obs.span_idx("engine.batch", self.batch_idx);
+        let now = Minutes::new(self.t + cfg.batch_window_min);
         // 1. Admit newly released tasks; drop expired ones.
         let carry_start = Instant::now();
-        let carry_span = obs.span_idx("engine.batch.carry", batch_idx);
-        while next_task < workload.tasks.len()
-            && workload.tasks[next_task].release.as_f64() < now.as_f64()
-        {
-            pending.push(workload.tasks[next_task]);
-            next_task += 1;
-        }
-        pending
-            .retain(|task| task.deadline.as_f64() > now.as_f64() && !completed.contains(&task.id));
+        let carry_span = obs.span_idx("engine.batch.carry", self.batch_idx);
+        self.pending.extend_from_slice(admitted);
+        let completed = &self.completed;
+        let mut expired = 0usize;
+        self.pending.retain(|task| {
+            let live = task.deadline.as_f64() > now.as_f64() && !completed.contains(&task.id);
+            if !live && !completed.contains(&task.id) {
+                expired += 1;
+            }
+            live
+        });
         drop(carry_span);
 
         let mut record = BatchRecord {
             t_min: now.as_f64(),
-            pending: pending.len(),
+            pending: self.pending.len(),
+            expired,
             ..Default::default()
         };
+        self.metrics.tasks_expired += expired;
         record.stages.carry_s = carry_start.elapsed().as_secs_f64();
-        if let Some(pl) = &fplan {
-            record.dropped_reports = pl.dropped_in_window(t, now.as_f64());
-            metrics.dropped_reports += record.dropped_reports;
+        if let Some(pl) = ctx.fplan {
+            record.dropped_reports = pl.dropped_in_window(self.t, now.as_f64());
+            self.metrics.dropped_reports += record.dropped_reports;
             obs.count_idx(
                 "engine.fault.dropped_reports",
                 record.dropped_reports as u64,
-                Some(batch_idx),
+                Some(self.batch_idx),
             );
         }
         obs.gauge_idx(
             "engine.batch.pending",
             record.pending as f64,
-            Some(batch_idx),
+            Some(self.batch_idx),
         );
 
-        if !pending.is_empty() {
+        if !self.pending.is_empty() {
             // 2. Snapshot idle workers.
             let snapshot_start = Instant::now();
-            let snapshot_span = obs.span_idx("engine.batch.snapshot", batch_idx);
+            let snapshot_span = obs.span_idx("engine.batch.snapshot", self.batch_idx);
             let mut views: Vec<WorkerView> = Vec::new();
-            for (wi, sw) in workload.workers.iter().enumerate() {
-                if busy_until
+            for (wi, sw) in ctx.workload.workers.iter().enumerate() {
+                if self
+                    .busy_until
                     .get(&sw.worker.id)
                     .copied()
                     .unwrap_or(f64::NEG_INFINITY)
@@ -357,49 +476,47 @@ fn run_assignment_inner(
                 }
                 // Offline workers are unreachable: no report stream, no
                 // assignment proposals.
-                if fplan
-                    .as_ref()
+                if ctx
+                    .fplan
                     .is_some_and(|pl| pl.workers[wi].is_offline(now.as_f64()))
                 {
                     continue;
                 }
                 if let Some(view) = make_view(
-                    workload,
-                    predictors,
-                    live_models.as_deref(),
+                    ctx,
+                    self.live_models.as_deref(),
                     wi,
                     now,
-                    cfg,
-                    fplan.as_ref(),
-                    batch_idx,
+                    self.batch_idx,
                     &mut record,
+                    self.cache.as_mut(),
                 ) {
                     views.push(view);
                 }
             }
             drop(snapshot_span);
             record.stages.snapshot_s = snapshot_start.elapsed().as_secs_f64();
-            metrics.fallback_views += record.fallback_views;
+            self.metrics.fallback_views += record.fallback_views;
             obs.count_idx(
                 "engine.fault.fallback_views",
                 record.fallback_views as u64,
-                Some(batch_idx),
+                Some(self.batch_idx),
             );
 
             record.idle_workers = views.len();
             obs.gauge_idx(
                 "engine.batch.idle_workers",
                 record.idle_workers as f64,
-                Some(batch_idx),
+                Some(self.batch_idx),
             );
             if !views.is_empty() {
                 // 3. Assign.
                 let start = Instant::now();
-                let matching_span = obs.span_idx("engine.batch.matching", batch_idx);
-                let algo_span = obs.span_idx(algo_span_name(algo), batch_idx);
-                let plan = match algo {
+                let matching_span = obs.span_idx("engine.batch.matching", self.batch_idx);
+                let algo_span = obs.span_idx(algo_span_name(ctx.algo), self.batch_idx);
+                let plan = match ctx.algo {
                     AssignmentAlgo::Ppi => ppi_assign_observed(
-                        &pending,
+                        &self.pending,
                         &views,
                         &PpiParams {
                             a_km: cfg.a_km,
@@ -407,34 +524,45 @@ fn run_assignment_inner(
                             now,
                             use_index: cfg.spatial_index,
                         },
-                        &refused,
+                        &self.refused,
                         obs,
                     ),
                     AssignmentAlgo::Km if cfg.spatial_index => {
-                        km_assign_indexed(&pending, &views, now, &refused)
+                        km_assign_indexed(&self.pending, &views, now, &self.refused)
                     }
-                    AssignmentAlgo::Km => km_assign_excluding(&pending, &views, now, &refused),
+                    AssignmentAlgo::Km => {
+                        km_assign_excluding(&self.pending, &views, now, &self.refused)
+                    }
                     AssignmentAlgo::Ggpso => ggpso_assign_excluding(
-                        &pending, &views, now, &cfg.ggpso, &refused, &mut rng,
+                        &self.pending,
+                        &views,
+                        now,
+                        &cfg.ggpso,
+                        &self.refused,
+                        &mut self.rng,
                     ),
-                    AssignmentAlgo::Ub => ub_assign_excluding(&pending, &views, now, &refused),
-                    AssignmentAlgo::Lb => lb_assign_excluding(&pending, &views, now, &refused),
+                    AssignmentAlgo::Ub => {
+                        ub_assign_excluding(&self.pending, &views, now, &self.refused)
+                    }
+                    AssignmentAlgo::Lb => {
+                        lb_assign_excluding(&self.pending, &views, now, &self.refused)
+                    }
                 };
                 drop(algo_span);
                 drop(matching_span);
                 record.stages.matching_s = start.elapsed().as_secs_f64();
-                metrics.algo_seconds += record.stages.matching_s;
+                self.metrics.algo_seconds += record.stages.matching_s;
 
                 // 4. Acceptance against real itineraries. Id → snapshot
                 // maps are built once per batch so each proposed pair
                 // resolves in O(1) instead of scanning the batch.
                 let acceptance_start = Instant::now();
-                let acceptance_span = obs.span_idx("engine.batch.acceptance", batch_idx);
-                let task_by_id: HashMap<_, _> = pending.iter().map(|tk| (tk.id, tk)).collect();
+                let acceptance_span = obs.span_idx("engine.batch.acceptance", self.batch_idx);
+                let task_by_id: HashMap<_, _> = self.pending.iter().map(|tk| (tk.id, tk)).collect();
                 let view_by_id: HashMap<_, _> = views.iter().map(|v| (v.id, v)).collect();
                 record.proposed = plan.len();
                 for pair in plan.pairs() {
-                    metrics.assigned_total += 1;
+                    self.metrics.assigned_total += 1;
                     // An algorithm handing back a pair that references a
                     // task or worker outside this batch's snapshot is a
                     // bug in that algorithm — but not one worth killing
@@ -442,12 +570,12 @@ fn run_assignment_inner(
                     // count it (`completed + rejected + invalid_pairs ==
                     // assigned_total` stays an invariant).
                     let Some(task) = task_by_id.get(&pair.task).map(|tk| **tk) else {
-                        metrics.invalid_pairs += 1;
+                        self.metrics.invalid_pairs += 1;
                         record.invalid_pairs += 1;
                         continue;
                     };
                     let Some(&view) = view_by_id.get(&pair.worker) else {
-                        metrics.invalid_pairs += 1;
+                        self.metrics.invalid_pairs += 1;
                         record.invalid_pairs += 1;
                         continue;
                     };
@@ -460,9 +588,9 @@ fn run_assignment_inner(
                     ) {
                         Some((detour, _arrival)) => {
                             record.accepted += 1;
-                            metrics.completed += 1;
-                            metrics.total_detour_km += detour;
-                            completed.insert(task.id);
+                            self.metrics.completed += 1;
+                            self.metrics.total_detour_km += detour;
+                            self.completed.insert(task.id);
                             // The worker is occupied for the time the
                             // extra travel takes (they keep following
                             // their routine otherwise), at least one
@@ -470,87 +598,144 @@ fn run_assignment_inner(
                             let busy_min =
                                 tamp_core::time::travel_minutes(detour, view.speed_km_per_min)
                                     .max(cfg.batch_window_min);
-                            busy_until.insert(pair.worker, now.as_f64() + busy_min);
+                            self.busy_until.insert(pair.worker, now.as_f64() + busy_min);
                         }
                         None => {
                             record.rejected += 1;
-                            metrics.rejected += 1;
+                            self.metrics.rejected += 1;
                             // Task stays pending (carried to next batch)
                             // but this worker won't be asked again, and
                             // they disengage for a while.
-                            refused.insert((task.id, pair.worker));
-                            busy_until
+                            self.refused.insert((task.id, pair.worker));
+                            self.busy_until
                                 .insert(pair.worker, now.as_f64() + cfg.rejection_cooldown_min);
                         }
                     }
                 }
-                pending.retain(|task| !completed.contains(&task.id));
+                let completed = &self.completed;
+                self.pending.retain(|task| !completed.contains(&task.id));
                 drop(acceptance_span);
                 record.stages.acceptance_s = acceptance_start.elapsed().as_secs_f64();
                 obs.count_idx(
                     "engine.assign.proposed",
                     record.proposed as u64,
-                    Some(batch_idx),
+                    Some(self.batch_idx),
                 );
                 obs.count_idx(
                     "engine.assign.accepted",
                     record.accepted as u64,
-                    Some(batch_idx),
+                    Some(self.batch_idx),
                 );
                 obs.count_idx(
                     "engine.assign.rejected",
                     record.rejected as u64,
-                    Some(batch_idx),
+                    Some(self.batch_idx),
                 );
                 obs.count_idx(
                     "engine.fault.invalid_pairs",
                     record.invalid_pairs as u64,
-                    Some(batch_idx),
+                    Some(self.batch_idx),
                 );
             }
         }
         // Periodic intraday fine-tuning on the day's observations so far.
-        if let (Some(oa), Some(models)) = (cfg.online_adapt, live_models.as_mut()) {
-            if let Some(due) = next_adapt {
+        if let (Some(oa), Some(models)) = (cfg.online_adapt, self.live_models.as_mut()) {
+            if let Some(due) = self.next_adapt {
                 if now.as_f64() >= due {
                     let adapt_start = Instant::now();
-                    let adapt_span = obs.span_idx("engine.adapt", adapt_round);
+                    let adapt_span = obs.span_idx("engine.adapt", self.adapt_round);
                     let newly = online_adapt_round(
-                        workload,
+                        ctx,
                         models,
-                        predictors,
                         now,
-                        cfg,
                         &oa,
-                        fplan.as_ref(),
-                        adapt_round,
-                        &mut quarantined,
-                        obs,
+                        self.adapt_round,
+                        &mut self.quarantined,
                     );
                     drop(adapt_span);
                     record.stages.adapt_s = adapt_start.elapsed().as_secs_f64();
                     record.quarantined_models = newly;
-                    metrics.quarantined_models += newly;
+                    self.metrics.quarantined_models += newly;
                     obs.count_idx(
                         "engine.fault.quarantined_models",
                         newly as u64,
-                        Some(adapt_round),
+                        Some(self.adapt_round),
                     );
-                    adapt_round += 1;
-                    next_adapt = Some(due + oa.every_min);
+                    self.adapt_round += 1;
+                    self.next_adapt = Some(due + oa.every_min);
+                    // Any non-quarantined model may have taken gradient
+                    // steps: every cached rollout is now stale.
+                    if let Some(cache) = &mut self.cache {
+                        record.cache_invalidations = cache.invalidate_all();
+                    }
                 }
             }
         }
-        metrics.stages.add(&record.stages);
+        self.metrics.cache_hits += record.cache_hits;
+        self.metrics.cache_misses += record.cache_misses;
+        self.metrics.cache_invalidations += record.cache_invalidations;
+        self.metrics.stages.add(&record.stages);
+        self.t += cfg.batch_window_min;
+        self.batch_idx += 1;
+        record
+    }
+
+    /// Ends the run: fills the backward-compatible `algo_seconds` alias,
+    /// flushes telemetry, and returns the accumulated metrics.
+    pub fn finish(mut self, obs: &Obs) -> AssignmentMetrics {
+        self.metrics.stages.matching_s = self.metrics.algo_seconds;
+        obs.flush();
+        self.metrics
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_assignment_inner(
+    workload: &Workload,
+    predictors: Option<&TrainedPredictors>,
+    algo: AssignmentAlgo,
+    cfg: &EngineConfig,
+    faults: Option<&FaultConfig>,
+    mut trace: Option<&mut Vec<BatchRecord>>,
+    obs: &Obs,
+) -> Result<AssignmentMetrics, EngineError> {
+    let mut state = EngineState::new(workload, predictors, algo, cfg)?;
+    if let Some(fc) = faults {
+        fc.validate().map_err(EngineError::InvalidEngineConfig)?;
+    }
+    // A no-op fault layer takes the exact legacy code paths: `FaultConfig
+    // ::none()` must reproduce a clean run bit for bit.
+    let fplan: Option<FaultPlan> = faults
+        .filter(|fc| !fc.is_none())
+        .map(|fc| FaultPlan::build(workload, fc));
+    let ctx = StepCtx {
+        workload,
+        predictors,
+        algo,
+        cfg,
+        fplan: fplan.as_ref(),
+        reports: None,
+        obs,
+    };
+
+    let horizon = workload.horizon.as_f64();
+    let mut next_task = 0usize;
+    let mut admitted: Vec<SpatialTask> = Vec::new();
+    while state.now() < horizon {
+        let window_end = state.next_window_end(cfg);
+        admitted.clear();
+        while next_task < workload.tasks.len()
+            && workload.tasks[next_task].release.as_f64() < window_end
+        {
+            admitted.push(workload.tasks[next_task]);
+            next_task += 1;
+        }
+        let record = state.step_batch(&ctx, &admitted);
         if let Some(trace) = trace.as_deref_mut() {
             trace.push(record);
         }
-        t += cfg.batch_window_min;
-        batch_idx += 1;
     }
-    metrics.stages.matching_s = metrics.algo_seconds;
-    obs.flush();
-    Ok(metrics)
+    Ok(state.finish(obs))
 }
 
 /// Builds the worker view the assignment algorithms see at time `now`.
@@ -563,18 +748,22 @@ fn run_assignment_inner(
 ///    forecast from the last received report (`fallback_views`);
 /// 3. if no report was ever received from a worker who should have been
 ///    heard from — exclude the worker from this batch entirely.
-#[allow(clippy::too_many_arguments)]
+///
+/// With a [`PredictionCache`], healthy rollouts whose inputs are
+/// unchanged since the previous window are served from the cache
+/// (`cache_hits` on the record); fault-injected and failed rollouts
+/// bypass it (see [`crate::predcache`] for the invariant).
 fn make_view(
-    workload: &Workload,
-    predictors: Option<&TrainedPredictors>,
+    ctx: &StepCtx<'_>,
     live_models: Option<&[Seq2Seq]>,
     wi: usize,
     now: Minutes,
-    cfg: &EngineConfig,
-    fplan: Option<&FaultPlan>,
     batch_idx: u64,
     record: &mut BatchRecord,
+    mut cache: Option<&mut PredictionCache>,
 ) -> Option<WorkerView> {
+    let cfg = ctx.cfg;
+    let workload = ctx.workload;
     let sw = &workload.workers[wi];
 
     // Observed history so far today: the worker's periodic location
@@ -583,17 +772,19 @@ fn make_view(
     // their current location" (Section II) — so the freshest information
     // any algorithm has is the *last report*, which may be up to one time
     // unit stale. This is precisely the gap mobility prediction fills.
-    // Under fault injection only *received* reports count.
-    let observed: Vec<Point> = match fplan {
-        None => sw
-            .worker
-            .real_routine
-            .window(Minutes::ZERO, now)
+    // Under fault injection only *received* reports count; on the serve
+    // path the received stream is the shard's report log.
+    let observed: Vec<Point> = match (ctx.fplan, ctx.reports) {
+        (Some(pl), _) => pl.workers[wi]
+            .received_before(now)
             .iter()
             .map(|p| p.loc)
             .collect(),
-        Some(pl) => pl.workers[wi]
-            .received_before(now)
+        (None, Some(logs)) => logs[wi].iter().map(|p| p.loc).collect(),
+        (None, None) => sw
+            .worker
+            .real_routine
+            .window(Minutes::ZERO, now)
             .iter()
             .map(|p| p.loc)
             .collect(),
@@ -601,7 +792,10 @@ fn make_view(
     let current = match observed.last().copied() {
         Some(c) => c,
         None => {
-            if fplan.is_some_and(|pl| pl.workers[wi].any_report_before(now)) {
+            if ctx
+                .fplan
+                .is_some_and(|pl| pl.workers[wi].any_report_before(now))
+            {
                 // Every report so far was lost: the platform has no idea
                 // where this worker is. Bottom rung: exclude them.
                 return None;
@@ -612,12 +806,28 @@ fn make_view(
         }
     };
 
-    let predicted = match predictors {
+    let predicted = match ctx.predictors {
         Some(p) => {
             let rollout_start = Instant::now();
-            let rollout = fplan.map_or(RolloutFault::Healthy, |pl| {
+            let rollout = ctx.fplan.map_or(RolloutFault::Healthy, |pl| {
                 pl.injector.rollout(wi as u64, batch_idx)
             });
+            // Cross-batch reuse: a healthy rollout is a pure function of
+            // the cache key, so a matching entry from a previous window
+            // is byte-identical to recomputing. Fault-injected rollouts
+            // depend on the batch index and bypass the cache.
+            let cacheable = matches!(rollout, RolloutFault::Healthy);
+            if cacheable {
+                let key = RolloutKey::new(observed.len(), current, cfg.predict_horizon);
+                if let Some(cache) = cache.as_deref_mut() {
+                    if let Some(pts) = cache.lookup(wi, &key) {
+                        record.cache_hits += 1;
+                        record.stages.rollout_s += rollout_start.elapsed().as_secs_f64();
+                        return Some(finish_view(sw, now, current, pts, ctx.predictors, wi));
+                    }
+                    record.cache_misses += 1;
+                }
+            }
             let mut input: Vec<[f64; 2]> = observed
                 .iter()
                 .rev()
@@ -639,7 +849,7 @@ fn make_view(
                         .map_or(&p.models[wi], |ms| &ms[wi])
                         .predict(&input, cfg.predict_horizon),
                 ),
-                RolloutFault::Garbage => Some(fplan.unwrap().injector.garbage_rollout(
+                RolloutFault::Garbage => Some(ctx.fplan.unwrap().injector.garbage_rollout(
                     wi as u64,
                     batch_idx,
                     cfg.predict_horizon,
@@ -674,10 +884,19 @@ fn make_view(
                 Some(pts)
             });
             let pts = match clamped {
-                Some(pts) => pts,
+                Some(pts) => {
+                    if cacheable {
+                        if let Some(cache) = cache {
+                            let key = RolloutKey::new(observed.len(), current, cfg.predict_horizon);
+                            cache.store(wi, key, pts.clone());
+                        }
+                    }
+                    pts
+                }
                 None => {
                     // Persistence fallback: predict "stays where last
-                    // seen" — crude, but never worse than no view.
+                    // seen" — crude, but never worse than no view. Not
+                    // cached: the next window must re-attempt the model.
                     record.fallback_views += 1;
                     vec![current; cfg.predict_horizon]
                 }
@@ -688,14 +907,26 @@ fn make_view(
         None => Vec::new(),
     };
 
-    // Ground-truth remainder of the day (acceptance + UB oracle).
-    let real_future: Vec<tamp_core::TimedPoint> = sw
+    Some(finish_view(sw, now, current, predicted, ctx.predictors, wi))
+}
+
+/// Assembles the [`WorkerView`] once the predicted trajectory is known
+/// (computed or cache-served): ground-truth remainder of the day for
+/// the acceptance simulation + UB oracle, validation MR, limits.
+fn finish_view(
+    sw: &tamp_sim::SimWorker,
+    now: Minutes,
+    current: Point,
+    predicted: Vec<Point>,
+    predictors: Option<&TrainedPredictors>,
+    wi: usize,
+) -> WorkerView {
+    let real_future: Vec<TimedPoint> = sw
         .worker
         .real_routine
         .window(now, Minutes::new(f64::MAX))
         .to_vec();
-
-    Some(WorkerView {
+    WorkerView {
         id: sw.worker.id,
         current,
         predicted,
@@ -703,7 +934,7 @@ fn make_view(
         mr: predictors.map_or(0.0, |p| p.mrs[wi]),
         detour_limit_km: sw.worker.detour_limit_km,
         speed_km_per_min: sw.worker.speed_km_per_min,
-    })
+    }
 }
 
 /// One round of intraday fine-tuning: each worker's model takes a few
@@ -714,20 +945,17 @@ fn make_view(
 /// parameter (bad data, poisoning, numeric blow-up), the model is rolled
 /// back to its offline checkpoint and *quarantined* — frozen for the
 /// rest of the day. Returns the number of models newly quarantined.
-#[allow(clippy::too_many_arguments)]
 fn online_adapt_round(
-    workload: &Workload,
+    ctx: &StepCtx<'_>,
     models: &mut [Seq2Seq],
-    predictors: Option<&TrainedPredictors>,
     now: Minutes,
-    cfg: &EngineConfig,
     oa: &OnlineAdaptConfig,
-    fplan: Option<&FaultPlan>,
     round_idx: u64,
     quarantined: &mut [bool],
-    obs: &Obs,
 ) -> usize {
-    let seq_out = predictors.map_or(1, |p| p.seq_out.max(1));
+    let cfg = ctx.cfg;
+    let workload = ctx.workload;
+    let seq_out = ctx.predictors.map_or(1, |p| p.seq_out.max(1));
     let mut newly_quarantined = 0;
     for (wi, sw) in workload.workers.iter().enumerate() {
         if quarantined[wi] {
@@ -735,19 +963,20 @@ fn online_adapt_round(
         }
         // Train on what the platform received, not on ground truth.
         let received;
-        let observed: &[tamp_core::TimedPoint] = match fplan {
-            None => sw.worker.real_routine.window(Minutes::ZERO, now),
-            Some(pl) => {
+        let observed: &[TimedPoint] = match (ctx.fplan, ctx.reports) {
+            (Some(pl), _) => {
                 received = pl.workers[wi].received_before(now);
                 &received
             }
+            (None, Some(logs)) => &logs[wi],
+            (None, None) => sw.worker.real_routine.window(Minutes::ZERO, now),
         };
         if observed.len() < cfg.seq_in + seq_out {
             continue;
         }
         let mut pairs: Vec<(Vec<Pt2>, Vec<Pt2>)> = (0..=observed.len() - cfg.seq_in - seq_out)
             .map(|start| {
-                let norm = |p: &tamp_core::TimedPoint| {
+                let norm = |p: &TimedPoint| {
                     let (x, y) = workload.grid.normalize(p.loc);
                     [x, y]
                 };
@@ -765,7 +994,10 @@ fn online_adapt_round(
         if pairs.is_empty() {
             continue;
         }
-        if fplan.is_some_and(|pl| pl.injector.adapt_poisoned(wi as u64, round_idx)) {
+        if ctx
+            .fplan
+            .is_some_and(|pl| pl.injector.adapt_poisoned(wi as u64, round_idx))
+        {
             // Poisoned round: corrupted targets slipped into the online
             // training feed. The divergence guard below must catch the
             // resulting non-finite loss.
@@ -796,14 +1028,14 @@ fn online_adapt_round(
         } else {
             // Roll back to the offline checkpoint and stop adapting this
             // worker for the day.
-            if let Some(p) = predictors {
+            if let Some(p) = ctx.predictors {
                 *model = p.models[wi].clone();
             }
             quarantined[wi] = true;
             newly_quarantined += 1;
             // Per-worker quarantine event: idx names the worker whose
             // model was rolled back this round.
-            obs.count_idx("engine.quarantine", 1, Some(wi as u64));
+            ctx.obs.count_idx("engine.quarantine", 1, Some(wi as u64));
         }
     }
     newly_quarantined
@@ -955,5 +1187,62 @@ mod tests {
     fn n_batches_counts_windows() {
         let w = tiny(); // 24 units × 10 min = 240 min / 2 min = 120
         assert_eq!(n_batches(&w, &cfg()), 120);
+    }
+
+    #[test]
+    fn task_conservation_holds_end_to_end() {
+        // Every published task ends the day in exactly one bucket:
+        // completed, expired unserved, or still pending at the horizon
+        // (impossible here — all deadlines precede the end of day).
+        let w = tiny();
+        let p = quick_predictors(&w);
+        let mut trace = Vec::new();
+        let m = run_assignment_traced(&w, Some(&p), AssignmentAlgo::Ppi, &cfg(), &mut trace);
+        let expired: usize = trace.iter().map(|r| r.expired).sum();
+        assert_eq!(expired, m.tasks_expired);
+        assert_eq!(
+            m.completed + m.tasks_expired,
+            m.tasks_total,
+            "completed + expired must cover every published task"
+        );
+    }
+
+    #[test]
+    fn incremental_stepping_matches_one_shot() {
+        // Drive EngineState by hand (the serve pattern) and compare
+        // against the one-shot wrapper over the same workload.
+        let w = tiny();
+        let p = quick_predictors(&w);
+        let cfg = cfg();
+        let one_shot = run_assignment(&w, Some(&p), AssignmentAlgo::Ppi, &cfg);
+
+        let obs = Obs::null();
+        let mut state = EngineState::new(&w, Some(&p), AssignmentAlgo::Ppi, &cfg).unwrap();
+        let ctx = StepCtx {
+            workload: &w,
+            predictors: Some(&p),
+            algo: AssignmentAlgo::Ppi,
+            cfg: &cfg,
+            fplan: None,
+            reports: None,
+            obs: &obs,
+        };
+        let mut next = 0usize;
+        while state.now() < w.horizon.as_f64() {
+            let end = state.next_window_end(&cfg);
+            let from = next;
+            while next < w.tasks.len() && w.tasks[next].release.as_f64() < end {
+                next += 1;
+            }
+            state.step_batch(&ctx, &w.tasks[from..next]);
+        }
+        let stepped = state.finish(&obs);
+        assert_eq!(stepped.completed, one_shot.completed);
+        assert_eq!(stepped.rejected, one_shot.rejected);
+        assert_eq!(stepped.assigned_total, one_shot.assigned_total);
+        assert_eq!(
+            stepped.total_detour_km.to_bits(),
+            one_shot.total_detour_km.to_bits()
+        );
     }
 }

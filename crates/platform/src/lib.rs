@@ -22,6 +22,9 @@
 //!   delay / noise / corruption, offline windows, rollout failures,
 //!   training poisoning) used to measure the engine's graceful
 //!   degradation.
+//! * [`predcache`] — the cross-batch prediction cache: rollouts reused
+//!   across consecutive windows while their inputs are unchanged,
+//!   invalidated on online adaptation (used by the `tamp-serve` host).
 //! * [`experiments`] — one driver per table/figure family, emitting both
 //!   human-readable rows and machine-readable JSON.
 
@@ -33,14 +36,17 @@ pub mod engine;
 pub mod experiments;
 pub mod faults;
 pub mod metrics;
+pub mod predcache;
 pub mod training;
 
 pub use engine::{
     run_assignment, run_assignment_observed, run_assignment_traced, run_assignment_with_faults,
     run_assignment_with_faults_traced, try_run_assignment, AssignmentAlgo, EngineConfig,
+    EngineState, StepCtx,
 };
 pub use faults::{FaultConfig, FaultInjector, FaultPlan};
 pub use metrics::{AssignmentMetrics, BatchRecord, StageTimings};
+pub use predcache::{CacheStats, PredictionCache, RolloutKey};
 pub use training::{
     train_predictors, train_predictors_observed, LossKind, PredictionAlgo, TrainedPredictors,
     TrainingConfig,

@@ -72,6 +72,22 @@ pub struct BatchRecord {
     /// Models quarantined (rolled back to their offline checkpoint)
     /// during this batch's adaptation round.
     pub quarantined_models: usize,
+    /// Tasks that left the pending pool unserved this batch because
+    /// their deadline passed (absent in traces recorded before the
+    /// serve work).
+    #[serde(default)]
+    pub expired: usize,
+    /// Worker rollouts served from the cross-batch prediction cache
+    /// this batch (zero while the cache is disabled).
+    #[serde(default)]
+    pub cache_hits: usize,
+    /// Cacheable rollouts that had to be computed this batch.
+    #[serde(default)]
+    pub cache_misses: usize,
+    /// Cache entries dropped by this batch's blanket invalidation
+    /// (online-adaptation rounds only).
+    #[serde(default)]
+    pub cache_invalidations: usize,
     /// Per-stage wall-clock breakdown of this batch (absent in traces
     /// recorded before the observability work).
     #[serde(default)]
@@ -114,6 +130,24 @@ pub struct AssignmentMetrics {
     /// panicking; counted inside `assigned_total`, so
     /// `completed + rejected + invalid_pairs == assigned_total`.
     pub invalid_pairs: usize,
+    /// Tasks whose deadline passed before any worker completed them.
+    /// Together with `completed` and whatever is still pending at the
+    /// horizon this partitions `tasks_total` (absent in metrics recorded
+    /// before the serve work).
+    #[serde(default)]
+    pub tasks_expired: usize,
+    /// Rollouts served from the cross-batch prediction cache (zero when
+    /// [`crate::EngineConfig::prediction_cache`] is off).
+    #[serde(default)]
+    pub cache_hits: usize,
+    /// Cacheable rollouts that were computed because no valid entry
+    /// existed.
+    #[serde(default)]
+    pub cache_misses: usize,
+    /// Cache entries discarded by blanket invalidation after
+    /// online-adaptation rounds.
+    #[serde(default)]
+    pub cache_invalidations: usize,
 }
 
 impl AssignmentMetrics {

@@ -1,0 +1,209 @@
+//! Cross-batch prediction caching.
+//!
+//! A worker's predicted trajectory is a pure function of (a) the model
+//! parameters and (b) the observed report prefix the rollout starts
+//! from. Between consecutive 2-minute batch windows both usually stay
+//! unchanged — location reports arrive once per 10-minute time unit and
+//! models only change on online-adaptation rounds — so an engine driver
+//! (notably the long-running `tamp-serve` host) can reuse the previous
+//! window's rollout verbatim instead of re-running the network. At the
+//! paper's cadence that is up to ⌈10 / 2⌉ − 1 = 4 reuses per report.
+//!
+//! The cache key captures *exactly* the inputs of the rollout, which is
+//! what makes cached and uncached runs byte-identical (property-tested
+//! in `tests/cache_behaviour.rs` and the `tamp-serve` suite):
+//!
+//! * the **length of the observed prefix** — the received report stream
+//!   is append-only within a run (even under delay faults, a report can
+//!   arrive late but never un-arrive), so an equal length implies equal
+//!   contents;
+//! * the exact **bit pattern of the current anchor location** — it
+//!   feeds the reachability clamp and the empty-history input, and it
+//!   can change while the prefix length does not (the start-of-day
+//!   registered-position fallback interpolates with `now`);
+//! * the **rollout horizon** requested from the model.
+//!
+//! Three things invalidate entries instead of keying them:
+//!
+//! * **online adaptation** — after every adaptation round the whole
+//!   cache is cleared ([`PredictionCache::invalidate_all`]), because any
+//!   non-quarantined model may have taken gradient steps;
+//! * **quarantine / rollback** (the PR 1 degradation ladder) — these
+//!   happen inside adaptation rounds, so the same blanket invalidation
+//!   covers them;
+//! * **fault-injected rollouts** (`RolloutFault::{Unavailable,Garbage}`)
+//!   and persistence fallbacks bypass the cache entirely: they depend on
+//!   the batch index, not on the key, so caching them would change
+//!   behaviour across windows.
+
+use serde::{Deserialize, Serialize};
+use tamp_core::Point;
+
+/// Cumulative cache counters, mirrored into
+/// [`crate::AssignmentMetrics`] at the end of a run and emitted by the
+/// serve layer as `serve.cache.{hit,miss,invalidate}`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Rollouts served from the cache.
+    pub hits: u64,
+    /// Cacheable rollouts that had to be computed.
+    pub misses: u64,
+    /// Entries discarded by [`PredictionCache::invalidate_all`].
+    pub invalidations: u64,
+}
+
+/// The exact inputs of one worker's rollout (see the module docs for
+/// why these fields determine the output bit for bit).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RolloutKey {
+    /// Number of observed reports feeding the input window.
+    pub obs_len: usize,
+    /// Bit pattern of the anchor location's easting.
+    pub cur_x_bits: u64,
+    /// Bit pattern of the anchor location's northing.
+    pub cur_y_bits: u64,
+    /// Requested rollout horizon (time units).
+    pub horizon: usize,
+}
+
+impl RolloutKey {
+    /// Builds the key for a worker whose input window is the last
+    /// `seq_in` of `obs_len` observed reports anchored at `current`.
+    pub fn new(obs_len: usize, current: Point, horizon: usize) -> Self {
+        Self {
+            obs_len,
+            cur_x_bits: current.x.to_bits(),
+            cur_y_bits: current.y.to_bits(),
+            horizon,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    key: RolloutKey,
+    predicted: Vec<Point>,
+}
+
+/// Per-worker cache of clamped model rollouts, valid across batch
+/// windows until the key changes or the models do.
+#[derive(Debug, Clone)]
+pub struct PredictionCache {
+    entries: Vec<Option<Entry>>,
+    stats: CacheStats,
+}
+
+impl PredictionCache {
+    /// An empty cache with one slot per worker.
+    pub fn new(n_workers: usize) -> Self {
+        Self {
+            entries: vec![None; n_workers],
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Returns the cached rollout for worker `wi` if its key matches,
+    /// counting a hit or a miss. Callers must only consult the cache for
+    /// healthy (non-fault-injected) rollouts.
+    pub fn lookup(&mut self, wi: usize, key: &RolloutKey) -> Option<Vec<Point>> {
+        match self.entries.get(wi).and_then(Option::as_ref) {
+            Some(e) if e.key == *key => {
+                self.stats.hits += 1;
+                Some(e.predicted.clone())
+            }
+            _ => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Stores a freshly computed rollout for worker `wi`, replacing any
+    /// stale entry.
+    pub fn store(&mut self, wi: usize, key: RolloutKey, predicted: Vec<Point>) {
+        if let Some(slot) = self.entries.get_mut(wi) {
+            *slot = Some(Entry { key, predicted });
+        }
+    }
+
+    /// Discards every entry (models may have changed: an online
+    /// adaptation round ran, possibly including quarantine rollbacks).
+    /// Returns how many live entries were dropped.
+    pub fn invalidate_all(&mut self) -> usize {
+        let mut dropped = 0;
+        for slot in &mut self.entries {
+            if slot.take().is_some() {
+                dropped += 1;
+            }
+        }
+        self.stats.invalidations += dropped as u64;
+        dropped
+    }
+
+    /// Cumulative counters since construction.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(obs_len: usize) -> RolloutKey {
+        RolloutKey::new(obs_len, Point::new(1.0, 2.0), 4)
+    }
+
+    #[test]
+    fn miss_then_hit_round_trip() {
+        let mut c = PredictionCache::new(2);
+        assert_eq!(c.lookup(0, &key(3)), None);
+        c.store(0, key(3), vec![Point::new(0.5, 0.5)]);
+        assert_eq!(c.lookup(0, &key(3)), Some(vec![Point::new(0.5, 0.5)]));
+        assert_eq!(
+            c.stats(),
+            CacheStats {
+                hits: 1,
+                misses: 1,
+                invalidations: 0
+            }
+        );
+    }
+
+    #[test]
+    fn key_change_is_a_miss_and_store_replaces() {
+        let mut c = PredictionCache::new(1);
+        c.store(0, key(3), vec![Point::new(0.0, 0.0)]);
+        assert_eq!(c.lookup(0, &key(4)), None, "longer prefix must miss");
+        c.store(0, key(4), vec![Point::new(9.0, 9.0)]);
+        assert_eq!(c.lookup(0, &key(4)), Some(vec![Point::new(9.0, 9.0)]));
+        assert_eq!(c.lookup(0, &key(3)), None, "stale key was replaced");
+    }
+
+    #[test]
+    fn anchor_bits_are_part_of_the_key() {
+        let mut c = PredictionCache::new(1);
+        let a = RolloutKey::new(0, Point::new(1.0, 1.0), 4);
+        let b = RolloutKey::new(0, Point::new(1.0 + f64::EPSILON, 1.0), 4);
+        c.store(0, a, vec![]);
+        assert!(c.lookup(0, &b).is_none(), "different anchor bits must miss");
+    }
+
+    #[test]
+    fn invalidate_all_counts_live_entries_only() {
+        let mut c = PredictionCache::new(3);
+        c.store(0, key(1), vec![]);
+        c.store(2, key(2), vec![]);
+        assert_eq!(c.invalidate_all(), 2);
+        assert_eq!(c.invalidate_all(), 0, "second pass finds nothing");
+        assert_eq!(c.stats().invalidations, 2);
+        assert_eq!(c.lookup(0, &key(1)), None);
+    }
+
+    #[test]
+    fn out_of_range_worker_is_harmless() {
+        let mut c = PredictionCache::new(1);
+        c.store(7, key(1), vec![]);
+        assert_eq!(c.lookup(7, &key(1)), None);
+    }
+}

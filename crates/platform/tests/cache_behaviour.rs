@@ -1,0 +1,281 @@
+//! The cross-batch prediction cache is a pure optimisation: with
+//! `prediction_cache: true` every run must be **byte-identical** to the
+//! uncached run — same assignments, same rejections, same detours, same
+//! per-batch trace — across algorithms, seeds, online adaptation, and
+//! fault injection. These tests enforce that, plus the cache-counter
+//! bookkeeping.
+
+use tamp_meta::meta_training::MetaConfig;
+use tamp_platform::engine::{
+    run_assignment_traced, run_assignment_with_faults_traced, OnlineAdaptConfig,
+};
+use tamp_platform::{
+    train_predictors, AssignmentAlgo, AssignmentMetrics, BatchRecord, EngineConfig, FaultConfig,
+    LossKind, PredictionAlgo, TrainedPredictors, TrainingConfig,
+};
+use tamp_sim::{Scale, Workload, WorkloadConfig, WorkloadKind};
+
+fn tiny_workload(seed: u64) -> Workload {
+    WorkloadConfig::new(WorkloadKind::PortoDidi, Scale::tiny(), seed).build()
+}
+
+fn quick_predictors(w: &Workload, seed: u64) -> TrainedPredictors {
+    train_predictors(
+        w,
+        &TrainingConfig {
+            algo: PredictionAlgo::Maml,
+            loss: LossKind::Mse,
+            hidden: 6,
+            seq_in: 3,
+            meta: MetaConfig {
+                iterations: 2,
+                ..MetaConfig::default()
+            },
+            adapt_steps: 2,
+            seed,
+            ..TrainingConfig::default()
+        },
+    )
+}
+
+fn engine(cache: bool) -> EngineConfig {
+    EngineConfig {
+        seq_in: 3,
+        prediction_cache: cache,
+        ..EngineConfig::default()
+    }
+}
+
+fn mixed_faults(seed: u64) -> FaultConfig {
+    FaultConfig {
+        report_loss: 0.2,
+        report_delay: 0.15,
+        max_delay_min: 12.0,
+        gps_noise_km: 0.05,
+        corrupt_coord: 0.05,
+        offline_worker: 0.2,
+        offline_window_min: 40.0,
+        prediction_failure: 0.2,
+        prediction_garbage: 0.05,
+        adapt_poison: 0.2,
+        seed,
+    }
+}
+
+/// The assignment-visible fields of two metrics must match bit for bit
+/// (wall-clock timings and cache counters legitimately differ).
+fn assert_same_outcome(a: &AssignmentMetrics, b: &AssignmentMetrics, what: &str) {
+    assert_eq!(a.tasks_total, b.tasks_total, "{what}: tasks_total");
+    assert_eq!(a.assigned_total, b.assigned_total, "{what}: assigned_total");
+    assert_eq!(a.completed, b.completed, "{what}: completed");
+    assert_eq!(a.rejected, b.rejected, "{what}: rejected");
+    assert_eq!(a.tasks_expired, b.tasks_expired, "{what}: tasks_expired");
+    assert_eq!(a.invalid_pairs, b.invalid_pairs, "{what}: invalid_pairs");
+    assert_eq!(
+        a.dropped_reports, b.dropped_reports,
+        "{what}: dropped_reports"
+    );
+    assert_eq!(a.fallback_views, b.fallback_views, "{what}: fallback_views");
+    assert_eq!(
+        a.quarantined_models, b.quarantined_models,
+        "{what}: quarantined_models"
+    );
+    assert_eq!(
+        a.total_detour_km.to_bits(),
+        b.total_detour_km.to_bits(),
+        "{what}: total_detour_km bits"
+    );
+}
+
+/// Per-batch traces must match on every assignment-visible field.
+fn assert_same_trace(a: &[BatchRecord], b: &[BatchRecord], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: batch count");
+    for (i, (ra, rb)) in a.iter().zip(b).enumerate() {
+        assert_eq!(ra.t_min.to_bits(), rb.t_min.to_bits(), "{what}[{i}]: t_min");
+        assert_eq!(ra.pending, rb.pending, "{what}[{i}]: pending");
+        assert_eq!(
+            ra.idle_workers, rb.idle_workers,
+            "{what}[{i}]: idle_workers"
+        );
+        assert_eq!(ra.proposed, rb.proposed, "{what}[{i}]: proposed");
+        assert_eq!(ra.accepted, rb.accepted, "{what}[{i}]: accepted");
+        assert_eq!(ra.rejected, rb.rejected, "{what}[{i}]: rejected");
+        assert_eq!(ra.expired, rb.expired, "{what}[{i}]: expired");
+        assert_eq!(
+            ra.dropped_reports, rb.dropped_reports,
+            "{what}[{i}]: dropped_reports"
+        );
+        assert_eq!(
+            ra.fallback_views, rb.fallback_views,
+            "{what}[{i}]: fallback_views"
+        );
+        assert_eq!(
+            ra.invalid_pairs, rb.invalid_pairs,
+            "{what}[{i}]: invalid_pairs"
+        );
+        assert_eq!(
+            ra.quarantined_models, rb.quarantined_models,
+            "{what}[{i}]: quarantined_models"
+        );
+    }
+}
+
+#[test]
+fn cached_run_is_byte_identical_across_seeds_and_algos() {
+    for seed in [3, 11] {
+        let w = tiny_workload(seed);
+        let p = quick_predictors(&w, seed);
+        for algo in [AssignmentAlgo::Ppi, AssignmentAlgo::Km] {
+            let mut cold_trace = Vec::new();
+            let mut warm_trace = Vec::new();
+            let cold = run_assignment_traced(&w, Some(&p), algo, &engine(false), &mut cold_trace);
+            let warm = run_assignment_traced(&w, Some(&p), algo, &engine(true), &mut warm_trace);
+            let what = format!("seed {seed} {algo:?}");
+            assert_same_outcome(&cold, &warm, &what);
+            assert_same_trace(&cold_trace, &warm_trace, &what);
+            assert_eq!(
+                cold.cache_hits, 0,
+                "{what}: cold run must not touch a cache"
+            );
+            assert!(
+                warm.cache_hits > 0,
+                "{what}: a full day at 2-min windows over 10-min reports must reuse rollouts"
+            );
+        }
+    }
+}
+
+#[test]
+fn cache_is_invalidated_by_online_adaptation_and_stays_identical() {
+    let seed = 7;
+    let w = tiny_workload(seed);
+    let p = quick_predictors(&w, seed);
+    let adapt = Some(OnlineAdaptConfig {
+        every_min: 60.0,
+        steps: 1,
+        lr: 0.01,
+    });
+    let cold_cfg = EngineConfig {
+        online_adapt: adapt,
+        ..engine(false)
+    };
+    let warm_cfg = EngineConfig {
+        online_adapt: adapt,
+        ..engine(true)
+    };
+    let mut cold_trace = Vec::new();
+    let mut warm_trace = Vec::new();
+    let cold = run_assignment_traced(
+        &w,
+        Some(&p),
+        AssignmentAlgo::Ppi,
+        &cold_cfg,
+        &mut cold_trace,
+    );
+    let warm = run_assignment_traced(
+        &w,
+        Some(&p),
+        AssignmentAlgo::Ppi,
+        &warm_cfg,
+        &mut warm_trace,
+    );
+    assert_same_outcome(&cold, &warm, "online adapt");
+    assert_same_trace(&cold_trace, &warm_trace, "online adapt");
+    assert!(
+        warm.cache_invalidations > 0,
+        "every adaptation round must blanket-invalidate the cache"
+    );
+    // tiny: 240-minute day, adaptation every 60 → 3 in-day rounds fire.
+    let invalidating_batches = warm_trace
+        .iter()
+        .filter(|r| r.cache_invalidations > 0)
+        .count();
+    assert!(invalidating_batches >= 2, "expected repeated invalidation");
+}
+
+#[test]
+fn cache_is_byte_identical_under_fault_injection() {
+    for seed in [5, 23] {
+        let w = tiny_workload(seed);
+        let p = quick_predictors(&w, seed);
+        let faults = mixed_faults(seed ^ 0xF0F0);
+        let adapt_cfg = |cache| EngineConfig {
+            online_adapt: Some(OnlineAdaptConfig::default()),
+            ..engine(cache)
+        };
+        let mut cold_trace = Vec::new();
+        let mut warm_trace = Vec::new();
+        let cold = run_assignment_with_faults_traced(
+            &w,
+            Some(&p),
+            AssignmentAlgo::Ppi,
+            &adapt_cfg(false),
+            &faults,
+            &mut cold_trace,
+        )
+        .unwrap();
+        let warm = run_assignment_with_faults_traced(
+            &w,
+            Some(&p),
+            AssignmentAlgo::Ppi,
+            &adapt_cfg(true),
+            &faults,
+            &mut warm_trace,
+        )
+        .unwrap();
+        let what = format!("faulted seed {seed}");
+        assert_same_outcome(&cold, &warm, &what);
+        assert_same_trace(&cold_trace, &warm_trace, &what);
+    }
+}
+
+#[test]
+fn cache_counters_reconcile_with_the_trace() {
+    let w = tiny_workload(13);
+    let p = quick_predictors(&w, 13);
+    let mut trace = Vec::new();
+    let m = run_assignment_traced(&w, Some(&p), AssignmentAlgo::Ppi, &engine(true), &mut trace);
+    let hits: usize = trace.iter().map(|r| r.cache_hits).sum();
+    let misses: usize = trace.iter().map(|r| r.cache_misses).sum();
+    let inv: usize = trace.iter().map(|r| r.cache_invalidations).sum();
+    assert_eq!(hits, m.cache_hits);
+    assert_eq!(misses, m.cache_misses);
+    assert_eq!(inv, m.cache_invalidations);
+    assert!(misses > 0, "first window can never hit");
+}
+
+#[test]
+fn expired_tasks_partition_with_completed_and_pending_ones() {
+    // Conservation (clean run, no shedding layer): every published task
+    // ends the day completed, expired, or still pending at the horizon
+    // (a deadline can outlive the day). Driving EngineState directly
+    // exposes the pending pool the one-shot wrapper hides.
+    use tamp_obs::Obs;
+    use tamp_platform::engine::{EngineState, StepCtx};
+    let w = tiny_workload(29);
+    let p = quick_predictors(&w, 29);
+    let cfg = engine(true);
+    let obs = Obs::null();
+    let mut state = EngineState::new(&w, Some(&p), AssignmentAlgo::Ppi, &cfg).unwrap();
+    let ctx = StepCtx {
+        workload: &w,
+        predictors: Some(&p),
+        algo: AssignmentAlgo::Ppi,
+        cfg: &cfg,
+        fplan: None,
+        reports: None,
+        obs: &obs,
+    };
+    let mut next = 0usize;
+    while state.now() < w.horizon.as_f64() {
+        let end = state.next_window_end(&cfg);
+        let from = next;
+        while next < w.tasks.len() && w.tasks[next].release.as_f64() < end {
+            next += 1;
+        }
+        state.step_batch(&ctx, &w.tasks[from..next]);
+    }
+    let pending = state.pending_len();
+    let m = state.finish(&obs);
+    assert_eq!(m.completed + m.tasks_expired + pending, m.tasks_total);
+}

@@ -1,0 +1,52 @@
+//! Window pacing: how fast simulated batch windows advance relative to
+//! wall clock.
+//!
+//! Simulation and load testing run [`Pacing::FullSpeed`] (no sleeping —
+//! the accelerated clock); a demo deployment can pace windows against
+//! real time with a speedup factor.
+
+use std::time::Duration;
+
+/// How the host paces consecutive batch windows.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Pacing {
+    /// Step windows as fast as they compute (the accelerated clock).
+    FullSpeed,
+    /// Sleep so one simulated minute takes `60 / speedup` wall seconds;
+    /// `speedup: 60.0` plays a 2-minute window every 2 wall seconds.
+    RealTime {
+        /// Simulated-to-wall-clock acceleration factor (> 0).
+        speedup: f64,
+    },
+}
+
+impl Pacing {
+    /// Wall-clock pause after stepping one window of `window_min`
+    /// simulated minutes (`None` when running full speed).
+    pub fn window_sleep(&self, window_min: f64) -> Option<Duration> {
+        match *self {
+            Pacing::FullSpeed => None,
+            Pacing::RealTime { speedup } => {
+                let secs = window_min * 60.0 / speedup.max(f64::MIN_POSITIVE);
+                Some(Duration::from_secs_f64(secs))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_speed_never_sleeps() {
+        assert_eq!(Pacing::FullSpeed.window_sleep(2.0), None);
+    }
+
+    #[test]
+    fn real_time_scales_with_speedup() {
+        let p = Pacing::RealTime { speedup: 60.0 };
+        let d = p.window_sleep(2.0).unwrap();
+        assert!((d.as_secs_f64() - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,280 @@
+//! The serve host: owns the shards, paces the window protocol, and
+//! reports.
+//!
+//! Per window the host (1) feeds each live shard's submissions for the
+//! upcoming window into its bounded queue — shedding, with counting,
+//! whatever the bound refuses — and (2) steps each live shard one
+//! batch. With telemetry disabled and `threads > 1`, step (2) runs the
+//! shards on a thread pool (shards share nothing); with an enabled
+//! [`Obs`] the host steps sequentially so the per-shard `serve.batch`
+//! spans and the engine spans nested inside them serialize cleanly into
+//! one recorder.
+
+use crate::clock::Pacing;
+use crate::shard::{Shard, SubmissionCounts};
+use serde::{Deserialize, Serialize};
+use tamp_obs::Obs;
+use tamp_platform::metrics::{AssignmentMetrics, BatchRecord};
+use tamp_platform::predcache::CacheStats;
+
+/// Host-level configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct HostConfig {
+    /// Worker threads for stepping shards (capped at the shard count;
+    /// only used while telemetry is disabled).
+    pub threads: usize,
+    /// Window pacing (full speed for simulation and load tests).
+    pub pacing: Pacing,
+}
+
+impl Default for HostConfig {
+    fn default() -> Self {
+        Self {
+            threads: 1,
+            pacing: Pacing::FullSpeed,
+        }
+    }
+}
+
+/// End-of-run summary for one shard.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ShardReport {
+    /// Shard name.
+    pub name: String,
+    /// Batch windows stepped.
+    pub windows: u64,
+    /// The engine's end-of-run metrics (same struct the one-shot
+    /// entry points return, so serve and one-shot runs diff directly).
+    pub metrics: AssignmentMetrics,
+    /// Queue-side submission accounting.
+    pub counts: SubmissionCounts,
+    /// Prediction-cache counters.
+    pub cache: CacheStats,
+    /// Tasks admitted but still live when the run ended.
+    pub pending_at_end: usize,
+    /// Events still queued when the run ended.
+    pub queued_at_end: usize,
+    /// Replay events never offered to the queue (shard hit its horizon
+    /// first).
+    pub unfed: usize,
+    /// Total events in the shard's replay stream.
+    pub stream_total: usize,
+    /// Median per-window step latency, milliseconds.
+    pub batch_p50_ms: f64,
+    /// 95th-percentile per-window step latency, milliseconds.
+    pub batch_p95_ms: f64,
+    /// Per-window batch records (the serve-side equivalent of the
+    /// one-shot `--trace` output).
+    pub trace: Vec<BatchRecord>,
+}
+
+impl ShardReport {
+    /// Cache hit rate over cacheable rollouts (0 when the cache was
+    /// disabled or never consulted).
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache.hits + self.cache.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache.hits as f64 / total as f64
+        }
+    }
+}
+
+/// End-of-run summary across all shards.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ServeReport {
+    /// Windows the host ticked (max over shards).
+    pub windows: u64,
+    /// Per-shard reports, in shard order.
+    pub shards: Vec<ShardReport>,
+}
+
+/// The long-running service host (see the module docs).
+pub struct ServeHost {
+    shards: Vec<Shard>,
+    cfg: HostConfig,
+    windows: u64,
+    /// Per-shard shed count already reported to telemetry, so each tick
+    /// emits only the delta.
+    shed_reported: Vec<usize>,
+}
+
+impl ServeHost {
+    /// A host owning `shards`, stepped per `cfg`.
+    pub fn new(shards: Vec<Shard>, cfg: HostConfig) -> Self {
+        let shed_reported = vec![0; shards.len()];
+        Self {
+            shards,
+            cfg,
+            windows: 0,
+            shed_reported,
+        }
+    }
+
+    /// Whether every shard's day is over.
+    pub fn all_done(&self) -> bool {
+        self.shards.iter().all(Shard::done)
+    }
+
+    /// Read access to the shards (tests and diagnostics).
+    pub fn shards(&self) -> &[Shard] {
+        &self.shards
+    }
+
+    /// Runs every shard to its horizon and reports.
+    pub fn run(mut self, obs: &Obs) -> ServeReport {
+        while !self.all_done() {
+            self.tick(obs, true);
+        }
+        self.into_report(obs)
+    }
+
+    /// Advances at most `n` windows (feeding and stepping live shards),
+    /// stopping early when every shard is done. Returns windows ticked.
+    pub fn run_windows(&mut self, n: usize, obs: &Obs) -> usize {
+        let mut ticked = 0;
+        while ticked < n && !self.all_done() {
+            self.tick(obs, true);
+            ticked += 1;
+        }
+        ticked
+    }
+
+    /// Graceful shutdown: stops accepting new submissions and keeps
+    /// stepping windows until every queue is drained and no admitted
+    /// task is still live (or the shard hits its horizon), then reports.
+    /// Nothing in flight is lost: queued events still reach the engine,
+    /// and whatever remains is accounted under `queued_at_end` /
+    /// `pending_at_end` / `unfed`.
+    pub fn shutdown(mut self, obs: &Obs) -> ServeReport {
+        while self
+            .shards
+            .iter()
+            .any(|s| !s.done() && (s.queue_len() > 0 || s.pending_len() > 0))
+        {
+            self.tick(obs, false);
+        }
+        self.into_report(obs)
+    }
+
+    /// One window: feed (optionally) and step every live shard.
+    fn tick(&mut self, obs: &Obs, feed: bool) {
+        if feed {
+            for shard in self.shards.iter_mut().filter(|s| !s.done()) {
+                shard.feed_window();
+            }
+        }
+        let window_min = self
+            .shards
+            .iter()
+            .filter(|s| !s.done())
+            .map(Shard::window_min)
+            .fold(0.0_f64, f64::max);
+        if self.cfg.threads > 1 && !obs.is_enabled() {
+            let threads = self.cfg.threads.min(self.shards.len()).max(1);
+            let mut live: Vec<&mut Shard> = self.shards.iter_mut().filter(|s| !s.done()).collect();
+            let chunk = live.len().div_ceil(threads).max(1);
+            std::thread::scope(|scope| {
+                for group in live.chunks_mut(chunk) {
+                    scope.spawn(|| {
+                        let null = Obs::null();
+                        for shard in group.iter_mut() {
+                            shard.step_window(&null);
+                        }
+                    });
+                }
+            });
+        } else {
+            for si in 0..self.shards.len() {
+                if self.shards[si].done() {
+                    continue;
+                }
+                let window_idx = self.shards[si].windows_run();
+                let span = obs.span_idx("serve.batch", window_idx);
+                let record = self.shards[si].step_window(obs);
+                drop(span);
+                let idx = Some(si as u64);
+                obs.count_idx("serve.cache.hit", record.cache_hits as u64, idx);
+                obs.count_idx("serve.cache.miss", record.cache_misses as u64, idx);
+                obs.count_idx(
+                    "serve.cache.invalidate",
+                    record.cache_invalidations as u64,
+                    idx,
+                );
+                let shed = self.shards[si].counts().shed();
+                let delta = shed - self.shed_reported[si];
+                self.shed_reported[si] = shed;
+                obs.count_idx("serve.shed", delta as u64, idx);
+                obs.gauge_idx("serve.queue.depth", self.shards[si].queue_len() as f64, idx);
+            }
+        }
+        self.windows += 1;
+        if let Some(pause) = self.cfg.pacing.window_sleep(window_min) {
+            std::thread::sleep(pause);
+        }
+    }
+
+    /// Consumes the host into the end-of-run report.
+    fn into_report(self, obs: &Obs) -> ServeReport {
+        let windows = self.windows;
+        let shards = self
+            .shards
+            .into_iter()
+            .map(|shard| {
+                let name = shard.name().to_string();
+                let shard_windows = shard.windows_run();
+                let pending_at_end = shard.pending_len();
+                let queued_at_end = shard.queue_len();
+                let unfed = shard.unfed();
+                let stream_total = shard.stream_total();
+                let cache = shard.cache_stats();
+                let (p50, p95) = percentiles_ms(shard.step_seconds());
+                let (metrics, trace, counts) = shard.finish(obs);
+                ShardReport {
+                    name,
+                    windows: shard_windows,
+                    metrics,
+                    counts,
+                    cache,
+                    pending_at_end,
+                    queued_at_end,
+                    unfed,
+                    stream_total,
+                    batch_p50_ms: p50,
+                    batch_p95_ms: p95,
+                    trace,
+                }
+            })
+            .collect();
+        ServeReport { windows, shards }
+    }
+}
+
+/// p50/p95 of a latency sample set, in milliseconds.
+fn percentiles_ms(seconds: &[f64]) -> (f64, f64) {
+    if seconds.is_empty() {
+        return (0.0, 0.0);
+    }
+    let mut sorted: Vec<f64> = seconds.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let pick = |q: f64| {
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        sorted[rank - 1] * 1e3
+    };
+    (pick(0.50), pick(0.95))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_of_known_samples() {
+        let s: Vec<f64> = (1..=100).map(|v| v as f64 / 1e3).collect();
+        let (p50, p95) = percentiles_ms(&s);
+        assert!((p50 - 50.0).abs() < 1e-9);
+        assert!((p95 - 95.0).abs() < 1e-9);
+        assert_eq!(percentiles_ms(&[]), (0.0, 0.0));
+    }
+}

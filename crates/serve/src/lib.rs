@@ -1,0 +1,40 @@
+//! # tamp-serve
+//!
+//! The long-running, sharded assignment service over the batch engine —
+//! the deployment shape the paper's platform implies (tasks and worker
+//! reports arrive continuously; PPI runs per 2-minute batch window) but
+//! that one-shot `run_assignment` calls cannot express.
+//!
+//! * [`queue`] — bounded submission queues with explicit, counted load
+//!   shedding (backpressure; nothing dropped silently).
+//! * [`event`] — the timestamped task/report events and the replay
+//!   stream that turns a generated [`tamp_sim::Workload`] into one.
+//! * [`shard`] — one city/workload's engine state behind its queue:
+//!   feeds windows, drains them into [`tamp_platform::EngineState`]
+//!   batches, keeps the per-worker report logs.
+//! * [`host`] — the service host: window protocol, optional thread-pool
+//!   stepping, graceful shutdown, per-shard reports with latency
+//!   percentiles.
+//! * [`clock`] — window pacing (accelerated clock for simulation).
+//!
+//! The serve path reuses the exact engine the experiments run, so a
+//! serve run over a replayed workload is **byte-identical** to the
+//! one-shot `run_assignment` on the same workload (enforced by this
+//! crate's tests and by the `scripts/ci.sh` smoke diff), with the
+//! cross-batch prediction cache ([`tamp_platform::predcache`]) on by
+//! default.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod clock;
+pub mod event;
+pub mod host;
+pub mod queue;
+pub mod shard;
+
+pub use clock::Pacing;
+pub use event::{EventStream, ShardEvent};
+pub use host::{HostConfig, ServeHost, ServeReport, ShardReport};
+pub use queue::BoundedQueue;
+pub use shard::{Shard, ShardConfig, SubmissionCounts};

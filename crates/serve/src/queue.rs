@@ -1,0 +1,123 @@
+//! Bounded submission queues with explicit load shedding.
+//!
+//! Every shard owns one [`BoundedQueue`] that submissions flow through.
+//! The bound is the backpressure mechanism: when a window's event burst
+//! exceeds the capacity, [`BoundedQueue::try_push`] refuses the event
+//! and hands it back, and the *caller* decides what to do with it — the
+//! serve host counts it as shed (`serve.shed`, `shed_tasks` /
+//! `shed_reports` in the [`crate::ShardReport`]). Nothing is ever
+//! dropped silently: the accounting invariant
+//! `generated == submitted + shed + unfed` is enforced by the test
+//! suite.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// A FIFO queue that refuses pushes beyond a fixed capacity.
+///
+/// Interior mutability (a mutex, uncontended in practice: one feeder,
+/// one drainer, never concurrently) keeps the submission side `&self`,
+/// matching how a network front-end would hand events to a shard it
+/// does not own exclusively.
+#[derive(Debug)]
+pub struct BoundedQueue<T> {
+    inner: Mutex<VecDeque<T>>,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// An empty queue accepting at most `capacity` queued items.
+    /// A zero capacity is clamped to 1 (a queue that can never accept
+    /// anything would shed every event, which is never what a
+    /// configuration means).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            inner: Mutex::new(VecDeque::new()),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Enqueues `item`, or returns it to the caller when the queue is
+    /// full — the caller must account for the refusal (shed counting).
+    pub fn try_push(&self, item: T) -> Result<(), T> {
+        let mut q = self.inner.lock().expect("queue mutex poisoned");
+        if q.len() >= self.capacity {
+            return Err(item);
+        }
+        q.push_back(item);
+        Ok(())
+    }
+
+    /// Pops the front item if `pred` accepts it (used to drain only the
+    /// events belonging to the batch window being stepped).
+    pub fn pop_if(&self, pred: impl FnOnce(&T) -> bool) -> Option<T> {
+        let mut q = self.inner.lock().expect("queue mutex poisoned");
+        if q.front().is_some_and(pred) {
+            q.pop_front()
+        } else {
+            None
+        }
+    }
+
+    /// Items currently queued.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("queue mutex poisoned").len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_pop_is_fifo() {
+        let q = BoundedQueue::new(8);
+        for i in 0..3 {
+            q.try_push(i).unwrap();
+        }
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.pop_if(|_| true), Some(0));
+        assert_eq!(q.pop_if(|_| true), Some(1));
+        assert_eq!(q.pop_if(|_| true), Some(2));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn full_queue_hands_the_item_back() {
+        let q = BoundedQueue::new(2);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert_eq!(q.try_push(3), Err(3), "overflow must return the event");
+        assert_eq!(q.len(), 2, "refused push leaves the queue unchanged");
+        q.pop_if(|_| true);
+        q.try_push(3).unwrap();
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn pop_if_respects_the_predicate() {
+        let q = BoundedQueue::new(4);
+        q.try_push(10).unwrap();
+        assert_eq!(q.pop_if(|v| *v < 10), None, "predicate refused the front");
+        assert_eq!(q.len(), 1, "refused pop leaves the item queued");
+        assert_eq!(q.pop_if(|v| *v == 10), Some(10));
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped() {
+        let q = BoundedQueue::new(0);
+        assert_eq!(q.capacity(), 1);
+        q.try_push(1).unwrap();
+        assert_eq!(q.try_push(2), Err(2));
+    }
+}

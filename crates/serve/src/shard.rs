@@ -1,0 +1,273 @@
+//! One engine shard: a city/workload's worth of assignment state behind
+//! a bounded submission queue.
+//!
+//! A shard is the unit of parallelism in the serve host — shards share
+//! nothing, so the host can step any subset of them concurrently. Each
+//! shard owns its workload, its trained predictors, an incremental
+//! [`EngineState`], and the per-worker report logs that stand in for
+//! the ground-truth routines the one-shot engine reads directly: the
+//! engine only ever sees reports that made it through the queue.
+
+use crate::event::{EventStream, ShardEvent};
+use crate::queue::BoundedQueue;
+use tamp_core::{EngineError, SpatialTask, TimedPoint};
+use tamp_obs::Obs;
+use tamp_platform::engine::{AssignmentAlgo, EngineConfig, EngineState, StepCtx};
+use tamp_platform::faults::{FaultConfig, FaultPlan};
+use tamp_platform::metrics::BatchRecord;
+use tamp_platform::predcache::CacheStats;
+use tamp_platform::training::TrainedPredictors;
+use tamp_sim::Workload;
+
+/// Per-shard serving configuration.
+#[derive(Debug, Clone)]
+pub struct ShardConfig {
+    /// Assignment algorithm the shard runs each window.
+    pub algo: AssignmentAlgo,
+    /// Engine knobs (batch cadence, PPI parameters, prediction cache…).
+    pub engine: EngineConfig,
+    /// Optional fault injection (the PR 1 ladder) for resilience drills.
+    pub faults: Option<FaultConfig>,
+    /// Submission-queue capacity; bursts beyond it are shed (counted,
+    /// never silent — see [`crate::queue`]).
+    pub queue_capacity: usize,
+}
+
+impl Default for ShardConfig {
+    fn default() -> Self {
+        Self {
+            algo: AssignmentAlgo::Ppi,
+            engine: EngineConfig {
+                // Serving is exactly the setting the cross-batch cache
+                // exists for; one-shot experiment runs leave it off.
+                prediction_cache: true,
+                ..EngineConfig::default()
+            },
+            faults: None,
+            queue_capacity: 4096,
+        }
+    }
+}
+
+/// Cumulative submission accounting for one shard, split by event kind.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct SubmissionCounts {
+    /// Task events accepted into the queue.
+    pub submitted_tasks: usize,
+    /// Report events accepted into the queue.
+    pub submitted_reports: usize,
+    /// Task events refused by a full queue.
+    pub shed_tasks: usize,
+    /// Report events refused by a full queue.
+    pub shed_reports: usize,
+}
+
+impl SubmissionCounts {
+    /// Everything offered to the queue, accepted or not.
+    pub fn offered(&self) -> usize {
+        self.submitted_tasks + self.submitted_reports + self.shed_tasks + self.shed_reports
+    }
+
+    /// Everything refused by the queue.
+    pub fn shed(&self) -> usize {
+        self.shed_tasks + self.shed_reports
+    }
+}
+
+/// One engine shard (see the module docs).
+pub struct Shard {
+    name: String,
+    workload: Workload,
+    predictors: Option<TrainedPredictors>,
+    cfg: ShardConfig,
+    fplan: Option<FaultPlan>,
+    state: EngineState,
+    queue: BoundedQueue<ShardEvent>,
+    stream: EventStream,
+    /// Per-worker location reports received so far (the engine's
+    /// observation source on the serve path).
+    logs: Vec<Vec<TimedPoint>>,
+    counts: SubmissionCounts,
+    trace: Vec<BatchRecord>,
+    step_seconds: Vec<f64>,
+}
+
+impl Shard {
+    /// Builds a shard around `workload`, validating the engine and
+    /// fault configuration exactly like the one-shot entry points.
+    pub fn new(
+        name: impl Into<String>,
+        workload: Workload,
+        predictors: Option<TrainedPredictors>,
+        cfg: ShardConfig,
+    ) -> Result<Self, EngineError> {
+        if let Some(fc) = &cfg.faults {
+            fc.validate().map_err(EngineError::InvalidEngineConfig)?;
+        }
+        let state = EngineState::new(&workload, predictors.as_ref(), cfg.algo, &cfg.engine)?;
+        let fplan = cfg
+            .faults
+            .as_ref()
+            .filter(|fc| !fc.is_none())
+            .map(|fc| FaultPlan::build(&workload, fc));
+        let stream = EventStream::from_workload(&workload);
+        let queue = BoundedQueue::new(cfg.queue_capacity);
+        let logs = vec![Vec::new(); workload.workers.len()];
+        Ok(Self {
+            name: name.into(),
+            workload,
+            predictors,
+            cfg,
+            fplan,
+            state,
+            queue,
+            stream,
+            logs,
+            counts: SubmissionCounts::default(),
+            trace: Vec::new(),
+            step_seconds: Vec::new(),
+        })
+    }
+
+    /// Shard name (for telemetry and reports).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Whether the shard's simulated day is over.
+    pub fn done(&self) -> bool {
+        self.state.now() >= self.workload.horizon.as_f64()
+    }
+
+    /// End of the next batch window, minutes.
+    pub fn next_window_end(&self) -> f64 {
+        self.state.next_window_end(&self.cfg.engine)
+    }
+
+    /// Batch window length, minutes (for pacing).
+    pub fn window_min(&self) -> f64 {
+        self.cfg.engine.batch_window_min
+    }
+
+    /// Feeds the next window's worth of replayed events into the
+    /// submission queue, shedding (and counting) what the bound refuses.
+    pub fn feed_window(&mut self) {
+        let end = self.state.next_window_end(&self.cfg.engine);
+        for ev in self.stream.take_until(end) {
+            let is_task = matches!(ev, ShardEvent::Task(_));
+            match self.queue.try_push(*ev) {
+                Ok(()) => {
+                    if is_task {
+                        self.counts.submitted_tasks += 1;
+                    } else {
+                        self.counts.submitted_reports += 1;
+                    }
+                }
+                Err(_) => {
+                    if is_task {
+                        self.counts.shed_tasks += 1;
+                    } else {
+                        self.counts.shed_reports += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Drains the queued events belonging to the next window and steps
+    /// the engine one batch. Returns the batch record (also kept in the
+    /// shard's trace).
+    pub fn step_window(&mut self, obs: &Obs) -> BatchRecord {
+        let end = self.state.next_window_end(&self.cfg.engine);
+        let mut admitted: Vec<SpatialTask> = Vec::new();
+        while let Some(ev) = self.queue.pop_if(|ev| ev.time() < end) {
+            match ev {
+                ShardEvent::Task(task) => admitted.push(task),
+                ShardEvent::Report { worker, point } => {
+                    if let Some(log) = self.logs.get_mut(worker) {
+                        log.push(point);
+                    }
+                }
+            }
+        }
+        let started = std::time::Instant::now();
+        let ctx = StepCtx {
+            workload: &self.workload,
+            predictors: self.predictors.as_ref(),
+            algo: self.cfg.algo,
+            cfg: &self.cfg.engine,
+            fplan: self.fplan.as_ref(),
+            // Under fault injection the received streams are defined by
+            // the plan; the report log is the clean-path source.
+            reports: Some(&self.logs),
+            obs,
+        };
+        let record = self.state.step_batch(&ctx, &admitted);
+        self.step_seconds.push(started.elapsed().as_secs_f64());
+        self.trace.push(record);
+        record
+    }
+
+    /// Cumulative submission accounting.
+    pub fn counts(&self) -> SubmissionCounts {
+        self.counts
+    }
+
+    /// Events still queued (not yet drained into a window).
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Replay events not yet offered to the queue.
+    pub fn unfed(&self) -> usize {
+        self.stream.remaining()
+    }
+
+    /// Total events in the shard's replay stream.
+    pub fn stream_total(&self) -> usize {
+        self.stream.total()
+    }
+
+    /// Tasks admitted and still live inside the engine.
+    pub fn pending_len(&self) -> usize {
+        self.state.pending_len()
+    }
+
+    /// Batch windows stepped so far.
+    pub fn windows_run(&self) -> u64 {
+        self.state.batches_run()
+    }
+
+    /// Prediction-cache counters so far.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.state.cache_stats()
+    }
+
+    /// The engine metrics accumulated so far (in-progress view).
+    pub fn metrics(&self) -> &tamp_platform::metrics::AssignmentMetrics {
+        self.state.metrics()
+    }
+
+    /// Per-window wall-clock step latencies, seconds.
+    pub fn step_seconds(&self) -> &[f64] {
+        &self.step_seconds
+    }
+
+    /// Per-window batch records collected so far.
+    pub fn trace(&self) -> &[BatchRecord] {
+        &self.trace
+    }
+
+    /// Consumes the shard, finishing the engine run (flushes `obs`) and
+    /// returning the final metrics plus the collected trace.
+    pub fn finish(
+        self,
+        obs: &Obs,
+    ) -> (
+        tamp_platform::metrics::AssignmentMetrics,
+        Vec<BatchRecord>,
+        SubmissionCounts,
+    ) {
+        (self.state.finish(obs), self.trace, self.counts)
+    }
+}

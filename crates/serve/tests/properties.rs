@@ -1,0 +1,171 @@
+//! Property tests of the serve layer's central promise: across random
+//! seeds, shard counts, queue capacities, and fault profiles, a cached
+//! serve run is **byte-identical** to a cold-cache one, and submission
+//! accounting always closes exactly.
+//!
+//! Cases are deliberately few: each one trains predictors and runs two
+//! full simulated days per shard.
+
+use proptest::prelude::*;
+use tamp_meta::meta_training::MetaConfig;
+use tamp_obs::Obs;
+use tamp_platform::{
+    AssignmentAlgo, EngineConfig, FaultConfig, LossKind, PredictionAlgo, TrainedPredictors,
+    TrainingConfig,
+};
+use tamp_serve::{HostConfig, Pacing, ServeHost, ServeReport, Shard, ShardConfig};
+use tamp_sim::{Scale, Workload, WorkloadConfig, WorkloadKind};
+
+fn tiny_workload(seed: u64) -> Workload {
+    WorkloadConfig::new(WorkloadKind::PortoDidi, Scale::tiny(), seed).build()
+}
+
+fn quick_predictors(w: &Workload, seed: u64) -> TrainedPredictors {
+    tamp_platform::train_predictors(
+        w,
+        &TrainingConfig {
+            algo: PredictionAlgo::Maml,
+            loss: LossKind::Mse,
+            hidden: 6,
+            seq_in: 3,
+            meta: MetaConfig {
+                iterations: 2,
+                ..MetaConfig::default()
+            },
+            adapt_steps: 2,
+            seed,
+            ..TrainingConfig::default()
+        },
+    )
+}
+
+#[derive(Debug, Clone, Copy)]
+enum FaultProfile {
+    None,
+    ReportHeavy,
+    Mixed,
+}
+
+fn fault_config(profile: FaultProfile, seed: u64) -> Option<FaultConfig> {
+    match profile {
+        FaultProfile::None => None,
+        FaultProfile::ReportHeavy => Some(FaultConfig {
+            report_loss: 0.3,
+            report_delay: 0.2,
+            max_delay_min: 15.0,
+            gps_noise_km: 0.08,
+            corrupt_coord: 0.1,
+            seed,
+            ..FaultConfig::none()
+        }),
+        FaultProfile::Mixed => Some(FaultConfig {
+            report_loss: 0.15,
+            report_delay: 0.1,
+            max_delay_min: 12.0,
+            gps_noise_km: 0.05,
+            corrupt_coord: 0.05,
+            offline_worker: 0.2,
+            offline_window_min: 40.0,
+            prediction_failure: 0.2,
+            prediction_garbage: 0.05,
+            adapt_poison: 0.0,
+            seed,
+        }),
+    }
+}
+
+fn any_profile() -> impl Strategy<Value = FaultProfile> {
+    prop::sample::select(vec![
+        FaultProfile::None,
+        FaultProfile::ReportHeavy,
+        FaultProfile::Mixed,
+    ])
+}
+
+fn run_host(
+    seeds: &[u64],
+    cache: bool,
+    queue_capacity: usize,
+    faults: Option<FaultConfig>,
+) -> ServeReport {
+    let shards: Vec<Shard> = seeds
+        .iter()
+        .map(|&seed| {
+            let w = tiny_workload(seed);
+            let p = quick_predictors(&w, seed);
+            let cfg = ShardConfig {
+                algo: AssignmentAlgo::Ppi,
+                engine: EngineConfig {
+                    seq_in: 3,
+                    prediction_cache: cache,
+                    ..EngineConfig::default()
+                },
+                faults,
+                queue_capacity,
+            };
+            Shard::new(format!("s{seed}"), w, Some(p), cfg).expect("valid shard")
+        })
+        .collect();
+    let host = ServeHost::new(
+        shards,
+        HostConfig {
+            threads: seeds.len(),
+            pacing: Pacing::FullSpeed,
+        },
+    );
+    host.run(&Obs::null())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn cached_serve_is_byte_identical_and_accounting_closes(
+        base_seed in 0u64..200,
+        n_shards in 1usize..=3,
+        profile in any_profile(),
+        tight_queue in prop::bool::ANY,
+    ) {
+        let seeds: Vec<u64> = (0..n_shards as u64).map(|i| base_seed + i).collect();
+        let faults = fault_config(profile, base_seed ^ 0xACE5);
+        let capacity = if tight_queue { 16 } else { 1 << 16 };
+        let warm = run_host(&seeds, true, capacity, faults);
+        let cold = run_host(&seeds, false, capacity, faults);
+        prop_assert_eq!(warm.shards.len(), cold.shards.len());
+        for (w, c) in warm.shards.iter().zip(&cold.shards) {
+            // Byte-identical assignment outcome, cache on vs off.
+            prop_assert_eq!(w.metrics.completed, c.metrics.completed);
+            prop_assert_eq!(w.metrics.rejected, c.metrics.rejected);
+            prop_assert_eq!(w.metrics.assigned_total, c.metrics.assigned_total);
+            prop_assert_eq!(w.metrics.tasks_expired, c.metrics.tasks_expired);
+            prop_assert_eq!(
+                w.metrics.total_detour_km.to_bits(),
+                c.metrics.total_detour_km.to_bits()
+            );
+            prop_assert_eq!(w.trace.len(), c.trace.len());
+            for (rw, rc) in w.trace.iter().zip(&c.trace) {
+                prop_assert_eq!(rw.proposed, rc.proposed);
+                prop_assert_eq!(rw.accepted, rc.accepted);
+                prop_assert_eq!(rw.rejected, rc.rejected);
+                prop_assert_eq!(rw.pending, rc.pending);
+                prop_assert_eq!(rw.expired, rc.expired);
+            }
+            // Identical queues shed identically (shedding is upstream of
+            // the cache), and nothing is ever silently dropped.
+            prop_assert_eq!(w.counts, c.counts);
+            for r in [w, c] {
+                prop_assert_eq!(r.counts.offered() + r.unfed, r.stream_total);
+                prop_assert_eq!(r.queued_at_end, 0usize);
+                prop_assert_eq!(
+                    r.counts.submitted_tasks,
+                    r.metrics.completed + r.metrics.tasks_expired + r.pending_at_end
+                );
+                let m = &r.metrics;
+                prop_assert_eq!(
+                    m.completed + m.rejected + m.invalid_pairs,
+                    m.assigned_total
+                );
+            }
+        }
+    }
+}

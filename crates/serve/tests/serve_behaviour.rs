@@ -1,0 +1,324 @@
+//! Behavioural guarantees of the serve layer:
+//!
+//! * a serve run over a replayed workload is **byte-identical** to the
+//!   one-shot `run_assignment` on the same workload (with and without
+//!   the prediction cache, with and without fault injection);
+//! * multi-shard hosts keep shards independent, and thread-pool
+//!   stepping changes nothing;
+//! * a full queue sheds explicitly and the accounting always closes:
+//!   `offered == submitted + shed`, and every submitted task ends in
+//!   exactly one of completed / expired / pending / queued;
+//! * graceful shutdown drains what was admitted and loses nothing
+//!   silently.
+
+use tamp_meta::meta_training::MetaConfig;
+use tamp_obs::Obs;
+use tamp_platform::engine::run_assignment_with_faults_traced;
+use tamp_platform::{
+    run_assignment_traced, train_predictors, AssignmentAlgo, BatchRecord, EngineConfig,
+    FaultConfig, LossKind, PredictionAlgo, TrainedPredictors, TrainingConfig,
+};
+use tamp_serve::{HostConfig, Pacing, ServeHost, Shard, ShardConfig, ShardReport};
+use tamp_sim::{Scale, Workload, WorkloadConfig, WorkloadKind};
+
+fn tiny_workload(seed: u64) -> Workload {
+    WorkloadConfig::new(WorkloadKind::PortoDidi, Scale::tiny(), seed).build()
+}
+
+fn quick_predictors(w: &Workload, seed: u64) -> TrainedPredictors {
+    train_predictors(
+        w,
+        &TrainingConfig {
+            algo: PredictionAlgo::Maml,
+            loss: LossKind::Mse,
+            hidden: 6,
+            seq_in: 3,
+            meta: MetaConfig {
+                iterations: 2,
+                ..MetaConfig::default()
+            },
+            adapt_steps: 2,
+            seed,
+            ..TrainingConfig::default()
+        },
+    )
+}
+
+fn engine(cache: bool) -> EngineConfig {
+    EngineConfig {
+        seq_in: 3,
+        prediction_cache: cache,
+        ..EngineConfig::default()
+    }
+}
+
+fn shard_cfg(cache: bool, queue_capacity: usize) -> ShardConfig {
+    ShardConfig {
+        algo: AssignmentAlgo::Ppi,
+        engine: engine(cache),
+        faults: None,
+        queue_capacity,
+    }
+}
+
+fn mixed_faults(seed: u64) -> FaultConfig {
+    FaultConfig {
+        report_loss: 0.2,
+        report_delay: 0.15,
+        max_delay_min: 12.0,
+        gps_noise_km: 0.05,
+        corrupt_coord: 0.05,
+        offline_worker: 0.2,
+        offline_window_min: 40.0,
+        prediction_failure: 0.2,
+        prediction_garbage: 0.05,
+        adapt_poison: 0.0,
+        seed,
+    }
+}
+
+fn run_single_shard(w: &Workload, p: &TrainedPredictors, cfg: ShardConfig) -> ShardReport {
+    let shard = Shard::new("s0", w.clone(), Some(p.clone()), cfg).unwrap();
+    let host = ServeHost::new(vec![shard], HostConfig::default());
+    let report = host.run(&Obs::null());
+    report.shards.into_iter().next().unwrap()
+}
+
+/// Assignment-visible per-batch equality (timings and cache counters
+/// legitimately differ between runs).
+fn assert_same_trace(a: &[BatchRecord], b: &[BatchRecord], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: batch count");
+    for (i, (ra, rb)) in a.iter().zip(b).enumerate() {
+        assert_eq!(ra.t_min.to_bits(), rb.t_min.to_bits(), "{what}[{i}]: t_min");
+        assert_eq!(ra.pending, rb.pending, "{what}[{i}]: pending");
+        assert_eq!(
+            ra.idle_workers, rb.idle_workers,
+            "{what}[{i}]: idle_workers"
+        );
+        assert_eq!(ra.proposed, rb.proposed, "{what}[{i}]: proposed");
+        assert_eq!(ra.accepted, rb.accepted, "{what}[{i}]: accepted");
+        assert_eq!(ra.rejected, rb.rejected, "{what}[{i}]: rejected");
+        assert_eq!(ra.expired, rb.expired, "{what}[{i}]: expired");
+        assert_eq!(
+            ra.invalid_pairs, rb.invalid_pairs,
+            "{what}[{i}]: invalid_pairs"
+        );
+        assert_eq!(
+            ra.fallback_views, rb.fallback_views,
+            "{what}[{i}]: fallback_views"
+        );
+        assert_eq!(
+            ra.dropped_reports, rb.dropped_reports,
+            "{what}[{i}]: dropped_reports"
+        );
+    }
+}
+
+fn assert_task_accounting(r: &ShardReport, what: &str) {
+    assert_eq!(
+        r.counts.offered() + r.unfed,
+        r.stream_total,
+        "{what}: offered + unfed must cover the stream"
+    );
+    // Queued events at end are unsplit by kind; in every scenario the
+    // tests construct, a stopped host has drained its queues, so the
+    // task-side conservation closes without a queued term.
+    assert_eq!(r.queued_at_end, 0, "{what}: queues must be drained");
+    assert_eq!(
+        r.counts.submitted_tasks,
+        r.metrics.completed + r.metrics.tasks_expired + r.pending_at_end,
+        "{what}: every submitted task is completed, expired, or pending"
+    );
+}
+
+#[test]
+fn serve_replay_is_byte_identical_to_one_shot() {
+    for seed in [3, 11] {
+        let w = tiny_workload(seed);
+        let p = quick_predictors(&w, seed);
+        let mut one_shot_trace = Vec::new();
+        let one_shot = run_assignment_traced(
+            &w,
+            Some(&p),
+            AssignmentAlgo::Ppi,
+            &engine(false),
+            &mut one_shot_trace,
+        );
+        // Cache ON in serve vs OFF in one-shot: equality proves both the
+        // serve protocol and the cache at once.
+        let report = run_single_shard(&w, &p, shard_cfg(true, 1 << 16));
+        let what = format!("seed {seed}");
+        assert_eq!(report.metrics.completed, one_shot.completed, "{what}");
+        assert_eq!(report.metrics.rejected, one_shot.rejected, "{what}");
+        assert_eq!(
+            report.metrics.assigned_total, one_shot.assigned_total,
+            "{what}"
+        );
+        assert_eq!(
+            report.metrics.total_detour_km.to_bits(),
+            one_shot.total_detour_km.to_bits(),
+            "{what}: detour bits"
+        );
+        assert_same_trace(&report.trace, &one_shot_trace, &what);
+        assert_eq!(report.counts.shed(), 0, "{what}: ample queue must not shed");
+        assert!(report.cache.hits > 0, "{what}: serving must reuse rollouts");
+        assert_task_accounting(&report, &what);
+    }
+}
+
+#[test]
+fn cached_and_cold_serve_runs_are_byte_identical() {
+    let seed = 17;
+    let w = tiny_workload(seed);
+    let p = quick_predictors(&w, seed);
+    let warm = run_single_shard(&w, &p, shard_cfg(true, 1 << 16));
+    let cold = run_single_shard(&w, &p, shard_cfg(false, 1 << 16));
+    assert_same_trace(&warm.trace, &cold.trace, "warm vs cold");
+    assert_eq!(warm.metrics.completed, cold.metrics.completed);
+    assert_eq!(
+        warm.metrics.total_detour_km.to_bits(),
+        cold.metrics.total_detour_km.to_bits()
+    );
+    assert!(warm.cache.hits > 0);
+    assert_eq!(
+        cold.cache.hits + cold.cache.misses,
+        0,
+        "cache off = untouched"
+    );
+}
+
+#[test]
+fn serve_under_fault_injection_matches_one_shot_faulted_run() {
+    let seed = 5;
+    let w = tiny_workload(seed);
+    let p = quick_predictors(&w, seed);
+    let faults = mixed_faults(seed ^ 0xBEEF);
+    let mut one_shot_trace = Vec::new();
+    let one_shot = run_assignment_with_faults_traced(
+        &w,
+        Some(&p),
+        AssignmentAlgo::Ppi,
+        &engine(false),
+        &faults,
+        &mut one_shot_trace,
+    )
+    .unwrap();
+    let cfg = ShardConfig {
+        faults: Some(faults),
+        ..shard_cfg(true, 1 << 16)
+    };
+    let report = run_single_shard(&w, &p, cfg);
+    assert_eq!(report.metrics.completed, one_shot.completed);
+    assert_eq!(report.metrics.rejected, one_shot.rejected);
+    assert_eq!(report.metrics.fallback_views, one_shot.fallback_views);
+    assert_eq!(report.metrics.dropped_reports, one_shot.dropped_reports);
+    assert_eq!(
+        report.metrics.total_detour_km.to_bits(),
+        one_shot.total_detour_km.to_bits()
+    );
+    assert_same_trace(&report.trace, &one_shot_trace, "faulted serve");
+}
+
+#[test]
+fn multi_shard_host_keeps_shards_independent_and_parallel_stepping_is_identical() {
+    let seeds = [3_u64, 4, 5];
+    let mut shards = Vec::new();
+    let mut singles = Vec::new();
+    for &seed in &seeds {
+        let w = tiny_workload(seed);
+        let p = quick_predictors(&w, seed);
+        singles.push(run_single_shard(&w, &p, shard_cfg(true, 1 << 16)));
+        shards.push(Shard::new(format!("s{seed}"), w, Some(p), shard_cfg(true, 1 << 16)).unwrap());
+    }
+    let host = ServeHost::new(
+        shards,
+        HostConfig {
+            threads: 3,
+            pacing: Pacing::FullSpeed,
+        },
+    );
+    let report = host.run(&Obs::null());
+    assert_eq!(report.shards.len(), seeds.len());
+    for (joint, single) in report.shards.iter().zip(&singles) {
+        assert_eq!(joint.metrics.completed, single.metrics.completed);
+        assert_eq!(joint.metrics.rejected, single.metrics.rejected);
+        assert_eq!(
+            joint.metrics.total_detour_km.to_bits(),
+            single.metrics.total_detour_km.to_bits()
+        );
+        assert_same_trace(&joint.trace, &single.trace, &joint.name);
+        assert_task_accounting(joint, &joint.name);
+    }
+}
+
+#[test]
+fn full_queue_sheds_explicitly_and_accounting_still_closes() {
+    let seed = 9;
+    let w = tiny_workload(seed);
+    let p = quick_predictors(&w, seed);
+    // Far below the first window's burst (all 8 workers' t=0 reports +
+    // early tasks), so shedding must fire.
+    let report = run_single_shard(&w, &p, shard_cfg(true, 4));
+    assert!(report.counts.shed() > 0, "tiny queue must shed");
+    assert_task_accounting(&report, "shedding run");
+    // Shedding reports degrades inputs but must never corrupt engine
+    // accounting.
+    let m = &report.metrics;
+    assert_eq!(m.completed + m.rejected + m.invalid_pairs, m.assigned_total);
+}
+
+#[test]
+fn graceful_shutdown_drains_admitted_work() {
+    let seed = 13;
+    let w = tiny_workload(seed);
+    let p = quick_predictors(&w, seed);
+    let shard = Shard::new("s0", w.clone(), Some(p.clone()), shard_cfg(true, 1 << 16)).unwrap();
+    let mut host = ServeHost::new(vec![shard], HostConfig::default());
+    let obs = Obs::null();
+    // Mid-morning: feed+step 30 of the 120 windows, then stop accepting.
+    let ticked = host.run_windows(30, &obs);
+    assert_eq!(ticked, 30);
+    let report = host.shutdown(&obs);
+    let r = &report.shards[0];
+    assert_eq!(r.queued_at_end, 0, "shutdown must drain the queue");
+    assert_eq!(r.pending_at_end, 0, "shutdown must resolve admitted tasks");
+    assert_eq!(
+        r.counts.submitted_tasks,
+        r.metrics.completed + r.metrics.tasks_expired,
+        "every admitted task resolved by the drain"
+    );
+    assert!(r.unfed > 0, "stopping early leaves replay events unfed");
+    assert_eq!(r.counts.offered() + r.unfed, r.stream_total);
+}
+
+#[test]
+fn serve_telemetry_emits_cache_and_shed_counters() {
+    let seed = 3;
+    let w = tiny_workload(seed);
+    let p = quick_predictors(&w, seed);
+    let shard = Shard::new("s0", w, Some(p), shard_cfg(true, 4)).unwrap();
+    let host = ServeHost::new(vec![shard], HostConfig::default());
+    let (obs, mem) = Obs::in_memory();
+    let report = host.run(&obs);
+    let snap = obs.snapshot();
+    let get = |name: &str| snap.counters.get(name).copied().unwrap_or(0);
+    let r = &report.shards[0];
+    assert_eq!(get("serve.cache.hit"), r.cache.hits);
+    assert_eq!(get("serve.cache.miss"), r.cache.misses);
+    assert_eq!(get("serve.cache.invalidate"), r.cache.invalidations);
+    assert_eq!(get("serve.shed"), r.counts.shed() as u64);
+    let events = mem.events();
+    let serve_span = events
+        .iter()
+        .find(|e| e.name == "serve.batch" && e.span.is_some())
+        .expect("serve.batch spans must be recorded");
+    let engine_span = events
+        .iter()
+        .find(|e| e.name == "engine.batch" && e.span.is_some())
+        .expect("engine spans must be recorded");
+    assert_eq!(
+        engine_span.span.unwrap().parent,
+        Some(serve_span.span.unwrap().id),
+        "the first engine.batch span must nest inside the first serve.batch span"
+    );
+}

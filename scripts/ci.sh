@@ -59,6 +59,32 @@ if ! diff <(grep -v '^training time' "$SMOKE_DIR/predict.t1.txt") \
     exit 1
 fi
 
+echo "== serve vs one-shot smoke comparison (must be identical)"
+# The serve host replays the same day through bounded queues and the
+# cross-batch prediction cache; shard i uses seed SEED+i. Its per-shard
+# result block must match the equivalent one-shot runs line for line
+# (docs/serving.md).
+cargo run --release -p tamp-cli --offline -q -- serve \
+    --shards 2 --kind porto --scale tiny --seed 7 --algo ppi \
+    >"$SMOKE_DIR/serve.txt"
+for seed in 7 8; do
+    cargo run --release -p tamp-cli --offline -q -- simulate \
+        --kind porto --scale tiny --seed "$seed" --algo ppi \
+        >"$SMOKE_DIR/oneshot.$seed.txt"
+done
+if ! diff <(grep -iE '^(tasks|completed|rejected|avg)' "$SMOKE_DIR/serve.txt") \
+          <(cat "$SMOKE_DIR/oneshot.7.txt" "$SMOKE_DIR/oneshot.8.txt" \
+            | grep -iE '^(tasks|completed|rejected|avg)'); then
+    echo "FAIL: serve host diverged from the one-shot engine" >&2
+    exit 1
+fi
+
+echo "== rustdoc (deny warnings)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --offline --no-deps -q
+
+echo "== examples compile"
+cargo build --release --offline --examples
+
 echo "== benches compile"
 cargo bench --workspace --offline --no-run
 

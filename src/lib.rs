@@ -19,8 +19,15 @@
 //! * [`obs`] — zero-dependency telemetry (spans, counters, histograms,
 //!   JSONL traces) wired through the engine, training, and assignment
 //!   hot paths.
+//! * [`serve`] — long-running sharded service host over the batch
+//!   engine: bounded submission queues with counted shedding and a
+//!   cross-batch prediction cache (see `docs/serving.md`).
 //!
-//! See `examples/quickstart.rs` for a three-minute tour.
+//! See `examples/quickstart.rs` for a three-minute tour, and
+//! `docs/architecture.md` for the crate map and data flow.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 pub use tamp_assign as assign;
 pub use tamp_core as core;
@@ -28,6 +35,7 @@ pub use tamp_meta as meta;
 pub use tamp_nn as nn;
 pub use tamp_obs as obs;
 pub use tamp_platform as platform;
+pub use tamp_serve as serve;
 pub use tamp_sim as sim;
 
 /// The crate version, for experiment reports.
