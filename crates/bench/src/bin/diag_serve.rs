@@ -1,28 +1,48 @@
 //! Load-generates the serve host: replays each shard's day at
-//! increasing task-rate multipliers through a fixed-capacity submission
-//! queue and records, per rate, the p50/p95 per-window step latency,
-//! the cross-batch prediction-cache hit rate, and the shed counts.
-//! At the highest rates the per-window bursts exceed the queue and the
-//! host sheds — visibly, in the `shed` column — which is exactly the
-//! overload behaviour docs/serving.md describes. Writes
-//! `results/serve_latency.json`.
+//! increasing task-rate multipliers (×1–×128) through a fixed-capacity
+//! submission queue, once per overload policy (shed / degrade /
+//! backpressure), and records per (rate, policy) the p50/p95/p99
+//! per-window step latency, the cross-batch prediction-cache hit rate,
+//! and the shed/degraded/retried counts. At the highest rates the
+//! per-window bursts exceed the queue and the policies visibly diverge
+//! — shed drops events, degrade trades reports for tasks and
+//! persistence views, backpressure smears bursts across windows —
+//! which is exactly the ladder docs/serving.md describes. Online
+//! adaptation is enabled so the sweep also shows that per-worker cache
+//! versioning keeps the hit rate alive across adaptation rounds
+//! (a blanket invalidation would zero it). Writes
+//! `results/serve_latency.json`: the legacy top-level `rates` array
+//! still holds the shed-policy rows (old consumers keep working), the
+//! `policies` array holds every (rate, policy) row.
 //!
 //! Environment: `TAMP_SEED` (default 42), `TAMP_SHARDS` (default 2),
 //! `TAMP_THREADS` (default = shards), `TAMP_QUEUE_CAP` (default 12),
-//! `TAMP_SCALE` (default `tiny`), `TAMP_OUT` (default `results/`).
+//! `TAMP_SCALE` (default `tiny`), `TAMP_MAX_RATE` (default 128; lower
+//! it for quick local runs), `TAMP_OUT` (default `results/`).
 
 use std::time::Instant;
 use tamp_bench::{out_dir, seed_from_env};
 use tamp_meta::meta_training::MetaConfig;
 use tamp_obs::Obs;
 use tamp_platform::{
-    train_predictors, AssignmentAlgo, EngineConfig, LossKind, PredictionAlgo, TrainingConfig,
+    train_predictors, AssignmentAlgo, EngineConfig, LossKind, OnlineAdaptConfig, PredictionAlgo,
+    TrainingConfig,
 };
-use tamp_serve::{HostConfig, Pacing, ServeHost, Shard, ShardConfig};
+use tamp_serve::{HostConfig, OverloadPolicy, Pacing, ServeHost, Shard, ShardConfig};
 use tamp_sim::{Scale, WorkloadConfig, WorkloadKind};
 
 /// Task-rate multipliers applied to the scale's default task count.
-const RATES: [usize; 4] = [1, 2, 4, 8];
+const RATES: [usize; 8] = [1, 2, 4, 8, 16, 32, 64, 128];
+
+/// The overload-policy ladder, swept at every rate.
+const POLICIES: [(&str, OverloadPolicy); 3] = [
+    ("shed", OverloadPolicy::Shed),
+    ("degrade", OverloadPolicy::DegradeToFallback),
+    (
+        "backpressure",
+        OverloadPolicy::Backpressure { retry_limit: 3 },
+    ),
+];
 
 fn env_usize(name: &str, default: usize) -> usize {
     std::env::var(name)
@@ -32,19 +52,56 @@ fn env_usize(name: &str, default: usize) -> usize {
 }
 
 /// One aggregated row of the sweep.
-struct RateRow {
+struct SweepRow {
+    policy: &'static str,
     rate: usize,
     tasks_per_shard: usize,
     windows: u64,
     p50_ms: f64,
     p95_ms: f64,
+    p99_ms: f64,
     hits: u64,
     misses: u64,
     hit_rate: f64,
+    invalidations: u64,
+    offered: usize,
     submitted: usize,
     shed: usize,
+    degraded: usize,
+    retried: usize,
     completed: usize,
+    fallback_views: usize,
     wall_seconds: f64,
+}
+
+fn row_json(r: &SweepRow) -> String {
+    format!(
+        "{{ \"policy\": \"{}\", \"rate\": {}, \"tasks_per_shard\": {}, \"windows\": {}, \
+         \"batch_p50_ms\": {:.6}, \"batch_p95_ms\": {:.6}, \"batch_p99_ms\": {:.6}, \
+         \"cache_hits\": {}, \"cache_misses\": {}, \"cache_hit_rate\": {:.4}, \
+         \"cache_invalidations\": {}, \"offered\": {}, \"submitted\": {}, \"shed\": {}, \
+         \"degraded\": {}, \"retried\": {}, \"completed\": {}, \"fallback_views\": {}, \
+         \"wall_seconds\": {:.4} }}",
+        r.policy,
+        r.rate,
+        r.tasks_per_shard,
+        r.windows,
+        r.p50_ms,
+        r.p95_ms,
+        r.p99_ms,
+        r.hits,
+        r.misses,
+        r.hit_rate,
+        r.invalidations,
+        r.offered,
+        r.submitted,
+        r.shed,
+        r.degraded,
+        r.retried,
+        r.completed,
+        r.fallback_views,
+        r.wall_seconds,
+    )
 }
 
 fn main() {
@@ -52,6 +109,7 @@ fn main() {
     let n_shards = env_usize("TAMP_SHARDS", 2).max(1);
     let threads = env_usize("TAMP_THREADS", n_shards).max(1);
     let queue_cap = env_usize("TAMP_QUEUE_CAP", 12).max(1);
+    let max_rate = env_usize("TAMP_MAX_RATE", 128).max(1);
     let scale = match std::env::var("TAMP_SCALE").as_deref() {
         Ok("small") => Scale::small(),
         Ok("paper") => Scale::paper_workload1(),
@@ -75,10 +133,12 @@ fn main() {
         ..TrainingConfig::default()
     };
 
-    let mut rows = Vec::new();
-    for rate in RATES {
+    let mut rows: Vec<SweepRow> = Vec::new();
+    for rate in RATES.into_iter().filter(|r| *r <= max_rate) {
         let n_tasks = scale.n_tasks * rate;
-        let mut shards = Vec::new();
+        // Train once per (rate, shard); the policies replay clones so
+        // their rows differ only by the overload policy.
+        let mut prepared = Vec::new();
         for i in 0..n_shards {
             let seed = base_seed + i as u64;
             let shard_scale = Scale { n_tasks, ..scale };
@@ -89,82 +149,130 @@ fn main() {
                 workload.tasks.len()
             );
             let predictors = train_predictors(&workload, &training(seed));
-            let cfg = ShardConfig {
-                algo: AssignmentAlgo::Ppi,
-                engine: EngineConfig {
-                    seq_in: 5,
-                    seed,
-                    prediction_cache: true,
-                    ..EngineConfig::default()
-                },
-                faults: None,
-                queue_capacity: queue_cap,
-            };
-            shards.push(
-                Shard::new(format!("shard{i}"), workload, Some(predictors), cfg)
+            prepared.push((seed, workload, predictors));
+        }
+
+        for (policy_name, policy) in POLICIES {
+            let mut shards = Vec::new();
+            for (i, (seed, workload, predictors)) in prepared.iter().enumerate() {
+                let cfg = ShardConfig {
+                    algo: AssignmentAlgo::Ppi,
+                    engine: EngineConfig {
+                        seq_in: 5,
+                        seed: *seed,
+                        prediction_cache: true,
+                        // Adaptation rounds bump only the adapted
+                        // workers' cache versions; the sweep's hit rate
+                        // shows the rest of the cache staying warm.
+                        online_adapt: Some(OnlineAdaptConfig::default()),
+                        ..EngineConfig::default()
+                    },
+                    faults: None,
+                    queue_capacity: queue_cap,
+                    overload: policy,
+                };
+                shards.push(
+                    Shard::new(
+                        format!("shard{i}"),
+                        workload.clone(),
+                        Some(predictors.clone()),
+                        cfg,
+                    )
                     .expect("shard construction"),
+                );
+            }
+
+            let host = ServeHost::new(
+                shards,
+                HostConfig {
+                    threads,
+                    pacing: Pacing::FullSpeed,
+                    snapshot_every: None,
+                    snapshot_dir: None,
+                },
             );
-        }
+            let t0 = Instant::now();
+            let report = host.run(&Obs::null());
+            let wall = t0.elapsed().as_secs_f64();
 
-        let host = ServeHost::new(
-            shards,
-            HostConfig {
-                threads,
-                pacing: Pacing::FullSpeed,
-            },
-        );
-        let t0 = Instant::now();
-        let report = host.run(&Obs::null());
-        let wall = t0.elapsed().as_secs_f64();
-
-        let (mut hits, mut misses) = (0u64, 0u64);
-        let (mut submitted, mut shed, mut completed) = (0usize, 0usize, 0usize);
-        let mut p50s = Vec::new();
-        let mut p95 = 0.0f64;
-        for s in &report.shards {
-            hits += s.cache.hits;
-            misses += s.cache.misses;
-            submitted += s.counts.submitted_tasks + s.counts.submitted_reports;
-            shed += s.counts.shed();
-            completed += s.metrics.completed;
-            p50s.push(s.batch_p50_ms);
-            p95 = p95.max(s.batch_p95_ms);
+            let (mut hits, mut misses, mut invalidations) = (0u64, 0u64, 0u64);
+            let (mut offered, mut submitted, mut shed) = (0usize, 0usize, 0usize);
+            let (mut degraded, mut retried, mut completed) = (0usize, 0usize, 0usize);
+            let mut fallback_views = 0usize;
+            let mut p50s = Vec::new();
+            let (mut p95, mut p99) = (0.0f64, 0.0f64);
+            for s in &report.shards {
+                hits += s.cache.hits;
+                misses += s.cache.misses;
+                invalidations += s.cache.invalidations;
+                offered += s.counts.offered();
+                submitted += s.counts.submitted_tasks + s.counts.submitted_reports;
+                shed += s.counts.shed();
+                degraded += s.counts.degraded();
+                retried += s.counts.retried;
+                completed += s.metrics.completed;
+                fallback_views += s.metrics.fallback_views;
+                p50s.push(s.batch_p50_ms);
+                p95 = p95.max(s.batch_p95_ms);
+                p99 = p99.max(s.batch_p99_ms);
+                // The ladder's accounting invariant, checked on real
+                // loadgen output, not just unit fixtures.
+                assert_eq!(
+                    s.counts.offered(),
+                    s.counts.submitted_tasks
+                        + s.counts.submitted_reports
+                        + s.counts.shed()
+                        + s.counts.degraded(),
+                    "offered == submitted + shed + degraded must close exactly"
+                );
+            }
+            let p50 = p50s.iter().sum::<f64>() / p50s.len() as f64;
+            let hit_rate = if hits + misses == 0 {
+                0.0
+            } else {
+                hits as f64 / (hits + misses) as f64
+            };
+            eprintln!(
+                "rate x{rate} {policy_name}: {} windows, p50 {p50:.3} ms, p95 {p95:.3} ms, \
+                 hit rate {hit_rate:.3}, shed {shed}, degraded {degraded}, retried {retried}, \
+                 wall {wall:.2}s",
+                report.windows
+            );
+            rows.push(SweepRow {
+                policy: policy_name,
+                rate,
+                tasks_per_shard: n_tasks,
+                windows: report.windows,
+                p50_ms: p50,
+                p95_ms: p95,
+                p99_ms: p99,
+                hits,
+                misses,
+                hit_rate,
+                invalidations,
+                offered,
+                submitted,
+                shed,
+                degraded,
+                retried,
+                completed,
+                fallback_views,
+                wall_seconds: wall,
+            });
         }
-        let p50 = p50s.iter().sum::<f64>() / p50s.len() as f64;
-        let hit_rate = if hits + misses == 0 {
-            0.0
-        } else {
-            hits as f64 / (hits + misses) as f64
-        };
-        eprintln!(
-            "rate x{rate}: {} windows, p50 {p50:.3} ms, p95 {p95:.3} ms, \
-             hit rate {hit_rate:.3}, shed {shed}, wall {wall:.2}s",
-            report.windows
-        );
-        rows.push(RateRow {
-            rate,
-            tasks_per_shard: n_tasks,
-            windows: report.windows,
-            p50_ms: p50,
-            p95_ms: p95,
-            hits,
-            misses,
-            hit_rate,
-            submitted,
-            shed,
-            completed,
-            wall_seconds: wall,
-        });
     }
 
     // Hand-formatted JSON, like the other diag bins: the measurement
     // record must hold real numbers even where serde_json is stubbed.
-    let mut body = String::new();
-    for (i, r) in rows.iter().enumerate() {
-        let sep = if i + 1 == rows.len() { "" } else { "," };
-        body.push_str(&format!(
+    // `rates` keeps the legacy shape (shed rows only, old field names
+    // intact plus additive ones); `policies` holds the full sweep.
+    let mut legacy = String::new();
+    let shed_rows: Vec<&SweepRow> = rows.iter().filter(|r| r.policy == "shed").collect();
+    for (i, r) in shed_rows.iter().enumerate() {
+        let sep = if i + 1 == shed_rows.len() { "" } else { "," };
+        legacy.push_str(&format!(
             "    {{ \"rate\": {}, \"tasks_per_shard\": {}, \"windows\": {}, \
-             \"batch_p50_ms\": {:.6}, \"batch_p95_ms\": {:.6}, \
+             \"batch_p50_ms\": {:.6}, \"batch_p95_ms\": {:.6}, \"batch_p99_ms\": {:.6}, \
              \"cache_hits\": {}, \"cache_misses\": {}, \"cache_hit_rate\": {:.4}, \
              \"submitted\": {}, \"shed\": {}, \"completed\": {}, \
              \"wall_seconds\": {:.4} }}{sep}\n",
@@ -173,6 +281,7 @@ fn main() {
             r.windows,
             r.p50_ms,
             r.p95_ms,
+            r.p99_ms,
             r.hits,
             r.misses,
             r.hit_rate,
@@ -182,10 +291,16 @@ fn main() {
             r.wall_seconds,
         ));
     }
+    let mut body = String::new();
+    for (i, r) in rows.iter().enumerate() {
+        let sep = if i + 1 == rows.len() { "" } else { "," };
+        body.push_str(&format!("    {}{sep}\n", row_json(r)));
+    }
     let json = format!(
         "{{\n  \"name\": \"serve_latency\",\n  \"shards\": {n_shards},\n  \
          \"threads\": {threads},\n  \"queue_capacity\": {queue_cap},\n  \
-         \"n_workers\": {},\n  \"rates\": [\n{body}  ]\n}}\n",
+         \"n_workers\": {},\n  \"rates\": [\n{legacy}  ],\n  \
+         \"policies\": [\n{body}  ]\n}}\n",
         scale.n_workers
     );
     let path = out_dir().join("serve_latency.json");

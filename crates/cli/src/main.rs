@@ -30,7 +30,7 @@ use tamp_platform::{
     run_assignment_observed, train_predictors_observed, AssignmentAlgo, AssignmentMetrics,
     EngineConfig, LossKind, PredictionAlgo, TrainingConfig,
 };
-use tamp_serve::{HostConfig, Pacing, ServeHost, Shard, ShardConfig};
+use tamp_serve::{HostConfig, OverloadPolicy, Pacing, ServeHost, Shard, ShardConfig};
 use tamp_sim::{Scale, Workload, WorkloadConfig, WorkloadKind};
 
 const HELP: &str = "\
@@ -52,6 +52,11 @@ USAGE:
                     [--threads N]    (shard-stepping threads; identical results for any N)
                     [--no-cache]     (disable the cross-batch prediction cache;
                                       same results, more rollout work)
+                    [--overload shed|degrade|backpressure]  (queue-overflow policy)
+                    [--retry-limit N]   (backpressure offer attempts; default 3)
+                    [--snapshot-every N --snapshot-dir DIR]  (crash-safety snapshots)
+                    [--crash-shard I --crash-window W]  (drill: kill+restore shard I
+                                      after W windows; results must be identical)
                     [--no-index] [--loss task|mse] [--json] [--trace FILE]
                     [--metrics FILE] [--train-threads N]
                     (shard i uses seed SEED+i; see docs/serving.md)
@@ -68,7 +73,7 @@ fn main() -> ExitCode {
         }
     };
     // Surface obvious typos: every command shares one option vocabulary.
-    const KNOWN: [&str; 18] = [
+    const KNOWN: [&str; 24] = [
         "out",
         "workload",
         "kind",
@@ -87,6 +92,12 @@ fn main() -> ExitCode {
         "queue-cap",
         "threads",
         "no-cache",
+        "overload",
+        "retry-limit",
+        "snapshot-every",
+        "snapshot-dir",
+        "crash-shard",
+        "crash-window",
     ];
     for name in args.option_names() {
         if !KNOWN.contains(&name) {
@@ -314,6 +325,27 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     let scale = parse_scale(args.get_or("scale", "small"))?;
     let queue_capacity = args.get_parsed::<usize>("queue-cap")?.unwrap_or(4096);
     let threads = args.get_parsed::<usize>("threads")?.unwrap_or(1).max(1);
+    let overload = match args.get_or("overload", "shed") {
+        "shed" => OverloadPolicy::Shed,
+        "degrade" => OverloadPolicy::DegradeToFallback,
+        "backpressure" => OverloadPolicy::Backpressure {
+            retry_limit: args.get_parsed::<u32>("retry-limit")?.unwrap_or(3),
+        },
+        other => return Err(format!("unknown overload policy: {other}")),
+    };
+    let snapshot_every = args.get_parsed::<u64>("snapshot-every")?;
+    let snapshot_dir = args.get("snapshot-dir").map(std::path::PathBuf::from);
+    if snapshot_every.is_some() != snapshot_dir.is_some() {
+        return Err("--snapshot-every and --snapshot-dir must be given together".into());
+    }
+    if let Some(dir) = &snapshot_dir {
+        std::fs::create_dir_all(dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+    }
+    let crash_shard = args.get_parsed::<usize>("crash-shard")?;
+    let crash_window = args.get_parsed::<usize>("crash-window")?;
+    if crash_shard.is_some() != crash_window.is_some() {
+        return Err("--crash-shard and --crash-window must be given together".into());
+    }
     let obs = make_obs(args)?;
     let needs_predictors = !matches!(algo, AssignmentAlgo::Ub | AssignmentAlgo::Lb);
 
@@ -349,19 +381,30 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
             },
             faults: None,
             queue_capacity,
+            overload,
         };
         let shard = Shard::new(format!("shard{i}"), workload, predictors, cfg)
             .map_err(|e| e.to_string())?;
         shards.push(shard);
     }
 
-    let host = ServeHost::new(
+    let mut host = ServeHost::new(
         shards,
         HostConfig {
             threads,
             pacing: Pacing::FullSpeed,
+            snapshot_every,
+            snapshot_dir,
         },
     );
+    if let (Some(si), Some(w)) = (crash_shard, crash_window) {
+        if si >= n_shards {
+            return Err(format!("--crash-shard {si}: only {n_shards} shards"));
+        }
+        host.run_windows(w, &obs);
+        host.crash_restore_shard(si).map_err(|e| e.to_string())?;
+        eprintln!("crash drill: killed and restored shard{si} after {w} windows");
+    }
     let report = host.run(&obs);
     finish_obs(args, &obs)?;
 
@@ -381,11 +424,15 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
                     "avg_worker_cost_km": r.metrics.avg_worker_cost_km(),
                     "submitted": r.counts.submitted_tasks + r.counts.submitted_reports,
                     "shed": r.counts.shed(),
+                    "degraded": r.counts.degraded(),
+                    "retried": r.counts.retried,
+                    "crashes": r.crashes,
                     "cache_hits": r.cache.hits,
                     "cache_misses": r.cache.misses,
                     "cache_hit_rate": r.cache_hit_rate(),
                     "batch_p50_ms": r.batch_p50_ms,
                     "batch_p95_ms": r.batch_p95_ms,
+                    "batch_p99_ms": r.batch_p99_ms,
                 })
             })
             .collect();
@@ -402,14 +449,19 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
             println!("-- {} (seed {}, {algo:?})", r.name, base_seed + i as u64);
             print_assignment_block(&r.metrics);
             println!(
-                "windows          : {} ({:.2} ms p50, {:.2} ms p95)",
-                r.windows, r.batch_p50_ms, r.batch_p95_ms
+                "windows          : {} ({:.2} ms p50, {:.2} ms p95, {:.2} ms p99)",
+                r.windows, r.batch_p50_ms, r.batch_p95_ms, r.batch_p99_ms
             );
             println!(
-                "submissions      : {} accepted, {} shed",
+                "submissions      : {} accepted, {} shed, {} degraded, {} retried",
                 r.counts.submitted_tasks + r.counts.submitted_reports,
-                r.counts.shed()
+                r.counts.shed(),
+                r.counts.degraded(),
+                r.counts.retried
             );
+            if r.crashes > 0 {
+                println!("crash restores   : {}", r.crashes);
+            }
             println!(
                 "prediction cache : {} hits, {} misses ({:.3} hit rate), {} invalidated",
                 r.cache.hits,

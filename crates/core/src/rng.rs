@@ -23,6 +23,82 @@ pub fn rng_for(seed: u64, stream: u64) -> StdRng {
     StdRng::seed_from_u64(derive_seed(seed, stream))
 }
 
+/// A snapshot-friendly PRNG (xoshiro256** core) whose entire state is
+/// four `u64` words with serde derives, so long-lived engine state can
+/// serialize it and a restored run replays bit for bit. [`StdRng`]
+/// deliberately hides its state and cannot be persisted, which is the
+/// only reason this exists; statistical quality is ample for the
+/// sampling done here, but this is not a cryptographic generator.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct PortableRng {
+    s: [u64; 4],
+}
+
+impl PortableRng {
+    /// Seeds the generator by expanding `seed` with SplitMix64 (the
+    /// reference xoshiro seeding procedure).
+    pub fn new(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let mut s = [next(), next(), next(), next()];
+        if s == [0; 4] {
+            // The all-zero state is the one fixed point of the xoshiro
+            // transition; SplitMix64 cannot reach it from any seed, but
+            // guard anyway so a hand-built state cannot wedge the stream.
+            s = [0x9E37_79B9_7F4A_7C15, 1, 2, 3];
+        }
+        Self { s }
+    }
+
+    /// A seeded generator for the given `(seed, stream)` pair — the
+    /// portable counterpart of [`rng_for`].
+    pub fn for_stream(seed: u64, stream: u64) -> Self {
+        Self::new(derive_seed(seed, stream))
+    }
+}
+
+impl rand::RngCore for PortableRng {
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}
+
 /// Well-known stream labels so call sites don't collide by accident.
 pub mod streams {
     /// Worker routine synthesis.
@@ -78,5 +154,55 @@ mod tests {
         let xa: u64 = a.gen();
         let xb: u64 = b.gen();
         assert_ne!(xa, xb);
+    }
+
+    #[test]
+    fn portable_rng_reproduces_and_streams_diverge() {
+        let mut a = PortableRng::for_stream(7, streams::GENETIC);
+        let mut b = PortableRng::for_stream(7, streams::GENETIC);
+        let xa: [u64; 4] = std::array::from_fn(|_| a.gen());
+        let xb: [u64; 4] = std::array::from_fn(|_| b.gen());
+        assert_eq!(xa, xb);
+        let mut c = PortableRng::for_stream(7, streams::TASKS);
+        let xc: u64 = c.gen();
+        assert_ne!(xa[0], xc);
+    }
+
+    #[test]
+    fn portable_rng_clone_continues_the_same_stream() {
+        // The property snapshot/restore relies on: copying the state
+        // mid-stream and resuming produces the identical tail.
+        let mut a = PortableRng::new(99);
+        for _ in 0..10 {
+            let _: u64 = a.gen();
+        }
+        let mut b = a.clone();
+        let tail_a: [u64; 8] = std::array::from_fn(|_| a.gen());
+        let tail_b: [u64; 8] = std::array::from_fn(|_| b.gen());
+        assert_eq!(tail_a, tail_b);
+    }
+
+    #[test]
+    fn portable_rng_fill_bytes_matches_word_stream() {
+        use rand::RngCore;
+        let mut a = PortableRng::new(5);
+        let mut b = PortableRng::new(5);
+        let mut buf = [0u8; 16];
+        a.fill_bytes(&mut buf);
+        let w0 = b.next_u64().to_le_bytes();
+        let w1 = b.next_u64().to_le_bytes();
+        assert_eq!(&buf[..8], &w0);
+        assert_eq!(&buf[8..], &w1);
+    }
+
+    #[test]
+    fn portable_rng_bounded_draws_are_in_range() {
+        let mut a = PortableRng::new(1234);
+        for _ in 0..1000 {
+            let x: f64 = a.gen();
+            assert!((0.0..1.0).contains(&x));
+            let k = a.gen_range(0usize..17);
+            assert!(k < 17);
+        }
     }
 }

@@ -41,7 +41,7 @@ use tamp_assign::baselines::{
 };
 use tamp_assign::ppi::{ppi_assign_observed, PpiParams};
 use tamp_assign::view::{ExcludedPairs, WorkerView};
-use tamp_core::rng::{rng_for, streams};
+use tamp_core::rng::{streams, PortableRng};
 use tamp_core::EngineError;
 use tamp_core::{Minutes, Point, SpatialTask, TaskId, TimedPoint, WorkerId, BATCH_WINDOW_MINUTES};
 use tamp_nn::loss::Pt2;
@@ -68,7 +68,7 @@ pub enum AssignmentAlgo {
 /// fine-tunes each worker's model on the movements observed *today*,
 /// tracking intraday drift the offline stage could not see (an extension
 /// beyond the paper's offline-only training — see EXPERIMENTS.md).
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct OnlineAdaptConfig {
     /// Minutes between adaptation rounds.
     pub every_min: f64,
@@ -293,6 +293,13 @@ pub struct StepCtx<'a> {
     /// Per-worker received-report logs (the serve path); ignored while
     /// `fplan` is set.
     pub reports: Option<&'a [Vec<TimedPoint>]>,
+    /// Degraded window (the serve layer's `DegradeToFallback` overload
+    /// policy): every view uses the persistence fallback instead of a
+    /// model rollout — counted in `fallback_views` — and the prediction
+    /// cache is bypassed in both directions, exactly like a
+    /// fault-injected rollout. `false` everywhere except overloaded
+    /// serve windows.
+    pub degrade: bool,
     /// Telemetry handle.
     pub obs: &'a Obs,
 }
@@ -317,7 +324,8 @@ pub struct EngineState {
     /// Pairs the worker already rejected; never proposed again (the
     /// platform remembers refusals across batches).
     refused: ExcludedPairs,
-    rng: rand::rngs::StdRng,
+    /// Serializable so a snapshot resumes the GGPSO draw stream exactly.
+    rng: PortableRng,
     /// Quarantine flags for divergent online-adapted models (once a
     /// model is rolled back to its offline checkpoint it stays frozen).
     quarantined: Vec<bool>,
@@ -367,7 +375,7 @@ impl EngineState {
             busy_until: HashMap::new(),
             completed: HashSet::new(),
             refused: ExcludedPairs::new(),
-            rng: rng_for(cfg.seed, streams::GENETIC),
+            rng: PortableRng::for_stream(cfg.seed, streams::GENETIC),
             quarantined: vec![false; workload.workers.len()],
             adapt_round: 0,
             batch_idx: 0,
@@ -410,6 +418,122 @@ impl EngineState {
     /// [`EngineState::finish`] for the end-of-run version).
     pub fn metrics(&self) -> &AssignmentMetrics {
         &self.metrics
+    }
+
+    /// Captures the full replay-relevant state as a serializable,
+    /// versioned [`EngineSnapshot`]. Restoring it with
+    /// [`EngineState::restore`] and continuing the run is byte-identical
+    /// to never having stopped (wall-clock stage timings excepted — they
+    /// are measurements, not state). Unordered collections are sorted so
+    /// the same state always serializes to the same bytes.
+    pub fn snapshot(&self) -> EngineSnapshot {
+        let mut busy_until: Vec<(WorkerId, f64)> =
+            self.busy_until.iter().map(|(k, v)| (*k, *v)).collect();
+        busy_until.sort_by_key(|(id, _)| *id);
+        let mut completed: Vec<TaskId> = self.completed.iter().copied().collect();
+        completed.sort();
+        let mut refused: Vec<(TaskId, WorkerId)> = self.refused.iter().copied().collect();
+        refused.sort();
+        EngineSnapshot {
+            version: ENGINE_SNAPSHOT_VERSION,
+            metrics: self.metrics,
+            live_models: self.live_models.clone(),
+            next_adapt: self.next_adapt,
+            pending: self.pending.clone(),
+            busy_until,
+            completed,
+            refused,
+            rng: self.rng.clone(),
+            quarantined: self.quarantined.clone(),
+            adapt_round: self.adapt_round,
+            batch_idx: self.batch_idx,
+            t: self.t,
+            cache: self.cache.clone(),
+        }
+    }
+
+    /// Rebuilds a mid-run state from a snapshot, validating the same
+    /// invariants as [`EngineState::new`] plus snapshot shape (format
+    /// version, per-worker vector lengths). The caller must supply the
+    /// same workload, predictors, algorithm, and configuration as the
+    /// run that produced the snapshot.
+    pub fn restore(
+        workload: &Workload,
+        predictors: Option<&TrainedPredictors>,
+        algo: AssignmentAlgo,
+        cfg: &EngineConfig,
+        snap: EngineSnapshot,
+    ) -> Result<Self, EngineError> {
+        // Re-run construction checks so a restore can never produce a
+        // state `new` would have refused.
+        let fresh = Self::new(workload, predictors, algo, cfg)?;
+        if snap.version != ENGINE_SNAPSHOT_VERSION {
+            return Err(EngineError::InvalidEngineConfig(format!(
+                "engine snapshot version {} (expected {ENGINE_SNAPSHOT_VERSION})",
+                snap.version
+            )));
+        }
+        let n = workload.workers.len();
+        if snap.quarantined.len() != n {
+            return Err(EngineError::InvalidEngineConfig(format!(
+                "snapshot quarantine flags cover {} workers, workload has {n}",
+                snap.quarantined.len()
+            )));
+        }
+        if snap.live_models.is_some() != fresh.live_models.is_some() {
+            return Err(EngineError::InvalidEngineConfig(
+                "snapshot and configuration disagree on online adaptation".into(),
+            ));
+        }
+        if let Some(models) = &snap.live_models {
+            if models.len() != n {
+                return Err(EngineError::InvalidEngineConfig(format!(
+                    "snapshot carries {} live models, workload has {n} workers",
+                    models.len()
+                )));
+            }
+        }
+        if snap.cache.is_some() != fresh.cache.is_some() {
+            return Err(EngineError::InvalidEngineConfig(
+                "snapshot and configuration disagree on the prediction cache".into(),
+            ));
+        }
+        Ok(Self {
+            metrics: snap.metrics,
+            live_models: snap.live_models,
+            next_adapt: snap.next_adapt,
+            pending: snap.pending,
+            busy_until: snap.busy_until.into_iter().collect(),
+            completed: snap.completed.into_iter().collect(),
+            refused: snap.refused.into_iter().collect(),
+            rng: snap.rng,
+            quarantined: snap.quarantined,
+            adapt_round: snap.adapt_round,
+            batch_idx: snap.batch_idx,
+            t: snap.t,
+            cache: snap.cache,
+        })
+    }
+
+    /// Installs a replacement model for worker `wi` (predictor
+    /// hot-swap): updates the live adapted copy if online adaptation is
+    /// active, lifts any quarantine (the swapped-in model supersedes the
+    /// divergent one — re-quarantine is up to future rounds), and bumps
+    /// the worker's cache version so no stale rollout can be served.
+    /// Returns whether a live cache entry was evicted. Callers that keep
+    /// their own predictor set (the serve shard) must also replace
+    /// `models[wi]` there — that copy serves rollouts when adaptation is
+    /// off and is the rollback target for future quarantines.
+    pub fn install_model(&mut self, wi: usize, model: &Seq2Seq) -> bool {
+        if let Some(models) = self.live_models.as_mut() {
+            if let Some(slot) = models.get_mut(wi) {
+                *slot = model.clone();
+            }
+        }
+        if let Some(q) = self.quarantined.get_mut(wi) {
+            *q = false;
+        }
+        self.cache.as_mut().is_some_and(|c| c.bump_version(wi))
     }
 
     /// Advances one batch window. `admitted` are the tasks newly
@@ -644,7 +768,7 @@ impl EngineState {
                 if now.as_f64() >= due {
                     let adapt_start = Instant::now();
                     let adapt_span = obs.span_idx("engine.adapt", self.adapt_round);
-                    let newly = online_adapt_round(
+                    let outcome = online_adapt_round(
                         ctx,
                         models,
                         now,
@@ -654,19 +778,27 @@ impl EngineState {
                     );
                     drop(adapt_span);
                     record.stages.adapt_s = adapt_start.elapsed().as_secs_f64();
-                    record.quarantined_models = newly;
-                    self.metrics.quarantined_models += newly;
+                    record.quarantined_models = outcome.newly_quarantined;
+                    self.metrics.quarantined_models += outcome.newly_quarantined;
                     obs.count_idx(
                         "engine.fault.quarantined_models",
-                        newly as u64,
+                        outcome.newly_quarantined as u64,
                         Some(self.adapt_round),
                     );
                     self.adapt_round += 1;
                     self.next_adapt = Some(due + oa.every_min);
-                    // Any non-quarantined model may have taken gradient
-                    // steps: every cached rollout is now stale.
+                    // Only the models this round actually touched
+                    // (gradient step or rollback) have stale rollouts;
+                    // bumping their cache versions evicts exactly those,
+                    // leaving skipped workers' entries live.
                     if let Some(cache) = &mut self.cache {
-                        record.cache_invalidations = cache.invalidate_all();
+                        let mut dropped = 0usize;
+                        for &wi in &outcome.changed {
+                            if cache.bump_version(wi) {
+                                dropped += 1;
+                            }
+                        }
+                        record.cache_invalidations = dropped;
                     }
                 }
             }
@@ -689,6 +821,54 @@ impl EngineState {
     }
 }
 
+/// Format version written into every [`EngineSnapshot`]; bump on any
+/// incompatible change so a restore fails loudly instead of replaying
+/// garbage.
+pub const ENGINE_SNAPSHOT_VERSION: u32 = 1;
+
+/// A versioned, self-describing serialization of [`EngineState`] —
+/// everything that determines the rest of the replay: accumulated
+/// metrics, the live (online-adapted) models, the pending task pool,
+/// worker busy/refusal/quarantine bookkeeping, the GGPSO RNG state, and
+/// the prediction cache (entries, per-worker versions, and counters, so
+/// a restored run's cache statistics also match the uninterrupted run).
+///
+/// Produced by [`EngineState::snapshot`], consumed by
+/// [`EngineState::restore`]. All fields are plain serde data; the
+/// `tamp-serve` shard wraps this in its own snapshot with the
+/// queue/stream/log state the engine does not own.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EngineSnapshot {
+    /// Snapshot format version ([`ENGINE_SNAPSHOT_VERSION`]).
+    pub version: u32,
+    /// Metrics accumulated so far.
+    pub metrics: AssignmentMetrics,
+    /// Online-adapted model copies (`None` when adaptation is off).
+    pub live_models: Option<Vec<Seq2Seq>>,
+    /// Next adaptation due time, minutes.
+    pub next_adapt: Option<f64>,
+    /// Live (admitted, unexpired, uncompleted) tasks.
+    pub pending: Vec<SpatialTask>,
+    /// Busy-until times, sorted by worker id for stable bytes.
+    pub busy_until: Vec<(WorkerId, f64)>,
+    /// Completed task ids, sorted.
+    pub completed: Vec<TaskId>,
+    /// Refused (task, worker) pairs, sorted.
+    pub refused: Vec<(TaskId, WorkerId)>,
+    /// GGPSO draw-stream state.
+    pub rng: PortableRng,
+    /// Per-worker quarantine flags.
+    pub quarantined: Vec<bool>,
+    /// Adaptation rounds completed.
+    pub adapt_round: u64,
+    /// Batch windows stepped.
+    pub batch_idx: u64,
+    /// Start of the next batch window, minutes.
+    pub t: f64,
+    /// The prediction cache, entries and counters included.
+    pub cache: Option<PredictionCache>,
+}
+
 #[allow(clippy::too_many_arguments)]
 fn run_assignment_inner(
     workload: &Workload,
@@ -703,10 +883,12 @@ fn run_assignment_inner(
     if let Some(fc) = faults {
         fc.validate().map_err(EngineError::InvalidEngineConfig)?;
     }
-    // A no-op fault layer takes the exact legacy code paths: `FaultConfig
-    // ::none()` must reproduce a clean run bit for bit.
+    // A fault layer with no engine-level faults takes the exact legacy
+    // code paths: `FaultConfig::none()` — and a crash-only
+    // configuration, whose fault lives in the serve layer — must
+    // reproduce a clean run bit for bit.
     let fplan: Option<FaultPlan> = faults
-        .filter(|fc| !fc.is_none())
+        .filter(|fc| fc.has_engine_faults())
         .map(|fc| FaultPlan::build(workload, fc));
     let ctx = StepCtx {
         workload,
@@ -715,6 +897,7 @@ fn run_assignment_inner(
         cfg,
         fplan: fplan.as_ref(),
         reports: None,
+        degrade: false,
         obs,
     };
 
@@ -807,6 +990,15 @@ fn make_view(
     };
 
     let predicted = match ctx.predictors {
+        Some(_) if ctx.degrade => {
+            // Overloaded window (serve's `DegradeToFallback` policy):
+            // skip the model entirely and serve the persistence view —
+            // the same bottom-rung forecast as a failed rollout. The
+            // cache is bypassed in both directions because this output
+            // does not correspond to any rollout key.
+            record.fallback_views += 1;
+            vec![current; cfg.predict_horizon]
+        }
         Some(p) => {
             let rollout_start = Instant::now();
             let rollout = ctx.fplan.map_or(RolloutFault::Healthy, |pl| {
@@ -818,8 +1010,16 @@ fn make_view(
             // depend on the batch index and bypass the cache.
             let cacheable = matches!(rollout, RolloutFault::Healthy);
             if cacheable {
-                let key = RolloutKey::new(observed.len(), current, cfg.predict_horizon);
                 if let Some(cache) = cache.as_deref_mut() {
+                    // The worker's model version is part of the key, so
+                    // an adaptation step or hot-swap (which bumps the
+                    // version) makes every older entry unmatchable.
+                    let key = RolloutKey::new(
+                        observed.len(),
+                        current,
+                        cfg.predict_horizon,
+                        cache.version(wi),
+                    );
                     if let Some(pts) = cache.lookup(wi, &key) {
                         record.cache_hits += 1;
                         record.stages.rollout_s += rollout_start.elapsed().as_secs_f64();
@@ -887,7 +1087,12 @@ fn make_view(
                 Some(pts) => {
                     if cacheable {
                         if let Some(cache) = cache {
-                            let key = RolloutKey::new(observed.len(), current, cfg.predict_horizon);
+                            let key = RolloutKey::new(
+                                observed.len(),
+                                current,
+                                cfg.predict_horizon,
+                                cache.version(wi),
+                            );
                             cache.store(wi, key, pts.clone());
                         }
                     }
@@ -937,6 +1142,20 @@ fn finish_view(
     }
 }
 
+/// What one adaptation round did, so the caller can invalidate exactly
+/// the affected cache slots.
+#[derive(Debug, Default)]
+struct AdaptOutcome {
+    /// Models rolled back and frozen this round.
+    newly_quarantined: usize,
+    /// Workers whose model parameters may differ from before the round:
+    /// a gradient step landed *or* a divergent model was rolled back.
+    /// Workers skipped for lack of data (or already quarantined) are
+    /// absent — their models are bit-identical, so their cached
+    /// rollouts stay valid.
+    changed: Vec<usize>,
+}
+
 /// One round of intraday fine-tuning: each worker's model takes a few
 /// clipped SGD steps on `(seq_in, seq_out)` windows drawn from their
 /// location reports observed so far today.
@@ -944,7 +1163,7 @@ fn finish_view(
 /// Divergence guard: if a step produces a non-finite loss, gradient or
 /// parameter (bad data, poisoning, numeric blow-up), the model is rolled
 /// back to its offline checkpoint and *quarantined* — frozen for the
-/// rest of the day. Returns the number of models newly quarantined.
+/// rest of the day.
 fn online_adapt_round(
     ctx: &StepCtx<'_>,
     models: &mut [Seq2Seq],
@@ -952,11 +1171,11 @@ fn online_adapt_round(
     oa: &OnlineAdaptConfig,
     round_idx: u64,
     quarantined: &mut [bool],
-) -> usize {
+) -> AdaptOutcome {
     let cfg = ctx.cfg;
     let workload = ctx.workload;
     let seq_out = ctx.predictors.map_or(1, |p| p.seq_out.max(1));
-    let mut newly_quarantined = 0;
+    let mut outcome = AdaptOutcome::default();
     for (wi, sw) in workload.workers.iter().enumerate() {
         if quarantined[wi] {
             continue;
@@ -1032,13 +1251,16 @@ fn online_adapt_round(
                 *model = p.models[wi].clone();
             }
             quarantined[wi] = true;
-            newly_quarantined += 1;
+            outcome.newly_quarantined += 1;
             // Per-worker quarantine event: idx names the worker whose
             // model was rolled back this round.
             ctx.obs.count_idx("engine.quarantine", 1, Some(wi as u64));
         }
+        // Both branches may have moved the parameters (step or
+        // rollback); either way this worker's cached rollouts are stale.
+        outcome.changed.push(wi);
     }
-    newly_quarantined
+    outcome
 }
 
 /// Number of batch windows in a workload's day (diagnostics).
@@ -1225,6 +1447,7 @@ mod tests {
             cfg: &cfg,
             fplan: None,
             reports: None,
+            degrade: false,
             obs: &obs,
         };
         let mut next = 0usize;
@@ -1243,6 +1466,205 @@ mod tests {
         assert_eq!(
             stepped.total_detour_km.to_bits(),
             one_shot.total_detour_km.to_bits()
+        );
+    }
+
+    /// Steps a state over `windows` batch windows, feeding tasks from
+    /// the workload (the one-shot admission schedule).
+    fn drive(
+        state: &mut EngineState,
+        ctx: &StepCtx<'_>,
+        w: &Workload,
+        cfg: &EngineConfig,
+        next: &mut usize,
+        windows: usize,
+    ) {
+        for _ in 0..windows {
+            if state.now() >= w.horizon.as_f64() {
+                break;
+            }
+            let end = state.next_window_end(cfg);
+            let from = *next;
+            while *next < w.tasks.len() && w.tasks[*next].release.as_f64() < end {
+                *next += 1;
+            }
+            state.step_batch(ctx, &w.tasks[from..*next]);
+        }
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_byte_identically() {
+        // Run 120 windows straight vs. 45 windows → snapshot → JSON
+        // round trip → restore → remaining windows. With online
+        // adaptation, GGPSO (exercising the serialized RNG), and the
+        // prediction cache all on, every deterministic field — cache
+        // counters included — must match.
+        let w = tiny();
+        let p = quick_predictors(&w);
+        let cfg = EngineConfig {
+            seq_in: 3,
+            prediction_cache: true,
+            online_adapt: Some(OnlineAdaptConfig::default()),
+            ..EngineConfig::default()
+        };
+        let obs = Obs::null();
+        let ctx = StepCtx {
+            workload: &w,
+            predictors: Some(&p),
+            algo: AssignmentAlgo::Ggpso,
+            cfg: &cfg,
+            fplan: None,
+            reports: None,
+            degrade: false,
+            obs: &obs,
+        };
+
+        let mut straight = EngineState::new(&w, Some(&p), AssignmentAlgo::Ggpso, &cfg).unwrap();
+        let mut next = 0usize;
+        drive(&mut straight, &ctx, &w, &cfg, &mut next, usize::MAX);
+        let straight_stats = straight.cache_stats();
+        let straight_m = straight.finish(&obs);
+
+        let mut first = EngineState::new(&w, Some(&p), AssignmentAlgo::Ggpso, &cfg).unwrap();
+        let mut next = 0usize;
+        drive(&mut first, &ctx, &w, &cfg, &mut next, 45);
+        let snap = first.snapshot();
+        let json = serde_json::to_string(&snap).unwrap();
+        assert_eq!(
+            json,
+            serde_json::to_string(&first.snapshot()).unwrap(),
+            "snapshot bytes must be stable"
+        );
+        let snap: EngineSnapshot = serde_json::from_str(&json).unwrap();
+        drop(first); // the "crash"
+        let mut resumed =
+            EngineState::restore(&w, Some(&p), AssignmentAlgo::Ggpso, &cfg, snap).unwrap();
+        assert_eq!(resumed.batches_run(), 45);
+        drive(&mut resumed, &ctx, &w, &cfg, &mut next, usize::MAX);
+        let resumed_stats = resumed.cache_stats();
+        let resumed_m = resumed.finish(&obs);
+
+        assert_eq!(resumed_m.completed, straight_m.completed);
+        assert_eq!(resumed_m.rejected, straight_m.rejected);
+        assert_eq!(resumed_m.assigned_total, straight_m.assigned_total);
+        assert_eq!(resumed_m.tasks_expired, straight_m.tasks_expired);
+        assert_eq!(
+            resumed_m.total_detour_km.to_bits(),
+            straight_m.total_detour_km.to_bits()
+        );
+        assert_eq!(resumed_m.quarantined_models, straight_m.quarantined_models);
+        assert_eq!(resumed_stats, straight_stats, "cache counters survive");
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_snapshots() {
+        let w = tiny();
+        let p = quick_predictors(&w);
+        let cfg = cfg();
+        let state = EngineState::new(&w, Some(&p), AssignmentAlgo::Ppi, &cfg).unwrap();
+        let mut bad = state.snapshot();
+        bad.version += 1;
+        assert!(EngineState::restore(&w, Some(&p), AssignmentAlgo::Ppi, &cfg, bad).is_err());
+        let snap = state.snapshot();
+        let cached_cfg = EngineConfig {
+            prediction_cache: true,
+            ..cfg
+        };
+        assert!(
+            EngineState::restore(&w, Some(&p), AssignmentAlgo::Ppi, &cached_cfg, snap).is_err(),
+            "cache on/off must match the snapshot"
+        );
+    }
+
+    #[test]
+    fn degraded_windows_force_persistence_views() {
+        // A degraded step serves every view from the persistence
+        // fallback and never touches the cache.
+        let w = tiny();
+        let p = quick_predictors(&w);
+        let cfg = EngineConfig {
+            seq_in: 3,
+            prediction_cache: true,
+            ..EngineConfig::default()
+        };
+        let obs = Obs::null();
+        let mut state = EngineState::new(&w, Some(&p), AssignmentAlgo::Ppi, &cfg).unwrap();
+        let ctx = |degrade| StepCtx {
+            workload: &w,
+            predictors: Some(&p),
+            algo: AssignmentAlgo::Ppi,
+            cfg: &cfg,
+            fplan: None,
+            reports: None,
+            degrade,
+            obs: &obs,
+        };
+        let mut next = 0usize;
+        drive(&mut state, &ctx(false), &w, &cfg, &mut next, 30);
+        let before = state.cache_stats();
+        let mut saw_views = false;
+        while state.now() < w.horizon.as_f64() {
+            let end = state.next_window_end(&cfg);
+            let from = next;
+            while next < w.tasks.len() && w.tasks[next].release.as_f64() < end {
+                next += 1;
+            }
+            let record = state.step_batch(&ctx(true), &w.tasks[from..next]);
+            assert_eq!(
+                record.fallback_views, record.idle_workers,
+                "every degraded view is a fallback"
+            );
+            assert_eq!(record.cache_hits + record.cache_misses, 0);
+            saw_views |= record.idle_workers > 0;
+        }
+        assert!(saw_views, "some degraded window must have built views");
+        assert_eq!(
+            state.cache_stats(),
+            before,
+            "cache untouched while degraded"
+        );
+    }
+
+    #[test]
+    fn install_model_bumps_cache_version_and_lifts_quarantine() {
+        let w = tiny();
+        let p = quick_predictors(&w);
+        let cfg = EngineConfig {
+            seq_in: 3,
+            prediction_cache: true,
+            online_adapt: Some(OnlineAdaptConfig::default()),
+            ..EngineConfig::default()
+        };
+        let obs = Obs::null();
+        let mut state = EngineState::new(&w, Some(&p), AssignmentAlgo::Ppi, &cfg).unwrap();
+        let ctx = StepCtx {
+            workload: &w,
+            predictors: Some(&p),
+            algo: AssignmentAlgo::Ppi,
+            cfg: &cfg,
+            fplan: None,
+            reports: None,
+            degrade: false,
+            obs: &obs,
+        };
+        let mut next = 0usize;
+        drive(&mut state, &ctx, &w, &cfg, &mut next, 10);
+        state.quarantined[0] = true;
+        let mut replacement = p.models[0].clone();
+        let mut theta = replacement.params();
+        theta[0] += 0.25;
+        replacement.set_params(&theta);
+        state.install_model(0, &replacement);
+        assert!(!state.quarantined[0], "swap lifts quarantine");
+        let snap = state.snapshot();
+        assert_eq!(
+            snap.live_models.as_ref().unwrap()[0].params(),
+            replacement.params(),
+            "live model replaced"
+        );
+        assert!(
+            snap.cache.as_ref().unwrap().version(0) > 0,
+            "cache version bumped so stale rollouts cannot match"
         );
     }
 }

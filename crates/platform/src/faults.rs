@@ -34,6 +34,7 @@ mod kinds {
     pub const OFFLINE: u64 = 5;
     pub const PREDICT: u64 = 6;
     pub const ADAPT: u64 = 7;
+    pub const SHARD_CRASH: u64 = 8;
 }
 
 /// Probabilities and magnitudes of every injected failure mode.
@@ -67,6 +68,14 @@ pub struct FaultConfig {
     /// P(an online-adaptation round for a worker trains on poisoned
     /// targets, driving the loss non-finite).
     pub adapt_poison: f64,
+    /// P(a serving shard crashes after stepping a window). This is a
+    /// *process*-level fault: the serve layer kills the shard and
+    /// restores it from its latest snapshot (`tamp-serve`), which must
+    /// leave the replay byte-identical. It never perturbs the engine's
+    /// inputs, so a crash-only configuration reports
+    /// [`Self::has_engine_faults`] `== false` and builds no
+    /// [`FaultPlan`].
+    pub shard_crash: f64,
     /// Seed of the fault streams (independent of the engine seed, so the
     /// same workload can be replayed under different fault draws).
     pub seed: u64,
@@ -86,20 +95,32 @@ impl FaultConfig {
             prediction_failure: 0.0,
             prediction_garbage: 0.0,
             adapt_poison: 0.0,
+            shard_crash: 0.0,
             seed: 0,
         }
     }
 
-    /// True when no fault can ever fire under this configuration.
+    /// True when no fault of any kind can ever fire under this
+    /// configuration.
     pub fn is_none(&self) -> bool {
-        self.report_loss == 0.0
-            && self.report_delay == 0.0
-            && self.gps_noise_km == 0.0
-            && self.corrupt_coord == 0.0
-            && (self.offline_worker == 0.0 || self.offline_window_min == 0.0)
-            && self.prediction_failure == 0.0
-            && self.prediction_garbage == 0.0
-            && self.adapt_poison == 0.0
+        !self.has_engine_faults() && self.shard_crash == 0.0
+    }
+
+    /// True when some *engine-level* fault (report, offline, rollout, or
+    /// adaptation) can fire. This — not [`Self::is_none`] — gates
+    /// [`FaultPlan`] construction: a plan replaces the engine's
+    /// observation source, so building one for a crash-only
+    /// configuration would silently change serve semantics even though
+    /// the plan injects nothing.
+    pub fn has_engine_faults(&self) -> bool {
+        self.report_loss != 0.0
+            || self.report_delay != 0.0
+            || self.gps_noise_km != 0.0
+            || self.corrupt_coord != 0.0
+            || (self.offline_worker != 0.0 && self.offline_window_min != 0.0)
+            || self.prediction_failure != 0.0
+            || self.prediction_garbage != 0.0
+            || self.adapt_poison != 0.0
     }
 
     /// Domain check: probabilities in `[0, 1]`, magnitudes finite `≥ 0`.
@@ -112,6 +133,7 @@ impl FaultConfig {
             ("prediction_failure", self.prediction_failure),
             ("prediction_garbage", self.prediction_garbage),
             ("adapt_poison", self.adapt_poison),
+            ("shard_crash", self.shard_crash),
         ];
         for (name, p) in probs {
             if !(0.0..=1.0).contains(&p) {
@@ -303,6 +325,19 @@ impl FaultInjector {
             && self
                 .rng(kinds::ADAPT, worker, round_idx)
                 .gen_bool(c.adapt_poison)
+    }
+
+    /// Whether the serving shard keyed by `shard` (callers use the
+    /// shard's engine seed, unique per shard) crashes after stepping
+    /// window `window_idx`. Like every other decision this is a pure
+    /// function of `(FaultConfig, shard, window_idx)`, so the crash
+    /// schedule of a restored run matches the run it resumed.
+    pub fn shard_crash(&self, shard: u64, window_idx: u64) -> bool {
+        let c = &self.cfg;
+        c.shard_crash > 0.0
+            && self
+                .rng(kinds::SHARD_CRASH, shard, window_idx)
+                .gen_bool(c.shard_crash)
     }
 }
 
@@ -608,5 +643,52 @@ mod tests {
         let mut cfg = FaultConfig::none();
         cfg.gps_noise_km = f64::NAN;
         assert!(cfg.validate().is_err());
+        let mut cfg = FaultConfig::none();
+        cfg.shard_crash = -0.1;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn shard_crash_is_a_process_fault_not_an_engine_fault() {
+        let crash_only = FaultConfig {
+            shard_crash: 0.25,
+            seed: 9,
+            ..FaultConfig::none()
+        };
+        assert!(!crash_only.is_none());
+        assert!(!crash_only.has_engine_faults());
+        crash_only.validate().unwrap();
+        let mixed = FaultConfig {
+            report_loss: 0.1,
+            ..crash_only
+        };
+        assert!(mixed.has_engine_faults());
+        assert!(FaultConfig::none().is_none());
+    }
+
+    #[test]
+    fn shard_crash_decisions_are_deterministic_and_independent() {
+        let base = FaultConfig {
+            report_loss: 0.4,
+            seed: 11,
+            ..FaultConfig::none()
+        };
+        let crashy = FaultConfig {
+            shard_crash: 0.5,
+            ..base
+        };
+        let a = FaultInjector::new(base);
+        let b = FaultInjector::new(crashy);
+        // Determinism, and zero probability never fires.
+        for w in 0..20 {
+            assert!(!a.shard_crash(7, w));
+            assert_eq!(b.shard_crash(7, w), b.shard_crash(7, w));
+        }
+        // Turning the crash knob on must not move the report stream.
+        for i in 0..100 {
+            assert_eq!(a.report(0, i), b.report(0, i), "report {i}");
+        }
+        // Some window must crash at p = 0.5 over 120 windows.
+        assert!((0..120).any(|w| b.shard_crash(7, w)));
     }
 }

@@ -23,8 +23,10 @@
 //!   training poisoning) used to measure the engine's graceful
 //!   degradation.
 //! * [`predcache`] — the cross-batch prediction cache: rollouts reused
-//!   across consecutive windows while their inputs are unchanged,
-//!   invalidated on online adaptation (used by the `tamp-serve` host).
+//!   across consecutive windows while their inputs are unchanged, keyed
+//!   by a per-worker model version so adaptation or a predictor
+//!   hot-swap evicts only the affected worker (used by the `tamp-serve`
+//!   host).
 //! * [`experiments`] — one driver per table/figure family, emitting both
 //!   human-readable rows and machine-readable JSON.
 
@@ -42,7 +44,7 @@ pub mod training;
 pub use engine::{
     run_assignment, run_assignment_observed, run_assignment_traced, run_assignment_with_faults,
     run_assignment_with_faults_traced, try_run_assignment, AssignmentAlgo, EngineConfig,
-    EngineState, StepCtx,
+    EngineSnapshot, EngineState, OnlineAdaptConfig, StepCtx, ENGINE_SNAPSHOT_VERSION,
 };
 pub use faults::{FaultConfig, FaultInjector, FaultPlan};
 pub use metrics::{AssignmentMetrics, BatchRecord, StageTimings};

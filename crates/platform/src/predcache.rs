@@ -21,20 +21,25 @@
 //!   feeds the reachability clamp and the empty-history input, and it
 //!   can change while the prefix length does not (the start-of-day
 //!   registered-position fallback interpolates with `now`);
-//! * the **rollout horizon** requested from the model.
+//! * the **rollout horizon** requested from the model;
+//! * the worker's **model version** — a per-worker counter bumped
+//!   whenever that worker's model parameters may have changed (an
+//!   online-adaptation step, a quarantine rollback, or a hot-swapped
+//!   predictor), so adaptation of one worker no longer throws away
+//!   every other worker's rollouts.
 //!
-//! Three things invalidate entries instead of keying them:
+//! Two things still bypass the cache instead of keying it:
 //!
-//! * **online adaptation** — after every adaptation round the whole
-//!   cache is cleared ([`PredictionCache::invalidate_all`]), because any
-//!   non-quarantined model may have taken gradient steps;
-//! * **quarantine / rollback** (the PR 1 degradation ladder) — these
-//!   happen inside adaptation rounds, so the same blanket invalidation
-//!   covers them;
 //! * **fault-injected rollouts** (`RolloutFault::{Unavailable,Garbage}`)
-//!   and persistence fallbacks bypass the cache entirely: they depend on
-//!   the batch index, not on the key, so caching them would change
-//!   behaviour across windows.
+//!   and persistence fallbacks depend on the batch index, not on the
+//!   key, so caching them would change behaviour across windows;
+//! * **degraded windows** (the serve layer's `DegradeToFallback`
+//!   overload policy) force persistence views and skip the cache in
+//!   both directions.
+//!
+//! The whole cache — entries, per-worker versions, and counters — is
+//! serde-serializable so a serving shard's snapshot carries it verbatim
+//! and a crash-restored run replays bit for bit, warm cache included.
 
 use serde::{Deserialize, Serialize};
 use tamp_core::Point;
@@ -48,13 +53,15 @@ pub struct CacheStats {
     pub hits: u64,
     /// Cacheable rollouts that had to be computed.
     pub misses: u64,
-    /// Entries discarded by [`PredictionCache::invalidate_all`].
+    /// Live entries discarded because a worker's model version was
+    /// bumped ([`PredictionCache::bump_version`]) or the cache was
+    /// cleared wholesale ([`PredictionCache::invalidate_all`]).
     pub invalidations: u64,
 }
 
 /// The exact inputs of one worker's rollout (see the module docs for
 /// why these fields determine the output bit for bit).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct RolloutKey {
     /// Number of observed reports feeding the input window.
     pub obs_len: usize,
@@ -64,47 +71,82 @@ pub struct RolloutKey {
     pub cur_y_bits: u64,
     /// Requested rollout horizon (time units).
     pub horizon: usize,
+    /// The worker's model version at rollout time
+    /// ([`PredictionCache::version`]).
+    pub model_version: u64,
 }
 
 impl RolloutKey {
     /// Builds the key for a worker whose input window is the last
-    /// `seq_in` of `obs_len` observed reports anchored at `current`.
-    pub fn new(obs_len: usize, current: Point, horizon: usize) -> Self {
+    /// `seq_in` of `obs_len` observed reports anchored at `current`,
+    /// rolled out by model version `model_version`.
+    pub fn new(obs_len: usize, current: Point, horizon: usize, model_version: u64) -> Self {
         Self {
             obs_len,
             cur_x_bits: current.x.to_bits(),
             cur_y_bits: current.y.to_bits(),
             horizon,
+            model_version,
         }
     }
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 struct Entry {
     key: RolloutKey,
     predicted: Vec<Point>,
 }
 
 /// Per-worker cache of clamped model rollouts, valid across batch
-/// windows until the key changes or the models do.
-#[derive(Debug, Clone)]
+/// windows until the key changes or that worker's model does.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct PredictionCache {
     entries: Vec<Option<Entry>>,
+    versions: Vec<u64>,
     stats: CacheStats,
 }
 
 impl PredictionCache {
-    /// An empty cache with one slot per worker.
+    /// An empty cache with one slot per worker, all model versions 0.
     pub fn new(n_workers: usize) -> Self {
         Self {
             entries: vec![None; n_workers],
+            versions: vec![0; n_workers],
             stats: CacheStats::default(),
         }
     }
 
+    /// Worker `wi`'s current model version (0 for unknown workers).
+    /// Callers fold this into [`RolloutKey::new`] so a bumped version
+    /// can never match a stale entry even if the entry were kept.
+    pub fn version(&self, wi: usize) -> u64 {
+        self.versions.get(wi).copied().unwrap_or(0)
+    }
+
+    /// Records that worker `wi`'s model parameters may have changed
+    /// (adaptation step, quarantine rollback, or predictor hot-swap):
+    /// bumps the version and drops the worker's entry, counting an
+    /// invalidation if one was live. Returns whether an entry was
+    /// dropped. Other workers' entries are untouched — this is the
+    /// point of per-worker versioning.
+    pub fn bump_version(&mut self, wi: usize) -> bool {
+        let Some(v) = self.versions.get_mut(wi) else {
+            return false;
+        };
+        *v += 1;
+        let dropped = self
+            .entries
+            .get_mut(wi)
+            .is_some_and(|slot| slot.take().is_some());
+        if dropped {
+            self.stats.invalidations += 1;
+        }
+        dropped
+    }
+
     /// Returns the cached rollout for worker `wi` if its key matches,
     /// counting a hit or a miss. Callers must only consult the cache for
-    /// healthy (non-fault-injected) rollouts.
+    /// healthy (non-fault-injected, non-degraded) rollouts.
     pub fn lookup(&mut self, wi: usize, key: &RolloutKey) -> Option<Vec<Point>> {
         match self.entries.get(wi).and_then(Option::as_ref) {
             Some(e) if e.key == *key => {
@@ -126,9 +168,10 @@ impl PredictionCache {
         }
     }
 
-    /// Discards every entry (models may have changed: an online
-    /// adaptation round ran, possibly including quarantine rollbacks).
-    /// Returns how many live entries were dropped.
+    /// Discards every entry without touching versions (a whole-cache
+    /// reset; per-worker model changes should use
+    /// [`Self::bump_version`] instead). Returns how many live entries
+    /// were dropped.
     pub fn invalidate_all(&mut self) -> usize {
         let mut dropped = 0;
         for slot in &mut self.entries {
@@ -151,7 +194,7 @@ mod tests {
     use super::*;
 
     fn key(obs_len: usize) -> RolloutKey {
-        RolloutKey::new(obs_len, Point::new(1.0, 2.0), 4)
+        RolloutKey::new(obs_len, Point::new(1.0, 2.0), 4, 0)
     }
 
     #[test]
@@ -183,10 +226,39 @@ mod tests {
     #[test]
     fn anchor_bits_are_part_of_the_key() {
         let mut c = PredictionCache::new(1);
-        let a = RolloutKey::new(0, Point::new(1.0, 1.0), 4);
-        let b = RolloutKey::new(0, Point::new(1.0 + f64::EPSILON, 1.0), 4);
+        let a = RolloutKey::new(0, Point::new(1.0, 1.0), 4, 0);
+        let b = RolloutKey::new(0, Point::new(1.0 + f64::EPSILON, 1.0), 4, 0);
         c.store(0, a, vec![]);
         assert!(c.lookup(0, &b).is_none(), "different anchor bits must miss");
+    }
+
+    #[test]
+    fn bump_version_evicts_only_that_worker() {
+        let mut c = PredictionCache::new(3);
+        c.store(0, key(1), vec![]);
+        c.store(1, key(2), vec![]);
+        assert!(c.bump_version(1), "live entry must be dropped");
+        assert!(!c.bump_version(1), "second bump finds no entry");
+        assert_eq!(c.version(1), 2, "every bump advances the version");
+        assert_eq!(c.version(0), 0);
+        assert_eq!(
+            c.lookup(0, &key(1)),
+            Some(vec![]),
+            "other workers keep their entries"
+        );
+        assert_eq!(c.lookup(1, &key(2)), None);
+        assert_eq!(c.stats().invalidations, 1, "only live drops are counted");
+    }
+
+    #[test]
+    fn bumped_version_can_never_match_a_stale_key() {
+        let mut c = PredictionCache::new(1);
+        let stale = RolloutKey::new(3, Point::new(1.0, 2.0), 4, c.version(0));
+        c.store(0, stale, vec![Point::new(0.1, 0.1)]);
+        c.bump_version(0);
+        let fresh = RolloutKey::new(3, Point::new(1.0, 2.0), 4, c.version(0));
+        assert_ne!(stale, fresh, "version is part of the key");
+        assert_eq!(c.lookup(0, &fresh), None);
     }
 
     #[test]
@@ -205,5 +277,20 @@ mod tests {
         let mut c = PredictionCache::new(1);
         c.store(7, key(1), vec![]);
         assert_eq!(c.lookup(7, &key(1)), None);
+        assert!(!c.bump_version(7));
+        assert_eq!(c.version(7), 0);
+    }
+
+    #[test]
+    fn serde_round_trip_preserves_entries_versions_and_stats() {
+        let mut c = PredictionCache::new(2);
+        c.store(0, key(3), vec![Point::new(0.5, 0.5)]);
+        c.bump_version(1);
+        let _ = c.lookup(0, &key(3));
+        let json = serde_json::to_string(&c).unwrap();
+        let mut back: PredictionCache = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.stats(), c.stats());
+        assert_eq!(back.version(1), 1);
+        assert_eq!(back.lookup(0, &key(3)), Some(vec![Point::new(0.5, 0.5)]));
     }
 }

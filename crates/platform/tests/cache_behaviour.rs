@@ -58,6 +58,7 @@ fn mixed_faults(seed: u64) -> FaultConfig {
         prediction_failure: 0.2,
         prediction_garbage: 0.05,
         adapt_poison: 0.2,
+        shard_crash: 0.0,
         seed,
     }
 }
@@ -264,6 +265,7 @@ fn expired_tasks_partition_with_completed_and_pending_ones() {
         cfg: &cfg,
         fplan: None,
         reports: None,
+        degrade: false,
         obs: &obs,
     };
     let mut next = 0usize;

@@ -55,6 +55,7 @@ fn mixed_faults(seed: u64) -> FaultConfig {
         prediction_failure: 0.2,
         prediction_garbage: 0.05,
         adapt_poison: 0.0,
+        shard_crash: 0.0,
         seed,
     }
 }
@@ -135,6 +136,7 @@ fn accounting_holds_under_random_fault_configs() {
             prediction_failure: rng.gen_range(0.0..0.5),
             prediction_garbage: rng.gen_range(0.0..0.3),
             adapt_poison: rng.gen_range(0.0..0.5),
+            shard_crash: 0.0,
             seed: rng.gen(),
         };
         let algo = match trial % 3 {

@@ -54,6 +54,7 @@ fn random_faults(seed: u64) -> FaultConfig {
         prediction_failure: rng.gen_range(0.0..0.3),
         prediction_garbage: rng.gen_range(0.0..0.1),
         adapt_poison: 0.0,
+        shard_crash: 0.0,
         seed,
     }
 }

@@ -6,13 +6,28 @@
 //! interface is driven by replaying a generated test day, which is what
 //! makes serve runs directly comparable (byte for byte) to the one-shot
 //! `run_assignment` over the same workload.
+//!
+//! ## Event ordering
+//!
+//! The host-level submission order is the explicit total order
+//! **(event time, shard, submission index)**: shards are independent,
+//! so cross-shard order only needs the first two components, and within
+//! a shard equal-timestamp events are broken by *submission index* —
+//! the position at which the event entered the stream (all tasks in
+//! workload order, then worker 0's reports, worker 1's reports, …).
+//! [`EventStream::from_workload`] sorts by that pair explicitly rather
+//! than relying on sort stability, so the tie-break is part of the
+//! contract (tested below) and replaying the stream reconstructs
+//! exactly what the one-shot engine reads from the workload directly.
 
+use serde::{Deserialize, Serialize};
 use tamp_core::{SpatialTask, TimedPoint};
 use tamp_sim::Workload;
 
 /// One submission: either a requester publishing a task or a worker
-/// reporting a location sample.
-#[derive(Debug, Clone, Copy, PartialEq)]
+/// reporting a location sample. Serializable so queued-but-unprocessed
+/// events survive a shard snapshot verbatim.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum ShardEvent {
     /// A task published at its release time.
     Task(SpatialTask),
@@ -48,10 +63,9 @@ pub struct EventStream {
 impl EventStream {
     /// Merges the workload's tasks (at their release times) and every
     /// worker's location reports (the real routine's samples) into one
-    /// stream, stably sorted by time — ties keep the workload's task
-    /// order and each worker's report order, so replaying the stream
-    /// reconstructs exactly what the one-shot engine reads from the
-    /// workload directly.
+    /// stream, sorted by the total order `(time, submission index)` —
+    /// ties keep the workload's task order and each worker's report
+    /// order (see the module docs).
     pub fn from_workload(workload: &Workload) -> Self {
         let mut events: Vec<ShardEvent> = workload
             .tasks
@@ -68,9 +82,16 @@ impl EventStream {
                     .map(|&point| ShardEvent::Report { worker: wi, point }),
             );
         }
-        // Vec::sort_by is stable: same-time events keep insertion order.
-        events.sort_by(|a, b| a.time().partial_cmp(&b.time()).expect("finite event times"));
-        Self { events, next: 0 }
+        // Sort by the explicit (time, submission index) key: total_cmp
+        // gives a total order on the (finite) times, and the index
+        // tie-break makes equal-timestamp ordering part of the contract
+        // instead of an artifact of sort stability.
+        let mut indexed: Vec<(usize, ShardEvent)> = events.into_iter().enumerate().collect();
+        indexed.sort_by(|(ia, a), (ib, b)| a.time().total_cmp(&b.time()).then(ia.cmp(ib)));
+        Self {
+            events: indexed.into_iter().map(|(_, e)| e).collect(),
+            next: 0,
+        }
     }
 
     /// Hands out (and consumes) every not-yet-taken event with
@@ -81,6 +102,23 @@ impl EventStream {
             self.next += 1;
         }
         &self.events[start..self.next]
+    }
+
+    /// How many events have been taken so far (the replay cursor, used
+    /// by shard snapshots).
+    pub fn position(&self) -> usize {
+        self.next
+    }
+
+    /// Moves the replay cursor to `taken` events consumed (snapshot
+    /// restore). Returns `false` (and leaves the cursor) if `taken`
+    /// exceeds the stream length.
+    pub fn seek(&mut self, taken: usize) -> bool {
+        if taken > self.events.len() {
+            return false;
+        }
+        self.next = taken;
+        true
     }
 
     /// Events not yet taken.
@@ -97,6 +135,7 @@ impl EventStream {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use tamp_core::{Minutes, Point};
     use tamp_sim::{Scale, WorkloadConfig, WorkloadKind};
 
     fn tiny() -> Workload {
@@ -139,7 +178,8 @@ mod tests {
         let mut s = EventStream::from_workload(&w);
         let all = s.take_until(f64::INFINITY);
         // Per worker, the replayed reports must equal the routine
-        // verbatim — stable sort may not reorder equal-time samples.
+        // verbatim — the (time, submission index) order may not reorder
+        // equal-time samples of one worker.
         for (wi, sw) in w.workers.iter().enumerate() {
             let replayed: Vec<TimedPoint> = all
                 .iter()
@@ -150,5 +190,62 @@ mod tests {
                 .collect();
             assert_eq!(replayed, sw.worker.real_routine.points().to_vec());
         }
+    }
+
+    #[test]
+    fn equal_timestamps_follow_submission_index_order() {
+        // Hand-build a workload-shaped tie: every event at t = 10.0.
+        // The contract is tasks first (workload order), then worker 0's
+        // reports, then worker 1's — the submission index order.
+        let mut w = tiny();
+        w.tasks.truncate(2);
+        for (i, task) in w.tasks.iter_mut().enumerate() {
+            task.release = Minutes::new(10.0);
+            // Distinguish the two tasks by location.
+            task.location = Point::new(i as f64, 0.0);
+        }
+        w.workers.truncate(2);
+        for (wi, sw) in w.workers.iter_mut().enumerate() {
+            let pts = vec![TimedPoint::new(
+                Point::new(100.0 + wi as f64, 0.0),
+                Minutes::new(10.0),
+            )];
+            sw.worker.real_routine = tamp_core::Routine::from_points(pts);
+        }
+        let mut s = EventStream::from_workload(&w);
+        let all = s.take_until(f64::INFINITY).to_vec();
+        assert_eq!(all.len(), 4);
+        assert!(matches!(all[0], ShardEvent::Task(t) if t.location.x == 0.0));
+        assert!(matches!(all[1], ShardEvent::Task(t) if t.location.x == 1.0));
+        assert!(matches!(all[2], ShardEvent::Report { worker: 0, .. }));
+        assert!(matches!(all[3], ShardEvent::Report { worker: 1, .. }));
+    }
+
+    #[test]
+    fn seek_restores_the_replay_cursor() {
+        let w = tiny();
+        let mut s = EventStream::from_workload(&w);
+        let first: Vec<_> = s.take_until(60.0).to_vec();
+        let pos = s.position();
+        assert_eq!(pos, first.len());
+        let rest: Vec<_> = s.take_until(f64::INFINITY).to_vec();
+
+        let mut replayed = EventStream::from_workload(&w);
+        assert!(replayed.seek(pos), "in-range seek succeeds");
+        assert_eq!(replayed.position(), pos);
+        assert_eq!(replayed.take_until(f64::INFINITY).to_vec(), rest);
+
+        assert!(!replayed.seek(s.total() + 1), "past-the-end seek refused");
+        assert_eq!(replayed.position(), s.total(), "failed seek leaves cursor");
+    }
+
+    #[test]
+    fn serde_round_trips_events() {
+        let w = tiny();
+        let mut s = EventStream::from_workload(&w);
+        let all = s.take_until(f64::INFINITY).to_vec();
+        let json = serde_json::to_string(&all).unwrap();
+        let back: Vec<ShardEvent> = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, all);
     }
 }

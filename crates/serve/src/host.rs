@@ -2,29 +2,45 @@
 //! reports.
 //!
 //! Per window the host (1) feeds each live shard's submissions for the
-//! upcoming window into its bounded queue — shedding, with counting,
-//! whatever the bound refuses — and (2) steps each live shard one
-//! batch. With telemetry disabled and `threads > 1`, step (2) runs the
-//! shards on a thread pool (shards share nothing); with an enabled
-//! [`Obs`] the host steps sequentially so the per-shard `serve.batch`
-//! spans and the engine spans nested inside them serialize cleanly into
-//! one recorder.
+//! upcoming window into its bounded queue — refusals go through the
+//! shard's overload policy, always counted — and (2) steps each live
+//! shard one batch. With telemetry disabled and `threads > 1`, step (2)
+//! runs the shards on a thread pool (shards share nothing); with an
+//! enabled [`Obs`] the host steps sequentially so the per-shard
+//! `serve.batch` spans and the engine spans nested inside them
+//! serialize cleanly into one recorder.
+//!
+//! With a snapshot directory configured the host also writes every
+//! shard's [`ShardSnapshot`] on a fixed window cadence and again on
+//! graceful shutdown, which is what makes a serve process crash-safe:
+//! restart from the latest snapshots and the continuation is
+//! byte-identical to the run that died (see `docs/serving.md`).
 
 use crate::clock::Pacing;
-use crate::shard::{Shard, SubmissionCounts};
+use crate::shard::{Shard, SubmissionCounts, SwapOutcome};
+use crate::snapshot::ShardSnapshot;
 use serde::{Deserialize, Serialize};
+use std::path::PathBuf;
+use tamp_core::EngineError;
 use tamp_obs::Obs;
 use tamp_platform::metrics::{AssignmentMetrics, BatchRecord};
 use tamp_platform::predcache::CacheStats;
+use tamp_platform::training::TrainedPredictors;
 
 /// Host-level configuration.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct HostConfig {
     /// Worker threads for stepping shards (capped at the shard count;
     /// only used while telemetry is disabled).
     pub threads: usize,
     /// Window pacing (full speed for simulation and load tests).
     pub pacing: Pacing,
+    /// Write every shard's snapshot each `n` windows (and on graceful
+    /// shutdown). Requires `snapshot_dir`.
+    pub snapshot_every: Option<u64>,
+    /// Directory snapshots are written into, one
+    /// `<shard-name>.snapshot.json` per shard, overwritten in place.
+    pub snapshot_dir: Option<PathBuf>,
 }
 
 impl Default for HostConfig {
@@ -32,6 +48,8 @@ impl Default for HostConfig {
         Self {
             threads: 1,
             pacing: Pacing::FullSpeed,
+            snapshot_every: None,
+            snapshot_dir: None,
         }
     }
 }
@@ -59,10 +77,16 @@ pub struct ShardReport {
     pub unfed: usize,
     /// Total events in the shard's replay stream.
     pub stream_total: usize,
+    /// Crash/restore cycles the shard went through.
+    #[serde(default)]
+    pub crashes: u64,
     /// Median per-window step latency, milliseconds.
     pub batch_p50_ms: f64,
     /// 95th-percentile per-window step latency, milliseconds.
     pub batch_p95_ms: f64,
+    /// 99th-percentile per-window step latency, milliseconds.
+    #[serde(default)]
+    pub batch_p99_ms: f64,
     /// Per-window batch records (the serve-side equivalent of the
     /// one-shot `--trace` output).
     pub trace: Vec<BatchRecord>,
@@ -90,25 +114,33 @@ pub struct ServeReport {
     pub shards: Vec<ShardReport>,
 }
 
+/// Per-shard counter totals already emitted to telemetry, so each tick
+/// emits only deltas.
+#[derive(Debug, Clone, Copy, Default)]
+struct Reported {
+    shed: usize,
+    degraded: usize,
+    retried: usize,
+    crashes: u64,
+}
+
 /// The long-running service host (see the module docs).
 pub struct ServeHost {
     shards: Vec<Shard>,
     cfg: HostConfig,
     windows: u64,
-    /// Per-shard shed count already reported to telemetry, so each tick
-    /// emits only the delta.
-    shed_reported: Vec<usize>,
+    reported: Vec<Reported>,
 }
 
 impl ServeHost {
     /// A host owning `shards`, stepped per `cfg`.
     pub fn new(shards: Vec<Shard>, cfg: HostConfig) -> Self {
-        let shed_reported = vec![0; shards.len()];
+        let reported = vec![Reported::default(); shards.len()];
         Self {
             shards,
             cfg,
             windows: 0,
-            shed_reported,
+            reported,
         }
     }
 
@@ -120,6 +152,35 @@ impl ServeHost {
     /// Read access to the shards (tests and diagnostics).
     pub fn shards(&self) -> &[Shard] {
         &self.shards
+    }
+
+    /// Snapshot of shard `idx`, if it exists.
+    pub fn snapshot_shard(&self, idx: usize) -> Option<ShardSnapshot> {
+        self.shards.get(idx).map(Shard::snapshot)
+    }
+
+    /// Kills shard `idx` and restores it through the JSON snapshot path
+    /// (a crash drill; see [`Shard::crash_restore_in_place`]).
+    pub fn crash_restore_shard(&mut self, idx: usize) -> Result<(), EngineError> {
+        let shard = self
+            .shards
+            .get_mut(idx)
+            .ok_or_else(|| EngineError::InvalidEngineConfig(format!("no shard {idx}")))?;
+        shard.crash_restore_in_place()
+    }
+
+    /// Hot-swaps shard `idx`'s predictors between windows (see
+    /// [`Shard::swap_predictors`]).
+    pub fn swap_predictor(
+        &mut self,
+        idx: usize,
+        predictors: TrainedPredictors,
+    ) -> Result<SwapOutcome, EngineError> {
+        let shard = self
+            .shards
+            .get_mut(idx)
+            .ok_or_else(|| EngineError::InvalidEngineConfig(format!("no shard {idx}")))?;
+        shard.swap_predictors(predictors)
     }
 
     /// Runs every shard to its horizon and reports.
@@ -141,13 +202,18 @@ impl ServeHost {
         ticked
     }
 
-    /// Graceful shutdown: stops accepting new submissions and keeps
-    /// stepping windows until every queue is drained and no admitted
-    /// task is still live (or the shard hits its horizon), then reports.
+    /// Graceful shutdown: writes a final snapshot set (when
+    /// configured), closes every submission queue, and keeps stepping
+    /// windows until every queue is drained and no admitted task is
+    /// still live (or the shard hits its horizon), then reports.
     /// Nothing in flight is lost: queued events still reach the engine,
     /// and whatever remains is accounted under `queued_at_end` /
     /// `pending_at_end` / `unfed`.
     pub fn shutdown(mut self, obs: &Obs) -> ServeReport {
+        self.write_snapshots();
+        for shard in &self.shards {
+            shard.close_queue();
+        }
         while self
             .shards
             .iter()
@@ -155,10 +221,13 @@ impl ServeHost {
         {
             self.tick(obs, false);
         }
+        // Final state after draining — what a restart would resume from.
+        self.write_snapshots();
         self.into_report(obs)
     }
 
-    /// One window: feed (optionally) and step every live shard.
+    /// One window: feed (optionally) and step every live shard, then
+    /// write snapshots if the cadence says so.
     fn tick(&mut self, obs: &Obs, feed: bool) {
         if feed {
             for shard in self.shards.iter_mut().filter(|s| !s.done()) {
@@ -202,16 +271,54 @@ impl ServeHost {
                     record.cache_invalidations as u64,
                     idx,
                 );
-                let shed = self.shards[si].counts().shed();
-                let delta = shed - self.shed_reported[si];
-                self.shed_reported[si] = shed;
-                obs.count_idx("serve.shed", delta as u64, idx);
+                let counts = self.shards[si].counts();
+                let rep = &mut self.reported[si];
+                let shed = counts.shed();
+                obs.count_idx("serve.shed", (shed - rep.shed) as u64, idx);
+                rep.shed = shed;
+                let degraded = counts.degraded();
+                obs.count_idx(
+                    "serve.overload.degraded",
+                    (degraded - rep.degraded) as u64,
+                    idx,
+                );
+                rep.degraded = degraded;
+                obs.count_idx(
+                    "serve.overload.retried",
+                    (counts.retried - rep.retried) as u64,
+                    idx,
+                );
+                rep.retried = counts.retried;
+                let crashes = self.shards[si].crashes();
+                obs.count_idx("serve.crash.restore", crashes - rep.crashes, idx);
+                rep.crashes = crashes;
                 obs.gauge_idx("serve.queue.depth", self.shards[si].queue_len() as f64, idx);
             }
         }
         self.windows += 1;
+        if let Some(every) = self.cfg.snapshot_every {
+            if every > 0 && self.windows % every == 0 {
+                self.write_snapshots();
+            }
+        }
         if let Some(pause) = self.cfg.pacing.window_sleep(window_min) {
             std::thread::sleep(pause);
+        }
+    }
+
+    /// Writes one `<shard-name>.snapshot.json` per shard into the
+    /// configured snapshot directory (no-op without one). I/O failures
+    /// are reported on stderr, never fatal: serving outlives a full
+    /// disk.
+    fn write_snapshots(&self) {
+        let Some(dir) = &self.cfg.snapshot_dir else {
+            return;
+        };
+        for shard in &self.shards {
+            let path = dir.join(format!("{}.snapshot.json", shard.name()));
+            if let Err(e) = shard.snapshot().save_json(&path) {
+                eprintln!("warning: snapshot of shard {} failed: {e}", shard.name());
+            }
         }
     }
 
@@ -228,8 +335,9 @@ impl ServeHost {
                 let queued_at_end = shard.queue_len();
                 let unfed = shard.unfed();
                 let stream_total = shard.stream_total();
+                let crashes = shard.crashes();
                 let cache = shard.cache_stats();
-                let (p50, p95) = percentiles_ms(shard.step_seconds());
+                let (p50, p95, p99) = percentiles_ms(shard.step_seconds());
                 let (metrics, trace, counts) = shard.finish(obs);
                 ShardReport {
                     name,
@@ -241,8 +349,10 @@ impl ServeHost {
                     queued_at_end,
                     unfed,
                     stream_total,
+                    crashes,
                     batch_p50_ms: p50,
                     batch_p95_ms: p95,
+                    batch_p99_ms: p99,
                     trace,
                 }
             })
@@ -251,10 +361,10 @@ impl ServeHost {
     }
 }
 
-/// p50/p95 of a latency sample set, in milliseconds.
-fn percentiles_ms(seconds: &[f64]) -> (f64, f64) {
+/// p50/p95/p99 of a latency sample set, in milliseconds.
+fn percentiles_ms(seconds: &[f64]) -> (f64, f64, f64) {
     if seconds.is_empty() {
-        return (0.0, 0.0);
+        return (0.0, 0.0, 0.0);
     }
     let mut sorted: Vec<f64> = seconds.to_vec();
     sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
@@ -262,7 +372,7 @@ fn percentiles_ms(seconds: &[f64]) -> (f64, f64) {
         let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
         sorted[rank - 1] * 1e3
     };
-    (pick(0.50), pick(0.95))
+    (pick(0.50), pick(0.95), pick(0.99))
 }
 
 #[cfg(test)]
@@ -272,9 +382,10 @@ mod tests {
     #[test]
     fn percentiles_of_known_samples() {
         let s: Vec<f64> = (1..=100).map(|v| v as f64 / 1e3).collect();
-        let (p50, p95) = percentiles_ms(&s);
+        let (p50, p95, p99) = percentiles_ms(&s);
         assert!((p50 - 50.0).abs() < 1e-9);
         assert!((p95 - 95.0).abs() < 1e-9);
-        assert_eq!(percentiles_ms(&[]), (0.0, 0.0));
+        assert!((p99 - 99.0).abs() < 1e-9);
+        assert_eq!(percentiles_ms(&[]), (0.0, 0.0, 0.0));
     }
 }

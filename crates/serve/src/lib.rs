@@ -11,10 +11,15 @@
 //!   stream that turns a generated [`tamp_sim::Workload`] into one.
 //! * [`shard`] — one city/workload's engine state behind its queue:
 //!   feeds windows, drains them into [`tamp_platform::EngineState`]
-//!   batches, keeps the per-worker report logs.
+//!   batches, keeps the per-worker report logs, applies the shard's
+//!   [`OverloadPolicy`] to refused submissions, and snapshots/restores
+//!   itself for crash safety.
+//! * [`snapshot`] — the versioned, self-describing JSON shard snapshot
+//!   (engine state + queue/stream/log state) a crashed shard resumes
+//!   from, byte-identical to an uninterrupted run.
 //! * [`host`] — the service host: window protocol, optional thread-pool
-//!   stepping, graceful shutdown, per-shard reports with latency
-//!   percentiles.
+//!   stepping, snapshot cadence, crash drills, predictor hot-swap,
+//!   graceful shutdown, per-shard reports with latency percentiles.
 //! * [`clock`] — window pacing (accelerated clock for simulation).
 //!
 //! The serve path reuses the exact engine the experiments run, so a
@@ -32,9 +37,11 @@ pub mod event;
 pub mod host;
 pub mod queue;
 pub mod shard;
+pub mod snapshot;
 
 pub use clock::Pacing;
 pub use event::{EventStream, ShardEvent};
 pub use host::{HostConfig, ServeHost, ServeReport, ShardReport};
 pub use queue::BoundedQueue;
-pub use shard::{Shard, ShardConfig, SubmissionCounts};
+pub use shard::{OverloadPolicy, RetryEntry, Shard, ShardConfig, SubmissionCounts, SwapOutcome};
+pub use snapshot::{ShardSnapshot, SHARD_SNAPSHOT_FORMAT, SHARD_SNAPSHOT_VERSION};

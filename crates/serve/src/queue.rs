@@ -3,15 +3,25 @@
 //! Every shard owns one [`BoundedQueue`] that submissions flow through.
 //! The bound is the backpressure mechanism: when a window's event burst
 //! exceeds the capacity, [`BoundedQueue::try_push`] refuses the event
-//! and hands it back, and the *caller* decides what to do with it — the
-//! serve host counts it as shed (`serve.shed`, `shed_tasks` /
-//! `shed_reports` in the [`crate::ShardReport`]). Nothing is ever
-//! dropped silently: the accounting invariant
-//! `generated == submitted + shed + unfed` is enforced by the test
-//! suite.
+//! and hands it back, and the *caller* decides what to do with it —
+//! shed it, degrade, or retry later, per the shard's
+//! [`crate::OverloadPolicy`], always counted (`serve.shed` /
+//! `serve.overload.*`, `shed_*` / `degraded_*` in the
+//! [`crate::ShardReport`]). Nothing is ever dropped silently: the
+//! accounting invariant `offered == submitted + shed + degraded` is
+//! enforced by the test suite.
+//!
+//! A closed queue ([`BoundedQueue::close`], used on graceful shutdown)
+//! refuses every further push; draining continues normally.
 
 use std::collections::VecDeque;
 use std::sync::Mutex;
+
+#[derive(Debug)]
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
 
 /// A FIFO queue that refuses pushes beyond a fixed capacity.
 ///
@@ -21,7 +31,7 @@ use std::sync::Mutex;
 /// does not own exclusively.
 #[derive(Debug)]
 pub struct BoundedQueue<T> {
-    inner: Mutex<VecDeque<T>>,
+    inner: Mutex<Inner<T>>,
     capacity: usize,
 }
 
@@ -32,36 +42,61 @@ impl<T> BoundedQueue<T> {
     /// configuration means).
     pub fn new(capacity: usize) -> Self {
         Self {
-            inner: Mutex::new(VecDeque::new()),
+            inner: Mutex::new(Inner {
+                items: VecDeque::new(),
+                closed: false,
+            }),
             capacity: capacity.max(1),
         }
     }
 
     /// Enqueues `item`, or returns it to the caller when the queue is
-    /// full — the caller must account for the refusal (shed counting).
+    /// full or closed — the caller must account for the refusal
+    /// (shed/degrade/retry per its overload policy).
     pub fn try_push(&self, item: T) -> Result<(), T> {
         let mut q = self.inner.lock().expect("queue mutex poisoned");
-        if q.len() >= self.capacity {
+        if q.closed || q.items.len() >= self.capacity {
             return Err(item);
         }
-        q.push_back(item);
+        q.items.push_back(item);
         Ok(())
     }
 
     /// Pops the front item if `pred` accepts it (used to drain only the
-    /// events belonging to the batch window being stepped).
+    /// events belonging to the batch window being stepped). Draining
+    /// works on a closed queue.
     pub fn pop_if(&self, pred: impl FnOnce(&T) -> bool) -> Option<T> {
         let mut q = self.inner.lock().expect("queue mutex poisoned");
-        if q.front().is_some_and(pred) {
-            q.pop_front()
+        if q.items.front().is_some_and(pred) {
+            q.items.pop_front()
         } else {
             None
         }
     }
 
+    /// Removes and returns the most recently queued item matching
+    /// `pred`, scanning from the back (the `DegradeToFallback` policy
+    /// evicts the newest queued report to make room for a task).
+    pub fn evict_last_matching(&self, pred: impl Fn(&T) -> bool) -> Option<T> {
+        let mut q = self.inner.lock().expect("queue mutex poisoned");
+        let idx = q.items.iter().rposition(pred)?;
+        q.items.remove(idx)
+    }
+
+    /// Stops accepting pushes permanently (graceful shutdown). Queued
+    /// items remain drainable.
+    pub fn close(&self) {
+        self.inner.lock().expect("queue mutex poisoned").closed = true;
+    }
+
+    /// Whether [`Self::close`] was called.
+    pub fn is_closed(&self) -> bool {
+        self.inner.lock().expect("queue mutex poisoned").closed
+    }
+
     /// Items currently queued.
     pub fn len(&self) -> usize {
-        self.inner.lock().expect("queue mutex poisoned").len()
+        self.inner.lock().expect("queue mutex poisoned").items.len()
     }
 
     /// Whether the queue is empty.
@@ -72,6 +107,19 @@ impl<T> BoundedQueue<T> {
     /// The configured capacity.
     pub fn capacity(&self) -> usize {
         self.capacity
+    }
+}
+
+impl<T: Clone> BoundedQueue<T> {
+    /// The queued items in order, cloned (snapshotting).
+    pub fn to_vec(&self) -> Vec<T> {
+        self.inner
+            .lock()
+            .expect("queue mutex poisoned")
+            .items
+            .iter()
+            .cloned()
+            .collect()
     }
 }
 
@@ -119,5 +167,90 @@ mod tests {
         assert_eq!(q.capacity(), 1);
         q.try_push(1).unwrap();
         assert_eq!(q.try_push(2), Err(2));
+    }
+
+    #[test]
+    fn capacity_one_queue_is_usable_fifo() {
+        // The smallest legal queue still moves every event, one at a
+        // time, and refusals are exact.
+        let q = BoundedQueue::new(1);
+        let mut refused = 0usize;
+        let mut delivered = Vec::new();
+        for i in 0..10 {
+            if q.try_push(i).is_err() {
+                refused += 1;
+            }
+            if i % 2 == 1 {
+                // Drain between bursts.
+                while let Some(v) = q.pop_if(|_| true) {
+                    delivered.push(v);
+                }
+            }
+        }
+        while let Some(v) = q.pop_if(|_| true) {
+            delivered.push(v);
+        }
+        assert_eq!(delivered.len() + refused, 10, "every push is accounted");
+        assert!(refused > 0, "a 1-slot queue must refuse within a burst");
+        let mut sorted = delivered.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, delivered, "FIFO order preserved");
+    }
+
+    #[test]
+    fn feed_after_close_is_refused() {
+        let q = BoundedQueue::new(4);
+        q.try_push(1).unwrap();
+        assert!(!q.is_closed());
+        q.close();
+        assert!(q.is_closed());
+        assert_eq!(q.try_push(2), Err(2), "closed queue refuses pushes");
+        assert_eq!(q.pop_if(|_| true), Some(1), "draining still works");
+        assert_eq!(q.try_push(3), Err(3), "still closed after draining");
+    }
+
+    #[test]
+    fn repeated_fill_and_drain_sheds_exactly() {
+        // Exact shed accounting across multiple fill/drain cycles within
+        // one "window": offered == delivered + refused, cycle by cycle.
+        let q = BoundedQueue::new(3);
+        let (mut offered, mut delivered, mut refused) = (0usize, 0usize, 0usize);
+        for cycle in 0..5 {
+            for i in 0..7 {
+                offered += 1;
+                if q.try_push(cycle * 10 + i).is_err() {
+                    refused += 1;
+                }
+            }
+            while q.pop_if(|_| true).is_some() {
+                delivered += 1;
+            }
+            assert!(q.is_empty());
+        }
+        assert_eq!(offered, 35);
+        assert_eq!(refused, 5 * 4, "each 7-burst over capacity 3 refuses 4");
+        assert_eq!(delivered + refused, offered);
+    }
+
+    #[test]
+    fn evict_last_matching_removes_the_newest_match() {
+        let q = BoundedQueue::new(8);
+        for i in 0..6 {
+            q.try_push(i).unwrap();
+        }
+        assert_eq!(q.evict_last_matching(|v| v % 2 == 0), Some(4));
+        assert_eq!(q.evict_last_matching(|v| *v > 100), None);
+        assert_eq!(q.len(), 5);
+        let rest: Vec<i32> = std::iter::from_fn(|| q.pop_if(|_| true)).collect();
+        assert_eq!(rest, vec![0, 1, 2, 3, 5], "other items keep their order");
+    }
+
+    #[test]
+    fn to_vec_snapshots_in_order() {
+        let q = BoundedQueue::new(4);
+        q.try_push("a").unwrap();
+        q.try_push("b").unwrap();
+        assert_eq!(q.to_vec(), vec!["a", "b"]);
+        assert_eq!(q.len(), 2, "snapshot does not consume");
     }
 }

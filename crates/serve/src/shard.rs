@@ -7,17 +7,86 @@
 //! [`EngineState`], and the per-worker report logs that stand in for
 //! the ground-truth routines the one-shot engine reads directly: the
 //! engine only ever sees reports that made it through the queue.
+//!
+//! ## Overload policies
+//!
+//! What happens when a window's event burst exceeds the queue bound is
+//! an explicit, per-shard choice ([`OverloadPolicy`]), not an accident
+//! of the queue:
+//!
+//! * [`OverloadPolicy::Shed`] — refuse and count (`shed_*`). Cheapest;
+//!   lost reports silently stale the affected workers' views.
+//! * [`OverloadPolicy::DegradeToFallback`] — drop overflow like `Shed`
+//!   but *admit the fact of overload into the engine*: the next stepped
+//!   window runs with persistence-fallback views (the PR 1 degradation
+//!   ladder) instead of trusting model rollouts built on incomplete
+//!   observations. Overflow tasks additionally evict the newest queued
+//!   report to claim its slot — tasks are revenue, reports are
+//!   recoverable. Dropped events are counted `degraded_*`.
+//! * [`OverloadPolicy::Backpressure`] — park refused events in a retry
+//!   buffer and re-offer them *before* the next window's new events
+//!   (one-window backoff, FIFO — re-offering later or out of order
+//!   would scramble per-worker report order). After `retry_limit`
+//!   failed attempts an event is shed; leftovers at end of run are
+//!   flushed to shed so accounting always closes.
+//!
+//! Under every policy the invariant `offered == submitted + shed +
+//! degraded` holds exactly (retries count the event once, at its final
+//! disposition).
+//!
+//! ## Crash safety
+//!
+//! [`Shard::snapshot`] serializes everything the continuation depends
+//! on; [`Shard::restore`] resumes mid-replay, byte-identical to an
+//! uninterrupted run. The `shard_crash` fault
+//! ([`tamp_platform::faults::FaultConfig::shard_crash`]) kills and
+//! restores the shard through that exact JSON path after stepping a
+//! window, which is how the property tests exercise crash recovery
+//! under load. [`Shard::swap_predictors`] hot-swaps a re-adapted
+//! predictor set between windows, evicting only changed workers'
+//! cache entries (per-worker model versions).
 
 use crate::event::{EventStream, ShardEvent};
 use crate::queue::BoundedQueue;
+use crate::snapshot::{ShardSnapshot, SHARD_SNAPSHOT_FORMAT, SHARD_SNAPSHOT_VERSION};
+use serde::{Deserialize, Serialize};
 use tamp_core::{EngineError, SpatialTask, TimedPoint};
 use tamp_obs::Obs;
 use tamp_platform::engine::{AssignmentAlgo, EngineConfig, EngineState, StepCtx};
-use tamp_platform::faults::{FaultConfig, FaultPlan};
+use tamp_platform::faults::{FaultConfig, FaultInjector, FaultPlan};
 use tamp_platform::metrics::BatchRecord;
 use tamp_platform::predcache::CacheStats;
 use tamp_platform::training::TrainedPredictors;
 use tamp_sim::Workload;
+
+/// What a shard does with submissions its bounded queue refuses (see
+/// the module docs for the ladder).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OverloadPolicy {
+    /// Refuse and count; nothing else changes.
+    #[default]
+    Shed,
+    /// Drop overflow but run the next window on persistence-fallback
+    /// views (don't trust rollouts built on incomplete observations);
+    /// overflow tasks evict the newest queued report.
+    DegradeToFallback,
+    /// Park refused events and re-offer them next window, up to
+    /// `retry_limit` attempts each, then shed.
+    Backpressure {
+        /// Failed offer attempts before an event is shed.
+        retry_limit: u32,
+    },
+}
+
+/// A refused event parked by [`OverloadPolicy::Backpressure`], with the
+/// offer attempts it has burned so far.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RetryEntry {
+    /// The parked event.
+    pub ev: ShardEvent,
+    /// Offer attempts so far (≥ 1; incremented per refusal).
+    pub attempts: u32,
+}
 
 /// Per-shard serving configuration.
 #[derive(Debug, Clone)]
@@ -26,11 +95,14 @@ pub struct ShardConfig {
     pub algo: AssignmentAlgo,
     /// Engine knobs (batch cadence, PPI parameters, prediction cache…).
     pub engine: EngineConfig,
-    /// Optional fault injection (the PR 1 ladder) for resilience drills.
+    /// Optional fault injection (the PR 1 ladder plus `shard_crash`)
+    /// for resilience drills.
     pub faults: Option<FaultConfig>,
-    /// Submission-queue capacity; bursts beyond it are shed (counted,
-    /// never silent — see [`crate::queue`]).
+    /// Submission-queue capacity; bursts beyond it hit the overload
+    /// policy (counted, never silent — see [`crate::queue`]).
     pub queue_capacity: usize,
+    /// What to do with submissions the queue refuses.
+    pub overload: OverloadPolicy,
 }
 
 impl Default for ShardConfig {
@@ -45,33 +117,69 @@ impl Default for ShardConfig {
             },
             faults: None,
             queue_capacity: 4096,
+            overload: OverloadPolicy::Shed,
         }
     }
 }
 
-/// Cumulative submission accounting for one shard, split by event kind.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+/// Cumulative submission accounting for one shard, split by event kind
+/// and disposition.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SubmissionCounts {
     /// Task events accepted into the queue.
     pub submitted_tasks: usize,
     /// Report events accepted into the queue.
     pub submitted_reports: usize,
-    /// Task events refused by a full queue.
+    /// Task events refused by a full queue and dropped outright.
     pub shed_tasks: usize,
-    /// Report events refused by a full queue.
+    /// Report events refused by a full queue and dropped outright.
     pub shed_reports: usize,
+    /// Task events dropped by the `DegradeToFallback` policy (queue
+    /// still full after evicting a report).
+    #[serde(default)]
+    pub degraded_tasks: usize,
+    /// Report events dropped by the `DegradeToFallback` policy
+    /// (overflow, or evicted from the queue in favor of a task).
+    #[serde(default)]
+    pub degraded_reports: usize,
+    /// Successful re-offers by the `Backpressure` policy (not part of
+    /// `offered` — a retried event is already counted there once).
+    #[serde(default)]
+    pub retried: usize,
 }
 
 impl SubmissionCounts {
-    /// Everything offered to the queue, accepted or not.
+    /// Every distinct event offered to the queue, whatever its final
+    /// disposition. Exactly `submitted + shed + degraded`.
     pub fn offered(&self) -> usize {
-        self.submitted_tasks + self.submitted_reports + self.shed_tasks + self.shed_reports
+        self.submitted_tasks
+            + self.submitted_reports
+            + self.shed_tasks
+            + self.shed_reports
+            + self.degraded_tasks
+            + self.degraded_reports
     }
 
-    /// Everything refused by the queue.
+    /// Everything dropped outright.
     pub fn shed(&self) -> usize {
         self.shed_tasks + self.shed_reports
     }
+
+    /// Everything dropped by the degrade policy (counted separately
+    /// from `shed` because the engine was told about the loss).
+    pub fn degraded(&self) -> usize {
+        self.degraded_tasks + self.degraded_reports
+    }
+}
+
+/// The result of a predictor hot-swap ([`Shard::swap_predictors`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SwapOutcome {
+    /// Workers whose model actually changed (version bumped).
+    pub changed: usize,
+    /// Live cache entries evicted by those bumps (≤ `changed`; workers
+    /// without a cached rollout bump without evicting).
+    pub evicted: usize,
 }
 
 /// One engine shard (see the module docs).
@@ -81,6 +189,9 @@ pub struct Shard {
     predictors: Option<TrainedPredictors>,
     cfg: ShardConfig,
     fplan: Option<FaultPlan>,
+    /// Draws the deterministic `shard_crash` schedule; present only
+    /// when that fault is configured.
+    crash_injector: Option<FaultInjector>,
     state: EngineState,
     queue: BoundedQueue<ShardEvent>,
     stream: EventStream,
@@ -88,6 +199,14 @@ pub struct Shard {
     /// observation source on the serve path).
     logs: Vec<Vec<TimedPoint>>,
     counts: SubmissionCounts,
+    /// Backpressure retry buffer, re-offered before next window's new
+    /// events.
+    retries: Vec<RetryEntry>,
+    /// Set by the degrade policy when overflow occurred; consumed by
+    /// the next stepped window.
+    degrade_pending: bool,
+    /// Crash/restore cycles survived.
+    crashes: u64,
     trace: Vec<BatchRecord>,
     step_seconds: Vec<f64>,
 }
@@ -105,11 +224,18 @@ impl Shard {
             fc.validate().map_err(EngineError::InvalidEngineConfig)?;
         }
         let state = EngineState::new(&workload, predictors.as_ref(), cfg.algo, &cfg.engine)?;
+        // A plan replaces the engine's observation source, so build one
+        // only for engine-level faults: a crash-only configuration must
+        // read the report logs like a clean run.
         let fplan = cfg
             .faults
             .as_ref()
-            .filter(|fc| !fc.is_none())
+            .filter(|fc| fc.has_engine_faults())
             .map(|fc| FaultPlan::build(&workload, fc));
+        let crash_injector = cfg
+            .faults
+            .filter(|fc| fc.shard_crash > 0.0)
+            .map(FaultInjector::new);
         let stream = EventStream::from_workload(&workload);
         let queue = BoundedQueue::new(cfg.queue_capacity);
         let logs = vec![Vec::new(); workload.workers.len()];
@@ -119,11 +245,15 @@ impl Shard {
             predictors,
             cfg,
             fplan,
+            crash_injector,
             state,
             queue,
             stream,
             logs,
             counts: SubmissionCounts::default(),
+            retries: Vec::new(),
+            degrade_pending: false,
+            crashes: 0,
             trace: Vec::new(),
             step_seconds: Vec::new(),
         })
@@ -149,35 +279,97 @@ impl Shard {
         self.cfg.engine.batch_window_min
     }
 
-    /// Feeds the next window's worth of replayed events into the
-    /// submission queue, shedding (and counting) what the bound refuses.
+    /// Feeds the next window's worth of events into the submission
+    /// queue: first the backpressure retry buffer (in original order),
+    /// then the replay stream — so a retried report still precedes that
+    /// worker's later reports and per-worker log order is preserved.
+    /// Refusals go through the shard's [`OverloadPolicy`].
     pub fn feed_window(&mut self) {
         let end = self.state.next_window_end(&self.cfg.engine);
-        for ev in self.stream.take_until(end) {
-            let is_task = matches!(ev, ShardEvent::Task(_));
-            match self.queue.try_push(*ev) {
-                Ok(()) => {
-                    if is_task {
+        let retries = std::mem::take(&mut self.retries);
+        for r in retries {
+            self.offer(r.ev, r.attempts);
+        }
+        let evs = self.stream.take_until(end).to_vec();
+        for ev in evs {
+            self.offer(ev, 0);
+        }
+    }
+
+    /// Offers one event to the queue; `attempts` is how many prior
+    /// offers it has burned (0 for fresh events).
+    fn offer(&mut self, ev: ShardEvent, attempts: u32) {
+        let is_task = matches!(ev, ShardEvent::Task(_));
+        match self.queue.try_push(ev) {
+            Ok(()) => {
+                if attempts > 0 {
+                    self.counts.retried += 1;
+                }
+                if is_task {
+                    self.counts.submitted_tasks += 1;
+                } else {
+                    self.counts.submitted_reports += 1;
+                }
+            }
+            Err(ev) => self.refuse(ev, is_task, attempts),
+        }
+    }
+
+    /// Applies the overload policy to one refused event.
+    fn refuse(&mut self, ev: ShardEvent, is_task: bool, attempts: u32) {
+        match self.cfg.overload {
+            OverloadPolicy::Shed => self.shed_one(is_task),
+            OverloadPolicy::DegradeToFallback => {
+                // Overload observed: don't trust the next window's
+                // rollouts, whatever happens to this event.
+                self.degrade_pending = true;
+                if is_task {
+                    // Tasks outrank reports: reclaim the newest queued
+                    // report's slot if there is one.
+                    let evicted = self
+                        .queue
+                        .evict_last_matching(|e| matches!(e, ShardEvent::Report { .. }))
+                        .is_some();
+                    if evicted {
+                        self.counts.submitted_reports -= 1;
+                        self.counts.degraded_reports += 1;
+                    }
+                    if evicted && self.queue.try_push(ev).is_ok() {
                         self.counts.submitted_tasks += 1;
                     } else {
-                        self.counts.submitted_reports += 1;
+                        self.counts.degraded_tasks += 1;
                     }
+                } else {
+                    self.counts.degraded_reports += 1;
                 }
-                Err(_) => {
-                    if is_task {
-                        self.counts.shed_tasks += 1;
-                    } else {
-                        self.counts.shed_reports += 1;
-                    }
+            }
+            OverloadPolicy::Backpressure { retry_limit } => {
+                let attempts = attempts + 1;
+                if attempts > retry_limit {
+                    self.shed_one(is_task);
+                } else {
+                    self.retries.push(RetryEntry { ev, attempts });
                 }
             }
         }
     }
 
+    fn shed_one(&mut self, is_task: bool) {
+        if is_task {
+            self.counts.shed_tasks += 1;
+        } else {
+            self.counts.shed_reports += 1;
+        }
+    }
+
     /// Drains the queued events belonging to the next window and steps
-    /// the engine one batch. Returns the batch record (also kept in the
-    /// shard's trace).
+    /// the engine one batch; a degrade-flagged window runs on
+    /// persistence-fallback views. If the deterministic `shard_crash`
+    /// schedule fires for this window, the shard then kills and
+    /// restores itself through the JSON snapshot path. Returns the
+    /// batch record (also kept in the shard's trace).
     pub fn step_window(&mut self, obs: &Obs) -> BatchRecord {
+        let window_idx = self.state.batches_run();
         let end = self.state.next_window_end(&self.cfg.engine);
         let mut admitted: Vec<SpatialTask> = Vec::new();
         while let Some(ev) = self.queue.pop_if(|ev| ev.time() < end) {
@@ -190,6 +382,7 @@ impl Shard {
                 }
             }
         }
+        let degrade = std::mem::take(&mut self.degrade_pending);
         let started = std::time::Instant::now();
         let ctx = StepCtx {
             workload: &self.workload,
@@ -200,17 +393,212 @@ impl Shard {
             // Under fault injection the received streams are defined by
             // the plan; the report log is the clean-path source.
             reports: Some(&self.logs),
+            degrade,
             obs,
         };
         let record = self.state.step_batch(&ctx, &admitted);
         self.step_seconds.push(started.elapsed().as_secs_f64());
         self.trace.push(record);
+        if self.crash_due(window_idx) {
+            self.crash_restore_in_place()
+                .expect("restoring a shard from its own snapshot cannot fail");
+        }
         record
+    }
+
+    /// Whether the seeded crash schedule kills the shard after window
+    /// `window_idx`. A pure function of `(faults, engine seed,
+    /// window_idx)`, so a restored shard reproduces the remaining
+    /// schedule exactly.
+    fn crash_due(&self, window_idx: u64) -> bool {
+        self.crash_injector
+            .as_ref()
+            .is_some_and(|inj| inj.shard_crash(self.cfg.engine.seed, window_idx))
+    }
+
+    /// Serializes everything the continuation of this shard depends on
+    /// (see [`crate::snapshot`]).
+    pub fn snapshot(&self) -> ShardSnapshot {
+        ShardSnapshot {
+            format: SHARD_SNAPSHOT_FORMAT.to_string(),
+            version: SHARD_SNAPSHOT_VERSION,
+            name: self.name.clone(),
+            stream_taken: self.stream.position(),
+            queued: self.queue.to_vec(),
+            logs: self.logs.clone(),
+            counts: self.counts,
+            retries: self.retries.clone(),
+            degrade_pending: self.degrade_pending,
+            crashes: self.crashes,
+            step_seconds: self.step_seconds.clone(),
+            trace: self.trace.clone(),
+            engine: self.state.snapshot(),
+        }
+    }
+
+    /// Rebuilds a shard mid-replay from a snapshot taken over the same
+    /// workload, predictors, and configuration. The continuation is
+    /// byte-identical to the run the snapshot was taken from.
+    pub fn restore(
+        workload: Workload,
+        predictors: Option<TrainedPredictors>,
+        cfg: ShardConfig,
+        snap: ShardSnapshot,
+    ) -> Result<Self, EngineError> {
+        if snap.format != SHARD_SNAPSHOT_FORMAT {
+            return Err(EngineError::InvalidEngineConfig(format!(
+                "snapshot format {:?} (expected {SHARD_SNAPSHOT_FORMAT:?})",
+                snap.format
+            )));
+        }
+        if snap.version != SHARD_SNAPSHOT_VERSION {
+            return Err(EngineError::InvalidEngineConfig(format!(
+                "shard snapshot version {} (expected {SHARD_SNAPSHOT_VERSION})",
+                snap.version
+            )));
+        }
+        if let Some(fc) = &cfg.faults {
+            fc.validate().map_err(EngineError::InvalidEngineConfig)?;
+        }
+        if snap.logs.len() != workload.workers.len() {
+            return Err(EngineError::InvalidEngineConfig(format!(
+                "snapshot logs cover {} workers, workload has {}",
+                snap.logs.len(),
+                workload.workers.len()
+            )));
+        }
+        let state = EngineState::restore(
+            &workload,
+            predictors.as_ref(),
+            cfg.algo,
+            &cfg.engine,
+            snap.engine,
+        )?;
+        let fplan = cfg
+            .faults
+            .as_ref()
+            .filter(|fc| fc.has_engine_faults())
+            .map(|fc| FaultPlan::build(&workload, fc));
+        let crash_injector = cfg
+            .faults
+            .filter(|fc| fc.shard_crash > 0.0)
+            .map(FaultInjector::new);
+        let mut stream = EventStream::from_workload(&workload);
+        if !stream.seek(snap.stream_taken) {
+            return Err(EngineError::InvalidEngineConfig(format!(
+                "snapshot stream cursor {} exceeds the replay stream ({} events)",
+                snap.stream_taken,
+                stream.total()
+            )));
+        }
+        let queue = BoundedQueue::new(cfg.queue_capacity);
+        if snap.queued.len() > queue.capacity() {
+            return Err(EngineError::InvalidEngineConfig(format!(
+                "snapshot holds {} queued events, queue capacity is {}",
+                snap.queued.len(),
+                queue.capacity()
+            )));
+        }
+        for ev in snap.queued {
+            queue
+                .try_push(ev)
+                .map_err(|_| EngineError::InvalidEngineConfig("queue refill overflow".into()))?;
+        }
+        Ok(Self {
+            name: snap.name,
+            workload,
+            predictors,
+            cfg,
+            fplan,
+            crash_injector,
+            state,
+            queue,
+            stream,
+            logs: snap.logs,
+            counts: snap.counts,
+            retries: snap.retries,
+            degrade_pending: snap.degrade_pending,
+            crashes: snap.crashes,
+            trace: snap.trace,
+            step_seconds: snap.step_seconds,
+        })
+    }
+
+    /// Kills this shard and restores it from its own snapshot through
+    /// the full JSON serialization path — exactly what a process
+    /// kill/restore does, which is what makes the `shard_crash` fault a
+    /// real test of the snapshot format.
+    pub fn crash_restore_in_place(&mut self) -> Result<(), EngineError> {
+        let json = self.snapshot().to_json();
+        let snap = ShardSnapshot::from_json(&json).map_err(EngineError::InvalidEngineConfig)?;
+        let restored = Self::restore(
+            self.workload.clone(),
+            self.predictors.clone(),
+            self.cfg.clone(),
+            snap,
+        )?;
+        let crashes = self.crashes + 1;
+        *self = restored;
+        self.crashes = crashes;
+        Ok(())
+    }
+
+    /// Hot-swaps a re-adapted predictor set between windows. Workers
+    /// whose model actually changed get their live model replaced, any
+    /// quarantine lifted, and their cache version bumped — everyone
+    /// else's cached rollouts stay warm (the point of per-worker
+    /// versioning; a blanket invalidation would cold-start the whole
+    /// shard). Must be called between windows, not mid-step.
+    pub fn swap_predictors(&mut self, new: TrainedPredictors) -> Result<SwapOutcome, EngineError> {
+        let Some(old) = self.predictors.as_ref() else {
+            return Err(EngineError::InvalidEngineConfig(
+                "predictor hot-swap on a shard running without predictors".into(),
+            ));
+        };
+        if new.models.len() != old.models.len() {
+            return Err(EngineError::InvalidEngineConfig(format!(
+                "hot-swap predictor count {} != shard's {}",
+                new.models.len(),
+                old.models.len()
+            )));
+        }
+        let mut outcome = SwapOutcome::default();
+        for wi in 0..new.models.len() {
+            let model_changed = new.models[wi] != old.models[wi];
+            let mr_changed = match (new.mrs.get(wi), old.mrs.get(wi)) {
+                (Some(a), Some(b)) => a.to_bits() != b.to_bits(),
+                (a, b) => a.is_some() != b.is_some(),
+            };
+            if model_changed || mr_changed {
+                outcome.changed += 1;
+                if self.state.install_model(wi, &new.models[wi]) {
+                    outcome.evicted += 1;
+                }
+            }
+        }
+        self.predictors = Some(new);
+        Ok(outcome)
+    }
+
+    /// Stops the submission queue from accepting events (graceful
+    /// shutdown); queued events still drain into windows.
+    pub fn close_queue(&self) {
+        self.queue.close();
     }
 
     /// Cumulative submission accounting.
     pub fn counts(&self) -> SubmissionCounts {
         self.counts
+    }
+
+    /// Crash/restore cycles this shard has survived.
+    pub fn crashes(&self) -> u64 {
+        self.crashes
+    }
+
+    /// Backpressure events currently parked for retry.
+    pub fn retry_len(&self) -> usize {
+        self.retries.len()
     }
 
     /// Events still queued (not yet drained into a window).
@@ -259,15 +647,20 @@ impl Shard {
     }
 
     /// Consumes the shard, finishing the engine run (flushes `obs`) and
-    /// returning the final metrics plus the collected trace.
+    /// returning the final metrics plus the collected trace. Events
+    /// still parked for retry are flushed to shed first so the
+    /// accounting invariant closes.
     pub fn finish(
-        self,
+        mut self,
         obs: &Obs,
     ) -> (
         tamp_platform::metrics::AssignmentMetrics,
         Vec<BatchRecord>,
         SubmissionCounts,
     ) {
+        for r in std::mem::take(&mut self.retries) {
+            self.shed_one(matches!(r.ev, ShardEvent::Task(_)));
+        }
         (self.state.finish(obs), self.trace, self.counts)
     }
 }

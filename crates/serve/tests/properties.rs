@@ -1,7 +1,8 @@
 //! Property tests of the serve layer's central promise: across random
-//! seeds, shard counts, queue capacities, and fault profiles, a cached
-//! serve run is **byte-identical** to a cold-cache one, and submission
-//! accounting always closes exactly.
+//! seeds, shard counts, queue capacities, overload policies, fault
+//! profiles, and crash/restore schedules, a cached serve run is
+//! **byte-identical** to a cold-cache one, and submission accounting
+//! always closes exactly.
 //!
 //! Cases are deliberately few: each one trains predictors and runs two
 //! full simulated days per shard.
@@ -13,7 +14,7 @@ use tamp_platform::{
     AssignmentAlgo, EngineConfig, FaultConfig, LossKind, PredictionAlgo, TrainedPredictors,
     TrainingConfig,
 };
-use tamp_serve::{HostConfig, Pacing, ServeHost, ServeReport, Shard, ShardConfig};
+use tamp_serve::{HostConfig, OverloadPolicy, Pacing, ServeHost, ServeReport, Shard, ShardConfig};
 use tamp_sim::{Scale, Workload, WorkloadConfig, WorkloadKind};
 
 fn tiny_workload(seed: u64) -> Workload {
@@ -69,9 +70,23 @@ fn fault_config(profile: FaultProfile, seed: u64) -> Option<FaultConfig> {
             prediction_failure: 0.2,
             prediction_garbage: 0.05,
             adapt_poison: 0.0,
+            shard_crash: 0.0,
             seed,
         }),
     }
+}
+
+/// Mixes the deterministic kill/restore schedule into a profile (or
+/// into an otherwise clean config), so crash recovery is exercised
+/// against every fault profile.
+fn with_crashes(faults: Option<FaultConfig>, seed: u64) -> Option<FaultConfig> {
+    Some(FaultConfig {
+        shard_crash: 0.2,
+        ..faults.unwrap_or(FaultConfig {
+            seed,
+            ..FaultConfig::none()
+        })
+    })
 }
 
 fn any_profile() -> impl Strategy<Value = FaultProfile> {
@@ -82,10 +97,19 @@ fn any_profile() -> impl Strategy<Value = FaultProfile> {
     ])
 }
 
+fn any_policy() -> impl Strategy<Value = OverloadPolicy> {
+    prop::sample::select(vec![
+        OverloadPolicy::Shed,
+        OverloadPolicy::DegradeToFallback,
+        OverloadPolicy::Backpressure { retry_limit: 3 },
+    ])
+}
+
 fn run_host(
     seeds: &[u64],
     cache: bool,
     queue_capacity: usize,
+    overload: OverloadPolicy,
     faults: Option<FaultConfig>,
 ) -> ServeReport {
     let shards: Vec<Shard> = seeds
@@ -102,6 +126,7 @@ fn run_host(
                 },
                 faults,
                 queue_capacity,
+                overload,
             };
             Shard::new(format!("s{seed}"), w, Some(p), cfg).expect("valid shard")
         })
@@ -111,6 +136,7 @@ fn run_host(
         HostConfig {
             threads: seeds.len(),
             pacing: Pacing::FullSpeed,
+            ..HostConfig::default()
         },
     );
     host.run(&Obs::null())
@@ -124,15 +150,28 @@ proptest! {
         base_seed in 0u64..200,
         n_shards in 1usize..=3,
         profile in any_profile(),
+        policy in any_policy(),
         tight_queue in prop::bool::ANY,
+        crash in prop::bool::ANY,
     ) {
         let seeds: Vec<u64> = (0..n_shards as u64).map(|i| base_seed + i).collect();
-        let faults = fault_config(profile, base_seed ^ 0xACE5);
+        let mut faults = fault_config(profile, base_seed ^ 0xACE5);
+        if crash {
+            // Warm and cold share the schedule, so kill/restore cycles
+            // must be invisible in every compared byte.
+            faults = with_crashes(faults, base_seed ^ 0x51AB);
+        }
         let capacity = if tight_queue { 16 } else { 1 << 16 };
-        let warm = run_host(&seeds, true, capacity, faults);
-        let cold = run_host(&seeds, false, capacity, faults);
+        let warm = run_host(&seeds, true, capacity, policy, faults);
+        let cold = run_host(&seeds, false, capacity, policy, faults);
         prop_assert_eq!(warm.shards.len(), cold.shards.len());
         for (w, c) in warm.shards.iter().zip(&cold.shards) {
+            prop_assert_eq!(w.crashes, c.crashes);
+            if crash {
+                // p = 0.2 over 120 windows: a crash-free schedule has
+                // probability ~3e-12 and would mean the drill is dead.
+                prop_assert!(w.crashes > 0);
+            }
             // Byte-identical assignment outcome, cache on vs off.
             prop_assert_eq!(w.metrics.completed, c.metrics.completed);
             prop_assert_eq!(w.metrics.rejected, c.metrics.rejected);

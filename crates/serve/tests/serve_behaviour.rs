@@ -5,9 +5,14 @@
 //!   the prediction cache, with and without fault injection);
 //! * multi-shard hosts keep shards independent, and thread-pool
 //!   stepping changes nothing;
-//! * a full queue sheds explicitly and the accounting always closes:
-//!   `offered == submitted + shed`, and every submitted task ends in
-//!   exactly one of completed / expired / pending / queued;
+//! * a full queue hits the overload policy explicitly and the
+//!   accounting always closes: `offered == submitted + shed +
+//!   degraded`, and every submitted task ends in exactly one of
+//!   completed / expired / pending / queued;
+//! * a shard restored from its snapshot — including the `shard_crash`
+//!   fault's kill/restore cycles — continues byte-identically to an
+//!   uninterrupted run;
+//! * a predictor hot-swap evicts only changed workers' cache entries;
 //! * graceful shutdown drains what was admitted and loses nothing
 //!   silently.
 
@@ -18,7 +23,9 @@ use tamp_platform::{
     run_assignment_traced, train_predictors, AssignmentAlgo, BatchRecord, EngineConfig,
     FaultConfig, LossKind, PredictionAlgo, TrainedPredictors, TrainingConfig,
 };
-use tamp_serve::{HostConfig, Pacing, ServeHost, Shard, ShardConfig, ShardReport};
+use tamp_serve::{
+    HostConfig, OverloadPolicy, Pacing, ServeHost, Shard, ShardConfig, ShardReport, ShardSnapshot,
+};
 use tamp_sim::{Scale, Workload, WorkloadConfig, WorkloadKind};
 
 fn tiny_workload(seed: u64) -> Workload {
@@ -58,6 +65,7 @@ fn shard_cfg(cache: bool, queue_capacity: usize) -> ShardConfig {
         engine: engine(cache),
         faults: None,
         queue_capacity,
+        overload: OverloadPolicy::Shed,
     }
 }
 
@@ -73,6 +81,7 @@ fn mixed_faults(seed: u64) -> FaultConfig {
         prediction_failure: 0.2,
         prediction_garbage: 0.05,
         adapt_poison: 0.0,
+        shard_crash: 0.0,
         seed,
     }
 }
@@ -235,6 +244,7 @@ fn multi_shard_host_keeps_shards_independent_and_parallel_stepping_is_identical(
         HostConfig {
             threads: 3,
             pacing: Pacing::FullSpeed,
+            ..HostConfig::default()
         },
     );
     let report = host.run(&Obs::null());
@@ -289,6 +299,278 @@ fn graceful_shutdown_drains_admitted_work() {
     );
     assert!(r.unfed > 0, "stopping early leaves replay events unfed");
     assert_eq!(r.counts.offered() + r.unfed, r.stream_total);
+}
+
+/// Everything deterministic a shard run produces: engine metrics,
+/// submission accounting, cache counters, and the per-batch trace.
+fn assert_same_outcome(a: &ShardReport, b: &ShardReport, what: &str) {
+    assert_eq!(a.windows, b.windows, "{what}: windows");
+    assert_eq!(
+        a.metrics.completed, b.metrics.completed,
+        "{what}: completed"
+    );
+    assert_eq!(a.metrics.rejected, b.metrics.rejected, "{what}: rejected");
+    assert_eq!(
+        a.metrics.assigned_total, b.metrics.assigned_total,
+        "{what}: assigned"
+    );
+    assert_eq!(
+        a.metrics.tasks_expired, b.metrics.tasks_expired,
+        "{what}: expired"
+    );
+    assert_eq!(
+        a.metrics.total_detour_km.to_bits(),
+        b.metrics.total_detour_km.to_bits(),
+        "{what}: detour bits"
+    );
+    assert_eq!(a.counts, b.counts, "{what}: submission accounting");
+    assert_eq!(a.cache, b.cache, "{what}: cache counters");
+    assert_eq!(a.pending_at_end, b.pending_at_end, "{what}: pending");
+    assert_same_trace(&a.trace, &b.trace, what);
+}
+
+#[test]
+fn snapshot_restore_resumes_byte_identically_mid_run() {
+    let seed = 21;
+    let w = tiny_workload(seed);
+    let p = quick_predictors(&w, seed);
+    // Backpressure + a tight queue keeps a non-empty retry buffer
+    // alive at snapshot time, so the snapshot carries real serve-side
+    // state, not just the engine.
+    let cfg = ShardConfig {
+        overload: OverloadPolicy::Backpressure { retry_limit: 5 },
+        ..shard_cfg(true, 8)
+    };
+    let uninterrupted = run_single_shard(&w, &p, cfg.clone());
+
+    let shard = Shard::new("s0", w.clone(), Some(p.clone()), cfg.clone()).unwrap();
+    let mut host = ServeHost::new(vec![shard], HostConfig::default());
+    let obs = Obs::null();
+    host.run_windows(45, &obs);
+    // Kill: serialize through JSON (the on-disk format), drop the host.
+    let json = host.snapshot_shard(0).unwrap().to_json();
+    drop(host);
+    // Restore into a fresh shard over the same deployment and finish.
+    let snap = ShardSnapshot::from_json(&json).unwrap();
+    let restored = Shard::restore(w, Some(p), cfg, snap).unwrap();
+    let report = ServeHost::new(vec![restored], HostConfig::default()).run(&obs);
+    assert_same_outcome(
+        &report.shards[0],
+        &uninterrupted,
+        "restored vs uninterrupted",
+    );
+}
+
+#[test]
+fn restore_rejects_incompatible_snapshots() {
+    let seed = 21;
+    let w = tiny_workload(seed);
+    let p = quick_predictors(&w, seed);
+    let cfg = shard_cfg(true, 1 << 16);
+    let shard = Shard::new("s0", w.clone(), Some(p.clone()), cfg.clone()).unwrap();
+    let mut snap = shard.snapshot();
+    snap.version += 1;
+    assert!(
+        Shard::restore(w.clone(), Some(p.clone()), cfg.clone(), snap).is_err(),
+        "future snapshot version must be refused"
+    );
+    let mut snap = shard.snapshot();
+    snap.format = "something-else".into();
+    assert!(
+        Shard::restore(w.clone(), Some(p.clone()), cfg.clone(), snap).is_err(),
+        "foreign format must be refused"
+    );
+    let mut snap = shard.snapshot();
+    snap.logs.pop();
+    assert!(
+        Shard::restore(w, Some(p), cfg, snap).is_err(),
+        "log/worker count mismatch must be refused"
+    );
+}
+
+#[test]
+fn shard_crash_fault_kill_restores_byte_identically() {
+    // The acceptance drill: 3 seeds × 2 fault profiles, each compared
+    // against the same run without crashes. `shard_crash` kills and
+    // restores the shard through the JSON snapshot path mid-run, so any
+    // state the snapshot misses would diverge the continuation.
+    for seed in [3_u64, 11, 19] {
+        let w = tiny_workload(seed);
+        let p = quick_predictors(&w, seed);
+        let profiles: [(&str, Option<FaultConfig>); 2] = [
+            ("clean", None),
+            ("mixed", Some(mixed_faults(seed ^ 0xBEEF))),
+        ];
+        for (pname, profile) in profiles {
+            let base = ShardConfig {
+                faults: profile,
+                ..shard_cfg(true, 1 << 16)
+            };
+            let crashing = ShardConfig {
+                faults: Some(FaultConfig {
+                    shard_crash: 0.25,
+                    ..profile.unwrap_or(FaultConfig {
+                        seed: seed ^ 0x51AB,
+                        ..FaultConfig::none()
+                    })
+                }),
+                ..base.clone()
+            };
+            let steady = run_single_shard(&w, &p, base);
+            let crashed = run_single_shard(&w, &p, crashing);
+            let what = format!("seed {seed} profile {pname}");
+            assert_eq!(steady.crashes, 0, "{what}: baseline never crashes");
+            assert!(
+                crashed.crashes > 0,
+                "{what}: p=0.25 over 120 windows must crash"
+            );
+            assert_same_outcome(&crashed, &steady, &what);
+        }
+    }
+}
+
+#[test]
+fn identical_predictor_hot_swap_is_a_no_op() {
+    let seed = 23;
+    let w = tiny_workload(seed);
+    let p = quick_predictors(&w, seed);
+    let cfg = shard_cfg(true, 1 << 16);
+    let uninterrupted = run_single_shard(&w, &p, cfg.clone());
+
+    let shard = Shard::new("s0", w, Some(p.clone()), cfg).unwrap();
+    let mut host = ServeHost::new(vec![shard], HostConfig::default());
+    let obs = Obs::null();
+    host.run_windows(30, &obs);
+    let outcome = host.swap_predictor(0, p).unwrap();
+    assert_eq!(
+        outcome.changed, 0,
+        "identical models must not bump versions"
+    );
+    assert_eq!(outcome.evicted, 0);
+    let report = host.run(&obs);
+    assert_same_outcome(&report.shards[0], &uninterrupted, "no-op swap");
+}
+
+#[test]
+fn predictor_hot_swap_evicts_only_changed_workers_and_keeps_the_cache_warm() {
+    let seed = 23;
+    let w = tiny_workload(seed);
+    let p = quick_predictors(&w, seed);
+    let shard = Shard::new("s0", w, Some(p.clone()), shard_cfg(true, 1 << 16)).unwrap();
+    let mut host = ServeHost::new(vec![shard], HostConfig::default());
+    let obs = Obs::null();
+    host.run_windows(30, &obs);
+    let before = host.shards()[0].cache_stats();
+    assert!(before.hits > 0, "warm-up must populate the cache");
+
+    // Re-adapt worker 0 only (a nudged parameter vector).
+    let mut swapped = p.clone();
+    let mut theta = swapped.models[0].params();
+    theta[0] += 0.25;
+    swapped.models[0].set_params(&theta);
+    let outcome = host.swap_predictor(0, swapped).unwrap();
+    assert_eq!(outcome.changed, 1, "exactly one worker's model changed");
+    assert!(outcome.evicted <= 1, "at most that worker's entry evicted");
+    let mid = host.shards()[0].cache_stats();
+    assert_eq!(
+        mid.invalidations,
+        before.invalidations + outcome.evicted as u64,
+        "swap invalidates nothing beyond the changed worker"
+    );
+
+    let report = host.run(&obs);
+    let after = report.shards[0].cache;
+    assert!(
+        after.hits > mid.hits,
+        "unchanged workers' rollouts must keep hitting after the swap \
+         (a blanket invalidation would cold-start the shard)"
+    );
+}
+
+#[test]
+fn degrade_policy_trades_reports_for_tasks_and_forces_fallback_windows() {
+    let seed = 9;
+    let w = tiny_workload(seed);
+    let p = quick_predictors(&w, seed);
+    let cfg = ShardConfig {
+        overload: OverloadPolicy::DegradeToFallback,
+        ..shard_cfg(true, 4)
+    };
+    let degraded = run_single_shard(&w, &p, cfg);
+    assert!(degraded.counts.degraded() > 0, "tiny queue must overflow");
+    assert_eq!(
+        degraded.counts.shed(),
+        0,
+        "degrade policy reclassifies every refusal"
+    );
+    assert!(
+        degraded.metrics.fallback_views > 0,
+        "overloaded windows must run on persistence views"
+    );
+    assert_task_accounting(&degraded, "degrade run");
+    // Tasks outrank reports under pressure: with the same queue the
+    // shed policy drops overflow tasks, degrade admits at least as many.
+    let shed = run_single_shard(&w, &p, shard_cfg(true, 4));
+    assert!(
+        degraded.counts.submitted_tasks >= shed.counts.submitted_tasks,
+        "evicting reports must never admit fewer tasks than shedding"
+    );
+}
+
+#[test]
+fn backpressure_policy_retries_with_bounded_attempts() {
+    let seed = 9;
+    let w = tiny_workload(seed);
+    let p = quick_predictors(&w, seed);
+    let cfg = ShardConfig {
+        overload: OverloadPolicy::Backpressure { retry_limit: 3 },
+        ..shard_cfg(true, 4)
+    };
+    let r = run_single_shard(&w, &p, cfg);
+    assert!(r.counts.retried > 0, "tiny queue must force retries");
+    assert!(
+        r.counts.shed() > 0,
+        "a persistently full queue must exhaust some events' attempts"
+    );
+    assert_eq!(r.counts.degraded(), 0, "backpressure never degrades");
+    assert_task_accounting(&r, "backpressure run");
+}
+
+#[test]
+fn serve_overload_and_crash_telemetry_reconcile() {
+    let seed = 7;
+    let w = tiny_workload(seed);
+    let p = quick_predictors(&w, seed);
+    let degrade = ShardConfig {
+        overload: OverloadPolicy::DegradeToFallback,
+        ..shard_cfg(true, 4)
+    };
+    let backpressure = ShardConfig {
+        overload: OverloadPolicy::Backpressure { retry_limit: 2 },
+        faults: Some(FaultConfig {
+            shard_crash: 0.2,
+            seed: seed ^ 0x51AB,
+            ..FaultConfig::none()
+        }),
+        ..shard_cfg(true, 4)
+    };
+    let shards = vec![
+        Shard::new("s0", w.clone(), Some(p.clone()), degrade).unwrap(),
+        Shard::new("s1", w, Some(p), backpressure).unwrap(),
+    ];
+    let host = ServeHost::new(shards, HostConfig::default());
+    let (obs, _mem) = Obs::in_memory();
+    let report = host.run(&obs);
+    let snap = obs.snapshot();
+    let get = |name: &str| snap.counters.get(name).copied().unwrap_or(0);
+    let degraded: usize = report.shards.iter().map(|r| r.counts.degraded()).sum();
+    let retried: usize = report.shards.iter().map(|r| r.counts.retried).sum();
+    let crashes: u64 = report.shards.iter().map(|r| r.crashes).sum();
+    assert_eq!(get("serve.overload.degraded"), degraded as u64);
+    assert_eq!(get("serve.overload.retried"), retried as u64);
+    assert_eq!(get("serve.crash.restore"), crashes);
+    assert!(crashes > 0, "the crash drill shard must have crashed");
+    assert!(degraded > 0 && retried > 0, "both policies must have fired");
 }
 
 #[test]

@@ -10,6 +10,9 @@ cd "$(dirname "$0")/.."
 echo "== cargo fmt --check"
 cargo fmt --all -- --check
 
+echo "== cargo clippy serve+platform (deny warnings, crash-safety surfaces first)"
+cargo clippy -p tamp-serve -p tamp-platform --all-targets --offline -- -D warnings
+
 echo "== cargo clippy (deny warnings)"
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
@@ -78,6 +81,28 @@ if ! diff <(grep -iE '^(tasks|completed|rejected|avg)' "$SMOKE_DIR/serve.txt") \
     echo "FAIL: serve host diverged from the one-shot engine" >&2
     exit 1
 fi
+
+echo "== serve crash drill (kill/restore one shard must change nothing)"
+# Re-run the same 2-shard serve, but kill shard 1 after 40 windows and
+# restore it through the JSON snapshot path (--crash-shard/--crash-window),
+# with periodic snapshots enabled. The deterministic result lines must be
+# byte-identical to the uninterrupted serve run above.
+cargo run --release -p tamp-cli --offline -q -- serve \
+    --shards 2 --kind porto --scale tiny --seed 7 --algo ppi \
+    --crash-shard 1 --crash-window 40 \
+    --snapshot-every 20 --snapshot-dir "$SMOKE_DIR/snaps" \
+    >"$SMOKE_DIR/serve.crash.txt"
+if ! diff <(grep -iE '^(tasks|completed|rejected|avg)' "$SMOKE_DIR/serve.txt") \
+          <(grep -iE '^(tasks|completed|rejected|avg)' "$SMOKE_DIR/serve.crash.txt"); then
+    echo "FAIL: crash/restore changed the serve outcome" >&2
+    exit 1
+fi
+for i in 0 1; do
+    if ! test -s "$SMOKE_DIR/snaps/shard$i.snapshot.json"; then
+        echo "FAIL: missing snapshot for shard$i" >&2
+        exit 1
+    fi
+done
 
 echo "== rustdoc (deny warnings)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --offline --no-deps -q
