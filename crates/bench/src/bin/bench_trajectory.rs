@@ -1,0 +1,395 @@
+//! Accumulates a machine-normalized performance trajectory across the
+//! repo's committed measurement records, so perf regressions show up as
+//! a *trend break* instead of a single noisy number.
+//!
+//! Each invocation reads the headline numbers out of
+//! `results/serve_latency.json`, `results/train_speed.json`,
+//! `results/ppi_index.json`, and `results/obs_overhead.json`, measures
+//! a calibration constant (ns per iteration of a fixed integer spin
+//! loop, median of 5), and appends one entry to
+//! `results/bench_trajectory.json`:
+//!
+//! ```json
+//! { "schema": 1,
+//!   "entries": [ { "seq": 1, "calibration_ns_per_op": 0.32,
+//!                  "metrics": { "serve.p99_ms.max_rate.shed": 1.94, ... } } ] }
+//! ```
+//!
+//! Time-valued metrics are compared across entries after dividing by
+//! each entry's calibration constant, which cancels raw machine speed;
+//! ratio- and percent-valued metrics compare directly.
+//!
+//! `--check` (the ci.sh gate) re-reads the current results files and
+//! verifies them against the trajectory's last entry — and every
+//! consecutive entry pair against each other — at tolerance
+//! `TAMP_TRAJ_TOL` (default 2.5×). Exits nonzero on a regression.
+//!
+//! Environment: `TAMP_OUT` (default `results/`), `TAMP_TRAJ_TOL`.
+
+use std::time::Instant;
+use tamp_bench::out_dir;
+
+/// How a metric is compared between two trajectory points.
+#[derive(Clone, Copy)]
+enum Kind {
+    /// Wall-clock value: lower is better, normalized by calibration.
+    Time,
+    /// Speedup-style ratio: higher is better, compared directly.
+    Ratio,
+    /// Bounded percentage: lower is better, compared directly.
+    Pct,
+}
+
+struct Metric {
+    name: &'static str,
+    value: f64,
+}
+
+fn read_json(name: &str) -> Option<serde_json::Value> {
+    let path = out_dir().join(name);
+    let text = std::fs::read_to_string(&path)
+        .map_err(|e| eprintln!("note: {}: {e} — its metrics are skipped", path.display()))
+        .ok()?;
+    serde_json::from_str(&text)
+        .map_err(|e| eprintln!("note: {}: {e} — its metrics are skipped", path.display()))
+        .ok()
+}
+
+/// Pulls the headline numbers out of the committed measurement records.
+/// Missing files drop their metrics with a note — the trajectory tracks
+/// whatever is present, it never fabricates.
+fn gather_metrics() -> Vec<Metric> {
+    let mut out = Vec::new();
+    if let Some(doc) = read_json("serve_latency.json") {
+        let rows = doc
+            .get("policies")
+            .or_else(|| doc.get("rates"))
+            .and_then(|v| v.as_array())
+            .cloned()
+            .unwrap_or_default();
+        let max_rate = rows
+            .iter()
+            .filter_map(|r| r.get("rate").and_then(serde_json::Value::as_u64))
+            .max();
+        if let Some(rate) = max_rate {
+            for row in rows.iter().filter(|r| {
+                r.get("rate").and_then(serde_json::Value::as_u64) == Some(rate)
+                    && r.get("policy").and_then(serde_json::Value::as_str) == Some("shed")
+            }) {
+                for (field, name) in [
+                    ("batch_p50_ms", "serve.p50_ms.max_rate.shed"),
+                    ("batch_p99_ms", "serve.p99_ms.max_rate.shed"),
+                ] {
+                    if let Some(v) = row.get(field).and_then(serde_json::Value::as_f64) {
+                        out.push(Metric { name, value: v });
+                    }
+                }
+                if let Some(v) = row
+                    .get("cache_hit_rate")
+                    .and_then(serde_json::Value::as_f64)
+                {
+                    out.push(Metric {
+                        name: "serve.cache_hit_rate.max_rate.shed",
+                        value: v,
+                    });
+                }
+            }
+        }
+    }
+    if let Some(doc) = read_json("train_speed.json") {
+        if let Some(v) = doc
+            .get("median_seconds")
+            .and_then(|m| m.get("fused_serial"))
+            .and_then(serde_json::Value::as_f64)
+        {
+            out.push(Metric {
+                name: "train.fused_serial_s",
+                value: v,
+            });
+        }
+        if let Some(v) = doc
+            .get("speedup")
+            .and_then(|m| m.get("end_to_end"))
+            .and_then(serde_json::Value::as_f64)
+        {
+            out.push(Metric {
+                name: "train.speedup.end_to_end",
+                value: v,
+            });
+        }
+    }
+    if let Some(doc) = read_json("ppi_index.json") {
+        let rows = doc
+            .get("rows")
+            .and_then(|v| v.as_array())
+            .cloned()
+            .unwrap_or_default();
+        let biggest = rows
+            .iter()
+            .filter(|r| r.get("algo").and_then(serde_json::Value::as_str) == Some("ppi"))
+            .max_by_key(|r| {
+                r.get("n_tasks")
+                    .and_then(serde_json::Value::as_u64)
+                    .unwrap_or(0)
+            });
+        if let Some(row) = biggest {
+            if let Some(v) = row.get("indexed_ms").and_then(serde_json::Value::as_f64) {
+                out.push(Metric {
+                    name: "ppi.indexed_ms.largest",
+                    value: v,
+                });
+            }
+            if let Some(v) = row.get("speedup").and_then(serde_json::Value::as_f64) {
+                out.push(Metric {
+                    name: "ppi.index_speedup.largest",
+                    value: v,
+                });
+            }
+        }
+    }
+    if let Some(doc) = read_json("obs_overhead.json") {
+        let rows = doc
+            .get("rows")
+            .and_then(|v| v.as_array())
+            .cloned()
+            .unwrap_or_default();
+        for row in &rows {
+            let path = row
+                .get("path")
+                .and_then(serde_json::Value::as_str)
+                .unwrap_or("engine");
+            if let Some(v) = row
+                .get("overhead_bound_pct")
+                .and_then(serde_json::Value::as_f64)
+            {
+                out.push(Metric {
+                    name: match path {
+                        "serve" => "obs.overhead_bound_pct.serve",
+                        _ => "obs.overhead_bound_pct.engine",
+                    },
+                    value: v,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// ns per iteration of a fixed xorshift spin loop, median of 5 runs —
+/// a dimensionless stand-in for single-core speed that needs no
+/// dependencies and finishes in well under a second.
+fn calibrate() -> f64 {
+    const ITERS: u64 = 20_000_000;
+    let mut samples: Vec<f64> = (0..5)
+        .map(|rep| {
+            let mut x = 0x9E3779B97F4A7C15u64 ^ rep;
+            let t0 = Instant::now();
+            for _ in 0..ITERS {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+            }
+            let ns = t0.elapsed().as_secs_f64() * 1e9 / ITERS as f64;
+            // The fold below keeps the loop observable without I/O.
+            std::hint::black_box(x);
+            ns
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+fn metric_kind(name: &str) -> Kind {
+    // Historical entries only store values, so the name must encode
+    // enough to re-derive the comparison direction.
+    if name.contains("_ms") || name.ends_with("_s") {
+        Kind::Time
+    } else if name.contains("pct") {
+        Kind::Pct
+    } else {
+        Kind::Ratio
+    }
+}
+
+/// One trajectory point: calibration constant + flat metric map.
+struct Entry {
+    seq: u64,
+    calibration_ns_per_op: f64,
+    metrics: Vec<(String, f64)>,
+}
+
+fn load_trajectory(path: &std::path::Path) -> Result<Vec<Entry>, String> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(format!("read {}: {e}", path.display())),
+    };
+    let doc: serde_json::Value =
+        serde_json::from_str(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+    let entries = doc
+        .get("entries")
+        .and_then(|v| v.as_array())
+        .ok_or_else(|| format!("{}: no entries array", path.display()))?;
+    entries
+        .iter()
+        .map(|e| {
+            let seq = e
+                .get("seq")
+                .and_then(serde_json::Value::as_u64)
+                .ok_or("entry without seq")?;
+            let calibration_ns_per_op = e
+                .get("calibration_ns_per_op")
+                .and_then(serde_json::Value::as_f64)
+                .ok_or("entry without calibration_ns_per_op")?;
+            let metrics = e
+                .get("metrics")
+                .and_then(|v| v.as_object())
+                .ok_or("entry without metrics")?
+                .iter()
+                .filter_map(|(k, v)| v.as_f64().map(|f| (k.clone(), f)))
+                .collect();
+            Ok(Entry {
+                seq,
+                calibration_ns_per_op,
+                metrics,
+            })
+        })
+        .collect::<Result<Vec<_>, &str>>()
+        .map_err(|e| format!("{}: {e}", path.display()))
+}
+
+fn save_trajectory(path: &std::path::Path, entries: &[Entry]) {
+    let json_entries: Vec<serde_json::Value> = entries
+        .iter()
+        .map(|e| {
+            let metrics: serde_json::Map<String, serde_json::Value> = e
+                .metrics
+                .iter()
+                .map(|(k, v)| (k.clone(), serde_json::json!(v)))
+                .collect();
+            serde_json::json!({
+                "seq": e.seq,
+                "calibration_ns_per_op": e.calibration_ns_per_op,
+                "metrics": metrics,
+            })
+        })
+        .collect();
+    let doc = serde_json::json!({ "schema": 1, "entries": json_entries });
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir).expect("create results dir");
+    }
+    std::fs::write(
+        path,
+        serde_json::to_string_pretty(&doc).expect("serialize") + "\n",
+    )
+    .expect("write trajectory");
+}
+
+/// Compares `cur` against `base` at tolerance; returns a violation
+/// description when `cur` regressed. Time metrics normalize by each
+/// side's calibration; ratio/pct metrics compare raw.
+fn compare(base: &Entry, cur: &Entry, tol: f64) -> Vec<String> {
+    let mut bad = Vec::new();
+    for (name, cur_v) in &cur.metrics {
+        let Some((_, base_v)) = base.metrics.iter().find(|(n, _)| n == name) else {
+            continue; // new metric: nothing to regress against
+        };
+        let kind = metric_kind(name);
+        let (b, c) = match kind {
+            Kind::Time => (
+                base_v / base.calibration_ns_per_op,
+                cur_v / cur.calibration_ns_per_op,
+            ),
+            _ => (*base_v, *cur_v),
+        };
+        let regressed = match kind {
+            Kind::Time | Kind::Pct => c > b * tol && c - b > 1e-9,
+            Kind::Ratio => c < b / tol && b - c > 1e-9,
+        };
+        if regressed {
+            bad.push(format!(
+                "{name}: entry {} -> {}: {b:.4} -> {c:.4} (normalized, tolerance {tol}x)",
+                base.seq, cur.seq
+            ));
+        }
+    }
+    bad
+}
+
+fn main() {
+    let check = std::env::args().any(|a| a == "--check");
+    let tol = std::env::var("TAMP_TRAJ_TOL")
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .filter(|t| *t >= 1.0)
+        .unwrap_or(2.5);
+    let path = out_dir().join("bench_trajectory.json");
+    let entries = match load_trajectory(&path) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    };
+    let metrics = gather_metrics();
+    if metrics.is_empty() {
+        eprintln!("error: no results files to read — run the diag bins first");
+        std::process::exit(1);
+    }
+    let cal = calibrate();
+    let current = Entry {
+        seq: entries.last().map_or(1, |e| e.seq + 1),
+        calibration_ns_per_op: cal,
+        metrics: metrics
+            .iter()
+            .map(|m| (m.name.to_string(), m.value))
+            .collect(),
+    };
+    println!(
+        "calibration: {cal:.3} ns/op; {} metric(s) from results/",
+        current.metrics.len()
+    );
+    for m in &metrics {
+        println!("  {:<36} {:>12.4}", m.name, m.value);
+    }
+
+    if check {
+        let mut bad = Vec::new();
+        for pair in entries.windows(2) {
+            bad.extend(compare(&pair[0], &pair[1], tol));
+        }
+        match entries.last() {
+            Some(last) => {
+                // The current files were produced alongside the last
+                // committed entry, so they share its calibration.
+                let cur = Entry {
+                    calibration_ns_per_op: last.calibration_ns_per_op,
+                    ..current
+                };
+                bad.extend(compare(last, &cur, tol));
+            }
+            None => {
+                eprintln!("error: --check needs a committed trajectory baseline");
+                std::process::exit(1);
+            }
+        }
+        if bad.is_empty() {
+            println!(
+                "trajectory OK: {} entr{} within {tol}x",
+                entries.len(),
+                if entries.len() == 1 { "y" } else { "ies" }
+            );
+        } else {
+            for b in &bad {
+                eprintln!("REGRESSION: {b}");
+            }
+            std::process::exit(1);
+        }
+    } else {
+        let mut entries = entries;
+        let seq = current.seq;
+        entries.push(current);
+        save_trajectory(&path, &entries);
+        println!("appended entry {seq} to {}", path.display());
+    }
+}

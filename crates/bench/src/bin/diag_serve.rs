@@ -170,6 +170,7 @@ fn main() {
                     faults: None,
                     queue_capacity: queue_cap,
                     overload: policy,
+                    perturb_step_sleep_ms: 0.0,
                 };
                 shards.push(
                     Shard::new(
@@ -187,8 +188,7 @@ fn main() {
                 HostConfig {
                     threads,
                     pacing: Pacing::FullSpeed,
-                    snapshot_every: None,
-                    snapshot_dir: None,
+                    ..HostConfig::default()
                 },
             );
             let t0 = Instant::now();

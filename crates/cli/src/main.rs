@@ -23,14 +23,23 @@
 mod args;
 
 use args::Args;
+use std::collections::BTreeMap;
 use std::path::Path;
 use std::process::ExitCode;
-use tamp_obs::{Event, EventKind, JsonlRecorder, NullRecorder, Obs, TelemetrySnapshot};
+use std::sync::Arc;
+use tamp_obs::{
+    Event, EventKind, JsonlRecorder, LiveView, NullRecorder, Obs, SamplingRecorder, ScopeCell,
+    SloEngine, SloKind, SloOutcome, SloSet, SloSpec, TelemetrySnapshot, WindowSnapshot,
+    WindowedRegistry, SAMPLED_SPAN_PREFIX,
+};
 use tamp_platform::{
     run_assignment_observed, train_predictors_observed, AssignmentAlgo, AssignmentMetrics,
     EngineConfig, LossKind, PredictionAlgo, TrainingConfig,
 };
-use tamp_serve::{HostConfig, OverloadPolicy, Pacing, ServeHost, Shard, ShardConfig};
+use tamp_serve::{
+    http_get, HostConfig, MetricsServer, OverloadPolicy, Pacing, ServeHost, ServeReport, Shard,
+    ShardConfig,
+};
 use tamp_sim::{Scale, Workload, WorkloadConfig, WorkloadKind};
 
 const HELP: &str = "\
@@ -57,10 +66,25 @@ USAGE:
                     [--snapshot-every N --snapshot-dir DIR]  (crash-safety snapshots)
                     [--crash-shard I --crash-window W]  (drill: kill+restore shard I
                                       after W windows; results must be identical)
+                    [--metrics-addr HOST:PORT]  (live exporter: GET /metrics
+                                      Prometheus text, GET /metrics.json JSON)
+                    [--windows-log FILE]  (append one JSON line per sealed window)
+                    [--slo FILE]     (evaluate a TOML/JSON SLO spec live; verdicts
+                                      land in the report and slo.violation counters)
+                    [--report FILE]  (write the full ServeReport as JSON)
+                    [--trace-sample-head N]  (keep the first N trace events per
+                                      name+kind; exact-count corrections at flush)
+                    [--perturb-sleep-ms MS]  (seeded latency regression drill)
                     [--no-index] [--loss task|mse] [--json] [--trace FILE]
                     [--metrics FILE] [--train-threads N]
                     (shard i uses seed SEED+i; see docs/serving.md)
-  tamp-cli trace-validate --trace FILE [--metrics FILE]
+  tamp-cli metrics  --addr HOST:PORT [--json]   (one-shot fleet table from a
+                                      running exporter's /metrics.json)
+  tamp-cli slo-check --spec FILE [--windows FILE] [--metrics FILE] [--trace FILE]
+                    [--serve-latency FILE]   (offline SLO evaluation; exits
+                                      nonzero when any objective is breached)
+  tamp-cli trace-validate --trace FILE [--metrics FILE] [--windows FILE]
+                    [--serve-report FILE]
   tamp-cli help
 ";
 
@@ -73,7 +97,7 @@ fn main() -> ExitCode {
         }
     };
     // Surface obvious typos: every command shares one option vocabulary.
-    const KNOWN: [&str; 24] = [
+    const KNOWN: [&str; 35] = [
         "out",
         "workload",
         "kind",
@@ -98,6 +122,17 @@ fn main() -> ExitCode {
         "snapshot-dir",
         "crash-shard",
         "crash-window",
+        "metrics-addr",
+        "windows-log",
+        "slo",
+        "report",
+        "trace-sample-head",
+        "perturb-sleep-ms",
+        "addr",
+        "spec",
+        "windows",
+        "serve-report",
+        "serve-latency",
     ];
     for name in args.option_names() {
         if !KNOWN.contains(&name) {
@@ -109,6 +144,8 @@ fn main() -> ExitCode {
         Some("simulate") => cmd_simulate(&args),
         Some("predict") => cmd_predict(&args),
         Some("serve") => cmd_serve(&args),
+        Some("metrics") => cmd_metrics(&args),
+        Some("slo-check") => cmd_slo_check(&args),
         Some("trace-validate") => cmd_trace_validate(&args),
         Some("help") | None => {
             println!("{HELP}");
@@ -200,12 +237,19 @@ fn training_config(args: &Args) -> Result<TrainingConfig, String> {
 /// `--trace FILE` streams JSONL events; `--metrics FILE` only needs the
 /// in-process registry, so without a trace path the recorder is a
 /// [`NullRecorder`]. Neither flag → a disabled handle (zero overhead).
+/// `--trace-sample-head N` wraps the trace recorder in per-name head
+/// sampling; dropped spans surface as `obs.sampled.*` correction
+/// counters so `trace-validate` can still reconcile exactly.
 fn make_obs(args: &Args) -> Result<Obs, String> {
+    let head = args.get_parsed::<u64>("trace-sample-head")?;
     match args.get("trace") {
         Some(path) => {
             let rec = JsonlRecorder::create(Path::new(path))
                 .map_err(|e| format!("create trace {path}: {e}"))?;
-            Ok(Obs::new(rec))
+            Ok(match head {
+                Some(n) => Obs::new(SamplingRecorder::new(rec, n)),
+                None => Obs::new(rec),
+            })
         }
         None if args.get("metrics").is_some() => Ok(Obs::new(NullRecorder)),
         None => Ok(Obs::null()),
@@ -346,6 +390,22 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     if crash_shard.is_some() != crash_window.is_some() {
         return Err("--crash-shard and --crash-window must be given together".into());
     }
+    let slo_set = match args.get("slo") {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+            Some(SloSet::parse(&text).map_err(|e| format!("{path}: {e}"))?)
+        }
+        None => None,
+    };
+    let perturb_ms = args.get_parsed::<f64>("perturb-sleep-ms")?.unwrap_or(0.0);
+    let window_log = args.get("windows-log").map(std::path::PathBuf::from);
+    let metrics_addr = args.get("metrics-addr");
+    // The windowed registry backs the exporter, the window log, and the
+    // live SLO engine alike; retain enough sealed windows for the widest
+    // SLO window, with a floor that keeps ad-hoc scrapes informative.
+    let retain = slo_set.as_ref().map_or(0, SloSet::max_window).max(16);
+    let live = (slo_set.is_some() || window_log.is_some() || metrics_addr.is_some())
+        .then(|| Arc::new(WindowedRegistry::new(retain)));
     let obs = make_obs(args)?;
     let needs_predictors = !matches!(algo, AssignmentAlgo::Ub | AssignmentAlgo::Lb);
 
@@ -382,6 +442,7 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
             faults: None,
             queue_capacity,
             overload,
+            perturb_step_sleep_ms: perturb_ms,
         };
         let shard = Shard::new(format!("shard{i}"), workload, predictors, cfg)
             .map_err(|e| e.to_string())?;
@@ -395,8 +456,33 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
             pacing: Pacing::FullSpeed,
             snapshot_every,
             snapshot_dir,
+            live: live.clone(),
+            window_log,
+            slo: slo_set,
         },
     );
+    let _exporter = match metrics_addr {
+        Some(addr) => {
+            let src_obs = obs.clone();
+            let src_live = live.clone();
+            let server = MetricsServer::bind(
+                addr,
+                Arc::new(move || {
+                    (
+                        src_obs.snapshot(),
+                        src_live.as_ref().map(|l| l.view(retain)),
+                    )
+                }),
+            )
+            .map_err(|e| format!("bind {addr}: {e}"))?;
+            eprintln!(
+                "metrics exporter listening on http://{}/metrics",
+                server.local_addr()
+            );
+            Some(server)
+        }
+        None => None,
+    };
     if let (Some(si), Some(w)) = (crash_shard, crash_window) {
         if si >= n_shards {
             return Err(format!("--crash-shard {si}: only {n_shards} shards"));
@@ -407,6 +493,12 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     }
     let report = host.run(&obs);
     finish_obs(args, &obs)?;
+    if let Some(path) = args.get("report") {
+        let json =
+            serde_json::to_string_pretty(&report).map_err(|e| format!("serialize report: {e}"))?;
+        std::fs::write(path, json).map_err(|e| format!("write {path}: {e}"))?;
+        eprintln!("wrote serve report to {path}");
+    }
 
     if args.flag("json") {
         let shards: Vec<serde_json::Value> = report
@@ -442,6 +534,7 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
                 "algorithm": format!("{algo:?}"),
                 "windows": report.windows,
                 "shards": shards,
+                "slos": &report.slos,
             })
         );
     } else {
@@ -469,6 +562,24 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
                 r.cache_hit_rate(),
                 r.cache.invalidations
             );
+        }
+        if !report.slos.is_empty() {
+            println!("-- SLOs");
+            for s in &report.slos {
+                println!(
+                    "{:<16} : {} — {} max {:.3}, {}/{} violations (burn {:.2}, allowed {:.2}), \
+                     worst {:.3}",
+                    s.name,
+                    if s.breached { "BREACHED" } else { "ok" },
+                    s.metric,
+                    s.max,
+                    s.violations,
+                    s.evaluated,
+                    s.burn_rate,
+                    s.max_burn_rate,
+                    s.worst
+                );
+            }
         }
     }
     Ok(())
@@ -510,12 +621,316 @@ fn cmd_predict(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// One-shot fleet table scraped from a running `serve --metrics-addr`
+/// exporter's `/metrics.json` endpoint. `--json` passes the raw
+/// payload through instead.
+fn cmd_metrics(args: &Args) -> Result<(), String> {
+    let addr = args.get("addr").ok_or("metrics needs --addr HOST:PORT")?;
+    let body = http_get(addr, "/metrics.json").map_err(|e| format!("scrape {addr}: {e}"))?;
+    if args.flag("json") {
+        println!("{body}");
+        return Ok(());
+    }
+    let doc = tamp_obs::json::parse(&body).map_err(|e| format!("{addr}: bad payload: {e}"))?;
+    let live = match doc.get("live") {
+        None | Some(tamp_obs::json::JsonValue::Null) => None,
+        Some(v) => Some(LiveView::from_json_value(v).map_err(|e| format!("{addr}: {e}"))?),
+    };
+    let Some(view) = live else {
+        println!("no live windowed metrics (serve is running without a windowed registry)");
+        return Ok(());
+    };
+    match view.latest {
+        Some(w) => println!("window {w} ({} trailing merged)", view.windows_merged),
+        None => println!("no window sealed yet"),
+    }
+    println!(
+        "{:<12} {:>10} {:>8} {:>8} {:>9} {:>9} {:>9} {:>7}",
+        "scope", "submitted", "shed", "degraded", "p50 ms", "p95 ms", "p99 ms", "queue"
+    );
+    for (scope, cell) in &view.scopes {
+        print_metrics_row(scope, cell);
+    }
+    print_metrics_row("fleet", &view.fleet);
+    Ok(())
+}
+
+/// One `tamp metrics` table row (the fleet row sums every scope's
+/// gauges, so its queue column is the fleet-wide depth).
+fn print_metrics_row(scope: &str, cell: &ScopeCell) {
+    let c = |n: &str| cell.counters.get(n).copied().unwrap_or(0);
+    let (p50, p95, p99) = cell
+        .histograms
+        .get("serve.step.latency_ms")
+        .map(|h| (h.quantile(0.5), h.quantile(0.95), h.quantile(0.99)))
+        .unwrap_or((0.0, 0.0, 0.0));
+    let queue = cell.gauges.get("serve.queue.depth").copied().unwrap_or(0.0);
+    println!(
+        "{scope:<12} {:>10} {:>8} {:>8} {p50:>9.3} {p95:>9.3} {p99:>9.3} {queue:>7.0}",
+        c("serve.submitted"),
+        c("serve.shed"),
+        c("serve.overload.degraded"),
+    );
+}
+
+/// A one-shot outcome for offline sources that reduce each spec to a
+/// single value (metrics snapshots, traces, sweep rows): one
+/// evaluation, burn rate 0 or 1.
+fn single_outcome(spec: &SloSpec, value: f64) -> SloOutcome {
+    let violated = value > spec.max;
+    let burn_rate = if violated { 1.0 } else { 0.0 };
+    SloOutcome {
+        name: spec.name.clone(),
+        metric: spec.metric.clone(),
+        max: spec.max,
+        evaluated: 1,
+        violations: violated as u64,
+        burn_rate,
+        max_burn_rate: spec.max_burn_rate,
+        breached: violated && burn_rate > spec.max_burn_rate,
+        last: value,
+        worst: value,
+    }
+}
+
+/// Replays a `--windows-log` JSONL file through a fresh [`SloEngine`] —
+/// the exact evaluation the live host ran, reproduced offline.
+fn slo_check_windows(set: &SloSet, path: &str) -> Result<Vec<SloOutcome>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    // Same retention rule as `serve`, so replayed verdicts match live.
+    let reg = WindowedRegistry::new(set.max_window().max(16));
+    let mut engine = SloEngine::new(set.clone());
+    let mut sealed = 0usize;
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let snap =
+            WindowSnapshot::from_json(line).map_err(|e| format!("{path}:{}: {e}", lineno + 1))?;
+        reg.push_sealed(snap);
+        engine.evaluate(&reg);
+        sealed += 1;
+    }
+    if sealed == 0 {
+        return Err(format!("{path}: no sealed windows"));
+    }
+    Ok(engine.outcomes())
+}
+
+/// Evaluates quantile specs against a cumulative `--metrics` snapshot
+/// (whole-run quantiles; rate specs need per-window data and are
+/// skipped with a note).
+fn slo_check_metrics(set: &SloSet, path: &str) -> Result<Vec<SloOutcome>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let snap = TelemetrySnapshot::from_json(&text).map_err(|e| format!("{path}: {e}"))?;
+    let mut out = Vec::new();
+    for spec in &set.slos {
+        match spec.kind {
+            SloKind::Quantile(q) => match snap.histograms.get(&spec.metric) {
+                Some(h) => out.push(single_outcome(spec, h.nearest_quantile(q))),
+                None => eprintln!(
+                    "note: {path}: no histogram {} — objective {} skipped",
+                    spec.metric, spec.name
+                ),
+            },
+            SloKind::Rate => eprintln!(
+                "note: rate objective {} needs per-window data — skipped for {path}",
+                spec.name
+            ),
+        }
+    }
+    Ok(out)
+}
+
+/// Evaluates quantile specs with a `trace_span` against a JSONL trace:
+/// the span's `dur_us` durations (in ms) replace the windowed metric,
+/// with an exact sorted quantile.
+fn slo_check_trace(set: &SloSet, path: &str) -> Result<Vec<SloOutcome>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let wanted: std::collections::BTreeSet<&str> = set
+        .slos
+        .iter()
+        .filter_map(|s| s.trace_span.as_deref())
+        .collect();
+    let mut durs: BTreeMap<String, Vec<f64>> = BTreeMap::new();
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let ev = Event::from_json_line(line).map_err(|e| format!("{path}:{}: {e}", lineno + 1))?;
+        if matches!(ev.kind, EventKind::Span) && wanted.contains(ev.name.as_str()) {
+            if let Some(span) = &ev.span {
+                durs.entry(ev.name.clone())
+                    .or_default()
+                    .push(span.dur_us as f64 / 1e3);
+            }
+        }
+    }
+    let mut out = Vec::new();
+    for spec in &set.slos {
+        let Some(span_name) = &spec.trace_span else {
+            eprintln!(
+                "note: objective {} has no trace_span — skipped for {path}",
+                spec.name
+            );
+            continue;
+        };
+        let SloKind::Quantile(q) = spec.kind else {
+            eprintln!(
+                "note: rate objective {} cannot be read from a trace — skipped",
+                spec.name
+            );
+            continue;
+        };
+        match durs.get_mut(span_name) {
+            Some(v) if !v.is_empty() => {
+                v.sort_by(f64::total_cmp);
+                let idx = ((q * v.len() as f64).ceil() as usize).clamp(1, v.len()) - 1;
+                out.push(single_outcome(spec, v[idx]));
+            }
+            _ => eprintln!(
+                "note: {path}: no {span_name} spans — objective {} skipped",
+                spec.name
+            ),
+        }
+    }
+    Ok(out)
+}
+
+/// Evaluates step-latency quantile specs against a committed
+/// `diag_serve` sweep (`results/serve_latency.json`): every policy's
+/// row at the highest swept rate, using the sweep's frozen
+/// p50/p95/p99 fields.
+fn slo_check_serve_latency(set: &SloSet, path: &str) -> Result<Vec<SloOutcome>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let doc: serde_json::Value = serde_json::from_str(&text).map_err(|e| format!("{path}: {e}"))?;
+    let rows = doc
+        .get("policies")
+        .or_else(|| doc.get("rates"))
+        .and_then(|v| v.as_array())
+        .ok_or_else(|| format!("{path}: no policies/rates array"))?;
+    let max_rate = rows
+        .iter()
+        .filter_map(|r| r.get("rate").and_then(serde_json::Value::as_u64))
+        .max()
+        .ok_or_else(|| format!("{path}: rows carry no rate field"))?;
+    let mut out = Vec::new();
+    for spec in &set.slos {
+        let SloKind::Quantile(q) = spec.kind else {
+            eprintln!(
+                "note: rate objective {} cannot be read from a sweep — skipped",
+                spec.name
+            );
+            continue;
+        };
+        if spec.metric != "serve.step.latency_ms" {
+            eprintln!(
+                "note: sweep rows only carry step latency — objective {} skipped",
+                spec.name
+            );
+            continue;
+        }
+        let field = if q >= 0.99 {
+            "batch_p99_ms"
+        } else if q >= 0.95 {
+            "batch_p95_ms"
+        } else {
+            "batch_p50_ms"
+        };
+        for row in rows
+            .iter()
+            .filter(|r| r.get("rate").and_then(serde_json::Value::as_u64) == Some(max_rate))
+        {
+            let value = row
+                .get(field)
+                .and_then(serde_json::Value::as_f64)
+                .ok_or_else(|| format!("{path}: sweep row missing {field}"))?;
+            let policy = row
+                .get("policy")
+                .and_then(serde_json::Value::as_str)
+                .unwrap_or("shed");
+            let mut o = single_outcome(spec, value);
+            o.name = format!("{}@{policy}x{max_rate}", spec.name);
+            out.push(o);
+        }
+    }
+    Ok(out)
+}
+
+/// Offline SLO evaluation over any combination of recorded sources;
+/// exits nonzero when any objective is breached anywhere — the ci.sh
+/// latency gate.
+fn cmd_slo_check(args: &Args) -> Result<(), String> {
+    let spec_path = args.get("spec").ok_or("slo-check needs --spec FILE")?;
+    let text = std::fs::read_to_string(spec_path).map_err(|e| format!("read {spec_path}: {e}"))?;
+    let set = SloSet::parse(&text).map_err(|e| format!("{spec_path}: {e}"))?;
+
+    let mut rows: Vec<(&str, SloOutcome)> = Vec::new();
+    if let Some(p) = args.get("windows") {
+        rows.extend(
+            slo_check_windows(&set, p)?
+                .into_iter()
+                .map(|o| ("windows", o)),
+        );
+    }
+    if let Some(p) = args.get("metrics") {
+        rows.extend(
+            slo_check_metrics(&set, p)?
+                .into_iter()
+                .map(|o| ("metrics", o)),
+        );
+    }
+    if let Some(p) = args.get("trace") {
+        rows.extend(slo_check_trace(&set, p)?.into_iter().map(|o| ("trace", o)));
+    }
+    if let Some(p) = args.get("serve-latency") {
+        rows.extend(
+            slo_check_serve_latency(&set, p)?
+                .into_iter()
+                .map(|o| ("serve-latency", o)),
+        );
+    }
+    if rows.is_empty() {
+        return Err(
+            "slo-check evaluated nothing: pass at least one of --windows/--metrics/--trace/\
+             --serve-latency with data the spec can judge"
+                .into(),
+        );
+    }
+    let mut breaches = 0usize;
+    for (source, o) in &rows {
+        println!(
+            "{source:<14} {:<24} : {} — {} max {:.3}, {}/{} violations (burn {:.2}, \
+             allowed {:.2}), worst {:.3}",
+            o.name,
+            if o.breached { "BREACHED" } else { "ok" },
+            o.metric,
+            o.max,
+            o.violations,
+            o.evaluated,
+            o.burn_rate,
+            o.max_burn_rate,
+            o.worst
+        );
+        breaches += usize::from(o.breached);
+    }
+    if breaches > 0 {
+        return Err(format!("{breaches} SLO objective(s) breached"));
+    }
+    println!("all SLOs within objectives ({} evaluation(s))", rows.len());
+    Ok(())
+}
+
 /// Validates a JSONL trace: every line must parse as an [`Event`], span
 /// ids must be unique, and every span parent must reference another span
 /// in the file. With `--metrics`, additionally reconciles the trace
 /// against the snapshot: per-name counter sums must match the snapshot's
-/// counters, and per-name span counts must match the snapshot's span
-/// histograms.
+/// counters, and per-name span counts — plus any `obs.sampled.*`
+/// head-sampling corrections — must match the snapshot's span
+/// histograms. With `--windows` (which needs `--metrics`), the window
+/// log's fleet totals are reconciled against the cumulative snapshot,
+/// and with `--serve-report` additionally against the per-shard
+/// `ServeReport` accounting.
 fn cmd_trace_validate(args: &Args) -> Result<(), String> {
     let path = args
         .get("trace")
@@ -553,23 +968,41 @@ fn cmd_trace_validate(args: &Args) -> Result<(), String> {
             EventKind::Gauge => n_gauges += 1,
         }
     }
-    for ev in &events {
-        if let Some(span) = &ev.span {
-            if let Some(parent) = span.parent {
-                if !span_ids.contains(&parent) {
-                    return Err(format!(
-                        "span {} ({}) references unknown parent {parent}",
-                        span.id, ev.name
-                    ));
+    // Head sampling keeps the first N spans *per name*, so a surviving
+    // child may legitimately reference a sampled-away parent; the
+    // structural check only holds for unsampled traces.
+    let head_sampled = counter_sums
+        .keys()
+        .any(|n| n.starts_with(SAMPLED_SPAN_PREFIX));
+    if !head_sampled {
+        for ev in &events {
+            if let Some(span) = &ev.span {
+                if let Some(parent) = span.parent {
+                    if !span_ids.contains(&parent) {
+                        return Err(format!(
+                            "span {} ({}) references unknown parent {parent}",
+                            span.id, ev.name
+                        ));
+                    }
                 }
             }
         }
     }
 
-    if let Some(mpath) = args.get("metrics") {
-        let mtext = std::fs::read_to_string(mpath).map_err(|e| format!("read {mpath}: {e}"))?;
-        let snap = TelemetrySnapshot::from_json(&mtext).map_err(|e| format!("{mpath}: {e}"))?;
+    let snapshot = match args.get("metrics") {
+        Some(mpath) => {
+            let mtext = std::fs::read_to_string(mpath).map_err(|e| format!("read {mpath}: {e}"))?;
+            Some(TelemetrySnapshot::from_json(&mtext).map_err(|e| format!("{mpath}: {e}"))?)
+        }
+        None => None,
+    };
+    if let Some(snap) = &snapshot {
         for (name, sum) in &counter_sums {
+            if name.starts_with(SAMPLED_SPAN_PREFIX) {
+                // Head-sampling corrections exist only in the trace; the
+                // in-process registry never sees them.
+                continue;
+            }
             let got = snap.counters.get(name).copied().unwrap_or(0);
             if got != *sum {
                 return Err(format!(
@@ -577,14 +1010,41 @@ fn cmd_trace_validate(args: &Args) -> Result<(), String> {
                 ));
             }
         }
-        for (name, n) in &span_counts {
+        // Union of span names seen live and names reconstructed from
+        // sampling corrections — a fully sampled-out span leaves only
+        // its `obs.sampled.<name>` counter behind.
+        let mut span_names: std::collections::BTreeSet<String> =
+            span_counts.keys().cloned().collect();
+        for name in counter_sums.keys() {
+            if let Some(stripped) = name.strip_prefix(SAMPLED_SPAN_PREFIX) {
+                span_names.insert(stripped.to_string());
+            }
+        }
+        for name in &span_names {
+            let in_trace = span_counts.get(name).copied().unwrap_or(0);
+            let corrected = counter_sums
+                .get(&format!("{SAMPLED_SPAN_PREFIX}{name}"))
+                .copied()
+                .unwrap_or(0);
             let got = snap.histograms.get(name).map_or(0, |h| h.count);
-            if got != *n {
+            if got != in_trace + corrected {
                 return Err(format!(
-                    "span {name}: {n} events in trace, {got} in snapshot histogram"
+                    "span {name}: {in_trace} events in trace + {corrected} sampled out, \
+                     {got} in snapshot histogram"
                 ));
             }
         }
+    }
+
+    if args.get("serve-report").is_some() && args.get("windows").is_none() {
+        return Err("--serve-report needs --windows".into());
+    }
+    if let Some(wpath) = args.get("windows") {
+        let snap = snapshot
+            .as_ref()
+            .ok_or("--windows needs --metrics to reconcile against")?;
+        let n_windows = validate_windows(args, wpath, snap)?;
+        println!("windows OK: {n_windows} sealed windows reconciled");
     }
 
     println!(
@@ -592,4 +1052,108 @@ fn cmd_trace_validate(args: &Args) -> Result<(), String> {
         events.len()
     );
     Ok(())
+}
+
+/// Reconciles a `--windows-log` JSONL file against the cumulative
+/// snapshot (every windowed counter and histogram must sum to its
+/// cumulative twin) and, with `--serve-report`, against the per-shard
+/// report accounting. Returns the number of sealed windows read.
+fn validate_windows(args: &Args, wpath: &str, snap: &TelemetrySnapshot) -> Result<usize, String> {
+    let wtext = std::fs::read_to_string(wpath).map_err(|e| format!("read {wpath}: {e}"))?;
+    let mut scopes: BTreeMap<String, ScopeCell> = BTreeMap::new();
+    let mut n_windows = 0usize;
+    for (lineno, line) in wtext.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let w =
+            WindowSnapshot::from_json(line).map_err(|e| format!("{wpath}:{}: {e}", lineno + 1))?;
+        for (scope, cell) in &w.scopes {
+            scopes
+                .entry(scope.clone())
+                .or_default()
+                .merge_later_window(cell);
+        }
+        n_windows += 1;
+    }
+    if n_windows == 0 {
+        return Err(format!("{wpath}: no sealed windows"));
+    }
+    let mut fleet = ScopeCell::default();
+    for cell in scopes.values() {
+        fleet.merge_scope(cell);
+    }
+    for (name, sum) in &fleet.counters {
+        let got = snap.counters.get(name).copied().unwrap_or(0);
+        if got != *sum {
+            return Err(format!(
+                "windowed counter {name}: window log sums to {sum}, snapshot says {got}"
+            ));
+        }
+    }
+    for (name, h) in &fleet.histograms {
+        let got = snap.histograms.get(name).map_or(0, |s| s.count);
+        if got != h.count() {
+            return Err(format!(
+                "windowed histogram {name}: {} observations in window log, {got} in snapshot",
+                h.count()
+            ));
+        }
+    }
+
+    if let Some(rpath) = args.get("serve-report") {
+        let rtext = std::fs::read_to_string(rpath).map_err(|e| format!("read {rpath}: {e}"))?;
+        let report: ServeReport =
+            serde_json::from_str(&rtext).map_err(|e| format!("{rpath}: {e}"))?;
+        for s in &report.shards {
+            let cell = scopes
+                .get(&s.name)
+                .ok_or_else(|| format!("{rpath}: shard {} absent from window log", s.name))?;
+            let counter = |n: &str| cell.counters.get(n).copied().unwrap_or(0);
+            let checks = [
+                (
+                    "serve.submitted",
+                    (s.counts.submitted_tasks + s.counts.submitted_reports) as u64,
+                ),
+                ("serve.overload.degraded", s.counts.degraded() as u64),
+                ("serve.overload.retried", s.counts.retried as u64),
+                ("serve.cache.hit", s.cache.hits),
+                ("serve.cache.miss", s.cache.misses),
+                ("serve.cache.invalidate", s.cache.invalidations),
+                ("serve.crash.restore", s.crashes),
+            ];
+            for (name, reported) in checks {
+                if counter(name) != reported {
+                    return Err(format!(
+                        "shard {}: {name}: window log sums to {}, report says {reported}",
+                        s.name,
+                        counter(name)
+                    ));
+                }
+            }
+            // Backpressure flushes still-queued retries into the shed
+            // count after the last emitted window, so the report may
+            // exceed the log here — never the other way round.
+            if counter("serve.shed") > s.counts.shed() as u64 {
+                return Err(format!(
+                    "shard {}: serve.shed: window log sums to {}, report says only {}",
+                    s.name,
+                    counter("serve.shed"),
+                    s.counts.shed()
+                ));
+            }
+            if s.counts.offered()
+                != s.counts.submitted_tasks
+                    + s.counts.submitted_reports
+                    + s.counts.shed()
+                    + s.counts.degraded()
+            {
+                return Err(format!(
+                    "shard {}: offered != submitted + shed + degraded",
+                    s.name
+                ));
+            }
+        }
+    }
+    Ok(n_windows)
 }

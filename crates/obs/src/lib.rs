@@ -38,14 +38,21 @@
 
 pub mod event;
 pub mod json;
+pub mod prom;
 pub mod recorder;
 pub mod registry;
+pub mod sampling;
+pub mod slo;
 pub mod span;
+pub mod window;
 
 pub use event::{Event, EventKind, SpanData};
 pub use recorder::{JsonlRecorder, MemoryRecorder, NullRecorder, Recorder};
 pub use registry::{GaugeStat, Histogram, HistogramSnapshot, MetricsRegistry, TelemetrySnapshot};
+pub use sampling::{SamplingRecorder, SAMPLED_SPAN_PREFIX};
+pub use slo::{SloEngine, SloKind, SloOutcome, SloSet, SloSpec, SloViolation};
 pub use span::SpanGuard;
+pub use window::{LiveView, ScopeCell, WindowSnapshot, WindowedRegistry, FLEET_SCOPE};
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;

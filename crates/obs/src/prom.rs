@@ -1,0 +1,314 @@
+//! Prometheus-style text exposition (and a minimal parser for it).
+//!
+//! [`render`] turns a cumulative [`TelemetrySnapshot`] plus an optional
+//! windowed [`LiveView`] into the text format scrapers expect:
+//! counters as `tamp_<name>_total`, gauges bare, histograms as
+//! summaries (`quantile` labels plus `_count`/`_sum`), and windowed
+//! metrics under a `tamp_window_` prefix with a `scope` label per
+//! shard (`scope="fleet"` for the merged view). Metric names are
+//! sanitised to the Prometheus charset (`.` → `_`).
+//!
+//! [`parse_text`] is the matching minimal parser — enough to round-trip
+//! [`render`] output in tests and tooling, not a general client.
+
+use crate::registry::TelemetrySnapshot;
+use crate::window::{LiveView, ScopeCell, FLEET_SCOPE};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Prefix for every exposed series.
+pub const PROM_PREFIX: &str = "tamp_";
+/// Prefix for windowed (live-view) series.
+pub const PROM_WINDOW_PREFIX: &str = "tamp_window_";
+
+/// Maps a metric name onto the Prometheus charset:
+/// `[a-zA-Z0-9_:]`, with every other character becoming `_`.
+pub fn sanitize(name: &str) -> String {
+    let mut out: String = name
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    if out.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        out.insert(0, '_');
+    }
+    out
+}
+
+fn write_labels(out: &mut String, labels: &[(&str, &str)]) {
+    if labels.is_empty() {
+        return;
+    }
+    out.push('{');
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let escaped = v.replace('\\', "\\\\").replace('"', "\\\"");
+        let _ = write!(out, "{k}=\"{escaped}\"");
+    }
+    out.push('}');
+}
+
+fn sample(out: &mut String, name: &str, labels: &[(&str, &str)], value: f64) {
+    out.push_str(name);
+    write_labels(out, labels);
+    let _ = writeln!(out, " {value}");
+}
+
+fn render_cell(out: &mut String, scope: &str, cell: &ScopeCell) {
+    for (name, &v) in &cell.counters {
+        sample(
+            out,
+            &format!("{PROM_WINDOW_PREFIX}{}_total", sanitize(name)),
+            &[("scope", scope)],
+            v as f64,
+        );
+    }
+    for (name, &v) in &cell.gauges {
+        sample(
+            out,
+            &format!("{PROM_WINDOW_PREFIX}{}", sanitize(name)),
+            &[("scope", scope)],
+            v,
+        );
+    }
+    for (name, h) in &cell.histograms {
+        let base = format!("{PROM_WINDOW_PREFIX}{}", sanitize(name));
+        for (q, label) in [(0.50, "0.5"), (0.95, "0.95"), (0.99, "0.99")] {
+            sample(
+                out,
+                &base,
+                &[("scope", scope), ("quantile", label)],
+                h.quantile(q),
+            );
+        }
+        sample(
+            out,
+            &format!("{base}_count"),
+            &[("scope", scope)],
+            h.count() as f64,
+        );
+        sample(out, &format!("{base}_sum"), &[("scope", scope)], h.sum());
+    }
+}
+
+/// Renders the exposition document.
+pub fn render(snapshot: &TelemetrySnapshot, live: Option<&LiveView>) -> String {
+    let mut out = String::new();
+    for (name, &v) in &snapshot.counters {
+        let n = format!("{PROM_PREFIX}{}_total", sanitize(name));
+        let _ = writeln!(out, "# TYPE {n} counter");
+        sample(&mut out, &n, &[], v as f64);
+    }
+    for (name, g) in &snapshot.gauges {
+        let n = format!("{PROM_PREFIX}{}", sanitize(name));
+        let _ = writeln!(out, "# TYPE {n} gauge");
+        sample(&mut out, &n, &[], g.last);
+    }
+    for (name, h) in &snapshot.histograms {
+        let base = format!("{PROM_PREFIX}{}", sanitize(name));
+        let _ = writeln!(out, "# TYPE {base} summary");
+        for (v, label) in [(h.p50, "0.5"), (h.p95, "0.95"), (h.p99, "0.99")] {
+            sample(&mut out, &base, &[("quantile", label)], v);
+        }
+        sample(&mut out, &format!("{base}_count"), &[], h.count as f64);
+        sample(&mut out, &format!("{base}_sum"), &[], h.sum);
+    }
+    if let Some(view) = live {
+        if let Some(latest) = view.latest {
+            sample(
+                &mut out,
+                &format!("{PROM_PREFIX}window_latest"),
+                &[],
+                latest as f64,
+            );
+        }
+        sample(
+            &mut out,
+            &format!("{PROM_PREFIX}windows_merged"),
+            &[],
+            view.windows_merged as f64,
+        );
+        for (scope, cell) in &view.scopes {
+            render_cell(&mut out, scope, cell);
+        }
+        render_cell(&mut out, FLEET_SCOPE, &view.fleet);
+    }
+    out
+}
+
+/// One parsed exposition sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PromSample {
+    /// Series name.
+    pub name: String,
+    /// Labels, key-ordered.
+    pub labels: BTreeMap<String, String>,
+    /// The value.
+    pub value: f64,
+}
+
+impl PromSample {
+    /// The value of a label, if present.
+    pub fn label(&self, key: &str) -> Option<&str> {
+        self.labels.get(key).map(String::as_str)
+    }
+}
+
+/// Parses an exposition document produced by [`render`]: `# ` comment
+/// lines are skipped; every other non-blank line must be
+/// `name[{k="v",...}] value`.
+pub fn parse_text(text: &str) -> Result<Vec<PromSample>, String> {
+    let mut out = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let ctx = |m: &str| format!("line {}: {m}", lineno + 1);
+        let (head, value_str) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| ctx("expected 'name value'"))?;
+        let value = value_str
+            .parse::<f64>()
+            .map_err(|_| ctx(&format!("bad value {value_str:?}")))?;
+        let (name, labels) = match head.split_once('{') {
+            None => (head.to_string(), BTreeMap::new()),
+            Some((name, rest)) => {
+                let body = rest
+                    .strip_suffix('}')
+                    .ok_or_else(|| ctx("unterminated label set"))?;
+                let mut labels = BTreeMap::new();
+                let mut remaining = body;
+                while !remaining.is_empty() {
+                    let (key, rest) = remaining
+                        .split_once("=\"")
+                        .ok_or_else(|| ctx("expected k=\"v\" label"))?;
+                    // Scan for the closing quote, honouring \" and \\.
+                    let mut val = String::new();
+                    let mut chars = rest.chars();
+                    let mut closed = false;
+                    while let Some(c) = chars.next() {
+                        match c {
+                            '\\' => match chars.next() {
+                                Some('"') => val.push('"'),
+                                Some('\\') => val.push('\\'),
+                                Some(other) => {
+                                    val.push('\\');
+                                    val.push(other);
+                                }
+                                None => return Err(ctx("dangling escape")),
+                            },
+                            '"' => {
+                                closed = true;
+                                break;
+                            }
+                            c => val.push(c),
+                        }
+                    }
+                    if !closed {
+                        return Err(ctx("unterminated label value"));
+                    }
+                    labels.insert(key.to_string(), val);
+                    remaining = chars.as_str().strip_prefix(',').unwrap_or(chars.as_str());
+                }
+                (name.to_string(), labels)
+            }
+        };
+        if name.is_empty()
+            || !name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+        {
+            return Err(ctx(&format!("bad metric name {name:?}")));
+        }
+        out.push(PromSample {
+            name,
+            labels,
+            value,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::MetricsRegistry;
+    use crate::window::WindowedRegistry;
+
+    #[test]
+    fn sanitize_maps_to_prometheus_charset() {
+        assert_eq!(sanitize("serve.step.latency_ms"), "serve_step_latency_ms");
+        assert_eq!(sanitize("a-b c"), "a_b_c");
+        assert_eq!(sanitize("9lives"), "_9lives");
+    }
+
+    #[test]
+    fn render_round_trips_through_the_parser() {
+        let reg = MetricsRegistry::new();
+        reg.count("serve.shed", 42);
+        reg.gauge("serve.queue.depth", 3.0);
+        for v in [1.0, 2.0, 100.0] {
+            reg.observe("serve.step.latency_ms", v);
+        }
+        let live = WindowedRegistry::new(4);
+        live.count("shard0", "serve.shed", 40);
+        live.count("shard1", "serve.shed", 2);
+        live.observe("shard0", "serve.step.latency_ms", 1.5);
+        live.advance();
+        let view = live.view(4);
+
+        let text = render(&reg.snapshot(), Some(&view));
+        let samples = parse_text(&text).unwrap();
+
+        let find = |name: &str, scope: Option<&str>| -> f64 {
+            samples
+                .iter()
+                .find(|s| {
+                    s.name == name && s.label("scope") == scope && s.label("quantile").is_none()
+                })
+                .unwrap_or_else(|| panic!("missing {name} scope={scope:?}"))
+                .value
+        };
+        assert_eq!(find("tamp_serve_shed_total", None), 42.0);
+        assert_eq!(find("tamp_serve_queue_depth", None), 3.0);
+        assert_eq!(find("tamp_serve_step_latency_ms_count", None), 3.0);
+        assert_eq!(find("tamp_window_serve_shed_total", Some("shard0")), 40.0);
+        assert_eq!(find("tamp_window_serve_shed_total", Some("shard1")), 2.0);
+        assert_eq!(find("tamp_window_serve_shed_total", Some("fleet")), 42.0);
+        assert_eq!(
+            find("tamp_window_serve_step_latency_ms_count", Some("shard0")),
+            1.0
+        );
+        let p99 = samples
+            .iter()
+            .find(|s| s.name == "tamp_serve_step_latency_ms" && s.label("quantile") == Some("0.99"))
+            .unwrap();
+        assert!((p99.value / 100.0 - 1.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn parser_handles_escaped_label_values() {
+        let text = "m{l=\"a\\\"b\\\\c\"} 1\n";
+        let s = &parse_text(text).unwrap()[0];
+        assert_eq!(s.label("l"), Some("a\"b\\c"));
+        assert_eq!(s.value, 1.0);
+    }
+
+    #[test]
+    fn parser_rejects_malformed_lines() {
+        assert!(parse_text("novalue").is_err());
+        assert!(parse_text("name{k=\"v\" 1").is_err());
+        assert!(parse_text("name{k=v} 1").is_err());
+        assert!(parse_text("bad.name 1").is_err());
+        assert!(parse_text("m x").is_err());
+        assert!(parse_text("# comment only\n").unwrap().is_empty());
+    }
+}

@@ -1,0 +1,319 @@
+//! Per-span-name head sampling for recorders, with exact-count
+//! corrections — keeps ×128-load traces bounded without breaking the
+//! `trace-validate` reconciliation invariants.
+//!
+//! [`SamplingRecorder`] wraps any [`Recorder`] and passes through the
+//! first `head` events *per name and kind*; beyond that:
+//!
+//! * **count** events are dropped but their increments accumulate, and
+//!   [`Recorder::flush`] re-emits one catch-up `count` event under the
+//!   *original* name — so per-name counter sums in a sampled trace are
+//!   **exactly** equal to the unsampled ones (sampled ≡ unsampled for
+//!   counters).
+//! * **span** events are dropped and tallied; flush emits a
+//!   `obs.sampled.<name>` correction counter holding the number of
+//!   dropped spans, so span counts remain reconcilable
+//!   (`trace spans + correction == histogram count`).
+//! * **gauge** events are dropped except that flush re-emits the *last*
+//!   dropped value per name — the end-of-run value always survives.
+//!
+//! The cumulative [`crate::MetricsRegistry`] is unaffected: [`crate::Obs`]
+//! updates it before the recorder sees the event, so snapshots stay
+//! exact regardless of sampling.
+
+use crate::event::{Event, EventKind};
+use crate::recorder::Recorder;
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// Name prefix of the dropped-span correction counters flush emits.
+pub const SAMPLED_SPAN_PREFIX: &str = "obs.sampled.";
+
+#[derive(Debug, Default)]
+struct NameState {
+    spans_seen: u64,
+    spans_dropped: u64,
+    counts_seen: u64,
+    dropped_count_sum: u64,
+    gauges_seen: u64,
+    last_dropped_gauge: Option<(f64, Option<u64>)>,
+}
+
+/// A [`Recorder`] adaptor applying per-name head sampling with exact
+/// corrections (see the module docs for the per-kind rules).
+pub struct SamplingRecorder<R: Recorder> {
+    inner: R,
+    head: u64,
+    state: Mutex<BTreeMap<String, NameState>>,
+}
+
+impl<R: Recorder> SamplingRecorder<R> {
+    /// Wraps `inner`, passing through the first `head` events per name
+    /// and kind (`head == 0` keeps only the flush-time corrections).
+    pub fn new(inner: R, head: u64) -> Self {
+        Self {
+            inner,
+            head,
+            state: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// The wrapped recorder.
+    pub fn inner(&self) -> &R {
+        &self.inner
+    }
+
+    /// Total events dropped so far (before their corrections).
+    pub fn dropped(&self) -> u64 {
+        let g = self.state.lock().expect("obs lock");
+        g.values()
+            .map(|s| {
+                s.spans_dropped
+                    + s.counts_seen.saturating_sub(self.head.min(s.counts_seen))
+                    + s.gauges_seen.saturating_sub(self.head.min(s.gauges_seen))
+            })
+            .sum()
+    }
+}
+
+impl<R: Recorder> Recorder for SamplingRecorder<R> {
+    fn record(&self, event: &Event) {
+        let mut g = self.state.lock().expect("obs lock");
+        let st = g.entry(event.name.clone()).or_default();
+        match event.kind {
+            EventKind::Span => {
+                st.spans_seen += 1;
+                if st.spans_seen <= self.head {
+                    drop(g);
+                    self.inner.record(event);
+                } else {
+                    st.spans_dropped += 1;
+                }
+            }
+            EventKind::Count => {
+                st.counts_seen += 1;
+                if st.counts_seen <= self.head {
+                    drop(g);
+                    self.inner.record(event);
+                } else {
+                    // Exact-sum correction re-emitted at flush.
+                    st.dropped_count_sum += event.value as u64;
+                }
+            }
+            EventKind::Gauge => {
+                st.gauges_seen += 1;
+                if st.gauges_seen <= self.head {
+                    drop(g);
+                    self.inner.record(event);
+                } else {
+                    st.last_dropped_gauge = Some((event.value, event.idx));
+                }
+            }
+        }
+    }
+
+    fn flush(&self) {
+        let mut corrections = Vec::new();
+        {
+            let mut g = self.state.lock().expect("obs lock");
+            for (name, st) in g.iter_mut() {
+                if st.dropped_count_sum > 0 {
+                    corrections.push(Event::count(name.clone(), st.dropped_count_sum, None));
+                    st.dropped_count_sum = 0;
+                }
+                if st.spans_dropped > 0 {
+                    corrections.push(Event::count(
+                        format!("{SAMPLED_SPAN_PREFIX}{name}"),
+                        st.spans_dropped,
+                        None,
+                    ));
+                    st.spans_dropped = 0;
+                }
+                if let Some((v, idx)) = st.last_dropped_gauge.take() {
+                    corrections.push(Event::gauge(name.clone(), v, idx));
+                }
+            }
+        }
+        for ev in &corrections {
+            self.inner.record(ev);
+        }
+        self.inner.flush();
+    }
+}
+
+impl<R: Recorder> Drop for SamplingRecorder<R> {
+    fn drop(&mut self) {
+        // Corrections must land before the inner recorder's own
+        // flush-on-drop; fields drop after this body.
+        Recorder::flush(self);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::SpanData;
+    use crate::recorder::MemoryRecorder;
+    use std::collections::BTreeMap;
+
+    fn span_event(name: &str, id: u64) -> Event {
+        Event {
+            kind: EventKind::Span,
+            name: name.into(),
+            value: 0.0,
+            idx: None,
+            span: Some(SpanData {
+                id,
+                parent: None,
+                start_us: id * 10,
+                dur_us: 5,
+            }),
+        }
+    }
+
+    fn counter_sums(events: &[Event]) -> BTreeMap<String, u64> {
+        let mut out = BTreeMap::new();
+        for e in events {
+            if e.kind == EventKind::Count {
+                *out.entry(e.name.clone()).or_default() += e.value as u64;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn counter_sums_reconcile_exactly() {
+        let sampled = SamplingRecorder::new(MemoryRecorder::new(), 3);
+        let direct = MemoryRecorder::new();
+        for i in 0..100u64 {
+            let ev = Event::count("serve.shed", i % 5, Some(i));
+            sampled.record(&ev);
+            direct.record(&ev);
+        }
+        Recorder::flush(&sampled);
+        let want = counter_sums(&direct.events());
+        let got = counter_sums(&sampled.inner().events());
+        assert_eq!(got["serve.shed"], want["serve.shed"]);
+        // And far fewer raw lines.
+        assert!(sampled.inner().len() < direct.len());
+    }
+
+    #[test]
+    fn span_drops_emit_correction_counters() {
+        let sampled = SamplingRecorder::new(MemoryRecorder::new(), 2);
+        for i in 0..10 {
+            sampled.record(&span_event("serve.batch", i + 1));
+        }
+        assert_eq!(sampled.dropped(), 8);
+        Recorder::flush(&sampled);
+        let events = sampled.inner().events();
+        let spans = events.iter().filter(|e| e.kind == EventKind::Span).count() as u64;
+        let correction = counter_sums(&events)
+            .get("obs.sampled.serve.batch")
+            .copied()
+            .unwrap_or(0);
+        assert_eq!(spans, 2);
+        assert_eq!(spans + correction, 10, "spans + correction == true count");
+    }
+
+    #[test]
+    fn last_gauge_value_survives_sampling() {
+        let sampled = SamplingRecorder::new(MemoryRecorder::new(), 1);
+        for v in [1.0, 2.0, 3.0, 42.0] {
+            sampled.record(&Event::gauge("depth", v, None));
+        }
+        Recorder::flush(&sampled);
+        let last = sampled
+            .inner()
+            .events()
+            .iter()
+            .filter(|e| e.kind == EventKind::Gauge && e.name == "depth")
+            .last()
+            .map(|e| e.value);
+        assert_eq!(last, Some(42.0));
+    }
+
+    #[test]
+    fn flush_is_idempotent() {
+        let sampled = SamplingRecorder::new(MemoryRecorder::new(), 1);
+        for i in 0..5 {
+            sampled.record(&span_event("s", i + 1));
+            sampled.record(&Event::count("c", 2, None));
+        }
+        Recorder::flush(&sampled);
+        let after_first = sampled.inner().len();
+        Recorder::flush(&sampled);
+        assert_eq!(sampled.inner().len(), after_first);
+    }
+
+    /// Deterministic xorshift64* — the crate is dependency-free, so the
+    /// randomised reconciliation check rolls its own generator.
+    struct XorShift(u64);
+    impl XorShift {
+        fn next(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.0 = x;
+            x.wrapping_mul(0x2545F4914F6CDD1D)
+        }
+    }
+
+    #[test]
+    fn random_streams_reconcile_for_every_seed_and_head() {
+        let names = ["a", "b.c", "serve.batch", "x"];
+        for seed in 1..=20u64 {
+            for head in [0u64, 1, 3, 17, 1000] {
+                let mut rng = XorShift(seed.wrapping_mul(0x9E3779B97F4A7C15));
+                let sampled = SamplingRecorder::new(MemoryRecorder::new(), head);
+                let direct = MemoryRecorder::new();
+                let mut span_id = 0;
+                for _ in 0..300 {
+                    let name = names[(rng.next() % names.len() as u64) as usize];
+                    let ev = match rng.next() % 3 {
+                        0 => {
+                            span_id += 1;
+                            span_event(name, span_id)
+                        }
+                        1 => Event::count(name, rng.next() % 7, None),
+                        _ => Event::gauge(name, (rng.next() % 100) as f64, None),
+                    };
+                    sampled.record(&ev);
+                    direct.record(&ev);
+                }
+                Recorder::flush(&sampled);
+                let sampled_events = sampled.inner().events();
+                let direct_events = direct.events();
+
+                // Counters: exact equality per name (the satellite's
+                // "sampled ≡ unsampled for counters" property).
+                let mut got = counter_sums(&sampled_events);
+                let want = counter_sums(&direct_events);
+                for name in names {
+                    let correction = got.remove(&format!("{SAMPLED_SPAN_PREFIX}{name}"));
+                    assert_eq!(
+                        got.get(name).copied().unwrap_or(0),
+                        want.get(name).copied().unwrap_or(0),
+                        "seed {seed} head {head} name {name}"
+                    );
+                    // Spans: surviving spans + correction == true count.
+                    let true_spans = direct_events
+                        .iter()
+                        .filter(|e| e.kind == EventKind::Span && e.name == name)
+                        .count() as u64;
+                    let kept_spans = sampled_events
+                        .iter()
+                        .filter(|e| e.kind == EventKind::Span && e.name == name)
+                        .count() as u64;
+                    assert_eq!(
+                        kept_spans + correction.unwrap_or(0),
+                        true_spans,
+                        "seed {seed} head {head} name {name}"
+                    );
+                }
+                assert!(sampled_events.len() <= direct_events.len() + names.len() * 2);
+            }
+        }
+    }
+}

@@ -1,0 +1,558 @@
+//! Declarative service-level objectives over windowed metrics.
+//!
+//! An [`SloSpec`] names a metric, how to reduce it (a quantile of a
+//! windowed histogram, or a per-window rate of a counter), a threshold,
+//! the trailing evaluation window, and the allowed *burn rate* — the
+//! fraction of evaluations that may violate the threshold before the
+//! objective as a whole is breached. Specs parse from a small file in
+//! either JSON or a minimal TOML subset ([`SloSet::parse`] sniffs the
+//! format), so one committed file drives:
+//!
+//! * live evaluation inside `ServeHost` each sealed window (violations
+//!   become `slo.violation.<name>` counters and report rows),
+//! * offline `tamp slo-check` over recorded window logs, metrics
+//!   snapshots, traces, and `diag_serve` sweeps,
+//! * the ci.sh latency gate.
+//!
+//! The TOML subset: `[[slo]]` section headers, `key = value` lines with
+//! string/number/boolean values, `#` comments. Nothing else — enough
+//! for spec files while keeping the crate dependency-free.
+
+use crate::json::{obj, parse, JsonValue};
+use crate::window::WindowedRegistry;
+
+/// How a spec reduces its metric over the evaluation window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SloKind {
+    /// A quantile (e.g. 0.99) of a windowed histogram.
+    Quantile(f64),
+    /// Counter total per window, averaged over the evaluation window.
+    Rate,
+}
+
+/// One declarative objective.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloSpec {
+    /// Objective name (becomes the `slo.violation.<name>` counter).
+    pub name: String,
+    /// Windowed metric name (histogram for quantile specs, counter for
+    /// rate specs) — e.g. `serve.step.latency_ms`.
+    pub metric: String,
+    /// The reduction.
+    pub kind: SloKind,
+    /// Threshold: an evaluation violates when the reduced value exceeds
+    /// this.
+    pub max: f64,
+    /// Trailing sealed windows each evaluation merges (≥ 1).
+    pub window: usize,
+    /// Allowed fraction of violating evaluations in `[0, 1]`; the
+    /// objective is *breached* once the observed fraction exceeds this.
+    pub max_burn_rate: f64,
+    /// Optional trace span whose duration realises the metric — lets
+    /// `slo-check --trace` evaluate the same objective from a JSONL
+    /// trace (span `dur_us` / 1000 when the metric ends in `_ms`).
+    pub trace_span: Option<String>,
+}
+
+impl SloSpec {
+    fn from_fields(fields: &JsonValue, ordinal: usize) -> Result<Self, String> {
+        let ctx = |m: &str| format!("slo #{ordinal}: {m}");
+        let name = fields
+            .get("name")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| ctx("missing name"))?
+            .to_string();
+        let metric = fields
+            .get("metric")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| ctx("missing metric"))?
+            .to_string();
+        let quantile = fields.get("quantile").and_then(JsonValue::as_num);
+        let rate = matches!(fields.get("rate"), Some(JsonValue::Bool(true)));
+        let kind = match (quantile, rate) {
+            (Some(q), false) => {
+                if !(0.0..1.0).contains(&q) || q <= 0.0 {
+                    return Err(ctx(&format!("quantile {q} outside (0, 1)")));
+                }
+                SloKind::Quantile(q)
+            }
+            (None, true) => SloKind::Rate,
+            (Some(_), true) => return Err(ctx("both quantile and rate set")),
+            (None, false) => return Err(ctx("needs quantile = q or rate = true")),
+        };
+        let max = fields
+            .get("max")
+            .and_then(JsonValue::as_num)
+            .ok_or_else(|| ctx("missing max"))?;
+        if !max.is_finite() {
+            return Err(ctx("max must be finite"));
+        }
+        let window = fields
+            .get("window")
+            .map(|v| v.as_u64().ok_or_else(|| ctx("window not a u64")))
+            .transpose()?
+            .unwrap_or(1)
+            .max(1) as usize;
+        let max_burn_rate = fields
+            .get("max_burn_rate")
+            .map(|v| v.as_num().ok_or_else(|| ctx("max_burn_rate not a number")))
+            .transpose()?
+            .unwrap_or(0.0);
+        if !(0.0..=1.0).contains(&max_burn_rate) {
+            return Err(ctx("max_burn_rate outside [0, 1]"));
+        }
+        let trace_span = fields
+            .get("trace_span")
+            .and_then(JsonValue::as_str)
+            .map(str::to_string);
+        Ok(SloSpec {
+            name,
+            metric,
+            kind,
+            max,
+            window,
+            max_burn_rate,
+            trace_span,
+        })
+    }
+
+    fn to_json_value(&self) -> JsonValue {
+        let mut fields = vec![
+            ("name", JsonValue::Str(self.name.clone())),
+            ("metric", JsonValue::Str(self.metric.clone())),
+            ("max", JsonValue::Num(self.max)),
+            ("window", JsonValue::Num(self.window as f64)),
+            ("max_burn_rate", JsonValue::Num(self.max_burn_rate)),
+        ];
+        match self.kind {
+            SloKind::Quantile(q) => fields.push(("quantile", JsonValue::Num(q))),
+            SloKind::Rate => fields.push(("rate", JsonValue::Bool(true))),
+        }
+        if let Some(s) = &self.trace_span {
+            fields.push(("trace_span", JsonValue::Str(s.clone())));
+        }
+        obj(fields)
+    }
+}
+
+/// A parsed spec file: the list of objectives.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SloSet {
+    /// The objectives, in file order.
+    pub slos: Vec<SloSpec>,
+}
+
+impl SloSet {
+    /// Parses a spec file in JSON (`{"slo": [...]}` or a bare array) or
+    /// the minimal TOML subset (`[[slo]]` sections). The format is
+    /// sniffed from the first non-whitespace character.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        match text.trim_start().chars().next() {
+            None => Err("empty SLO spec".into()),
+            Some('{') | Some('[') if !text.trim_start().starts_with("[[") => Self::from_json(text),
+            _ => Self::from_toml(text),
+        }
+    }
+
+    /// Largest evaluation window any spec asks for (1 when empty) — the
+    /// retention a [`WindowedRegistry`] needs to serve every spec.
+    pub fn max_window(&self) -> usize {
+        self.slos.iter().map(|s| s.window).max().unwrap_or(1)
+    }
+
+    fn from_json(text: &str) -> Result<Self, String> {
+        let v = parse(text)?;
+        let items = match (&v, v.get("slo")) {
+            (_, Some(JsonValue::Arr(items))) => items.as_slice(),
+            (JsonValue::Arr(items), _) => items.as_slice(),
+            _ => return Err("expected {\"slo\": [...]} or a JSON array".into()),
+        };
+        let slos = items
+            .iter()
+            .enumerate()
+            .map(|(i, f)| SloSpec::from_fields(f, i))
+            .collect::<Result<Vec<_>, _>>()?;
+        if slos.is_empty() {
+            return Err("SLO spec declares no objectives".into());
+        }
+        Ok(SloSet { slos })
+    }
+
+    fn from_toml(text: &str) -> Result<Self, String> {
+        let mut sections: Vec<std::collections::BTreeMap<String, JsonValue>> = Vec::new();
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = match raw.find('#') {
+                // Strip comments, but not '#' inside a quoted value.
+                Some(h) if raw[..h].matches('"').count() % 2 == 0 => &raw[..h],
+                _ => raw,
+            }
+            .trim();
+            if line.is_empty() {
+                continue;
+            }
+            if line == "[[slo]]" {
+                sections.push(Default::default());
+                continue;
+            }
+            if line.starts_with('[') {
+                return Err(format!("line {}: only [[slo]] sections", lineno + 1));
+            }
+            let (key, value) = line
+                .split_once('=')
+                .ok_or(format!("line {}: expected key = value", lineno + 1))?;
+            let section = sections
+                .last_mut()
+                .ok_or(format!("line {}: key before any [[slo]]", lineno + 1))?;
+            let value = value.trim();
+            let parsed = if let Some(stripped) = value.strip_prefix('"') {
+                let inner = stripped
+                    .strip_suffix('"')
+                    .ok_or(format!("line {}: unterminated string", lineno + 1))?;
+                JsonValue::Str(inner.to_string())
+            } else if value == "true" {
+                JsonValue::Bool(true)
+            } else if value == "false" {
+                JsonValue::Bool(false)
+            } else {
+                JsonValue::Num(
+                    value
+                        .parse::<f64>()
+                        .map_err(|_| format!("line {}: bad value {value:?}", lineno + 1))?,
+                )
+            };
+            section.insert(key.trim().to_string(), parsed);
+        }
+        if sections.is_empty() {
+            return Err("SLO spec declares no [[slo]] sections".into());
+        }
+        let slos = sections
+            .into_iter()
+            .enumerate()
+            .map(|(i, m)| SloSpec::from_fields(&JsonValue::Obj(m), i))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(SloSet { slos })
+    }
+
+    /// Serialises the set as JSON (`{"slo": [...]}`); parseable by
+    /// [`SloSet::parse`].
+    pub fn to_json(&self) -> String {
+        obj([(
+            "slo",
+            JsonValue::Arr(self.slos.iter().map(SloSpec::to_json_value).collect()),
+        )])
+        .to_json()
+    }
+}
+
+/// One violating evaluation (a single window crossing the threshold —
+/// not yet a breach unless the burn rate exceeds the spec's allowance).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloViolation {
+    /// The violated objective's name.
+    pub name: String,
+    /// The reduced metric value for this evaluation.
+    pub value: f64,
+    /// The spec threshold it exceeded.
+    pub max: f64,
+    /// The window index that completed this evaluation.
+    pub window: u64,
+}
+
+/// Cumulative per-objective evaluation state.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SloState {
+    /// Evaluations performed (windows where the metric was present).
+    pub evaluated: u64,
+    /// Evaluations that crossed the threshold.
+    pub violations: u64,
+    /// Most recent reduced value.
+    pub last: f64,
+    /// Worst reduced value seen.
+    pub worst: f64,
+}
+
+/// Final per-objective verdict.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloOutcome {
+    /// Objective name.
+    pub name: String,
+    /// Metric the objective reduces.
+    pub metric: String,
+    /// Threshold.
+    pub max: f64,
+    /// Evaluations performed.
+    pub evaluated: u64,
+    /// Evaluations that violated.
+    pub violations: u64,
+    /// `violations / evaluated` (0 when never evaluated).
+    pub burn_rate: f64,
+    /// The spec's allowed burn rate.
+    pub max_burn_rate: f64,
+    /// True when the burn rate exceeds the allowance.
+    pub breached: bool,
+    /// Most recent reduced value.
+    pub last: f64,
+    /// Worst reduced value seen.
+    pub worst: f64,
+}
+
+/// Evaluates a [`SloSet`] against a [`WindowedRegistry`], once per
+/// sealed window.
+#[derive(Debug)]
+pub struct SloEngine {
+    set: SloSet,
+    state: Vec<SloState>,
+}
+
+impl SloEngine {
+    /// An engine with zeroed state.
+    pub fn new(set: SloSet) -> Self {
+        let n = set.slos.len();
+        Self {
+            set,
+            state: vec![SloState::default(); n],
+        }
+    }
+
+    /// The specs being evaluated.
+    pub fn specs(&self) -> &[SloSpec] {
+        &self.set.slos
+    }
+
+    /// Evaluates every spec against the registry's trailing windows.
+    /// Call once per [`WindowedRegistry::advance`], after the seal.
+    /// Returns this round's violations (possibly empty).
+    pub fn evaluate(&mut self, reg: &WindowedRegistry) -> Vec<SloViolation> {
+        let window = match reg.windows_sealed().checked_sub(1) {
+            Some(w) => w,
+            None => return Vec::new(), // nothing sealed yet
+        };
+        let mut out = Vec::new();
+        for (spec, state) in self.set.slos.iter().zip(self.state.iter_mut()) {
+            let fleet = reg.fleet_tail(spec.window);
+            let value = match spec.kind {
+                SloKind::Quantile(q) => match fleet.histograms.get(&spec.metric) {
+                    Some(h) if h.count() > 0 => h.quantile(q),
+                    // No observations in the horizon → nothing to judge.
+                    _ => continue,
+                },
+                SloKind::Rate => {
+                    let total = fleet.counters.get(&spec.metric).copied().unwrap_or(0);
+                    let horizon = reg.retained().min(spec.window).max(1);
+                    total as f64 / horizon as f64
+                }
+            };
+            state.evaluated += 1;
+            state.last = value;
+            state.worst = if state.evaluated == 1 {
+                value
+            } else {
+                state.worst.max(value)
+            };
+            if value > spec.max {
+                state.violations += 1;
+                out.push(SloViolation {
+                    name: spec.name.clone(),
+                    value,
+                    max: spec.max,
+                    window,
+                });
+            }
+        }
+        out
+    }
+
+    /// Per-objective cumulative state, parallel to [`SloEngine::specs`].
+    pub fn states(&self) -> &[SloState] {
+        &self.state
+    }
+
+    /// Final verdicts.
+    pub fn outcomes(&self) -> Vec<SloOutcome> {
+        self.set
+            .slos
+            .iter()
+            .zip(self.state.iter())
+            .map(|(spec, st)| {
+                let burn_rate = if st.evaluated == 0 {
+                    0.0
+                } else {
+                    st.violations as f64 / st.evaluated as f64
+                };
+                SloOutcome {
+                    name: spec.name.clone(),
+                    metric: spec.metric.clone(),
+                    max: spec.max,
+                    evaluated: st.evaluated,
+                    violations: st.violations,
+                    burn_rate,
+                    max_burn_rate: spec.max_burn_rate,
+                    breached: st.evaluated > 0 && burn_rate > spec.max_burn_rate,
+                    last: st.last,
+                    worst: st.worst,
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TOML_SPEC: &str = r#"
+# Serving-path objectives.
+[[slo]]
+name = "step-p99"                 # becomes slo.violation.step-p99
+metric = "serve.step.latency_ms"
+quantile = 0.99
+max = 25.0
+window = 8
+max_burn_rate = 0.05
+trace_span = "serve.batch"
+
+[[slo]]
+name = "shed-rate"
+metric = "serve.shed"
+rate = true
+max = 200.0
+"#;
+
+    #[test]
+    fn toml_subset_parses_and_json_round_trips() {
+        let set = SloSet::parse(TOML_SPEC).unwrap();
+        assert_eq!(set.slos.len(), 2);
+        let p99 = &set.slos[0];
+        assert_eq!(p99.name, "step-p99");
+        assert_eq!(p99.kind, SloKind::Quantile(0.99));
+        assert_eq!(p99.window, 8);
+        assert_eq!(p99.max_burn_rate, 0.05);
+        assert_eq!(p99.trace_span.as_deref(), Some("serve.batch"));
+        let shed = &set.slos[1];
+        assert_eq!(shed.kind, SloKind::Rate);
+        assert_eq!(shed.window, 1); // default
+        assert_eq!(shed.max_burn_rate, 0.0); // default: any violation breaches
+        assert_eq!(set.max_window(), 8);
+
+        let back = SloSet::parse(&set.to_json()).unwrap();
+        assert_eq!(back, set);
+    }
+
+    #[test]
+    fn rejects_malformed_specs() {
+        assert!(SloSet::parse("").is_err());
+        assert!(SloSet::parse("just words").is_err());
+        assert!(SloSet::parse("[[slo]]\nname = \"x\"").is_err()); // no metric
+        assert!(
+            SloSet::parse("[[slo]]\nname = \"x\"\nmetric = \"m\"\nmax = 1.0\nquantile = 1.5")
+                .is_err()
+        );
+        assert!(SloSet::parse(
+            "[[slo]]\nname = \"x\"\nmetric = \"m\"\nmax = 1.0\nquantile = 0.5\nrate = true"
+        )
+        .is_err());
+        assert!(SloSet::parse("metric = \"m\"").is_err()); // key before section
+        assert!(SloSet::parse("{\"slo\": []}").is_err());
+    }
+
+    fn quantile_spec(max: f64, window: usize, burn: f64) -> SloSet {
+        SloSet {
+            slos: vec![SloSpec {
+                name: "lat".into(),
+                metric: "h".into(),
+                kind: SloKind::Quantile(0.99),
+                max,
+                window,
+                max_burn_rate: burn,
+                trace_span: None,
+            }],
+        }
+    }
+
+    #[test]
+    fn engine_counts_violations_and_burn_rate() {
+        let reg = WindowedRegistry::new(8);
+        let mut eng = SloEngine::new(quantile_spec(10.0, 1, 0.4));
+        // 2 violating windows out of 5.
+        for (i, v) in [1.0, 50.0, 2.0, 99.0, 3.0].iter().enumerate() {
+            reg.observe("s", "h", *v);
+            reg.advance();
+            let violations = eng.evaluate(&reg);
+            assert_eq!(violations.len(), usize::from(*v > 10.0), "window {i}");
+        }
+        let out = &eng.outcomes()[0];
+        assert_eq!(out.evaluated, 5);
+        assert_eq!(out.violations, 2);
+        assert!((out.burn_rate - 0.4).abs() < 1e-12);
+        assert!(!out.breached, "burn 0.4 allowed at max_burn_rate 0.4");
+        assert_eq!(out.worst, 99.0);
+
+        // Tighter allowance breaches.
+        let mut strict = SloEngine::new(quantile_spec(10.0, 1, 0.1));
+        let reg2 = WindowedRegistry::new(8);
+        for v in [1.0, 50.0, 2.0, 99.0, 3.0] {
+            reg2.observe("s", "h", v);
+            reg2.advance();
+            strict.evaluate(&reg2);
+        }
+        assert!(strict.outcomes()[0].breached);
+    }
+
+    #[test]
+    fn quantile_specs_skip_empty_horizons() {
+        let reg = WindowedRegistry::new(4);
+        let mut eng = SloEngine::new(quantile_spec(10.0, 1, 0.0));
+        reg.advance(); // empty window: no histogram at all
+        assert!(eng.evaluate(&reg).is_empty());
+        assert_eq!(eng.outcomes()[0].evaluated, 0);
+        assert!(!eng.outcomes()[0].breached);
+    }
+
+    #[test]
+    fn rate_specs_average_over_the_horizon() {
+        let set = SloSet {
+            slos: vec![SloSpec {
+                name: "shed".into(),
+                metric: "c".into(),
+                kind: SloKind::Rate,
+                max: 5.0,
+                window: 2,
+                max_burn_rate: 0.0,
+                trace_span: None,
+            }],
+        };
+        let reg = WindowedRegistry::new(4);
+        let mut eng = SloEngine::new(set);
+        reg.count("s", "c", 4);
+        reg.advance();
+        // One window: rate 4 ≤ 5.
+        assert!(eng.evaluate(&reg).is_empty());
+        reg.count("s", "c", 8);
+        reg.advance();
+        // Two windows: (4+8)/2 = 6 > 5 → violation.
+        let v = eng.evaluate(&reg);
+        assert_eq!(v.len(), 1);
+        assert!((v[0].value - 6.0).abs() < 1e-12);
+        assert!(eng.outcomes()[0].breached);
+    }
+
+    #[test]
+    fn multi_window_quantile_merges_the_tail() {
+        let reg = WindowedRegistry::new(8);
+        let mut eng = SloEngine::new(quantile_spec(10.0, 4, 1.0));
+        // A single slow window pollutes the p99 of the next 4 horizons.
+        reg.observe("s", "h", 100.0);
+        reg.advance();
+        eng.evaluate(&reg);
+        for _ in 0..3 {
+            for _ in 0..10 {
+                reg.observe("s", "h", 1.0);
+            }
+            reg.advance();
+            eng.evaluate(&reg);
+        }
+        let st = eng.states()[0];
+        assert_eq!(st.evaluated, 4);
+        assert_eq!(st.violations, 4, "p99 over the merged tail stays high");
+    }
+}

@@ -53,24 +53,32 @@ pub struct BatchRecord {
     /// Live tasks entering the matcher.
     pub pending: usize,
     /// Idle workers snapshotted for this batch.
+    #[serde(default)]
     pub idle_workers: usize,
     /// Pairs the assignment algorithm proposed.
+    #[serde(default)]
     pub proposed: usize,
     /// Proposals the workers accepted (tasks completed).
+    #[serde(default)]
     pub accepted: usize,
     /// Proposals the workers rejected.
+    #[serde(default)]
     pub rejected: usize,
     /// Location reports measured in this window that never became usable
     /// (dropped, corrupted, or swallowed by an offline window).
+    #[serde(default)]
     pub dropped_reports: usize,
     /// Worker views built from the persistence fallback because the
     /// model rollout failed or returned garbage this batch.
+    #[serde(default)]
     pub fallback_views: usize,
     /// Proposed pairs skipped because the pair referenced a task or
     /// worker missing from this batch's snapshot.
+    #[serde(default)]
     pub invalid_pairs: usize,
     /// Models quarantined (rolled back to their offline checkpoint)
     /// during this batch's adaptation round.
+    #[serde(default)]
     pub quarantined_models: usize,
     /// Tasks that left the pending pool unserved this batch because
     /// their deadline passed (absent in traces recorded before the

@@ -20,9 +20,12 @@ use crate::clock::Pacing;
 use crate::shard::{Shard, SubmissionCounts, SwapOutcome};
 use crate::snapshot::ShardSnapshot;
 use serde::{Deserialize, Serialize};
+use std::fs::File;
+use std::io::{BufWriter, Write as _};
 use std::path::PathBuf;
+use std::sync::Arc;
 use tamp_core::EngineError;
-use tamp_obs::Obs;
+use tamp_obs::{Obs, SloEngine, SloOutcome, SloSet, WindowedRegistry};
 use tamp_platform::metrics::{AssignmentMetrics, BatchRecord};
 use tamp_platform::predcache::CacheStats;
 use tamp_platform::training::TrainedPredictors;
@@ -41,6 +44,17 @@ pub struct HostConfig {
     /// Directory snapshots are written into, one
     /// `<shard-name>.snapshot.json` per shard, overwritten in place.
     pub snapshot_dir: Option<PathBuf>,
+    /// Sliding-window registry the host feeds per tick (scope = shard
+    /// name) and seals per window. Shared as an `Arc` so an exporter
+    /// ([`crate::http::MetricsServer`]) can read it mid-run.
+    pub live: Option<Arc<WindowedRegistry>>,
+    /// Append every sealed [`tamp_obs::WindowSnapshot`] as one JSON
+    /// line to this file (requires `live`).
+    pub window_log: Option<PathBuf>,
+    /// Objectives evaluated against `live` after every seal; violations
+    /// become `slo.violation.<name>` counters and the report's
+    /// [`ServeReport::slos`] rows (requires `live`).
+    pub slo: Option<SloSet>,
 }
 
 impl Default for HostConfig {
@@ -50,6 +64,9 @@ impl Default for HostConfig {
             pacing: Pacing::FullSpeed,
             snapshot_every: None,
             snapshot_dir: None,
+            live: None,
+            window_log: None,
+            slo: None,
         }
     }
 }
@@ -112,12 +129,60 @@ pub struct ServeReport {
     pub windows: u64,
     /// Per-shard reports, in shard order.
     pub shards: Vec<ShardReport>,
+    /// Per-objective SLO verdicts (empty without a configured
+    /// [`HostConfig::slo`]).
+    #[serde(default)]
+    pub slos: Vec<SloReportRow>,
+}
+
+/// One objective's end-of-run verdict — the serde mirror of
+/// [`tamp_obs::SloOutcome`] (the obs crate is serde-free by design).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SloReportRow {
+    /// Objective name.
+    pub name: String,
+    /// Windowed metric the objective reduces.
+    pub metric: String,
+    /// Threshold.
+    pub max: f64,
+    /// Evaluations performed.
+    pub evaluated: u64,
+    /// Evaluations that crossed the threshold.
+    pub violations: u64,
+    /// `violations / evaluated` (0 when never evaluated).
+    pub burn_rate: f64,
+    /// The spec's allowed burn rate.
+    pub max_burn_rate: f64,
+    /// True when the burn rate exceeded the allowance.
+    pub breached: bool,
+    /// Most recent reduced value.
+    pub last: f64,
+    /// Worst reduced value seen.
+    pub worst: f64,
+}
+
+impl From<SloOutcome> for SloReportRow {
+    fn from(o: SloOutcome) -> Self {
+        Self {
+            name: o.name,
+            metric: o.metric,
+            max: o.max,
+            evaluated: o.evaluated,
+            violations: o.violations,
+            burn_rate: o.burn_rate,
+            max_burn_rate: o.max_burn_rate,
+            breached: o.breached,
+            last: o.last,
+            worst: o.worst,
+        }
+    }
 }
 
 /// Per-shard counter totals already emitted to telemetry, so each tick
 /// emits only deltas.
 #[derive(Debug, Clone, Copy, Default)]
 struct Reported {
+    submitted: usize,
     shed: usize,
     degraded: usize,
     retried: usize,
@@ -130,18 +195,39 @@ pub struct ServeHost {
     cfg: HostConfig,
     windows: u64,
     reported: Vec<Reported>,
+    slo_engine: Option<SloEngine>,
+    window_writer: Option<BufWriter<File>>,
 }
 
 impl ServeHost {
     /// A host owning `shards`, stepped per `cfg`.
     pub fn new(shards: Vec<Shard>, cfg: HostConfig) -> Self {
         let reported = vec![Reported::default(); shards.len()];
+        let slo_engine = cfg.slo.clone().map(SloEngine::new);
+        // Telemetry never fails the run: a window log that won't open
+        // is a warning, not an error.
+        let window_writer = cfg.window_log.as_ref().and_then(|path| {
+            File::create(path)
+                .map(BufWriter::new)
+                .map_err(|e| eprintln!("warning: window log {}: {e}", path.display()))
+                .ok()
+        });
         Self {
             shards,
             cfg,
             windows: 0,
             reported,
+            slo_engine,
+            window_writer,
         }
+    }
+
+    /// Per-objective SLO verdicts so far (empty without a spec).
+    pub fn slo_outcomes(&self) -> Vec<SloOutcome> {
+        self.slo_engine
+            .as_ref()
+            .map(SloEngine::outcomes)
+            .unwrap_or_default()
     }
 
     /// Whether every shard's day is over.
@@ -226,14 +312,16 @@ impl ServeHost {
         self.into_report(obs)
     }
 
-    /// One window: feed (optionally) and step every live shard, then
-    /// write snapshots if the cadence says so.
+    /// One window: feed (optionally) and step every live shard, emit
+    /// per-shard telemetry (cumulative *and* windowed), seal the live
+    /// window, then write snapshots if the cadence says so.
     fn tick(&mut self, obs: &Obs, feed: bool) {
         if feed {
             for shard in self.shards.iter_mut().filter(|s| !s.done()) {
                 shard.feed_window();
             }
         }
+        let stepped: Vec<bool> = self.shards.iter().map(|s| !s.done()).collect();
         let window_min = self
             .shards
             .iter()
@@ -256,45 +344,24 @@ impl ServeHost {
             });
         } else {
             for si in 0..self.shards.len() {
-                if self.shards[si].done() {
+                if !stepped[si] {
                     continue;
                 }
                 let window_idx = self.shards[si].windows_run();
                 let span = obs.span_idx("serve.batch", window_idx);
-                let record = self.shards[si].step_window(obs);
+                self.shards[si].step_window(obs);
                 drop(span);
-                let idx = Some(si as u64);
-                obs.count_idx("serve.cache.hit", record.cache_hits as u64, idx);
-                obs.count_idx("serve.cache.miss", record.cache_misses as u64, idx);
-                obs.count_idx(
-                    "serve.cache.invalidate",
-                    record.cache_invalidations as u64,
-                    idx,
-                );
-                let counts = self.shards[si].counts();
-                let rep = &mut self.reported[si];
-                let shed = counts.shed();
-                obs.count_idx("serve.shed", (shed - rep.shed) as u64, idx);
-                rep.shed = shed;
-                let degraded = counts.degraded();
-                obs.count_idx(
-                    "serve.overload.degraded",
-                    (degraded - rep.degraded) as u64,
-                    idx,
-                );
-                rep.degraded = degraded;
-                obs.count_idx(
-                    "serve.overload.retried",
-                    (counts.retried - rep.retried) as u64,
-                    idx,
-                );
-                rep.retried = counts.retried;
-                let crashes = self.shards[si].crashes();
-                obs.count_idx("serve.crash.restore", crashes - rep.crashes, idx);
-                rep.crashes = crashes;
-                obs.gauge_idx("serve.queue.depth", self.shards[si].queue_len() as f64, idx);
             }
         }
+        // Emission runs for every stepped shard on both step paths —
+        // the windowed registry stays live under parallel stepping,
+        // where per-shard obs calls are no-ops anyway.
+        for si in 0..self.shards.len() {
+            if stepped[si] {
+                self.emit_shard(si, obs);
+            }
+        }
+        self.seal_window(obs);
         self.windows += 1;
         if let Some(every) = self.cfg.snapshot_every {
             if every > 0 && self.windows % every == 0 {
@@ -303,6 +370,86 @@ impl ServeHost {
         }
         if let Some(pause) = self.cfg.pacing.window_sleep(window_min) {
             std::thread::sleep(pause);
+        }
+    }
+
+    /// Emits shard `si`'s post-step telemetry: delta counters and the
+    /// step-latency observation into the cumulative registry, plus the
+    /// same stream into the windowed registry under the shard's name.
+    fn emit_shard(&mut self, si: usize, obs: &Obs) {
+        let shard = &self.shards[si];
+        let idx = Some(si as u64);
+        let (cache_hits, cache_misses, cache_invalidations) = shard
+            .trace()
+            .last()
+            .map(|r| (r.cache_hits, r.cache_misses, r.cache_invalidations))
+            .unwrap_or((0, 0, 0));
+        let step_ms = shard.step_seconds().last().copied().unwrap_or(0.0) * 1e3;
+        let counts = shard.counts();
+        let queue_depth = shard.queue_len() as f64;
+        let pending = shard.pending_len() as f64;
+        let crashes = shard.crashes();
+        let rep = &mut self.reported[si];
+        let submitted = counts.submitted_tasks + counts.submitted_reports;
+        let d_submitted = (submitted - rep.submitted) as u64;
+        rep.submitted = submitted;
+        let d_shed = (counts.shed() - rep.shed) as u64;
+        rep.shed = counts.shed();
+        let d_degraded = (counts.degraded() - rep.degraded) as u64;
+        rep.degraded = counts.degraded();
+        let d_retried = (counts.retried - rep.retried) as u64;
+        rep.retried = counts.retried;
+        let d_crashes = crashes - rep.crashes;
+        rep.crashes = crashes;
+
+        obs.count_idx("serve.submitted", d_submitted, idx);
+        obs.count_idx("serve.cache.hit", cache_hits as u64, idx);
+        obs.count_idx("serve.cache.miss", cache_misses as u64, idx);
+        obs.count_idx("serve.cache.invalidate", cache_invalidations as u64, idx);
+        obs.count_idx("serve.shed", d_shed, idx);
+        obs.count_idx("serve.overload.degraded", d_degraded, idx);
+        obs.count_idx("serve.overload.retried", d_retried, idx);
+        obs.count_idx("serve.crash.restore", d_crashes, idx);
+        obs.observe("serve.step.latency_ms", step_ms);
+        obs.gauge_idx("serve.queue.depth", queue_depth, idx);
+
+        if let Some(live) = &self.cfg.live {
+            let scope = shard.name();
+            live.count(scope, "serve.submitted", d_submitted);
+            live.count(scope, "serve.cache.hit", cache_hits as u64);
+            live.count(scope, "serve.cache.miss", cache_misses as u64);
+            live.count(scope, "serve.cache.invalidate", cache_invalidations as u64);
+            live.count(scope, "serve.shed", d_shed);
+            live.count(scope, "serve.overload.degraded", d_degraded);
+            live.count(scope, "serve.overload.retried", d_retried);
+            live.count(scope, "serve.crash.restore", d_crashes);
+            live.observe(scope, "serve.step.latency_ms", step_ms);
+            live.gauge(scope, "serve.queue.depth", queue_depth);
+            live.gauge(scope, "serve.pending", pending);
+        }
+    }
+
+    /// Seals the live window (when configured), appends it to the
+    /// window log, and runs the SLO engine over the fresh seal;
+    /// violations become `slo.violation.<name>` counters.
+    fn seal_window(&mut self, obs: &Obs) {
+        let Some(live) = &self.cfg.live else {
+            return;
+        };
+        let snap = live.advance();
+        if let Some(w) = &mut self.window_writer {
+            // Flush per window so a scrape (or a crash) always sees
+            // complete lines.
+            let ok = writeln!(w, "{}", snap.to_json()).and_then(|()| w.flush());
+            if let Err(e) = ok {
+                eprintln!("warning: window log write failed: {e}");
+                self.window_writer = None;
+            }
+        }
+        if let Some(engine) = &mut self.slo_engine {
+            for v in engine.evaluate(live) {
+                obs.count(&format!("slo.violation.{}", v.name), 1);
+            }
         }
     }
 
@@ -325,6 +472,11 @@ impl ServeHost {
     /// Consumes the host into the end-of-run report.
     fn into_report(self, obs: &Obs) -> ServeReport {
         let windows = self.windows;
+        let slos = self
+            .slo_engine
+            .as_ref()
+            .map(|e| e.outcomes().into_iter().map(SloReportRow::from).collect())
+            .unwrap_or_default();
         let shards = self
             .shards
             .into_iter()
@@ -357,7 +509,11 @@ impl ServeHost {
                 }
             })
             .collect();
-        ServeReport { windows, shards }
+        ServeReport {
+            windows,
+            shards,
+            slos,
+        }
     }
 }
 

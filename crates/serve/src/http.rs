@@ -1,0 +1,255 @@
+//! A zero-dependency metrics exporter: a tiny blocking HTTP listener
+//! serving the cumulative [`TelemetrySnapshot`] and the sliding-window
+//! [`LiveView`] of a running serve host.
+//!
+//! Two endpoints:
+//!
+//! * `GET /metrics` — Prometheus-style text ([`tamp_obs::prom::render`]).
+//! * `GET /metrics.json` — `{"cumulative": …, "live": …}` through the
+//!   obs crate's own JSON codec (`live` is `null` without a windowed
+//!   registry); what `tamp metrics --addr` renders as a fleet table.
+//!
+//! The listener is deliberately minimal — std's `TcpListener`, HTTP/1.0
+//! responses with `Content-Length` and `Connection: close`, one request
+//! per connection — because its only clients are scrapers, the `tamp
+//! metrics` one-shot, and tests. Bind to port 0 for an ephemeral port
+//! ([`MetricsServer::local_addr`] reports what was chosen).
+//!
+//! The accept loop runs on one background thread, polling with a
+//! non-blocking listener so [`MetricsServer::shutdown`] (and `Drop`)
+//! can stop it without a self-connect.
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+use tamp_obs::prom;
+use tamp_obs::{LiveView, TelemetrySnapshot};
+
+/// How the exporter reads the current metrics: a shared closure
+/// returning the cumulative snapshot plus the live windowed view (if
+/// any). Called once per request, on the exporter thread.
+pub type MetricsSource = Arc<dyn Fn() -> (TelemetrySnapshot, Option<LiveView>) + Send + Sync>;
+
+/// The exporter (see the module docs). Shuts down on drop.
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Binds `addr` (e.g. `127.0.0.1:9464`, port 0 for ephemeral) and
+    /// starts serving `source` on a background thread.
+    pub fn bind(addr: &str, source: MetricsSource) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread_stop = stop.clone();
+        let handle = std::thread::Builder::new()
+            .name("tamp-metrics".into())
+            .spawn(move || accept_loop(&listener, &source, &thread_stop))?;
+        Ok(Self {
+            addr: local,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (resolves port 0 binds).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the accept loop and joins the exporter thread.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, source: &MetricsSource, stop: &AtomicBool) {
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                // Serving metrics never takes the host down; a broken
+                // scraper connection is its problem.
+                let _ = handle_connection(stream, source);
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, source: &MetricsSource) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_millis(1000)))?;
+    stream.set_write_timeout(Some(Duration::from_millis(1000)))?;
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 1024];
+    // Read until the end of the request head; the exporter never reads
+    // bodies (GET only) and bounds the head at 16 KiB.
+    while !buf.windows(4).any(|w| w == b"\r\n\r\n") && buf.len() < 16 * 1024 {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e) => return Err(e),
+        }
+    }
+    let head = String::from_utf8_lossy(&buf);
+    let request_line = head.lines().next().unwrap_or("");
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    let (status, content_type, body) = respond(method, path, source);
+    write!(
+        stream,
+        "HTTP/1.0 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    )?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+fn respond(
+    method: &str,
+    path: &str,
+    source: &MetricsSource,
+) -> (&'static str, &'static str, String) {
+    if method != "GET" {
+        return (
+            "405 Method Not Allowed",
+            "text/plain",
+            "GET only\n".to_string(),
+        );
+    }
+    match path {
+        "/metrics" => {
+            let (snapshot, live) = source();
+            (
+                "200 OK",
+                "text/plain; version=0.0.4",
+                prom::render(&snapshot, live.as_ref()),
+            )
+        }
+        "/metrics.json" => {
+            let (snapshot, live) = source();
+            let live_json = live.map_or_else(|| "null".to_string(), |v| v.to_json());
+            (
+                "200 OK",
+                "application/json",
+                format!(
+                    "{{\"cumulative\":{},\"live\":{}}}",
+                    snapshot.to_json(),
+                    live_json
+                ),
+            )
+        }
+        _ => (
+            "404 Not Found",
+            "text/plain",
+            "try /metrics or /metrics.json\n".to_string(),
+        ),
+    }
+}
+
+/// A one-shot HTTP GET against an exporter (the client side of
+/// [`MetricsServer`], used by `tamp metrics` and the integration
+/// tests). Returns the response body; non-2xx statuses are errors.
+pub fn http_get(addr: &str, path: &str) -> std::io::Result<String> {
+    let target = addr
+        .to_socket_addrs()?
+        .next()
+        .ok_or_else(|| std::io::Error::new(ErrorKind::InvalidInput, format!("bad addr {addr}")))?;
+    let mut stream = TcpStream::connect_timeout(&target, Duration::from_secs(2))?;
+    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+    write!(stream, "GET {path} HTTP/1.0\r\nHost: {addr}\r\n\r\n")?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response)?;
+    let (head, body) = response
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| std::io::Error::new(ErrorKind::InvalidData, "no response head"))?;
+    let status_line = head.lines().next().unwrap_or("");
+    let status = status_line.split_whitespace().nth(1).unwrap_or("");
+    if !status.starts_with('2') {
+        return Err(std::io::Error::other(format!("{status_line} for {path}")));
+    }
+    Ok(body.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tamp_obs::{MetricsRegistry, WindowedRegistry};
+
+    fn test_source() -> MetricsSource {
+        let reg = MetricsRegistry::new();
+        reg.count("serve.shed", 7);
+        reg.observe("serve.step.latency_ms", 1.25);
+        let live = WindowedRegistry::new(4);
+        live.count("shard0", "serve.shed", 7);
+        live.observe("shard0", "serve.step.latency_ms", 1.25);
+        live.advance();
+        Arc::new(move || (reg.snapshot(), Some(live.view(4))))
+    }
+
+    #[test]
+    fn serves_prometheus_text_and_json() {
+        let server = MetricsServer::bind("127.0.0.1:0", test_source()).unwrap();
+        let addr = server.local_addr().to_string();
+
+        let text = http_get(&addr, "/metrics").unwrap();
+        let samples = prom::parse_text(&text).unwrap();
+        let shed = samples
+            .iter()
+            .find(|s| s.name == "tamp_serve_shed_total")
+            .unwrap();
+        assert_eq!(shed.value, 7.0);
+        assert!(
+            samples
+                .iter()
+                .any(|s| s.name == "tamp_window_serve_shed_total"
+                    && s.label("scope") == Some("fleet"))
+        );
+
+        let json = http_get(&addr, "/metrics.json").unwrap();
+        let doc = tamp_obs::json::parse(&json).unwrap();
+        let cumulative = doc.get("cumulative").unwrap();
+        assert_eq!(
+            cumulative.get("counters").and_then(|c| c.get("serve.shed")),
+            Some(&tamp_obs::json::JsonValue::Num(7.0))
+        );
+        let live = LiveView::from_json_value(doc.get("live").unwrap()).unwrap();
+        assert_eq!(live.fleet.counters["serve.shed"], 7);
+    }
+
+    #[test]
+    fn unknown_paths_and_methods_are_rejected() {
+        let server = MetricsServer::bind("127.0.0.1:0", test_source()).unwrap();
+        let addr = server.local_addr().to_string();
+        assert!(http_get(&addr, "/nope").is_err());
+    }
+
+    #[test]
+    fn shutdown_joins_the_exporter_thread() {
+        let mut server = MetricsServer::bind("127.0.0.1:0", test_source()).unwrap();
+        let addr = server.local_addr().to_string();
+        assert!(http_get(&addr, "/metrics").is_ok());
+        server.shutdown();
+        // Idempotent.
+        server.shutdown();
+    }
+}

@@ -21,6 +21,10 @@
 //!   stepping, snapshot cadence, crash drills, predictor hot-swap,
 //!   graceful shutdown, per-shard reports with latency percentiles.
 //! * [`clock`] — window pacing (accelerated clock for simulation).
+//! * [`http`] — the zero-dependency metrics exporter (`serve
+//!   --metrics-addr`): Prometheus text and own-codec JSON over a tiny
+//!   blocking listener, reading the host's cumulative snapshot and
+//!   sliding-window [`tamp_obs::LiveView`] mid-run.
 //!
 //! The serve path reuses the exact engine the experiments run, so a
 //! serve run over a replayed workload is **byte-identical** to the
@@ -35,13 +39,15 @@
 pub mod clock;
 pub mod event;
 pub mod host;
+pub mod http;
 pub mod queue;
 pub mod shard;
 pub mod snapshot;
 
 pub use clock::Pacing;
 pub use event::{EventStream, ShardEvent};
-pub use host::{HostConfig, ServeHost, ServeReport, ShardReport};
+pub use host::{HostConfig, ServeHost, ServeReport, ShardReport, SloReportRow};
+pub use http::{http_get, MetricsServer, MetricsSource};
 pub use queue::BoundedQueue;
 pub use shard::{OverloadPolicy, RetryEntry, Shard, ShardConfig, SubmissionCounts, SwapOutcome};
 pub use snapshot::{ShardSnapshot, SHARD_SNAPSHOT_FORMAT, SHARD_SNAPSHOT_VERSION};

@@ -103,6 +103,10 @@ pub struct ShardConfig {
     pub queue_capacity: usize,
     /// What to do with submissions the queue refuses.
     pub overload: OverloadPolicy,
+    /// Artificial per-window sleep inside the timed step section,
+    /// milliseconds — a seeded latency regression for SLO-gate drills
+    /// (`serve --perturb-sleep-ms`; 0 disables).
+    pub perturb_step_sleep_ms: f64,
 }
 
 impl Default for ShardConfig {
@@ -118,6 +122,7 @@ impl Default for ShardConfig {
             faults: None,
             queue_capacity: 4096,
             overload: OverloadPolicy::Shed,
+            perturb_step_sleep_ms: 0.0,
         }
     }
 }
@@ -384,6 +389,13 @@ impl Shard {
         }
         let degrade = std::mem::take(&mut self.degrade_pending);
         let started = std::time::Instant::now();
+        if self.cfg.perturb_step_sleep_ms > 0.0 {
+            // Inside the timed section on purpose: the regression must
+            // show up in `step_seconds` and every latency SLO above it.
+            std::thread::sleep(std::time::Duration::from_secs_f64(
+                self.cfg.perturb_step_sleep_ms / 1e3,
+            ));
+        }
         let ctx = StepCtx {
             workload: &self.workload,
             predictors: self.predictors.as_ref(),

@@ -1,0 +1,283 @@
+//! Live-observability guarantees of the serve layer:
+//!
+//! * the windowed (sliding-window) metrics, the cumulative telemetry
+//!   snapshot, and the per-shard `ServeReport` accounting all agree —
+//!   three independent paths to the same totals;
+//! * the `--metrics-addr` exporter answers Prometheus text and JSON
+//!   scrapes *mid-run*, and the live view advances between scrapes;
+//! * a declarative SLO spec evaluated live inside the host stays green
+//!   on a clean run and trips decisively under a seeded latency
+//!   regression (`perturb_step_sleep_ms`);
+//! * the window log replays offline into the exact same SLO verdicts
+//!   the live engine reached.
+
+use std::sync::Arc;
+use tamp_meta::meta_training::MetaConfig;
+use tamp_obs::{
+    LiveView, Obs, SloEngine, SloKind, SloSet, SloSpec, WindowSnapshot, WindowedRegistry,
+};
+use tamp_platform::{
+    train_predictors, AssignmentAlgo, EngineConfig, LossKind, PredictionAlgo, TrainedPredictors,
+    TrainingConfig,
+};
+use tamp_serve::{
+    http_get, HostConfig, MetricsServer, OverloadPolicy, ServeHost, Shard, ShardConfig,
+};
+use tamp_sim::{Scale, Workload, WorkloadConfig, WorkloadKind};
+
+fn tiny_workload(seed: u64) -> Workload {
+    WorkloadConfig::new(WorkloadKind::PortoDidi, Scale::tiny(), seed).build()
+}
+
+fn quick_predictors(w: &Workload, seed: u64) -> TrainedPredictors {
+    train_predictors(
+        w,
+        &TrainingConfig {
+            algo: PredictionAlgo::Maml,
+            loss: LossKind::Mse,
+            hidden: 6,
+            seq_in: 3,
+            meta: MetaConfig {
+                iterations: 2,
+                ..MetaConfig::default()
+            },
+            adapt_steps: 2,
+            seed,
+            ..TrainingConfig::default()
+        },
+    )
+}
+
+fn shard(name: &str, seed: u64, queue_capacity: usize, perturb_ms: f64) -> Shard {
+    let w = tiny_workload(seed);
+    let p = quick_predictors(&w, seed);
+    let cfg = ShardConfig {
+        algo: AssignmentAlgo::Ppi,
+        engine: EngineConfig {
+            seq_in: 3,
+            prediction_cache: true,
+            seed,
+            ..EngineConfig::default()
+        },
+        faults: None,
+        queue_capacity,
+        overload: OverloadPolicy::Shed,
+        perturb_step_sleep_ms: perturb_ms,
+    };
+    Shard::new(name, w, Some(p), cfg).expect("shard construction")
+}
+
+fn latency_slo(max_ms: f64, window: usize) -> SloSet {
+    SloSet {
+        slos: vec![SloSpec {
+            name: "step-p99".into(),
+            metric: "serve.step.latency_ms".into(),
+            kind: SloKind::Quantile(0.99),
+            max: max_ms,
+            window,
+            max_burn_rate: 0.0,
+            trace_span: Some("serve.batch".into()),
+        }],
+    }
+}
+
+/// Sum of one windowed counter over every scope and retained window.
+fn fleet_counter(live: &WindowedRegistry, name: &str) -> u64 {
+    live.fleet_tail(usize::MAX)
+        .counters
+        .get(name)
+        .copied()
+        .unwrap_or(0)
+}
+
+#[test]
+fn windowed_cumulative_and_report_accounting_agree() {
+    let live = Arc::new(WindowedRegistry::new(4096));
+    let (obs, _mem) = Obs::in_memory();
+    // A tiny queue forces shedding, so the reconciliation also covers
+    // the overload counters, not just the happy path.
+    let shards = vec![shard("s0", 11, 4, 0.0), shard("s1", 12, 4, 0.0)];
+    let host = ServeHost::new(
+        shards,
+        HostConfig {
+            live: Some(live.clone()),
+            ..HostConfig::default()
+        },
+    );
+    let report = host.run(&obs);
+    let snapshot = obs.snapshot();
+
+    let counter = |name: &str| snapshot.counters.get(name).copied().unwrap_or(0);
+    let submitted: usize = report
+        .shards
+        .iter()
+        .map(|s| s.counts.submitted_tasks + s.counts.submitted_reports)
+        .sum();
+    let shed: usize = report.shards.iter().map(|s| s.counts.shed()).sum();
+    let hits: u64 = report.shards.iter().map(|s| s.cache.hits).sum();
+    let misses: u64 = report.shards.iter().map(|s| s.cache.misses).sum();
+    assert!(submitted > 0, "tiny workload must submit something");
+    assert!(shed > 0, "capacity-4 queues must shed");
+
+    // Cumulative snapshot == report accounting.
+    assert_eq!(counter("serve.submitted"), submitted as u64);
+    assert_eq!(counter("serve.shed"), shed as u64);
+    assert_eq!(counter("serve.cache.hit"), hits);
+    assert_eq!(counter("serve.cache.miss"), misses);
+
+    // Windowed fleet totals == both of the above.
+    assert_eq!(fleet_counter(&live, "serve.submitted"), submitted as u64);
+    assert_eq!(fleet_counter(&live, "serve.shed"), shed as u64);
+    assert_eq!(fleet_counter(&live, "serve.cache.hit"), hits);
+    assert_eq!(fleet_counter(&live, "serve.cache.miss"), misses);
+
+    // Per-scope merges match per-shard reports, and the latency
+    // histogram saw every stepped window.
+    let merged = live.merged_tail(usize::MAX);
+    let total_windows: u64 = report.shards.iter().map(|s| s.windows).sum();
+    for s in &report.shards {
+        let cell = &merged[&s.name];
+        assert_eq!(
+            cell.counters.get("serve.submitted").copied().unwrap_or(0),
+            (s.counts.submitted_tasks + s.counts.submitted_reports) as u64,
+            "scope {}",
+            s.name
+        );
+        assert_eq!(
+            cell.counters.get("serve.shed").copied().unwrap_or(0),
+            s.counts.shed() as u64,
+            "scope {}",
+            s.name
+        );
+    }
+    let fleet_hist = &live.fleet_tail(usize::MAX).histograms["serve.step.latency_ms"];
+    assert_eq!(fleet_hist.count(), total_windows);
+    assert_eq!(
+        snapshot.histograms["serve.step.latency_ms"].count,
+        total_windows
+    );
+}
+
+#[test]
+fn exporter_answers_scrapes_mid_run() {
+    let live = Arc::new(WindowedRegistry::new(64));
+    let obs = Obs::null();
+    let shards = vec![shard("s0", 21, 1 << 16, 0.0), shard("s1", 22, 1 << 16, 0.0)];
+    let mut host = ServeHost::new(
+        shards,
+        HostConfig {
+            live: Some(live.clone()),
+            ..HostConfig::default()
+        },
+    );
+    host.run_windows(3, &obs);
+
+    let src_live = live.clone();
+    let src_obs = obs.clone();
+    let server = MetricsServer::bind(
+        "127.0.0.1:0",
+        Arc::new(move || (src_obs.snapshot(), Some(src_live.view(64)))),
+    )
+    .expect("bind ephemeral port");
+    let addr = server.local_addr().to_string();
+
+    // First scrape: Prometheus text, mid-run.
+    let text = http_get(&addr, "/metrics").expect("scrape /metrics");
+    let samples = tamp_obs::prom::parse_text(&text).expect("well-formed exposition");
+    let submitted = samples
+        .iter()
+        .find(|s| {
+            s.name == "tamp_window_serve_submitted_total" && s.label("scope") == Some("fleet")
+        })
+        .expect("fleet submitted series");
+    assert!(submitted.value > 0.0);
+    let latest = samples
+        .iter()
+        .find(|s| s.name == "tamp_window_latest")
+        .expect("window index series");
+    assert_eq!(latest.value, 2.0, "three sealed windows -> latest index 2");
+
+    // The run continues under the exporter; the view advances.
+    host.run_windows(3, &obs);
+    let json = http_get(&addr, "/metrics.json").expect("scrape /metrics.json");
+    let doc = tamp_obs::json::parse(&json).expect("well-formed JSON");
+    let view = LiveView::from_json_value(doc.get("live").expect("live field")).expect("live view");
+    assert_eq!(view.latest, Some(5));
+    assert!(view.scopes.contains_key("s0") && view.scopes.contains_key("s1"));
+    assert!(view.fleet.counters["serve.submitted"] >= submitted.value as u64);
+
+    host.shutdown(&obs);
+}
+
+#[test]
+fn slo_stays_green_clean_and_trips_under_seeded_regression() {
+    let dir = std::env::temp_dir().join(format!("tamp-obs-slo-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+
+    // Clean run against a generous threshold: green.
+    let live = Arc::new(WindowedRegistry::new(8));
+    let (obs, _mem) = Obs::in_memory();
+    let host = ServeHost::new(
+        vec![shard("s0", 31, 1 << 16, 0.0)],
+        HostConfig {
+            live: Some(live),
+            slo: Some(latency_slo(250.0, 4)),
+            ..HostConfig::default()
+        },
+    );
+    let clean = host.run(&obs);
+    assert_eq!(clean.slos.len(), 1);
+    assert!(!clean.slos[0].breached, "clean run within 250 ms p99");
+    assert_eq!(clean.slos[0].violations, 0);
+    assert_eq!(
+        obs.snapshot().counters.get("slo.violation.step-p99"),
+        None,
+        "no violation counters on a green run"
+    );
+
+    // Seeded regression: an 8 ms sleep inside the timed step section
+    // must push p99 past a 5 ms threshold in every window.
+    let log_path = dir.join("windows.jsonl");
+    let live = Arc::new(WindowedRegistry::new(8));
+    let (obs, _mem) = Obs::in_memory();
+    let host = ServeHost::new(
+        vec![shard("s0", 31, 1 << 16, 8.0)],
+        HostConfig {
+            live: Some(live),
+            window_log: Some(log_path.clone()),
+            slo: Some(latency_slo(5.0, 4)),
+            ..HostConfig::default()
+        },
+    );
+    let hot = host.run(&obs);
+    let row = &hot.slos[0];
+    assert!(row.breached, "8 ms perturbation must trip a 5 ms SLO");
+    assert!(row.evaluated > 0);
+    assert_eq!(row.violations, row.evaluated, "every window violates");
+    assert!(row.worst >= 8.0);
+    assert_eq!(
+        obs.snapshot()
+            .counters
+            .get("slo.violation.step-p99")
+            .copied(),
+        Some(row.violations),
+        "one counter bump per violating evaluation"
+    );
+
+    // Offline replay of the window log reaches the same verdict — the
+    // `tamp slo-check --windows` code path.
+    let text = std::fs::read_to_string(&log_path).expect("window log written");
+    let replay = WindowedRegistry::new(8);
+    let mut engine = SloEngine::new(latency_slo(5.0, 4));
+    for line in text.lines() {
+        let snap = WindowSnapshot::from_json(line).expect("well-formed window line");
+        replay.push_sealed(snap);
+        engine.evaluate(&replay);
+    }
+    let offline = &engine.outcomes()[0];
+    assert_eq!(offline.evaluated, row.evaluated);
+    assert_eq!(offline.violations, row.violations);
+    assert_eq!(offline.breached, row.breached);
+
+    std::fs::remove_dir_all(&dir).ok();
+}

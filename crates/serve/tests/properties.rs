@@ -127,6 +127,7 @@ fn run_host(
                 faults,
                 queue_capacity,
                 overload,
+                perturb_step_sleep_ms: 0.0,
             };
             Shard::new(format!("s{seed}"), w, Some(p), cfg).expect("valid shard")
         })

@@ -66,6 +66,7 @@ fn shard_cfg(cache: bool, queue_capacity: usize) -> ShardConfig {
         faults: None,
         queue_capacity,
         overload: OverloadPolicy::Shed,
+        perturb_step_sleep_ms: 0.0,
     }
 }
 

@@ -104,6 +104,40 @@ for i in 0 1; do
     fi
 done
 
+echo "== serve SLO gate (clean run passes, seeded regression trips)"
+# Positive arm: a clean 2-shard serve with the full live-observability
+# stack — windowed registry, window log, head-sampled trace, metrics
+# snapshot, report — against the committed SLO spec. The sampled trace
+# must still reconcile exactly (obs.sampled.* corrections), the window
+# log must agree with the cumulative snapshot and the per-shard report,
+# and every offline slo-check source must stay green.
+cargo run --release -p tamp-cli --offline -q -- serve \
+    --shards 2 --kind porto --scale tiny --seed 7 --algo ppi \
+    --slo slo/serve.slo.toml --windows-log "$SMOKE_DIR/windows.jsonl" \
+    --report "$SMOKE_DIR/serve.report.json" \
+    --trace "$SMOKE_DIR/serve.trace.jsonl" --trace-sample-head 64 \
+    --metrics "$SMOKE_DIR/serve.metrics.json" >/dev/null
+cargo run --release -p tamp-cli --offline -q -- trace-validate \
+    --trace "$SMOKE_DIR/serve.trace.jsonl" --metrics "$SMOKE_DIR/serve.metrics.json" \
+    --windows "$SMOKE_DIR/windows.jsonl" --serve-report "$SMOKE_DIR/serve.report.json"
+cargo run --release -p tamp-cli --offline -q -- slo-check --spec slo/serve.slo.toml \
+    --windows "$SMOKE_DIR/windows.jsonl" --metrics "$SMOKE_DIR/serve.metrics.json" \
+    --trace "$SMOKE_DIR/serve.trace.jsonl" --serve-latency results/serve_latency.json
+# Negative arm: 60 ms seeded into the timed step section must push p99
+# two orders of magnitude past the 25 ms objective and fail the gate.
+cargo run --release -p tamp-cli --offline -q -- serve \
+    --shards 1 --kind porto --scale tiny --seed 7 --algo ppi \
+    --perturb-sleep-ms 60 --slo slo/serve.slo.toml \
+    --windows-log "$SMOKE_DIR/windows.perturbed.jsonl" >/dev/null
+if cargo run --release -p tamp-cli --offline -q -- slo-check --spec slo/serve.slo.toml \
+    --windows "$SMOKE_DIR/windows.perturbed.jsonl" >/dev/null 2>&1; then
+    echo "FAIL: slo-check passed a 60 ms seeded latency regression" >&2
+    exit 1
+fi
+
+echo "== bench trajectory check (committed results within tolerance)"
+cargo run --release -p tamp-bench --offline -q --bin bench_trajectory -- --check
+
 echo "== rustdoc (deny warnings)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --offline --no-deps -q
 
