@@ -1,0 +1,615 @@
+//! Forward-auction matching backend (Bertsekas' auction algorithm) with
+//! ε-scaling, sparse adjacency, and cross-window warm-started prices.
+//!
+//! The exact Hungarian backend allocates a dense O(n·m) cost matrix per
+//! connected component; one giant city-scale component makes that
+//! infeasible. The auction backend works directly on the sparse edge
+//! list (CSR adjacency) and runs Gauss–Seidel bidding rounds:
+//!
+//! * **Symmetrisation.** An assignment component is rectangular and its
+//!   optimum may leave vertices unmatched — the regime where a plain
+//!   forward auction needs fragile price-repair passes. Instead the
+//!   component is doubled into a square problem that always has a
+//!   perfect matching: real persons and one *dummy person* per object on
+//!   one side; real objects and one *dummy object* per person on the
+//!   other. Person `i` keeps its real edges plus a zero-weight edge to
+//!   its dummy object; dummy person `j` gets a zero-weight edge to its
+//!   object `j` plus zero-weight *mirror* edges `(dummy person j, dummy
+//!   object i)` for every real edge `(i, j)`. A perfect matching of the
+//!   doubled graph restricted to real–real pairs is exactly a matching
+//!   of the original component, and since every object ends owned, the
+//!   textbook symmetric auction guarantees apply verbatim — prices only
+//!   ever rise and no post-hoc repair is needed.
+//! * **Cardinality dominance.** Real edge weights are shifted by a bonus
+//!   `B = k+1` (in span-normalised units, `k = min(lefts, rights)`) so
+//!   any matching with one more real edge beats any smaller matching by
+//!   ≥ 1. Running the ε-schedule down to `n·ε < 1` therefore forces the
+//!   same cardinality as the exact solver.
+//! * **ε-scaling.** Phases start at ε ≈ B/θ and divide by θ until
+//!   `ε_final`; prices persist across phases, so each phase re-assigns
+//!   quickly. The terminal assignment satisfies ε-complementary
+//!   slackness, putting its total shifted value within `n·ε_final` of
+//!   the optimum — and its raw weight within `n·ε_final·scale` (scale
+//!   ≤ 4·span) of the exact matching weight.
+//! * **Warm starts.** Final prices (real and dummy objects) are cached
+//!   per component, keyed by an FNV-1a signature of the component's
+//!   stable vertex keys (task/worker ids) and stored in stable-key
+//!   order, so positional reshuffles between windows still hit. Prices
+//!   are only meaningful under the weight transform that produced them,
+//!   so the transform is *quantised* (offset and scale snapped to
+//!   powers of two of the observed span) — the small window-to-window
+//!   weight drift warm starts exist for leaves it bit-identical — and
+//!   stored with the prices; a transform change reads as a miss. A warm
+//!   hit skips the cold front of the ε-schedule and starts at the drift
+//!   scale (`WARM_EPS_START`). Stale seed prices cannot break
+//!   optimality — the symmetric auction converges from arbitrary
+//!   starting prices — they only cost extra bids; a bid budget plus one
+//!   full cold restart bound the worst case.
+//!
+//! Equivalence against the exact oracle (cardinality equal, weight within
+//! the ε-bound) is property-tested in `tests/solver_properties.rs` and
+//! re-asserted per repeat by the `diag_scale` workload.
+
+use crate::hungarian::WeightedEdge;
+use crate::solver::{MatchingSolver, SolverKind, SolverStats, VertexKeys};
+use std::collections::HashMap;
+
+/// ε divisor between scaling phases.
+const THETA: f64 = 5.0;
+/// First ε of a warm-started schedule, in scaled weight units. Seeded
+/// prices already encode the bonus-scale structure, so only phases at ε
+/// around and below the window-to-window weight drift do useful work;
+/// 2⁻⁸ of the span covers sub-half-percent drift in O(1) bids per
+/// conflict. (Jumping straight to the final ε instead is catastrophic:
+/// the doubled graph's dummy side is all exact ties, so a drift-sized
+/// price correction there costs drift/ε_final bids.)
+const WARM_EPS_START: f64 = 1.0 / 256.0;
+/// Warm cache entries kept before the cache is dropped wholesale (one
+/// price vector per component signature; city batches have few, engine
+/// stage-2 mini-batches many tiny ones).
+const WARM_CACHE_CAP: usize = 8192;
+
+const UNASSIGNED: u32 = u32::MAX;
+
+/// The forward-auction backend. See the module docs for the algorithm;
+/// construct with [`AuctionSolver::new`] (cold every solve) or
+/// [`AuctionSolver::with_warm_start`] (cross-window price cache).
+#[derive(Debug)]
+pub struct AuctionSolver {
+    warm: Option<HashMap<u64, Vec<f64>>>,
+    stats: SolverStats,
+}
+
+impl Default for AuctionSolver {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AuctionSolver {
+    /// A backend that solves every component cold.
+    pub fn new() -> Self {
+        Self {
+            warm: None,
+            stats: SolverStats::default(),
+        }
+    }
+
+    /// A backend that caches final prices per component signature and
+    /// seeds the next solve of the same vertex set from them.
+    pub fn with_warm_start() -> Self {
+        Self {
+            warm: Some(HashMap::new()),
+            stats: SolverStats::default(),
+        }
+    }
+
+    /// Whether the warm-start cache is enabled.
+    pub fn warm_start_enabled(&self) -> bool {
+        self.warm.is_some()
+    }
+
+    /// Drops all cached prices (every later component solves cold once).
+    pub fn clear_warm_cache(&mut self) {
+        if let Some(cache) = &mut self.warm {
+            cache.clear();
+        }
+    }
+}
+
+/// FNV-1a over a `u64` stream.
+fn fnv1a(acc: u64, x: u64) -> u64 {
+    let mut h = acc;
+    for b in x.to_le_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Signature of a component's vertex set: FNV-1a over the sorted stable
+/// left keys, a separator, then the sorted stable right keys.
+fn component_signature(lkeys_sorted: &[u64], rkeys_sorted: &[u64]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &k in lkeys_sorted {
+        h = fnv1a(h, k);
+    }
+    h = fnv1a(h, u64::MAX); // separator between the two sides
+    for &k in rkeys_sorted {
+        h = fnv1a(h, k);
+    }
+    h
+}
+
+/// One Gauss–Seidel bidding run at a fixed ε: pops unassigned persons,
+/// lets each bid `v1 − v2 + ε` on its best object, displacing the
+/// previous owner. Returns `false` if `budget` bids were exhausted with
+/// persons still unassigned.
+#[allow(clippy::too_many_arguments)]
+fn run_bidding(
+    eps: f64,
+    offsets: &[u32],
+    adj_r: &[u32],
+    adj_w: &[f64],
+    price: &mut [f64],
+    owner: &mut [u32],
+    assigned: &mut [u32],
+    stack: &mut Vec<u32>,
+    bids: &mut u64,
+    budget: &mut u64,
+) -> bool {
+    while let Some(i) = stack.pop() {
+        if *budget == 0 {
+            stack.push(i);
+            return false;
+        }
+        *budget -= 1;
+        *bids += 1;
+        let iu = i as usize;
+        // Best and second-best margins over the person's options; ties
+        // keep the first-scanned object, so bidding is deterministic.
+        let mut best_j = UNASSIGNED;
+        let mut v1 = f64::NEG_INFINITY;
+        let mut v2 = f64::NEG_INFINITY;
+        for t in offsets[iu] as usize..offsets[iu + 1] as usize {
+            let m = adj_w[t] - price[adj_r[t] as usize];
+            if m > v1 {
+                v2 = v1;
+                v1 = m;
+                best_j = adj_r[t];
+            } else if m > v2 {
+                v2 = m;
+            }
+        }
+        // Every person in the doubled graph has ≥ 2 options (a real or
+        // mirror edge plus its private zero edge), so v2 is finite and
+        // the bid raises the winning price by at least ε.
+        debug_assert!(v2.is_finite(), "doubled graph row with < 2 options");
+        let inc = (v1 - v2 + eps).max(eps);
+        let j = best_j as usize;
+        price[j] += inc;
+        let prev = owner[j];
+        if prev != UNASSIGNED {
+            assigned[prev as usize] = UNASSIGNED;
+            stack.push(prev);
+        }
+        owner[j] = i;
+        assigned[iu] = best_j;
+    }
+    true
+}
+
+impl MatchingSolver for AuctionSolver {
+    fn kind(&self) -> SolverKind {
+        SolverKind::Auction
+    }
+
+    fn solve_component(
+        &mut self,
+        edges: &[&WeightedEdge],
+        keys: Option<&VertexKeys<'_>>,
+        out: &mut Vec<(usize, usize)>,
+    ) {
+        // ---- Compact vertex ids and keep the best parallel edge ----
+        let mut lefts: Vec<usize> = edges.iter().map(|e| e.left).collect();
+        lefts.sort_unstable();
+        lefts.dedup();
+        let mut rights: Vec<usize> = edges.iter().map(|e| e.right).collect();
+        rights.sort_unstable();
+        rights.dedup();
+        let (ln, rn) = (lefts.len(), rights.len());
+
+        let mut tri: Vec<(u32, u32, f64)> = edges
+            .iter()
+            .map(|e| {
+                let l = lefts.binary_search(&e.left).expect("left id present") as u32;
+                let r = rights.binary_search(&e.right).expect("right id present") as u32;
+                (l, r, e.weight)
+            })
+            .collect();
+        // Ascending weight within (l, r): the last duplicate kept is the
+        // best parallel edge, matching the exact backend's `min(-w)`.
+        tri.sort_unstable_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)).then(a.2.total_cmp(&b.2)));
+        tri.dedup_by(|next, prev| {
+            if next.0 == prev.0 && next.1 == prev.1 {
+                prev.2 = next.2; // `next` is removed; keep its (max) weight
+                true
+            } else {
+                false
+            }
+        });
+
+        let (mut wmin, mut wmax) = (f64::INFINITY, f64::NEG_INFINITY);
+        for &(_, _, w) in &tri {
+            wmin = wmin.min(w);
+            wmax = wmax.max(w);
+        }
+        // Quantised weight transform: `unit` is the next power of two
+        // ≥ the observed span and the offset is `wmin` rounded down to a
+        // multiple of it, so the small window-to-window weight drift the
+        // warm cache exists for leaves the transform *bit-identical* and
+        // cached prices stay directly comparable. (Prices carry the
+        // cardinality bonus ≈ k, so even a 1% rescale of the transform
+        // would throw seed prices off by ~0.01·k — catastrophically far
+        // at the final ε.) Normalised weights land in [0, 1): the
+        // rounding remainder is < unit and span ≤ unit, scale = 2·unit.
+        let span = (wmax - wmin).max(0.0);
+        let unit = if span > 0.0 && span.is_finite() {
+            span.log2().ceil().exp2()
+        } else {
+            1.0
+        };
+        let scale = 2.0 * unit;
+        let wmin_q = {
+            let q = (wmin / unit).floor() * unit;
+            if q.is_finite() {
+                q
+            } else {
+                wmin
+            }
+        };
+        let k = ln.min(rn) as f64;
+        let bonus = k + 1.0;
+
+        // ---- Doubled (square) problem: persons = real ∪ one dummy per
+        // object; objects = real ∪ one dummy per person (module docs) ----
+        let n_ext = ln + rn;
+        let e_ext = 2 * tri.len() + n_ext;
+        let mut offsets = vec![0u32; n_ext + 1];
+        for &(l, r, _) in &tri {
+            offsets[l as usize + 1] += 1; // person l → object r
+            offsets[ln + r as usize + 1] += 1; // dummy person r → dummy object l
+        }
+        for v in offsets[1..].iter_mut() {
+            *v += 1; // private zero edge of every person row
+        }
+        for i in 0..n_ext {
+            offsets[i + 1] += offsets[i];
+        }
+        let mut adj_r = vec![0u32; e_ext];
+        let mut adj_w = vec![0.0f64; e_ext];
+        let mut cursor: Vec<u32> = offsets[..n_ext].to_vec();
+        for &(l, r, w) in &tri {
+            let c = cursor[l as usize] as usize;
+            adj_r[c] = r;
+            adj_w[c] = (w - wmin_q) / scale + bonus;
+            cursor[l as usize] += 1;
+        }
+        for i in 0..ln {
+            // person i → its dummy object rn+i (unmatched fallback)
+            adj_r[cursor[i] as usize] = (rn + i) as u32;
+            cursor[i] += 1;
+        }
+        for j in 0..rn {
+            // dummy person ln+j → its object j (object-unmatched fallback)
+            adj_r[cursor[ln + j] as usize] = j as u32;
+            cursor[ln + j] += 1;
+        }
+        for &(l, r, _) in &tri {
+            // mirror edge: frees both dummies when (l, r) is matched
+            let row = ln + r as usize;
+            adj_r[cursor[row] as usize] = (rn + l as usize) as u32;
+            cursor[row] += 1;
+        }
+
+        // ---- ε schedule ----
+        // Cardinality needs n_ext·ε_final below the dominance margin (1
+        // in span units); the floor keeps bid increments representable
+        // at the price scale (~bonus) so bidding can never stall on f64
+        // resolution.
+        let float_floor = (bonus + 2.0) * 2f64.powi(-40);
+        let eps_final = float_floor.max(1e-10).min(0.25 / n_ext as f64);
+        let mut full_schedule = Vec::new();
+        let mut eps = (bonus + 1.0) / THETA;
+        while eps > eps_final * THETA {
+            full_schedule.push(eps);
+            eps /= THETA;
+        }
+        full_schedule.push(eps_final);
+
+        // ---- Warm seed (prices stored in stable-key order per side) ----
+        let keyed = keys.map(|k| {
+            let mut lorder: Vec<u32> = (0..ln as u32).collect();
+            lorder.sort_unstable_by_key(|&i| (k.left[lefts[i as usize]], i));
+            let lkeys_sorted: Vec<u64> =
+                lorder.iter().map(|&i| k.left[lefts[i as usize]]).collect();
+            let mut rorder: Vec<u32> = (0..rn as u32).collect();
+            rorder.sort_unstable_by_key(|&j| (k.right[rights[j as usize]], j));
+            let rkeys_sorted: Vec<u64> = rorder
+                .iter()
+                .map(|&j| k.right[rights[j as usize]])
+                .collect();
+            (
+                component_signature(&lkeys_sorted, &rkeys_sorted),
+                lorder,
+                rorder,
+            )
+        });
+
+        let mut price = vec![0.0f64; n_ext];
+        let mut warm_used = false;
+        if let (Some(cache), Some((sig, lorder, rorder))) = (&self.warm, &keyed) {
+            // A seed is only usable if it was produced under the exact
+            // same weight transform (the quantised transform makes that
+            // the common case); `[wmin_q, scale]` is stored ahead of the
+            // prices, so a transform change reads as a miss.
+            match cache.get(sig) {
+                Some(seed)
+                    if seed.len() == n_ext + 2
+                        && seed[0].to_bits() == wmin_q.to_bits()
+                        && seed[1].to_bits() == scale.to_bits() =>
+                {
+                    for (slot, &j) in rorder.iter().enumerate() {
+                        let p = seed[2 + slot];
+                        price[j as usize] = if p.is_finite() && p > 0.0 { p } else { 0.0 };
+                    }
+                    for (slot, &i) in lorder.iter().enumerate() {
+                        let p = seed[2 + rn + slot];
+                        price[rn + i as usize] = if p.is_finite() && p > 0.0 { p } else { 0.0 };
+                    }
+                    warm_used = true;
+                    self.stats.warm_hits += 1;
+                }
+                _ => self.stats.warm_misses += 1,
+            }
+        }
+
+        self.stats.peak_sparse_bytes = self.stats.peak_sparse_bytes.max(
+            adj_r.len() * 4
+                + adj_w.len() * 8
+                + offsets.len() * 4
+                + n_ext * 8 // prices
+                + n_ext * 2 * 4 // owner / assigned
+                + n_ext * 4, // stack
+        );
+
+        // ---- Solve: ε phases over the doubled graph ----
+        let mut owner = vec![UNASSIGNED; n_ext];
+        let mut assigned = vec![UNASSIGNED; n_ext];
+        let mut stack: Vec<u32> = Vec::with_capacity(n_ext);
+        let phase_budget = 64 * (e_ext + 2 * n_ext) as u64 + 4096;
+        let final_budget = 256 * (e_ext + 2 * n_ext) as u64 + (1 << 20);
+        let mut restarted = false;
+
+        loop {
+            let schedule: &[f64] = if warm_used {
+                // Skip the cold front of the schedule (see
+                // `WARM_EPS_START`); the bids this saves vs a cold run
+                // are the warm-start win measured by `diag_scale`.
+                let from = full_schedule
+                    .iter()
+                    .position(|&e| e <= WARM_EPS_START)
+                    .unwrap_or(full_schedule.len() - 1);
+                &full_schedule[from..]
+            } else {
+                &full_schedule
+            };
+            let mut final_complete = true;
+            for (pi, &eps) in schedule.iter().enumerate() {
+                let is_final = pi + 1 == schedule.len();
+                owner.fill(UNASSIGNED);
+                assigned.fill(UNASSIGNED);
+                stack.clear();
+                stack.extend(0..n_ext as u32);
+                let mut budget = if is_final { final_budget } else { phase_budget };
+                self.stats.phases += 1;
+                let complete = run_bidding(
+                    eps,
+                    &offsets,
+                    &adj_r,
+                    &adj_w,
+                    &mut price,
+                    &mut owner,
+                    &mut assigned,
+                    &mut stack,
+                    &mut self.stats.bids,
+                    &mut budget,
+                );
+                // An intermediate phase that overruns its budget only
+                // leaves prices less converged; the final phase must
+                // finish for the assignment to be complete.
+                if is_final && !complete {
+                    final_complete = false;
+                }
+            }
+            if final_complete {
+                break;
+            }
+            if !restarted {
+                restarted = true;
+                warm_used = false;
+                price.fill(0.0);
+                self.stats.cold_restarts += 1;
+                continue;
+            }
+            self.stats.abandoned += 1;
+            break;
+        }
+
+        // ---- Collect real–real pairs and refresh the warm cache ----
+        for j in 0..rn {
+            let o = owner[j];
+            if o != UNASSIGNED && (o as usize) < ln {
+                out.push((lefts[o as usize], rights[j]));
+            }
+        }
+        if let (Some(cache), Some((sig, lorder, rorder))) = (&mut self.warm, &keyed) {
+            if cache.len() >= WARM_CACHE_CAP && !cache.contains_key(sig) {
+                cache.clear();
+            }
+            let mut stored = Vec::with_capacity(n_ext + 2);
+            stored.push(wmin_q);
+            stored.push(scale);
+            stored.extend(rorder.iter().map(|&j| price[j as usize]));
+            stored.extend(lorder.iter().map(|&i| price[rn + i as usize]));
+            cache.insert(*sig, stored);
+        }
+    }
+
+    fn stats(&self) -> &SolverStats {
+        &self.stats
+    }
+
+    fn stats_mut(&mut self) -> &mut SolverStats {
+        &mut self.stats
+    }
+
+    fn export_warm(&self) -> Vec<(u64, Vec<f64>)> {
+        let Some(cache) = &self.warm else {
+            return Vec::new();
+        };
+        let mut entries: Vec<(u64, Vec<f64>)> =
+            cache.iter().map(|(&k, v)| (k, v.clone())).collect();
+        entries.sort_unstable_by_key(|(k, _)| *k);
+        entries
+    }
+
+    fn import_warm(&mut self, warm: Vec<(u64, Vec<f64>)>) {
+        if let Some(cache) = &mut self.warm {
+            cache.clear();
+            cache.extend(warm.into_iter().take(WARM_CACHE_CAP));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::{solve_matching, solve_matching_keyed};
+    use rand::Rng;
+    use tamp_core::rng::rng_for;
+
+    #[test]
+    fn matches_exact_on_tiny_instances() {
+        let edges = [
+            WeightedEdge::new(0, 0, 1.0),
+            WeightedEdge::new(0, 1, 5.0),
+            WeightedEdge::new(1, 0, 5.0),
+            WeightedEdge::new(1, 1, 1.0),
+        ];
+        let mut auction = AuctionSolver::new();
+        let m = solve_matching(&mut auction, 2, 2, &edges);
+        assert_eq!(m, vec![(0, 1), (1, 0)]);
+    }
+
+    #[test]
+    fn cardinality_dominates_weight() {
+        // A weight-greedy (0,0) match blocks the second pair; the auction
+        // must still find the two-pair matching.
+        let edges = [
+            WeightedEdge::new(0, 0, 100.0),
+            WeightedEdge::new(0, 1, 1.0),
+            WeightedEdge::new(1, 0, 1.0),
+        ];
+        let mut auction = AuctionSolver::new();
+        let m = solve_matching(&mut auction, 2, 2, &edges);
+        assert_eq!(m.len(), 2, "both lefts must be matched: {m:?}");
+    }
+
+    #[test]
+    fn equal_weights_still_reach_full_cardinality() {
+        // All-tie weights are the auction's worst case (bid increments
+        // collapse to ε); the ε-schedule must still converge.
+        let mut edges = Vec::new();
+        for l in 0..20 {
+            for r in 0..15 {
+                edges.push(WeightedEdge::new(l, r, 3.0));
+            }
+        }
+        let mut auction = AuctionSolver::new();
+        let m = solve_matching(&mut auction, 20, 15, &edges);
+        assert_eq!(m.len(), 15);
+        assert_eq!(auction.stats().abandoned, 0);
+    }
+
+    #[test]
+    fn warm_start_hits_on_repeated_vertex_set() {
+        let left_keys: Vec<u64> = (100..110).collect();
+        let right_keys: Vec<u64> = (200..210).collect();
+        let keys = VertexKeys {
+            left: &left_keys,
+            right: &right_keys,
+        };
+        // Continuous random weights: no two sub-matchings tie (beware
+        // structured weights here — anything of the form `f(l) + g(r)`
+        // or with additive index patterns produces exact ties under
+        // 2-swaps or 3-cycles), so the optimum is unique and the warm
+        // resolve must land on the identical matching.
+        let mut wrng = rng_for(42, 7);
+        let edges: Vec<WeightedEdge> = (0..10)
+            .flat_map(|l| (0..10).map(|r| (l, r)).collect::<Vec<_>>())
+            .map(|(l, r)| WeightedEdge::new(l, r, wrng.gen_range(0.0..10.0)))
+            .collect();
+        let mut auction = AuctionSolver::with_warm_start();
+        let cold = solve_matching_keyed(&mut auction, 10, 10, &edges, &keys);
+        assert_eq!(auction.stats().warm_hits, 0);
+        let warm = solve_matching_keyed(&mut auction, 10, 10, &edges, &keys);
+        assert_eq!(cold, warm, "warm resolve must reproduce the matching");
+        assert!(auction.stats().warm_hits >= 1);
+    }
+
+    #[test]
+    fn warm_cache_round_trips_through_export_import() {
+        let left_keys: Vec<u64> = (0..4).collect();
+        let right_keys: Vec<u64> = (10..14).collect();
+        let keys = VertexKeys {
+            left: &left_keys,
+            right: &right_keys,
+        };
+        // Diagonal-dominant weights: the optimum is unique, so warm and
+        // cold solves must land on the identical matching.
+        let w = [
+            [9.0, 2.0, 1.0, 0.0],
+            [2.0, 9.0, 1.0, 0.0],
+            [1.0, 0.0, 9.0, 2.0],
+            [0.0, 1.0, 2.0, 9.0],
+        ];
+        let edges: Vec<WeightedEdge> = (0..4)
+            .flat_map(|l| (0..4).map(move |r| WeightedEdge::new(l, r, w[l][r])))
+            .collect();
+        let mut a = AuctionSolver::with_warm_start();
+        let plan = solve_matching_keyed(&mut a, 4, 4, &edges, &keys);
+        let exported = a.export_warm();
+        assert!(!exported.is_empty());
+
+        let mut b = AuctionSolver::with_warm_start();
+        b.import_warm(exported.clone());
+        assert_eq!(b.export_warm(), exported);
+        let replay = solve_matching_keyed(&mut b, 4, 4, &edges, &keys);
+        assert_eq!(plan, replay);
+        assert_eq!(b.stats().warm_hits, 1, "imported cache must seed the solve");
+    }
+
+    #[test]
+    fn signature_separates_sides() {
+        // Moving a key across sides must change the signature.
+        assert_ne!(
+            component_signature(&[1, 2], &[3]),
+            component_signature(&[1], &[2, 3])
+        );
+        assert_ne!(
+            component_signature(&[], &[7]),
+            component_signature(&[7], &[])
+        );
+    }
+}

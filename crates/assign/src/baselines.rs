@@ -16,7 +16,8 @@
 //!   selection.
 
 use crate::feasibility::theorem2_bound;
-use crate::hungarian::{max_weight_matching, WeightedEdge};
+use crate::hungarian::WeightedEdge;
+use crate::solver::{solve_matching_keyed, ExactKmSolver, MatchingSolver, VertexKeys};
 use crate::view::{ExcludedPairs, WorkerView};
 use rand::seq::SliceRandom;
 use rand::Rng;
@@ -37,7 +38,23 @@ fn matching_to_plan(
     workers: &[WorkerView],
     edges: &[WeightedEdge],
 ) -> Assignment {
-    let matched = max_weight_matching(tasks.len(), workers.len(), edges);
+    let mut solver = ExactKmSolver::default();
+    matching_to_plan_with(&mut solver, tasks, workers, edges)
+}
+
+fn matching_to_plan_with(
+    solver: &mut dyn MatchingSolver,
+    tasks: &[SpatialTask],
+    workers: &[WorkerView],
+    edges: &[WeightedEdge],
+) -> Assignment {
+    let left_keys: Vec<u64> = tasks.iter().map(|t| t.id.0).collect();
+    let right_keys: Vec<u64> = workers.iter().map(|w| w.id.0).collect();
+    let keys = VertexKeys {
+        left: &left_keys,
+        right: &right_keys,
+    };
+    let matched = solve_matching_keyed(solver, tasks.len(), workers.len(), edges, &keys);
     // The solver keeps the *best* of parallel edges, so the reported
     // score must be the max weight per pair — and a map lookup avoids an
     // O(E) scan per matched pair.
@@ -167,6 +184,22 @@ pub fn km_assign_excluding(
     now: Minutes,
     excluded: &ExcludedPairs,
 ) -> Assignment {
+    let mut solver = ExactKmSolver::default();
+    km_assign_excluding_with_solver(tasks, workers, now, excluded, &mut solver)
+}
+
+/// [`km_assign_excluding`] through a caller-owned [`MatchingSolver`] —
+/// the engine's backend seam. With [`ExactKmSolver`] the plan is
+/// byte-identical to [`km_assign_excluding`]. UB, LB and GGPSO have no
+/// solver variant: UB/LB are offline yardsticks (never on the serving
+/// path) and GGPSO does not use bipartite matching at all.
+pub fn km_assign_excluding_with_solver(
+    tasks: &[SpatialTask],
+    workers: &[WorkerView],
+    now: Minutes,
+    excluded: &ExcludedPairs,
+    solver: &mut dyn MatchingSolver,
+) -> Assignment {
     let mut edges = Vec::new();
     for (ti, task) in tasks.iter().enumerate() {
         for (wi, worker) in workers.iter().enumerate() {
@@ -180,7 +213,7 @@ pub fn km_assign_excluding(
             }
         }
     }
-    matching_to_plan(tasks, workers, &edges)
+    matching_to_plan_with(solver, tasks, workers, &edges)
 }
 
 /// [`km_assign_excluding`] with spatial prefiltering: identical output,
@@ -193,6 +226,19 @@ pub fn km_assign_indexed(
     workers: &[WorkerView],
     now: Minutes,
     excluded: &ExcludedPairs,
+) -> Assignment {
+    let mut solver = ExactKmSolver::default();
+    km_assign_indexed_with_solver(tasks, workers, now, excluded, &mut solver)
+}
+
+/// [`km_assign_indexed`] through a caller-owned [`MatchingSolver`]. With
+/// [`ExactKmSolver`] the plan is byte-identical to [`km_assign_indexed`].
+pub fn km_assign_indexed_with_solver(
+    tasks: &[SpatialTask],
+    workers: &[WorkerView],
+    now: Minutes,
+    excluded: &ExcludedPairs,
+    solver: &mut dyn MatchingSolver,
 ) -> Assignment {
     use crate::spatial::{BucketIndex, PrefilterBounds};
     if tasks.is_empty() || workers.is_empty() {
@@ -219,7 +265,7 @@ pub fn km_assign_indexed(
             }
         }
     }
-    matching_to_plan(tasks, workers, &edges)
+    matching_to_plan_with(solver, tasks, workers, &edges)
 }
 
 /// Hyper-parameters of the genetic baseline.

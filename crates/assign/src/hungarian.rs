@@ -38,12 +38,12 @@ impl WeightedEdge {
 
 /// Sentinel cost for a forbidden pairing. Any finite edge weight used by
 /// callers must be ≪ than this; `debug_assert`ed in the solver.
-const FORBIDDEN: f64 = 1.0e9;
+pub(crate) const FORBIDDEN: f64 = 1.0e9;
 
 /// Scratch buffers for [`solve_min_cost`], reused across rows and across
 /// per-component solves so the inner loop never allocates.
 #[derive(Debug, Default)]
-struct KmWorkspace {
+pub(crate) struct KmWorkspace {
     u: Vec<f64>,
     v: Vec<f64>,
     p: Vec<usize>,
@@ -145,41 +145,6 @@ fn solve_min_cost(n: usize, m: usize, cost: &[f64], ws: &mut KmWorkspace) -> Vec
     row_of_col
 }
 
-/// Disjoint-set union over compact vertex indices, used to split the
-/// bipartite graph into connected components.
-struct Dsu {
-    parent: Vec<u32>,
-}
-
-impl Dsu {
-    fn new(n: usize) -> Self {
-        Self {
-            parent: (0..n as u32).collect(),
-        }
-    }
-
-    fn find(&mut self, x: usize) -> usize {
-        let mut root = x;
-        while self.parent[root] as usize != root {
-            root = self.parent[root] as usize;
-        }
-        let mut cur = x;
-        while cur != root {
-            let next = self.parent[cur] as usize;
-            self.parent[cur] = root as u32;
-            cur = next;
-        }
-        root
-    }
-
-    fn union(&mut self, a: usize, b: usize) {
-        let (ra, rb) = (self.find(a), self.find(b));
-        if ra != rb {
-            self.parent[ra] = rb as u32;
-        }
-    }
-}
-
 /// Maximum-cardinality, maximum-weight matching over a sparse edge list.
 ///
 /// `n_left` and `n_right` bound the vertex indices; absent edges are
@@ -216,64 +181,20 @@ pub fn max_weight_matching(
     n_right: usize,
     edges: &[WeightedEdge],
 ) -> Vec<(usize, usize)> {
-    if n_left == 0 || n_right == 0 || edges.is_empty() {
-        return Vec::new();
-    }
-    for e in edges {
-        assert!(e.left < n_left, "edge.left out of range");
-        assert!(e.right < n_right, "edge.right out of range");
-        assert!(e.weight.is_finite(), "edge weight must be finite");
-        debug_assert!(
-            e.weight.abs() < FORBIDDEN / 1e3,
-            "edge weight too large vs FORBIDDEN sentinel"
-        );
-    }
-
-    // Only vertices that actually carry edges need to participate — this
-    // keeps the dense matrices small when the graph is sparse.
-    let mut left_ids: Vec<usize> = edges.iter().map(|e| e.left).collect();
-    left_ids.sort_unstable();
-    left_ids.dedup();
-    let mut right_ids: Vec<usize> = edges.iter().map(|e| e.right).collect();
-    right_ids.sort_unstable();
-    right_ids.dedup();
-
-    let ln = left_ids.len();
-    let left_pos = |v: usize| left_ids.binary_search(&v).expect("left id present");
-    let right_pos = |v: usize| right_ids.binary_search(&v).expect("right id present");
-
-    // Connected components over compact indices: lefts are 0..ln, rights
-    // are ln..ln+rn.
-    let mut dsu = Dsu::new(ln + right_ids.len());
-    for e in edges {
-        dsu.union(left_pos(e.left), ln + right_pos(e.right));
-    }
-    // Bucket edges per component, in order of first appearance (stable
-    // for identical inputs; the final sort makes the output canonical).
-    let mut slot_of_root: std::collections::HashMap<usize, usize> =
-        std::collections::HashMap::new();
-    let mut comp_edges: Vec<Vec<&WeightedEdge>> = Vec::new();
-    for e in edges {
-        let root = dsu.find(left_pos(e.left));
-        let slot = *slot_of_root.entry(root).or_insert_with(|| {
-            comp_edges.push(Vec::new());
-            comp_edges.len() - 1
-        });
-        comp_edges[slot].push(e);
-    }
-
-    let mut ws = KmWorkspace::default();
-    let mut result = Vec::new();
-    for comp in &comp_edges {
-        solve_component(comp, &mut ws, &mut result);
-    }
-    result.sort_unstable();
-    result
+    let mut solver = crate::solver::ExactKmSolver::default();
+    crate::solver::solve_matching(&mut solver, n_left, n_right, edges)
 }
 
 /// Solves one connected component as a dense Hungarian instance, pushing
 /// the matched `(left, right)` pairs (original vertex ids) into `out`.
-fn solve_component(edges: &[&WeightedEdge], ws: &mut KmWorkspace, out: &mut Vec<(usize, usize)>) {
+///
+/// Returns `(dense_matrix_bytes, augmented_rows)` so the solver layer can
+/// account for the peak dense allocation and the augmentation work.
+pub(crate) fn solve_component(
+    edges: &[&WeightedEdge],
+    ws: &mut KmWorkspace,
+    out: &mut Vec<(usize, usize)>,
+) -> (usize, u64) {
     let mut lefts: Vec<usize> = edges.iter().map(|e| e.left).collect();
     lefts.sort_unstable();
     lefts.dedup();
@@ -319,22 +240,31 @@ fn solve_component(edges: &[&WeightedEdge], ws: &mut KmWorkspace, out: &mut Vec<
         };
         out.push((l, rr));
     }
+    (n * m * std::mem::size_of::<f64>(), n as u64)
 }
 
 /// Total weight of a matching under an edge list (useful for tests and
 /// diagnostics). Pairs without a corresponding edge contribute the best
 /// available parallel edge; panics if a pair has no edge at all.
+///
+/// The best-parallel-edge map is built once in O(E); the per-pair lookup
+/// is O(1), so diagnostics that call this per repeat stay linear even at
+/// `diag_scale` edge counts.
 pub fn matching_weight(edges: &[WeightedEdge], matching: &[(usize, usize)]) -> f64 {
+    let mut best: std::collections::HashMap<(usize, usize), f64> =
+        std::collections::HashMap::with_capacity(edges.len());
+    for e in edges {
+        best.entry((e.left, e.right))
+            .and_modify(|w| *w = w.max(e.weight))
+            .or_insert(e.weight);
+    }
     matching
         .iter()
-        .map(|&(l, r)| {
-            edges
-                .iter()
-                .filter(|e| e.left == l && e.right == r)
-                .map(|e| e.weight)
-                .fold(f64::NEG_INFINITY, f64::max)
+        .map(|pair| {
+            let w = best.get(pair).copied().unwrap_or(f64::NEG_INFINITY);
+            assert!(w.is_finite(), "matched pair without an edge");
+            w
         })
-        .inspect(|w| assert!(w.is_finite(), "matched pair without an edge"))
         .sum()
 }
 

@@ -18,6 +18,10 @@
 //!   genetic baseline of \[11\]).
 //! * [`spatial`] — a uniform-grid bucket index that prefilters candidate
 //!   pairs at large scale without changing any algorithm's output.
+//! * [`solver`] — the pluggable [`MatchingSolver`](solver::MatchingSolver)
+//!   backend seam: exact KM stays the oracle, [`auction`] supplies a
+//!   sparse sub-cubic backend with ε-scaling and cross-window warm starts
+//!   for city-scale batches.
 //!
 //! All algorithms consume [`WorkerView`]s — the per-worker information the
 //! platform holds at assignment time (current location, predicted routine,
@@ -26,11 +30,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod auction;
 pub mod baselines;
 pub mod feasibility;
 pub mod hungarian;
 pub mod matching_rate;
 pub mod ppi;
+pub mod solver;
 pub mod spatial;
 pub mod view;
 
@@ -38,4 +44,5 @@ pub use feasibility::FeasibilityParams;
 pub use hungarian::{max_weight_matching, WeightedEdge};
 pub use matching_rate::matching_rate;
 pub use ppi::{ppi_assign, PpiParams};
+pub use solver::{solver_for, MatchingSolver, SolverKind, SolverStats};
 pub use view::WorkerView;

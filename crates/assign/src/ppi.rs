@@ -21,7 +21,8 @@
 use crate::feasibility::{
     expected_support, feasible_distances, min_b, theorem2_bound, FeasibilityParams,
 };
-use crate::hungarian::{max_weight_matching, WeightedEdge};
+use crate::hungarian::WeightedEdge;
+use crate::solver::{solve_matching_keyed, ExactKmSolver, MatchingSolver, VertexKeys};
 use crate::spatial::{BucketIndex, PrefilterBounds};
 use crate::view::{ExcludedPairs, WorkerView};
 use std::collections::HashMap;
@@ -91,7 +92,7 @@ pub fn ppi_assign_excluding(
 /// (`ppi.stage1`/`ppi.stage2`/`ppi.stage3`), candidate-pruning counters
 /// (`ppi.pairs.{scored,excluded,infeasible,confident,deferred}`,
 /// `ppi.stage3.candidates`, and — when the index is enabled —
-/// `ppi.index.{candidates,pruned}`), and a `ppi.km.calls` counter for the
+/// `ppi.index.{candidates,pruned,bbox_fallback}`), and a `ppi.km.calls` counter for the
 /// inner Hungarian invocations (each timed into the `ppi.km` histogram).
 ///
 /// `ppi.pairs.scored` is the number of pairs that actually received a
@@ -110,6 +111,23 @@ pub fn ppi_assign_observed(
     excluded: &ExcludedPairs,
     obs: &Obs,
 ) -> Assignment {
+    let mut solver = ExactKmSolver::default();
+    ppi_assign_observed_with_solver(tasks, workers, params, excluded, obs, &mut solver)
+}
+
+/// [`ppi_assign_observed`] through a caller-owned [`MatchingSolver`], the
+/// engine's seam for swapping the exact KM backend for the sparse auction
+/// (and for carrying the auction's warm-start cache across windows —
+/// vertex keys are the stable task/worker ids). With [`ExactKmSolver`]
+/// the plan is byte-identical to [`ppi_assign_observed`].
+pub fn ppi_assign_observed_with_solver(
+    tasks: &[SpatialTask],
+    workers: &[WorkerView],
+    params: &PpiParams,
+    excluded: &ExcludedPairs,
+    obs: &Obs,
+    solver: &mut dyn MatchingSolver,
+) -> Assignment {
     let mut plan = Assignment::new();
     if tasks.is_empty() || workers.is_empty() {
         return plan;
@@ -119,11 +137,17 @@ pub fn ppi_assign_observed(
         a_km: params.a_km,
         now: params.now,
     };
+    let left_keys: Vec<u64> = tasks.iter().map(|t| t.id.0).collect();
+    let right_keys: Vec<u64> = workers.iter().map(|w| w.id.0).collect();
     let mut km_calls: u64 = 0;
     let mut km = |n_left: usize, n_right: usize, edges: &[WeightedEdge]| {
         km_calls += 1;
         let start = std::time::Instant::now();
-        let m = max_weight_matching(n_left, n_right, edges);
+        let keys = VertexKeys {
+            left: &left_keys,
+            right: &right_keys,
+        };
+        let m = solve_matching_keyed(solver, n_left, n_right, edges, &keys);
         obs.observe("ppi.km", start.elapsed().as_secs_f64() * 1e6);
         m
     };
@@ -305,9 +329,14 @@ pub fn ppi_assign_observed(
     push_pairs(&mut plan, tasks, workers, &matched, &best_weights(&stage3));
     drop(stage3_span);
     obs.count("ppi.km.calls", km_calls);
-    if index.is_some() {
+    if let Some((idx, _)) = &index {
         obs.count("ppi.index.candidates", index_candidates);
         obs.count("ppi.index.pruned", index_pruned);
+        if idx.used_fallback() {
+            // A corrupted-but-finite outlier blew up the bounding box and
+            // the index degraded to full enumeration this batch.
+            obs.count("ppi.index.bbox_fallback", 1);
+        }
     }
 
     plan

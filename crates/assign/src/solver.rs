@@ -1,0 +1,450 @@
+//! Pluggable matching backends behind the [`MatchingSolver`] trait.
+//!
+//! [`max_weight_matching`](crate::hungarian::max_weight_matching) is exact
+//! but dense: each connected component allocates an O(n·m) cost matrix and
+//! runs the O(n³) potentials method. At city scale (100k+ workers) a giant
+//! component makes that allocation alone infeasible. This module splits
+//! the problem into
+//!
+//! * a **driver** ([`solve_matching`] / [`solve_matching_keyed`]) that
+//!   validates the edge list, compacts vertex ids, and decomposes the
+//!   graph into connected components (union-by-size [`Dsu`] with path
+//!   compression), and
+//! * **backends** that solve one component each: [`ExactKmSolver`] (the
+//!   oracle — the existing dense Hungarian solve) and
+//!   [`AuctionSolver`](crate::auction::AuctionSolver) (sparse forward
+//!   auction with ε-scaling and cross-window warm-started prices).
+//!
+//! Both backends return matchings of **equal cardinality** (the auction's
+//! ε-schedule is run until `n·ε` is below the cardinality margin); the
+//! auction's total weight is within `n·ε·span` of the exact optimum
+//! (property-tested in `tests/solver_properties.rs`).
+
+use crate::hungarian::{self, KmWorkspace, WeightedEdge, FORBIDDEN};
+use serde::{Deserialize, Serialize};
+
+/// Which backend solves each connected component.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum SolverKind {
+    /// Dense O(n³) Hungarian method — exact, the test oracle.
+    #[default]
+    Exact,
+    /// Sparse forward auction with ε-scaling — same cardinality, weight
+    /// within the ε-bound, no dense matrix.
+    Auction,
+}
+
+impl std::str::FromStr for SolverKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "exact" => Ok(Self::Exact),
+            "auction" => Ok(Self::Auction),
+            other => Err(format!("unknown solver '{other}' (try exact|auction)")),
+        }
+    }
+}
+
+impl std::fmt::Display for SolverKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Self::Exact => "exact",
+            Self::Auction => "auction",
+        })
+    }
+}
+
+/// Cumulative work counters for a backend, taken (and reset) per batch by
+/// the engine and surfaced as `solver.*` telemetry.
+#[derive(Debug, Default, Clone, Copy, PartialEq)]
+pub struct SolverStats {
+    /// Driver invocations (one per matching call).
+    pub solves: u64,
+    /// Connected components solved.
+    pub components: u64,
+    /// Largest dense cost matrix allocated (bytes) — exact backend only.
+    pub peak_dense_bytes: usize,
+    /// Largest sparse working set (bytes) — auction backend only.
+    pub peak_sparse_bytes: usize,
+    /// Rows augmented by the exact backend (its unit of matching work).
+    pub augmented_rows: u64,
+    /// Bids placed by the auction backend (its unit of matching work).
+    pub bids: u64,
+    /// ε-scaling phases run by the auction backend.
+    pub phases: u64,
+    /// Components whose prices were seeded from the warm cache.
+    pub warm_hits: u64,
+    /// Components solved cold (warm cache enabled but no entry matched).
+    pub warm_misses: u64,
+    /// Full cold restarts forced by a bid budget overrun.
+    pub cold_restarts: u64,
+    /// Solves abandoned after the cold restart also overran its budget
+    /// (never observed in practice; a non-zero value flags a
+    /// pathological instance).
+    pub abandoned: u64,
+}
+
+/// Stable per-vertex identities for warm-starting: `left[i]` / `right[j]`
+/// must identify vertex `i`/`j` across windows (task / worker ids), while
+/// the positional indices of the edge list may be reshuffled freely.
+#[derive(Debug, Clone, Copy)]
+pub struct VertexKeys<'a> {
+    /// `left[i]` is the stable key of left vertex `i`.
+    pub left: &'a [u64],
+    /// `right[j]` is the stable key of right vertex `j`.
+    pub right: &'a [u64],
+}
+
+/// A per-component matching backend.
+///
+/// Implementations solve one connected component at a time (the driver
+/// owns validation and decomposition) and account their work in
+/// [`SolverStats`]. Backends with cross-window state expose it through
+/// `export_warm` / `import_warm` so the engine can persist it in
+/// snapshots; the default implementations are stateless.
+pub trait MatchingSolver: Send {
+    /// The backend's kind tag.
+    fn kind(&self) -> SolverKind;
+
+    /// Solves one connected component, pushing matched `(left, right)`
+    /// pairs (original vertex ids) into `out`. `keys` carries stable
+    /// vertex identities when the caller wants warm-starting.
+    fn solve_component(
+        &mut self,
+        edges: &[&WeightedEdge],
+        keys: Option<&VertexKeys<'_>>,
+        out: &mut Vec<(usize, usize)>,
+    );
+
+    /// Work counters accumulated since the last [`take_stats`](Self::take_stats).
+    fn stats(&self) -> &SolverStats;
+
+    /// Mutable access to the counters (used by the driver).
+    fn stats_mut(&mut self) -> &mut SolverStats;
+
+    /// Returns and resets the accumulated counters.
+    fn take_stats(&mut self) -> SolverStats {
+        std::mem::take(self.stats_mut())
+    }
+
+    /// Serializable warm-start state: `(component signature, price
+    /// vector)` pairs, sorted by signature. Empty for stateless backends.
+    fn export_warm(&self) -> Vec<(u64, Vec<f64>)> {
+        Vec::new()
+    }
+
+    /// Restores warm-start state exported by [`export_warm`](Self::export_warm).
+    /// A no-op for stateless backends; any seed is safe (warm prices only
+    /// accelerate the solve, they never change its guarantees).
+    fn import_warm(&mut self, _warm: Vec<(u64, Vec<f64>)>) {}
+}
+
+/// Builds a boxed backend for `kind`. `warm_start` enables the auction's
+/// cross-window price cache (ignored by the exact backend, which is
+/// always deterministic-cold).
+pub fn solver_for(kind: SolverKind, warm_start: bool) -> Box<dyn MatchingSolver> {
+    match kind {
+        SolverKind::Exact => Box::new(ExactKmSolver::default()),
+        SolverKind::Auction => Box::new(if warm_start {
+            crate::auction::AuctionSolver::with_warm_start()
+        } else {
+            crate::auction::AuctionSolver::new()
+        }),
+    }
+}
+
+/// The exact oracle backend: the dense Hungarian per-component solve that
+/// [`max_weight_matching`](crate::hungarian::max_weight_matching) has
+/// always used, with shared scratch buffers across components.
+#[derive(Debug, Default)]
+pub struct ExactKmSolver {
+    ws: KmWorkspace,
+    stats: SolverStats,
+}
+
+impl MatchingSolver for ExactKmSolver {
+    fn kind(&self) -> SolverKind {
+        SolverKind::Exact
+    }
+
+    fn solve_component(
+        &mut self,
+        edges: &[&WeightedEdge],
+        _keys: Option<&VertexKeys<'_>>,
+        out: &mut Vec<(usize, usize)>,
+    ) {
+        let (dense_bytes, rows) = hungarian::solve_component(edges, &mut self.ws, out);
+        self.stats.peak_dense_bytes = self.stats.peak_dense_bytes.max(dense_bytes);
+        self.stats.augmented_rows += rows;
+    }
+
+    fn stats(&self) -> &SolverStats {
+        &self.stats
+    }
+
+    fn stats_mut(&mut self) -> &mut SolverStats {
+        &mut self.stats
+    }
+}
+
+/// Maximum-cardinality, maximum-weight matching through a pluggable
+/// backend. Semantics match
+/// [`max_weight_matching`](crate::hungarian::max_weight_matching); with
+/// [`ExactKmSolver`] the output is byte-identical to it.
+pub fn solve_matching(
+    solver: &mut dyn MatchingSolver,
+    n_left: usize,
+    n_right: usize,
+    edges: &[WeightedEdge],
+) -> Vec<(usize, usize)> {
+    solve_matching_inner(solver, n_left, n_right, edges, None)
+}
+
+/// [`solve_matching`] with stable vertex keys, enabling the backend's
+/// cross-window warm start. `keys.left` / `keys.right` must cover
+/// `n_left` / `n_right` vertices.
+pub fn solve_matching_keyed(
+    solver: &mut dyn MatchingSolver,
+    n_left: usize,
+    n_right: usize,
+    edges: &[WeightedEdge],
+    keys: &VertexKeys<'_>,
+) -> Vec<(usize, usize)> {
+    assert!(keys.left.len() >= n_left, "left keys shorter than n_left");
+    assert!(
+        keys.right.len() >= n_right,
+        "right keys shorter than n_right"
+    );
+    solve_matching_inner(solver, n_left, n_right, edges, Some(keys))
+}
+
+fn solve_matching_inner(
+    solver: &mut dyn MatchingSolver,
+    n_left: usize,
+    n_right: usize,
+    edges: &[WeightedEdge],
+    keys: Option<&VertexKeys<'_>>,
+) -> Vec<(usize, usize)> {
+    if n_left == 0 || n_right == 0 || edges.is_empty() {
+        return Vec::new();
+    }
+    for e in edges {
+        assert!(e.left < n_left, "edge.left out of range");
+        assert!(e.right < n_right, "edge.right out of range");
+        assert!(e.weight.is_finite(), "edge weight must be finite");
+        debug_assert!(
+            e.weight.abs() < FORBIDDEN / 1e3,
+            "edge weight too large vs FORBIDDEN sentinel"
+        );
+    }
+
+    let comp_edges = components(edges);
+    solver.stats_mut().solves += 1;
+    solver.stats_mut().components += comp_edges.len() as u64;
+    let mut result = Vec::new();
+    for comp in &comp_edges {
+        solver.solve_component(comp, keys, &mut result);
+    }
+    result.sort_unstable();
+    result
+}
+
+/// Buckets edges per connected component, in order of first appearance
+/// (stable for identical inputs; the driver's final sort makes the output
+/// canonical). Only vertices that actually carry edges participate.
+fn components(edges: &[WeightedEdge]) -> Vec<Vec<&WeightedEdge>> {
+    // Only vertices that actually carry edges need to participate — this
+    // keeps the per-component instances small when the graph is sparse.
+    let mut left_ids: Vec<usize> = edges.iter().map(|e| e.left).collect();
+    left_ids.sort_unstable();
+    left_ids.dedup();
+    let mut right_ids: Vec<usize> = edges.iter().map(|e| e.right).collect();
+    right_ids.sort_unstable();
+    right_ids.dedup();
+
+    let ln = left_ids.len();
+    let left_pos = |v: usize| left_ids.binary_search(&v).expect("left id present");
+    let right_pos = |v: usize| right_ids.binary_search(&v).expect("right id present");
+
+    // Connected components over compact indices: lefts are 0..ln, rights
+    // are ln..ln+rn.
+    let mut dsu = Dsu::new(ln + right_ids.len());
+    for e in edges {
+        dsu.union(left_pos(e.left), ln + right_pos(e.right));
+    }
+    let mut slot_of_root: std::collections::HashMap<usize, usize> =
+        std::collections::HashMap::new();
+    let mut comp_edges: Vec<Vec<&WeightedEdge>> = Vec::new();
+    for e in edges {
+        let root = dsu.find(left_pos(e.left));
+        let slot = *slot_of_root.entry(root).or_insert_with(|| {
+            comp_edges.push(Vec::new());
+            comp_edges.len() - 1
+        });
+        comp_edges[slot].push(e);
+    }
+    comp_edges
+}
+
+/// Per-component `(lefts, rights, edges)` sizes for a sparse edge list —
+/// the component-size distribution `diag_scale` records before deciding
+/// whether the exact dense path is feasible.
+pub fn component_sizes(edges: &[WeightedEdge]) -> Vec<(usize, usize, usize)> {
+    components(edges)
+        .iter()
+        .map(|comp| {
+            let mut lefts: Vec<usize> = comp.iter().map(|e| e.left).collect();
+            lefts.sort_unstable();
+            lefts.dedup();
+            let mut rights: Vec<usize> = comp.iter().map(|e| e.right).collect();
+            rights.sort_unstable();
+            rights.dedup();
+            (lefts.len(), rights.len(), comp.len())
+        })
+        .collect()
+}
+
+/// Disjoint-set union over compact vertex indices with union by size and
+/// two-pass path compression: adversarial union order (e.g. a long chain
+/// fed root-to-leaf) keeps `find` near-O(α) instead of degrading to O(n)
+/// walks before compression catches up.
+struct Dsu {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+}
+
+impl Dsu {
+    fn new(n: usize) -> Self {
+        Self {
+            parent: (0..n as u32).collect(),
+            size: vec![1; n],
+        }
+    }
+
+    fn find(&mut self, x: usize) -> usize {
+        let mut root = x;
+        while self.parent[root] as usize != root {
+            root = self.parent[root] as usize;
+        }
+        let mut cur = x;
+        while cur != root {
+            let next = self.parent[cur] as usize;
+            self.parent[cur] = root as u32;
+            cur = next;
+        }
+        root
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (mut ra, mut rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return;
+        }
+        // Attach the smaller tree under the larger root.
+        if self.size[ra] < self.size[rb] {
+            std::mem::swap(&mut ra, &mut rb);
+        }
+        self.parent[rb] = ra as u32;
+        self.size[ra] += self.size[rb];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Depth of `x`'s raw parent chain, without compressing.
+    fn chain_depth(dsu: &Dsu, x: usize) -> usize {
+        let mut depth = 0;
+        let mut cur = x;
+        while dsu.parent[cur] as usize != cur {
+            cur = dsu.parent[cur] as usize;
+            depth += 1;
+        }
+        depth
+    }
+
+    #[test]
+    fn dsu_union_by_size_bounds_chain_depth() {
+        // Worst-case chain order: union(0,1), union(1,2), … built strictly
+        // head-to-tail. Arbitrary-root unions (`parent[ra] = rb`) make
+        // every `parent` pointer hop one step down the chain, so the raw
+        // depth of vertex 0 grows to n before any find() compresses it.
+        // Union by size must keep every raw chain logarithmic.
+        let n = 1 << 14;
+        let mut dsu = Dsu::new(n);
+        for i in 0..n - 1 {
+            dsu.union(i, i + 1);
+        }
+        let bound = (n as f64).log2() as usize + 1;
+        let worst = (0..n).map(|x| chain_depth(&dsu, x)).max().unwrap();
+        assert!(
+            worst <= bound,
+            "raw parent chain depth {worst} exceeds log bound {bound}"
+        );
+        // And the structure is still one component.
+        let root = dsu.find(0);
+        for x in 1..n {
+            assert_eq!(dsu.find(x), root);
+        }
+    }
+
+    #[test]
+    fn dsu_size_accounting_survives_mixed_order() {
+        let mut dsu = Dsu::new(8);
+        dsu.union(0, 1);
+        dsu.union(2, 3);
+        dsu.union(0, 2); // merge two pairs
+        dsu.union(5, 4);
+        dsu.union(4, 0); // pair joins quad
+        let root = dsu.find(0);
+        assert_eq!(dsu.size[root], 6);
+        assert_ne!(dsu.find(6), root);
+        assert_ne!(dsu.find(7), root);
+    }
+
+    #[test]
+    fn solver_kind_parses_and_displays() {
+        assert_eq!("exact".parse::<SolverKind>().unwrap(), SolverKind::Exact);
+        assert_eq!(
+            "auction".parse::<SolverKind>().unwrap(),
+            SolverKind::Auction
+        );
+        assert!("simplex".parse::<SolverKind>().is_err());
+        assert_eq!(SolverKind::Exact.to_string(), "exact");
+        assert_eq!(SolverKind::Auction.to_string(), "auction");
+    }
+
+    #[test]
+    fn component_sizes_reports_each_block() {
+        let edges = [
+            WeightedEdge::new(0, 0, 1.0),
+            WeightedEdge::new(0, 1, 1.0),
+            WeightedEdge::new(5, 7, 1.0),
+        ];
+        let mut sizes = component_sizes(&edges);
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![(1, 1, 1), (1, 2, 2)]);
+    }
+
+    #[test]
+    fn exact_solver_records_dense_bytes_and_rows() {
+        let edges = [
+            WeightedEdge::new(0, 0, 1.0),
+            WeightedEdge::new(0, 1, 5.0),
+            WeightedEdge::new(1, 0, 5.0),
+            WeightedEdge::new(1, 1, 1.0),
+        ];
+        let mut solver = ExactKmSolver::default();
+        let m = solve_matching(&mut solver, 2, 2, &edges);
+        assert_eq!(m, vec![(0, 1), (1, 0)]);
+        let stats = solver.take_stats();
+        assert_eq!(stats.solves, 1);
+        assert_eq!(stats.components, 1);
+        assert_eq!(stats.peak_dense_bytes, 2 * 2 * 8);
+        assert_eq!(stats.augmented_rows, 2);
+        assert_eq!(solver.stats().solves, 0, "take_stats resets");
+    }
+}

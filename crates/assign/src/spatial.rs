@@ -18,6 +18,14 @@ use crate::view::WorkerView;
 use std::collections::HashSet;
 use tamp_core::{Minutes, Point, SpatialTask};
 
+/// Hard cap on `cols × rows`. The grid is sized from the bounding box of
+/// all finite points, so a single corrupted-but-finite outlier (a worker
+/// reported at (1e6, 1e6) by a noisy feed) would otherwise demand ~10¹²
+/// buckets and abort on allocation. Past the cap the index degrades to a
+/// single bucket holding every indexed worker — full enumeration, still a
+/// conservative superset, so downstream results are unchanged.
+const MAX_GRID_BUCKETS: usize = 1 << 20;
+
 /// A uniform-grid index over worker positions (current + predicted).
 #[derive(Debug, Clone)]
 pub struct BucketIndex {
@@ -27,6 +35,8 @@ pub struct BucketIndex {
     origin: Point,
     /// Worker indices per bucket (deduplicated).
     buckets: Vec<Vec<u32>>,
+    /// Grid exceeded [`MAX_GRID_BUCKETS`]; `buckets[0]` holds all workers.
+    fallback: bool,
 }
 
 impl BucketIndex {
@@ -57,10 +67,36 @@ impl BucketIndex {
                 rows: 1,
                 origin: Point::new(0.0, 0.0),
                 buckets: vec![Vec::new()],
+                fallback: false,
             };
         }
-        let cols = (((max.x - min.x) / cell_km).floor() as usize + 1).max(1);
-        let rows = (((max.y - min.y) / cell_km).floor() as usize + 1).max(1);
+        // `as usize` saturates on overflow, and `checked_mul` catches the
+        // product — a degenerate bounding box can demand more buckets than
+        // the address space holds.
+        let cols = (((max.x - min.x) / cell_km).floor() as usize)
+            .saturating_add(1)
+            .max(1);
+        let rows = (((max.y - min.y) / cell_km).floor() as usize)
+            .saturating_add(1)
+            .max(1);
+        if cols.checked_mul(rows).is_none_or(|n| n > MAX_GRID_BUCKETS) {
+            // One far outlier blew up the bounding box: fall back to full
+            // enumeration (every indexed worker in a single bucket).
+            let mut bucket: Vec<u32> = Vec::new();
+            for (wi, w) in workers.iter().enumerate() {
+                if w.indexable_points().any(|p| p.is_finite()) {
+                    bucket.push(wi as u32);
+                }
+            }
+            return Self {
+                cell_km,
+                cols: 1,
+                rows: 1,
+                origin: min,
+                buckets: vec![bucket],
+                fallback: true,
+            };
+        }
         let mut buckets = vec![Vec::new(); cols * rows];
         for (wi, w) in workers.iter().enumerate() {
             let mut seen = HashSet::new();
@@ -78,6 +114,7 @@ impl BucketIndex {
             rows,
             origin: min,
             buckets,
+            fallback: false,
         }
     }
 
@@ -97,6 +134,12 @@ impl BucketIndex {
         if radius_km.is_nan() || radius_km < 0.0 || !p.is_finite() {
             // Negative or NaN radius, or a corrupted task location: no
             // finite-distance predicate can hold.
+            return;
+        }
+        if self.fallback {
+            // Degenerate grid: the single bucket holds every indexed
+            // worker, already sorted and deduplicated by construction.
+            out.extend(self.buckets[0].iter().map(|&w| w as usize));
             return;
         }
         let lo_x = ((p.x - radius_km - self.origin.x) / self.cell_km).floor();
@@ -123,6 +166,13 @@ impl BucketIndex {
     /// Number of buckets (diagnostics).
     pub fn n_buckets(&self) -> usize {
         self.buckets.len()
+    }
+
+    /// Whether the bounding box demanded more than [`MAX_GRID_BUCKETS`]
+    /// cells and the index degraded to full enumeration (diagnostics —
+    /// surfaced as the `ppi.index.bbox_fallback` counter).
+    pub fn used_fallback(&self) -> bool {
+        self.fallback
     }
 }
 
@@ -247,6 +297,37 @@ mod tests {
         let idx = BucketIndex::build(&[], 1.0);
         assert!(idx.candidates_within(Point::new(0.0, 0.0), 5.0).is_empty());
         assert_eq!(idx.n_buckets(), 1);
+        assert!(!idx.used_fallback());
+    }
+
+    /// Regression: one corrupted-but-finite outlier among paper-scale
+    /// workers used to size the grid from the blown-up bounding box —
+    /// ~(1e6 / 0.5)² ≈ 4·10¹² buckets, which aborts on allocation. The
+    /// capped build must fall back to full enumeration instead, and the
+    /// fallback must stay a conservative superset (no missed candidates).
+    #[test]
+    fn outlier_point_falls_back_to_full_enumeration() {
+        let mut workers: Vec<WorkerView> = (0..442)
+            .map(|i| worker_at(i, &[((i % 40) as f64 * 0.5, (i % 20) as f64 * 0.5)]))
+            .collect();
+        workers.push(worker_at(442, &[(1.0e6, 1.0e6)]));
+        let idx = BucketIndex::build(&workers, 0.5);
+        assert!(idx.used_fallback());
+        assert_eq!(idx.n_buckets(), 1);
+        let q = Point::new(5.0, 5.0);
+        let got = idx.candidates_within(q, 2.0);
+        for (wi, w) in workers.iter().enumerate() {
+            let truly_near = std::iter::once(&w.current)
+                .chain(&w.predicted)
+                .any(|p| p.dist(q) <= 2.0);
+            if truly_near {
+                assert!(got.contains(&wi), "fallback missed worker {wi}");
+            }
+        }
+        // Sane boxes keep the real grid (and its pruning power).
+        let idx = BucketIndex::build(&workers[..442], 0.5);
+        assert!(!idx.used_fallback());
+        assert!(idx.n_buckets() > 1);
     }
 
     #[test]

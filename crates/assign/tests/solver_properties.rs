@@ -1,0 +1,246 @@
+//! Behavioural contract between the matching backends: the sparse
+//! forward-auction solver must match the exact Hungarian oracle on
+//! cardinality exactly and on weight within the ε-bound, on
+//! component-structured random graphs up to ~5k vertices — and its
+//! warm-started solves must be byte-identical to cold ones across
+//! consecutive perturbed windows (while doing measurably less bidding
+//! work).
+
+use rand::Rng;
+use tamp_assign::auction::AuctionSolver;
+use tamp_assign::hungarian::{matching_weight, WeightedEdge};
+use tamp_assign::solver::{
+    solve_matching, solve_matching_keyed, ExactKmSolver, MatchingSolver, VertexKeys,
+};
+use tamp_core::rng::rng_for;
+
+/// A random bipartite graph made of disjoint blocks (each block a dense-ish
+/// random sub-graph), so the instance decomposes into many components the
+/// way real assignment batches do. Returns `(n_left, n_right, edges)`.
+fn component_structured(
+    rng: &mut impl Rng,
+    blocks: usize,
+    min_block: usize,
+    max_block_left: usize,
+    max_block_right: usize,
+    edge_prob: f64,
+) -> (usize, usize, Vec<WeightedEdge>) {
+    let mut edges = Vec::new();
+    let (mut l0, mut r0) = (0usize, 0usize);
+    for _ in 0..blocks {
+        let ln = rng.gen_range(min_block..=max_block_left);
+        let rn = rng.gen_range(min_block..=max_block_right);
+        for l in 0..ln {
+            for r in 0..rn {
+                if rng.gen_bool(edge_prob) {
+                    edges.push(WeightedEdge::new(l0 + l, r0 + r, rng.gen_range(0.0..10.0)));
+                }
+            }
+        }
+        l0 += ln;
+        r0 += rn;
+    }
+    (l0.max(1), r0.max(1), edges)
+}
+
+fn exact(n_left: usize, n_right: usize, edges: &[WeightedEdge]) -> Vec<(usize, usize)> {
+    let mut solver = ExactKmSolver::default();
+    solve_matching(&mut solver, n_left, n_right, edges)
+}
+
+fn auction(n_left: usize, n_right: usize, edges: &[WeightedEdge]) -> Vec<(usize, usize)> {
+    let mut solver = AuctionSolver::new();
+    let m = solve_matching(&mut solver, n_left, n_right, edges);
+    assert_eq!(
+        solver.stats().abandoned,
+        0,
+        "auction must never abandon a solve"
+    );
+    m
+}
+
+/// Cardinality equal to the oracle, weight within the ε-bound. The bound
+/// is `n·ε_final·span` with `ε_final ≤ 1e-9`·span-units, so a flat 1e-3
+/// absolute tolerance is generous; the auction also can never exceed the
+/// optimum (beyond fp noise).
+fn assert_equivalent(n_left: usize, n_right: usize, edges: &[WeightedEdge], ctx: &str) {
+    let ex = exact(n_left, n_right, edges);
+    let au = auction(n_left, n_right, edges);
+    assert_eq!(
+        au.len(),
+        ex.len(),
+        "{ctx}: cardinality must match the oracle"
+    );
+    if ex.is_empty() {
+        return;
+    }
+    let wex = matching_weight(edges, &ex);
+    let wau = matching_weight(edges, &au);
+    assert!(
+        wau >= wex - 1e-3,
+        "{ctx}: auction weight {wau} below ε-bound of exact {wex}"
+    );
+    assert!(
+        wau <= wex + 1e-6,
+        "{ctx}: auction weight {wau} exceeds exact optimum {wex}"
+    );
+}
+
+#[test]
+fn auction_matches_exact_on_small_random_graphs() {
+    let mut rng = rng_for(113, 0);
+    for round in 0..40 {
+        let blocks = rng.gen_range(1..=6);
+        let (nl, nr, edges) = component_structured(&mut rng, blocks, 1, 12, 12, 0.5);
+        assert_equivalent(nl, nr, &edges, &format!("round {round}"));
+    }
+}
+
+#[test]
+fn auction_matches_exact_on_medium_component_graphs() {
+    let mut rng = rng_for(114, 0);
+    for round in 0..6 {
+        let (nl, nr, edges) = component_structured(&mut rng, 8, 1, 60, 70, 0.2);
+        assert_equivalent(nl, nr, &edges, &format!("round {round}"));
+    }
+}
+
+#[test]
+fn auction_matches_exact_at_five_thousand_vertices() {
+    // ~30 blocks of ≤ 90+90 vertices ≈ 5k vertices total; exact still
+    // runs per component, the auction must agree block for block.
+    let mut rng = rng_for(115, 0);
+    let (nl, nr, edges) = component_structured(&mut rng, 30, 60, 90, 90, 0.12);
+    assert!(nl + nr > 3_000, "instance too small: {}", nl + nr);
+    assert_equivalent(nl, nr, &edges, "5k-vertex instance");
+}
+
+#[test]
+fn auction_handles_skew_and_parallel_edges() {
+    let mut rng = rng_for(116, 0);
+    for round in 0..10 {
+        // Strong left/right skew plus duplicated (l, r) pairs with
+        // different weights (the solver must keep the best parallel edge).
+        let (nl, nr, mut edges) = component_structured(&mut rng, 3, 1, 25, 4, 0.6);
+        let mut extra: Vec<WeightedEdge> = Vec::new();
+        for e in &edges {
+            if rng.gen_bool(0.3) {
+                extra.push(WeightedEdge::new(e.left, e.right, rng.gen_range(0.0..10.0)));
+            }
+        }
+        edges.extend(extra);
+        assert_equivalent(nl, nr, &edges, &format!("skew round {round}"));
+    }
+}
+
+#[test]
+fn warm_start_is_byte_identical_to_cold_across_perturbed_windows() {
+    // A fixed fleet (stable vertex keys) re-solved over consecutive
+    // windows whose weights drift slightly — the serving pattern the
+    // warm cache exists for. For every window the warm solver must
+    // produce the byte-identical matching a cold solver produces, while
+    // spending measurably fewer bids once the cache is hot.
+    let mut rng = rng_for(117, 0);
+    let (nl, nr) = (60, 60);
+    let left_keys: Vec<u64> = (0..nl as u64).map(|i| 1_000 + i).collect();
+    let right_keys: Vec<u64> = (0..nr as u64).map(|j| 9_000 + j).collect();
+    let keys = VertexKeys {
+        left: &left_keys,
+        right: &right_keys,
+    };
+    let mut weights: Vec<Vec<f64>> = (0..nl)
+        .map(|_| (0..nr).map(|_| rng.gen_range(0.0..10.0)).collect())
+        .collect();
+
+    let mut warm = AuctionSolver::with_warm_start();
+    let mut warm_bids_after_first = 0u64;
+    let mut cold_bids_after_first = 0u64;
+    for window in 0..6 {
+        // Perturb ~all weights a little (assignments barely change
+        // window to window — the warm-start premise).
+        for row in weights.iter_mut() {
+            for w in row.iter_mut() {
+                *w = (*w + rng.gen_range(-0.05..0.05)).clamp(0.0, 10.0);
+            }
+        }
+        let edges: Vec<WeightedEdge> = (0..nl)
+            .flat_map(|l| {
+                let row = &weights[l];
+                (0..nr).map(move |r| WeightedEdge::new(l, r, row[r]))
+            })
+            .collect();
+
+        let mut cold = AuctionSolver::new();
+        let cold_m = solve_matching_keyed(&mut cold, nl, nr, &edges, &keys);
+        let warm_m = solve_matching_keyed(&mut warm, nl, nr, &edges, &keys);
+        assert_eq!(
+            warm_m, cold_m,
+            "window {window}: warm and cold matchings must be byte-identical"
+        );
+        // And both agree with the oracle.
+        let ex = exact(nl, nr, &edges);
+        assert_eq!(warm_m.len(), ex.len(), "window {window}: cardinality");
+        let wex = matching_weight(&edges, &ex);
+        let wau = matching_weight(&edges, &warm_m);
+        assert!((wex - wau).abs() <= 1e-3, "window {window}: weight");
+
+        let warm_stats = warm.take_stats();
+        let cold_stats = cold.take_stats();
+        if window == 0 {
+            assert_eq!(warm_stats.warm_misses, 1, "first window solves cold");
+        } else {
+            assert_eq!(
+                warm_stats.warm_hits, 1,
+                "window {window}: repeated fleet must hit the price cache"
+            );
+            warm_bids_after_first += warm_stats.bids;
+            cold_bids_after_first += cold_stats.bids;
+        }
+    }
+    assert!(
+        warm_bids_after_first < cold_bids_after_first,
+        "warm starts must save bidding work: warm {warm_bids_after_first} vs cold {cold_bids_after_first}"
+    );
+}
+
+#[test]
+fn warm_cache_survives_positional_reshuffles() {
+    // Same fleet, same weights per (stable key) pair, but the positional
+    // indices are rotated between windows — the signature and the cached
+    // price layout key on stable ids, so the cache must still hit and
+    // the matchings (mapped back to stable keys) must be identical.
+    let n = 24usize;
+    let mut rng = rng_for(118, 0);
+    let w: Vec<Vec<f64>> = (0..n)
+        .map(|_| (0..n).map(|_| rng.gen_range(0.0..10.0)).collect())
+        .collect();
+    let mut warm = AuctionSolver::with_warm_start();
+    let mut matched_keys_prev: Option<Vec<(u64, u64)>> = None;
+    for rot in 0..3 {
+        // Positional index i maps to stable entity (i + rot) % n.
+        let left_keys: Vec<u64> = (0..n).map(|i| 500 + ((i + rot) % n) as u64).collect();
+        let right_keys: Vec<u64> = (0..n).map(|j| 700 + ((j + rot) % n) as u64).collect();
+        let keys = VertexKeys {
+            left: &left_keys,
+            right: &right_keys,
+        };
+        // Weight depends on the stable pair, not the position.
+        let edges: Vec<WeightedEdge> = (0..n)
+            .flat_map(|l| {
+                let row = &w[(l + rot) % n];
+                (0..n).map(move |r| WeightedEdge::new(l, r, row[(r + rot) % n]))
+            })
+            .collect();
+        let m = solve_matching_keyed(&mut warm, n, n, &edges, &keys);
+        let mut matched_keys: Vec<(u64, u64)> = m
+            .iter()
+            .map(|&(l, r)| (left_keys[l], right_keys[r]))
+            .collect();
+        matched_keys.sort_unstable();
+        if let Some(prev) = &matched_keys_prev {
+            assert_eq!(&matched_keys, prev, "rotation {rot}: same fleet, same plan");
+            assert!(warm.stats().warm_hits >= 1, "rotation {rot}: cache hit");
+        }
+        matched_keys_prev = Some(matched_keys);
+    }
+}

@@ -1,0 +1,367 @@
+//! City-scale matching diagnostics: how far does each solver backend
+//! carry a realistic assignment batch?
+//!
+//! A synthetic city of 16 hotspot districts is swept from 10k to 500k
+//! workers (tasks = workers/8). Each task is wired to its ~12 nearest
+//! workers through the bucket index, giving the component-structured
+//! sparse graphs the serving engine produces. Per size we record the
+//! component-size distribution, the median solve time of the exact
+//! dense backend (when tractable — gated on an estimated slack-update
+//! and dense-matrix-bytes budget, with the skip reason recorded) and of
+//! the sparse forward-auction backend, peak matrix bytes for both, and
+//! the bids saved by warm-starting prices across perturbed windows.
+//! Wherever exact runs, exact-vs-auction equivalence is asserted per
+//! repeat.
+//!
+//! Full sweep writes `results/scaling_matching.json`; `--smoke` runs the
+//! 10k size only, asserts the equivalence and the auction's sparse
+//! memory bound, and writes nothing (CI-friendly).
+
+use rand::Rng;
+use std::time::Instant;
+use tamp_assign::auction::AuctionSolver;
+use tamp_assign::hungarian::{matching_weight, WeightedEdge};
+use tamp_assign::solver::{
+    component_sizes, solve_matching, solve_matching_keyed, ExactKmSolver, MatchingSolver,
+    VertexKeys,
+};
+use tamp_assign::spatial::BucketIndex;
+use tamp_assign::view::WorkerView;
+use tamp_bench::{out_dir, seed_from_env};
+use tamp_core::rng::rng_for;
+use tamp_core::{Point, WorkerId};
+use tamp_platform::experiments::report::{print_markdown_table, save_json};
+
+const DISTRICTS: usize = 16;
+const AREA_X_KM: f64 = 60.0;
+const AREA_Y_KM: f64 = 45.0;
+const DISTRICT_SIGMA_KM: f64 = 1.2;
+const KNN: usize = 12;
+const WARM_WINDOWS: usize = 3;
+
+/// Exact-backend budget: estimated slack updates (Σ ln²·rn over
+/// components) and the largest component's dense matrix. Beyond either,
+/// the dense oracle is skipped and the reason recorded.
+const EXACT_OPS_CAP: f64 = 2e10;
+const EXACT_BYTES_CAP: usize = 1 << 30;
+
+struct City {
+    task_pts: Vec<Point>,
+    worker_pts: Vec<Point>,
+    edges: Vec<WeightedEdge>,
+    left_keys: Vec<u64>,
+    right_keys: Vec<u64>,
+}
+
+fn inv_dist(task: Point, worker: Point) -> f64 {
+    1.0 / (1.0 + task.dist(worker))
+}
+
+/// Triangular-distributed hotspot scatter around a district centre.
+fn scatter(rng: &mut impl Rng, c: Point) -> Point {
+    let dx = (rng.gen_range(0.0..1.0) + rng.gen_range(0.0..1.0) - 1.0) * 3.0 * DISTRICT_SIGMA_KM;
+    let dy = (rng.gen_range(0.0..1.0) + rng.gen_range(0.0..1.0) - 1.0) * 3.0 * DISTRICT_SIGMA_KM;
+    Point::new(c.x + dx, c.y + dy)
+}
+
+fn build_city(n_workers: usize, seed: u64) -> City {
+    let mut rng = rng_for(seed, 0);
+    let centres: Vec<Point> = (0..DISTRICTS)
+        .map(|_| {
+            Point::new(
+                rng.gen_range(5.0..AREA_X_KM - 5.0),
+                rng.gen_range(5.0..AREA_Y_KM - 5.0),
+            )
+        })
+        .collect();
+    let n_tasks = n_workers / 8;
+    let worker_pts: Vec<Point> = (0..n_workers)
+        .map(|i| scatter(&mut rng, centres[i % DISTRICTS]))
+        .collect();
+    let task_pts: Vec<Point> = (0..n_tasks)
+        .map(|i| scatter(&mut rng, centres[i % DISTRICTS]))
+        .collect();
+
+    // kNN edges via the bucket index; radius shrinks with density so the
+    // candidate pool per task stays roughly constant across sizes.
+    let per_district = (n_workers / DISTRICTS).max(1);
+    let base_radius = (2.0 * (625.0 / per_district as f64).sqrt()).max(0.25);
+    let views: Vec<WorkerView> = worker_pts
+        .iter()
+        .enumerate()
+        .map(|(i, &p)| WorkerView {
+            id: WorkerId(i as u64),
+            current: p,
+            predicted: Vec::new(),
+            real_future: Vec::new(),
+            mr: 0.5,
+            detour_limit_km: 5.0,
+            speed_km_per_min: 0.4,
+        })
+        .collect();
+    let index = BucketIndex::build(&views, base_radius);
+
+    let mut edges = Vec::new();
+    let mut cand = Vec::new();
+    let mut near: Vec<(f64, usize)> = Vec::new();
+    for (t, &tp) in task_pts.iter().enumerate() {
+        let mut radius = base_radius;
+        for _ in 0..5 {
+            index.candidates_within_into(tp, radius, &mut cand);
+            if cand.len() >= KNN {
+                break;
+            }
+            radius *= 2.0;
+        }
+        near.clear();
+        near.extend(cand.iter().map(|&w| (tp.dist(worker_pts[w]), w)));
+        near.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        for &(_, w) in near.iter().take(KNN) {
+            edges.push(WeightedEdge::new(t, w, inv_dist(tp, worker_pts[w])));
+        }
+    }
+
+    City {
+        left_keys: (0..n_tasks as u64).collect(),
+        right_keys: (0..n_workers as u64).collect(),
+        task_pts,
+        worker_pts,
+        edges,
+    }
+}
+
+/// Same edge structure, weights recomputed after a small per-worker
+/// position drift — the consecutive-window serving pattern.
+fn perturbed_edges(city: &City, seed: u64, window: u64) -> Vec<WeightedEdge> {
+    let mut rng = rng_for(seed, window);
+    let jitter: Vec<(f64, f64)> = (0..city.worker_pts.len())
+        .map(|_| (rng.gen_range(-0.02..0.02), rng.gen_range(-0.02..0.02)))
+        .collect();
+    city.edges
+        .iter()
+        .map(|e| {
+            let w = city.worker_pts[e.right];
+            let moved = Point::new(w.x + jitter[e.right].0, w.y + jitter[e.right].1);
+            WeightedEdge::new(e.left, e.right, inv_dist(city.task_pts[e.left], moved))
+        })
+        .collect()
+}
+
+fn median(xs: &mut [f64]) -> f64 {
+    xs.sort_by(|a, b| a.total_cmp(b));
+    xs[xs.len() / 2]
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let seed = seed_from_env();
+    let sizes: &[usize] = if smoke {
+        &[10_000]
+    } else {
+        &[10_000, 50_000, 100_000, 500_000]
+    };
+    let repeats = if smoke { 2 } else { 3 };
+    println!(
+        "# Matching-backend scaling on the hotspot city (seed {seed}, {repeats} repeats{})\n",
+        if smoke { ", --smoke" } else { "" }
+    );
+
+    let mut table = Vec::new();
+    let mut rows = Vec::new();
+    for &n_workers in sizes {
+        let city = build_city(n_workers, seed ^ n_workers as u64);
+        let (nl, nr) = (city.task_pts.len(), city.worker_pts.len());
+        let keys = VertexKeys {
+            left: &city.left_keys,
+            right: &city.right_keys,
+        };
+
+        let mut comps = component_sizes(&city.edges);
+        comps.sort_by_key(|&(l, r, _)| std::cmp::Reverse(l + r));
+        let largest = comps.first().copied().unwrap_or((0, 0, 0));
+        let mut vertex_counts: Vec<usize> = comps.iter().map(|&(l, r, _)| l + r).collect();
+        vertex_counts.sort_unstable();
+        let median_vertices = vertex_counts[vertex_counts.len() / 2];
+        let est_ops: f64 = comps
+            .iter()
+            .map(|&(l, r, _)| l as f64 * l as f64 * r as f64)
+            .sum();
+        let est_dense_bytes: usize = comps
+            .iter()
+            .map(|&(l, r, _)| l * r * std::mem::size_of::<f64>())
+            .max()
+            .unwrap_or(0);
+
+        let exact_skip = if est_ops > EXACT_OPS_CAP {
+            Some(format!(
+                "estimated {est_ops:.2e} slack updates > {EXACT_OPS_CAP:.1e} cap"
+            ))
+        } else if est_dense_bytes > EXACT_BYTES_CAP {
+            Some(format!(
+                "largest component needs {est_dense_bytes} dense bytes > {EXACT_BYTES_CAP} cap"
+            ))
+        } else {
+            None
+        };
+
+        // Auction backend: cold solve per repeat (identical inputs, so
+        // stats are identical per repeat; keep the last).
+        let mut auction_s = Vec::new();
+        let mut auction_m = Vec::new();
+        let mut auction_stats = None;
+        for _ in 0..repeats {
+            let mut solver = AuctionSolver::new();
+            let t0 = Instant::now();
+            let m = solve_matching(&mut solver, nl, nr, &city.edges);
+            auction_s.push(t0.elapsed().as_secs_f64());
+            assert_eq!(
+                solver.stats().abandoned,
+                0,
+                "{n_workers} workers: auction abandoned the solve"
+            );
+            auction_m = m;
+            auction_stats = Some(solver.take_stats());
+        }
+        let auction_stats = auction_stats.expect("repeats > 0");
+        let auction_w = matching_weight(&city.edges, &auction_m);
+
+        // Exact backend, gated: every repeat is checked against the
+        // auction result (cardinality exactly, weight within ε-bound).
+        let mut exact_s = Vec::new();
+        let mut exact_peak_dense = 0usize;
+        for _ in 0..if exact_skip.is_none() { repeats } else { 0 } {
+            let mut solver = ExactKmSolver::default();
+            let t0 = Instant::now();
+            let m = solve_matching(&mut solver, nl, nr, &city.edges);
+            exact_s.push(t0.elapsed().as_secs_f64());
+            exact_peak_dense = exact_peak_dense.max(solver.stats().peak_dense_bytes);
+            assert_eq!(
+                m.len(),
+                auction_m.len(),
+                "{n_workers} workers: auction cardinality must match exact"
+            );
+            let wex = matching_weight(&city.edges, &m);
+            assert!(
+                (wex - auction_w).abs() <= 1e-3 * (1.0 + wex.abs()),
+                "{n_workers} workers: auction weight {auction_w} vs exact {wex}"
+            );
+        }
+
+        // Warm-start yield: prices cached across perturbed windows must
+        // reproduce the cold matchings bid-for-bid identically while
+        // spending fewer bids.
+        let mut warm = AuctionSolver::with_warm_start();
+        let _ = solve_matching_keyed(&mut warm, nl, nr, &city.edges, &keys);
+        let _ = warm.take_stats();
+        let (mut warm_bids, mut cold_bids) = (0u64, 0u64);
+        for window in 1..=WARM_WINDOWS as u64 {
+            let pe = perturbed_edges(&city, seed ^ n_workers as u64, window);
+            let mut cold = AuctionSolver::new();
+            let cold_m = solve_matching_keyed(&mut cold, nl, nr, &pe, &keys);
+            let warm_m = solve_matching_keyed(&mut warm, nl, nr, &pe, &keys);
+            assert_eq!(
+                warm_m, cold_m,
+                "{n_workers} workers, window {window}: warm must equal cold"
+            );
+            let ws = warm.take_stats();
+            assert!(ws.warm_hits > 0, "window {window}: expected a cache hit");
+            warm_bids += ws.bids;
+            cold_bids += cold.take_stats().bids;
+        }
+
+        let auction_med = median(&mut auction_s);
+        let exact_med = (!exact_s.is_empty()).then(|| median(&mut exact_s));
+        let saved = 1.0 - warm_bids as f64 / cold_bids.max(1) as f64;
+
+        if smoke {
+            assert!(
+                exact_skip.is_none(),
+                "--smoke size must keep the exact oracle tractable"
+            );
+            assert!(
+                auction_stats.peak_sparse_bytes < est_dense_bytes,
+                "auction peak {} bytes must undercut the dense matrix {} bytes",
+                auction_stats.peak_sparse_bytes,
+                est_dense_bytes
+            );
+            assert!(
+                warm_bids < cold_bids,
+                "warm starts must save bids ({warm_bids} vs {cold_bids})"
+            );
+        }
+
+        table.push(vec![
+            n_workers.to_string(),
+            nl.to_string(),
+            city.edges.len().to_string(),
+            format!("{} (med {})", comps.len(), median_vertices),
+            format!("{}x{}", largest.0, largest.1),
+            exact_med.map_or_else(|| "skipped".into(), |s| format!("{:.2}", s * 1e3)),
+            format!("{:.2}", auction_med * 1e3),
+            format!("{:.1}", est_dense_bytes as f64 / 1e6),
+            format!("{:.2}", auction_stats.peak_sparse_bytes as f64 / 1e6),
+            format!("{:.0}%", saved * 100.0),
+        ]);
+        rows.push(serde_json::json!({
+            "n_workers": n_workers,
+            "n_tasks": nl,
+            "n_edges": city.edges.len(),
+            "n_components": comps.len(),
+            "median_component_vertices": median_vertices,
+            "largest_component_left": largest.0,
+            "largest_component_right": largest.1,
+            "largest_component_edges": largest.2,
+            "exact_ran": exact_skip.is_none(),
+            "exact_skip_reason": exact_skip,
+            "exact_median_s": exact_med,
+            "exact_peak_dense_bytes": (exact_peak_dense > 0).then_some(exact_peak_dense),
+            "exact_est_dense_bytes": est_dense_bytes,
+            "exact_est_slack_updates": est_ops,
+            "auction_median_s": auction_med,
+            "auction_peak_sparse_bytes": auction_stats.peak_sparse_bytes,
+            "auction_bids": auction_stats.bids,
+            "auction_phases": auction_stats.phases,
+            "auction_matched": auction_m.len(),
+            "speedup_exact_over_auction": exact_med.map(|e| e / auction_med),
+            "warm_windows": WARM_WINDOWS,
+            "warm_bids": warm_bids,
+            "cold_bids": cold_bids,
+            "warm_bids_saved_ratio": saved,
+            "repeats": repeats,
+            "seed": seed,
+        }));
+        println!(
+            "  {n_workers} workers done: auction {:.0} ms, exact {}",
+            auction_med * 1e3,
+            exact_med.map_or_else(|| "skipped".to_string(), |s| format!("{:.0} ms", s * 1e3)),
+        );
+    }
+
+    println!();
+    print_markdown_table(
+        &[
+            "workers",
+            "tasks",
+            "edges",
+            "components",
+            "largest (LxR)",
+            "exact (ms)",
+            "auction (ms)",
+            "dense est (MB)",
+            "sparse peak (MB)",
+            "warm bids saved",
+        ],
+        &table,
+    );
+
+    if smoke {
+        println!("\n--smoke: equivalence, sparse memory bound and warm-start yield all hold");
+    } else {
+        save_json(
+            &out_dir().join("scaling_matching.json"),
+            "scaling_matching",
+            &rows,
+        )
+        .expect("write rows");
+    }
+}

@@ -34,7 +34,7 @@ use tamp_obs::{
 };
 use tamp_platform::{
     run_assignment_observed, train_predictors_observed, AssignmentAlgo, AssignmentMetrics,
-    EngineConfig, LossKind, PredictionAlgo, TrainingConfig,
+    EngineConfig, LossKind, PredictionAlgo, SolverKind, TrainingConfig,
 };
 use tamp_serve::{
     http_get, HostConfig, MetricsServer, OverloadPolicy, Pacing, ServeHost, ServeReport, Shard,
@@ -50,6 +50,8 @@ USAGE:
                     [--seed N] [--detour KM] [--tasks N]
   tamp-cli simulate [--workload FILE | generation options] --algo ppi|km|ggpso|ub|lb
                     [--loss task|mse] [--json] [--trace FILE] [--metrics FILE]
+                    [--solver exact|auction]  (matching backend: dense exact KM or
+                                      sparse sub-cubic forward auction; default exact)
                     [--no-index]  (disable spatial prefiltering; same results, slower)
                     [--train-threads N]  (training threads; 0 = all cores, default 1;
                                           results are identical for every N)
@@ -75,8 +77,8 @@ USAGE:
                     [--trace-sample-head N]  (keep the first N trace events per
                                       name+kind; exact-count corrections at flush)
                     [--perturb-sleep-ms MS]  (seeded latency regression drill)
-                    [--no-index] [--loss task|mse] [--json] [--trace FILE]
-                    [--metrics FILE] [--train-threads N]
+                    [--solver exact|auction] [--no-index] [--loss task|mse]
+                    [--json] [--trace FILE] [--metrics FILE] [--train-threads N]
                     (shard i uses seed SEED+i; see docs/serving.md)
   tamp-cli metrics  --addr HOST:PORT [--json]   (one-shot fleet table from a
                                       running exporter's /metrics.json)
@@ -97,7 +99,7 @@ fn main() -> ExitCode {
         }
     };
     // Surface obvious typos: every command shares one option vocabulary.
-    const KNOWN: [&str; 35] = [
+    const KNOWN: [&str; 36] = [
         "out",
         "workload",
         "kind",
@@ -111,6 +113,7 @@ fn main() -> ExitCode {
         "trace",
         "metrics",
         "no-index",
+        "solver",
         "train-threads",
         "shards",
         "queue-cap",
@@ -318,6 +321,7 @@ fn cmd_simulate(args: &Args) -> Result<(), String> {
     let engine = EngineConfig {
         seed: args.get_parsed::<u64>("seed")?.unwrap_or(42),
         spatial_index: !args.flag("no-index"),
+        solver: args.get_or("solver", "exact").parse::<SolverKind>()?,
         ..EngineConfig::default()
     };
     let m = run_assignment_observed(
@@ -437,6 +441,7 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
                 seed,
                 spatial_index: !args.flag("no-index"),
                 prediction_cache: !args.flag("no-cache"),
+                solver: args.get_or("solver", "exact").parse::<SolverKind>()?,
                 ..EngineConfig::default()
             },
             faults: None,

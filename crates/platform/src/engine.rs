@@ -36,10 +36,11 @@ use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
 use std::time::Instant;
 use tamp_assign::baselines::{
-    ggpso_assign_excluding, km_assign_excluding, km_assign_indexed, lb_assign_excluding,
-    ub_assign_excluding, GgpsoParams,
+    ggpso_assign_excluding, km_assign_excluding_with_solver, km_assign_indexed_with_solver,
+    lb_assign_excluding, ub_assign_excluding, GgpsoParams,
 };
-use tamp_assign::ppi::{ppi_assign_observed, PpiParams};
+use tamp_assign::ppi::{ppi_assign_observed_with_solver, PpiParams};
+use tamp_assign::solver::{solver_for, MatchingSolver, SolverKind};
 use tamp_assign::view::{ExcludedPairs, WorkerView};
 use tamp_core::rng::{streams, PortableRng};
 use tamp_core::EngineError;
@@ -127,6 +128,13 @@ pub struct EngineConfig {
     /// Off by default so one-shot experiment runs measure the raw
     /// rollout cost; the serve layer turns it on.
     pub prediction_cache: bool,
+    /// Matching backend for the PPI / KM bipartite solves. `Exact` (the
+    /// default) is the dense O(n³) Hungarian oracle; `Auction` is the
+    /// sparse sub-cubic forward auction with cross-window warm-started
+    /// prices — same cardinality, weight within the ε-bound, no dense
+    /// matrix. UB/LB/GGPSO ignore this (they are offline yardsticks or
+    /// non-matching).
+    pub solver: SolverKind,
 }
 
 impl Default for EngineConfig {
@@ -143,6 +151,7 @@ impl Default for EngineConfig {
             seed: 0,
             spatial_index: true,
             prediction_cache: false,
+            solver: SolverKind::Exact,
         }
     }
 }
@@ -334,6 +343,11 @@ pub struct EngineState {
     /// Start of the next batch window, minutes.
     t: f64,
     cache: Option<PredictionCache>,
+    /// Matching backend (PPI / KM solves). The auction backend carries a
+    /// cross-window warm-start price cache here; it is output-neutral
+    /// (warm prices only accelerate the solve), so snapshots persist it
+    /// but restoring without it is still byte-identical.
+    solver: Box<dyn MatchingSolver>,
 }
 
 impl EngineState {
@@ -383,6 +397,7 @@ impl EngineState {
             cache: cfg
                 .prediction_cache
                 .then(|| PredictionCache::new(workload.workers.len())),
+            solver: solver_for(cfg.solver, matches!(cfg.solver, SolverKind::Auction)),
         })
     }
 
@@ -449,6 +464,7 @@ impl EngineState {
             batch_idx: self.batch_idx,
             t: self.t,
             cache: self.cache.clone(),
+            solver_warm: self.solver.export_warm(),
         }
     }
 
@@ -498,6 +514,11 @@ impl EngineState {
                 "snapshot and configuration disagree on the prediction cache".into(),
             ));
         }
+        let mut solver = fresh.solver;
+        // Warm prices are output-neutral, so a legacy snapshot without
+        // them (serde default: empty) restores to a byte-identical run —
+        // the first batch just solves cold.
+        solver.import_warm(snap.solver_warm);
         Ok(Self {
             metrics: snap.metrics,
             live_models: snap.live_models,
@@ -512,6 +533,7 @@ impl EngineState {
             batch_idx: snap.batch_idx,
             t: snap.t,
             cache: snap.cache,
+            solver,
         })
     }
 
@@ -639,7 +661,7 @@ impl EngineState {
                 let matching_span = obs.span_idx("engine.batch.matching", self.batch_idx);
                 let algo_span = obs.span_idx(algo_span_name(ctx.algo), self.batch_idx);
                 let plan = match ctx.algo {
-                    AssignmentAlgo::Ppi => ppi_assign_observed(
+                    AssignmentAlgo::Ppi => ppi_assign_observed_with_solver(
                         &self.pending,
                         &views,
                         &PpiParams {
@@ -650,13 +672,22 @@ impl EngineState {
                         },
                         &self.refused,
                         obs,
+                        &mut *self.solver,
                     ),
-                    AssignmentAlgo::Km if cfg.spatial_index => {
-                        km_assign_indexed(&self.pending, &views, now, &self.refused)
-                    }
-                    AssignmentAlgo::Km => {
-                        km_assign_excluding(&self.pending, &views, now, &self.refused)
-                    }
+                    AssignmentAlgo::Km if cfg.spatial_index => km_assign_indexed_with_solver(
+                        &self.pending,
+                        &views,
+                        now,
+                        &self.refused,
+                        &mut *self.solver,
+                    ),
+                    AssignmentAlgo::Km => km_assign_excluding_with_solver(
+                        &self.pending,
+                        &views,
+                        now,
+                        &self.refused,
+                        &mut *self.solver,
+                    ),
                     AssignmentAlgo::Ggpso => ggpso_assign_excluding(
                         &self.pending,
                         &views,
@@ -676,6 +707,32 @@ impl EngineState {
                 drop(matching_span);
                 record.stages.matching_s = start.elapsed().as_secs_f64();
                 self.metrics.algo_seconds += record.stages.matching_s;
+
+                // Per-batch backend work counters (UB/LB/GGPSO don't use
+                // the pluggable solver, so their stats stay zero and emit
+                // nothing).
+                let sstats = self.solver.take_stats();
+                if sstats.solves > 0 {
+                    let idx = Some(self.batch_idx);
+                    obs.count_idx("solver.components", sstats.components, idx);
+                    obs.count_idx("solver.augmented_rows", sstats.augmented_rows, idx);
+                    obs.count_idx("solver.bids", sstats.bids, idx);
+                    obs.count_idx("solver.phases", sstats.phases, idx);
+                    obs.count_idx("solver.warm.hits", sstats.warm_hits, idx);
+                    obs.count_idx("solver.warm.misses", sstats.warm_misses, idx);
+                    obs.count_idx("solver.cold_restarts", sstats.cold_restarts, idx);
+                    obs.count_idx("solver.abandoned", sstats.abandoned, idx);
+                    obs.gauge_idx(
+                        "solver.peak_dense_bytes",
+                        sstats.peak_dense_bytes as f64,
+                        idx,
+                    );
+                    obs.gauge_idx(
+                        "solver.peak_sparse_bytes",
+                        sstats.peak_sparse_bytes as f64,
+                        idx,
+                    );
+                }
 
                 // 4. Acceptance against real itineraries. Id → snapshot
                 // maps are built once per batch so each proposed pair
@@ -867,6 +924,12 @@ pub struct EngineSnapshot {
     pub t: f64,
     /// The prediction cache, entries and counters included.
     pub cache: Option<PredictionCache>,
+    /// The matching backend's warm-start price cache (auction backend
+    /// only; empty for the exact backend). Output-neutral: a snapshot
+    /// missing this field (older format) restores byte-identically, the
+    /// first post-restore batch just solves cold.
+    #[serde(default)]
+    pub solver_warm: Vec<(u64, Vec<f64>)>,
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -1467,6 +1530,106 @@ mod tests {
             stepped.total_detour_km.to_bits(),
             one_shot.total_detour_km.to_bits()
         );
+    }
+
+    #[test]
+    fn auction_solver_matches_exact_end_to_end() {
+        // Continuous inverse-distance weights make each window's optimum
+        // unique in practice, so the ε-optimal auction backend must
+        // reproduce the exact backend's full day, metric for metric
+        // (cardinality equality is guaranteed unconditionally; picking a
+        // different equal-weight matching would need a tie far below the
+        // weight scale of real instances).
+        let w = tiny();
+        let p = quick_predictors(&w);
+        let exact = run_assignment(&w, Some(&p), AssignmentAlgo::Ppi, &cfg());
+        let auction_cfg = EngineConfig {
+            solver: SolverKind::Auction,
+            ..cfg()
+        };
+        let auction = run_assignment(&w, Some(&p), AssignmentAlgo::Ppi, &auction_cfg);
+        assert_eq!(auction.completed, exact.completed);
+        assert_eq!(auction.rejected, exact.rejected);
+        assert_eq!(auction.assigned_total, exact.assigned_total);
+        assert_eq!(
+            auction.total_detour_km.to_bits(),
+            exact.total_detour_km.to_bits()
+        );
+        // The KM baseline goes through the same seam.
+        let exact = run_assignment(&w, Some(&p), AssignmentAlgo::Km, &cfg());
+        let auction = run_assignment(&w, Some(&p), AssignmentAlgo::Km, &auction_cfg);
+        assert_eq!(auction.completed, exact.completed);
+        assert_eq!(auction.rejected, exact.rejected);
+    }
+
+    #[test]
+    fn auction_warm_cache_snapshots_and_stays_output_neutral() {
+        // A mid-run snapshot under the auction backend carries the
+        // warm-start price cache; restoring with it — or with it wiped
+        // (a legacy snapshot) — must both replay byte-identically to the
+        // uninterrupted run, because warm prices only accelerate the
+        // solve.
+        let w = tiny();
+        let p = quick_predictors(&w);
+        let cfg = EngineConfig {
+            seq_in: 3,
+            solver: SolverKind::Auction,
+            ..EngineConfig::default()
+        };
+        let obs = Obs::null();
+        let ctx = StepCtx {
+            workload: &w,
+            predictors: Some(&p),
+            algo: AssignmentAlgo::Ppi,
+            cfg: &cfg,
+            fplan: None,
+            reports: None,
+            degrade: false,
+            obs: &obs,
+        };
+
+        let mut straight = EngineState::new(&w, Some(&p), AssignmentAlgo::Ppi, &cfg).unwrap();
+        let mut next = 0usize;
+        drive(&mut straight, &ctx, &w, &cfg, &mut next, usize::MAX);
+        let straight_m = straight.finish(&obs);
+
+        let mut first = EngineState::new(&w, Some(&p), AssignmentAlgo::Ppi, &cfg).unwrap();
+        let mut next = 0usize;
+        drive(&mut first, &ctx, &w, &cfg, &mut next, 45);
+        let snap = first.snapshot();
+        assert!(
+            !snap.solver_warm.is_empty(),
+            "45 assigned windows must have cached warm prices"
+        );
+        let json = serde_json::to_string(&snap).unwrap();
+        assert_eq!(
+            json,
+            serde_json::to_string(&first.snapshot()).unwrap(),
+            "snapshot bytes must be stable"
+        );
+        drop(first);
+
+        for wipe_warm in [false, true] {
+            let mut snap: EngineSnapshot = serde_json::from_str(&json).unwrap();
+            if wipe_warm {
+                snap.solver_warm.clear();
+            }
+            let mut resumed =
+                EngineState::restore(&w, Some(&p), AssignmentAlgo::Ppi, &cfg, snap).unwrap();
+            let mut next_r = next;
+            drive(&mut resumed, &ctx, &w, &cfg, &mut next_r, usize::MAX);
+            let resumed_m = resumed.finish(&obs);
+            assert_eq!(
+                resumed_m.completed, straight_m.completed,
+                "wipe={wipe_warm}"
+            );
+            assert_eq!(resumed_m.rejected, straight_m.rejected, "wipe={wipe_warm}");
+            assert_eq!(
+                resumed_m.total_detour_km.to_bits(),
+                straight_m.total_detour_km.to_bits(),
+                "wipe={wipe_warm}"
+            );
+        }
     }
 
     /// Steps a state over `windows` batch windows, feeding tasks from

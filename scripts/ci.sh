@@ -47,6 +47,30 @@ for algo in ppi km; do
     fi
 done
 
+echo "== auction vs exact solver smoke comparison (must be identical)"
+# The forward-auction backend must reproduce the exact Hungarian
+# backend's end-to-end simulation outcome (unique optima under
+# continuous inverse-distance weights; DESIGN.md solver backends).
+for algo in ppi km; do
+    cargo run --release -p tamp-cli --offline -q -- simulate \
+        --kind porto --scale tiny --seed 7 --algo "$algo" --solver exact \
+        >"$SMOKE_DIR/$algo.exact.txt"
+    cargo run --release -p tamp-cli --offline -q -- simulate \
+        --kind porto --scale tiny --seed 7 --algo "$algo" --solver auction \
+        >"$SMOKE_DIR/$algo.auction.txt"
+    if ! diff <(grep -iE '^(tasks|completed|rejected|avg)' "$SMOKE_DIR/$algo.exact.txt") \
+              <(grep -iE '^(tasks|completed|rejected|avg)' "$SMOKE_DIR/$algo.auction.txt"); then
+        echo "FAIL: --solver auction changed the $algo simulation outcome" >&2
+        exit 1
+    fi
+done
+
+echo "== diag_scale smoke (auction equivalence + sparse memory bound)"
+# 10k-worker hotspot city: asserts exact-vs-auction equivalence per
+# repeat, the auction's peak sparse bytes under the dense estimate, and
+# warm-started windows saving bids. Writes nothing.
+cargo run --release -p tamp-bench --offline -q --bin diag_scale -- --smoke >/dev/null
+
 echo "== train-threads determinism smoke (1 vs 4 must be identical)"
 # Parallel meta-training uses fixed-order reduction, so predictor
 # quality metrics must be byte-identical at any thread count. Only the
