@@ -18,7 +18,7 @@
 //!   genetic baseline of \[11\]).
 //! * [`spatial`] — a uniform-grid bucket index that prefilters candidate
 //!   pairs at large scale without changing any algorithm's output.
-//! * [`solver`] — the pluggable [`MatchingSolver`](solver::MatchingSolver)
+//! * [`solver`] — the pluggable [`MatchingSolver`]
 //!   backend seam: exact KM stays the oracle, [`auction`] supplies a
 //!   sparse sub-cubic backend with ε-scaling and cross-window warm starts
 //!   for city-scale batches.
@@ -28,7 +28,7 @@
 //! matching rate) plus, for the oracle, the hidden real routine.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod auction;
 pub mod baselines;

@@ -8,7 +8,7 @@
 //!
 //! * a **driver** ([`solve_matching`] / [`solve_matching_keyed`]) that
 //!   validates the edge list, compacts vertex ids, and decomposes the
-//!   graph into connected components (union-by-size [`Dsu`] with path
+//!   graph into connected components (union-by-size `Dsu` with path
 //!   compression), and
 //! * **backends** that solve one component each: [`ExactKmSolver`] (the
 //!   oracle — the existing dense Hungarian solve) and

@@ -168,7 +168,7 @@ impl BucketIndex {
         self.buckets.len()
     }
 
-    /// Whether the bounding box demanded more than [`MAX_GRID_BUCKETS`]
+    /// Whether the bounding box demanded more than `MAX_GRID_BUCKETS`
     /// cells and the index degraded to full enumeration (diagnostics —
     /// surfaced as the `ppi.index.bbox_fallback` counter).
     pub fn used_fallback(&self) -> bool {

@@ -147,6 +147,53 @@ fn gather_metrics() -> Vec<Metric> {
             }
         }
     }
+    if let Some(doc) = read_json("infer_batch.json") {
+        let rows = doc
+            .get("rows")
+            .and_then(|v| v.as_array())
+            .cloned()
+            .unwrap_or_default();
+        let biggest = rows.iter().max_by_key(|r| {
+            r.get("n_workers")
+                .and_then(serde_json::Value::as_u64)
+                .unwrap_or(0)
+        });
+        if let Some(row) = biggest {
+            let batch64 = row
+                .get("batches")
+                .and_then(|v| v.as_array())
+                .into_iter()
+                .flatten()
+                .find(|b| b.get("batch").and_then(serde_json::Value::as_u64) == Some(64));
+            if let Some(v) = batch64
+                .and_then(|b| b.get("scalar_speedup"))
+                .and_then(serde_json::Value::as_f64)
+            {
+                out.push(Metric {
+                    name: "nn.rollout.speedup.batch64",
+                    value: v,
+                });
+            }
+            if let Some(v) = batch64
+                .and_then(|b| b.get("batched_speedup"))
+                .and_then(serde_json::Value::as_f64)
+            {
+                out.push(Metric {
+                    name: "nn.rollout.batched_speedup.batch64",
+                    value: v,
+                });
+            }
+            if let Some(v) = row
+                .get("mem_ratio_dense_over_store")
+                .and_then(serde_json::Value::as_f64)
+            {
+                out.push(Metric {
+                    name: "nn.rollout.mem_ratio.largest",
+                    value: v,
+                });
+            }
+        }
+    }
     if let Some(doc) = read_json("obs_overhead.json") {
         let rows = doc
             .get("rows")

@@ -1,0 +1,342 @@
+//! Fleet-scale batched rollout diagnostics: what does cross-worker GEMM
+//! buy over the serial per-worker predict loop, and what does the
+//! base+delta weight store save over a dense per-worker fleet?
+//!
+//! A synthetic fleet mixes the three worker populations the serving
+//! engine sees: workers sharing one of a handful of cluster heads
+//! (cold-start — empty delta), and a fraction carrying a sparse
+//! [`DeltaWeights`] override from online adaptation. Fleet sizes sweep
+//! 1k–100k workers; each size runs the serial baseline (dense resident
+//! model per worker, exactly the legacy engine layout) against
+//! [`predict_batch_into`] at batch 1/8/64/512 on both kernel backends.
+//!
+//! Every scalar-batched repeat is asserted *bitwise identical* to the
+//! serial rollouts; every batched-backend repeat is asserted within
+//! `VEC_RTOL` relative error. Memory is recorded as resident weight
+//! bytes per worker: dense fleet vs heads + deltas, showing the
+//! superlinear per-worker drop as heads amortize across the fleet.
+//!
+//! Full sweep writes `results/infer_batch.json` (read by
+//! `bench_trajectory`); `--smoke` runs the smallest size at batch 64
+//! only, keeps all equivalence and memory asserts, and writes nothing
+//! (CI-friendly).
+
+use rand::Rng;
+use std::time::Instant;
+use tamp_bench::{out_dir, seed_from_env};
+use tamp_core::rng::rng_for;
+use tamp_nn::loss::Pt2;
+use tamp_nn::{predict_batch_into, BatchTape, DeltaWeights, KernelBackend, Seq2Seq, Seq2SeqConfig};
+use tamp_platform::experiments::report::{print_markdown_table, save_json};
+
+const HIDDEN: usize = 64;
+const HEADS: usize = 8;
+const OBS_LEN: usize = 12;
+const HORIZON: usize = 6;
+/// Every Nth worker carries a sparse adaptation delta; the rest ride
+/// their cluster head unchanged (the cold-start population).
+const DELTA_EVERY: usize = 10;
+/// Parameters overridden per adapted worker — sparse against `n_params`.
+const DELTA_TOUCH: usize = 64;
+/// Batched-backend-vs-serial relative error bound asserted per repeat.
+const VEC_RTOL: f64 = 1e-6;
+
+struct Fleet {
+    heads: Vec<Seq2Seq>,
+    head_of: Vec<usize>,
+    deltas: Vec<DeltaWeights>,
+    inputs: Vec<Vec<Pt2>>,
+    n_params: usize,
+}
+
+fn build_fleet(n: usize, seed: u64) -> Fleet {
+    let mut rng = rng_for(seed, 1);
+    let heads: Vec<Seq2Seq> = (0..HEADS)
+        .map(|_| Seq2Seq::new(Seq2SeqConfig::lstm(HIDDEN), &mut rng))
+        .collect();
+    let n_params = heads[0].n_params();
+    let mut head_of = Vec::with_capacity(n);
+    let mut deltas = Vec::with_capacity(n);
+    let mut inputs = Vec::with_capacity(n);
+    for w in 0..n {
+        let mut wrng = rng_for(seed ^ 0xF1EE7, w as u64);
+        let h = w % HEADS;
+        head_of.push(h);
+        if w % DELTA_EVERY == 0 {
+            let base = heads[h].params();
+            let mut dense = base.clone();
+            for _ in 0..DELTA_TOUCH {
+                let i = wrng.gen_range(0..n_params);
+                dense[i] += wrng.gen_range(-0.05..0.05);
+            }
+            deltas.push(DeltaWeights::fit(&base, &dense, 0.0));
+        } else {
+            deltas.push(DeltaWeights::empty(n_params));
+        }
+        let mut p = [wrng.gen_range(-1.0..1.0), wrng.gen_range(-1.0..1.0)];
+        inputs.push(
+            (0..OBS_LEN)
+                .map(|_| {
+                    p = [
+                        p[0] + wrng.gen_range(-0.1..0.1),
+                        p[1] + wrng.gen_range(-0.1..0.1),
+                    ];
+                    p
+                })
+                .collect(),
+        );
+    }
+    Fleet {
+        heads,
+        head_of,
+        deltas,
+        inputs,
+        n_params,
+    }
+}
+
+/// The legacy engine layout: one resident dense model per worker.
+fn materialize_dense(fleet: &Fleet) -> Vec<Seq2Seq> {
+    fleet
+        .head_of
+        .iter()
+        .zip(&fleet.deltas)
+        .map(|(&h, d)| {
+            let mut m = fleet.heads[h].clone();
+            if !d.is_empty() {
+                let mut p = m.params();
+                d.patch(&mut p);
+                m.set_params(&p);
+            }
+            m
+        })
+        .collect()
+}
+
+/// One batched pass over the whole fleet: group by head (input lengths
+/// are uniform here), chunk by `batch`, GEMM each chunk. Returns
+/// per-worker rollouts in worker order.
+fn run_batched(
+    fleet: &Fleet,
+    by_head: &[Vec<usize>],
+    batch: usize,
+    backend: KernelBackend,
+    tape: &mut BatchTape,
+) -> Vec<Vec<Pt2>> {
+    let mut result = vec![Vec::new(); fleet.head_of.len()];
+    let mut outs: Vec<Vec<Pt2>> = Vec::new();
+    for (h, lanes) in by_head.iter().enumerate() {
+        for chunk in lanes.chunks(batch) {
+            let inputs: Vec<&[Pt2]> = chunk.iter().map(|&w| fleet.inputs[w].as_slice()).collect();
+            let deltas: Vec<Option<&DeltaWeights>> = chunk
+                .iter()
+                .map(|&w| (!fleet.deltas[w].is_empty()).then_some(&fleet.deltas[w]))
+                .collect();
+            predict_batch_into(
+                &fleet.heads[h],
+                &deltas,
+                &inputs,
+                HORIZON,
+                backend,
+                tape,
+                &mut outs,
+            );
+            for (k, &w) in chunk.iter().enumerate() {
+                result[w] = std::mem::take(&mut outs[k]);
+            }
+        }
+    }
+    result
+}
+
+fn max_rel_err(a: &[Vec<Pt2>], b: &[Vec<Pt2>]) -> f64 {
+    let mut worst = 0.0f64;
+    for (xa, xb) in a.iter().zip(b) {
+        for (pa, pb) in xa.iter().zip(xb) {
+            for k in 0..2 {
+                let denom = pa[k].abs().max(1e-12);
+                worst = worst.max((pa[k] - pb[k]).abs() / denom);
+            }
+        }
+    }
+    worst
+}
+
+fn assert_bitwise(serial: &[Vec<Pt2>], batched: &[Vec<Pt2>], n_workers: usize, batch: usize) {
+    for (w, (s, b)) in serial.iter().zip(batched).enumerate() {
+        assert_eq!(
+            s.len(),
+            b.len(),
+            "{n_workers} workers, batch {batch}: lane {w} length"
+        );
+        for (ps, pb) in s.iter().zip(b) {
+            assert!(
+                ps[0].to_bits() == pb[0].to_bits() && ps[1].to_bits() == pb[1].to_bits(),
+                "{n_workers} workers, batch {batch}: worker {w} diverged ({ps:?} vs {pb:?})"
+            );
+        }
+    }
+}
+
+fn median(xs: &mut [f64]) -> f64 {
+    xs.sort_by(|a, b| a.total_cmp(b));
+    xs[xs.len() / 2]
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let seed = seed_from_env();
+    let sizes: &[usize] = if smoke {
+        &[1_000]
+    } else {
+        &[1_000, 10_000, 100_000]
+    };
+    let batches: &[usize] = if smoke { &[64] } else { &[1, 8, 64, 512] };
+    let repeats = if smoke { 2 } else { 3 };
+    println!(
+        "# Batched rollout throughput and weight-store residency (seed {seed}, {repeats} repeats{})\n",
+        if smoke { ", --smoke" } else { "" }
+    );
+
+    let mut table = Vec::new();
+    let mut rows = Vec::new();
+    let mut tape = BatchTape::new();
+    let mut store_per_worker_trend: Vec<f64> = Vec::new();
+    for &n in sizes {
+        let fleet = build_fleet(n, seed ^ n as u64);
+        let dense = materialize_dense(&fleet);
+        let mut by_head: Vec<Vec<usize>> = vec![Vec::new(); HEADS];
+        for (w, &h) in fleet.head_of.iter().enumerate() {
+            by_head[h].push(w);
+        }
+
+        // Serial baseline: the per-worker predict loop over resident
+        // dense models — also the bitwise reference for every backend.
+        let mut serial_s = Vec::new();
+        let mut reference: Vec<Vec<Pt2>> = Vec::new();
+        for _ in 0..repeats {
+            let t0 = Instant::now();
+            let outs: Vec<Vec<Pt2>> = dense
+                .iter()
+                .zip(&fleet.inputs)
+                .map(|(m, input)| m.predict(input, HORIZON))
+                .collect();
+            serial_s.push(t0.elapsed().as_secs_f64());
+            reference = outs;
+        }
+        let serial_med = median(&mut serial_s);
+
+        // Resident weight bytes: the dense fleet vs heads + deltas.
+        let dense_bytes = n * fleet.n_params * std::mem::size_of::<f64>();
+        let delta_bytes: usize = fleet.deltas.iter().map(DeltaWeights::resident_bytes).sum();
+        let store_bytes = HEADS * fleet.n_params * std::mem::size_of::<f64>() + delta_bytes;
+        let delta_workers = fleet.deltas.iter().filter(|d| !d.is_empty()).count();
+        store_per_worker_trend.push(store_bytes as f64 / n as f64);
+
+        let mut batch_rows = Vec::new();
+        for &b in batches {
+            let mut scalar_s = Vec::new();
+            for _ in 0..repeats {
+                let t0 = Instant::now();
+                let outs = run_batched(&fleet, &by_head, b, KernelBackend::Scalar, &mut tape);
+                scalar_s.push(t0.elapsed().as_secs_f64());
+                assert_bitwise(&reference, &outs, n, b);
+            }
+            let mut vec_s = Vec::new();
+            let mut vec_err = 0.0f64;
+            for _ in 0..repeats {
+                let t0 = Instant::now();
+                let outs = run_batched(&fleet, &by_head, b, KernelBackend::Batched, &mut tape);
+                vec_s.push(t0.elapsed().as_secs_f64());
+                let err = max_rel_err(&reference, &outs);
+                assert!(
+                    err <= VEC_RTOL,
+                    "{n} workers, batch {b}: batched-backend rel err {err:.3e} > {VEC_RTOL:.0e}"
+                );
+                vec_err = vec_err.max(err);
+            }
+            let scalar_med = median(&mut scalar_s);
+            let vec_med = median(&mut vec_s);
+            table.push(vec![
+                n.to_string(),
+                b.to_string(),
+                format!("{:.1}", serial_med * 1e3),
+                format!("{:.1}", scalar_med * 1e3),
+                format!("{:.2}", serial_med / scalar_med),
+                format!("{:.1}", vec_med * 1e3),
+                format!("{:.2}", serial_med / vec_med),
+                format!("{vec_err:.1e}"),
+            ]);
+            batch_rows.push(serde_json::json!({
+                "batch": b,
+                "scalar_median_s": scalar_med,
+                "scalar_speedup": serial_med / scalar_med,
+                "batched_median_s": vec_med,
+                "batched_speedup": serial_med / vec_med,
+                "batched_max_rel_err": vec_err,
+            }));
+            println!(
+                "  {n} workers, batch {b}: serial {:.0} ms, scalar {:.0} ms ({:.2}x), batched {:.0} ms ({:.2}x)",
+                serial_med * 1e3,
+                scalar_med * 1e3,
+                serial_med / scalar_med,
+                vec_med * 1e3,
+                serial_med / vec_med,
+            );
+        }
+
+        if smoke {
+            assert!(
+                store_bytes < dense_bytes,
+                "weight store {store_bytes} bytes must undercut the dense fleet {dense_bytes}"
+            );
+        }
+        rows.push(serde_json::json!({
+            "n_workers": n,
+            "n_params": fleet.n_params,
+            "heads": HEADS,
+            "delta_workers": delta_workers,
+            "obs_len": OBS_LEN,
+            "horizon": HORIZON,
+            "serial_median_s": serial_med,
+            "dense_resident_bytes": dense_bytes,
+            "store_resident_bytes": store_bytes,
+            "dense_bytes_per_worker": dense_bytes as f64 / n as f64,
+            "store_bytes_per_worker": store_bytes as f64 / n as f64,
+            "mem_ratio_dense_over_store": dense_bytes as f64 / store_bytes as f64,
+            "batches": batch_rows,
+            "repeats": repeats,
+            "seed": seed,
+        }));
+    }
+
+    // Heads amortize: resident store bytes per worker must fall as the
+    // fleet grows (the dense fleet stays flat at n_params * 8).
+    for pair in store_per_worker_trend.windows(2) {
+        assert!(
+            pair[1] < pair[0],
+            "store bytes/worker must drop with fleet size ({pair:?})"
+        );
+    }
+
+    println!();
+    print_markdown_table(
+        &[
+            "workers",
+            "batch",
+            "serial (ms)",
+            "scalar (ms)",
+            "scalar speedup",
+            "batched (ms)",
+            "batched speedup",
+            "batched rel err",
+        ],
+        &table,
+    );
+
+    if smoke {
+        println!("\n--smoke: scalar byte-identity, batched tolerance and store residency all hold");
+    } else {
+        save_json(&out_dir().join("infer_batch.json"), "infer_batch", &rows).expect("write rows");
+    }
+}

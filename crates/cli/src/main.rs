@@ -34,7 +34,7 @@ use tamp_obs::{
 };
 use tamp_platform::{
     run_assignment_observed, train_predictors_observed, AssignmentAlgo, AssignmentMetrics,
-    EngineConfig, LossKind, PredictionAlgo, SolverKind, TrainingConfig,
+    EngineConfig, KernelBackend, LossKind, PredictionAlgo, SolverKind, TrainingConfig,
 };
 use tamp_serve::{
     http_get, HostConfig, MetricsServer, OverloadPolicy, Pacing, ServeHost, ServeReport, Shard,
@@ -53,6 +53,13 @@ USAGE:
                     [--solver exact|auction]  (matching backend: dense exact KM or
                                       sparse sub-cubic forward auction; default exact)
                     [--no-index]  (disable spatial prefiltering; same results, slower)
+                    [--kernel-backend scalar|batched]  (rollout kernel backend; scalar
+                                      is bitwise-reproducible and the default; batched
+                                      is faster but only rel-tol accurate)
+                    [--rollout-batch N]  (workers per batched rollout GEMM; 1 =
+                                      serial legacy path, default 1)
+                    [--kernel-rtol T]  (batched-vs-scalar relative tolerance
+                                      gate; default 1e-9)
                     [--train-threads N]  (training threads; 0 = all cores, default 1;
                                           results are identical for every N)
   tamp-cli predict  [--workload FILE | generation options]
@@ -78,6 +85,7 @@ USAGE:
                                       name+kind; exact-count corrections at flush)
                     [--perturb-sleep-ms MS]  (seeded latency regression drill)
                     [--solver exact|auction] [--no-index] [--loss task|mse]
+                    [--kernel-backend scalar|batched] [--rollout-batch N] [--kernel-rtol T]
                     [--json] [--trace FILE] [--metrics FILE] [--train-threads N]
                     (shard i uses seed SEED+i; see docs/serving.md)
   tamp-cli metrics  --addr HOST:PORT [--json]   (one-shot fleet table from a
@@ -99,7 +107,7 @@ fn main() -> ExitCode {
         }
     };
     // Surface obvious typos: every command shares one option vocabulary.
-    const KNOWN: [&str; 36] = [
+    const KNOWN: [&str; 39] = [
         "out",
         "workload",
         "kind",
@@ -114,6 +122,9 @@ fn main() -> ExitCode {
         "metrics",
         "no-index",
         "solver",
+        "kernel-backend",
+        "rollout-batch",
+        "kernel-rtol",
         "train-threads",
         "shards",
         "queue-cap",
@@ -322,6 +333,11 @@ fn cmd_simulate(args: &Args) -> Result<(), String> {
         seed: args.get_parsed::<u64>("seed")?.unwrap_or(42),
         spatial_index: !args.flag("no-index"),
         solver: args.get_or("solver", "exact").parse::<SolverKind>()?,
+        kernel: args
+            .get_or("kernel-backend", "scalar")
+            .parse::<KernelBackend>()?,
+        rollout_batch: args.get_parsed::<usize>("rollout-batch")?.unwrap_or(1),
+        kernel_rtol: args.get_parsed::<f64>("kernel-rtol")?.unwrap_or(1e-9),
         ..EngineConfig::default()
     };
     let m = run_assignment_observed(
@@ -442,6 +458,11 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
                 spatial_index: !args.flag("no-index"),
                 prediction_cache: !args.flag("no-cache"),
                 solver: args.get_or("solver", "exact").parse::<SolverKind>()?,
+                kernel: args
+                    .get_or("kernel-backend", "scalar")
+                    .parse::<KernelBackend>()?,
+                rollout_batch: args.get_parsed::<usize>("rollout-batch")?.unwrap_or(1),
+                kernel_rtol: args.get_parsed::<f64>("kernel-rtol")?.unwrap_or(1e-9),
                 ..EngineConfig::default()
             },
             faults: None,

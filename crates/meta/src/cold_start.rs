@@ -19,6 +19,15 @@ use crate::tree::{LearningTaskTree, NodeId};
 use rand::Rng;
 use tamp_nn::{Loss, Seq2Seq};
 
+// `DeltaWeights` is mechanically defined next to the kernels in
+// `tamp-nn` (the batched rollout applies deltas inside the GEMM loop),
+// but it is re-exported here because the *reason* per-worker models are
+// small sparse overrides is this module's meta-learning structure: every
+// worker adapts from its GTMC cluster head, so `(head, delta)` is the
+// natural storage form and a brand-new worker is just `(head,
+// cold_start_delta(..))`.
+pub use tamp_nn::DeltaWeights;
+
 /// Average similarity between a new task and a node's member tasks.
 fn node_similarity(node_tasks: &[&LearningTask], new_task: &LearningTask) -> f64 {
     if node_tasks.is_empty() {
@@ -62,6 +71,43 @@ pub fn best_init_node(
         }
     }
     best
+}
+
+/// The weight-store entry for a worker that has never been observed: its
+/// model *is* the cluster-head prior, so the delta overrides nothing.
+/// Serving cold-start is therefore a head lookup plus this empty delta —
+/// no training, no parameter copy (`n_params` is the head's parameter
+/// count). The paper's own meta-learning story (§ III-B: initialise from
+/// the most similar tree node) supplies the head choice; see
+/// [`best_init_node`].
+pub fn cold_start_delta(n_params: usize) -> DeltaWeights {
+    DeltaWeights::empty(n_params)
+}
+
+/// Deduplicates per-worker initialisation vectors into distinct cluster
+/// heads: returns `(heads, head_of)` where `head_of[i]` indexes the head
+/// worker `i` was initialised from. Vectors are compared *bitwise*, so
+/// two workers share a head only when their inits are exactly the
+/// parameters of the same cluster prior — the invariant the base+delta
+/// weight store ([`tamp_nn::DeltaWeights`]) relies on. Head order follows
+/// first appearance, keeping the mapping deterministic.
+pub fn dedup_heads(inits: &[Vec<f64>]) -> (Vec<Vec<f64>>, Vec<usize>) {
+    let mut heads: Vec<Vec<f64>> = Vec::new();
+    let mut keys: Vec<Vec<u64>> = Vec::new();
+    let mut head_of = Vec::with_capacity(inits.len());
+    for init in inits {
+        let key: Vec<u64> = init.iter().map(|v| v.to_bits()).collect();
+        let idx = match keys.iter().position(|k| *k == key) {
+            Some(i) => i,
+            None => {
+                keys.push(key);
+                heads.push(init.clone());
+                heads.len() - 1
+            }
+        };
+        head_of.push(idx);
+    }
+    (heads, head_of)
 }
 
 /// Full cold-start path: pick the most similar node, initialise from its
@@ -157,6 +203,29 @@ mod tests {
         );
         assert_eq!(node, tree.root());
         assert_ne!(model.params(), template.params(), "adaptation happened");
+    }
+
+    #[test]
+    fn cold_start_delta_is_the_head_prior() {
+        let head = vec![0.5, -1.25, 3.0];
+        let d = cold_start_delta(head.len());
+        assert!(d.is_empty());
+        assert_eq!(d.resident_bytes(), 0);
+        let mut params = Vec::new();
+        d.apply(&head, &mut params);
+        assert_eq!(params, head);
+    }
+
+    #[test]
+    fn dedup_heads_groups_bitwise_equal_inits() {
+        let a = vec![1.0, 2.0, 3.0];
+        let b = vec![1.0, 2.0, f64::from_bits(3.0f64.to_bits() + 1)];
+        let inits = vec![a.clone(), b.clone(), a.clone(), a.clone(), b.clone()];
+        let (heads, head_of) = dedup_heads(&inits);
+        assert_eq!(heads, vec![a, b]);
+        assert_eq!(head_of, vec![0, 1, 0, 0, 1]);
+        let (none, empty) = dedup_heads(&[]);
+        assert!(none.is_empty() && empty.is_empty());
     }
 
     #[test]

@@ -58,6 +58,7 @@ pub mod taml;
 pub mod tree;
 pub mod wasserstein;
 
+pub use cold_start::{cold_start_delta, dedup_heads, DeltaWeights};
 pub use gtmc::{build_tree, GtmcConfig};
 pub use learning_task::LearningTask;
 pub use meta_training::{resolve_threads, MetaConfig};

@@ -1,0 +1,88 @@
+//! Kernel backend selection for the forward/rollout GEMMs.
+//!
+//! The crate's default arithmetic contract is *bitwise determinism*: every
+//! fused or batched kernel accumulates each output element in exactly the
+//! order of the straightforward per-row loop, so training, tests, and the
+//! serve equivalence gates can compare runs with `==` on the bits. The
+//! [`KernelBackend::Batched`] backend relaxes that contract on the
+//! *forward/rollout path only*: it re-associates the reduction into
+//! FMA-friendly column blocks (see
+//! [`matmul_colmajor_relaxed_into`](crate::matrix::matmul_colmajor_relaxed_into)),
+//! trading bit-identity for throughput. Its outputs agree with the scalar
+//! backend to within a small relative tolerance (property-tested in
+//! [`crate::batch`]), which is why it is opt-in and serving-only:
+//! training and every tier-1 test stay on [`KernelBackend::Scalar`].
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// Which arithmetic the batched rollout kernels use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[serde(rename_all = "lowercase")]
+pub enum KernelBackend {
+    /// Bit-identical to the serial per-worker kernels (the default, and
+    /// the only backend training ever uses).
+    #[default]
+    Scalar,
+    /// Re-associated column-blocked loops: faster, tolerance-gated, for
+    /// serving only.
+    Batched,
+}
+
+impl KernelBackend {
+    /// Whether this backend guarantees bitwise equality with the serial
+    /// per-worker rollout.
+    pub fn is_bitwise(self) -> bool {
+        matches!(self, KernelBackend::Scalar)
+    }
+}
+
+impl fmt::Display for KernelBackend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KernelBackend::Scalar => f.write_str("scalar"),
+            KernelBackend::Batched => f.write_str("batched"),
+        }
+    }
+}
+
+impl FromStr for KernelBackend {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "scalar" => Ok(KernelBackend::Scalar),
+            "batched" | "batch" | "vectorized" | "vec" => Ok(KernelBackend::Batched),
+            other => Err(format!(
+                "unknown kernel backend {other:?} (expected scalar|batched)"
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_display_round_trip() {
+        for b in [KernelBackend::Scalar, KernelBackend::Batched] {
+            assert_eq!(b.to_string().parse::<KernelBackend>().unwrap(), b);
+        }
+        for alias in ["batch", "vec", "vectorized"] {
+            assert_eq!(
+                alias.parse::<KernelBackend>().unwrap(),
+                KernelBackend::Batched
+            );
+        }
+        assert!("simd".parse::<KernelBackend>().is_err());
+    }
+
+    #[test]
+    fn default_is_scalar_and_bitwise() {
+        assert_eq!(KernelBackend::default(), KernelBackend::Scalar);
+        assert!(KernelBackend::Scalar.is_bitwise());
+        assert!(!KernelBackend::Batched.is_bitwise());
+    }
+}

@@ -1,0 +1,868 @@
+//! Fleet-batched autoregressive rollout: cross-worker GEMM over a shared
+//! base model with per-worker delta corrections.
+//!
+//! [`Seq2Seq::predict`] runs one GEMV per worker per step. When a serve
+//! shard rolls out thousands of workers whose models share a cluster-head
+//! base (see [`crate::delta`]), those GEMVs collapse into one
+//! matrix-matrix product per step: stack the per-worker step features as
+//! columns of an input matrix and multiply once by the shared weights.
+//! [`predict_batch_into`] implements that, with [`BatchTape`] owning every
+//! stacked intermediate so the hot path allocates nothing after warm-up.
+//!
+//! ## Backend guarantees
+//!
+//! * [`KernelBackend::Scalar`] — **bitwise identical** to calling
+//!   [`Seq2Seq::predict`] per worker. Lanes whose delta is empty (the
+//!   model *is* the base) go through [`matmul_colmajor_into`], whose
+//!   per-lane accumulation order matches the serial GEMV exactly; lanes
+//!   with a non-empty delta reconstruct their dense model into a scratch
+//!   [`Seq2Seq`] and take the serial path, so their output is bitwise
+//!   equal to predicting on the reconstructed model.
+//! * [`KernelBackend::Batched`] — **tolerance-gated**. Every lane joins
+//!   the shared-base GEMM through the re-associated
+//!   [`matmul_colmajor_relaxed_into`] kernel, and non-empty deltas are
+//!   applied as a sparse correction pass (`a[r] += (δ − base)·x[c]`)
+//!   after each GEMM, and gate nonlinearities use the branch-free
+//!   [`crate::fastmath`] approximations instead of libm. Outputs agree
+//!   with the scalar backend to within a small relative error
+//!   (property-tested below); serving gates on a configured tolerance
+//!   before trusting them.
+//!
+//! GRU models have no stacked kernel; both backends fall back to the
+//! serial per-lane path for them. Dense-fallback deltas (most parameters
+//! moved) make the correction pass as expensive as a private GEMV — the
+//! batched path still works, but the win comes from fleets dominated by
+//! cluster heads and sparse adapters.
+
+use crate::backend::KernelBackend;
+use crate::delta::DeltaWeights;
+use crate::dense::Dense;
+use crate::fastmath::{sigmoid_approx, tanh_approx};
+use crate::loss::Pt2;
+use crate::lstm::{sigmoid, LstmCell};
+use crate::matrix::{matmul_colmajor_into, matmul_colmajor_relaxed_into};
+use crate::seq2seq::{step_features, Seq2Seq};
+use std::collections::BTreeMap;
+use std::mem;
+
+/// Plans which pending rollouts stack into the same cross-worker GEMM.
+///
+/// Lanes are grouped by `(base-model id, observed-prefix length)`:
+/// [`predict_batch_into`] requires every lane of a group to share the
+/// base model (one weight matrix per GEMM) and the input length (one
+/// stacked column block per step, no ragged tails). Architecture and
+/// prediction horizon are uniform within a serve shard's predictor set,
+/// so they are implied by the base id rather than carried in the key.
+///
+/// Group iteration order is deterministic (sorted by key, lanes in push
+/// order), which keeps batched runs reproducible and lets the scalar
+/// backend's byte-identity gates compare runs directly.
+#[derive(Debug, Clone, Default)]
+pub struct BatchedRollout {
+    groups: BTreeMap<(usize, usize), Vec<usize>>,
+    lanes: usize,
+}
+
+impl BatchedRollout {
+    /// An empty plan.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers pending rollout `lane` under its grouping key.
+    pub fn push(&mut self, lane: usize, base_id: usize, prefix_len: usize) {
+        self.groups
+            .entry((base_id, prefix_len))
+            .or_default()
+            .push(lane);
+        self.lanes += 1;
+    }
+
+    /// Total registered lanes.
+    pub fn len(&self) -> usize {
+        self.lanes
+    }
+
+    /// Whether no lanes have been registered.
+    pub fn is_empty(&self) -> bool {
+        self.lanes == 0
+    }
+
+    /// Visits every planned GEMM batch as `(base_id, lanes)` — groups in
+    /// key order, each split into chunks of at most `batch` lanes
+    /// (`batch == 0` is treated as 1).
+    pub fn for_each_batch(&self, batch: usize, mut f: impl FnMut(usize, &[usize])) {
+        let batch = batch.max(1);
+        for (&(base_id, _prefix_len), lanes) in &self.groups {
+            for chunk in lanes.chunks(batch) {
+                f(base_id, chunk);
+            }
+        }
+    }
+
+    /// Clears the plan for reuse.
+    pub fn clear(&mut self) {
+        self.groups.clear();
+        self.lanes = 0;
+    }
+}
+
+/// Sparse per-lane weight corrections, decoded from a [`DeltaWeights`]
+/// into per-layer `(row, col, value − base)` triples so the rollout can
+/// apply them directly against the stacked activations.
+#[derive(Debug, Clone, Default)]
+struct LaneCorr {
+    enc_w: Vec<(u32, u32, f64)>,
+    enc_b: Vec<(u32, f64)>,
+    dec_w: Vec<(u32, u32, f64)>,
+    dec_b: Vec<(u32, f64)>,
+    head_w: Vec<(u32, u32, f64)>,
+    head_b: Vec<(u32, f64)>,
+}
+
+impl LaneCorr {
+    fn clear(&mut self) {
+        self.enc_w.clear();
+        self.enc_b.clear();
+        self.dec_w.clear();
+        self.dec_b.clear();
+        self.head_w.clear();
+        self.head_b.clear();
+    }
+}
+
+/// Reusable workspace for [`predict_batch_into`].
+///
+/// Owns the cached column-major weight transposes (keyed on the base
+/// model's [`Seq2Seq::weights_tag`], recomputed only when the base
+/// changes), the stacked activation matrices (`(I+H)×B` inputs, `4H×B`
+/// gate pre-activations, `H×B` states, `2×B` head outputs), the decoder's
+/// per-lane autoregressive points, decoded delta corrections, and a
+/// scratch model for serial-fallback lanes. Buffers grow to the largest
+/// batch seen and are then reused allocation-free.
+#[derive(Default)]
+pub struct BatchTape {
+    wt_enc: Vec<f64>,
+    wt_dec: Vec<f64>,
+    wt_head: Vec<f64>,
+    wt_tag: Option<u64>,
+    xz: Vec<f64>,
+    a: Vec<f64>,
+    h: Vec<f64>,
+    c: Vec<f64>,
+    h_next: Vec<f64>,
+    c_next: Vec<f64>,
+    y: Vec<f64>,
+    prev: Vec<Pt2>,
+    before: Vec<Pt2>,
+    lanes: Vec<usize>,
+    corr: Vec<LaneCorr>,
+    base_params: Vec<f64>,
+    base_tag: Option<u64>,
+    scratch_params: Vec<f64>,
+    scratch_model: Option<Seq2Seq>,
+    /// Number of GEMM groups / total GEMM lanes since the last
+    /// [`BatchTape::take_stats`] call (telemetry).
+    stat_groups: u64,
+    stat_lanes: u64,
+}
+
+impl BatchTape {
+    /// An empty tape; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Drains the `(gemm_groups, gemm_lanes)` counters accumulated since
+    /// the last call — the `nn.batch.{groups,size}` telemetry source.
+    pub fn take_stats(&mut self) -> (u64, u64) {
+        (
+            mem::take(&mut self.stat_groups),
+            mem::take(&mut self.stat_lanes),
+        )
+    }
+
+    /// The dense model a `(base, delta)` pair denotes, reconstructed into
+    /// the scratch slot (or `base` itself for an empty delta).
+    fn lane_model<'a>(
+        &'a mut self,
+        base: &'a Seq2Seq,
+        delta: Option<&DeltaWeights>,
+    ) -> &'a Seq2Seq {
+        let delta = match delta {
+            Some(d) if !d.is_empty() => d,
+            _ => return base,
+        };
+        if self.base_tag != Some(base.weights_tag()) {
+            self.base_params = base.params();
+            self.base_tag = Some(base.weights_tag());
+        }
+        delta.apply(&self.base_params, &mut self.scratch_params);
+        let rebuild = match &self.scratch_model {
+            Some(m) => m.config() != base.config(),
+            None => true,
+        };
+        if rebuild {
+            self.scratch_model = Some(base.clone());
+        }
+        let model = self.scratch_model.as_mut().expect("just ensured");
+        model.set_params(&self.scratch_params);
+        model
+    }
+
+    /// Decodes each lane's delta into per-layer corrections against the
+    /// base weights (batched backend). `self.corr[i]` lines up with
+    /// `self.lanes[i]`.
+    fn build_corrections(
+        &mut self,
+        enc: &LstmCell,
+        dec: &LstmCell,
+        head: &Dense,
+        deltas: &[Option<&DeltaWeights>],
+    ) {
+        let n = self.lanes.len();
+        if self.corr.len() < n {
+            self.corr.resize_with(n, LaneCorr::default);
+        }
+        let ew = enc.w.rows() * enc.w.cols();
+        let off_eb = ew;
+        let off_dw = off_eb + enc.b.len();
+        let off_db = off_dw + dec.w.rows() * dec.w.cols();
+        let off_hw = off_db + dec.b.len();
+        let off_hb = off_hw + head.w.rows() * head.w.cols();
+        let zdim_e = enc.w.cols();
+        let zdim_d = dec.w.cols();
+        let hcols = head.w.cols();
+        for (slot, &li) in self.corr.iter_mut().zip(&self.lanes) {
+            slot.clear();
+            let Some(d) = deltas[li] else { continue };
+            d.for_each(|s, v| {
+                if s < off_eb {
+                    if v.to_bits() != enc.w.as_slice()[s].to_bits() {
+                        let (r, c) = (s / zdim_e, s % zdim_e);
+                        slot.enc_w
+                            .push((r as u32, c as u32, v - enc.w.as_slice()[s]));
+                    }
+                } else if s < off_dw {
+                    let r = s - off_eb;
+                    if v.to_bits() != enc.b[r].to_bits() {
+                        slot.enc_b.push((r as u32, v - enc.b[r]));
+                    }
+                } else if s < off_db {
+                    let s2 = s - off_dw;
+                    if v.to_bits() != dec.w.as_slice()[s2].to_bits() {
+                        let (r, c) = (s2 / zdim_d, s2 % zdim_d);
+                        slot.dec_w
+                            .push((r as u32, c as u32, v - dec.w.as_slice()[s2]));
+                    }
+                } else if s < off_hw {
+                    let r = s - off_db;
+                    if v.to_bits() != dec.b[r].to_bits() {
+                        slot.dec_b.push((r as u32, v - dec.b[r]));
+                    }
+                } else if s < off_hb {
+                    let s2 = s - off_hw;
+                    if v.to_bits() != head.w.as_slice()[s2].to_bits() {
+                        let (r, c) = (s2 / hcols, s2 % hcols);
+                        slot.head_w
+                            .push((r as u32, c as u32, v - head.w.as_slice()[s2]));
+                    }
+                } else {
+                    let r = s - off_hb;
+                    if v.to_bits() != head.b[r].to_bits() {
+                        slot.head_b.push((r as u32, v - head.b[r]));
+                    }
+                }
+            });
+        }
+    }
+
+    /// The stacked rollout over `self.lanes`. Appends `seq_out` points to
+    /// `out[lane]` for every lane in the group. `relaxed` selects the
+    /// re-associated GEMM kernel; `use_corr` applies `self.corr`.
+    #[allow(clippy::too_many_arguments)]
+    fn rollout(
+        &mut self,
+        base_tag: u64,
+        enc: &LstmCell,
+        dec: &LstmCell,
+        head: &Dense,
+        inputs: &[&[Pt2]],
+        seq_out: usize,
+        relaxed: bool,
+        use_corr: bool,
+        out: &mut [Vec<Pt2>],
+    ) {
+        let bsz = self.lanes.len();
+        if bsz == 0 {
+            return;
+        }
+        self.stat_groups += 1;
+        self.stat_lanes += bsz as u64;
+        let hdim = enc.hidden();
+        let idim = enc.input_dim();
+        let zdim = idim + hdim;
+        let g4 = 4 * hdim;
+        let yrows = head.w.rows();
+        if self.wt_tag != Some(base_tag) {
+            enc.w.transpose_into(&mut self.wt_enc);
+            dec.w.transpose_into(&mut self.wt_dec);
+            head.w.transpose_into(&mut self.wt_head);
+            self.wt_tag = Some(base_tag);
+        }
+        self.xz.resize(zdim * bsz, 0.0);
+        self.a.resize(g4 * bsz, 0.0);
+        self.y.resize(yrows * bsz, 0.0);
+        for buf in [&mut self.h, &mut self.c, &mut self.h_next, &mut self.c_next] {
+            buf.resize(hdim * bsz, 0.0);
+            buf.fill(0.0);
+        }
+        self.prev.resize(bsz, [0.0, 0.0]);
+        self.before.resize(bsz, [0.0, 0.0]);
+
+        let in_len = inputs[self.lanes[0]].len();
+        for t in 0..in_len {
+            for (i, &li) in self.lanes.iter().enumerate() {
+                let seq = inputs[li];
+                let f = step_features(seq[t], seq[t.saturating_sub(1)]);
+                for (k, &fv) in f.iter().enumerate() {
+                    self.xz[k * bsz + i] = fv;
+                }
+            }
+            self.xz[idim * bsz..zdim * bsz].copy_from_slice(&self.h);
+            Self::gate_step(
+                &self.wt_enc,
+                &self.xz,
+                &enc.b,
+                hdim,
+                zdim,
+                bsz,
+                relaxed,
+                use_corr.then_some((&self.corr[..], CorrLayer::Enc)),
+                &mut self.a,
+                &self.c,
+                &mut self.h_next,
+                &mut self.c_next,
+            );
+            mem::swap(&mut self.h, &mut self.h_next);
+            mem::swap(&mut self.c, &mut self.c_next);
+        }
+
+        for (i, &li) in self.lanes.iter().enumerate() {
+            let seq = inputs[li];
+            self.prev[i] = *seq.last().expect("non-empty input");
+            self.before[i] = seq[seq.len().saturating_sub(2)];
+        }
+        for _ in 0..seq_out {
+            for i in 0..bsz {
+                let f = step_features(self.prev[i], self.before[i]);
+                for (k, &fv) in f.iter().enumerate() {
+                    self.xz[k * bsz + i] = fv;
+                }
+            }
+            self.xz[idim * bsz..zdim * bsz].copy_from_slice(&self.h);
+            Self::gate_step(
+                &self.wt_dec,
+                &self.xz,
+                &dec.b,
+                hdim,
+                zdim,
+                bsz,
+                relaxed,
+                use_corr.then_some((&self.corr[..], CorrLayer::Dec)),
+                &mut self.a,
+                &self.c,
+                &mut self.h_next,
+                &mut self.c_next,
+            );
+            mem::swap(&mut self.h, &mut self.h_next);
+            mem::swap(&mut self.c, &mut self.c_next);
+
+            // Head: the state matrix is already the k-major input.
+            if relaxed {
+                matmul_colmajor_relaxed_into(&self.wt_head, yrows, hdim, bsz, &self.h, &mut self.y);
+            } else {
+                matmul_colmajor_into(&self.wt_head, yrows, hdim, bsz, &self.h, &mut self.y);
+            }
+            if use_corr {
+                for (i, corr) in self.corr[..bsz].iter().enumerate() {
+                    for &(r, c, dv) in &corr.head_w {
+                        self.y[r as usize * bsz + i] += dv * self.h[c as usize * bsz + i];
+                    }
+                }
+            }
+            for (r, &bv) in head.b.iter().enumerate() {
+                for yv in &mut self.y[r * bsz..(r + 1) * bsz] {
+                    *yv += bv;
+                }
+            }
+            if use_corr {
+                for (i, corr) in self.corr[..bsz].iter().enumerate() {
+                    for &(r, dv) in &corr.head_b {
+                        self.y[r as usize * bsz + i] += dv;
+                    }
+                }
+            }
+            for (i, &li) in self.lanes.iter().enumerate() {
+                let pt = [
+                    self.prev[i][0] + self.y[i],
+                    self.prev[i][1] + self.y[bsz + i],
+                ];
+                out[li].push(pt);
+                self.before[i] = self.prev[i];
+                self.prev[i] = pt;
+            }
+        }
+    }
+
+    /// One fused LSTM gate step over the stacked batch: GEMM (+optional
+    /// corrections), bias, gate nonlinearities, state update. Writes the
+    /// next state into `h_next`/`c_next`. Per lane, the scalar kernel's
+    /// arithmetic is bit-identical to [`LstmCell::forward_step_ws`].
+    #[allow(clippy::too_many_arguments)]
+    fn gate_step(
+        wt: &[f64],
+        xz: &[f64],
+        bias: &[f64],
+        hdim: usize,
+        zdim: usize,
+        bsz: usize,
+        relaxed: bool,
+        corr: Option<(&[LaneCorr], CorrLayer)>,
+        a: &mut [f64],
+        c: &[f64],
+        h_next: &mut [f64],
+        c_next: &mut [f64],
+    ) {
+        let g4 = 4 * hdim;
+        if relaxed {
+            matmul_colmajor_relaxed_into(wt, g4, zdim, bsz, xz, a);
+        } else {
+            matmul_colmajor_into(wt, g4, zdim, bsz, xz, a);
+        }
+        if let Some((corrs, layer)) = corr {
+            for (i, lane) in corrs[..bsz].iter().enumerate() {
+                let (w, b) = match layer {
+                    CorrLayer::Enc => (&lane.enc_w, &lane.enc_b),
+                    CorrLayer::Dec => (&lane.dec_w, &lane.dec_b),
+                };
+                for &(r, cc, dv) in w {
+                    a[r as usize * bsz + i] += dv * xz[cc as usize * bsz + i];
+                }
+                for &(r, dv) in b {
+                    a[r as usize * bsz + i] += dv;
+                }
+            }
+        }
+        for (r, &bv) in bias.iter().enumerate() {
+            for av in &mut a[r * bsz..(r + 1) * bsz] {
+                *av += bv;
+            }
+        }
+        if relaxed {
+            // The four gate blocks are contiguous `hdim × bsz` slabs in
+            // the same element order as the state blocks, so the whole
+            // nonlinearity pass is one flat elementwise loop over the
+            // branch-free [`crate::fastmath`] activations — this is where
+            // the batched backend escapes the libm scalar-call wall.
+            let (ig_blk, rest) = a[..].split_at(hdim * bsz);
+            let (fg_blk, rest) = rest.split_at(hdim * bsz);
+            let (gg_blk, og_blk) = rest.split_at(hdim * bsz);
+            let states = h_next.iter_mut().zip(c_next.iter_mut());
+            for (((((&ia, &fa), &ga), &oa), &cv), (hn, cn_out)) in ig_blk
+                .iter()
+                .zip(fg_blk)
+                .zip(gg_blk)
+                .zip(og_blk)
+                .zip(c)
+                .zip(states)
+            {
+                let ig = sigmoid_approx(ia);
+                let fg = sigmoid_approx(fa);
+                let gg = tanh_approx(ga);
+                let og = sigmoid_approx(oa);
+                let cn = fg * cv + ig * gg;
+                *cn_out = cn;
+                *hn = og * tanh_approx(cn);
+            }
+        } else {
+            for k in 0..hdim {
+                for i in 0..bsz {
+                    let ix = k * bsz + i;
+                    let ig = sigmoid(a[ix]);
+                    let fg = sigmoid(a[(hdim + k) * bsz + i]);
+                    let gg = a[(2 * hdim + k) * bsz + i].tanh();
+                    let og = sigmoid(a[(3 * hdim + k) * bsz + i]);
+                    let cn = fg * c[ix] + ig * gg;
+                    c_next[ix] = cn;
+                    h_next[ix] = og * cn.tanh();
+                }
+            }
+        }
+    }
+}
+
+/// Which layer's corrections [`BatchTape::gate_step`] should apply.
+#[derive(Clone, Copy)]
+enum CorrLayer {
+    Enc,
+    Dec,
+}
+
+/// Batched [`Seq2Seq::predict`] over a group of workers sharing `base`.
+///
+/// `inputs` holds each lane's observed sequence — **all the same length**
+/// (group ragged fleets by `(base, input_len)` before calling; the serve
+/// shard's `RolloutKey` already buckets this way). `deltas[i]` is lane
+/// `i`'s weight override against `base` (`None` or an empty delta means
+/// the lane *is* the base model). Appends `seq_out` predicted points per
+/// lane into `out[i]` (cleared first; outer `Vec` resized to match).
+///
+/// See the module docs for the per-backend equivalence guarantees.
+pub fn predict_batch_into(
+    base: &Seq2Seq,
+    deltas: &[Option<&DeltaWeights>],
+    inputs: &[&[Pt2]],
+    seq_out: usize,
+    backend: KernelBackend,
+    tape: &mut BatchTape,
+    out: &mut Vec<Vec<Pt2>>,
+) {
+    let n = inputs.len();
+    assert_eq!(deltas.len(), n, "one delta slot per input lane");
+    out.resize(n, Vec::new());
+    out.truncate(n);
+    for o in out.iter_mut() {
+        o.clear();
+    }
+    if n == 0 {
+        return;
+    }
+    let in_len = inputs[0].len();
+    assert!(in_len > 0, "prediction needs at least one input point");
+    assert!(
+        inputs.iter().all(|s| s.len() == in_len),
+        "ragged batch: group lanes by input length first"
+    );
+    let n_params = base.n_params();
+    for d in deltas.iter().flatten() {
+        assert_eq!(d.len(), n_params, "delta sized for a different model");
+    }
+
+    let parts = base.lstm_parts();
+    tape.lanes.clear();
+    match (backend, parts) {
+        (KernelBackend::Scalar, Some(_)) => {
+            // Bitwise path: base lanes batch, delta lanes go serial on
+            // their reconstructed dense model.
+            for (i, d) in deltas.iter().enumerate() {
+                if d.is_some_and(|d| !d.is_empty()) {
+                    let model = tape.lane_model(base, *d);
+                    out[i] = model.predict(inputs[i], seq_out);
+                } else {
+                    tape.lanes.push(i);
+                }
+            }
+            let (enc, dec, head) = parts.expect("matched Some");
+            tape.rollout(
+                base.weights_tag(),
+                enc,
+                dec,
+                head,
+                inputs,
+                seq_out,
+                false,
+                false,
+                out,
+            );
+        }
+        (KernelBackend::Batched, Some((enc, dec, head))) => {
+            tape.lanes.extend(0..n);
+            tape.build_corrections(enc, dec, head, deltas);
+            tape.rollout(
+                base.weights_tag(),
+                enc,
+                dec,
+                head,
+                inputs,
+                seq_out,
+                true,
+                true,
+                out,
+            );
+        }
+        (_, None) => {
+            // GRU (or future cells): no stacked kernel — serial fallback.
+            for (i, d) in deltas.iter().enumerate() {
+                let model = tape.lane_model(base, *d);
+                out[i] = model.predict(inputs[i], seq_out);
+            }
+        }
+    }
+}
+
+/// Allocating convenience wrapper around [`predict_batch_into`].
+pub fn predict_batch(
+    base: &Seq2Seq,
+    deltas: &[Option<&DeltaWeights>],
+    inputs: &[&[Pt2]],
+    seq_out: usize,
+    backend: KernelBackend,
+) -> Vec<Vec<Pt2>> {
+    let mut tape = BatchTape::new();
+    let mut out = Vec::new();
+    predict_batch_into(base, deltas, inputs, seq_out, backend, &mut tape, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seq2seq::Seq2SeqConfig;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use tamp_core::rng::rng_for;
+
+    fn model(seed: u64, hidden: usize) -> Seq2Seq {
+        let mut rng = rng_for(seed, 0);
+        Seq2Seq::new(Seq2SeqConfig::lstm(hidden), &mut rng)
+    }
+
+    fn walk(rng: &mut StdRng, len: usize) -> Vec<Pt2> {
+        let mut p = [rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)];
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            p = [
+                p[0] + rng.gen_range(-0.05..0.05),
+                p[1] + rng.gen_range(-0.05..0.05),
+            ];
+            out.push(p);
+        }
+        out
+    }
+
+    fn bits(seq: &[Pt2]) -> Vec<(u64, u64)> {
+        seq.iter()
+            .map(|p| (p[0].to_bits(), p[1].to_bits()))
+            .collect()
+    }
+
+    /// A sparse perturbation of `base`: `k` parameters nudged.
+    fn sparse_delta(base: &Seq2Seq, rng: &mut StdRng, k: usize) -> DeltaWeights {
+        let params = base.params();
+        let mut dense = params.clone();
+        for _ in 0..k {
+            let i = rng.gen_range(0..dense.len());
+            dense[i] += rng.gen_range(-0.3..0.3);
+        }
+        DeltaWeights::fit(&params, &dense, 0.0)
+    }
+
+    #[test]
+    fn planner_groups_by_base_and_prefix_and_chunks_deterministically() {
+        let mut plan = BatchedRollout::new();
+        // Lanes arrive in shard order with mixed bases and prefix lens.
+        for (lane, (base, len)) in [(1, 4), (0, 4), (1, 4), (0, 7), (1, 2), (0, 4), (1, 4)]
+            .into_iter()
+            .enumerate()
+        {
+            plan.push(lane, base, len);
+        }
+        assert_eq!(plan.len(), 7);
+        let mut seen = Vec::new();
+        plan.for_each_batch(2, |base, lanes| seen.push((base, lanes.to_vec())));
+        // Key order (base, prefix_len); push order within a group; chunks
+        // capped at the batch size.
+        assert_eq!(
+            seen,
+            vec![
+                (0, vec![1, 5]),
+                (0, vec![3]),
+                (1, vec![4]),
+                (1, vec![0, 2]),
+                (1, vec![6]),
+            ]
+        );
+        // batch 0 degrades to singleton chunks rather than panicking.
+        let mut n = 0;
+        plan.for_each_batch(0, |_, lanes| {
+            assert_eq!(lanes.len(), 1);
+            n += 1;
+        });
+        assert_eq!(n, 7);
+        plan.clear();
+        assert!(plan.is_empty());
+    }
+
+    #[test]
+    fn scalar_batched_matches_serial_bitwise_across_shapes() {
+        // Seeds × horizons × ragged group sizes, all base lanes.
+        for seed in [1u64, 7, 42] {
+            let base = model(seed, 6);
+            let mut rng = rng_for(seed ^ 0xD00D, 1);
+            for &in_len in &[1usize, 2, 5, 9] {
+                for &horizon in &[1usize, 4, 7] {
+                    for &bsz in &[1usize, 2, 3, 8, 13] {
+                        let seqs: Vec<Vec<Pt2>> =
+                            (0..bsz).map(|_| walk(&mut rng, in_len)).collect();
+                        let inputs: Vec<&[Pt2]> = seqs.iter().map(|s| s.as_slice()).collect();
+                        let deltas = vec![None; bsz];
+                        let got =
+                            predict_batch(&base, &deltas, &inputs, horizon, KernelBackend::Scalar);
+                        for (lane, seq) in got.iter().zip(&seqs) {
+                            let want = base.predict(seq, horizon);
+                            assert_eq!(bits(lane), bits(&want), "seed {seed} b{bsz} h{horizon}");
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scalar_delta_lanes_match_reconstructed_models_bitwise() {
+        let base = model(3, 5);
+        let mut rng = rng_for(99, 1);
+        let d1 = sparse_delta(&base, &mut rng, 4);
+        let d2 = sparse_delta(&base, &mut rng, 17);
+        let seqs: Vec<Vec<Pt2>> = (0..5).map(|_| walk(&mut rng, 4)).collect();
+        let inputs: Vec<&[Pt2]> = seqs.iter().map(|s| s.as_slice()).collect();
+        let empty = DeltaWeights::empty(base.n_params());
+        let deltas = vec![Some(&d1), None, Some(&d2), Some(&empty), Some(&d1)];
+
+        let mut tape = BatchTape::new();
+        let mut got = Vec::new();
+        predict_batch_into(
+            &base,
+            &deltas,
+            &inputs,
+            4,
+            KernelBackend::Scalar,
+            &mut tape,
+            &mut got,
+        );
+        // Mixed group: 3 delta lanes went serial, 2 base lanes batched.
+        assert_eq!(tape.take_stats(), (1, 2));
+
+        let reconstruct = |d: &DeltaWeights| {
+            let mut p = base.params();
+            d.patch(&mut p);
+            let mut m = base.clone();
+            m.set_params(&p);
+            m
+        };
+        let m1 = reconstruct(&d1);
+        let m2 = reconstruct(&d2);
+        let want: Vec<Vec<Pt2>> = vec![
+            m1.predict(&seqs[0], 4),
+            base.predict(&seqs[1], 4),
+            m2.predict(&seqs[2], 4),
+            base.predict(&seqs[3], 4),
+            m1.predict(&seqs[4], 4),
+        ];
+        for (g, w) in got.iter().zip(&want) {
+            assert_eq!(bits(g), bits(w));
+        }
+    }
+
+    #[test]
+    fn batched_backend_matches_scalar_within_tolerance() {
+        let base = model(11, 8);
+        let mut rng = rng_for(4242, 1);
+        let d = sparse_delta(&base, &mut rng, 10);
+        for &bsz in &[1usize, 4, 9] {
+            let seqs: Vec<Vec<Pt2>> = (0..bsz).map(|_| walk(&mut rng, 5)).collect();
+            let inputs: Vec<&[Pt2]> = seqs.iter().map(|s| s.as_slice()).collect();
+            let deltas: Vec<Option<&DeltaWeights>> = (0..bsz)
+                .map(|i| if i % 2 == 0 { None } else { Some(&d) })
+                .collect();
+            let scalar = predict_batch(&base, &deltas, &inputs, 6, KernelBackend::Scalar);
+            let batched = predict_batch(&base, &deltas, &inputs, 6, KernelBackend::Batched);
+            for (s, v) in scalar.iter().zip(&batched) {
+                for (ps, pv) in s.iter().zip(v) {
+                    for k in 0..2 {
+                        let rel = (ps[k] - pv[k]).abs() / ps[k].abs().max(1.0);
+                        assert!(
+                            rel <= 1e-9,
+                            "rel err {rel} (scalar {} vec {})",
+                            ps[k],
+                            pv[k]
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gru_models_take_the_serial_fallback() {
+        let mut rng = rng_for(5, 1);
+        let base = Seq2Seq::new(Seq2SeqConfig::gru(5), &mut rng);
+        let seqs: Vec<Vec<Pt2>> = (0..3).map(|_| walk(&mut rng, 4)).collect();
+        let inputs: Vec<&[Pt2]> = seqs.iter().map(|s| s.as_slice()).collect();
+        for backend in [KernelBackend::Scalar, KernelBackend::Batched] {
+            let got = predict_batch(&base, &[None, None, None], &inputs, 3, backend);
+            for (lane, seq) in got.iter().zip(&seqs) {
+                assert_eq!(bits(lane), bits(&base.predict(seq, 3)));
+            }
+        }
+    }
+
+    #[test]
+    fn delta_round_trip_through_batched_rollout_is_exact() {
+        // floor-0 delta of a fully adapted (dense-fallback) model must
+        // reproduce that model's serial predictions bitwise.
+        let base = model(21, 6);
+        let mut rng = rng_for(777, 1);
+        let adapted = {
+            let p: Vec<f64> = base
+                .params()
+                .iter()
+                .map(|v| v + rng.gen_range(-0.01..0.01))
+                .collect();
+            let mut m = base.clone();
+            m.set_params(&p);
+            m
+        };
+        let d = DeltaWeights::fit(&base.params(), &adapted.params(), 0.0);
+        assert!(d.is_dense());
+        let seq = walk(&mut rng, 5);
+        let got = predict_batch(
+            &base,
+            &[Some(&d)],
+            &[seq.as_slice()],
+            4,
+            KernelBackend::Scalar,
+        );
+        assert_eq!(bits(&got[0]), bits(&adapted.predict(&seq, 4)));
+    }
+
+    #[test]
+    fn tape_reuse_across_bases_and_batch_sizes_stays_exact() {
+        let a = model(31, 6);
+        let b = model(32, 6);
+        let mut rng = rng_for(8, 1);
+        let mut tape = BatchTape::new();
+        let mut out = Vec::new();
+        for round in 0..3 {
+            for base in [&a, &b] {
+                let bsz = 1 + (round * 3) % 7;
+                let seqs: Vec<Vec<Pt2>> = (0..bsz).map(|_| walk(&mut rng, 4)).collect();
+                let inputs: Vec<&[Pt2]> = seqs.iter().map(|s| s.as_slice()).collect();
+                let deltas = vec![None; bsz];
+                predict_batch_into(
+                    base,
+                    &deltas,
+                    &inputs,
+                    5,
+                    KernelBackend::Scalar,
+                    &mut tape,
+                    &mut out,
+                );
+                for (lane, seq) in out.iter().zip(&seqs) {
+                    assert_eq!(bits(lane), bits(&base.predict(seq, 5)));
+                }
+            }
+        }
+    }
+}

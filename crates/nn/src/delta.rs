@@ -1,0 +1,231 @@
+//! Base + sparse-delta weight storage.
+//!
+//! The paper's meta-learning structure makes per-worker models *small
+//! perturbations of a shared prior*: every worker adapts from its GTMC
+//! cluster head, and a cold-start worker **is** the head. Storing each
+//! worker as `(head index, DeltaWeights)` therefore collapses fleet
+//! memory from `O(workers × params)` toward `O(heads × params +
+//! Σ nnz)`, and lets the batched rollout run one GEMM over the shared
+//! base with a per-worker correction pass.
+//!
+//! A [`DeltaWeights`] records *overrides*, not differences: entry `(i,
+//! v)` means "parameter `i` has value `v`", so applying a delta is an
+//! overwrite and reconstruction is exact (no `base + d` rounding). At
+//! floor `0.0` the fit keeps every parameter whose bits differ from the
+//! base, making `fit → apply` a lossless round trip by construction.
+//! When more than half the parameters differ, the sparse index/value
+//! encoding would cost more than the dense vector it replaces, so the
+//! fit transparently falls back to a dense payload — callers never pay
+//! more than `8 bytes/param + O(1)`.
+
+use serde::{Deserialize, Serialize};
+
+/// Sparse (or, past the density break-even, dense) overrides that turn a
+/// base parameter vector into a specific model's parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeltaWeights {
+    /// Total parameter count of the vectors this delta applies to.
+    len: usize,
+    /// The payload representation.
+    repr: DeltaRepr,
+}
+
+/// Internal payload: sparse index/value pairs or a dense override.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+enum DeltaRepr {
+    /// `idx` strictly increasing, `val[k]` the override at `idx[k]`.
+    Sparse { idx: Vec<u32>, val: Vec<f64> },
+    /// Full replacement vector (used when the sparse form would be
+    /// larger — e.g. after SGD touched every parameter).
+    Dense(Vec<f64>),
+}
+
+impl DeltaWeights {
+    /// An empty delta: `apply` reproduces the base exactly.
+    pub fn empty(len: usize) -> Self {
+        Self {
+            len,
+            repr: DeltaRepr::Sparse {
+                idx: Vec::new(),
+                val: Vec::new(),
+            },
+        }
+    }
+
+    /// Fits the delta that turns `base` into `dense`: keeps every
+    /// parameter whose value differs bitwise from the base by more than
+    /// `floor` in magnitude (`floor == 0.0` keeps *all* bitwise
+    /// differences, making the round trip exact). Falls back to a dense
+    /// payload when the sparse encoding would be larger.
+    pub fn fit(base: &[f64], dense: &[f64], floor: f64) -> Self {
+        assert_eq!(base.len(), dense.len(), "delta fit length mismatch");
+        assert!(
+            base.len() <= u32::MAX as usize,
+            "delta index space overflow"
+        );
+        let mut idx = Vec::new();
+        let mut val = Vec::new();
+        for (i, (&b, &d)) in base.iter().zip(dense).enumerate() {
+            if d.to_bits() != b.to_bits() && (d - b).abs() >= floor {
+                idx.push(i as u32);
+                val.push(d);
+            }
+        }
+        // Break-even: sparse costs 12 bytes/entry vs 8 bytes/param dense.
+        if idx.len() * 12 > dense.len() * 8 {
+            return Self {
+                len: base.len(),
+                repr: DeltaRepr::Dense(dense.to_vec()),
+            };
+        }
+        Self {
+            len: base.len(),
+            repr: DeltaRepr::Sparse { idx, val },
+        }
+    }
+
+    /// Parameter count of the vectors this delta applies to.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the delta overrides nothing (the model *is* the base).
+    pub fn is_empty(&self) -> bool {
+        self.nnz() == 0
+    }
+
+    /// Number of overridden parameters.
+    pub fn nnz(&self) -> usize {
+        match &self.repr {
+            DeltaRepr::Sparse { idx, .. } => idx.len(),
+            DeltaRepr::Dense(_) => self.len,
+        }
+    }
+
+    /// Approximate resident payload size in bytes (indices + values, or
+    /// the dense vector).
+    pub fn resident_bytes(&self) -> usize {
+        match &self.repr {
+            DeltaRepr::Sparse { idx, val } => idx.len() * 4 + val.len() * 8,
+            DeltaRepr::Dense(v) => v.len() * 8,
+        }
+    }
+
+    /// Overwrites `params` (a copy of the base) with the overrides.
+    pub fn patch(&self, params: &mut [f64]) {
+        assert_eq!(params.len(), self.len, "delta patch length mismatch");
+        match &self.repr {
+            DeltaRepr::Sparse { idx, val } => {
+                for (&i, &v) in idx.iter().zip(val) {
+                    params[i as usize] = v;
+                }
+            }
+            DeltaRepr::Dense(v) => params.copy_from_slice(v),
+        }
+    }
+
+    /// Reconstructs the dense parameter vector into `out` (resized):
+    /// copy of `base`, then [`DeltaWeights::patch`].
+    pub fn apply(&self, base: &[f64], out: &mut Vec<f64>) {
+        assert_eq!(base.len(), self.len, "delta apply length mismatch");
+        out.clear();
+        out.extend_from_slice(base);
+        self.patch(out);
+    }
+
+    /// Visits each override as `(flat index, value)` in increasing index
+    /// order (the correction pass of the batched rollout).
+    pub fn for_each(&self, mut f: impl FnMut(usize, f64)) {
+        match &self.repr {
+            DeltaRepr::Sparse { idx, val } => {
+                for (&i, &v) in idx.iter().zip(val) {
+                    f(i as usize, v);
+                }
+            }
+            DeltaRepr::Dense(v) => {
+                for (i, &x) in v.iter().enumerate() {
+                    f(i, x);
+                }
+            }
+        }
+    }
+
+    /// Whether the payload is the dense fallback (diagnostics).
+    pub fn is_dense(&self) -> bool {
+        matches!(self.repr, DeltaRepr::Dense(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn floor_zero_round_trip_is_exact() {
+        let base: Vec<f64> = (0..64).map(|i| (i as f64 * 0.173).sin()).collect();
+        let mut dense = base.clone();
+        dense[3] = f64::from_bits(dense[3].to_bits() + 1); // one ulp
+        dense[10] = -4.0;
+        dense[63] = f64::MIN_POSITIVE;
+        let d = DeltaWeights::fit(&base, &dense, 0.0);
+        assert_eq!(d.nnz(), 3);
+        let mut back = Vec::new();
+        d.apply(&base, &mut back);
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&back), bits(&dense));
+    }
+
+    #[test]
+    fn empty_delta_reproduces_base() {
+        let base = vec![1.0, 2.0, 3.0];
+        let d = DeltaWeights::fit(&base, &base, 0.0);
+        assert!(d.is_empty());
+        assert_eq!(d.resident_bytes(), 0);
+        let mut back = Vec::new();
+        d.apply(&base, &mut back);
+        assert_eq!(back, base);
+    }
+
+    #[test]
+    fn positive_floor_drops_small_diffs() {
+        let base = vec![0.0; 4];
+        let dense = vec![1e-6, 0.5, -1e-6, 0.25];
+        let d = DeltaWeights::fit(&base, &dense, 1e-3);
+        assert_eq!(d.nnz(), 2);
+        let mut back = Vec::new();
+        d.apply(&base, &mut back);
+        assert_eq!(back, vec![0.0, 0.5, 0.0, 0.25]);
+    }
+
+    #[test]
+    fn dense_fallback_when_everything_moved() {
+        let base: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let dense: Vec<f64> = base.iter().map(|v| v + 0.5).collect();
+        let d = DeltaWeights::fit(&base, &dense, 0.0);
+        assert!(d.is_dense());
+        assert_eq!(d.resident_bytes(), 800); // never worse than dense
+        let mut back = Vec::new();
+        d.apply(&base, &mut back);
+        assert_eq!(back, dense);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let base = vec![1.0, 2.0, 3.0, 4.0];
+        let dense = vec![1.0, 9.0, 3.0, 8.0];
+        let d = DeltaWeights::fit(&base, &dense, 0.0);
+        let json = serde_json::to_string(&d).unwrap();
+        let back: DeltaWeights = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, d);
+    }
+
+    #[test]
+    fn for_each_visits_in_order() {
+        let base = vec![0.0; 5];
+        let dense = vec![0.0, 1.0, 0.0, 2.0, 3.0];
+        let d = DeltaWeights::fit(&base, &dense, 0.0);
+        let mut seen = Vec::new();
+        d.for_each(|i, v| seen.push((i, v)));
+        assert_eq!(seen, vec![(1, 1.0), (3, 2.0), (4, 3.0)]);
+    }
+}

@@ -27,9 +27,13 @@
 //! TAML and CTML without the models cooperating.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
+pub mod backend;
+pub mod batch;
+pub mod delta;
 pub mod dense;
+pub mod fastmath;
 pub mod gru;
 pub mod loss;
 pub mod lstm;
@@ -37,6 +41,9 @@ pub mod matrix;
 pub mod optim;
 pub mod seq2seq;
 
+pub use backend::KernelBackend;
+pub use batch::{predict_batch, predict_batch_into, BatchTape, BatchedRollout};
+pub use delta::DeltaWeights;
 pub use loss::{Loss, MseLoss, TaskDensityMap, TaskOrientedLoss, WeightParams};
 pub use matrix::Matrix;
 pub use optim::{add_scaled, clip_grad_norm, sub_scaled, Adam, Optimizer, Sgd};

@@ -21,7 +21,7 @@ use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 #[inline]
-fn sigmoid(x: f64) -> f64 {
+pub(crate) fn sigmoid(x: f64) -> f64 {
     1.0 / (1.0 + (-x).exp())
 }
 

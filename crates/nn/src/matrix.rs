@@ -272,6 +272,220 @@ pub fn matvec_colmajor_into(wt: &[f64], rows: usize, cols: usize, x: &[f64], y: 
     }
 }
 
+/// `Y = A·X` for `batch` stacked column vectors, where `wt` is `A`
+/// stored column-major (the output of [`Matrix::transpose_into`]), `x`
+/// is the input block in **k-major** layout (`x[k * batch + i]` =
+/// element `k` of lane `i`) and `y` the output block in **r-major**
+/// layout (`y[r * batch + i]`).
+///
+/// Each output element `(r, i)` accumulates its products over `k =
+/// 0..cols` in ascending order from a single zero-initialised
+/// accumulator — exactly the order of [`Matrix::matvec_into`] and
+/// [`matvec_colmajor_into`] — so every lane of the batched product is
+/// **bit-identical** to the corresponding serial matrix–vector product.
+/// The batching only turns the innermost loop into a contiguous walk
+/// over `batch` independent lanes, which vectorises trivially.
+pub fn matmul_colmajor_into(
+    wt: &[f64],
+    rows: usize,
+    cols: usize,
+    batch: usize,
+    x: &[f64],
+    y: &mut [f64],
+) {
+    assert_eq!(wt.len(), rows * cols, "colmajor shape mismatch");
+    assert_eq!(x.len(), cols * batch, "matmul input mismatch");
+    assert_eq!(y.len(), rows * batch, "matmul output mismatch");
+    // Lane tiles are accumulated in register-resident arrays so each
+    // output element is loaded and stored exactly once (the k-outer
+    // formulation would re-stream the whole `y` block per column), and
+    // rows are processed in pairs so every loaded input lane feeds two
+    // accumulator chains — enough independent FMA chains to hide the
+    // add latency. A cascade of tile widths keeps small batches on the
+    // fast path instead of a per-lane fallback that re-walks `wt`.
+    let mut i0 = 0;
+    while i0 + 32 <= batch {
+        mm_tile::<32>(wt, rows, batch, x, y, i0);
+        i0 += 32;
+    }
+    if i0 + 16 <= batch {
+        mm_tile::<16>(wt, rows, batch, x, y, i0);
+        i0 += 16;
+    }
+    if i0 + 8 <= batch {
+        mm_tile::<8>(wt, rows, batch, x, y, i0);
+        i0 += 8;
+    }
+    if i0 + 4 <= batch {
+        mm_tile::<4>(wt, rows, batch, x, y, i0);
+        i0 += 4;
+    }
+    if i0 + 2 <= batch {
+        mm_tile::<2>(wt, rows, batch, x, y, i0);
+        i0 += 2;
+    }
+    if i0 < batch {
+        mm_tile::<1>(wt, rows, batch, x, y, i0);
+    }
+}
+
+/// One `T`-lane, two-row tile of [`matmul_colmajor_into`]. Per-element
+/// accumulation stays a single k-ascending chain regardless of `T` or
+/// the row pairing, preserving bit-identity.
+#[inline]
+fn mm_tile<const T: usize>(
+    wt: &[f64],
+    rows: usize,
+    batch: usize,
+    x: &[f64],
+    y: &mut [f64],
+    i0: usize,
+) {
+    let mut r = 0;
+    while r + 2 <= rows {
+        let mut a0 = [0.0f64; T];
+        let mut a1 = [0.0f64; T];
+        for (wcol, xrow) in wt.chunks_exact(rows).zip(x.chunks_exact(batch)) {
+            let w0 = wcol[r];
+            let w1 = wcol[r + 1];
+            for ((p0, p1), &xv) in a0.iter_mut().zip(a1.iter_mut()).zip(&xrow[i0..i0 + T]) {
+                *p0 += w0 * xv;
+                *p1 += w1 * xv;
+            }
+        }
+        y[r * batch + i0..r * batch + i0 + T].copy_from_slice(&a0);
+        y[(r + 1) * batch + i0..(r + 1) * batch + i0 + T].copy_from_slice(&a1);
+        r += 2;
+    }
+    if r < rows {
+        let mut acc = [0.0f64; T];
+        for (wcol, xrow) in wt.chunks_exact(rows).zip(x.chunks_exact(batch)) {
+            let wv = wcol[r];
+            for (a, &xv) in acc.iter_mut().zip(&xrow[i0..i0 + T]) {
+                *a += wv * xv;
+            }
+        }
+        y[r * batch + i0..r * batch + i0 + T].copy_from_slice(&acc);
+    }
+}
+
+/// Re-associated variant of [`matmul_colmajor_into`]: columns are
+/// consumed two at a time and their partial products combined as a
+/// small tree, `acc += w0·x0 + w1·x1`, which halves the per-element
+/// add-chain length and lets both products issue independently.
+///
+/// The tree summation **changes the accumulation order**, so results are
+/// *not* bit-identical to the scalar kernels — they agree to within a
+/// few ulps per accumulation step (property-tested in [`crate::batch`]).
+/// Only the tolerance-gated [`Batched`](crate::KernelBackend)
+/// serving backend uses this; training never does.
+pub fn matmul_colmajor_relaxed_into(
+    wt: &[f64],
+    rows: usize,
+    cols: usize,
+    batch: usize,
+    x: &[f64],
+    y: &mut [f64],
+) {
+    assert_eq!(wt.len(), rows * cols, "colmajor shape mismatch");
+    assert_eq!(x.len(), cols * batch, "matmul input mismatch");
+    assert_eq!(y.len(), rows * batch, "matmul output mismatch");
+    let mut i0 = 0;
+    while i0 + 32 <= batch {
+        mm_tile_relaxed::<32>(wt, rows, cols, batch, x, y, i0);
+        i0 += 32;
+    }
+    if i0 + 16 <= batch {
+        mm_tile_relaxed::<16>(wt, rows, cols, batch, x, y, i0);
+        i0 += 16;
+    }
+    if i0 + 8 <= batch {
+        mm_tile_relaxed::<8>(wt, rows, cols, batch, x, y, i0);
+        i0 += 8;
+    }
+    if i0 + 4 <= batch {
+        mm_tile_relaxed::<4>(wt, rows, cols, batch, x, y, i0);
+        i0 += 4;
+    }
+    if i0 + 2 <= batch {
+        mm_tile_relaxed::<2>(wt, rows, cols, batch, x, y, i0);
+        i0 += 2;
+    }
+    if i0 < batch {
+        mm_tile_relaxed::<1>(wt, rows, cols, batch, x, y, i0);
+    }
+}
+
+/// One `T`-lane, two-row tile of [`matmul_colmajor_relaxed_into`] with
+/// the 2-wide column tree. Every tile width uses the same tree order, so
+/// the result is independent of how the batch splits into tiles.
+#[inline]
+fn mm_tile_relaxed<const T: usize>(
+    wt: &[f64],
+    rows: usize,
+    cols: usize,
+    batch: usize,
+    x: &[f64],
+    y: &mut [f64],
+    i0: usize,
+) {
+    let mut r = 0;
+    while r + 2 <= rows {
+        let mut a0 = [0.0f64; T];
+        let mut a1 = [0.0f64; T];
+        let mut k = 0;
+        while k + 2 <= cols {
+            let (wc0, wc1) = wt[k * rows..(k + 2) * rows].split_at(rows);
+            let (xs0, xs1) = x[k * batch..(k + 2) * batch].split_at(batch);
+            let (w00, w01) = (wc0[r], wc0[r + 1]);
+            let (w10, w11) = (wc1[r], wc1[r + 1]);
+            let s0 = &xs0[i0..i0 + T];
+            let s1 = &xs1[i0..i0 + T];
+            for (((p0, p1), &v0), &v1) in a0.iter_mut().zip(a1.iter_mut()).zip(s0).zip(s1) {
+                *p0 += w00 * v0 + w10 * v1;
+                *p1 += w01 * v0 + w11 * v1;
+            }
+            k += 2;
+        }
+        if k < cols {
+            let wc = &wt[k * rows..(k + 1) * rows];
+            let (w0, w1) = (wc[r], wc[r + 1]);
+            let xs = &x[k * batch + i0..k * batch + i0 + T];
+            for ((p0, p1), &v) in a0.iter_mut().zip(a1.iter_mut()).zip(xs) {
+                *p0 += w0 * v;
+                *p1 += w1 * v;
+            }
+        }
+        y[r * batch + i0..r * batch + i0 + T].copy_from_slice(&a0);
+        y[(r + 1) * batch + i0..(r + 1) * batch + i0 + T].copy_from_slice(&a1);
+        r += 2;
+    }
+    if r < rows {
+        let mut acc = [0.0f64; T];
+        let mut k = 0;
+        while k + 2 <= cols {
+            let (wc0, wc1) = wt[k * rows..(k + 2) * rows].split_at(rows);
+            let (xs0, xs1) = x[k * batch..(k + 2) * batch].split_at(batch);
+            let (w0, w1) = (wc0[r], wc1[r]);
+            let s0 = &xs0[i0..i0 + T];
+            let s1 = &xs1[i0..i0 + T];
+            for ((a, &v0), &v1) in acc.iter_mut().zip(s0).zip(s1) {
+                *a += w0 * v0 + w1 * v1;
+            }
+            k += 2;
+        }
+        if k < cols {
+            let wc = &wt[k * rows..(k + 1) * rows];
+            let wv = wc[r];
+            let xs = &x[k * batch + i0..k * batch + i0 + T];
+            for (a, &v) in acc.iter_mut().zip(xs) {
+                *a += wv * v;
+            }
+        }
+        y[r * batch + i0..r * batch + i0 + T].copy_from_slice(&acc);
+    }
+}
+
 /// Vector helpers used alongside [`Matrix`]; kept free so call sites read
 /// like math.
 pub mod vecops {
@@ -399,5 +613,52 @@ mod tests {
     #[should_panic(expected = "matvec shape mismatch")]
     fn matvec_checks_shape() {
         Matrix::zeros(2, 3).matvec(&[1.0, 2.0]);
+    }
+
+    /// Every lane of the batched GEMM must be bit-identical to the
+    /// serial matvec of that lane, for ragged row/col/batch shapes.
+    #[test]
+    fn batched_gemm_is_bitwise_identical_per_lane() {
+        let mut rng = tamp_core::rng::rng_for(11, 0);
+        for &(rows, cols) in &[(1usize, 1usize), (5, 3), (8, 7), (12, 20)] {
+            let m = Matrix::xavier(rows, cols, &mut rng);
+            let mut wt = Vec::new();
+            m.transpose_into(&mut wt);
+            for batch in [1usize, 2, 5, 9] {
+                // k-major stacked inputs.
+                let lanes: Vec<Vec<f64>> = (0..batch)
+                    .map(|i| {
+                        (0..cols)
+                            .map(|k| ((i * 31 + k * 7) as f64 * 0.11).sin())
+                            .collect()
+                    })
+                    .collect();
+                let mut x = vec![0.0; cols * batch];
+                for (i, lane) in lanes.iter().enumerate() {
+                    for (k, &v) in lane.iter().enumerate() {
+                        x[k * batch + i] = v;
+                    }
+                }
+                let mut y = vec![9.9; rows * batch];
+                matmul_colmajor_into(&wt, rows, cols, batch, &x, &mut y);
+                for (i, lane) in lanes.iter().enumerate() {
+                    let serial = m.matvec(lane);
+                    for r in 0..rows {
+                        assert_eq!(
+                            y[r * batch + i].to_bits(),
+                            serial[r].to_bits(),
+                            "rows={rows} cols={cols} batch={batch} lane={i} r={r}"
+                        );
+                    }
+                }
+                // The relaxed kernel agrees to tight relative tolerance.
+                let mut yr = vec![0.0; rows * batch];
+                matmul_colmajor_relaxed_into(&wt, rows, cols, batch, &x, &mut yr);
+                for (a, b) in y.iter().zip(&yr) {
+                    let scale = a.abs().max(1.0);
+                    assert!((a - b).abs() / scale < 1e-12, "relaxed drifted: {a} vs {b}");
+                }
+            }
+        }
     }
 }

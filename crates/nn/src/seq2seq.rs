@@ -27,6 +27,7 @@ use crate::lstm::{LstmCell, LstmGrad, LstmState, StepCache};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 use std::mem;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Which recurrent cell the encoder/decoder use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
@@ -71,6 +72,43 @@ impl Seq2SeqConfig {
             hidden,
             cell: CellKind::Gru,
         }
+    }
+}
+
+/// Process-wide source of weight-version stamps (see [`WeightsTag`]).
+static NEXT_WEIGHTS_TAG: AtomicU64 = AtomicU64::new(1);
+
+/// An opaque, process-unique version stamp for a model's weights.
+///
+/// Invariant: **equal tags imply bitwise-equal parameters.** A fresh tag
+/// is drawn whenever parameters may have changed ([`Seq2Seq::new`],
+/// [`Seq2Seq::set_params`], deserialization); a [`Clone`] shares its
+/// source's tag because it shares its exact weights. Tags are never
+/// reused, so caches keyed on them (the [`Tape`]'s column-major weight
+/// transposes, the [`crate::batch::BatchTape`]'s base transposes) can
+/// skip recomputation when the tag is unchanged. Distinct tags imply
+/// nothing — two equal models built independently get distinct tags.
+///
+/// The tag is deliberately invisible to `PartialEq` and serde: model
+/// equality and snapshot bytes depend only on the parameters.
+#[derive(Debug, Clone)]
+struct WeightsTag(u64);
+
+impl WeightsTag {
+    fn fresh() -> Self {
+        Self(NEXT_WEIGHTS_TAG.fetch_add(1, Ordering::Relaxed))
+    }
+}
+
+impl Default for WeightsTag {
+    fn default() -> Self {
+        Self::fresh()
+    }
+}
+
+impl PartialEq for WeightsTag {
+    fn eq(&self, _: &Self) -> bool {
+        true
     }
 }
 
@@ -349,6 +387,10 @@ pub struct Tape {
     s5: Vec<f64>,
     wt_enc: Vec<f64>,
     wt_dec: Vec<f64>,
+    /// Weights tag the cached `wt_enc`/`wt_dec` transposes were built
+    /// from; the transposes are recomputed only when the model's tag
+    /// moves (per adaptation step, not per forward call).
+    wt_tag: Option<u64>,
     flat: Vec<f64>,
 }
 
@@ -433,6 +475,10 @@ pub struct Seq2Seq {
     encoder: Cell,
     decoder: Cell,
     head: Dense,
+    /// Weight-version stamp; compares equal always and is skipped by
+    /// serde so equality and snapshot bytes see only the parameters.
+    #[serde(skip)]
+    tag: WeightsTag,
 }
 
 /// The per-step feature vector fed to the LSTM cells: the location plus
@@ -440,7 +486,7 @@ pub struct Seq2Seq {
 /// channel lets the recurrent cells extrapolate constant-speed motion
 /// without having to differentiate positions internally.
 #[inline]
-fn step_features(cur: Pt2, prev: Pt2) -> [f64; 4] {
+pub(crate) fn step_features(cur: Pt2, prev: Pt2) -> [f64; 4] {
     [cur[0], cur[1], cur[0] - prev[0], cur[1] - prev[1]]
 }
 
@@ -458,6 +504,25 @@ impl Seq2Seq {
             encoder: Cell::new(cfg.cell, Self::FEATURE_DIM, cfg.hidden, rng),
             decoder: Cell::new(cfg.cell, Self::FEATURE_DIM, cfg.hidden, rng),
             head: Dense::new(cfg.hidden, Self::POINT_DIM, rng),
+            tag: WeightsTag::fresh(),
+        }
+    }
+
+    /// The current weights-version stamp: equal stamps imply bitwise
+    /// equal parameters (a clone shares its source's stamp; any call to
+    /// [`Seq2Seq::set_params`] draws a fresh one). Caches of derived
+    /// weight layouts key on this to skip recomputation.
+    pub fn weights_tag(&self) -> u64 {
+        self.tag.0
+    }
+
+    /// The encoder, decoder, and head as concrete LSTM parts, when this
+    /// is an LSTM model (the batched rollout's fast path; GRU models
+    /// take the serial fallback).
+    pub(crate) fn lstm_parts(&self) -> Option<(&LstmCell, &LstmCell, &Dense)> {
+        match (&self.encoder, &self.decoder) {
+            (Cell::Lstm(e), Cell::Lstm(d)) => Some((e, d, &self.head)),
+            _ => None,
         }
     }
 
@@ -495,6 +560,7 @@ impl Seq2Seq {
         };
         take(self.head.w.as_mut_slice());
         take(&mut self.head.b);
+        self.tag = WeightsTag::fresh();
     }
 
     /// Autoregressive prediction: encodes `input` and rolls the decoder
@@ -584,6 +650,7 @@ impl Seq2Seq {
             s5,
             wt_enc,
             wt_dec,
+            wt_tag,
             flat,
         } = tape;
         let enc_grad = enc_grad.as_mut().expect("ensured");
@@ -591,9 +658,15 @@ impl Seq2Seq {
         let head_grad = head_grad.as_mut().expect("ensured");
         // The weights are constant across every step of this call; a
         // column-major copy lets the forward gate GEMM vectorise
-        // (bit-identical results — see `matvec_colmajor_into`).
-        self.encoder.transpose_weights_into(wt_enc);
-        self.decoder.transpose_weights_into(wt_dec);
+        // (bit-identical results — see `matvec_colmajor_into`). The copy
+        // itself is cached across calls keyed on the weights tag, so an
+        // adaptation epoch pays for it once per weight update rather than
+        // once per forward/backward pass.
+        if *wt_tag != Some(self.tag.0) {
+            self.encoder.transpose_weights_into(wt_enc);
+            self.decoder.transpose_weights_into(wt_dec);
+            *wt_tag = Some(self.tag.0);
+        }
         let mut total_loss = 0.0;
 
         for (input, target) in &batch.pairs {
@@ -881,5 +954,37 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn cached_weight_transposes_invalidate_on_set_params() {
+        // An SGD loop that reuses one tape (transposes cached per weight
+        // update) must stay bitwise identical to the allocating path that
+        // rebuilds them every call.
+        let mut model = tiny_model(9);
+        let batch = line_batch();
+        let mut tape = model.make_tape();
+        for step in 0..4 {
+            let (l_ref, g_ref) = model.loss_and_grad(&batch, &MseLoss);
+            // Call twice: the second hits the cached transposes.
+            for _ in 0..2 {
+                let l_ws = model.loss_and_grad_ws(&batch, &MseLoss, &mut tape);
+                assert_eq!(l_ws, l_ref, "step {step}");
+                assert_eq!(tape.grad(), &g_ref[..], "step {step}");
+            }
+            let mut p = model.params();
+            for (v, g) in p.iter_mut().zip(&g_ref) {
+                *v -= 0.1 * g;
+            }
+            model.set_params(&p); // draws a fresh tag → cache invalidated
+        }
+        // A clone shares its source's tag: the warm tape may keep its
+        // cached transposes and must still match a cold one.
+        let clone = model.clone();
+        let l_warm = clone.loss_and_grad_ws(&batch, &MseLoss, &mut tape);
+        let mut cold = Tape::new();
+        let l_cold = clone.loss_and_grad_ws(&batch, &MseLoss, &mut cold);
+        assert_eq!(l_warm, l_cold);
+        assert_eq!(tape.grad(), cold.grad());
     }
 }

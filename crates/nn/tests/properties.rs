@@ -1,10 +1,34 @@
 //! Property-based tests for the neural substrate.
 
 use proptest::prelude::*;
+use rand::Rng;
 use tamp_core::rng::rng_for;
 use tamp_nn::loss::Pt2;
 use tamp_nn::matrix::vecops;
-use tamp_nn::{Loss, Matrix, MseLoss, Seq2Seq, Seq2SeqConfig, TrainBatch};
+use tamp_nn::{
+    predict_batch_into, BatchTape, BatchedRollout, DeltaWeights, KernelBackend, Loss, Matrix,
+    MseLoss, Seq2Seq, Seq2SeqConfig, TrainBatch,
+};
+
+fn random_walk(seed: u64, stream: u64, len: usize) -> Vec<Pt2> {
+    let mut rng = rng_for(seed, stream);
+    let mut p: Pt2 = [rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)];
+    (0..len)
+        .map(|_| {
+            p = [
+                p[0] + rng.gen_range(-0.1..0.1),
+                p[1] + rng.gen_range(-0.1..0.1),
+            ];
+            p
+        })
+        .collect()
+}
+
+fn point_bits(seq: &[Pt2]) -> Vec<(u64, u64)> {
+    seq.iter()
+        .map(|p| (p[0].to_bits(), p[1].to_bits()))
+        .collect()
+}
 
 fn finite_vec(n: usize) -> impl Strategy<Value = Vec<f64>> {
     prop::collection::vec(-10.0..10.0f64, n)
@@ -80,6 +104,98 @@ proptest! {
         for p in out {
             prop_assert!(p[0].is_finite() && p[1].is_finite());
         }
+    }
+
+    #[test]
+    fn batched_rollout_matches_serial_across_fleet_shapes(
+        seed in 0u64..48,
+        hidden in prop::sample::select(vec![3usize, 5, 8]),
+        n_lanes in 1usize..10,
+        horizon in 1usize..5,
+    ) {
+        // Ragged fleet: each lane draws its own prefix length, the
+        // planner groups same-length lanes, and both backends must agree
+        // with the serial per-worker rollout — scalar bitwise, batched
+        // within tolerance.
+        let mut rng = rng_for(seed, 11);
+        let base = Seq2Seq::new(Seq2SeqConfig::lstm(hidden), &mut rng);
+        let seqs: Vec<Vec<Pt2>> = (0..n_lanes)
+            .map(|i| random_walk(seed ^ 0xABCD, i as u64, 1 + (seed as usize + i) % 6))
+            .collect();
+        let mut plan = BatchedRollout::new();
+        for (lane, s) in seqs.iter().enumerate() {
+            plan.push(lane, 0, s.len());
+        }
+        prop_assert_eq!(plan.len(), n_lanes);
+        let mut tape = BatchTape::new();
+        let mut out = Vec::new();
+        let mut by_backend: Vec<Vec<Option<Vec<Pt2>>>> = Vec::new();
+        for backend in [KernelBackend::Scalar, KernelBackend::Batched] {
+            let mut slots: Vec<Option<Vec<Pt2>>> = vec![None; n_lanes];
+            plan.for_each_batch(4, |_, lanes| {
+                let inputs: Vec<&[Pt2]> = lanes.iter().map(|&l| seqs[l].as_slice()).collect();
+                let deltas: Vec<Option<&DeltaWeights>> = vec![None; lanes.len()];
+                predict_batch_into(&base, &deltas, &inputs, horizon, backend, &mut tape, &mut out);
+                for (&l, o) in lanes.iter().zip(&out) {
+                    slots[l] = Some(o.clone());
+                }
+            });
+            by_backend.push(slots);
+        }
+        for (lane, seq) in seqs.iter().enumerate() {
+            let want = base.predict(seq, horizon);
+            let scalar = by_backend[0][lane].as_ref().expect("every lane planned");
+            prop_assert_eq!(point_bits(scalar), point_bits(&want));
+            let batched = by_backend[1][lane].as_ref().expect("every lane planned");
+            prop_assert_eq!(batched.len(), want.len());
+            for (ps, pv) in want.iter().zip(batched) {
+                for k in 0..2 {
+                    let rel = (ps[k] - pv[k]).abs() / ps[k].abs().max(1.0);
+                    prop_assert!(rel <= 1e-9, "lane {} rel err {}", lane, rel);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn delta_materialised_lanes_match_dense_models_bitwise(
+        seed in 0u64..64,
+        hidden in prop::sample::select(vec![3usize, 6]),
+        nudges in 0usize..24,
+        horizon in 1usize..5,
+    ) {
+        // A floor-0 delta fitted from an adapted model must (a) round-trip
+        // the dense parameters bitwise and (b) make the scalar batched
+        // rollout of (base, delta) byte-identical to predicting on the
+        // materialised dense model.
+        let mut rng = rng_for(seed, 13);
+        let base = Seq2Seq::new(Seq2SeqConfig::lstm(hidden), &mut rng);
+        let params = base.params();
+        let mut dense = params.clone();
+        for _ in 0..nudges {
+            let i = rng.gen_range(0..dense.len());
+            dense[i] += rng.gen_range(-0.5..0.5);
+        }
+        let d = DeltaWeights::fit(&params, &dense, 0.0);
+        let mut back = params.clone();
+        d.patch(&mut back);
+        prop_assert_eq!(
+            back.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            dense.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+        let mut adapted = base.clone();
+        adapted.set_params(&dense);
+        let seqs = [random_walk(seed, 29, 4), random_walk(seed, 31, 4)];
+        let inputs: Vec<&[Pt2]> = seqs.iter().map(|s| s.as_slice()).collect();
+        // Mixed group: one delta lane, one pure-base lane.
+        let deltas = vec![Some(&d), None];
+        let mut tape = BatchTape::new();
+        let mut out = Vec::new();
+        predict_batch_into(
+            &base, &deltas, &inputs, horizon, KernelBackend::Scalar, &mut tape, &mut out,
+        );
+        prop_assert_eq!(point_bits(&out[0]), point_bits(&adapted.predict(&seqs[0], horizon)));
+        prop_assert_eq!(point_bits(&out[1]), point_bits(&base.predict(&seqs[1], horizon)));
     }
 
     #[test]

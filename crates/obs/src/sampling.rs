@@ -227,8 +227,7 @@ mod tests {
             .inner()
             .events()
             .iter()
-            .filter(|e| e.kind == EventKind::Gauge && e.name == "depth")
-            .last()
+            .rfind(|e| e.kind == EventKind::Gauge && e.name == "depth")
             .map(|e| e.value);
         assert_eq!(last, Some(42.0));
     }

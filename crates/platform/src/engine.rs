@@ -46,7 +46,10 @@ use tamp_core::rng::{streams, PortableRng};
 use tamp_core::EngineError;
 use tamp_core::{Minutes, Point, SpatialTask, TaskId, TimedPoint, WorkerId, BATCH_WINDOW_MINUTES};
 use tamp_nn::loss::Pt2;
-use tamp_nn::{clip_grad_norm, MseLoss, Seq2Seq, TrainBatch};
+use tamp_nn::{
+    clip_grad_norm, predict_batch_into, BatchTape, BatchedRollout, DeltaWeights, KernelBackend,
+    MseLoss, Seq2Seq, TrainBatch,
+};
 use tamp_obs::Obs;
 use tamp_sim::Workload;
 
@@ -135,6 +138,23 @@ pub struct EngineConfig {
     /// matrix. UB/LB/GGPSO ignore this (they are offline yardsticks or
     /// non-matching).
     pub solver: SolverKind,
+    /// Arithmetic backend for model rollouts.
+    /// [`KernelBackend::Scalar`] (the default) is bit-identical to the
+    /// serial per-worker kernels; [`KernelBackend::Batched`]
+    /// re-associates the batched GEMM reductions for throughput and is
+    /// tolerance-gated (`kernel_rtol`) — a serving-only trade.
+    pub kernel: KernelBackend,
+    /// Maximum rollouts fused into one cross-worker GEMM group. `1`
+    /// (the default) keeps the exact legacy serial rollout loop; `> 1`
+    /// defers same-shaped healthy rollouts within a batch window and
+    /// runs them as batched GEMMs over the shared base + delta weight
+    /// store — byte-identical to serial under the scalar backend.
+    pub rollout_batch: usize,
+    /// Largest relative error the batched backend may show against
+    /// the scalar rollout before the tolerance gate fires. Checked on
+    /// one probe lane per batched group; exceedances are counted on the
+    /// `engine.kernel.rtol_exceeded` telemetry counter.
+    pub kernel_rtol: f64,
 }
 
 impl Default for EngineConfig {
@@ -152,6 +172,9 @@ impl Default for EngineConfig {
             spatial_index: true,
             prediction_cache: false,
             solver: SolverKind::Exact,
+            kernel: KernelBackend::Scalar,
+            rollout_batch: 1,
+            kernel_rtol: 1e-9,
         }
     }
 }
@@ -348,6 +371,13 @@ pub struct EngineState {
     /// (warm prices only accelerate the solve), so snapshots persist it
     /// but restoring without it is still byte-identical.
     solver: Box<dyn MatchingSolver>,
+    /// Shared-base + per-worker-delta weight store backing batched
+    /// rollouts (`cfg.rollout_batch > 1`). Built lazily on the first
+    /// batched window and kept in sync by the adaptation / hot-swap
+    /// hooks; never serialized — a restore rebuilds it from the models.
+    rollout: Option<RolloutStore>,
+    /// Reusable batched-rollout workspace (stacked GEMM buffers).
+    tape: BatchTape,
 }
 
 impl EngineState {
@@ -374,6 +404,14 @@ impl EngineState {
                 cfg.batch_window_min
             )));
         }
+        if cfg.kernel == KernelBackend::Batched
+            && !(cfg.kernel_rtol.is_finite() && cfg.kernel_rtol > 0.0)
+        {
+            return Err(EngineError::InvalidEngineConfig(format!(
+                "kernel_rtol = {} must be finite and > 0 for the batched backend",
+                cfg.kernel_rtol
+            )));
+        }
         let live_models = match (cfg.online_adapt, predictors) {
             (Some(_), Some(p)) => Some(p.models.clone()),
             _ => None,
@@ -398,6 +436,8 @@ impl EngineState {
                 .prediction_cache
                 .then(|| PredictionCache::new(workload.workers.len())),
             solver: solver_for(cfg.solver, matches!(cfg.solver, SolverKind::Auction)),
+            rollout: None,
+            tape: BatchTape::new(),
         })
     }
 
@@ -442,6 +482,19 @@ impl EngineState {
     /// are measurements, not state). Unordered collections are sorted so
     /// the same state always serializes to the same bytes.
     pub fn snapshot(&self) -> EngineSnapshot {
+        self.snapshot_with(None)
+    }
+
+    /// Like [`EngineState::snapshot`], but when the offline `predictors`
+    /// are supplied, live (online-adapted) models are written as sparse
+    /// [`DeltaWeights`] against their offline checkpoints
+    /// (`predictors.models[wi]`) instead of dense copies — usually a
+    /// large size win, since intraday adaptation perturbs few models per
+    /// window. Restoring such a snapshot reconstructs the dense models
+    /// losslessly (the delta fit keeps every bitwise difference), but
+    /// requires the same predictors to be supplied to
+    /// [`EngineState::restore`].
+    pub fn snapshot_with(&self, predictors: Option<&TrainedPredictors>) -> EngineSnapshot {
         let mut busy_until: Vec<(WorkerId, f64)> =
             self.busy_until.iter().map(|(k, v)| (*k, *v)).collect();
         busy_until.sort_by_key(|(id, _)| *id);
@@ -449,10 +502,22 @@ impl EngineState {
         completed.sort();
         let mut refused: Vec<(TaskId, WorkerId)> = self.refused.iter().copied().collect();
         refused.sort();
+        let (live_models, live_deltas) = match (&self.live_models, predictors) {
+            (Some(models), Some(p)) if p.models.len() == models.len() => {
+                let deltas = models
+                    .iter()
+                    .zip(&p.models)
+                    .map(|(m, base)| DeltaWeights::fit(&base.params(), &m.params(), 0.0))
+                    .collect();
+                (None, Some(deltas))
+            }
+            _ => (self.live_models.clone(), None),
+        };
         EngineSnapshot {
             version: ENGINE_SNAPSHOT_VERSION,
             metrics: self.metrics,
-            live_models: self.live_models.clone(),
+            live_models,
+            live_deltas,
             next_adapt: self.next_adapt,
             pending: self.pending.clone(),
             busy_until,
@@ -483,12 +548,51 @@ impl EngineState {
         // Re-run construction checks so a restore can never produce a
         // state `new` would have refused.
         let fresh = Self::new(workload, predictors, algo, cfg)?;
-        if snap.version != ENGINE_SNAPSHOT_VERSION {
+        // v1 snapshots (dense `live_models`, no `live_deltas`) restore
+        // losslessly into this build; only unknown future formats are
+        // refused.
+        if snap.version == 0 || snap.version > ENGINE_SNAPSHOT_VERSION {
             return Err(EngineError::InvalidEngineConfig(format!(
-                "engine snapshot version {} (expected {ENGINE_SNAPSHOT_VERSION})",
+                "engine snapshot version {} (this build reads 1..={ENGINE_SNAPSHOT_VERSION})",
                 snap.version
             )));
         }
+        let live_models = match (snap.live_models, snap.live_deltas) {
+            (Some(models), _) => Some(models),
+            (None, Some(deltas)) => {
+                let Some(p) = predictors else {
+                    return Err(EngineError::InvalidEngineConfig(
+                        "snapshot stores delta-compressed live models but no predictors were \
+                         supplied"
+                            .into(),
+                    ));
+                };
+                if deltas.len() != p.models.len() {
+                    return Err(EngineError::InvalidEngineConfig(format!(
+                        "snapshot carries {} live-model deltas, predictors have {} models",
+                        deltas.len(),
+                        p.models.len()
+                    )));
+                }
+                let mut models = Vec::with_capacity(deltas.len());
+                for (base, d) in p.models.iter().zip(&deltas) {
+                    let mut params = base.params();
+                    if d.len() != params.len() {
+                        return Err(EngineError::InvalidEngineConfig(format!(
+                            "live-model delta covers {} parameters, the model has {}",
+                            d.len(),
+                            params.len()
+                        )));
+                    }
+                    d.patch(&mut params);
+                    let mut m = base.clone();
+                    m.set_params(&params);
+                    models.push(m);
+                }
+                Some(models)
+            }
+            (None, None) => None,
+        };
         let n = workload.workers.len();
         if snap.quarantined.len() != n {
             return Err(EngineError::InvalidEngineConfig(format!(
@@ -496,12 +600,12 @@ impl EngineState {
                 snap.quarantined.len()
             )));
         }
-        if snap.live_models.is_some() != fresh.live_models.is_some() {
+        if live_models.is_some() != fresh.live_models.is_some() {
             return Err(EngineError::InvalidEngineConfig(
                 "snapshot and configuration disagree on online adaptation".into(),
             ));
         }
-        if let Some(models) = &snap.live_models {
+        if let Some(models) = &live_models {
             if models.len() != n {
                 return Err(EngineError::InvalidEngineConfig(format!(
                     "snapshot carries {} live models, workload has {n} workers",
@@ -521,7 +625,7 @@ impl EngineState {
         solver.import_warm(snap.solver_warm);
         Ok(Self {
             metrics: snap.metrics,
-            live_models: snap.live_models,
+            live_models,
             next_adapt: snap.next_adapt,
             pending: snap.pending,
             busy_until: snap.busy_until.into_iter().collect(),
@@ -534,6 +638,8 @@ impl EngineState {
             t: snap.t,
             cache: snap.cache,
             solver,
+            rollout: None,
+            tape: BatchTape::new(),
         })
     }
 
@@ -555,7 +661,19 @@ impl EngineState {
         if let Some(q) = self.quarantined.get_mut(wi) {
             *q = false;
         }
+        // Keep the batched weight store serving the swapped-in model.
+        if let Some(store) = self.rollout.as_mut() {
+            store.refit(wi, model);
+        }
         self.cache.as_mut().is_some_and(|c| c.bump_version(wi))
+    }
+
+    /// `(resident payload bytes, workers carrying a non-empty delta)` of
+    /// the batched-rollout weight store — the `serve.delta.{bytes,
+    /// workers}` telemetry source. `None` until a batched window
+    /// (`rollout_batch > 1`) has built the store.
+    pub fn rollout_store_stats(&self) -> Option<(usize, usize)> {
+        self.rollout.as_ref().map(|s| s.stats())
     }
 
     /// Advances one batch window. `admitted` are the tasks newly
@@ -606,10 +724,23 @@ impl EngineState {
         );
 
         if !self.pending.is_empty() {
-            // 2. Snapshot idle workers.
+            // 2. Snapshot idle workers. With `rollout_batch > 1` this
+            // runs in two phases: `prepare_view` handles everything that
+            // needs no model (cache hits, fault paths, degrade,
+            // persistence fallbacks) and defers healthy rollouts, which
+            // are then grouped by (base model, input length) and executed
+            // as cross-worker GEMMs over the shared weight store. With
+            // the default `rollout_batch = 1` each deferred rollout is
+            // executed inline — the exact legacy serial path.
+            let batched = cfg.rollout_batch > 1 && ctx.predictors.is_some();
+            if batched && self.rollout.is_none() {
+                let p = ctx.predictors.expect("batched rollouts require predictors");
+                self.rollout = Some(RolloutStore::build(p, self.live_models.as_deref()));
+            }
             let snapshot_start = Instant::now();
             let snapshot_span = obs.span_idx("engine.batch.snapshot", self.batch_idx);
-            let mut views: Vec<WorkerView> = Vec::new();
+            let mut slots: Vec<Option<WorkerView>> = Vec::new();
+            let mut deferred: Vec<PendingRollout> = Vec::new();
             for (wi, sw) in ctx.workload.workers.iter().enumerate() {
                 if self
                     .busy_until
@@ -628,18 +759,122 @@ impl EngineState {
                 {
                     continue;
                 }
-                if let Some(view) = make_view(
+                match prepare_view(
                     ctx,
-                    self.live_models.as_deref(),
                     wi,
+                    slots.len(),
                     now,
                     self.batch_idx,
                     &mut record,
                     self.cache.as_mut(),
                 ) {
-                    views.push(view);
+                    None => {}
+                    Some(Prepared::Done(view)) => slots.push(Some(view)),
+                    Some(Prepared::Rollout(p)) => {
+                        if batched {
+                            slots.push(None);
+                            deferred.push(p);
+                        } else {
+                            let pred = ctx.predictors.expect("rollout requires predictors");
+                            let model = self
+                                .live_models
+                                .as_deref()
+                                .map_or(&pred.models[p.wi], |ms| &ms[p.wi]);
+                            let raw = model.predict(&p.input, cfg.predict_horizon);
+                            let view = complete_rollout(
+                                ctx,
+                                p.wi,
+                                p.current,
+                                p.observed_len,
+                                Some(raw),
+                                true,
+                                now,
+                                &mut record,
+                                self.cache.as_mut(),
+                            );
+                            record.stages.rollout_s += p.started.elapsed().as_secs_f64();
+                            slots.push(Some(view));
+                        }
+                    }
                 }
             }
+            if !deferred.is_empty() {
+                let group_start = Instant::now();
+                let store = self.rollout.as_mut().expect("store built before deferring");
+                // Plan the GEMM groups by (cluster-head base, prefix
+                // length); the planner's key-ordered iteration keeps
+                // group execution deterministic.
+                let mut plan = BatchedRollout::new();
+                for (di, p) in deferred.iter().enumerate() {
+                    plan.push(di, store.head_of[p.wi], p.input.len());
+                }
+                let mut outs: Vec<Vec<Pt2>> = Vec::new();
+                plan.for_each_batch(cfg.rollout_batch, |head, chunk| {
+                    let base = &store.bases[head];
+                    let deltas: Vec<Option<&DeltaWeights>> = chunk
+                        .iter()
+                        .map(|&di| {
+                            let d = &store.deltas[deferred[di].wi];
+                            (!d.is_empty()).then_some(d)
+                        })
+                        .collect();
+                    let inputs: Vec<&[Pt2]> = chunk
+                        .iter()
+                        .map(|&di| deferred[di].input.as_slice())
+                        .collect();
+                    predict_batch_into(
+                        base,
+                        &deltas,
+                        &inputs,
+                        cfg.predict_horizon,
+                        cfg.kernel,
+                        &mut self.tape,
+                        &mut outs,
+                    );
+                    if cfg.kernel == KernelBackend::Batched {
+                        // Tolerance gate: one probe lane per group is
+                        // recomputed serially and compared.
+                        let p0 = &deferred[chunk[0]];
+                        let serial = store
+                            .model_for(p0.wi)
+                            .predict(&p0.input, cfg.predict_horizon);
+                        let mut worst = 0.0f64;
+                        for (a, b) in serial.iter().zip(&outs[0]) {
+                            for k in 0..2 {
+                                let denom = a[k].abs().max(1e-12);
+                                worst = worst.max((a[k] - b[k]).abs() / denom);
+                            }
+                        }
+                        // NaN in the probe must trip the gate too.
+                        if worst.is_nan() || worst > cfg.kernel_rtol {
+                            obs.count_idx("engine.kernel.rtol_exceeded", 1, Some(self.batch_idx));
+                        }
+                    }
+                    for (k, &di) in chunk.iter().enumerate() {
+                        let p = &deferred[di];
+                        let raw = std::mem::take(&mut outs[k]);
+                        let view = complete_rollout(
+                            ctx,
+                            p.wi,
+                            p.current,
+                            p.observed_len,
+                            Some(raw),
+                            true,
+                            now,
+                            &mut record,
+                            self.cache.as_mut(),
+                        );
+                        slots[p.slot] = Some(view);
+                    }
+                });
+                record.stages.rollout_s += group_start.elapsed().as_secs_f64();
+                let (gemm_groups, gemm_lanes) = self.tape.take_stats();
+                if gemm_groups > 0 {
+                    obs.count_idx("nn.batch.groups", gemm_groups, Some(self.batch_idx));
+                    obs.count_idx("nn.batch.size", gemm_lanes, Some(self.batch_idx));
+                }
+            }
+            let views: Vec<WorkerView> = slots.into_iter().flatten().collect();
             drop(snapshot_span);
             record.stages.snapshot_s = snapshot_start.elapsed().as_secs_f64();
             self.metrics.fallback_views += record.fallback_views;
@@ -844,6 +1079,13 @@ impl EngineState {
                     );
                     self.adapt_round += 1;
                     self.next_adapt = Some(due + oa.every_min);
+                    // Re-fit the touched workers' deltas so the batched
+                    // weight store keeps serving the adapted parameters.
+                    if let Some(store) = self.rollout.as_mut() {
+                        for &wi in &outcome.changed {
+                            store.refit(wi, &models[wi]);
+                        }
+                    }
                     // Only the models this round actually touched
                     // (gradient step or rollback) have stale rollouts;
                     // bumping their cache versions evicts exactly those,
@@ -880,8 +1122,9 @@ impl EngineState {
 
 /// Format version written into every [`EngineSnapshot`]; bump on any
 /// incompatible change so a restore fails loudly instead of replaying
-/// garbage.
-pub const ENGINE_SNAPSHOT_VERSION: u32 = 1;
+/// garbage. v2 added optional delta-compressed live models
+/// (`live_deltas`); v1 snapshots still restore losslessly.
+pub const ENGINE_SNAPSHOT_VERSION: u32 = 2;
 
 /// A versioned, self-describing serialization of [`EngineState`] —
 /// everything that determines the rest of the replay: accumulated
@@ -900,8 +1143,18 @@ pub struct EngineSnapshot {
     pub version: u32,
     /// Metrics accumulated so far.
     pub metrics: AssignmentMetrics,
-    /// Online-adapted model copies (`None` when adaptation is off).
+    /// Online-adapted model copies (`None` when adaptation is off or
+    /// the snapshot stores them delta-compressed — see `live_deltas`).
     pub live_models: Option<Vec<Seq2Seq>>,
+    /// Delta-compressed live models: per-worker parameter overrides
+    /// against the offline checkpoints (`predictors.models[wi]`),
+    /// written by [`EngineState::snapshot_with`] when the caller
+    /// supplies the predictors. At most one of `live_models` /
+    /// `live_deltas` is `Some`. Absent from v1 snapshots (serde
+    /// default), which carry dense `live_models` instead — both restore
+    /// losslessly.
+    #[serde(default)]
+    pub live_deltas: Option<Vec<DeltaWeights>>,
     /// Next adaptation due time, minutes.
     pub next_adapt: Option<f64>,
     /// Live (admitted, unexpired, uncompleted) tasks.
@@ -984,7 +1237,138 @@ fn run_assignment_inner(
     Ok(state.finish(obs))
 }
 
-/// Builds the worker view the assignment algorithms see at time `now`.
+/// Result of [`prepare_view`]: either a finished view (no model rollout
+/// needed, or one that had to run inline), or a healthy rollout deferred
+/// for batched execution.
+enum Prepared {
+    /// View completed without deferring.
+    Done(WorkerView),
+    /// A healthy model rollout whose execution the caller schedules —
+    /// inline (serial mode) or as a lane of a cross-worker GEMM group.
+    Rollout(PendingRollout),
+}
+
+/// A deferred healthy rollout: everything [`complete_rollout`] needs
+/// once the raw model output is available.
+struct PendingRollout {
+    /// Worker index.
+    wi: usize,
+    /// Position in the batch's view slot vector (restores worker order
+    /// after grouped execution).
+    slot: usize,
+    /// Anchor location (last received report or registered position).
+    current: Point,
+    /// Observed-prefix length (the cache key component).
+    observed_len: usize,
+    /// Normalized model input window.
+    input: Vec<Pt2>,
+    /// When the rollout stage started for this worker (serial timing).
+    started: Instant,
+}
+
+/// Shared-base + per-worker-delta representation of the fleet's models:
+/// one dense [`Seq2Seq`] per distinct cluster head plus a sparse
+/// [`DeltaWeights`] per worker. Patching a base with a worker's delta
+/// reconstructs that worker's live parameters bit for bit (the fit keeps
+/// every bitwise difference), which is what lets the batched scalar
+/// rollout stay byte-identical to the serial path.
+struct RolloutStore {
+    /// Distinct base models (cluster heads; one per worker when the
+    /// predictor file predates head tracking).
+    bases: Vec<Seq2Seq>,
+    /// Cached dense parameters of each base (delta fits and refits).
+    base_params: Vec<Vec<f64>>,
+    /// `head_of[wi]` — which base worker `wi`'s delta applies to.
+    head_of: Vec<usize>,
+    /// Per-worker overrides turning the base into the live model.
+    deltas: Vec<DeltaWeights>,
+    /// Scratch model for serial reconstructions (tolerance gate).
+    scratch: Option<Seq2Seq>,
+    scratch_params: Vec<f64>,
+}
+
+impl RolloutStore {
+    /// Builds the store for the current effective models (`live` when
+    /// online adaptation is on, the offline predictors otherwise). Falls
+    /// back to one base per worker with empty deltas when the predictor
+    /// set carries no usable cluster heads.
+    fn build(p: &TrainedPredictors, live: Option<&[Seq2Seq]>) -> Self {
+        let models: &[Seq2Seq] = live.unwrap_or(&p.models);
+        let n = models.len();
+        let n_params = models.first().map_or(0, |m| m.params().len());
+        let use_heads = n > 0
+            && !p.heads.is_empty()
+            && p.head_of.len() == n
+            && p.head_of.iter().all(|&h| h < p.heads.len())
+            && p.heads.iter().all(|h| h.len() == n_params);
+        let (bases, head_of): (Vec<Seq2Seq>, Vec<usize>) = if use_heads {
+            let template = &models[0];
+            let bases = p
+                .heads
+                .iter()
+                .map(|h| {
+                    let mut b = template.clone();
+                    b.set_params(h);
+                    b
+                })
+                .collect();
+            (bases, p.head_of.clone())
+        } else {
+            (models.to_vec(), (0..n).collect())
+        };
+        let base_params: Vec<Vec<f64>> = bases.iter().map(|b| b.params()).collect();
+        let deltas = models
+            .iter()
+            .enumerate()
+            .map(|(wi, m)| DeltaWeights::fit(&base_params[head_of[wi]], &m.params(), 0.0))
+            .collect();
+        Self {
+            bases,
+            base_params,
+            head_of,
+            deltas,
+            scratch: None,
+            scratch_params: Vec::new(),
+        }
+    }
+
+    /// Re-fits worker `wi`'s delta after its live model changed (an
+    /// adaptation step, quarantine rollback, or hot-swap).
+    fn refit(&mut self, wi: usize, model: &Seq2Seq) {
+        if wi < self.deltas.len() {
+            let head = self.head_of[wi];
+            self.deltas[wi] = DeltaWeights::fit(&self.base_params[head], &model.params(), 0.0);
+        }
+    }
+
+    /// `(resident payload bytes, workers with a non-empty delta)`.
+    fn stats(&self) -> (usize, usize) {
+        let base_bytes: usize = self.base_params.iter().map(|p| p.len() * 8).sum();
+        let delta_bytes: usize = self.deltas.iter().map(|d| d.resident_bytes()).sum();
+        let delta_workers = self.deltas.iter().filter(|d| !d.is_empty()).count();
+        (base_bytes + delta_bytes, delta_workers)
+    }
+
+    /// Serial reconstruction of worker `wi`'s model (the tolerance
+    /// gate's reference); returns the base itself for empty deltas.
+    fn model_for(&mut self, wi: usize) -> &Seq2Seq {
+        let head = self.head_of[wi];
+        let d = &self.deltas[wi];
+        if d.is_empty() {
+            return &self.bases[head];
+        }
+        d.apply(&self.base_params[head], &mut self.scratch_params);
+        let scratch = self.scratch.get_or_insert_with(|| self.bases[head].clone());
+        scratch.set_params(&self.scratch_params);
+        scratch
+    }
+}
+
+/// First phase of building the worker view the assignment algorithms
+/// see at time `now`: everything that needs no model forward pass.
+/// Healthy rollouts come back as [`Prepared::Rollout`] for the caller to
+/// execute (inline or batched); cache hits, fault-injected rollouts,
+/// degraded windows, and no-predictor baselines complete immediately.
 ///
 /// Under fault injection the view degrades gracefully instead of dying
 /// (the "degradation ladder", DESIGN.md):
@@ -999,15 +1383,15 @@ fn run_assignment_inner(
 /// unchanged since the previous window are served from the cache
 /// (`cache_hits` on the record); fault-injected and failed rollouts
 /// bypass it (see [`crate::predcache`] for the invariant).
-fn make_view(
+fn prepare_view(
     ctx: &StepCtx<'_>,
-    live_models: Option<&[Seq2Seq]>,
     wi: usize,
+    slot: usize,
     now: Minutes,
     batch_idx: u64,
     record: &mut BatchRecord,
     mut cache: Option<&mut PredictionCache>,
-) -> Option<WorkerView> {
+) -> Option<Prepared> {
     let cfg = ctx.cfg;
     let workload = ctx.workload;
     let sw = &workload.workers[wi];
@@ -1062,7 +1446,7 @@ fn make_view(
             record.fallback_views += 1;
             vec![current; cfg.predict_horizon]
         }
-        Some(p) => {
+        Some(_) => {
             let rollout_start = Instant::now();
             let rollout = ctx.fplan.map_or(RolloutFault::Healthy, |pl| {
                 pl.injector.rollout(wi as u64, batch_idx)
@@ -1086,7 +1470,14 @@ fn make_view(
                     if let Some(pts) = cache.lookup(wi, &key) {
                         record.cache_hits += 1;
                         record.stages.rollout_s += rollout_start.elapsed().as_secs_f64();
-                        return Some(finish_view(sw, now, current, pts, ctx.predictors, wi));
+                        return Some(Prepared::Done(finish_view(
+                            sw,
+                            now,
+                            current,
+                            pts,
+                            ctx.predictors,
+                            wi,
+                        )));
                     }
                     record.cache_misses += 1;
                 }
@@ -1105,77 +1496,139 @@ fn make_view(
                 let (x, y) = workload.grid.normalize(current);
                 input.push([x, y]);
             }
-            let raw_rollout = match rollout {
-                RolloutFault::Unavailable => None,
-                RolloutFault::Healthy => Some(
-                    live_models
-                        .map_or(&p.models[wi], |ms| &ms[wi])
-                        .predict(&input, cfg.predict_horizon),
-                ),
-                RolloutFault::Garbage => Some(ctx.fplan.unwrap().injector.garbage_rollout(
-                    wi as u64,
-                    batch_idx,
-                    cfg.predict_horizon,
-                )),
-            };
-            // Rollout, clamped to the grid and to physical reachability:
-            // the worker cannot be farther from their current position
-            // than speed × elapsed time. Non-finite model output (or
-            // injected garbage) invalidates the whole rollout.
-            let clamped = raw_rollout.and_then(|outs| {
-                let speed_per_unit =
-                    sw.worker.speed_km_per_min * tamp_core::time::TIME_UNIT_MINUTES;
-                let mut pts = Vec::with_capacity(outs.len());
-                for (k, o) in outs.into_iter().enumerate() {
-                    // Validate *before* clamping: `f64::clamp` would
-                    // quietly pull an infinite coordinate onto the grid
-                    // edge and launder it into a plausible point.
-                    if !(o[0].is_finite() && o[1].is_finite()) {
-                        return None;
-                    }
-                    let raw = workload.grid.clamp(workload.grid.denormalize(o[0], o[1]));
-                    let max_range = speed_per_unit * (k + 1) as f64;
-                    let d = current.dist(raw);
-                    // `d == 0` (or a degenerate non-finite distance)
-                    // must not reach `lerp` with a 0/0 ratio.
-                    pts.push(if d.is_finite() && d > 0.0 && d > max_range {
-                        current.lerp(raw, max_range / d)
-                    } else {
-                        raw
-                    });
+            match rollout {
+                RolloutFault::Healthy => {
+                    return Some(Prepared::Rollout(PendingRollout {
+                        wi,
+                        slot,
+                        current,
+                        observed_len: observed.len(),
+                        input,
+                        started: rollout_start,
+                    }));
                 }
-                Some(pts)
-            });
-            let pts = match clamped {
-                Some(pts) => {
-                    if cacheable {
-                        if let Some(cache) = cache {
-                            let key = RolloutKey::new(
-                                observed.len(),
-                                current,
-                                cfg.predict_horizon,
-                                cache.version(wi),
-                            );
-                            cache.store(wi, key, pts.clone());
-                        }
-                    }
-                    pts
+                RolloutFault::Unavailable => {
+                    let view = complete_rollout(
+                        ctx,
+                        wi,
+                        current,
+                        observed.len(),
+                        None,
+                        false,
+                        now,
+                        record,
+                        cache,
+                    );
+                    record.stages.rollout_s += rollout_start.elapsed().as_secs_f64();
+                    return Some(Prepared::Done(view));
                 }
-                None => {
-                    // Persistence fallback: predict "stays where last
-                    // seen" — crude, but never worse than no view. Not
-                    // cached: the next window must re-attempt the model.
-                    record.fallback_views += 1;
-                    vec![current; cfg.predict_horizon]
+                RolloutFault::Garbage => {
+                    let raw = ctx.fplan.unwrap().injector.garbage_rollout(
+                        wi as u64,
+                        batch_idx,
+                        cfg.predict_horizon,
+                    );
+                    let view = complete_rollout(
+                        ctx,
+                        wi,
+                        current,
+                        observed.len(),
+                        Some(raw),
+                        false,
+                        now,
+                        record,
+                        cache,
+                    );
+                    record.stages.rollout_s += rollout_start.elapsed().as_secs_f64();
+                    return Some(Prepared::Done(view));
                 }
-            };
-            record.stages.rollout_s += rollout_start.elapsed().as_secs_f64();
-            pts
+            }
         }
         None => Vec::new(),
     };
 
-    Some(finish_view(sw, now, current, predicted, ctx.predictors, wi))
+    Some(Prepared::Done(finish_view(
+        sw,
+        now,
+        current,
+        predicted,
+        ctx.predictors,
+        wi,
+    )))
+}
+
+/// Second phase: turns a raw model output (`None` for an unavailable
+/// rollout) into the finished [`WorkerView`] — grid/reachability
+/// clamping, non-finite validation, cache store for healthy
+/// (`cacheable`) rollouts, persistence fallback otherwise. This is the
+/// exact post-rollout tail of the legacy single-pass view builder, so
+/// serial and batched execution share one code path.
+#[allow(clippy::too_many_arguments)]
+fn complete_rollout(
+    ctx: &StepCtx<'_>,
+    wi: usize,
+    current: Point,
+    observed_len: usize,
+    raw_rollout: Option<Vec<Pt2>>,
+    cacheable: bool,
+    now: Minutes,
+    record: &mut BatchRecord,
+    cache: Option<&mut PredictionCache>,
+) -> WorkerView {
+    let cfg = ctx.cfg;
+    let workload = ctx.workload;
+    let sw = &workload.workers[wi];
+    // Rollout, clamped to the grid and to physical reachability:
+    // the worker cannot be farther from their current position
+    // than speed × elapsed time. Non-finite model output (or
+    // injected garbage) invalidates the whole rollout.
+    let clamped = raw_rollout.and_then(|outs| {
+        let speed_per_unit = sw.worker.speed_km_per_min * tamp_core::time::TIME_UNIT_MINUTES;
+        let mut pts = Vec::with_capacity(outs.len());
+        for (k, o) in outs.into_iter().enumerate() {
+            // Validate *before* clamping: `f64::clamp` would
+            // quietly pull an infinite coordinate onto the grid
+            // edge and launder it into a plausible point.
+            if !(o[0].is_finite() && o[1].is_finite()) {
+                return None;
+            }
+            let raw = workload.grid.clamp(workload.grid.denormalize(o[0], o[1]));
+            let max_range = speed_per_unit * (k + 1) as f64;
+            let d = current.dist(raw);
+            // `d == 0` (or a degenerate non-finite distance)
+            // must not reach `lerp` with a 0/0 ratio.
+            pts.push(if d.is_finite() && d > 0.0 && d > max_range {
+                current.lerp(raw, max_range / d)
+            } else {
+                raw
+            });
+        }
+        Some(pts)
+    });
+    let pts = match clamped {
+        Some(pts) => {
+            if cacheable {
+                if let Some(cache) = cache {
+                    let key = RolloutKey::new(
+                        observed_len,
+                        current,
+                        cfg.predict_horizon,
+                        cache.version(wi),
+                    );
+                    cache.store(wi, key, pts.clone());
+                }
+            }
+            pts
+        }
+        None => {
+            // Persistence fallback: predict "stays where last
+            // seen" — crude, but never worse than no view. Not
+            // cached: the next window must re-attempt the model.
+            record.fallback_views += 1;
+            vec![current; cfg.predict_horizon]
+        }
+    };
+    finish_view(sw, now, current, pts, ctx.predictors, wi)
 }
 
 /// Assembles the [`WorkerView`] once the predicted trajectory is known
@@ -1717,6 +2170,217 @@ mod tests {
         );
         assert_eq!(resumed_m.quarantined_models, straight_m.quarantined_models);
         assert_eq!(resumed_stats, straight_stats, "cache counters survive");
+    }
+
+    #[test]
+    fn batched_scalar_rollouts_match_serial_bitwise() {
+        // The tentpole equivalence: cross-worker GEMM rollouts over the
+        // base + delta weight store must reproduce the serial per-worker
+        // path bit for bit under the scalar backend — with online
+        // adaptation and the prediction cache on, so the delta refit
+        // hooks are exercised too.
+        let w = tiny();
+        let p = quick_predictors(&w);
+        assert!(!p.heads.is_empty(), "training populates cluster heads");
+        let serial_cfg = EngineConfig {
+            seq_in: 3,
+            prediction_cache: true,
+            online_adapt: Some(OnlineAdaptConfig::default()),
+            ..EngineConfig::default()
+        };
+        let serial = run_assignment(&w, Some(&p), AssignmentAlgo::Ppi, &serial_cfg);
+        for rollout_batch in [4, 64] {
+            let batched_cfg = EngineConfig {
+                rollout_batch,
+                ..serial_cfg
+            };
+            let batched = run_assignment(&w, Some(&p), AssignmentAlgo::Ppi, &batched_cfg);
+            assert_eq!(batched.completed, serial.completed, "batch {rollout_batch}");
+            assert_eq!(batched.rejected, serial.rejected, "batch {rollout_batch}");
+            assert_eq!(
+                batched.assigned_total, serial.assigned_total,
+                "batch {rollout_batch}"
+            );
+            assert_eq!(
+                batched.total_detour_km.to_bits(),
+                serial.total_detour_km.to_bits(),
+                "batch {rollout_batch}"
+            );
+            assert_eq!(
+                batched.quarantined_models, serial.quarantined_models,
+                "batch {rollout_batch}"
+            );
+        }
+    }
+
+    #[test]
+    fn batched_backend_stays_within_tolerance_end_to_end() {
+        // The relaxed backend re-associates the GEMM reductions; on this
+        // workload the perturbation is far below any decision threshold,
+        // so the day's outcomes must match the scalar run (and the
+        // per-group probe-lane gate must never fire under a sane rtol —
+        // there is no counter to observe here, but a firing gate would
+        // imply errors ~1e-9, which would show up in the comparison).
+        let w = tiny();
+        let p = quick_predictors(&w);
+        let scalar_cfg = EngineConfig {
+            seq_in: 3,
+            rollout_batch: 64,
+            ..EngineConfig::default()
+        };
+        let vec_cfg = EngineConfig {
+            kernel: KernelBackend::Batched,
+            ..scalar_cfg
+        };
+        let scalar = run_assignment(&w, Some(&p), AssignmentAlgo::Ppi, &scalar_cfg);
+        let batched = run_assignment(&w, Some(&p), AssignmentAlgo::Ppi, &vec_cfg);
+        assert_eq!(batched.completed, scalar.completed);
+        assert_eq!(batched.rejected, scalar.rejected);
+        assert!((batched.total_detour_km - scalar.total_detour_km).abs() < 1e-6);
+    }
+
+    #[test]
+    fn batched_backend_requires_a_sane_rtol() {
+        let w = tiny();
+        let p = quick_predictors(&w);
+        let cfg = EngineConfig {
+            kernel: KernelBackend::Batched,
+            kernel_rtol: f64::NAN,
+            ..cfg()
+        };
+        assert!(EngineState::new(&w, Some(&p), AssignmentAlgo::Ppi, &cfg).is_err());
+    }
+
+    #[test]
+    fn v1_dense_snapshot_restores_into_delta_era_losslessly() {
+        // Backward compatibility for the snapshot version bump: a v1
+        // snapshot (dense live models, no `live_deltas` field) and a v2
+        // delta-compressed snapshot of the same state must both restore
+        // into runs byte-identical to the uninterrupted one.
+        let w = tiny();
+        let p = quick_predictors(&w);
+        let cfg = EngineConfig {
+            seq_in: 3,
+            prediction_cache: true,
+            online_adapt: Some(OnlineAdaptConfig::default()),
+            ..EngineConfig::default()
+        };
+        let obs = Obs::null();
+        let ctx = StepCtx {
+            workload: &w,
+            predictors: Some(&p),
+            algo: AssignmentAlgo::Ppi,
+            cfg: &cfg,
+            fplan: None,
+            reports: None,
+            degrade: false,
+            obs: &obs,
+        };
+
+        let mut straight = EngineState::new(&w, Some(&p), AssignmentAlgo::Ppi, &cfg).unwrap();
+        let mut next = 0usize;
+        drive(&mut straight, &ctx, &w, &cfg, &mut next, usize::MAX);
+        let straight_m = straight.finish(&obs);
+
+        let mut first = EngineState::new(&w, Some(&p), AssignmentAlgo::Ppi, &cfg).unwrap();
+        let mut next = 0usize;
+        drive(&mut first, &ctx, &w, &cfg, &mut next, 70);
+
+        // A v1 writer: dense models, version 1, no delta field.
+        let mut v1 = first.snapshot();
+        assert!(v1.live_models.is_some() && v1.live_deltas.is_none());
+        v1.version = 1;
+        // The v2 delta writer: overrides against the offline models.
+        let v2 = first.snapshot_with(Some(&p));
+        assert!(v2.live_models.is_none());
+        let deltas = v2.live_deltas.as_ref().unwrap();
+        assert_eq!(deltas.len(), w.workers.len());
+        let dense_models = v1.live_models.clone().unwrap();
+        for (wi, d) in deltas.iter().enumerate() {
+            let mut params = p.models[wi].params();
+            d.patch(&mut params);
+            let live = dense_models[wi].params();
+            assert_eq!(
+                params.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                live.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "delta reconstruction is lossless for worker {wi}"
+            );
+        }
+        let v2_json = serde_json::to_string(&v2).unwrap();
+        let v1_json = serde_json::to_string(&v1).unwrap();
+        assert!(
+            v2_json.len() < v1_json.len(),
+            "delta snapshot ({}) should undercut the dense one ({})",
+            v2_json.len(),
+            v1_json.len()
+        );
+        drop(first);
+
+        for json in [v1_json, v2_json] {
+            let snap: EngineSnapshot = serde_json::from_str(&json).unwrap();
+            let mut resumed =
+                EngineState::restore(&w, Some(&p), AssignmentAlgo::Ppi, &cfg, snap).unwrap();
+            let mut next_r = next;
+            drive(&mut resumed, &ctx, &w, &cfg, &mut next_r, usize::MAX);
+            let m = resumed.finish(&obs);
+            assert_eq!(m.completed, straight_m.completed);
+            assert_eq!(m.rejected, straight_m.rejected);
+            assert_eq!(
+                m.total_detour_km.to_bits(),
+                straight_m.total_detour_km.to_bits()
+            );
+        }
+
+        // A delta snapshot without the predictors cannot be restored.
+        let snap: EngineSnapshot =
+            serde_json::from_str(&serde_json::to_string(&v2).unwrap()).unwrap();
+        assert!(EngineState::restore(&w, None, AssignmentAlgo::Ub, &cfg, snap).is_err());
+    }
+
+    #[test]
+    fn rollout_store_tracks_adaptation_and_hot_swaps() {
+        let w = tiny();
+        let p = quick_predictors(&w);
+        let cfg = EngineConfig {
+            seq_in: 3,
+            rollout_batch: 8,
+            online_adapt: Some(OnlineAdaptConfig::default()),
+            ..EngineConfig::default()
+        };
+        let obs = Obs::null();
+        let mut state = EngineState::new(&w, Some(&p), AssignmentAlgo::Ppi, &cfg).unwrap();
+        assert!(state.rollout_store_stats().is_none(), "store is lazy");
+        let ctx = StepCtx {
+            workload: &w,
+            predictors: Some(&p),
+            algo: AssignmentAlgo::Ppi,
+            cfg: &cfg,
+            fplan: None,
+            reports: None,
+            degrade: false,
+            obs: &obs,
+        };
+        let mut next = 0usize;
+        drive(&mut state, &ctx, &w, &cfg, &mut next, 40);
+        let (bytes, _) = state.rollout_store_stats().expect("store built");
+        assert!(bytes > 0);
+        // A hot-swapped model must be re-fit into the store so batched
+        // rollouts serve the new parameters.
+        let mut replacement = p.models[0].clone();
+        let mut theta = replacement.params();
+        theta[0] = f64::from_bits(theta[0].to_bits() + 1);
+        replacement.set_params(&theta);
+        state.install_model(0, &replacement);
+        let store = state.rollout.as_mut().unwrap();
+        let reconstructed = store.model_for(0).params();
+        assert_eq!(
+            reconstructed
+                .iter()
+                .map(|v| v.to_bits())
+                .collect::<Vec<_>>(),
+            theta.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            "store reconstructs the swapped-in model bit for bit"
+        );
     }
 
     #[test]

@@ -50,6 +50,7 @@ pub use faults::{FaultConfig, FaultInjector, FaultPlan};
 pub use metrics::{AssignmentMetrics, BatchRecord, StageTimings};
 pub use predcache::{CacheStats, PredictionCache, RolloutKey};
 pub use tamp_assign::solver::{SolverKind, SolverStats};
+pub use tamp_nn::KernelBackend;
 pub use training::{
     train_predictors, train_predictors_observed, LossKind, PredictionAlgo, TrainedPredictors,
     TrainingConfig,

@@ -12,7 +12,7 @@
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
 use tamp_core::rng::{rng_for, streams};
-use tamp_meta::cold_start::best_init_node;
+use tamp_meta::cold_start::{best_init_node, dedup_heads};
 use tamp_meta::ctml::{ctml_train, task_features, CtmlConfig};
 use tamp_meta::eval::{evaluate_model, PredictionMetrics};
 use tamp_meta::gtmc::{build_tree, GtmcConfig};
@@ -129,6 +129,13 @@ pub struct TrainedPredictors {
     pub n_clusters: usize,
     /// Output horizon the models were trained with.
     pub seq_out: usize,
+    /// Distinct cluster-head initialisation vectors (bitwise-deduped
+    /// per-worker `θ` priors). The base models of the batched-rollout
+    /// weight store; empty when loaded from a pre-head predictor file.
+    pub heads: Vec<Vec<f64>>,
+    /// `head_of[i]` indexes into [`TrainedPredictors::heads`] for worker
+    /// `i`. Empty exactly when `heads` is empty.
+    pub head_of: Vec<usize>,
 }
 
 impl TrainedPredictors {
@@ -147,6 +154,8 @@ impl TrainedPredictors {
             "train_seconds": self.train_seconds,
             "n_clusters": self.n_clusters,
             "seq_out": self.seq_out,
+            "heads": self.heads,
+            "head_of": self.head_of,
         });
         std::fs::write(path, serde_json::to_string(&payload)?)
     }
@@ -168,6 +177,17 @@ impl TrainedPredictors {
             train_seconds: serde_json::from_value(parse("train_seconds")?)?,
             n_clusters: serde_json::from_value(parse("n_clusters")?)?,
             seq_out: serde_json::from_value(parse("seq_out")?)?,
+            // Absent in pre-head files: empty means "no shared bases
+            // known" and the serve-side weight store falls back to
+            // per-worker singleton bases.
+            heads: match v.get("heads") {
+                Some(h) => serde_json::from_value(h.clone())?,
+                None => Vec::new(),
+            },
+            head_of: match v.get("head_of") {
+                Some(h) => serde_json::from_value(h.clone())?,
+                None => Vec::new(),
+            },
         })
     }
 }
@@ -359,6 +379,9 @@ pub fn train_predictors_observed(
     };
     drop(meta_span);
     obs.count("train.clusters", n_clusters as u64);
+    // The distinct init vectors ARE the cluster heads — export them so
+    // the serve-side weight store can hold each worker as head + delta.
+    let (heads, head_of) = dedup_heads(&inits);
 
     // Per-worker adaptation + validation.
     let adapt_span = obs.span("train.adapt");
@@ -442,6 +465,8 @@ pub fn train_predictors_observed(
         train_seconds: start.elapsed().as_secs_f64(),
         n_clusters,
         seq_out: cfg.seq_out,
+        heads,
+        head_of,
     }
 }
 

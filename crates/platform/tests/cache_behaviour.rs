@@ -231,6 +231,61 @@ fn cache_is_byte_identical_under_fault_injection() {
 }
 
 #[test]
+fn cache_hit_pattern_is_unchanged_by_kernel_backend() {
+    // The prediction cache sits *in front of* the rollout kernels: which
+    // windows hit, miss, or invalidate is decided by report freshness and
+    // model versions, never by how the misses are computed. Swapping the
+    // kernel backend or the GEMM batch width must therefore leave the
+    // per-batch cache counters untouched — and the scalar backend must
+    // additionally stay byte-identical to the serial baseline.
+    use tamp_platform::KernelBackend;
+    let w = tiny_workload(17);
+    let p = quick_predictors(&w, 17);
+    let mut traces = Vec::new();
+    let mut metrics = Vec::new();
+    for (backend, batch) in [
+        (KernelBackend::Scalar, 1),
+        (KernelBackend::Scalar, 64),
+        (KernelBackend::Batched, 64),
+    ] {
+        let cfg = EngineConfig {
+            kernel: backend,
+            rollout_batch: batch,
+            ..engine(true)
+        };
+        let mut trace = Vec::new();
+        let m = run_assignment_traced(&w, Some(&p), AssignmentAlgo::Ppi, &cfg, &mut trace);
+        traces.push(trace);
+        metrics.push(m);
+    }
+    assert!(
+        metrics[0].cache_hits > 0,
+        "baseline must exercise the cache"
+    );
+    for (i, (t, m)) in traces.iter().zip(&metrics).enumerate().skip(1) {
+        assert_eq!(t.len(), traces[0].len(), "variant {i}: batch count");
+        for (bi, (ra, rb)) in traces[0].iter().zip(t).enumerate() {
+            assert_eq!(ra.cache_hits, rb.cache_hits, "variant {i}[{bi}]: hits");
+            assert_eq!(
+                ra.cache_misses, rb.cache_misses,
+                "variant {i}[{bi}]: misses"
+            );
+            assert_eq!(
+                ra.cache_invalidations, rb.cache_invalidations,
+                "variant {i}[{bi}]: invalidations"
+            );
+        }
+        assert_eq!(m.cache_hits, metrics[0].cache_hits, "variant {i}: hits");
+        assert_eq!(
+            m.cache_misses, metrics[0].cache_misses,
+            "variant {i}: misses"
+        );
+    }
+    assert_same_outcome(&metrics[0], &metrics[1], "scalar batch=64");
+    assert_same_trace(&traces[0], &traces[1], "scalar batch=64");
+}
+
+#[test]
 fn cache_counters_reconcile_with_the_trace() {
     let w = tiny_workload(13);
     let p = quick_predictors(&w, 13);

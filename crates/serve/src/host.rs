@@ -343,28 +343,28 @@ impl ServeHost {
                 }
             });
         } else {
-            for si in 0..self.shards.len() {
-                if !stepped[si] {
-                    continue;
-                }
-                let window_idx = self.shards[si].windows_run();
+            for (shard, _) in self
+                .shards
+                .iter_mut()
+                .zip(&stepped)
+                .filter(|(_, &live)| live)
+            {
+                let window_idx = shard.windows_run();
                 let span = obs.span_idx("serve.batch", window_idx);
-                self.shards[si].step_window(obs);
+                shard.step_window(obs);
                 drop(span);
             }
         }
         // Emission runs for every stepped shard on both step paths —
         // the windowed registry stays live under parallel stepping,
         // where per-shard obs calls are no-ops anyway.
-        for si in 0..self.shards.len() {
-            if stepped[si] {
-                self.emit_shard(si, obs);
-            }
+        for (si, _) in stepped.iter().enumerate().filter(|(_, &live)| live) {
+            self.emit_shard(si, obs);
         }
         self.seal_window(obs);
         self.windows += 1;
         if let Some(every) = self.cfg.snapshot_every {
-            if every > 0 && self.windows % every == 0 {
+            if every > 0 && self.windows.is_multiple_of(every) {
                 self.write_snapshots();
             }
         }
@@ -412,6 +412,11 @@ impl ServeHost {
         obs.count_idx("serve.crash.restore", d_crashes, idx);
         obs.observe("serve.step.latency_ms", step_ms);
         obs.gauge_idx("serve.queue.depth", queue_depth, idx);
+        let delta_stats = shard.rollout_store_stats();
+        if let Some((delta_bytes, delta_workers)) = delta_stats {
+            obs.gauge_idx("serve.delta.bytes", delta_bytes as f64, idx);
+            obs.gauge_idx("serve.delta.workers", delta_workers as f64, idx);
+        }
 
         if let Some(live) = &self.cfg.live {
             let scope = shard.name();
@@ -426,6 +431,10 @@ impl ServeHost {
             live.observe(scope, "serve.step.latency_ms", step_ms);
             live.gauge(scope, "serve.queue.depth", queue_depth);
             live.gauge(scope, "serve.pending", pending);
+            if let Some((delta_bytes, delta_workers)) = delta_stats {
+                live.gauge(scope, "serve.delta.bytes", delta_bytes as f64);
+                live.gauge(scope, "serve.delta.workers", delta_workers as f64);
+            }
         }
     }
 

@@ -429,7 +429,11 @@ impl Shard {
     }
 
     /// Serializes everything the continuation of this shard depends on
-    /// (see [`crate::snapshot`]).
+    /// (see [`crate::snapshot`]). Live online-adapted models are stored
+    /// delta-compressed against the shard's predictors
+    /// ([`EngineState::snapshot_with`]); [`Shard::restore`] must be
+    /// given the same predictor set, which every caller here already
+    /// guarantees (restore takes the predictors alongside the snapshot).
     pub fn snapshot(&self) -> ShardSnapshot {
         ShardSnapshot {
             format: SHARD_SNAPSHOT_FORMAT.to_string(),
@@ -444,7 +448,7 @@ impl Shard {
             crashes: self.crashes,
             step_seconds: self.step_seconds.clone(),
             trace: self.trace.clone(),
-            engine: self.state.snapshot(),
+            engine: self.state.snapshot_with(self.predictors.as_ref()),
         }
     }
 
@@ -631,6 +635,14 @@ impl Shard {
     /// Tasks admitted and still live inside the engine.
     pub fn pending_len(&self) -> usize {
         self.state.pending_len()
+    }
+
+    /// `(resident payload bytes, workers with a non-empty delta)` of the
+    /// engine's batched-rollout weight store — the
+    /// `serve.delta.{bytes,workers}` gauge source. `None` until a
+    /// batched window (`engine.rollout_batch > 1`) has built the store.
+    pub fn rollout_store_stats(&self) -> Option<(usize, usize)> {
+        self.state.rollout_store_stats()
     }
 
     /// Batch windows stepped so far.

@@ -10,6 +10,32 @@ cd "$(dirname "$0")/.."
 echo "== cargo fmt --check"
 cargo fmt --all -- --check
 
+echo "== doc link check (intra-repo markdown links must resolve)"
+python3 - <<'EOF'
+import os, re, sys
+
+files = [f for f in ("README.md", "DESIGN.md", "ROADMAP.md", "EXPERIMENTS.md",
+                     "CONTRIBUTING.md", "CHANGES.md") if os.path.exists(f)]
+files += sorted(os.path.join("docs", f) for f in os.listdir("docs") if f.endswith(".md"))
+link = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+bad = []
+for path in files:
+    base = os.path.dirname(path)
+    with open(path, encoding="utf-8") as fh:
+        for n, line in enumerate(fh, 1):
+            for target in link.findall(line):
+                if target.startswith(("http://", "https://", "mailto:", "#")):
+                    continue
+                rel = target.split("#", 1)[0]
+                if rel and not os.path.exists(os.path.normpath(os.path.join(base, rel))):
+                    bad.append(f"{path}:{n}: dead link -> {target}")
+for b in bad:
+    print(b, file=sys.stderr)
+if bad:
+    sys.exit(1)
+print(f"checked {len(files)} markdown files, all intra-repo links resolve")
+EOF
+
 echo "== cargo clippy serve+platform (deny warnings, crash-safety surfaces first)"
 cargo clippy -p tamp-serve -p tamp-platform --all-targets --offline -- -D warnings
 
@@ -158,6 +184,42 @@ if cargo run --release -p tamp-cli --offline -q -- slo-check --spec slo/serve.sl
     echo "FAIL: slo-check passed a 60 ms seeded latency regression" >&2
     exit 1
 fi
+
+echo "== batched rollout serve smoke (scalar exact, batched backend tolerance-gated)"
+# Scalar backend with cross-worker batching must reproduce the serial
+# serve outcome byte-for-byte (per-lane bitwise GEMM guarantee,
+# DESIGN.md batched inference).
+cargo run --release -p tamp-cli --offline -q -- serve \
+    --shards 2 --kind porto --scale tiny --seed 7 --algo ppi \
+    --rollout-batch 64 \
+    >"$SMOKE_DIR/serve.batched.txt"
+if ! diff <(grep -iE '^(tasks|completed|rejected|avg)' "$SMOKE_DIR/serve.txt") \
+          <(grep -iE '^(tasks|completed|rejected|avg)' "$SMOKE_DIR/serve.batched.txt"); then
+    echo "FAIL: --rollout-batch changed the scalar serve outcome" >&2
+    exit 1
+fi
+# Batched backend: task outcomes must match and the engine's
+# per-group probe lane must never trip the relative-tolerance counter.
+cargo run --release -p tamp-cli --offline -q -- serve \
+    --shards 2 --kind porto --scale tiny --seed 7 --algo ppi \
+    --rollout-batch 64 --kernel-backend batched \
+    --metrics "$SMOKE_DIR/serve.vec.metrics.json" \
+    >"$SMOKE_DIR/serve.vec.txt"
+if ! diff <(grep -iE '^(tasks|completed|rejected)' "$SMOKE_DIR/serve.txt") \
+          <(grep -iE '^(tasks|completed|rejected)' "$SMOKE_DIR/serve.vec.txt"); then
+    echo "FAIL: batched kernel backend changed serve task outcomes beyond tolerance" >&2
+    exit 1
+fi
+if grep -q 'engine.kernel.rtol_exceeded' "$SMOKE_DIR/serve.vec.metrics.json"; then
+    echo "FAIL: batched backend exceeded --kernel-rtol in the serve smoke" >&2
+    exit 1
+fi
+
+echo "== diag_infer smoke (batched GEMM bitwise + delta-store residency)"
+# 1k-worker fleet: asserts scalar batched output byte-identical to the
+# serial rollouts, batched backend within tolerance, and the base+delta
+# store resident under the dense per-worker baseline. Writes nothing.
+cargo run --release -p tamp-bench --offline -q --bin diag_infer -- --smoke >/dev/null
 
 echo "== bench trajectory check (committed results within tolerance)"
 cargo run --release -p tamp-bench --offline -q --bin bench_trajectory -- --check
